@@ -1,0 +1,77 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration of an APGAS runtime.
+///
+/// Defaults mirror the paper's launch configuration: one worker thread per
+/// place (`X10_NTHREADS=1`) and 32 places per host (octant).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of places. Execution starts at place 0.
+    pub places: usize,
+    /// Worker threads per place. The paper runs all experiments with one
+    /// worker per place and dedicates a core to each; intra-place schedulers
+    /// are explicitly left as future work, but multiple workers are
+    /// supported here.
+    pub workers_per_place: usize,
+    /// Places per host; determines host masters for `FINISH_DENSE` routing
+    /// and the Power 775 traffic accounting (32 on the paper's machine).
+    pub places_per_host: usize,
+    /// How long an idle worker parks before re-polling its mailbox. Small
+    /// values reduce latency, large values reduce CPU burn when places
+    /// heavily outnumber cores (they do in this reproduction).
+    pub park_timeout: Duration,
+    /// Flush threshold for finish-protocol delta coalescing: a place pushes
+    /// its accumulated termination-control deltas to the finish root when
+    /// its local live count reaches zero *or* the buffer covers more than
+    /// this many peer places.
+    pub finish_flush_entries: usize,
+}
+
+impl Config {
+    /// A configuration with `places` places and all defaults.
+    pub fn new(places: usize) -> Self {
+        Config {
+            places,
+            workers_per_place: 1,
+            places_per_host: 32,
+            park_timeout: Duration::from_micros(200),
+            finish_flush_entries: 64,
+        }
+    }
+
+    /// Set places per host (builder style).
+    pub fn places_per_host(mut self, b: usize) -> Self {
+        assert!(b > 0);
+        self.places_per_host = b;
+        self
+    }
+
+    /// Set workers per place (builder style).
+    pub fn workers_per_place(mut self, w: usize) -> Self {
+        assert!(w > 0);
+        self.workers_per_place = w;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_launch_config() {
+        let c = Config::new(64);
+        assert_eq!(c.places, 64);
+        assert_eq!(c.workers_per_place, 1);
+        assert_eq!(c.places_per_host, 32);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = Config::new(8).places_per_host(4).workers_per_place(2);
+        assert_eq!(c.places_per_host, 4);
+        assert_eq!(c.workers_per_place, 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! Root-side state of a `finish`: the accounting that decides global
+//! termination.
+//!
+//! One [`RootState`] lives at the finish's home place for the lifetime of
+//! the block. Events originating *at the home place* (the body's own spawns
+//! and deaths, activities arriving at home) are applied directly — this is
+//! the paper's "optimistically assume the finish is local" behaviour: a
+//! finish that never spawns remotely costs zero messages and O(1) state.
+//! Events at other places arrive as [`super::FinishMsg`]s and are applied
+//! here by the home worker's message loop.
+//!
+//! # Why the default protocol is sound
+//!
+//! The root keeps, per (source, destination) pair, the number of reported
+//! spawns minus reported receipts (`matrix`), and per place the number of
+//! reported receipts+local spawns minus reported deaths (`live`). Places
+//! report *cumulative deltas*; addition commutes, so reordered flushes are
+//! harmless. A place only withholds a death report while its local live
+//! count is non-zero or the flush is in flight. Induction over the spawn
+//! chain of any live/unreported activity shows some matrix or live entry at
+//! the root is non-zero (its spawn edge is either reported-but-unmatched, or
+//! unreported because an *earlier* activity in the chain has not flushed its
+//! death yet, recursively up to the body itself, which is covered by
+//! `body_done`). Hence `matrix ≡ 0 ∧ live ≡ 0 ∧ body_done` implies global
+//! quiescence, and liveness follows because every place flushes when its
+//! live count reaches zero.
+
+use super::{Deltas, FinishId, FinishKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Root-side termination-detection state for one `finish` block.
+pub struct RootState {
+    /// Protocol variant.
+    pub kind: FinishKind,
+    /// Identity.
+    pub id: FinishId,
+    inner: Mutex<Inner>,
+    done: AtomicBool,
+}
+
+#[derive(Default)]
+struct Inner {
+    body_done: bool,
+    // -- Default / Dense --
+    matrix: HashMap<(u32, u32), i64>,
+    nonzero_matrix: usize,
+    live: HashMap<u32, i64>,
+    nonzero_live: usize,
+    // -- Spmd / Async --
+    spawned_remote: u64,
+    completed_remote: u64,
+    total_spawns: u64,
+    // -- Local / Spmd / Async / Here: body-local activities --
+    home_live: u64,
+    // -- Here (weighted credits; u128 because the root mints 2^62 per spawn)
+    weight_out: u128,
+    weight_back: u128,
+    panics: Vec<String>,
+}
+
+fn bump(map: &mut HashMap<(u32, u32), i64>, nonzero: &mut usize, key: (u32, u32), d: i64) {
+    let e = map.entry(key).or_insert(0);
+    let was = *e != 0;
+    *e += d;
+    let is = *e != 0;
+    match (was, is) {
+        (false, true) => *nonzero += 1,
+        (true, false) => *nonzero -= 1,
+        _ => {}
+    }
+}
+
+fn bump1(map: &mut HashMap<u32, i64>, nonzero: &mut usize, key: u32, d: i64) {
+    let e = map.entry(key).or_insert(0);
+    let was = *e != 0;
+    *e += d;
+    let is = *e != 0;
+    match (was, is) {
+        (false, true) => *nonzero += 1,
+        (true, false) => *nonzero -= 1,
+        _ => {}
+    }
+}
+
+impl RootState {
+    /// Fresh root for a finish of `kind` with identity `id`.
+    pub fn new(kind: FinishKind, id: FinishId) -> Self {
+        RootState {
+            kind,
+            id,
+            inner: Mutex::new(Inner::default()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Has global termination been detected?
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn check(&self, g: &Inner) {
+        if !g.body_done {
+            return;
+        }
+        let quiescent = match self.kind {
+            FinishKind::Local => g.home_live == 0,
+            FinishKind::Async | FinishKind::Spmd => {
+                g.home_live == 0 && g.completed_remote == g.spawned_remote
+            }
+            FinishKind::Here => g.home_live == 0 && g.weight_back == g.weight_out,
+            FinishKind::Default | FinishKind::Dense => {
+                g.nonzero_matrix == 0 && g.nonzero_live == 0
+            }
+        };
+        if quiescent {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+
+    fn enforce_async_arity(&self, g: &Inner) {
+        if self.kind == FinishKind::Async && g.total_spawns > 1 {
+            panic!(
+                "FINISH_ASYNC pragma violated: {} activities spawned under a \
+                 finish that governs exactly one",
+                g.total_spawns
+            );
+        }
+    }
+
+    /// The body spawned an activity at the home place.
+    pub fn note_local_spawn(&self, home: u32) {
+        let mut g = self.inner.lock();
+        g.total_spawns += 1;
+        self.enforce_async_arity(&g);
+        match self.kind {
+            FinishKind::Default | FinishKind::Dense => {
+                let Inner {
+                    live, nonzero_live, ..
+                } = &mut *g;
+                bump1(live, nonzero_live, home, 1);
+            }
+            _ => g.home_live += 1,
+        }
+    }
+
+    /// A body-local (home) activity completed.
+    pub fn note_local_death(&self, home: u32, panic: Option<String>) {
+        let mut g = self.inner.lock();
+        if let Some(p) = panic {
+            g.panics.push(p);
+        }
+        match self.kind {
+            FinishKind::Default | FinishKind::Dense => {
+                let Inner {
+                    live, nonzero_live, ..
+                } = &mut *g;
+                bump1(live, nonzero_live, home, -1);
+            }
+            _ => {
+                debug_assert!(g.home_live > 0, "home death without spawn");
+                g.home_live -= 1;
+            }
+        }
+        self.check(&g);
+    }
+
+    /// The home place spawned an activity to remote place `dst`.
+    /// Returns the credit the activity must carry (FINISH_HERE only).
+    pub fn note_remote_spawn(&self, home: u32, dst: u32) -> u64 {
+        let mut g = self.inner.lock();
+        g.total_spawns += 1;
+        self.enforce_async_arity(&g);
+        match self.kind {
+            FinishKind::Default | FinishKind::Dense => {
+                let Inner {
+                    matrix,
+                    nonzero_matrix,
+                    ..
+                } = &mut *g;
+                bump(matrix, nonzero_matrix, (home, dst), 1);
+                0
+            }
+            FinishKind::Async | FinishKind::Spmd => {
+                g.spawned_remote += 1;
+                0
+            }
+            FinishKind::Here => {
+                g.weight_out += super::HERE_WEIGHT_UNIT as u128;
+                super::HERE_WEIGHT_UNIT
+            }
+            FinishKind::Local => {
+                panic!("FINISH_LOCAL pragma violated: remote spawn to place {dst}")
+            }
+        }
+    }
+
+    /// An activity governed by this finish arrived at the home place from
+    /// `src` (default/dense bookkeeping; weighted arrivals report at death).
+    pub fn note_home_receive(&self, home: u32, src: u32) {
+        let mut g = self.inner.lock();
+        match self.kind {
+            FinishKind::Default | FinishKind::Dense => {
+                let Inner {
+                    matrix,
+                    nonzero_matrix,
+                    live,
+                    nonzero_live,
+                    ..
+                } = &mut *g;
+                bump(matrix, nonzero_matrix, (src, home), -1);
+                bump1(live, nonzero_live, home, 1);
+            }
+            FinishKind::Here => {}
+            k => debug_assert!(false, "unexpected home receive under {k:?}"),
+        }
+    }
+
+    /// A weighted (FINISH_HERE) activity died at the home place.
+    pub fn note_home_weighted_death(&self, weight: u64, panic: Option<String>) {
+        let mut g = self.inner.lock();
+        if let Some(p) = panic {
+            g.panics.push(p);
+        }
+        g.weight_back += weight as u128;
+        self.check(&g);
+    }
+
+    /// Apply a coalesced (possibly hop-merged) delta flush (default/dense).
+    pub fn apply_deltas(&self, deltas: Deltas) {
+        let mut g = self.inner.lock();
+        let Inner {
+            matrix,
+            nonzero_matrix,
+            live,
+            nonzero_live,
+            panics,
+            ..
+        } = &mut *g;
+        for (src, dst, k) in &deltas.spawned {
+            bump(matrix, nonzero_matrix, (*src, *dst), *k as i64);
+        }
+        for (src, dst, k) in &deltas.recv {
+            bump(matrix, nonzero_matrix, (*src, *dst), -(*k as i64));
+        }
+        for (p, d) in &deltas.live {
+            bump1(live, nonzero_live, *p, *d);
+        }
+        panics.extend(deltas.panics);
+        self.check(&g);
+    }
+
+    /// Apply an SPMD/Async done-message acknowledging `completions` received
+    /// activities.
+    pub fn apply_done(&self, completions: u64, panics: Vec<String>) {
+        let mut g = self.inner.lock();
+        g.completed_remote += completions;
+        g.panics.extend(panics);
+        debug_assert!(
+            g.completed_remote <= g.spawned_remote,
+            "more completions than spawns — FINISH_{:?} pragma violated",
+            self.kind
+        );
+        self.check(&g);
+    }
+
+    /// Apply a returned credit (FINISH_HERE).
+    pub fn apply_credit(&self, weight: u64, panic: Option<String>) {
+        let mut g = self.inner.lock();
+        if let Some(p) = panic {
+            g.panics.push(p);
+        }
+        g.weight_back += weight as u128;
+        debug_assert!(g.weight_back <= g.weight_out, "credit overflow");
+        self.check(&g);
+    }
+
+    /// The finish body returned; termination may now be declared.
+    pub fn set_body_done(&self) {
+        let mut g = self.inner.lock();
+        g.body_done = true;
+        self.check(&g);
+    }
+
+    /// Drain accumulated panics (called once by the waiter after `is_done`).
+    pub fn take_panics(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.lock().panics)
+    }
+
+    /// Root-state footprint in matrix entries (for the O(n²) demonstration).
+    pub fn matrix_entries(&self) -> usize {
+        self.inner.lock().matrix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x10rt::PlaceId;
+
+    fn root(kind: FinishKind) -> RootState {
+        RootState::new(
+            kind,
+            FinishId {
+                home: PlaceId(0),
+                seq: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn empty_finish_terminates_on_body_done() {
+        let r = root(FinishKind::Default);
+        assert!(!r.is_done());
+        r.set_body_done();
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn local_spawn_blocks_until_death() {
+        let r = root(FinishKind::Default);
+        r.note_local_spawn(0);
+        r.set_body_done();
+        assert!(!r.is_done());
+        r.note_local_death(0, None);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn default_remote_roundtrip_via_flushes() {
+        // home spawns to 3; 3 receives, dies, flushes.
+        let r = root(FinishKind::Default);
+        r.note_remote_spawn(0, 3);
+        r.set_body_done();
+        assert!(!r.is_done());
+        r.apply_deltas(Deltas {
+            recv: vec![(0, 3, 1)],
+            live: vec![(3, 0)], // one receipt, one death
+            ..Deltas::default()
+        });
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn default_tolerates_receipt_before_spawn_report() {
+        // Place 2 spawned to place 3; place 3's flush of the receipt+death
+        // may arrive before place 2's spawn report — here: before.
+        let r = root(FinishKind::Default);
+        r.note_remote_spawn(0, 2);
+        r.set_body_done();
+        // 3's report arrives first: matrix (2,3) goes negative.
+        r.apply_deltas(Deltas {
+            recv: vec![(2, 3, 1)],
+            live: vec![(3, 0)],
+            ..Deltas::default()
+        });
+        assert!(!r.is_done());
+        // 2's report: receipt of home's spawn, its own spawn to 3, death.
+        r.apply_deltas(Deltas {
+            recv: vec![(0, 2, 1)],
+            spawned: vec![(2, 3, 1)],
+            live: vec![(2, 0)],
+            ..Deltas::default()
+        });
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn spmd_counts_exact_done_messages() {
+        let r = root(FinishKind::Spmd);
+        for d in 1..=4 {
+            r.note_remote_spawn(0, d);
+        }
+        r.set_body_done();
+        for _ in 0..3 {
+            r.apply_done(1, vec![]);
+            assert!(!r.is_done());
+        }
+        r.apply_done(1, vec![]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn spmd_batched_done() {
+        let r = root(FinishKind::Spmd);
+        for _ in 0..5 {
+            r.note_remote_spawn(0, 1);
+        }
+        r.set_body_done();
+        r.apply_done(5, vec![]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn here_credits_balance() {
+        let r = root(FinishKind::Here);
+        let w = r.note_remote_spawn(0, 1);
+        r.set_body_done();
+        // remote activity splits credit with its response spawn
+        let child = w / 2;
+        r.apply_credit(w - child, None);
+        assert!(!r.is_done());
+        r.note_home_weighted_death(child, None);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "FINISH_ASYNC")]
+    fn async_rejects_second_spawn() {
+        let r = root(FinishKind::Async);
+        r.note_remote_spawn(0, 1);
+        r.note_local_spawn(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FINISH_LOCAL")]
+    fn local_rejects_remote_spawn() {
+        let r = root(FinishKind::Local);
+        r.note_remote_spawn(0, 1);
+    }
+
+    #[test]
+    fn panics_collected_from_all_paths() {
+        let r = root(FinishKind::Default);
+        r.note_local_spawn(0);
+        r.note_local_death(0, Some("boom-local".into()));
+        r.apply_deltas(Deltas {
+            panics: vec!["boom-remote".into()],
+            ..Deltas::default()
+        });
+        r.set_body_done();
+        assert!(r.is_done());
+        let p = r.take_panics();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn matrix_entries_reflect_footprint() {
+        let r = root(FinishKind::Default);
+        for d in 1..=10 {
+            r.note_remote_spawn(0, d);
+        }
+        assert_eq!(r.matrix_entries(), 10);
+    }
+}

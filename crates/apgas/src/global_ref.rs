@@ -1,0 +1,134 @@
+//! Global references and place-local handles.
+//!
+//! `GlobalRef(obj)` computes a reference that "can be passed freely from
+//! place to place but only dereferenced at the home place" (§2.1). X10's
+//! type checker enforces the home-only dereference statically; here it is a
+//! runtime check with the same error condition.
+//!
+//! `PlaceLocalHandle` is the standard-library companion: one logical handle
+//! resolving to an independent per-place object, initialized by a place-group
+//! broadcast.
+
+use crate::ctx::Ctx;
+use crate::place_group::PlaceGroup;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use x10rt::PlaceId;
+
+/// A reference to an object living at a specific place.
+///
+/// Cheap to copy and to capture in spawned closures; dereferencing
+/// ([`GlobalRef::get`]) is only legal at [`GlobalRef::home`].
+pub struct GlobalRef<T: Send + Sync + 'static> {
+    home: PlaceId,
+    key: u64,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> Clone for GlobalRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Send + Sync + 'static> Copy for GlobalRef<T> {}
+
+impl<T: Send + Sync + 'static> GlobalRef<T> {
+    /// Register `value` at the current place and return a global reference
+    /// to it.
+    pub fn new(ctx: &Ctx, value: T) -> Self {
+        let key = ctx.next_global_id();
+        ctx.register_object(key, Arc::new(value));
+        GlobalRef {
+            home: ctx.here(),
+            key,
+            _m: PhantomData,
+        }
+    }
+
+    /// The place where the referent lives.
+    pub fn home(&self) -> PlaceId {
+        self.home
+    }
+
+    /// Dereference at the home place.
+    ///
+    /// # Panics
+    /// Panics when called away from home (X10 rejects this statically) or
+    /// after [`GlobalRef::free`].
+    pub fn get(&self, ctx: &Ctx) -> Arc<T> {
+        assert_eq!(
+            ctx.here(),
+            self.home,
+            "GlobalRef dereferenced at {} but its home is {} — X10's type \
+             checker rejects this statically",
+            ctx.here(),
+            self.home
+        );
+        ctx.lookup_object(self.key)
+            .unwrap_or_else(|| panic!("GlobalRef {} already freed", self.key))
+            .downcast::<T>()
+            .expect("GlobalRef type confusion")
+    }
+
+    /// Drop the registration (the object is freed once in-flight `Arc`s go).
+    pub fn free(&self, ctx: &Ctx) {
+        assert_eq!(ctx.here(), self.home, "free() away from home");
+        ctx.remove_object(self.key);
+    }
+}
+
+/// A handle resolving to one independent `T` per place.
+pub struct PlaceLocalHandle<T: Send + Sync + 'static> {
+    key: u64,
+    _m: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> Clone for PlaceLocalHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Send + Sync + 'static> Copy for PlaceLocalHandle<T> {}
+
+impl<T: Send + Sync + 'static> PlaceLocalHandle<T> {
+    /// Construct the per-place objects by evaluating `init` at every place
+    /// of `group` (tree broadcast) and return the handle. Collective:
+    /// returns once every place is initialized.
+    pub fn init(
+        ctx: &Ctx,
+        group: &PlaceGroup,
+        init: impl Fn(&Ctx) -> T + Send + Sync + 'static,
+    ) -> Self {
+        let key = ctx.next_global_id();
+        let initf = Arc::new(init);
+        group.broadcast(ctx, move |ctx| {
+            ctx.register_object(key, Arc::new(initf(ctx)));
+        });
+        PlaceLocalHandle {
+            key,
+            _m: PhantomData,
+        }
+    }
+
+    /// The current place's instance.
+    ///
+    /// # Panics
+    /// Panics at places where the handle was never initialized.
+    pub fn get(&self, ctx: &Ctx) -> Arc<T> {
+        ctx.lookup_object(self.key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "PlaceLocalHandle {} not initialized at {}",
+                    self.key,
+                    ctx.here()
+                )
+            })
+            .downcast::<T>()
+            .expect("PlaceLocalHandle type confusion")
+    }
+
+    /// Remove this place's instance (call from each place to free).
+    pub fn free_local(&self, ctx: &Ctx) {
+        ctx.remove_object(self.key);
+    }
+}

@@ -1,0 +1,114 @@
+//! Place groups with scalable broadcast (§3.2).
+//!
+//! Iterating sequentially over thousands of places to spawn near-identical
+//! activities wastes time and floods the network out of one place. The
+//! paper's `PlaceGroup` broadcasts over a **spawning tree**, parallelizing
+//! and distributing task-creation overhead, with completion detected by
+//! nested FINISH_SPMD blocks. [`PlaceGroup::broadcast`] is that algorithm;
+//! [`PlaceGroup::broadcast_flat`] is the naive sequential loop, kept as the
+//! ablation baseline.
+
+use crate::ctx::Ctx;
+use crate::finish::FinishKind;
+use std::sync::Arc;
+use x10rt::PlaceId;
+
+/// An ordered set of places.
+#[derive(Clone)]
+pub struct PlaceGroup {
+    places: Arc<Vec<PlaceId>>,
+}
+
+impl PlaceGroup {
+    /// A group over an explicit place list.
+    pub fn new(places: Vec<PlaceId>) -> Self {
+        assert!(!places.is_empty(), "place group cannot be empty");
+        PlaceGroup {
+            places: Arc::new(places),
+        }
+    }
+
+    /// The group of all places.
+    pub fn world(ctx: &Ctx) -> Self {
+        PlaceGroup::new(ctx.places().collect())
+    }
+
+    /// Number of member places.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Never true (groups are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Member places in order.
+    pub fn iter(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        self.places.iter().copied()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: PlaceId) -> bool {
+        self.places.contains(&p)
+    }
+
+    /// Run `f` once at every member place via a binary spawning tree
+    /// (depth ⌈log₂ n⌉, out-degree ≤ 2 per place) and wait for global
+    /// completion through nested FINISH_SPMD blocks.
+    pub fn broadcast(&self, ctx: &Ctx, f: impl Fn(&Ctx) + Send + Sync + 'static) {
+        let f = Arc::new(f);
+        let places = self.places.clone();
+        let n = places.len();
+        ctx.finish_pragma(FinishKind::Spmd, |c| {
+            let first = places[0];
+            c.at_async(first, move |rc| subtree(rc, places, 0, n, f));
+        });
+    }
+
+    /// The naive broadcast: one place spawns sequentially to every member.
+    /// Kept for the `ablation_bcast` benchmark — at scale this floods the
+    /// caller's network interface (out-degree n).
+    pub fn broadcast_flat(&self, ctx: &Ctx, f: impl Fn(&Ctx) + Send + Sync + 'static) {
+        let f = Arc::new(f);
+        ctx.finish_pragma(FinishKind::Spmd, |c| {
+            for p in self.iter() {
+                let f = f.clone();
+                c.at_async(p, move |rc| f(rc));
+            }
+        });
+    }
+}
+
+/// Run `f` at `places[lo]` (the caller is already there) and fan the range
+/// `[lo, hi)` out to two children, each governed by a nested FINISH_SPMD.
+fn subtree<F: Fn(&Ctx) + Send + Sync + 'static>(
+    ctx: &Ctx,
+    places: Arc<Vec<PlaceId>>,
+    lo: usize,
+    hi: usize,
+    f: Arc<F>,
+) {
+    debug_assert_eq!(ctx.here(), places[lo]);
+    let span = hi - lo;
+    if span <= 1 {
+        f(ctx);
+        return;
+    }
+    // Children cover [lo+1, mid) and [mid, hi). They are dispatched
+    // *before* f runs locally: broadcast bodies may contain collectives
+    // that block until every place has started, so the fan-out must not
+    // wait behind f.
+    let mid = lo + 1 + (span - 1) / 2;
+    ctx.finish_pragma(FinishKind::Spmd, |c| {
+        if mid > lo + 1 {
+            let (pl, ff) = (places.clone(), f.clone());
+            c.at_async(places[lo + 1], move |rc| subtree(rc, pl, lo + 1, mid, ff));
+        }
+        if hi > mid {
+            let (pl, ff) = (places.clone(), f.clone());
+            c.at_async(places[mid], move |rc| subtree(rc, pl, mid, hi, ff));
+        }
+        f(c);
+    });
+}

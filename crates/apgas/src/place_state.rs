@@ -1,0 +1,92 @@
+//! Per-place shared state: the activity queue, finish tables, registries and
+//! the worker wake-up machinery.
+
+use crate::clock::ClockTables;
+use crate::finish::dense::DenseAggregator;
+use crate::finish::proxy::Proxy;
+use crate::finish::root::RootState;
+use crate::finish::{Attach, FinishId};
+use crate::team::TeamInbox;
+use crate::worker::TaskFn;
+use crossbeam_deque::Injector;
+use parking_lot::{Condvar, Mutex, ReentrantMutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Arc;
+use x10rt::PlaceId;
+
+/// A schedulable activity: its body plus its termination-detection
+/// attachment.
+pub struct Activity {
+    /// The closure to run.
+    pub body: TaskFn,
+    /// How `finish` tracks it.
+    pub attach: Attach,
+}
+
+/// All state belonging to one place.
+pub struct PlaceState {
+    /// This place's id.
+    pub id: PlaceId,
+    /// Ready activities (FIFO injector; workers of this place pop from it).
+    pub queue: Injector<Activity>,
+    /// Condvar protocol for idle workers.
+    pub wake_mutex: Mutex<()>,
+    /// Signalled whenever a message or activity arrives.
+    pub wake_cv: Condvar,
+    /// Number of workers currently parked (wake fast-path check).
+    pub sleepers: AtomicUsize,
+    /// Finish roots homed at this place, by home-local sequence number.
+    pub roots: Mutex<HashMap<u64, Arc<RootState>>>,
+    /// Source of home-local finish sequence numbers.
+    pub next_finish_seq: AtomicU64,
+    /// Finish proxies for remotely-homed finishes with state at this place.
+    pub proxies: Mutex<HashMap<FinishId, Proxy>>,
+    /// FINISH_DENSE hop-aggregation buffer (this place acting as a master).
+    pub dense_agg: Mutex<DenseAggregator>,
+    /// Object registry backing `GlobalRef` / `PlaceLocalHandle`.
+    pub registry: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    /// Team collective state.
+    pub team: Mutex<TeamInbox>,
+    /// Clock (distributed barrier) state.
+    pub clocks: Mutex<ClockTables>,
+    /// The place-wide lock implementing `atomic`/`when` (reentrant so nested
+    /// atomic sections don't self-deadlock).
+    pub atomic_lock: ReentrantMutex<()>,
+}
+
+impl PlaceState {
+    /// Fresh state for place `id`.
+    pub fn new(id: PlaceId) -> Self {
+        PlaceState {
+            id,
+            queue: Injector::new(),
+            wake_mutex: Mutex::new(()),
+            wake_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            roots: Mutex::new(HashMap::new()),
+            next_finish_seq: AtomicU64::new(1),
+            proxies: Mutex::new(HashMap::new()),
+            dense_agg: Mutex::new(DenseAggregator::new()),
+            registry: Mutex::new(HashMap::new()),
+            team: Mutex::new(TeamInbox::default()),
+            clocks: Mutex::new(ClockTables::default()),
+            atomic_lock: ReentrantMutex::new(()),
+        }
+    }
+
+    /// Wake any parked worker of this place.
+    pub fn wake(&self) {
+        if self.sleepers.load(std::sync::atomic::Ordering::Acquire) > 0 {
+            let _g = self.wake_mutex.lock();
+            self.wake_cv.notify_all();
+        }
+    }
+
+    /// Enqueue an activity and wake a worker.
+    pub fn enqueue(&self, act: Activity) {
+        self.queue.push(act);
+        self.wake();
+    }
+}

@@ -1,0 +1,126 @@
+//! Global rails: distributed arrays with RDMA transfer — X10's
+//! `Array.asyncCopy` and the Torrent "GUPS" update (§3.3).
+//!
+//! A [`GlobalRail`] wraps a congruent (registered) array. Because every
+//! place allocates its rails in the same order, a place can address the
+//! peer instance of its own rail at any other place without communication,
+//! which is what `async_copy_to`/`remote_xor` exploit.
+//!
+//! Fidelity note: `asyncCopy` on real hardware overlaps with computation;
+//! in this single-address-space reproduction the copy completes before the
+//! call returns, but it is still performed *initiator-side* (the
+//! destination's worker never runs a task for it) and its bytes are charged
+//! to the RDMA traffic class, so protocol structure and traffic accounting
+//! match the paper.
+
+use crate::ctx::Ctx;
+use x10rt::rdma;
+use x10rt::{CongruentArray, PlaceId, Pod, RemoteAddr, SegId};
+
+/// A registered, congruent, RDMA-able array owned by the current place.
+pub struct GlobalRail<T: Pod> {
+    arr: CongruentArray<T>,
+}
+
+impl<T: Pod> GlobalRail<T> {
+    /// Allocate a zeroed rail of `len` elements at the current place.
+    ///
+    /// Collective discipline: to use peer addressing, every place must
+    /// allocate its rails in the same order (the congruence contract).
+    pub fn new(ctx: &Ctx, len: usize) -> Self {
+        GlobalRail {
+            arr: ctx.congruent_alloc(len),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.arr.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Segment id (identical across places for congruent allocations).
+    pub fn id(&self) -> SegId {
+        self.arr.id()
+    }
+
+    /// Local elements (RDMA race discipline applies — see `x10rt::segment`).
+    pub fn as_slice(&self) -> &[T] {
+        self.arr.as_slice()
+    }
+
+    /// Local elements, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.arr.as_mut_slice()
+    }
+
+    /// One-sided copy of `len` elements from this rail (starting at
+    /// `src_off`) into the congruent peer rail at `dst_place` (starting at
+    /// `dst_off`) — `Array.asyncCopy(src, ..., remoteDst, ...)`.
+    pub fn async_copy_to(
+        &self,
+        ctx: &Ctx,
+        src_off: usize,
+        dst_place: PlaceId,
+        dst_off: usize,
+        len: usize,
+    ) {
+        let bytes = len * std::mem::size_of::<T>();
+        let src = &self.as_slice()[src_off..src_off + len];
+        // SAFETY: T is Pod; reinterpreting its memory as bytes is sound.
+        let raw =
+            unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
+        let dst = RemoteAddr::new(
+            dst_place.0,
+            self.arr.id(),
+            dst_off * std::mem::size_of::<T>(),
+        );
+        rdma::put(ctx.seg_table(), dst, raw);
+        ctx.charge_rdma(dst_place, bytes);
+    }
+
+    /// One-sided fetch of `len` elements from the congruent peer rail at
+    /// `src_place` into this rail.
+    pub fn async_copy_from(
+        &mut self,
+        ctx: &Ctx,
+        src_place: PlaceId,
+        src_off: usize,
+        dst_off: usize,
+        len: usize,
+    ) {
+        let bytes = len * std::mem::size_of::<T>();
+        let src = RemoteAddr::new(
+            src_place.0,
+            self.arr.id(),
+            src_off * std::mem::size_of::<T>(),
+        );
+        let dst = &mut self.as_mut_slice()[dst_off..dst_off + len];
+        // SAFETY: T is Pod.
+        let raw =
+            unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
+        rdma::get(ctx.seg_table(), src, raw);
+        ctx.charge_rdma(src_place, bytes);
+    }
+}
+
+impl GlobalRail<u64> {
+    /// Torrent "GUPS": atomically XOR word `word` of the congruent peer
+    /// rail at `place` with `value`, without involving the remote CPU.
+    pub fn remote_xor(&self, ctx: &Ctx, place: PlaceId, word: usize, value: u64) -> u64 {
+        let prev = rdma::fetch_xor_u64(ctx.seg_table(), place.0, self.arr.id(), word, value);
+        ctx.charge_rdma(place, 16);
+        prev
+    }
+
+    /// Remote atomic add on the congruent peer rail.
+    pub fn remote_add(&self, ctx: &Ctx, place: PlaceId, word: usize, value: u64) -> u64 {
+        let prev = rdma::fetch_add_u64(ctx.seg_table(), place.0, self.arr.id(), word, value);
+        ctx.charge_rdma(place, 16);
+        prev
+    }
+}

@@ -1,0 +1,164 @@
+//! Runtime construction, the main activity, and shutdown.
+
+use crate::config::Config;
+use crate::ctx::Ctx;
+use crate::finish::Attach;
+use crate::place_state::{Activity, PlaceState};
+use crate::worker::{TaskFn, Worker};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use x10rt::{CongruentAllocator, LocalTransport, NetStats, PlaceId, SegmentTable, Topology, Transport};
+
+/// Shared state of one runtime instance (places, transport, allocators).
+pub struct Global {
+    /// Configuration the runtime was built with.
+    pub cfg: Config,
+    /// Place→host topology.
+    pub topo: Topology,
+    /// The transport connecting all places.
+    pub transport: Arc<LocalTransport>,
+    /// Per-place state, indexed by place id.
+    pub places: Vec<Arc<PlaceState>>,
+    /// Registered-segment table (RDMA).
+    pub seg_table: Arc<SegmentTable>,
+    /// Congruent memory allocator.
+    pub congruent: CongruentAllocator,
+    /// Set to stop all worker loops.
+    pub shutdown: AtomicBool,
+    /// Runtime-unique id source (teams, clocks, global refs).
+    pub ids: AtomicU64,
+    /// Panics raised by uncounted activities (no finish to deliver them to).
+    pub uncounted_panics: Mutex<Vec<String>>,
+}
+
+/// An APGAS runtime: `cfg.places` places, each with its own scheduler
+/// thread(s), connected by an in-process X10RT transport.
+///
+/// The runtime is reusable: [`Runtime::run`] can be called repeatedly (the
+/// benchmark harness runs many rounds on one runtime). Dropping the runtime
+/// stops and joins all workers.
+pub struct Runtime {
+    g: Arc<Global>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Build a runtime and start its worker threads.
+    pub fn new(cfg: Config) -> Self {
+        assert!(cfg.places > 0, "need at least one place");
+        assert!(
+            cfg.places <= u32::MAX as usize,
+            "place ids are 32-bit"
+        );
+        let topo = Topology::new(cfg.places, cfg.places_per_host);
+        let transport = Arc::new(LocalTransport::new(cfg.places));
+        let places: Vec<Arc<PlaceState>> = (0..cfg.places)
+            .map(|i| Arc::new(PlaceState::new(PlaceId(i as u32))))
+            .collect();
+        for p in &places {
+            let ps = p.clone();
+            transport.register_waker(p.id, Arc::new(move || ps.wake()));
+        }
+        let seg_table = Arc::new(SegmentTable::new());
+        let g = Arc::new(Global {
+            congruent: CongruentAllocator::new(cfg.places, seg_table.clone()),
+            topo,
+            transport,
+            places,
+            seg_table,
+            shutdown: AtomicBool::new(false),
+            ids: AtomicU64::new(1),
+            uncounted_panics: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let mut handles = Vec::new();
+        for i in 0..g.cfg.places {
+            for w in 0..g.cfg.workers_per_place {
+                let g2 = g.clone();
+                let place = g.places[i].clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("place-{i}.{w}"))
+                        // Help-first waiting nests activity frames on the
+                        // worker stack; give it room.
+                        .stack_size(16 * 1024 * 1024)
+                        .spawn(move || {
+                            let here = place.id;
+                            Worker {
+                                g: g2,
+                                place,
+                                here,
+                            }
+                            .main_loop();
+                        })
+                        .expect("spawn worker thread"),
+                );
+            }
+        }
+        Runtime {
+            g,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Run `f` as the main activity at place 0 (under an implicit root
+    /// `finish`, as in X10) and return its result. Panics from `f` or from
+    /// any activity it transitively governs propagate to the caller.
+    pub fn run<R: Send + 'static>(&self, f: impl FnOnce(&Ctx) -> R + Send + 'static) -> R {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let body: TaskFn = Box::new(move |ctx: &Ctx| {
+            let result = catch_unwind(AssertUnwindSafe(|| ctx.finish(|c| f(c))));
+            let _ = tx.send(result);
+        });
+        self.g.places[0].enqueue(Activity {
+            body,
+            attach: Attach::Uncounted,
+        });
+        match rx.recv().expect("runtime workers terminated unexpectedly") {
+            Ok(r) => r,
+            Err(e) => resume_unwind(e),
+        }
+    }
+
+    /// Number of places.
+    pub fn places(&self) -> usize {
+        self.g.cfg.places
+    }
+
+    /// The place→host topology.
+    pub fn topology(&self) -> &Topology {
+        &self.g.topo
+    }
+
+    /// Network statistics (shared live counters).
+    pub fn net_stats(&self) -> &NetStats {
+        self.g.transport.stats()
+    }
+
+    /// Reset the network statistics (between benchmark phases).
+    pub fn reset_net_stats(&self) {
+        self.g.transport.stats().reset();
+    }
+
+    /// Drain panics recorded by uncounted activities.
+    pub fn take_uncounted_panics(&self) -> Vec<String> {
+        std::mem::take(&mut self.g.uncounted_panics.lock())
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.g
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
+        for p in &self.g.places {
+            p.wake();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The per-place scheduler: message pumping, activity execution, and
+//! **help-first waiting**.
+//!
+//! Every place runs one (or more) worker threads. A worker alternates
+//! between draining its transport mailbox (converting task messages into
+//! queued activities and handling termination-control traffic inline) and
+//! executing queued activities. Blocking constructs — a `finish` waiting
+//! for termination, an `at` waiting for its round trip, a team operation
+//! waiting for peers — never park the thread while work is available:
+//! [`Worker::wait_until`] keeps pumping messages and running activities
+//! until the condition holds. With one worker per place (the paper's
+//! configuration) this is what makes the runtime deadlock-free: the thread
+//! that waits is the same thread that processes the messages that satisfy
+//! the wait.
+
+use crate::ctx::Ctx;
+use crate::finish::dense::next_hop;
+use crate::finish::proxy::{Proxy, ProxyEmit};
+use crate::finish::root::RootState;
+use crate::finish::{Attach, FinishKind, FinishMsg, FinishRef};
+use crate::place_state::{Activity, PlaceState};
+use crate::runtime::Global;
+use crate::team::TeamWire;
+use crate::clock::ClockMsg;
+use crossbeam_deque::Steal;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use x10rt::{Envelope, MsgClass, PlaceId, Transport};
+
+/// The closure type of an activity body.
+pub type TaskFn = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+/// Wire payload of a spawned activity.
+pub struct SpawnMsg {
+    /// Termination-detection attachment (already accounted at the sender).
+    pub attach: Attach,
+    /// The body.
+    pub body: TaskFn,
+}
+
+
+/// A worker thread of one place.
+pub struct Worker {
+    /// Shared runtime state.
+    pub g: Arc<Global>,
+    /// This worker's place.
+    pub place: Arc<PlaceState>,
+    /// Shorthand for `place.id`.
+    pub here: PlaceId,
+}
+
+/// Convert a panic payload into a printable message.
+pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Worker {
+    /// Scheduler loop: run until global shutdown.
+    pub fn main_loop(&self) {
+        while !self.g.shutdown.load(Ordering::Acquire) {
+            if !self.run_one() {
+                self.park_brief();
+            }
+        }
+    }
+
+    /// Pump messages and run at most one activity. Returns whether any
+    /// progress was made.
+    pub fn run_one(&self) -> bool {
+        let handled = self.drain_messages(256);
+        if let Some(act) = self.pop_activity() {
+            self.execute(act);
+            return true;
+        }
+        handled > 0
+    }
+
+    /// Help-first wait: keep the place making progress until `cond` holds.
+    pub fn wait_until(&self, cond: &dyn Fn() -> bool) {
+        while !cond() {
+            if !self.run_one() {
+                self.park_brief();
+            }
+        }
+    }
+
+    fn pop_activity(&self) -> Option<Activity> {
+        loop {
+            match self.place.queue.steal() {
+                Steal::Success(a) => return Some(a),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
+    pub(crate) fn park_brief_pub(&self) {
+        self.park_brief()
+    }
+
+    fn park_brief(&self) {
+        let mut guard = self.place.wake_mutex.lock();
+        self.place.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.place.queue.is_empty()
+            && self.g.transport.queue_len(self.here) == 0
+            && !self.g.shutdown.load(Ordering::Acquire)
+        {
+            self.place
+                .wake_cv
+                .wait_for(&mut guard, self.g.cfg.park_timeout);
+        }
+        self.place.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Run one activity to completion and report its termination.
+    pub fn execute(&self, act: Activity) {
+        let ctx = Ctx::new(self, act.attach);
+        let result = catch_unwind(AssertUnwindSafe(|| (act.body)(&ctx)));
+        let panic = result.err().map(panic_message);
+        ctx.finalize_activity();
+        let attach = ctx.take_attach();
+        self.on_death(attach, panic);
+    }
+
+    // ------------------------------------------------------------------
+    // Message pump
+    // ------------------------------------------------------------------
+
+    fn drain_messages(&self, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.g.transport.try_recv(self.here) {
+                Some(env) => {
+                    self.handle_envelope(env);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        self.forward_dense();
+        n
+    }
+
+    fn handle_envelope(&self, env: Envelope) {
+        let Envelope {
+            from,
+            class,
+            payload,
+            ..
+        } = env;
+        match class {
+            MsgClass::Task | MsgClass::Steal | MsgClass::Rdma => {
+                let msg = payload
+                    .downcast::<SpawnMsg>()
+                    .expect("task-class payload must be a SpawnMsg");
+                self.register_receipt(&msg.attach, from.0);
+                self.place.enqueue(Activity {
+                    body: msg.body,
+                    attach: msg.attach,
+                });
+            }
+            MsgClass::FinishCtl => {
+                let msg = payload
+                    .downcast::<FinishMsg>()
+                    .expect("finish-ctl payload must be a FinishMsg");
+                self.handle_finish_msg(*msg);
+            }
+            MsgClass::Team => {
+                let msg = payload
+                    .downcast::<TeamWire>()
+                    .expect("team payload must be a TeamWire");
+                self.place.team.lock().deliver(*msg);
+            }
+            MsgClass::Clock => {
+                let msg = payload
+                    .downcast::<ClockMsg>()
+                    .expect("clock payload must be a ClockMsg");
+                crate::clock::handle_msg(self, *msg);
+            }
+            MsgClass::System => { /* shutdown travels via the flag */ }
+        }
+    }
+
+    fn handle_finish_msg(&self, msg: FinishMsg) {
+        match msg {
+            FinishMsg::Flush { fin, deltas } => {
+                self.root_of(&fin).apply_deltas(deltas);
+            }
+            FinishMsg::DenseHop { fin, deltas } => {
+                if fin.id.home == self.here {
+                    self.root_of(&fin).apply_deltas(deltas);
+                } else {
+                    self.place.dense_agg.lock().absorb(fin, deltas);
+                }
+            }
+            FinishMsg::Done {
+                fin,
+                completions,
+                panics,
+            } => {
+                self.root_of(&fin).apply_done(completions, panics);
+            }
+            FinishMsg::CreditReturn { fin, weight, panic } => {
+                self.root_of(&fin).apply_credit(weight, panic);
+            }
+        }
+    }
+
+    /// Forward (hop-merged) dense control traffic toward finish homes.
+    fn forward_dense(&self) {
+        let pending = {
+            let mut agg = self.place.dense_agg.lock();
+            if !agg.has_pending() {
+                return;
+            }
+            agg.drain()
+        };
+        for (fin, deltas) in pending {
+            if fin.id.home == self.here {
+                self.root_of(&fin).apply_deltas(deltas);
+            } else {
+                let hop = next_hop(&self.g.topo, self.here, fin.id.home)
+                    .expect("non-home dense delta must have a next hop");
+                self.send_finish_msg(hop, deltas.wire_size(), FinishMsg::DenseHop { fin, deltas });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Termination accounting hooks
+    // ------------------------------------------------------------------
+
+    /// Look up a finish root homed at this place.
+    pub fn root_of(&self, fin: &FinishRef) -> Arc<RootState> {
+        debug_assert_eq!(fin.id.home, self.here);
+        self.place
+            .roots
+            .lock()
+            .get(&fin.id.seq)
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "finish {:?} not (or no longer) registered at its home — protocol bug",
+                    fin.id
+                )
+            })
+    }
+
+    /// Run `f` against the proxy for `fin` at this (non-home) place, then
+    /// transmit whatever the proxy asks for.
+    pub fn with_proxy(&self, fin: FinishRef, f: impl FnOnce(&mut Proxy) -> ProxyEmit) {
+        debug_assert_ne!(fin.id.home, self.here);
+        let emit = {
+            let mut proxies = self.place.proxies.lock();
+            let proxy = proxies
+                .entry(fin.id)
+                .or_insert_with(|| Proxy::new(fin, self.here.0));
+            let emit = f(proxy);
+            if proxy.is_idle() {
+                proxies.remove(&fin.id);
+            }
+            emit
+        };
+        self.transmit_emit(fin, emit);
+    }
+
+    fn transmit_emit(&self, fin: FinishRef, emit: ProxyEmit) {
+        match emit {
+            ProxyEmit::None => {}
+            ProxyEmit::Flush(deltas) => {
+                let sz = deltas.wire_size();
+                self.send_finish_msg(fin.id.home, sz, FinishMsg::Flush { fin, deltas });
+            }
+            ProxyEmit::DenseFlush(deltas) => {
+                let hop = next_hop(&self.g.topo, self.here, fin.id.home)
+                    .expect("dense flush at home should be direct");
+                let sz = deltas.wire_size();
+                self.send_finish_msg(hop, sz, FinishMsg::DenseHop { fin, deltas });
+            }
+            ProxyEmit::Done {
+                completions,
+                panics,
+            } => {
+                self.send_finish_msg(
+                    fin.id.home,
+                    16 + panics.iter().map(String::len).sum::<usize>(),
+                    FinishMsg::Done {
+                        fin,
+                        completions,
+                        panics,
+                    },
+                );
+            }
+        }
+    }
+
+    fn send_finish_msg(&self, to: PlaceId, body_bytes: usize, msg: FinishMsg) {
+        self.g.transport.send(Envelope::new(
+            self.here,
+            to,
+            MsgClass::FinishCtl,
+            body_bytes,
+            Box::new(msg),
+        ));
+    }
+
+    /// Account for an activity arriving at this place from `src`.
+    fn register_receipt(&self, attach: &Attach, src: u32) {
+        let Attach::Counted { fin, .. } = attach else {
+            return;
+        };
+        if fin.id.home == self.here {
+            match fin.kind {
+                FinishKind::Default | FinishKind::Dense => {
+                    self.root_of(fin).note_home_receive(self.here.0, src);
+                }
+                FinishKind::Here => {}
+                k => debug_assert!(false, "unexpected home receipt under {k:?}"),
+            }
+        } else {
+            match fin.kind {
+                FinishKind::Here => {}
+                _ => self.with_proxy(*fin, |p| {
+                    p.on_receive(src);
+                    ProxyEmit::None
+                }),
+            }
+        }
+    }
+
+    /// Account for an activity's completion.
+    pub fn on_death(&self, attach: Attach, panic: Option<String>) {
+        match attach {
+            Attach::Uncounted => {
+                if let Some(p) = panic {
+                    eprintln!("[apgas] uncounted activity panicked at {}: {p}", self.here);
+                    self.g.uncounted_panics.lock().push(p);
+                }
+            }
+            Attach::Counted {
+                fin,
+                weight,
+                remote,
+            } => {
+                if fin.id.home == self.here {
+                    let root = self.root_of(&fin);
+                    if fin.kind == FinishKind::Here && weight > 0 {
+                        root.note_home_weighted_death(weight, panic);
+                    } else {
+                        root.note_local_death(self.here.0, panic);
+                    }
+                } else if fin.kind == FinishKind::Here {
+                    debug_assert!(weight > 0, "remote HERE activity without credit");
+                    self.send_finish_msg(
+                        fin.id.home,
+                        16,
+                        FinishMsg::CreditReturn { fin, weight, panic },
+                    );
+                } else {
+                    self.with_proxy(fin, |p| p.on_death(remote, panic));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Spawn transmission (called from Ctx)
+    // ------------------------------------------------------------------
+
+    /// Ship an activity to `dst` (accounting already done by the caller).
+    pub fn send_spawn(&self, dst: PlaceId, attach: Attach, body: TaskFn, class: MsgClass) {
+        let body_bytes = std::mem::size_of_val(&*body) + std::mem::size_of::<Attach>();
+        self.g.transport.send(Envelope::new(
+            self.here,
+            dst,
+            class,
+            body_bytes,
+            Box::new(SpawnMsg { attach, body }),
+        ));
+    }
+}

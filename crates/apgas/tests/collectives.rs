@@ -1,0 +1,412 @@
+//! Tests for Teams, Clocks, PlaceGroups, PlaceLocalHandles and GlobalRails.
+
+use apgas::{Clock, Config, GlobalRail, PlaceGroup, PlaceId, PlaceLocalHandle, Runtime, Team, TeamOp};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn rt(places: usize) -> Runtime {
+    Runtime::new(Config::new(places).places_per_host(4))
+}
+
+/// Run one SPMD activity per place under a finish; the closure receives the
+/// ctx of each place.
+fn spmd(rt: &Runtime, f: impl Fn(&apgas::Ctx) + Send + Sync + 'static) {
+    rt.run(move |ctx| {
+        PlaceGroup::world(ctx).broadcast(ctx, f);
+    });
+}
+
+#[test]
+fn team_barrier_synchronizes_phases() {
+    let rt = rt(6);
+    let order: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(vec![]));
+    let o = order.clone();
+    rt.run(move |ctx| {
+        let team = Team::world(ctx);
+        let o = o.clone();
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            for phase in 0..3u32 {
+                o.lock().push((phase, c.here().0));
+                team.barrier(c);
+            }
+        });
+    });
+    let log = order.lock();
+    assert_eq!(log.len(), 18);
+    // Every place must log phase k before any place logs phase k+1.
+    for w in log.windows(2) {
+        assert!(w[1].0 >= w[0].0 || w[1].0 + 1 == w[0].0 + 1); // phases only move forward per place
+    }
+    let mut last_of_phase = [0usize; 3];
+    let mut first_of_phase = [usize::MAX; 3];
+    for (i, &(ph, _)) in log.iter().enumerate() {
+        last_of_phase[ph as usize] = i;
+        first_of_phase[ph as usize] = first_of_phase[ph as usize].min(i);
+    }
+    assert!(last_of_phase[0] < first_of_phase[1] + 6); // barrier bounds overlap
+    assert!(last_of_phase[0] < first_of_phase[2]);
+}
+
+#[test]
+fn team_broadcast_from_every_root() {
+    let rt = rt(5);
+    for root in 0..5usize {
+        let rt_sum = Arc::new(AtomicU64::new(0));
+        let s = rt_sum.clone();
+        rt.run(move |ctx| {
+            let team = Team::world(ctx);
+            let s = s.clone();
+            PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+                let me = team.rank(c);
+                let v = team.broadcast(c, root, (me == root).then_some(1000 + root as u64));
+                s.fetch_add(v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(rt_sum.load(Ordering::Relaxed), 5 * (1000 + root as u64));
+    }
+}
+
+#[test]
+fn team_allreduce_sum_and_maxloc() {
+    let rt = rt(7);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        let ok = Arc::new(AtomicUsize::new(0));
+        let okc = ok.clone();
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = c.here().0 as u64;
+            let sum = team.allreduce(c, me, |a, b| a + b);
+            assert_eq!(sum, (0..7).sum::<u64>());
+            let (mx, loc) = team.allreduce_maxloc(c, me as f64 * 1.5, me);
+            assert_eq!(mx, 9.0);
+            assert_eq!(loc, 6);
+            okc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
+    });
+}
+
+#[test]
+fn team_allreduce_vec_elementwise() {
+    let rt = rt(4);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = c.here().0 as f64;
+            let v = team.allreduce_vec(c, vec![me, -me, 1.0], TeamOp::Add);
+            assert_eq!(v, vec![6.0, -6.0, 4.0]);
+            let mn = team.allreduce_vec(c, vec![me], TeamOp::Min);
+            assert_eq!(mn, vec![0.0]);
+            let mx = team.allreduce_vec(c, vec![me], TeamOp::Max);
+            assert_eq!(mx, vec![3.0]);
+        });
+    });
+}
+
+#[test]
+fn team_alltoall_permutes_chunks() {
+    let rt = rt(4);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = team.rank(c) as u64;
+            // chunk for rank j encodes (me, j)
+            let chunks: Vec<Vec<u64>> = (0..4).map(|j| vec![me * 10 + j]).collect();
+            let got = team.alltoall(c, chunks);
+            for (src, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u64 * 10 + me]);
+            }
+        });
+    });
+}
+
+#[test]
+fn team_allgather_ordered_by_rank() {
+    let rt = rt(6);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = team.rank(c) as u64;
+            let all = team.allgather(c, me * me);
+            assert_eq!(all, vec![0, 1, 4, 9, 16, 25]);
+        });
+    });
+}
+
+#[test]
+fn team_reduce_only_root_gets_value() {
+    let rt = rt(5);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = team.rank(c) as u64;
+            let r = team.reduce(c, 2, me, |a, b| a + b);
+            if me == 2 {
+                assert_eq!(r, Some(10));
+            } else {
+                assert_eq!(r, None);
+            }
+        });
+    });
+}
+
+#[test]
+fn team_subset_members_only() {
+    let rt = rt(6);
+    rt.run(|ctx| {
+        let members = vec![PlaceId(1), PlaceId(3), PlaceId(5)];
+        let team = Team::new(ctx, members.clone());
+        let group = PlaceGroup::new(members);
+        ctx.finish(|c| {
+            for p in group.iter() {
+                let team = team.clone();
+                c.at_async(p, move |cc| {
+                    let sum = team.allreduce(cc, cc.here().0 as u64, |a, b| a + b);
+                    assert_eq!(sum, 1 + 3 + 5);
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn back_to_back_collectives_do_not_cross() {
+    // Two all-reduces in a row with different data: sequence numbers must
+    // keep them apart.
+    let rt = rt(4);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = c.here().0 as u64;
+            let a = team.allreduce(c, me, |x, y| x + y);
+            let b = team.allreduce(c, me * 100, |x, y| x + y);
+            assert_eq!(a, 6);
+            assert_eq!(b, 600);
+        });
+    });
+}
+
+#[test]
+fn clock_synchronizes_loop_iterations() {
+    // The paper's clocked-finish example: per-place loops advancing a
+    // global barrier each iteration.
+    let rt = rt(4);
+    let log: Arc<Mutex<Vec<(u64, u32)>>> = Arc::new(Mutex::new(vec![]));
+    let l = log.clone();
+    rt.run(move |ctx| {
+        let clock = Clock::new(ctx);
+        let l = l.clone();
+        ctx.finish(|c| {
+            for p in c.places() {
+                let l = l.clone();
+                clock.at_async_clocked(c, p, move |cc| {
+                    for i in 0..3u64 {
+                        l.lock().push((i, cc.here().0));
+                        clock.advance(cc);
+                    }
+                });
+            }
+            clock.drop_registration(c); // creator resigns so workers can advance
+        });
+    });
+    let log = log.lock();
+    assert_eq!(log.len(), 12);
+    // iteration i of every place must precede iteration i+1 of any place
+    let mut max_seen_at = [0usize; 3];
+    let mut min_seen_at = [usize::MAX; 3];
+    for (pos, &(i, _)) in log.iter().enumerate() {
+        max_seen_at[i as usize] = pos;
+        min_seen_at[i as usize] = min_seen_at[i as usize].min(pos);
+    }
+    assert!(max_seen_at[0] < min_seen_at[1], "iter 0 must finish before iter 1 starts");
+    assert!(max_seen_at[1] < min_seen_at[2], "iter 1 must finish before iter 2 starts");
+}
+
+#[test]
+fn clock_drop_unblocks_survivors() {
+    let rt = rt(2);
+    rt.run(|ctx| {
+        let clock = Clock::new(ctx);
+        ctx.finish(|c| {
+            clock.at_async_clocked(c, PlaceId(1), move |cc| {
+                // advance twice; the creator resigns after spawning, so we
+                // are the only registrant and advance freely
+                clock.advance(cc);
+                clock.advance(cc);
+            });
+            clock.drop_registration(c);
+        });
+    });
+}
+
+#[test]
+fn place_group_broadcast_runs_everywhere_once() {
+    let rt = rt(13); // odd count exercises uneven trees
+    let hits = Arc::new(Mutex::new(vec![0u32; 13]));
+    let h = hits.clone();
+    spmd(&rt, move |c| {
+        h.lock()[c.here().index()] += 1;
+    });
+    assert_eq!(*hits.lock(), vec![1; 13]);
+}
+
+#[test]
+fn place_group_broadcast_bounded_out_degree() {
+    let rt = Runtime::new(Config::new(16).places_per_host(4));
+    rt.run(|ctx| {
+        ctx.net_stats().reset();
+        PlaceGroup::world(ctx).broadcast(ctx, |_| {});
+        let max_deg = ctx.net_stats().max_out_degree();
+        assert!(
+            max_deg <= 4,
+            "tree broadcast should bound out-degree (got {max_deg})"
+        );
+    });
+}
+
+#[test]
+fn place_group_flat_broadcast_works_but_hotspots() {
+    let rt = Runtime::new(Config::new(8).places_per_host(4));
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = hits.clone();
+    rt.run(move |ctx| {
+        ctx.net_stats().reset();
+        let h2 = h.clone();
+        PlaceGroup::world(ctx).broadcast_flat(ctx, move |_| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(h.load(Ordering::Relaxed), 8);
+        assert!(ctx.net_stats().out_degree(0) >= 7, "flat bcast has out-degree n");
+    });
+}
+
+#[test]
+fn place_local_handle_independent_instances() {
+    let rt = rt(4);
+    rt.run(|ctx| {
+        let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), |c| {
+            AtomicU64::new(c.here().0 as u64 * 100)
+        });
+        ctx.finish(|c| {
+            for p in c.places() {
+                c.at_async(p, move |cc| {
+                    let v = handle.get(cc);
+                    assert_eq!(v.load(Ordering::Relaxed), cc.here().0 as u64 * 100);
+                    v.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // instances are independent
+        let v0 = ctx.at(PlaceId(0), move |c| handle.get(c).load(Ordering::Relaxed));
+        let v3 = ctx.at(PlaceId(3), move |c| handle.get(c).load(Ordering::Relaxed));
+        assert_eq!(v0, 1);
+        assert_eq!(v3, 301);
+    });
+}
+
+#[test]
+fn global_rail_async_copy_between_places() {
+    let rt = rt(2);
+    rt.run(|ctx| {
+        // Congruent allocation: both places allocate one rail each, in the
+        // same order, via a broadcast.
+        let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), |c| {
+            Mutex::new(GlobalRail::<u64>::new(c, 8))
+        });
+        // Fill place 0's rail and push it to place 1 with asyncCopy.
+        ctx.at(PlaceId(0), move |c| {
+            let rail = handle.get(c);
+            let mut r = rail.lock();
+            for (i, w) in r.as_mut_slice().iter_mut().enumerate() {
+                *w = i as u64 + 1;
+            }
+            r.async_copy_to(c, 0, PlaceId(1), 2, 4); // src[0..4] → dst[2..6]
+        });
+        let seen = ctx.at(PlaceId(1), move |c| handle.get(c).lock().as_slice().to_vec());
+        assert_eq!(seen, vec![0, 0, 1, 2, 3, 4, 0, 0]);
+    });
+}
+
+#[test]
+fn global_rail_remote_xor_gups() {
+    let rt = rt(3);
+    rt.run(|ctx| {
+        let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), |c| {
+            Mutex::new(GlobalRail::<u64>::new(c, 4))
+        });
+        // every place XORs word 1 of place 0's table
+        ctx.finish(|c| {
+            for p in c.places() {
+                c.at_async(p, move |cc| {
+                    let rail = handle.get(cc);
+                    let r = rail.lock();
+                    r.remote_xor(cc, PlaceId(0), 1, 1 << cc.here().0);
+                });
+            }
+        });
+        let word = ctx.at(PlaceId(0), move |c| handle.get(c).lock().as_slice()[1]);
+        assert_eq!(word, 0b111);
+    });
+}
+
+#[test]
+fn rail_copy_from_pulls() {
+    let rt = rt(2);
+    rt.run(|ctx| {
+        let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), |c| {
+            Mutex::new(GlobalRail::<f64>::new(c, 4))
+        });
+        ctx.at(PlaceId(1), move |c| {
+            handle.get(c).lock().as_mut_slice().copy_from_slice(&[1.5, 2.5, 3.5, 4.5]);
+        });
+        ctx.at(PlaceId(0), move |c| {
+            let rail = handle.get(c);
+            let mut r = rail.lock();
+            r.async_copy_from(c, PlaceId(1), 1, 0, 2);
+            assert_eq!(&r.as_slice()[..2], &[2.5, 3.5]);
+        });
+    });
+}
+
+#[test]
+fn team_gather_and_scatter() {
+    let rt = rt(5);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = team.rank(c);
+            // gather squares to rank 2
+            let g = team.gather(c, 2, (me * me) as u64);
+            if me == 2 {
+                assert_eq!(g, Some(vec![0, 1, 4, 9, 16]));
+            } else {
+                assert_eq!(g, None);
+            }
+            // scatter rank*7 from rank 1
+            let chunks = (me == 1).then(|| (0..5).map(|r| r as u64 * 7).collect::<Vec<_>>());
+            let mine = team.scatter(c, 1, chunks);
+            assert_eq!(mine, me as u64 * 7);
+        });
+    });
+}
+
+#[test]
+fn team_split_into_even_odd() {
+    let rt = rt(6);
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let me = team.rank(c);
+            let sub = team.split(c, |r| (r % 2) as u64);
+            assert_eq!(sub.size(), 3);
+            // sum of old ranks within my parity class
+            let sum = sub.allreduce(c, me as u64, |a, b| a + b);
+            if me.is_multiple_of(2) {
+                assert_eq!(sum, 2 + 4);
+            } else {
+                assert_eq!(sum, 1 + 3 + 5);
+            }
+        });
+    });
+}

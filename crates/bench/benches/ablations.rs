@@ -1,0 +1,81 @@
+//! Criterion ablations: GLB steal policy on UTS, and broadcast tree vs
+//! flat (the design choices DESIGN.md calls out).
+
+use apgas::{Config, PlaceGroup, Runtime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glb::GlbConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_glb_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uts_glb_policy_4_places");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let tree = uts::GeoTree::paper(9);
+    let rt = Runtime::new(Config::new(4));
+    let configs: Vec<(&str, GlbConfig)> = vec![
+        ("lifelines+random", GlbConfig::default()),
+        (
+            "lifelines-only",
+            GlbConfig {
+                random_attempts: 0,
+                ..GlbConfig::default()
+            },
+        ),
+        (
+            "aggressive-random",
+            GlbConfig {
+                random_attempts: 8,
+                ..GlbConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let cfg = cfg.clone();
+                let r = rt.run(move |ctx| uts::run_distributed(ctx, tree, cfg));
+                black_box(r.stats.nodes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place_group_broadcast_32");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let rt = Runtime::new(Config::new(32).places_per_host(8));
+    g.bench_function("tree", |b| {
+        b.iter(|| {
+            rt.run(|ctx| PlaceGroup::world(ctx).broadcast(ctx, |_| {}));
+            black_box(())
+        })
+    });
+    g.bench_function("flat", |b| {
+        b.iter(|| {
+            rt.run(|ctx| PlaceGroup::world(ctx).broadcast_flat(ctx, |_| {}));
+            black_box(())
+        })
+    });
+    g.finish();
+}
+
+fn bench_interval_steal(c: &mut Criterion) {
+    // Fragment-of-every-interval vs naive stealing is a *policy inside the
+    // bag*; benchmark the split operation itself on a realistic worklist.
+    let mut g = c.benchmark_group("uts_split_policy");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("fragment_every_interval", |b| {
+        let tree = uts::GeoTree::paper(10);
+        b.iter(|| {
+            use glb::TaskBag;
+            let mut bag = uts::UtsBag::root(tree);
+            bag.process(2000);
+            black_box(bag.split().map(|l| l.intervals().len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(ablations, bench_glb_policies, bench_bcast, bench_interval_steal);
+criterion_main!(ablations);

@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks of the eight kernels' compute cores — the
+//! measured base rates feeding the Figure-1 projections (one group per
+//! Figure-1 panel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_hpl(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_hpl_local_lu");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 128] {
+        g.throughput(Throughput::Elements(n as u64 * n as u64 * n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = kernels::linalg::Mat::from_fn(n, n, |i, j| kernels::util::element(1, i, j));
+            b.iter(|| {
+                let mut lu = a.clone();
+                let mut piv = vec![0usize; n];
+                kernels::linalg::getrf_recursive(&mut lu, &mut piv);
+                black_box(lu.data[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_hpl_dgemm");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 128] {
+        g.throughput(Throughput::Elements(2 * (n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = kernels::linalg::Mat::from_fn(n, n, |i, j| kernels::util::element(2, i, j));
+            let bm = kernels::linalg::Mat::from_fn(n, n, |i, j| kernels::util::element(3, i, j));
+            let mut cm = kernels::linalg::Mat::zeros(n, n);
+            b.iter(|| {
+                kernels::linalg::dgemm_sub(
+                    n, n, n, &a.data, n, &bm.data, n, &mut cm.data, n,
+                );
+                black_box(cm.data[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_fft_local");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1024usize, 16_384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let x: Vec<_> = (0..n).map(|j| kernels::fft::input_element(j, 19)).collect();
+            b.iter(|| black_box(kernels::fft::fft_six_step(&x)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ra(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_randomaccess_local");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for log2 in [12u32, 16] {
+        let updates = (1u64 << log2) * 2;
+        g.throughput(Throughput::Elements(updates));
+        g.bench_with_input(BenchmarkId::from_parameter(log2), &log2, |b, &log2| {
+            b.iter(|| black_box(kernels::ra::ra_sequential(log2, 1)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_stream_triad");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [100_000usize, 1_000_000] {
+        g.throughput(Throughput::Bytes(24 * n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let bb: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let cc: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+            let mut aa = vec![0.0; n];
+            b.iter(|| {
+                kernels::stream::triad(&mut aa, &bb, &cc);
+                black_box(aa[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_uts(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_uts_traversal");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for depth in [8u32, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let tree = uts::GeoTree::paper(d);
+            b.iter(|| black_box(uts::traverse(&tree)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_uts_sha1");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("spawn", |b| {
+        let s = uts::rng::init(19);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(uts::rng::spawn(&s, i))
+        });
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_kmeans_iteration");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let p = kernels::kmeans::KMeansParams::scaled(2000, 32);
+    let pts = kernels::kmeans::generate_points(&p, 0);
+    let cen = kernels::kmeans::initial_centroids(&p);
+    g.throughput(Throughput::Elements(p.points_per_place as u64));
+    g.bench_function("assign", |b| {
+        b.iter(|| {
+            let mut sums = vec![0.0; p.k * p.dim];
+            let mut counts = vec![0.0; p.k];
+            black_box(kernels::kmeans::assign_and_accumulate(
+                &pts, &cen, p.dim, p.k, &mut sums, &mut counts,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_sw(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_sw_cells");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let q = kernels::sw::generate_query(200, 19);
+    let t = kernels::sw::generate_dna(5_000, 19, &q, 2_500);
+    g.throughput(Throughput::Elements((q.len() * t.len()) as u64));
+    g.bench_function("200x5000", |b| {
+        b.iter(|| black_box(kernels::sw::sw_score(&q, &t, kernels::sw::Scoring::default())));
+    });
+    g.finish();
+}
+
+fn bench_bc(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1_bc_brandes");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for scale in [8u32, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            let graph =
+                kernels::bc::rmat::generate(&kernels::bc::rmat::RmatParams::paper(s));
+            b.iter(|| black_box(kernels::bc::bc_sequential(&graph).edges_traversed));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figure1,
+    bench_hpl,
+    bench_dgemm,
+    bench_fft,
+    bench_ra,
+    bench_stream,
+    bench_uts,
+    bench_sha1,
+    bench_kmeans,
+    bench_sw,
+    bench_bc
+);
+criterion_main!(figure1);

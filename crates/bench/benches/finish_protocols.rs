@@ -1,0 +1,97 @@
+//! Criterion comparison of the finish termination-detection protocols —
+//! the §3.1 contribution. Each benchmark runs the same fan-out workload
+//! (one remote activity per place) under a different protocol on a shared
+//! runtime, so differences are pure protocol cost.
+
+use apgas::{Config, FinishKind, Runtime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fan_out(rt: &Runtime, kind: FinishKind) {
+    rt.run(move |ctx| {
+        ctx.finish_pragma(kind, |c| {
+            for p in c.places().skip(1) {
+                c.at_async(p, |_| {});
+            }
+        });
+    });
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finish_fanout_16_places");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let rt = Runtime::new(Config::new(16).places_per_host(4));
+    for kind in [FinishKind::Default, FinishKind::Spmd, FinishKind::Dense] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    fan_out(&rt, kind);
+                    black_box(())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finish_round_trip");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let rt = Runtime::new(Config::new(2));
+    for kind in [FinishKind::Default, FinishKind::Here] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    rt.run(move |ctx| {
+                        ctx.finish_pragma(kind, |cc| {
+                            let home = cc.here();
+                            cc.at_async(apgas::PlaceId(1), move |rc| {
+                                rc.at_async(home, |_| {});
+                            });
+                        });
+                    });
+                    black_box(())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_local_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finish_local_spawns");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let rt = Runtime::new(Config::new(1));
+    for kind in [FinishKind::Default, FinishKind::Local] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    rt.run(move |ctx| {
+                        ctx.finish_pragma(kind, |cc| {
+                            for _ in 0..64 {
+                                cc.spawn(|_| {});
+                            }
+                        });
+                    });
+                    black_box(())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    finish,
+    bench_protocols,
+    bench_round_trip,
+    bench_local_counter
+);
+criterion_main!(finish);

@@ -1,0 +1,154 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! * `ablation_finish` — protocol cost of the same workload under every
+//!   finish variant;
+//! * `ablation_glb` — lifelines on/off, victim-list bound, and
+//!   fragment-of-every-interval vs naive stealing on UTS;
+//! * `ablation_bcast` — tree vs flat place-group broadcast.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation [--quick]`
+
+use apgas::{Config, FinishKind, MsgClass, PlaceGroup, Runtime};
+use glb::GlbConfig;
+use kernels::util::timed;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    finish_ablation(if quick { 32 } else { 96 });
+    glb_ablation(if quick { 9 } else { 11 });
+    bcast_ablation(if quick { 64 } else { 128 });
+}
+
+fn finish_ablation(places: usize) {
+    println!("== ablation: finish protocol cost (fan-out of {places} remote activities) ==");
+    println!(
+        "{:>16} {:>10} {:>12} {:>12} {:>10}",
+        "protocol", "ctl msgs", "ctl bytes", "root in-deg", "ms"
+    );
+    for kind in [FinishKind::Default, FinishKind::Spmd, FinishKind::Dense] {
+        let rt = Runtime::new(Config::new(places));
+        rt.run(move |ctx| {
+            ctx.net_stats().reset();
+            let (_, secs) = timed(|| {
+                ctx.finish_pragma(kind, |c| {
+                    for p in c.places().skip(1) {
+                        c.at_async(p, |_| {});
+                    }
+                });
+            });
+            let ctl = ctx.net_stats().class(MsgClass::FinishCtl);
+            println!(
+                "{:>16} {:>10} {:>12} {:>12} {:>10.2}",
+                kind.label(),
+                ctl.messages,
+                ctl.bytes,
+                ctx.net_stats().received_at(0),
+                secs * 1e3
+            );
+        });
+    }
+    // FINISH_HERE vs default for the round-trip ("get") idiom.
+    println!("\n-- round trip (get) idiom --");
+    for kind in [FinishKind::Default, FinishKind::Here] {
+        let rt = Runtime::new(Config::new(2));
+        rt.run(move |ctx| {
+            ctx.net_stats().reset();
+            ctx.finish_pragma(kind, |c| {
+                let home = c.here();
+                c.at_async(apgas::PlaceId(1), move |cc| {
+                    cc.at_async(home, |_| {});
+                });
+            });
+            let ctl = ctx.net_stats().class(MsgClass::FinishCtl);
+            println!(
+                "{:>16} {:>10} ctl msgs, {:>6} ctl bytes",
+                kind.label(),
+                ctl.messages,
+                ctl.bytes
+            );
+        });
+    }
+}
+
+fn glb_ablation(depth: u32) {
+    println!("\n== ablation: GLB configuration on UTS (depth {depth}, 4 places) ==");
+    println!(
+        "{:>26} {:>10} {:>10} {:>8} {:>8} {:>9} {:>8}",
+        "config", "nodes", "ms", "steals", "hits", "gifts", "deaths"
+    );
+    let tree = uts::GeoTree::paper(depth);
+    let configs: Vec<(&str, GlbConfig)> = vec![
+        ("default", GlbConfig::default()),
+        (
+            "no-random-steals (w=0)",
+            GlbConfig {
+                random_attempts: 0,
+                ..GlbConfig::default()
+            },
+        ),
+        (
+            "many-random (w=8)",
+            GlbConfig {
+                random_attempts: 8,
+                ..GlbConfig::default()
+            },
+        ),
+        (
+            "victims bounded to 1",
+            GlbConfig {
+                max_victims: 1,
+                ..GlbConfig::default()
+            },
+        ),
+        (
+            "tiny chunks (n=32)",
+            GlbConfig {
+                chunk: 32,
+                ..GlbConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        let rt = Runtime::new(Config::new(4));
+        let (run, secs) = timed(|| rt.run(move |ctx| uts::run_distributed(ctx, tree, cfg.clone())));
+        let b = run.balancer;
+        println!(
+            "{name:>26} {:>10} {:>10.1} {:>8} {:>8} {:>9} {:>8}",
+            run.stats.nodes,
+            secs * 1e3,
+            b.random_attempts,
+            b.random_hits,
+            b.lifeline_gifts,
+            b.deaths
+        );
+    }
+}
+
+fn bcast_ablation(places: usize) {
+    println!("\n== ablation: place-group broadcast, tree vs flat ({places} places) ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "variant", "task msgs", "max out-deg", "ms"
+    );
+    for flat in [false, true] {
+        let rt = Runtime::new(Config::new(places));
+        rt.run(move |ctx| {
+            ctx.net_stats().reset();
+            let (_, secs) = timed(|| {
+                let g = PlaceGroup::world(ctx);
+                if flat {
+                    g.broadcast_flat(ctx, |_| {});
+                } else {
+                    g.broadcast(ctx, |_| {});
+                }
+            });
+            println!(
+                "{:>8} {:>12} {:>12} {:>14.2}",
+                if flat { "flat" } else { "tree" },
+                ctx.net_stats().class(MsgClass::Task).messages,
+                ctx.net_stats().max_out_degree(),
+                secs * 1e3
+            );
+        });
+    }
+}

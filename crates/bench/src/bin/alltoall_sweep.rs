@@ -1,0 +1,48 @@
+//! The §4 interconnect characterization: all-to-all bandwidth per octant as
+//! the partition grows — reproducing the "sharp drop at two supernodes,
+//! slow recovery, plateau" curve, plus the link inventory table.
+//!
+//! Usage: `cargo run --release -p bench --bin alltoall_sweep`
+
+use p775::topology::links;
+use p775::{alltoall_bw_per_octant, cross_section_bw, Machine};
+
+fn main() {
+    let m = Machine::hurcules();
+    println!("== Power 775 link inventory (per partition) ==");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>14}",
+        "octants", "LL", "LR", "D", "agg GB/s"
+    );
+    for octants in [1usize, 8, 32, 64, 128, 256, 512, 1024, 1792] {
+        let lc = m.link_inventory(octants);
+        println!(
+            "{octants:>8} {:>8} {:>8} {:>8} {:>14.0}",
+            lc.ll,
+            lc.lr,
+            lc.d,
+            lc.total_gbs()
+        );
+    }
+
+    println!("\n== all-to-all bandwidth per octant (the §4 three-regime curve) ==");
+    println!(
+        "{:>8} {:>12} {:>18} {:>18}",
+        "octants", "supernodes", "per-octant GB/s", "cross-section GB/s"
+    );
+    for sn in [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40, 48, 56] {
+        let octants = sn * 32;
+        println!(
+            "{octants:>8} {sn:>12} {:>18.1} {:>18.0}",
+            alltoall_bw_per_octant(&m, octants),
+            cross_section_bw(&m, octants)
+        );
+    }
+    println!(
+        "\nlink rates: LL {} GB/s, LR {} GB/s, D {}×{} GB/s per supernode pair",
+        links::LL_GBS,
+        links::LR_GBS,
+        links::D_PER_PAIR,
+        links::D_GBS
+    );
+}

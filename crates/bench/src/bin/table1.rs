@@ -1,0 +1,94 @@
+//! Regenerate **Table 1**: "Performance Comparisons for the HPC Class 2
+//! Challenge Benchmarks" — the X10 implementations versus IBM's HPCC
+//! Class-1 optimized runs.
+//!
+//! The Class-1 codes (hand-tuned C/assembly against raw device drivers) do
+//! not exist here; what is reproducible is the *relative* claim. We print:
+//! the paper's reported absolute rows, the paper's X10/Class-1 fractions,
+//! and our measured APGAS-runtime rates next to our measured "bare-metal"
+//! rates (the same kernel run without the runtime — our stand-in for a
+//! Class-1-style implementation, since it skips all runtime overheads).
+//!
+//! Usage: `cargo run --release -p bench --bin table1 [--quick]`
+
+use kernels::util::timed;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("== Table 1 (paper): X10 vs HPCC Class 1 optimized runs ==");
+    println!(
+        "{:<24} {:>14} {:>18} {:>10}",
+        "benchmark", "X10 at scale", "Class 1 at scale", "fraction"
+    );
+    let paper_rows = [
+        ("Global HPL", "589.231 Tflop/s", "1343.67 Tflop/s", 0.85),
+        ("Global RandomAccess", "843.58 Gup/s", "2020.77 Gup/s", 0.81),
+        ("Global FFT", "28,696 Gflop/s", "132,658 Gflop/s", 0.41),
+        ("EP Stream (Triad)", "231.481 GB/s", "264.156 GB/s", 0.87),
+    ];
+    for (name, x10, c1, frac) in paper_rows {
+        println!("{name:<24} {x10:>14} {c1:>18} {frac:>10.2}");
+    }
+
+    println!("\n== Reproduction: APGAS-runtime rate vs bare-kernel rate (this machine) ==");
+    println!(
+        "{:<24} {:>16} {:>16} {:>10}",
+        "benchmark", "via runtime", "bare kernel", "fraction"
+    );
+
+    // HPL: distributed (1 place, full runtime + teams) vs raw sequential LU.
+    let n = if quick { 64 } else { 128 };
+    let params = kernels::hpl::HplParams { n, nb: 16, seed: 42 };
+    let rt = bench::runtime(1);
+    let via = rt.run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    let flops = kernels::hpl::flops(n);
+    let via_rate = flops / via.seconds / 1e9;
+    let bare = kernels::hpl::hpl_sequential(params);
+    let bare_rate = flops / bare.seconds / 1e9;
+    row("Global HPL (Gflop/s)", via_rate, bare_rate);
+
+    // RandomAccess: distributed-on-1-place vs sequential loop.
+    let log2 = if quick { 10 } else { 14 };
+    let rt = bench::runtime(1);
+    let via = rt.run(move |ctx| kernels::ra::ra_distributed(ctx, log2, 2, 256));
+    assert_eq!(via.errors, 0);
+    let (_, bare_rate) = kernels::ra::ra_sequential(log2, 2);
+    row(
+        "Global RandomAccess (Gup/s)",
+        via.gups(),
+        bare_rate / 1e9,
+    );
+
+    // FFT.
+    let nfft = if quick { 4096 } else { 65_536 };
+    let rt = bench::runtime(1);
+    let via = rt.run(move |ctx| kernels::fft::fft_distributed(ctx, nfft, false));
+    let x: Vec<_> = (0..nfft)
+        .map(|j| kernels::fft::input_element(j, 19))
+        .collect();
+    let (_, bare_secs) = timed(|| kernels::fft::fft_six_step(&x));
+    let fl = 5.0 * nfft as f64 * (nfft as f64).log2();
+    row("Global FFT (Gflop/s)", via.gflops(), fl / bare_secs / 1e9);
+
+    // Stream.
+    let nstr = if quick { 100_000 } else { 1_000_000 };
+    let rt = bench::runtime(1);
+    let via = rt.run(move |ctx| kernels::stream::stream_distributed(ctx, nstr, 3));
+    let bare = kernels::stream::stream_local(nstr, 3);
+    row(
+        "EP Stream (GB/s)",
+        via[0].bytes_per_sec / 1e9,
+        bare.bytes_per_sec / 1e9,
+    );
+
+    println!(
+        "\npaper fractions for reference: HPL 85%, RandomAccess 81%, FFT 41%, Stream 87%"
+    );
+}
+
+fn row(name: &str, via: f64, bare: f64) {
+    println!(
+        "{name:<24} {via:>16.3} {bare:>16.3} {:>10.2}",
+        via / bare
+    );
+}

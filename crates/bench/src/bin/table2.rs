@@ -1,0 +1,72 @@
+//! Regenerate **Table 2**: "Relative Efficiency: Performance at Scale
+//! versus Single-Host Performance (for the Same X10 Implementation)".
+//!
+//! For each kernel: the paper's reported efficiency, and our projected
+//! efficiency (measured base rate pushed through the Power 775 model —
+//! i.e. the number our Figure-1 projection implies at the paper's scale).
+//!
+//! Usage: `cargo run --release -p bench --bin table2 [--quick]`
+
+use p775::model;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host = 32;
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+
+    // HPL: per-core at 32,768 vs per-core at one host.
+    let base = bench::measure_hpl_rate(if quick { 96 } else { 192 }) / 1e9;
+    let contended = base * (20.62 / 22.38);
+    let eff = model::hpl_per_core(base, contended, 32_768) / model::hpl_per_core(base, contended, host);
+    rows.push(("Global HPL".into(), 0.87, eff));
+
+    // RandomAccess: per-host at scale vs per-host at 1,024 hosts end — the
+    // paper compares the flat ends (both 0.82).
+    let eff = model::ra_gups_per_host(32_768) / model::ra_gups_per_host(8 * 32);
+    rows.push(("Global RandomAccess".into(), 1.00, eff));
+
+    // FFT: per-core at scale vs one host (both at plateau bandwidth).
+    let fbase = bench::measure_fft_rate(if quick { 4096 } else { 65_536 }) / 1e9;
+    let eff = model::fft_per_core(fbase, 32_768) / model::fft_per_core(fbase, host);
+    rows.push(("Global FFT".into(), 1.00, eff));
+
+    // Stream.
+    let sbase = bench::measure_stream_rate(if quick { 100_000 } else { 1_000_000 }) / 1e9;
+    let scont = sbase * (7.23 / 12.6);
+    let eff = model::stream_per_core(sbase, scont, 55_680) / model::stream_per_core(sbase, scont, host);
+    rows.push(("EP Stream (Triad)".into(), 0.98, eff));
+
+    // UTS.
+    let ubase = bench::measure_uts_rate(if quick { 9 } else { 11 }) / 1e6;
+    let eff = model::uts_per_core(ubase, 55_680) / model::uts_per_core(ubase, host);
+    rows.push(("UTS".into(), 0.98, eff));
+
+    // K-Means (time ratio inverted: efficiency = t_host / t_scale).
+    let kbase = bench::measure_kmeans_seconds(if quick { 500 } else { 2000 }, if quick { 16 } else { 64 });
+    let eff = model::kmeans_seconds(kbase, host) / model::kmeans_seconds(kbase, 47_040);
+    rows.push(("K-Means".into(), 0.98, eff));
+
+    // Smith-Waterman.
+    let swb = bench::measure_sw_seconds(if quick { 100 } else { 400 }, if quick { 2000 } else { 10_000 });
+    let swc = swb * (12.68 / 8.61);
+    let eff = model::sw_seconds(swb, swc, host) / model::sw_seconds(swb, swc, 47_040);
+    rows.push(("Smith-Waterman".into(), 0.98, eff));
+
+    // BC: per-core at scale vs one host — includes the graph-size switch,
+    // hence the paper's 45% ("corrected" 77% discounting the switch).
+    let bbase = bench::measure_bc_rate(if quick { 8 } else { 10 }) / 1e6;
+    let eff = model::bc_per_core(bbase, 47_040) / model::bc_per_core(bbase, host);
+    rows.push(("Betweenness Centrality".into(), 0.45, eff));
+
+    bench::print_comparison(
+        "Table 2: relative efficiency at scale vs single host (paper vs reproduction)",
+        &rows,
+    );
+    // "Corrected" efficiency discounts the instance switch: decline within
+    // the small graph (32→2,048) times decline within the large graph
+    // (2,048→47,040). Paper: (10.67/11.59)·(5.21/6.23) ≈ 0.77.
+    let corrected = (model::bc_per_core(bbase, 2048) / model::bc_per_core(bbase, 32))
+        * (model::bc_per_core(bbase, 47_040) / model::bc_per_core(bbase, 2049));
+    println!("\nBC corrected efficiency (discounting the graph switch): paper 0.77, ours {corrected:.2}");
+}

@@ -1,0 +1,66 @@
+//! `glb` — lifeline-based global load balancing.
+//!
+//! The paper's UTS chapter (§3.4, §6) revises the lifeline work-stealing
+//! scheduler of Saraswat et al. (PPoPP'11) to reach petascale. This crate
+//! is that scheduler, generic over a [`TaskBag`] (the GLB library of [43]):
+//!
+//! * every place runs **one worker activity** processing its local bag in
+//!   chunks, probing the network between chunks;
+//! * an idle worker first makes `w` **random steal attempts** — synchronous
+//!   handshakes implemented with *uncounted* activities so rebalancing
+//!   traffic is invisible to the root finish;
+//! * if all fail, it signals its **lifelines** (hypercube neighbours) and
+//!   *dies*. Lifelines have memory: a victim that later obtains work splits
+//!   its bag and ships *gifts* that resuscitate dead thieves;
+//! * gifts and the initial tree-shaped distribution wave are ordinary
+//!   counted activities under one root finish, so global termination is
+//!   detected by the `finish` itself — the paper uses FINISH_DENSE for this
+//!   root finish and so do we;
+//! * the victim list is precomputed and **bounded** (≤1,024 by default):
+//!   the paper observed severe network degradation at scale without the
+//!   bound.
+//!
+//! ```
+//! use apgas::{Config, Runtime};
+//! use glb::{run, GlbConfig, TaskBag};
+//!
+//! // A trivial bag: a pile of numbers to sum.
+//! #[derive(Default)]
+//! struct Pile { items: Vec<u64>, sum: u64 }
+//! impl TaskBag for Pile {
+//!     type Result = u64;
+//!     fn process(&mut self, n: usize) -> usize {
+//!         let take = n.min(self.items.len());
+//!         for _ in 0..take { self.sum += self.items.pop().unwrap(); }
+//!         take
+//!     }
+//!     fn is_empty(&self) -> bool { self.items.is_empty() }
+//!     fn split(&mut self) -> Option<Self> {
+//!         if self.items.len() < 2 { return None; }
+//!         let half = self.items.split_off(self.items.len() / 2);
+//!         Some(Pile { items: half, sum: 0 })
+//!     }
+//!     fn merge(&mut self, other: Self) {
+//!         self.items.extend(other.items);
+//!         self.sum += other.sum;
+//!     }
+//!     fn take_result(&mut self) -> u64 { self.sum }
+//! }
+//!
+//! let rt = Runtime::new(Config::new(4));
+//! let out = rt.run(|ctx| {
+//!     let root = Pile { items: (1..=100).collect(), sum: 0 };
+//!     run(ctx, GlbConfig::default(), root, Pile::default)
+//! });
+//! assert_eq!(out.results.iter().sum::<u64>(), (1..=100).sum());
+//! ```
+
+pub mod lifeline;
+pub mod stats;
+pub mod taskbag;
+pub mod worker;
+
+pub use lifeline::{hypercube_lifelines, victim_list, XorShift64};
+pub use stats::{GlbPlaceStats, GlbStatsSummary};
+pub use taskbag::TaskBag;
+pub use worker::{run, GlbConfig, GlbOutcome};

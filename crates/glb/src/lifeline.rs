@@ -1,0 +1,190 @@
+//! Victim selection and the lifeline graph.
+//!
+//! "Lifeline edges are organized in graphs with both low diameters and low
+//! degree such as hyper-cubes to co-minimize the distance between any two
+//! workers and the number of lifeline requests in flight." (§6.1)
+//!
+//! The paper additionally bounds each place's set of potential *random*
+//! victims at 1,024 "to bound the out-degree of the communication graph";
+//! without the bound they "observe a severe degradation of the network
+//! performance at scale".
+
+/// A tiny deterministic PRNG (xorshift64*), good enough for victim picking
+/// and reproducible across runs.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator (seed 0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `0..bound`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// The bounded random-victim list of place `me` among `places` places: a
+/// seeded shuffle of all other places truncated to `max_victims`.
+pub fn victim_list(me: u32, places: usize, max_victims: usize, seed: u64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..places as u32).filter(|&p| p != me).collect();
+    let mut rng = XorShift64::new(seed ^ (0x5851_f42d_4c95_7f2d ^ u64::from(me)).rotate_left(17));
+    // Fisher–Yates
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i + 1);
+        v.swap(i, j);
+    }
+    v.truncate(max_victims);
+    v
+}
+
+/// Hypercube lifeline neighbours of `me`: `me ^ 2^k` for every dimension
+/// that lands inside `0..places`, capped at `max_lifelines`.
+pub fn hypercube_lifelines(me: u32, places: usize, max_lifelines: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut k = 0u32;
+    while (1usize << k) < places.next_power_of_two().max(2) {
+        let n = me ^ (1 << k);
+        if (n as usize) < places && n != me {
+            out.push(n);
+            if out.len() >= max_lifelines {
+                break;
+            }
+        }
+        k += 1;
+        if k >= 63 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn xorshift_below_in_range() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn victims_exclude_self_and_are_bounded() {
+        let v = victim_list(5, 100, 10, 19);
+        assert_eq!(v.len(), 10);
+        assert!(!v.contains(&5));
+        let all: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(all.len(), 10, "no duplicates");
+    }
+
+    #[test]
+    fn victims_cover_everyone_when_unbounded() {
+        let mut v = victim_list(3, 8, 1024, 19);
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn victim_lists_differ_across_places() {
+        assert_ne!(victim_list(0, 64, 8, 19), victim_list(1, 64, 8, 19));
+    }
+
+    #[test]
+    fn hypercube_exact_power_of_two() {
+        let mut l = hypercube_lifelines(5, 8, 64);
+        l.sort_unstable();
+        // 5 = 0b101 → neighbours 0b100=4, 0b111=7, 0b001=1
+        assert_eq!(l, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn hypercube_truncated_for_non_power_of_two() {
+        // 6 places: neighbours of 5 are 4 (bit0), 7 (bit1, out), 1 (bit2)
+        let mut l = hypercube_lifelines(5, 6, 64);
+        l.sort_unstable();
+        assert_eq!(l, vec![1, 4]);
+    }
+
+    #[test]
+    fn hypercube_degree_is_logarithmic() {
+        for places in [2usize, 16, 100, 1024] {
+            for me in 0..places.min(32) as u32 {
+                let l = hypercube_lifelines(me, places, 64);
+                assert!(
+                    l.len() <= places.next_power_of_two().trailing_zeros() as usize,
+                    "degree too high"
+                );
+                assert!(l.iter().all(|&n| (n as usize) < places && n != me));
+            }
+        }
+    }
+
+    #[test]
+    fn single_place_has_no_peers() {
+        assert!(victim_list(0, 1, 1024, 19).is_empty());
+        assert!(hypercube_lifelines(0, 1, 64).is_empty());
+    }
+
+    #[test]
+    fn lifeline_graph_is_connected() {
+        // Union of lifeline edges must connect all places (work can reach
+        // everyone): check with a simple flood fill for several sizes.
+        for places in [2usize, 3, 5, 8, 13, 32, 50] {
+            let mut adj = vec![vec![]; places];
+            for me in 0..places as u32 {
+                for n in hypercube_lifelines(me, places, 64) {
+                    adj[me as usize].push(n as usize);
+                    adj[n as usize].push(me as usize); // gifts flow victim→thief
+                }
+            }
+            let mut seen = vec![false; places];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(p) = stack.pop() {
+                for &q in &adj[p] {
+                    if !seen[q] {
+                        seen[q] = true;
+                        stack.push(q);
+                    }
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "lifeline graph disconnected for {places} places"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-place balancer counters and their run-level summary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of one place's balancer.
+#[derive(Default)]
+pub struct GlbPlaceStats {
+    /// Work units processed.
+    pub processed: AtomicU64,
+    /// Random steal attempts issued.
+    pub random_attempts: AtomicU64,
+    /// Random steal attempts that returned loot.
+    pub random_hits: AtomicU64,
+    /// Steal requests served with loot (as a victim).
+    pub steals_served: AtomicU64,
+    /// Lifeline gifts shipped (as a victim).
+    pub lifeline_gifts: AtomicU64,
+    /// Times this place's dead worker was resuscitated by a gift.
+    pub resuscitations: AtomicU64,
+    /// Times the worker died (went idle after failed steals).
+    pub deaths: AtomicU64,
+}
+
+impl GlbPlaceStats {
+    /// Snapshot into a plain summary row.
+    pub fn snapshot(&self) -> GlbStatsSummary {
+        GlbStatsSummary {
+            processed: self.processed.load(Ordering::Relaxed),
+            random_attempts: self.random_attempts.load(Ordering::Relaxed),
+            random_hits: self.random_hits.load(Ordering::Relaxed),
+            steals_served: self.steals_served.load(Ordering::Relaxed),
+            lifeline_gifts: self.lifeline_gifts.load(Ordering::Relaxed),
+            resuscitations: self.resuscitations.load(Ordering::Relaxed),
+            deaths: self.deaths.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data counters (one place's snapshot, or the sum over places).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlbStatsSummary {
+    /// Work units processed.
+    pub processed: u64,
+    /// Random steal attempts issued.
+    pub random_attempts: u64,
+    /// Random steal attempts that returned loot.
+    pub random_hits: u64,
+    /// Steal requests served with loot.
+    pub steals_served: u64,
+    /// Lifeline gifts shipped.
+    pub lifeline_gifts: u64,
+    /// Worker resuscitations.
+    pub resuscitations: u64,
+    /// Worker deaths.
+    pub deaths: u64,
+}
+
+impl GlbStatsSummary {
+    /// Accumulate another summary (summing over places).
+    pub fn add(&mut self, o: &GlbStatsSummary) {
+        self.processed += o.processed;
+        self.random_attempts += o.random_attempts;
+        self.random_hits += o.random_hits;
+        self.steals_served += o.steals_served;
+        self.lifeline_gifts += o.lifeline_gifts;
+        self.resuscitations += o.resuscitations;
+        self.deaths += o.deaths;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_add() {
+        let s = GlbPlaceStats::default();
+        s.processed.store(10, Ordering::Relaxed);
+        s.random_hits.store(2, Ordering::Relaxed);
+        let mut sum = s.snapshot();
+        sum.add(&GlbStatsSummary {
+            processed: 5,
+            deaths: 1,
+            ..Default::default()
+        });
+        assert_eq!(sum.processed, 15);
+        assert_eq!(sum.random_hits, 2);
+        assert_eq!(sum.deaths, 1);
+    }
+}

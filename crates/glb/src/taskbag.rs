@@ -1,0 +1,33 @@
+//! The work-bag abstraction the balancer schedules.
+
+/// A splittable, mergeable bag of tasks plus the partial result their
+/// processing accumulates.
+///
+/// Contract:
+/// * [`TaskBag::process`] performs up to `n` units of work and may *grow*
+///   the bag (UTS node expansion does);
+/// * [`TaskBag::split`] extracts roughly half of the *work* for a thief —
+///   returning `None` when the bag is too small to be worth splitting (the
+///   thief's steal then fails);
+/// * [`TaskBag::merge`] absorbs stolen loot (and its partial results);
+/// * [`TaskBag::take_result`] yields this bag's accumulated partial result
+///   after the computation terminates.
+pub trait TaskBag: Send + Sized + 'static {
+    /// The partial result accumulated by processing.
+    type Result: Send + 'static;
+
+    /// Perform up to `n` units of work; return how many were done.
+    fn process(&mut self, n: usize) -> usize;
+
+    /// No pending work?
+    fn is_empty(&self) -> bool;
+
+    /// Extract about half the pending work, or `None` if not worth it.
+    fn split(&mut self) -> Option<Self>;
+
+    /// Absorb stolen work (and any results it already carries).
+    fn merge(&mut self, other: Self);
+
+    /// Extract the final partial result.
+    fn take_result(&mut self) -> Self::Result;
+}

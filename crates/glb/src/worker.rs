@@ -1,0 +1,310 @@
+//! The balancer itself: worker loop, random steals, lifelines, gifts, and
+//! the root-finish harness.
+
+use crate::lifeline::{hypercube_lifelines, victim_list, XorShift64};
+use crate::stats::{GlbPlaceStats, GlbStatsSummary};
+use crate::taskbag::TaskBag;
+use apgas::{Ctx, FinishKind, MsgClass, PlaceGroup, PlaceId, PlaceLocalHandle};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Balancer tuning knobs.
+#[derive(Clone, Debug)]
+pub struct GlbConfig {
+    /// Work units processed between network probes (the paper's `n`).
+    pub chunk: usize,
+    /// Random steal attempts before falling back to lifelines (`w`).
+    pub random_attempts: usize,
+    /// Bound on the precomputed random-victim list (the paper uses 1,024).
+    pub max_victims: usize,
+    /// Bound on the number of lifeline (hypercube) edges (`z`).
+    pub max_lifelines: usize,
+    /// PRNG seed for victim shuffling.
+    pub seed: u64,
+}
+
+impl Default for GlbConfig {
+    fn default() -> Self {
+        GlbConfig {
+            chunk: 512,
+            random_attempts: 2,
+            max_victims: 1024,
+            max_lifelines: 64,
+            seed: 19,
+        }
+    }
+}
+
+/// What a balanced run returns.
+pub struct GlbOutcome<R> {
+    /// Per-place partial results, indexed by place.
+    pub results: Vec<R>,
+    /// Per-place balancer statistics, indexed by place.
+    pub place_stats: Vec<GlbStatsSummary>,
+}
+
+impl<R> GlbOutcome<R> {
+    /// Sum of the per-place statistics.
+    pub fn total_stats(&self) -> GlbStatsSummary {
+        let mut t = GlbStatsSummary::default();
+        for s in &self.place_stats {
+            t.add(s);
+        }
+        t
+    }
+}
+
+/// Per-place balancer state, shared between the worker activity, steal
+/// handlers and gift deliveries at that place.
+pub struct GlbPlace<B: TaskBag> {
+    cfg: GlbConfig,
+    factory: Arc<dyn Fn() -> B + Send + Sync>,
+    bag: Mutex<B>,
+    alive: AtomicBool,
+    /// Lifeline thieves registered with us ("lifelines have memory").
+    thieves: Mutex<Vec<u32>>,
+    victims: Vec<u32>,
+    lifelines: Vec<u32>,
+    rng: Mutex<XorShift64>,
+    stats: GlbPlaceStats,
+}
+
+impl<B: TaskBag> GlbPlace<B> {
+    fn new(
+        cfg: GlbConfig,
+        factory: Arc<dyn Fn() -> B + Send + Sync>,
+        me: u32,
+        places: usize,
+    ) -> Self {
+        GlbPlace {
+            victims: victim_list(me, places, cfg.max_victims, cfg.seed),
+            lifelines: hypercube_lifelines(me, places, cfg.max_lifelines),
+            rng: Mutex::new(XorShift64::new(cfg.seed.wrapping_add(me as u64 * 0x9e37))),
+            cfg,
+            bag: Mutex::new(factory()),
+            factory,
+            alive: AtomicBool::new(false),
+            thieves: Mutex::new(Vec::new()),
+            stats: GlbPlaceStats::default(),
+        }
+    }
+}
+
+/// Run `root_bag` to global completion, dynamically balanced across all
+/// places. Blocks until every task (and every in-flight gift) is done —
+/// termination is detected by a single root FINISH_DENSE, as in the paper.
+/// Returns per-place results and balancer statistics.
+pub fn run<B: TaskBag>(
+    ctx: &Ctx,
+    cfg: GlbConfig,
+    root_bag: B,
+    make_empty: impl Fn() -> B + Send + Sync + 'static,
+) -> GlbOutcome<B::Result> {
+    let n = ctx.num_places();
+    let cfg2 = cfg.clone();
+    let factory: Arc<dyn Fn() -> B + Send + Sync> = Arc::new(make_empty);
+    let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), move |c| {
+        GlbPlace::<B>::new(cfg2.clone(), factory.clone(), c.here().0, c.num_places())
+    });
+    // Tree wave starts wherever run() was called; rotate the place list so
+    // the caller is rank 0 of the wave.
+    let start = ctx.here().0 as usize;
+    let order: Arc<Vec<PlaceId>> = Arc::new(
+        (0..n)
+            .map(|i| PlaceId(((start + i) % n) as u32))
+            .collect(),
+    );
+    ctx.finish_pragma(FinishKind::Dense, |c| {
+        let order = order.clone();
+        c.spawn(move |cc| wave(cc, handle, root_bag, 0, n, order));
+    });
+    // Global termination reached: collect results and stats.
+    let mut results = Vec::with_capacity(n);
+    let mut place_stats = Vec::with_capacity(n);
+    for p in ctx.places() {
+        let (r, s) = ctx.at(p, move |c| {
+            let st = handle.get(c);
+            debug_assert!(!st.alive.load(Ordering::SeqCst), "worker alive after finish");
+            let result = st.bag.lock().take_result();
+            let stats = st.stats.snapshot();
+            (result, stats)
+        });
+        results.push(r);
+        place_stats.push(s);
+    }
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| handle.free_local(c));
+    GlbOutcome {
+        results,
+        place_stats,
+    }
+}
+
+/// Initial tree-shaped distribution wave: split the bag along a binary tree
+/// over `order[lo..hi)`, installing a share and starting a worker at each
+/// place.
+fn wave<B: TaskBag>(
+    ctx: &Ctx,
+    handle: PlaceLocalHandle<GlbPlace<B>>,
+    mut bag: B,
+    lo: usize,
+    mut hi: usize,
+    order: Arc<Vec<PlaceId>>,
+) {
+    debug_assert_eq!(ctx.here(), order[lo]);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2); // keep [lo,mid), ship [mid,hi)
+        let loot = bag
+            .split()
+            .unwrap_or_else(|| (handle.get(ctx).factory)());
+        let (h2, o2) = (handle, order.clone());
+        let target = order[mid];
+        ctx.at_async_class(target, MsgClass::Steal, move |c| {
+            wave(c, h2, loot, mid, hi, o2)
+        });
+        hi = mid;
+    }
+    let st = handle.get(ctx);
+    st.bag.lock().merge(bag);
+    st.alive.store(true, Ordering::SeqCst);
+    main_loop(ctx, handle);
+}
+
+/// The per-place worker: process → distribute to lifeline thieves → probe;
+/// when empty: random steals, then lifelines, then death.
+fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
+    let st = handle.get(ctx);
+    debug_assert!(st.alive.load(Ordering::SeqCst));
+    'outer: loop {
+        // -------- local processing --------
+        loop {
+            let did = st.bag.lock().process(st.cfg.chunk);
+            st.stats.processed.fetch_add(did as u64, Ordering::Relaxed);
+            distribute(ctx, &st, handle);
+            ctx.probe();
+            if st.bag.lock().is_empty() {
+                break;
+            }
+        }
+        // -------- random steals --------
+        if !st.victims.is_empty() {
+            for _ in 0..st.cfg.random_attempts {
+                let victim = {
+                    let mut rng = st.rng.lock();
+                    st.victims[rng.below(st.victims.len())]
+                };
+                st.stats.random_attempts.fetch_add(1, Ordering::Relaxed);
+                if random_steal(ctx, handle, &st, PlaceId(victim)) {
+                    st.stats.random_hits.fetch_add(1, Ordering::Relaxed);
+                    continue 'outer;
+                }
+                // A gift may have landed while we waited for the refusal.
+                if !st.bag.lock().is_empty() {
+                    continue 'outer;
+                }
+            }
+        }
+        // -------- lifelines, then die --------
+        let me = ctx.here().0;
+        for &l in &st.lifelines {
+            ctx.uncounted_async(PlaceId(l), MsgClass::Steal, move |vc| {
+                let vst = handle.get(vc);
+                let mut thieves = vst.thieves.lock();
+                if !thieves.contains(&me) {
+                    thieves.push(me);
+                }
+            });
+        }
+        // Die — unless a gift slipped in. The bag lock orders this decision
+        // against concurrent gift deliveries.
+        let bag = st.bag.lock();
+        if bag.is_empty() {
+            st.alive.store(false, Ordering::SeqCst);
+            st.stats.deaths.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Serve waiting lifeline thieves from a non-empty bag. Unserved thieves
+/// stay registered (lifelines have memory).
+fn distribute<B: TaskBag>(
+    ctx: &Ctx,
+    st: &GlbPlace<B>,
+    handle: PlaceLocalHandle<GlbPlace<B>>,
+) {
+    loop {
+        let thief = {
+            let mut t = st.thieves.lock();
+            match t.pop() {
+                Some(t) => t,
+                None => return,
+            }
+        };
+        let loot = st.bag.lock().split();
+        match loot {
+            Some(loot) => {
+                st.stats.lifeline_gifts.fetch_add(1, Ordering::Relaxed);
+                // Counted under the root finish: redistribution along
+                // lifelines is exactly what the root finish accounts for.
+                ctx.at_async_class(PlaceId(thief), MsgClass::Steal, move |tc| {
+                    deliver(tc, handle, loot)
+                });
+            }
+            None => {
+                st.thieves.lock().push(thief);
+                return;
+            }
+        }
+    }
+}
+
+/// A lifeline gift arriving at a thief: merge the loot; if the thief's
+/// worker is dead, this very activity becomes the new worker
+/// ("resuscitation is also one async task").
+fn deliver<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>, loot: B) {
+    let st = handle.get(ctx);
+    let was_alive = {
+        let mut bag = st.bag.lock();
+        bag.merge(loot);
+        st.alive.swap(true, Ordering::SeqCst)
+    };
+    if !was_alive {
+        st.stats.resuscitations.fetch_add(1, Ordering::Relaxed);
+        main_loop(ctx, handle);
+    }
+}
+
+/// One synchronous random steal attempt: an uncounted request/response pair
+/// (invisible to the root finish), the thief help-waits for the answer.
+fn random_steal<B: TaskBag>(
+    ctx: &Ctx,
+    handle: PlaceLocalHandle<GlbPlace<B>>,
+    st: &GlbPlace<B>,
+    victim: PlaceId,
+) -> bool {
+    let me = ctx.here();
+    let slot: Arc<Mutex<Option<B>>> = Arc::new(Mutex::new(None));
+    let flag = Arc::new(AtomicBool::new(false));
+    let (slot2, flag2) = (slot.clone(), flag.clone());
+    ctx.uncounted_async(victim, MsgClass::Steal, move |vc| {
+        let vst = handle.get(vc);
+        let loot = vst.bag.lock().split();
+        if loot.is_some() {
+            vst.stats.steals_served.fetch_add(1, Ordering::Relaxed);
+        }
+        vc.uncounted_async(me, MsgClass::Steal, move |_| {
+            *slot2.lock() = loot;
+            flag2.store(true, Ordering::Release);
+        });
+    });
+    ctx.wait_until(|| flag.load(Ordering::Acquire));
+    let loot = slot.lock().take();
+    match loot {
+        Some(loot) => {
+            st.bag.lock().merge(loot);
+            true
+        }
+        None => false,
+    }
+}

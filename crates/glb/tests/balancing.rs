@@ -1,0 +1,192 @@
+//! End-to-end tests of the lifeline balancer on the APGAS runtime.
+
+use apgas::{Config, Runtime};
+use glb::{run, GlbConfig, TaskBag};
+
+/// A bag of synthetic work items; each "unit" is just a counter bump, so
+/// results are exact and imbalance is fully controllable.
+#[derive(Default)]
+struct Pile {
+    items: Vec<u64>,
+    sum: u64,
+    processed: u64,
+}
+
+impl Pile {
+    fn with(items: Vec<u64>) -> Self {
+        Pile {
+            items,
+            sum: 0,
+            processed: 0,
+        }
+    }
+}
+
+impl TaskBag for Pile {
+    type Result = (u64, u64); // (sum, processed)
+
+    fn process(&mut self, n: usize) -> usize {
+        let take = n.min(self.items.len());
+        for _ in 0..take {
+            self.sum += self.items.pop().unwrap();
+            self.processed += 1;
+        }
+        take
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn split(&mut self) -> Option<Self> {
+        if self.items.len() < 2 {
+            return None;
+        }
+        let half = self.items.split_off(self.items.len() / 2);
+        Some(Pile::with(half))
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.items.extend(other.items);
+        self.sum += other.sum;
+        self.processed += other.processed;
+    }
+
+    fn take_result(&mut self) -> (u64, u64) {
+        (self.sum, self.processed)
+    }
+}
+
+fn cfg_small() -> GlbConfig {
+    GlbConfig {
+        chunk: 16,
+        ..GlbConfig::default()
+    }
+}
+
+#[test]
+fn single_place_processes_everything() {
+    let rt = Runtime::new(Config::new(1));
+    let out = rt.run(|ctx| {
+        run(
+            ctx,
+            cfg_small(),
+            Pile::with((1..=500).collect()),
+            Pile::default,
+        )
+    });
+    let total: u64 = out.results.iter().map(|r| r.0).sum();
+    assert_eq!(total, (1..=500).sum());
+    assert_eq!(out.total_stats().random_attempts, 0);
+}
+
+#[test]
+fn all_work_done_exactly_once_across_places() {
+    let rt = Runtime::new(Config::new(8).places_per_host(4));
+    let out = rt.run(|ctx| {
+        run(
+            ctx,
+            cfg_small(),
+            Pile::with((1..=2000).collect()),
+            Pile::default,
+        )
+    });
+    let sum: u64 = out.results.iter().map(|r| r.0).sum();
+    let processed: u64 = out.results.iter().map(|r| r.1).sum();
+    assert_eq!(sum, (1..=2000u64).sum::<u64>(), "every item exactly once");
+    assert_eq!(processed, 2000);
+}
+
+#[test]
+fn stealing_spreads_heavily_imbalanced_work() {
+    // All work starts at place 0 as one big pile (wave splits it); expect
+    // several places to end up with non-trivial shares.
+    let places = 6;
+    let rt = Runtime::new(Config::new(places));
+    let out = rt.run(|ctx| {
+        run(
+            ctx,
+            GlbConfig {
+                chunk: 8,
+                ..GlbConfig::default()
+            },
+            Pile::with((1..=3000).collect()),
+            Pile::default,
+        )
+    });
+    let busy = out.results.iter().filter(|r| r.1 > 0).count();
+    assert!(
+        busy >= places / 2,
+        "work should spread: per-place processed = {:?}",
+        out.results.iter().map(|r| r.1).collect::<Vec<_>>()
+    );
+    let total: u64 = out.results.iter().map(|r| r.0).sum();
+    assert_eq!(total, (1..=3000u64).sum::<u64>());
+}
+
+#[test]
+fn lifeline_resuscitation_happens_for_late_work() {
+    // Tiny chunk + small pile: places starve, die, and must be revived by
+    // lifeline gifts when the root place's splits reach them.
+    let rt = Runtime::new(Config::new(4));
+    let out = rt.run(|ctx| {
+        run(
+            ctx,
+            GlbConfig {
+                chunk: 4,
+                random_attempts: 1,
+                ..GlbConfig::default()
+            },
+            Pile::with((1..=800).collect()),
+            Pile::default,
+        )
+    });
+    let total: u64 = out.results.iter().map(|r| r.0).sum();
+    assert_eq!(total, (1..=800u64).sum::<u64>());
+    let stats = out.total_stats();
+    assert!(stats.deaths > 0, "someone must have starved: {stats:?}");
+}
+
+#[test]
+fn empty_root_bag_terminates() {
+    let rt = Runtime::new(Config::new(3));
+    let out = rt.run(|ctx| run(ctx, cfg_small(), Pile::default(), Pile::default));
+    assert!(out.results.iter().all(|r| r.0 == 0));
+}
+
+#[test]
+fn repeated_runs_on_same_runtime() {
+    let rt = Runtime::new(Config::new(4));
+    for round in 1..=3u64 {
+        let out = rt.run(move |ctx| {
+            run(
+                ctx,
+                cfg_small(),
+                Pile::with((1..=100 * round).collect()),
+                Pile::default,
+            )
+        });
+        let total: u64 = out.results.iter().map(|r| r.0).sum();
+        assert_eq!(total, (1..=100 * round).sum::<u64>());
+    }
+}
+
+#[test]
+fn victim_bound_respected_in_config() {
+    // With max_victims = 1, each place can only ever steal from one victim.
+    let rt = Runtime::new(Config::new(4));
+    let out = rt.run(|ctx| {
+        run(
+            ctx,
+            GlbConfig {
+                chunk: 8,
+                max_victims: 1,
+                ..GlbConfig::default()
+            },
+            Pile::with((1..=600).collect()),
+            Pile::default,
+        )
+    });
+    let total: u64 = out.results.iter().map(|r| r.0).sum();
+    assert_eq!(total, (1..=600u64).sum::<u64>());
+}

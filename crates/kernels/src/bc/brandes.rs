@@ -1,0 +1,298 @@
+//! CSR graphs and Brandes' betweenness-centrality algorithm (reference [5]
+//! of the paper).
+
+/// Compressed-sparse-row undirected graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` with `u`'s neighbours.
+    pub offsets: Vec<u32>,
+    /// Concatenated adjacency lists.
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from deduplicated undirected edges `(u, v)` with `u < v`.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut deg = vec![0u32; n];
+        for &(u, v) in edges {
+            debug_assert!(u < v, "edges must be canonical (u < v)");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Directed edge count (2× undirected).
+    pub fn m_directed(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
+/// Reusable per-source working state (avoids reallocating per source).
+pub struct Scratch {
+    sigma: Vec<f64>,
+    dist: Vec<i32>,
+    delta: Vec<f64>,
+    order: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl Scratch {
+    /// Scratch for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        Scratch {
+            sigma: vec![0.0; n],
+            dist: vec![-1; n],
+            delta: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            queue: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// One source iteration of Brandes' algorithm: BFS computing shortest-path
+/// counts, then reverse-order dependency accumulation into `centrality`.
+/// Returns the number of edges traversed by the BFS (the paper's
+/// edges-per-second metric counts these).
+pub fn brandes_source(g: &Csr, s: usize, centrality: &mut [f64], w: &mut Scratch) -> u64 {
+    let mut edges = 0u64;
+    w.order.clear();
+    w.queue.clear();
+    // reset only touched vertices at the end; full reset here for clarity
+    for v in &w.order {
+        let v = *v as usize;
+        w.sigma[v] = 0.0;
+        w.dist[v] = -1;
+        w.delta[v] = 0.0;
+    }
+    // (order was cleared; do a full lazy reset via dist sentinel instead)
+    w.sigma[s] = 1.0;
+    w.dist[s] = 0;
+    w.queue.push(s as u32);
+    let mut head = 0;
+    while head < w.queue.len() {
+        let u = w.queue[head] as usize;
+        head += 1;
+        w.order.push(u as u32);
+        let du = w.dist[u];
+        for &v in g.neighbors(u) {
+            edges += 1;
+            let v = v as usize;
+            if w.dist[v] < 0 {
+                w.dist[v] = du + 1;
+                w.queue.push(v as u32);
+            }
+            if w.dist[v] == du + 1 {
+                w.sigma[v] += w.sigma[u];
+            }
+        }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for &u in w.order.iter().rev() {
+        let u = u as usize;
+        let du = w.dist[u];
+        let coeff = (1.0 + w.delta[u]) / w.sigma[u];
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if w.dist[v] == du - 1 {
+                w.delta[v] += w.sigma[v] * coeff;
+            }
+        }
+        if u != s {
+            centrality[u] += w.delta[u];
+        }
+    }
+    // Reset the touched vertices for the next source.
+    for &u in &w.order {
+        let u = u as usize;
+        w.sigma[u] = 0.0;
+        w.dist[u] = -1;
+        w.delta[u] = 0.0;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force betweenness: enumerate all shortest paths by BFS + path
+    /// counting per pair (tiny graphs only).
+    #[allow(clippy::needless_range_loop)]
+    fn brute_force(g: &Csr) -> Vec<f64> {
+        let n = g.n();
+        let mut cent = vec![0.0; n];
+        for s in 0..n {
+            // BFS distances and path counts from s
+            let mut dist = vec![i32::MAX; n];
+            let mut sigma = vec![0u64; n];
+            dist[s] = 0;
+            sigma[s] = 1;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(u) = q.pop_front() {
+                for &v in g.neighbors(u) {
+                    let v = v as usize;
+                    if dist[v] == i32::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                    if dist[v] == dist[u] + 1 {
+                        sigma[v] += sigma[u];
+                    }
+                }
+            }
+            for t in 0..n {
+                if t == s || sigma[t] == 0 {
+                    continue;
+                }
+                // count shortest s-t paths through each interior vertex v
+                for v in 0..n {
+                    if v == s || v == t || dist[v] == i32::MAX || dist[t] == i32::MAX {
+                        continue;
+                    }
+                    if dist[v] + shortest_from(g, v, t) == dist[t] {
+                        // paths through v = sigma_s[v] * sigma_v[t]
+                        let sv = sigma[v];
+                        let vt = count_paths(g, v, t);
+                        cent[v] += (sv * vt) as f64 / sigma[t] as f64;
+                    }
+                }
+            }
+        }
+        cent
+    }
+
+    fn shortest_from(g: &Csr, s: usize, t: usize) -> i32 {
+        let mut dist = vec![i32::MAX; g.n()];
+        dist[s] = 0;
+        let mut q = std::collections::VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if dist[v] == i32::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist[t]
+    }
+
+    fn count_paths(g: &Csr, s: usize, t: usize) -> u64 {
+        let mut dist = vec![i32::MAX; g.n()];
+        let mut sigma = vec![0u64; g.n()];
+        dist[s] = 0;
+        sigma[s] = 1;
+        let mut q = std::collections::VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if dist[v] == i32::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                }
+            }
+        }
+        sigma[t]
+    }
+
+    fn run_brandes(g: &Csr) -> Vec<f64> {
+        let mut cent = vec![0.0; g.n()];
+        let mut w = Scratch::new(g.n());
+        for s in 0..g.n() {
+            brandes_source(g, s, &mut cent, &mut w);
+        }
+        cent
+    }
+
+    #[test]
+    fn path_graph_centrality() {
+        // path 0-1-2-3-4: interior vertices lie on all passing shortest
+        // paths; undirected counts both directions.
+        let g = Csr::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = run_brandes(&g);
+        // vertex 2 is on (0,3),(0,4),(1,3),(1,4) and reverses → 8
+        assert_eq!(c[2], 8.0);
+        assert_eq!(c[0], 0.0);
+        assert_eq!(c[4], 0.0);
+        assert_eq!(c[1], c[3]);
+        assert_eq!(c[1], 6.0);
+    }
+
+    #[test]
+    fn star_graph_center_dominates() {
+        let g = Csr::from_undirected_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let c = run_brandes(&g);
+        // center on all 4*3 = 12 ordered leaf pairs
+        assert_eq!(c[0], 12.0);
+        for &leaf in c.iter().skip(1) {
+            assert_eq!(leaf, 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_graph_split_paths() {
+        // square 0-1-2-3-0: opposite pairs have two shortest paths.
+        let g = Csr::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let c = run_brandes(&g);
+        // each vertex carries half of the 2 ordered paths of its opposite pair
+        for (v, &cv) in c.iter().enumerate() {
+            assert!((cv - 1.0).abs() < 1e-12, "v={v}: {cv}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graph() {
+        let g = super::super::rmat::generate(&super::super::rmat::RmatParams::small_test(4));
+        let fast = run_brandes(&g);
+        let slow = brute_force(&g);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9, "{fast:?}\n{slow:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Csr::from_undirected_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let c = run_brandes(&g);
+        assert_eq!(c[1], 2.0);
+        assert_eq!(c[4], 2.0);
+        assert_eq!(c[0] + c[2] + c[3] + c[5], 0.0);
+    }
+
+    #[test]
+    fn edge_traversal_count() {
+        let g = Csr::from_undirected_edges(3, &[(0, 1), (1, 2)]);
+        let mut cent = vec![0.0; 3];
+        let mut w = Scratch::new(3);
+        // BFS from 0 touches every directed edge reachable: 4
+        let e = brandes_source(&g, 0, &mut cent, &mut w);
+        assert_eq!(e, 4);
+    }
+}

@@ -1,0 +1,265 @@
+//! Betweenness Centrality — §7.
+//!
+//! "Betweenness centrality measures the 'centrality' of a node in a graph
+//! ... We compute this measure for each node in an undirected R-MAT graph
+//! using Brandes' algorithm. Since even a small graph incurs a significant
+//! amount of computation, we replicate the graph in every place. We
+//! randomly partition the vertices across places. Each place is responsible
+//! for computing the centrality measure for all its vertices."
+//!
+//! Also included: the GLB-balanced variant ([`bc_glb`]) the paper added
+//! after the measured runs ("we have implemented BC on top of the GLB
+//! library to dynamically distribute the load") — the `ablation_glb` bench
+//! compares the two.
+
+pub mod brandes;
+pub mod rmat;
+
+use apgas::{Ctx, PlaceGroup, Team, TeamOp};
+use brandes::{brandes_source, Csr};
+use glb::{GlbConfig, TaskBag};
+use parking_lot::Mutex;
+use rmat::RmatParams;
+use std::sync::Arc;
+
+/// Outcome of a BC run.
+#[derive(Clone, Debug)]
+pub struct BcResult {
+    /// Per-vertex centrality scores.
+    pub centrality: Vec<f64>,
+    /// Total edges traversed (the paper's throughput metric).
+    pub edges_traversed: u64,
+    /// Seconds spent in the compute phase.
+    pub seconds: f64,
+}
+
+/// Sequential oracle: Brandes over all sources.
+pub fn bc_sequential(g: &Csr) -> BcResult {
+    let t0 = std::time::Instant::now();
+    let mut centrality = vec![0.0; g.n()];
+    let mut scratch = brandes::Scratch::new(g.n());
+    let mut edges = 0u64;
+    for s in 0..g.n() {
+        edges += brandes_source(g, s, &mut centrality, &mut scratch);
+    }
+    BcResult {
+        centrality,
+        edges_traversed: edges,
+        seconds: t0.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// Which place statically owns source vertex `v` — the paper's random
+/// partition (a hash, so ownership is reproducible everywhere).
+pub fn owner_of(v: usize, places: usize, seed: u64) -> usize {
+    let mut x = (v as u64).wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (x % places as u64) as usize
+}
+
+/// Distributed BC: every place builds the same graph (replication), then
+/// processes its randomly-assigned sources; centralities are summed with an
+/// all-reduce for verification.
+pub fn bc_distributed(ctx: &Ctx, params: RmatParams) -> BcResult {
+    let team = Team::world(ctx);
+    let out: Arc<Mutex<Option<BcResult>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let g = rmat::generate(&params); // replicated: same graph everywhere
+        let me = c.here().index();
+        let places = c.num_places();
+        team.barrier(c);
+        let t0 = std::time::Instant::now();
+        let mut centrality = vec![0.0; g.n()];
+        let mut scratch = brandes::Scratch::new(g.n());
+        let mut edges = 0u64;
+        for s in 0..g.n() {
+            if owner_of(s, places, params.seed) == me {
+                edges += brandes_source(&g, s, &mut centrality, &mut scratch);
+            }
+        }
+        let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        let total = team.allreduce_vec(c, centrality, TeamOp::Add);
+        let total_edges = team.allreduce(c, edges, |a, b| a + b);
+        let max_secs = team.allreduce(c, seconds, f64::max);
+        if me == 0 {
+            *out2.lock() = Some(BcResult {
+                centrality: total,
+                edges_traversed: total_edges,
+                seconds: max_secs,
+            });
+        }
+    });
+    let r = out.lock().take().expect("place 0 reports");
+    r
+}
+
+/// A bag of BC source vertices for the GLB variant.
+pub struct BcBag {
+    graph: Arc<Csr>,
+    pending: Vec<(u32, u32)>, // source ranges [lo, hi)
+    centrality: Vec<f64>,
+    edges: u64,
+    scratch: brandes::Scratch,
+}
+
+impl BcBag {
+    /// Root bag holding every source.
+    pub fn root(graph: Arc<Csr>) -> Self {
+        let n = graph.n();
+        BcBag {
+            pending: vec![(0, n as u32)],
+            centrality: vec![0.0; n],
+            edges: 0,
+            scratch: brandes::Scratch::new(n),
+            graph,
+        }
+    }
+
+    /// Empty bag (thief side).
+    pub fn empty(graph: Arc<Csr>) -> Self {
+        let n = graph.n();
+        BcBag {
+            pending: Vec::new(),
+            centrality: vec![0.0; n],
+            edges: 0,
+            scratch: brandes::Scratch::new(n),
+            graph,
+        }
+    }
+}
+
+impl TaskBag for BcBag {
+    type Result = (Vec<f64>, u64);
+
+    fn process(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        while done < n {
+            let Some(range) = self.pending.last_mut() else {
+                break;
+            };
+            let s = range.0;
+            range.0 += 1;
+            if range.0 >= range.1 {
+                self.pending.pop();
+            }
+            self.edges +=
+                brandes_source(&self.graph, s as usize, &mut self.centrality, &mut self.scratch);
+            done += 1;
+        }
+        done
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn split(&mut self) -> Option<Self> {
+        let mut loot = Vec::new();
+        for r in &mut self.pending {
+            let len = r.1 - r.0;
+            let take = len / 2;
+            if take > 0 {
+                loot.push((r.1 - take, r.1));
+                r.1 -= take;
+            }
+        }
+        self.pending.retain(|r| r.0 < r.1);
+        if loot.is_empty() {
+            return None;
+        }
+        Some(BcBag {
+            pending: loot,
+            centrality: vec![0.0; self.graph.n()],
+            edges: 0,
+            scratch: brandes::Scratch::new(self.graph.n()),
+            graph: self.graph.clone(),
+        })
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.pending.extend(other.pending);
+        for (a, b) in self.centrality.iter_mut().zip(&other.centrality) {
+            *a += b;
+        }
+        self.edges += other.edges;
+    }
+
+    fn take_result(&mut self) -> (Vec<f64>, u64) {
+        (std::mem::take(&mut self.centrality), std::mem::take(&mut self.edges))
+    }
+}
+
+/// GLB-balanced BC: the source set is a task bag, dynamically rebalanced by
+/// lifeline work stealing (the paper's follow-up implementation [43]).
+pub fn bc_glb(ctx: &Ctx, params: RmatParams, cfg: GlbConfig) -> BcResult {
+    let t0 = std::time::Instant::now();
+    // The graph is replicated by regenerating it at each place.
+    let root_graph = Arc::new(rmat::generate(&params));
+    let out = glb::run(ctx, cfg, BcBag::root(root_graph), move || {
+        BcBag::empty(Arc::new(rmat::generate(&params)))
+    });
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    let n = out.results[0].0.len();
+    let mut centrality = vec![0.0; n];
+    let mut edges = 0;
+    for (c, e) in &out.results {
+        for (a, b) in centrality.iter_mut().zip(c) {
+            *a += b;
+        }
+        edges += e;
+    }
+    BcResult {
+        centrality,
+        edges_traversed: edges,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_partition_is_total_and_balanced() {
+        let places = 8;
+        let n = 4096;
+        let mut counts = vec![0usize; places];
+        for v in 0..n {
+            counts[owner_of(v, places, 19)] += 1;
+        }
+        let expect = n / places;
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "place {p} owns {c} of {n} sources"
+            );
+        }
+    }
+
+    #[test]
+    fn bag_processes_all_sources_once() {
+        let params = RmatParams::small_test(6);
+        let g = Arc::new(rmat::generate(&params));
+        let seq = bc_sequential(&g);
+        let mut bag = BcBag::root(g);
+        while bag.process(16) > 0 {}
+        let (cent, edges) = bag.take_result();
+        assert_eq!(edges, seq.edges_traversed);
+        for (a, b) in cent.iter().zip(&seq.centrality) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bag_split_conserves_sources() {
+        let params = RmatParams::small_test(6);
+        let g = Arc::new(rmat::generate(&params));
+        let mut bag = BcBag::root(g.clone());
+        let loot = bag.split().expect("splittable");
+        let count =
+            |b: &BcBag| -> u32 { b.pending.iter().map(|r| r.1 - r.0).sum() };
+        assert_eq!(count(&bag) + count(&loot), g.n() as u32);
+    }
+}

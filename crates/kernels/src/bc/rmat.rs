@@ -1,0 +1,137 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos —
+//! reference [6] of the paper), producing the undirected graphs BC runs on.
+
+use super::brandes::Csr;
+use crate::util::SplitMix64;
+
+/// R-MAT parameters. The paper's instances: `2^18` vertices / `2^21` edges
+/// (small) and `2^20` / `2^23` (large) — i.e. edge factor 8; we scale the
+/// exponent down.
+#[derive(Copy, Clone, Debug)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges generated per vertex (8 in the paper's instances).
+    pub edge_factor: u32,
+    /// Quadrant probabilities (Graph500-style defaults).
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// The paper-shaped instance at a given scale.
+    pub fn paper(scale: u32) -> Self {
+        RmatParams {
+            scale,
+            edge_factor: 8,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 19,
+        }
+    }
+
+    /// Tiny instance for unit tests.
+    pub fn small_test(scale: u32) -> Self {
+        RmatParams {
+            scale,
+            edge_factor: 4,
+            a: 0.45,
+            b: 0.2,
+            c: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate the undirected R-MAT graph: recursive quadrant descent per
+/// edge, self-loops dropped, duplicates removed, both directions stored.
+/// Fully deterministic, so every place can *replicate* the same graph.
+pub fn generate(p: &RmatParams) -> Csr {
+    let n = 1usize << p.scale;
+    let m = n * p.edge_factor as usize;
+    let mut rng = SplitMix64::new(p.seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let r = rng.next_f64();
+            if r < p.a {
+                // upper-left: nothing to add
+            } else if r < p.a + p.b {
+                v += half;
+            } else if r < p.a + p.b + p.c {
+                u += half;
+            } else {
+                u += half;
+                v += half;
+            }
+            half >>= 1;
+        }
+        if u != v {
+            edges.push((u.min(v) as u32, u.max(v) as u32));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Csr::from_undirected_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_replication() {
+        let p = RmatParams::paper(8);
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+    }
+
+    #[test]
+    fn no_self_loops_and_symmetric() {
+        let p = RmatParams::small_test(7);
+        let g = generate(&p);
+        for u in 0..g.n() {
+            for &v in g.neighbors(u) {
+                assert_ne!(u, v as usize, "self loop");
+                assert!(
+                    g.neighbors(v as usize).contains(&(u as u32)),
+                    "missing reverse edge {v}->{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skew_toward_low_ids() {
+        // R-MAT with a > 0.25 concentrates edges on low vertex ids: the
+        // max-degree vertex should be far above the mean degree.
+        let p = RmatParams::paper(10);
+        let g = generate(&p);
+        let mean = g.targets.len() as f64 / g.n() as f64;
+        let max = (0..g.n()).map(|u| g.neighbors(u).len()).max().unwrap();
+        assert!(
+            max as f64 > 4.0 * mean,
+            "expected a skewed degree distribution (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn edge_count_reasonable() {
+        let p = RmatParams::small_test(8);
+        let g = generate(&p);
+        let m = g.targets.len() / 2;
+        let requested = (1usize << p.scale) * p.edge_factor as usize;
+        assert!(m <= requested);
+        assert!(m > requested / 4, "too many dropped edges: {m}");
+    }
+}

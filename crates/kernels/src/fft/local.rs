@@ -1,0 +1,199 @@
+//! Local complex arithmetic and the iterative radix-2 FFT (the FFTE
+//! stand-in).
+
+/// A complex number (two doubles, `#[repr(C)]` so rails can carry it).
+#[repr(C)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+// SAFETY: two f64s, no padding, any bit pattern valid.
+unsafe impl x10rt::Pod for Cpx {}
+
+impl Cpx {
+    /// 0 + 0i.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn unit(theta: f64) -> Cpx {
+        let (s, c) = theta.sin_cos();
+        Cpx { re: c, im: s }
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT (decimation in time).
+/// `inverse` computes the unscaled inverse transform (divide by `n`
+/// yourself for a roundtrip).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_inplace(data: &mut [Cpx], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() as usize >> (64 - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 2.0 } else { -2.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::PI / len as f64;
+        let wlen = Cpx::unit(ang);
+        for base in (0..n).step_by(len) {
+            let mut w = Cpx { re: 1.0, im: 0.0 };
+            for k in 0..len / 2 {
+                let u = data[base + k];
+                let v = data[base + k + len / 2] * w;
+                data[base + k] = u + v;
+                data[base + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// O(n²) reference DFT for verification.
+pub fn naive_dft(x: &[Cpx]) -> Vec<Cpx> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let w = Cpx::unit(-2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+                acc = acc + v * w;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Cpx], b: &[Cpx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|j| Cpx {
+                re: (j as f64 * 0.7).sin(),
+                im: (j as f64 * 1.3).cos() * 0.5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let x = signal(n);
+            let mut got = x.clone();
+            fft_inplace(&mut got, false);
+            close(&got, &naive_dft(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let n = 128;
+        let x = signal(n);
+        let mut y = x.clone();
+        fft_inplace(&mut y, false);
+        fft_inplace(&mut y, true);
+        let scaled: Vec<Cpx> = y
+            .iter()
+            .map(|c| Cpx {
+                re: c.re / n as f64,
+                im: c.im / n as f64,
+            })
+            .collect();
+        close(&scaled, &x, 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Cpx::ZERO; 16];
+        x[0] = Cpx { re: 1.0, im: 0.0 };
+        fft_inplace(&mut x, false);
+        for c in x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let x = signal(n);
+        let tx: f64 = x.iter().map(|c| c.abs() * c.abs()).sum();
+        let mut y = x.clone();
+        fft_inplace(&mut y, false);
+        let ty: f64 = y.iter().map(|c| c.abs() * c.abs()).sum();
+        assert!((ty / n as f64 - tx).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft_inplace(&mut [Cpx::ZERO; 6], false);
+    }
+}

@@ -1,0 +1,281 @@
+//! Global FFT — §5.1.
+//!
+//! "Our implementation alternates non-overlapping phases of computation and
+//! communication on the array viewed as a 2D matrix: global transpose,
+//! per-row FFTs, global transpose, multiplication with twiddle factors,
+//! per-row FFTs, and global transpose. The global transposition is
+//! implemented with local data shuffling, followed by an All-To-All
+//! collective, and then finally another round of local data shuffling."
+//!
+//! That is the classic six-step 1-D FFT: the length-N array is viewed as an
+//! `n1 × n2` matrix (row-major, distributed by rows); column FFTs become
+//! row FFTs after a transpose. The local 1-D FFT is our own iterative
+//! radix-2 Cooley–Tukey (the paper links FFTE; see DESIGN.md).
+
+pub mod local;
+
+use apgas::team::WireSize;
+use apgas::{Ctx, PlaceGroup, Team};
+use local::{fft_inplace, Cpx};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+impl WireSize for Cpx {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Deterministic input element `j` of the length-`n` signal.
+pub fn input_element(j: usize, seed: u64) -> Cpx {
+    let mut r = crate::util::SplitMix64::new(seed ^ (j as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    Cpx {
+        re: r.centered(),
+        im: r.centered(),
+    }
+}
+
+/// Factor `n = n1 * n2` with `n1 = 2^(m/2)` (paper-style square-ish view).
+pub fn factor(n: usize) -> (usize, usize) {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let m = n.trailing_zeros();
+    let n1 = 1usize << (m / 2);
+    (n1, n / n1)
+}
+
+/// Sequential six-step FFT (the oracle for the distributed code, itself
+/// verified against a naive DFT).
+pub fn fft_six_step(x: &[Cpx]) -> Vec<Cpx> {
+    let n = x.len();
+    let (n1, n2) = factor(n);
+    // Step 1: transpose A (n1×n2) → B (n2×n1).
+    let mut b = vec![Cpx::ZERO; n];
+    for i1 in 0..n1 {
+        for i2 in 0..n2 {
+            b[i2 * n1 + i1] = x[i1 * n2 + i2];
+        }
+    }
+    // Step 2: FFT each row of B (length n1).
+    for row in b.chunks_exact_mut(n1) {
+        fft_inplace(row, false);
+    }
+    // Step 3: twiddle B[j2][k1] *= w_N^{j2·k1}.
+    for j2 in 0..n2 {
+        for k1 in 0..n1 {
+            b[j2 * n1 + k1] =
+                b[j2 * n1 + k1] * Cpx::unit(-2.0 * std::f64::consts::PI * (j2 * k1) as f64 / n as f64);
+        }
+    }
+    // Step 4: transpose B (n2×n1) → C (n1×n2).
+    let mut c = vec![Cpx::ZERO; n];
+    for j2 in 0..n2 {
+        for k1 in 0..n1 {
+            c[k1 * n2 + j2] = b[j2 * n1 + k1];
+        }
+    }
+    // Step 5: FFT each row of C (length n2).
+    for row in c.chunks_exact_mut(n2) {
+        fft_inplace(row, false);
+    }
+    // Step 6: transpose C (n1×n2) → Y (n2×n1): Y[k2*n1 + k1] = C[k1][k2].
+    let mut y = vec![Cpx::ZERO; n];
+    for k1 in 0..n1 {
+        for k2 in 0..n2 {
+            y[k2 * n1 + k1] = c[k1 * n2 + k2];
+        }
+    }
+    y
+}
+
+/// Result of a distributed FFT run.
+#[derive(Clone, Debug)]
+pub struct FftResult {
+    /// Total size.
+    pub n: usize,
+    /// Seconds for the six phases.
+    pub seconds: f64,
+    /// Max |distributed − sequential| over sampled entries (verification).
+    pub max_err: f64,
+}
+
+impl FftResult {
+    /// HPCC flop accounting: `5 N log2 N / t`.
+    pub fn gflops(&self) -> f64 {
+        5.0 * self.n as f64 * (self.n as f64).log2() / self.seconds / 1e9
+    }
+}
+
+/// Distributed six-step FFT of size `n` (power of two; the row counts `n1`
+/// and `n2` must both be divisible by the place count — the paper's runs
+/// use power-of-two place counts for the same reason). `verify_samples`
+/// entries of the result are checked against the sequential oracle.
+pub fn fft_distributed(ctx: &Ctx, n: usize, verify: bool) -> FftResult {
+    let places = ctx.num_places();
+    let (n1, n2) = factor(n);
+    assert!(
+        n1 % places == 0 && n2 % places == 0,
+        "place count must divide both matrix dimensions (n1={n1}, n2={n2}, P={places})"
+    );
+    let team = Team::world(ctx);
+    let out: Arc<Mutex<(f64, f64)>> = Arc::new(Mutex::new((0.0, 0.0)));
+    let out2 = out.clone();
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let me = c.here().index();
+        let p = c.num_places();
+        let r1 = n1 / p; // my rows of the n1×n2 view
+        let r2 = n2 / p; // my rows of the n2×n1 view
+        // Local slab of A: rows me*r1 .. (me+1)*r1.
+        let a: Vec<Cpx> = (0..r1 * n2)
+            .map(|i| {
+                let (i1, i2) = (me * r1 + i / n2, i % n2);
+                input_element(i1 * n2 + i2, 19)
+            })
+            .collect();
+        team.barrier(c);
+        let t0 = std::time::Instant::now();
+        // Phase 1: global transpose (n1×n2 → n2×n1).
+        let mut b = transpose_exchange(c, &team, &a, r1, n2, r2, n1);
+        // Phase 2: row FFTs (length n1).
+        for row in b.chunks_exact_mut(n1) {
+            fft_inplace(row, false);
+        }
+        // Phase 3: twiddles (global row index j2 = me*r2 + local row).
+        for lr in 0..r2 {
+            let j2 = me * r2 + lr;
+            for k1 in 0..n1 {
+                let w = Cpx::unit(-2.0 * std::f64::consts::PI * (j2 * k1) as f64 / n as f64);
+                b[lr * n1 + k1] = b[lr * n1 + k1] * w;
+            }
+        }
+        // Phase 4: global transpose (n2×n1 → n1×n2).
+        let mut cmat = transpose_exchange(c, &team, &b, r2, n1, r1, n2);
+        // Phase 5: row FFTs (length n2).
+        for row in cmat.chunks_exact_mut(n2) {
+            fft_inplace(row, false);
+        }
+        // Phase 6: final global transpose (n1×n2 → n2×n1).
+        let y = transpose_exchange(c, &team, &cmat, r1, n2, r2, n1);
+        team.barrier(c);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        // Verification at each place against the sequential oracle.
+        let max_err = if verify {
+            let full = fft_six_step(&(0..n).map(|j| input_element(j, 19)).collect::<Vec<_>>());
+            let base = me * r2 * n1;
+            y.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let want = full[base + i];
+                    (v.re - want.re).abs().max((v.im - want.im).abs())
+                })
+                .fold(0.0f64, f64::max)
+        } else {
+            0.0
+        };
+        let global_err = team.allreduce(c, max_err, f64::max);
+        let _ = y;
+        if me == 0 {
+            *out2.lock() = (secs, global_err);
+        }
+    });
+    let (seconds, max_err) = *out.lock();
+    FftResult {
+        n,
+        seconds,
+        max_err,
+    }
+}
+
+/// Distributed transpose: the caller owns `my_rows` rows of an `R × C`
+/// matrix (`R = my_rows * P`); the result is its `out_rows` rows of the
+/// `C × R` transpose. Local shuffle → All-To-All → local shuffle, exactly
+/// the paper's three sub-phases.
+fn transpose_exchange(
+    ctx: &Ctx,
+    team: &Team,
+    slab: &[Cpx],
+    my_rows: usize,
+    cols: usize,
+    out_rows: usize,
+    out_cols: usize,
+) -> Vec<Cpx> {
+    let p = team.size();
+    debug_assert_eq!(slab.len(), my_rows * cols);
+    debug_assert_eq!(my_rows * cols, out_rows * out_cols);
+    // Pack: chunk for destination q holds A[i1][j2] for my rows i1 and q's
+    // columns j2 (= q's rows of the transpose), ordered [j2-major, i1].
+    let chunks: Vec<Vec<Cpx>> = (0..p)
+        .map(|q| {
+            let mut v = Vec::with_capacity(out_rows * my_rows);
+            for j2 in q * out_rows..(q + 1) * out_rows {
+                for i1 in 0..my_rows {
+                    v.push(slab[i1 * cols + j2]);
+                }
+            }
+            v
+        })
+        .collect();
+    let recv = team.alltoall(ctx, chunks);
+    // Unpack: chunk from source s contributes columns s*my_rows.. of my
+    // transposed rows.
+    let mut out = vec![Cpx::ZERO; out_rows * out_cols];
+    for (s, chunk) in recv.iter().enumerate() {
+        let col_base = s * my_rows;
+        let mut it = chunk.iter();
+        for j2 in 0..out_rows {
+            for i1 in 0..my_rows {
+                out[j2 * out_cols + col_base + i1] = *it.next().expect("chunk size");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local::naive_dft;
+
+    #[test]
+    fn six_step_matches_naive_dft() {
+        for m in [2u32, 4, 6, 8] {
+            let n = 1usize << m;
+            let x: Vec<Cpx> = (0..n).map(|j| input_element(j, 7)).collect();
+            let want = naive_dft(&x);
+            let got = fft_six_step(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9,
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn six_step_odd_log2_sizes() {
+        for m in [3u32, 5, 7] {
+            let n = 1usize << m;
+            let x: Vec<Cpx> = (0..n).map(|j| input_element(j, 9)).collect();
+            let want = naive_dft(&x);
+            let got = fft_six_step(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9,
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factoring() {
+        assert_eq!(factor(16), (4, 4));
+        assert_eq!(factor(32), (4, 8));
+        assert_eq!(factor(4), (2, 2));
+    }
+
+    #[test]
+    fn input_deterministic() {
+        assert_eq!(input_element(5, 19), input_element(5, 19));
+    }
+}

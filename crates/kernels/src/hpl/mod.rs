@@ -1,0 +1,491 @@
+//! Global HPL — §5.1.
+//!
+//! "Our implementation features a two-dimensional block-cyclic data
+//! distribution, a right-looking variant of the LU factorization with row
+//! partial pivoting, and a recursive panel factorization … a collection of
+//! idioms for communication: asynchronous array copies for row fetch or
+//! swap and teams for barriers, row and column broadcast, and pivot
+//! search."
+//!
+//! Structure reproduced here:
+//! * `pr × pc` process grid, `nb × nb` blocks, block `(I,J)` owned by
+//!   process `(I mod pr, J mod pc)`;
+//! * per step `k`: the owning process column gathers the panel, the
+//!   diagonal owner factors it with [`crate::linalg::getrf_recursive`]
+//!   (recursive panel factorization) and partial pivoting, the factored
+//!   panel is broadcast along process rows;
+//! * row interchanges are applied across the full matrix (LINPACK style)
+//!   via a column-team exchange;
+//! * the U block row is computed with a unit-lower triangular solve and
+//!   broadcast down process columns;
+//! * the trailing submatrix update is `A22 −= L21·U12` per local block
+//!   (`dgemm`, where HPL spends its flops).
+
+use crate::linalg::{dgemm_sub, getrf_recursive, trsm_left_lower_unit, Mat};
+use crate::util::element;
+use apgas::{Ctx, PlaceGroup, PlaceId, Team};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Problem parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct HplParams {
+    /// Matrix order (must be a multiple of `nb`).
+    pub n: usize,
+    /// Block size (360 in the paper's runs; small here).
+    pub nb: usize,
+    /// Element-generator seed.
+    pub seed: u64,
+}
+
+/// Near-square process grid `pr × pc` with `pr·pc = p` and `pr ≤ pc`.
+pub fn grid(p: usize) -> (usize, usize) {
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
+
+/// Flop count credited to an LU factorization of order n (HPL convention).
+pub fn flops(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 / 3.0 * n * n * n + 1.5 * n * n
+}
+
+/// Result of a distributed factorization.
+#[derive(Clone, Debug)]
+pub struct HplResult {
+    /// Seconds in the factorization phase.
+    pub seconds: f64,
+    /// Scaled residual ‖Ax−b‖∞ / (‖A‖∞ ‖x‖∞ n ε) — HPL passes below ~16.
+    pub residual: f64,
+}
+
+impl HplResult {
+    /// Gflop/s achieved for order `n`.
+    pub fn gflops(&self, n: usize) -> f64 {
+        flops(n) / self.seconds / 1e9
+    }
+}
+
+struct Local {
+    params: HplParams,
+    pr: usize,
+    pc: usize,
+    myrow: usize,
+    mycol: usize,
+    nblocks: usize,
+    blocks: HashMap<(usize, usize), Mat>,
+}
+
+impl Local {
+    fn new(params: HplParams, p: usize, me: usize) -> Local {
+        assert!(params.n.is_multiple_of(params.nb), "nb must divide n");
+        let (pr, pc) = grid(p);
+        let (myrow, mycol) = (me / pc, me % pc);
+        let nblocks = params.n / params.nb;
+        let nb = params.nb;
+        let mut blocks = HashMap::new();
+        for bi in 0..nblocks {
+            for bj in 0..nblocks {
+                if bi % pr == myrow && bj % pc == mycol {
+                    blocks.insert(
+                        (bi, bj),
+                        Mat::from_fn(nb, nb, |i, j| {
+                            element(params.seed, bi * nb + i, bj * nb + j)
+                        }),
+                    );
+                }
+            }
+        }
+        Local {
+            params,
+            pr,
+            pc,
+            myrow,
+            mycol,
+            nblocks,
+            blocks,
+        }
+    }
+
+}
+
+/// Shared wire type: a factored panel (`rows`, data, pivots).
+type PanelWire = (u64, Vec<f64>, Vec<u64>);
+/// Shared wire type: row fragments `(global_row, block_col, values)`.
+type RowWire = Vec<(u64, u64, Vec<f64>)>;
+/// Shared wire type: U blocks `(block_col, values)`.
+type UWire = Vec<(u64, Vec<f64>)>;
+
+/// Run the distributed factorization and verification across all places.
+pub fn hpl_distributed(ctx: &Ctx, params: HplParams) -> HplResult {
+    let p = ctx.num_places();
+    let (pr, pc) = grid(p);
+    // Teams: one per process row and per process column, plus the world.
+    let row_teams: Vec<Team> = (0..pr)
+        .map(|r| Team::new(ctx, (0..pc).map(|c| PlaceId((r * pc + c) as u32)).collect()))
+        .collect();
+    let col_teams: Vec<Team> = (0..pc)
+        .map(|c| Team::new(ctx, (0..pr).map(|r| PlaceId((r * pc + c) as u32)).collect()))
+        .collect();
+    let world = Team::world(ctx);
+    let row_teams = Arc::new(row_teams);
+    let col_teams = Arc::new(col_teams);
+    let out: Arc<Mutex<Option<HplResult>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let me = c.here().index();
+        let mut local = Local::new(params, c.num_places(), me);
+        let row_team = row_teams[local.myrow].clone();
+        let col_team = col_teams[local.mycol].clone();
+        world.barrier(c);
+        let t0 = std::time::Instant::now();
+        let pivots = factorize(c, &mut local, &row_team, &col_team);
+        world.barrier(c);
+        let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        let residual = verify(c, &local, &world, &pivots);
+        if me == 0 {
+            *out2.lock() = Some(HplResult { seconds, residual });
+        }
+    });
+    let r = out.lock().take().expect("place 0 reports");
+    r
+}
+
+/// The right-looking factorization loop (runs SPMD at every place).
+/// Returns the full global pivot sequence (for verification).
+fn factorize(ctx: &Ctx, local: &mut Local, row_team: &Team, col_team: &Team) -> Vec<usize> {
+    let nb = local.params.nb;
+    let nblocks = local.nblocks;
+    let mut all_pivots: Vec<usize> = Vec::with_capacity(local.params.n);
+    for k in 0..nblocks {
+        let pcol = k % local.pc;
+        let prow = k % local.pr;
+        // ---- 1. Panel factorization within process column pcol ----
+        let panel_wire: PanelWire = if local.mycol == pcol {
+            panel_factor(ctx, local, col_team, k, prow)
+        } else {
+            (0, Vec::new(), Vec::new())
+        };
+        // ---- 2. Broadcast factored panel along process rows ----
+        let root_in_row = pcol; // member index of column pcol in this row team
+        let (prows, pdata, piv) = row_team.broadcast(
+            ctx,
+            root_in_row,
+            (local.mycol == pcol).then_some(panel_wire),
+        );
+        let panel_rows = prows as usize;
+        let panel = Mat {
+            rows: panel_rows,
+            cols: nb,
+            data: pdata,
+        };
+        let piv: Vec<usize> = piv.iter().map(|&x| x as usize).collect();
+        // Scatter the factored panel back into the owning column's blocks.
+        if local.mycol == pcol {
+            for (idx, bi) in (k..nblocks).enumerate() {
+                if bi % local.pr == local.myrow {
+                    let blk = local.blocks.get_mut(&(bi, k)).expect("own panel block");
+                    for i in 0..nb {
+                        blk.row_mut(i).copy_from_slice(panel.row(idx * nb + i));
+                    }
+                }
+            }
+        }
+        // ---- 3. Apply row interchanges to all other block columns ----
+        apply_swaps(ctx, local, col_team, k, &piv);
+        for (j, &pv) in piv.iter().enumerate() {
+            // record global swap: row k*nb+j <-> k*nb+pv
+            all_pivots.push(k * nb + pv);
+            let _ = j;
+        }
+        // ---- 4. U block row: solve L11 U = A(k, J) on process row prow ----
+        let l11 = Mat {
+            rows: nb,
+            cols: nb,
+            data: panel.data[..nb * nb].to_vec(),
+        };
+        let mut my_u: UWire = Vec::new();
+        if local.myrow == prow {
+            for bj in k + 1..nblocks {
+                if bj % local.pc == local.mycol {
+                    let blk = local.blocks.get_mut(&(k, bj)).expect("own U block");
+                    trsm_left_lower_unit(&l11, blk);
+                    my_u.push((bj as u64, blk.data.clone()));
+                }
+            }
+        }
+        // ---- 5. Broadcast U blocks down process columns ----
+        let u_wire: UWire =
+            col_team.broadcast(ctx, prow, (local.myrow == prow).then_some(my_u));
+        let u_blocks: HashMap<usize, Mat> = u_wire
+            .into_iter()
+            .map(|(bj, data)| {
+                (
+                    bj as usize,
+                    Mat {
+                        rows: nb,
+                        cols: nb,
+                        data,
+                    },
+                )
+            })
+            .collect();
+        // ---- 6. Trailing update: A(I,J) -= L(I,k) · U(k,J) ----
+        for bi in k + 1..nblocks {
+            if bi % local.pr != local.myrow {
+                continue;
+            }
+            // L(I,k) lives in the broadcast panel at offset (bi - k)*nb.
+            let l_off = (bi - k) * nb;
+            for bj in k + 1..nblocks {
+                if bj % local.pc != local.mycol {
+                    continue;
+                }
+                let u = &u_blocks[&bj];
+                let blk = local.blocks.get_mut(&(bi, bj)).expect("own block");
+                dgemm_sub(
+                    nb,
+                    nb,
+                    nb,
+                    &panel.data[l_off * nb..(l_off + nb) * nb],
+                    nb,
+                    &u.data,
+                    nb,
+                    &mut blk.data,
+                    nb,
+                );
+            }
+        }
+    }
+    all_pivots
+}
+
+/// Gather the panel (block column `k`, rows `k..`) to the diagonal owner,
+/// factor it recursively with partial pivoting, and return the factored
+/// panel + pivots (valid at every member after the broadcast).
+fn panel_factor(
+    ctx: &Ctx,
+    local: &Local,
+    col_team: &Team,
+    k: usize,
+    prow: usize,
+) -> PanelWire {
+    let nb = local.params.nb;
+    let nblocks = local.nblocks;
+    // Each member contributes its blocks of the panel, tagged by block row.
+    let mine: Vec<(u64, Vec<f64>)> = (k..nblocks)
+        .filter(|bi| bi % local.pr == local.myrow)
+        .map(|bi| {
+            (
+                bi as u64,
+                local.blocks[&(bi, k)].data.clone(),
+            )
+        })
+        .collect();
+    let gathered = col_team.allgather(ctx, mine);
+    let factored: Option<PanelWire> = if local.myrow == prow {
+        // Assemble rows k..nblocks in order.
+        let rows = (nblocks - k) * nb;
+        let mut panel = Mat::zeros(rows, nb);
+        for contrib in &gathered {
+            for (bi, data) in contrib {
+                let off = (*bi as usize - k) * nb;
+                panel.data[off * nb..(off + rows_of(data, nb)) * nb].copy_from_slice(data);
+            }
+        }
+        let mut piv = vec![0usize; nb];
+        getrf_recursive(&mut panel, &mut piv);
+        Some((
+            rows as u64,
+            panel.data,
+            piv.iter().map(|&x| x as u64).collect(),
+        ))
+    } else {
+        None
+    };
+    // Every member of the process column needs the factored panel (it is
+    // the row-broadcast root for its own process row).
+    col_team.broadcast(ctx, prow, factored)
+}
+
+fn rows_of(data: &[f64], nb: usize) -> usize {
+    data.len() / nb
+}
+
+/// Apply the step-`k` row interchanges (panel-relative pivots `piv`) to
+/// every block column except `k`, across the process-column team: gather
+/// the affected row fragments, replay the swap sequence locally, write back
+/// owned rows.
+fn apply_swaps(ctx: &Ctx, local: &mut Local, col_team: &Team, k: usize, piv: &[usize]) {
+    let nb = local.params.nb;
+    // The affected global rows.
+    let mut rows: Vec<usize> = Vec::new();
+    for (j, &pv) in piv.iter().enumerate() {
+        let r1 = k * nb + j;
+        let r2 = k * nb + pv;
+        if !rows.contains(&r1) {
+            rows.push(r1);
+        }
+        if !rows.contains(&r2) {
+            rows.push(r2);
+        }
+    }
+    // Contribute my fragments of those rows (all my block columns ≠ k).
+    let mine: RowWire = rows
+        .iter()
+        .flat_map(|&r| {
+            let bi = r / nb;
+            let li = r % nb;
+            let mut v = Vec::new();
+            if bi % local.pr == local.myrow {
+                for (&(bbi, bbj), blk) in &local.blocks {
+                    if bbi == bi && bbj != k {
+                        v.push((r as u64, bbj as u64, blk.row(li).to_vec()));
+                    }
+                }
+            }
+            v
+        })
+        .collect();
+    let gathered = col_team.allgather(ctx, mine);
+    // row → (block col → data)
+    let mut table: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+    for contrib in gathered {
+        for (r, bj, data) in contrib {
+            table.insert((r as usize, bj as usize), data);
+        }
+    }
+    // Replay the swap sequence on the table.
+    let my_cols: Vec<usize> = (0..local.nblocks)
+        .filter(|bj| *bj != k && bj % local.pc == local.mycol)
+        .collect();
+    for (j, &pv) in piv.iter().enumerate() {
+        let r1 = k * nb + j;
+        let r2 = k * nb + pv;
+        if r1 == r2 {
+            continue;
+        }
+        for &bj in &my_cols {
+            let a = table.remove(&(r1, bj)).expect("row fragment r1");
+            let b = table.remove(&(r2, bj)).expect("row fragment r2");
+            table.insert((r1, bj), b);
+            table.insert((r2, bj), a);
+        }
+    }
+    // Write back the rows I own.
+    for &r in &rows {
+        let bi = r / nb;
+        let li = r % nb;
+        if bi % local.pr != local.myrow {
+            continue;
+        }
+        for &bj in &my_cols {
+            if let Some(blk) = local.blocks.get_mut(&(bi, bj)) {
+                blk.row_mut(li).copy_from_slice(&table[&(r, bj)]);
+            }
+        }
+    }
+    let _ = ctx;
+}
+
+/// Verification: gather the factored matrix to place 0 (via the world
+/// team), rebuild `A`, solve with the recorded pivots and compute the
+/// HPL scaled residual.
+fn verify(ctx: &Ctx, local: &Local, world: &Team, pivots: &[usize]) -> f64 {
+    let n = local.params.n;
+    let nb = local.params.nb;
+    // Ship all local blocks to rank 0.
+    let mine: Vec<(u64, u64, Vec<f64>)> = local
+        .blocks
+        .iter()
+        .map(|(&(bi, bj), m)| (bi as u64, bj as u64, m.data.clone()))
+        .collect();
+    let all = world.allgather(ctx, mine);
+    if ctx.here().index() != 0 {
+        return -1.0;
+    }
+    let mut lu = Mat::zeros(n, n);
+    for contrib in all {
+        for (bi, bj, data) in contrib {
+            let (bi, bj) = (bi as usize, bj as usize);
+            for i in 0..nb {
+                for j in 0..nb {
+                    *lu.at_mut(bi * nb + i, bj * nb + j) = data[i * nb + j];
+                }
+            }
+        }
+    }
+    let a = Mat::from_fn(n, n, |i, j| element(local.params.seed, i, j));
+    let b: Vec<f64> = (0..n)
+        .map(|i| element(local.params.seed ^ 0xB, i, 0))
+        .collect();
+    let x = crate::linalg::solve_factored(&lu, pivots, &b);
+    let ax = a.matvec(&x);
+    let num = ax
+        .iter()
+        .zip(&b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    let xmax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let amax = a.max_abs();
+    num / (amax * xmax * n as f64 * f64::EPSILON)
+}
+
+/// Sequential oracle: factor and solve the same system on one core.
+pub fn hpl_sequential(params: HplParams) -> HplResult {
+    let n = params.n;
+    let a = Mat::from_fn(n, n, |i, j| element(params.seed, i, j));
+    let mut lu = a.clone();
+    let mut piv = vec![0usize; n];
+    let t0 = std::time::Instant::now();
+    getrf_recursive(&mut lu, &mut piv);
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    let b: Vec<f64> = (0..n).map(|i| element(params.seed ^ 0xB, i, 0)).collect();
+    let x = crate::linalg::solve_factored(&lu, &piv, &b);
+    let ax = a.matvec(&x);
+    let num = ax
+        .iter()
+        .zip(&b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    let xmax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    HplResult {
+        seconds,
+        residual: num / (a.max_abs() * xmax * n as f64 * f64::EPSILON),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_near_square() {
+        assert_eq!(grid(1), (1, 1));
+        assert_eq!(grid(4), (2, 2));
+        assert_eq!(grid(8), (2, 4));
+        assert_eq!(grid(6), (2, 3));
+        assert_eq!(grid(7), (1, 7));
+        assert_eq!(grid(16), (4, 4));
+    }
+
+    #[test]
+    fn sequential_residual_passes() {
+        let r = hpl_sequential(HplParams {
+            n: 96,
+            nb: 16,
+            seed: 42,
+        });
+        assert!(r.residual < 16.0, "residual {}", r.residual);
+        assert!(r.gflops(96) > 0.0);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert!((flops(10) - (2000.0 / 3.0 + 150.0)).abs() < 1e-9);
+    }
+}

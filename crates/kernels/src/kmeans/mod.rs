@@ -1,0 +1,230 @@
+//! K-Means clustering — Lloyd's algorithm (§7).
+//!
+//! "We partition the points across p places. In parallel at each place, we
+//! classify the points by nearest centroid and compute the average
+//! positions of the per-place points in each cluster. Then we use two
+//! All-Reduce collectives to compute the averages across all places."
+//!
+//! The paper runs 40000·p points, k = 4096 clusters, dimension 12, five
+//! iterations (weak scaling); the harness scales those down.
+
+use crate::util::SplitMix64;
+use apgas::{Ctx, PlaceGroup, Team, TeamOp};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Problem description (dimension `dim`, `k` clusters).
+#[derive(Clone, Debug)]
+pub struct KMeansParams {
+    /// Points per place.
+    pub points_per_place: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Dimensionality (12 in the paper).
+    pub dim: usize,
+    /// Lloyd iterations (5 in the paper).
+    pub iters: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl KMeansParams {
+    /// The paper's configuration scaled by `scale` (1.0 = paper size).
+    pub fn scaled(points_per_place: usize, k: usize) -> Self {
+        KMeansParams {
+            points_per_place,
+            k,
+            dim: 12,
+            iters: 5,
+            seed: 19,
+        }
+    }
+}
+
+/// Deterministically generate `place`'s points: clusters of Gaussian-ish
+/// blobs around `k` well-separated true centers, so clustering has
+/// structure to find. Any place can generate any other place's points
+/// (used by the sequential oracle).
+pub fn generate_points(p: &KMeansParams, place: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(p.seed ^ ((place as u64 + 1) << 32));
+    let mut pts = Vec::with_capacity(p.points_per_place * p.dim);
+    for _ in 0..p.points_per_place {
+        let c = rng.below(p.k);
+        for d in 0..p.dim {
+            let center = true_center(p, c, d);
+            // triangular noise in [-0.25, 0.25]
+            let noise = (rng.next_f64() + rng.next_f64() - 1.0) * 0.25;
+            pts.push(center + noise);
+        }
+    }
+    pts
+}
+
+fn true_center(p: &KMeansParams, c: usize, d: usize) -> f64 {
+    let mut r = SplitMix64::new(p.seed ^ 0xC0FFEE ^ ((c * p.dim + d) as u64));
+    r.next_f64() * 10.0
+}
+
+/// Initial centroids (shared by sequential and distributed runs):
+/// perturbed true centers, deterministic.
+pub fn initial_centroids(p: &KMeansParams) -> Vec<f64> {
+    let mut rng = SplitMix64::new(p.seed ^ 0xBEEF);
+    (0..p.k * p.dim)
+        .map(|i| true_center(p, i / p.dim, i % p.dim) + rng.centered() * 0.5)
+        .collect()
+}
+
+/// One assignment pass over `points`: accumulate per-cluster coordinate
+/// sums and counts, return the within-cluster sum of squared distances.
+#[allow(clippy::needless_range_loop)] // index math over flat k×dim buffers reads clearer
+pub fn assign_and_accumulate(
+    points: &[f64],
+    centroids: &[f64],
+    dim: usize,
+    k: usize,
+    sums: &mut [f64],
+    counts: &mut [f64],
+) -> f64 {
+    debug_assert_eq!(centroids.len(), k * dim);
+    debug_assert_eq!(sums.len(), k * dim);
+    debug_assert_eq!(counts.len(), k);
+    let mut cost = 0.0;
+    for pt in points.chunks_exact(dim) {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let cen = &centroids[c * dim..(c + 1) * dim];
+            let mut d2 = 0.0;
+            for (a, b) in pt.iter().zip(cen) {
+                let t = a - b;
+                d2 += t * t;
+            }
+            if d2 < best_d {
+                best_d = d2;
+                best = c;
+            }
+        }
+        cost += best_d;
+        counts[best] += 1.0;
+        for (s, a) in sums[best * dim..(best + 1) * dim].iter_mut().zip(pt) {
+            *s += a;
+        }
+    }
+    cost
+}
+
+/// New centroids from global sums/counts (empty clusters keep their old
+/// position).
+pub fn recompute(centroids: &mut [f64], sums: &[f64], counts: &[f64], dim: usize) {
+    for (c, &n) in counts.iter().enumerate() {
+        if n > 0.0 {
+            for d in 0..dim {
+                centroids[c * dim + d] = sums[c * dim + d] / n;
+            }
+        }
+    }
+}
+
+/// Sequential oracle over the union of all places' points.
+pub fn kmeans_sequential(p: &KMeansParams, places: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut centroids = initial_centroids(p);
+    let all: Vec<Vec<f64>> = (0..places).map(|pl| generate_points(p, pl)).collect();
+    let mut costs = Vec::with_capacity(p.iters);
+    for _ in 0..p.iters {
+        let mut sums = vec![0.0; p.k * p.dim];
+        let mut counts = vec![0.0; p.k];
+        let mut cost = 0.0;
+        for pts in &all {
+            cost += assign_and_accumulate(pts, &centroids, p.dim, p.k, &mut sums, &mut counts);
+        }
+        recompute(&mut centroids, &sums, &counts, p.dim);
+        costs.push(cost);
+    }
+    (centroids, costs)
+}
+
+/// Distributed K-Means: SPMD activities, two all-reduces per iteration
+/// (sums and counts — we also reduce the scalar cost for monitoring).
+/// Returns the final centroids and the per-iteration global cost.
+pub fn kmeans_distributed(ctx: &Ctx, p: &KMeansParams) -> (Vec<f64>, Vec<f64>) {
+    type CentroidsAndCosts = (Vec<f64>, Vec<f64>);
+    let team = Team::world(ctx);
+    let p = p.clone();
+    let out: Arc<Mutex<Option<CentroidsAndCosts>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let points = generate_points(&p, c.here().index());
+        let mut centroids = initial_centroids(&p);
+        let mut costs = Vec::with_capacity(p.iters);
+        for _ in 0..p.iters {
+            let mut sums = vec![0.0; p.k * p.dim];
+            let mut counts = vec![0.0; p.k];
+            let cost =
+                assign_and_accumulate(&points, &centroids, p.dim, p.k, &mut sums, &mut counts);
+            // The paper's two All-Reduce collectives:
+            let gsums = team.allreduce_vec(c, sums, TeamOp::Add);
+            let gcounts = team.allreduce_vec(c, counts, TeamOp::Add);
+            let gcost = team.allreduce(c, cost, |a, b| a + b);
+            recompute(&mut centroids, &gsums, &gcounts, p.dim);
+            costs.push(gcost);
+        }
+        if c.here().index() == 0 {
+            *out2.lock() = Some((centroids, costs));
+        }
+    });
+    let r = out.lock().take().expect("place 0 reports");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KMeansParams {
+        KMeansParams {
+            points_per_place: 200,
+            k: 4,
+            dim: 3,
+            iters: 4,
+            seed: 19,
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_nonincreasing() {
+        let p = small();
+        let (_, costs) = kmeans_sequential(&p, 2);
+        for w in costs.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "Lloyd's must not increase cost: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clusters_found_near_true_centers() {
+        let p = small();
+        let (centroids, costs) = kmeans_sequential(&p, 2);
+        // with tight blobs the final cost per point should be small
+        let per_point = costs.last().unwrap() / (2.0 * p.points_per_place as f64);
+        assert!(per_point < 0.2, "per-point cost {per_point}");
+        assert_eq!(centroids.len(), p.k * p.dim);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_place_dependent() {
+        let p = small();
+        assert_eq!(generate_points(&p, 0), generate_points(&p, 0));
+        assert_ne!(generate_points(&p, 0), generate_points(&p, 1));
+    }
+
+    #[test]
+    fn empty_cluster_keeps_centroid() {
+        let mut cen = vec![1.0, 2.0, 3.0, 4.0]; // k=2, dim=2
+        let sums = vec![10.0, 10.0, 0.0, 0.0];
+        let counts = vec![2.0, 0.0];
+        recompute(&mut cen, &sums, &counts, 2);
+        assert_eq!(cen, vec![5.0, 5.0, 3.0, 4.0]);
+    }
+}

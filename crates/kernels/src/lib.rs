@@ -1,0 +1,37 @@
+//! `kernels` — the paper's eight evaluation kernels (§5–§7).
+//!
+//! Four HPC Class 2 Challenge benchmarks:
+//! * [`hpl`] — Global HPL: 2-D block-cyclic right-looking LU with row
+//!   partial pivoting and recursive panel factorization (Gflop/s);
+//! * [`fft`] — Global FFT: 1-D DFT via transpose / row-FFT / twiddle
+//!   phases with an all-to-all global transpose (Gflop/s);
+//! * [`ra`] — Global RandomAccess: remote atomic XOR updates of a
+//!   distributed table over congruent memory (Gup/s);
+//! * [`stream`] — EP Stream Triad: sustainable local memory bandwidth
+//!   (GB/s);
+//!
+//! and the four application kernels:
+//! * [`kmeans`] — Lloyd's algorithm with two all-reduces per iteration;
+//! * [`sw`] — Smith-Waterman alignment over overlapping fragments;
+//! * [`bc`] — Brandes betweenness centrality on R-MAT graphs with a
+//!   replicated graph and partitioned sources (plus a GLB-balanced
+//!   variant);
+//! * UTS lives in its own crate (`uts`) since it carries the paper's
+//!   load-balancing contribution.
+//!
+//! Every kernel ships a sequential oracle, a distributed implementation on
+//! the APGAS runtime, and a verification check; the benchmark harness
+//! (`bench` crate) measures both and maps them onto the Power 775 model.
+//!
+//! [`linalg`] and [`util`] are the local substrates (BLAS-3 microkernels,
+//! deterministic data generators).
+
+pub mod bc;
+pub mod fft;
+pub mod hpl;
+pub mod kmeans;
+pub mod linalg;
+pub mod ra;
+pub mod stream;
+pub mod sw;
+pub mod util;

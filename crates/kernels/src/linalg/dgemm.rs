@@ -1,0 +1,221 @@
+//! A row-major matrix type and a cache-blocked `C -= A·B` kernel.
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` elements.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator of `(i, j)` entries.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs (infinity) norm over entries.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// y = A·x.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// `C -= A · B` on raw row-major buffers with explicit leading dimensions —
+/// the trailing-update workhorse (HPL spends ~90% of its flops here).
+///
+/// `a` is `m×k` (ld `lda`), `b` is `k×n` (ld `ldb`), `c` is `m×n` (ld
+/// `ldc`). Blocked over k and j with a 4-wide unrolled inner kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_sub(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    const JB: usize = 64; // column block
+    const KB: usize = 64; // depth block
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = JB.min(n - j0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KB.min(k - k0);
+            for i in 0..m {
+                let arow = &a[i * lda + k0..i * lda + k0 + kb];
+                let crow = &mut c[i * ldc + j0..i * ldc + j0 + jb];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[(k0 + kk) * ldb + j0..(k0 + kk) * ldb + j0 + jb];
+                    // unrolled axpy: crow -= aik * brow
+                    let mut jj = 0;
+                    while jj + 4 <= jb {
+                        crow[jj] -= aik * brow[jj];
+                        crow[jj + 1] -= aik * brow[jj + 1];
+                        crow[jj + 2] -= aik * brow[jj + 2];
+                        crow[jj + 3] -= aik * brow[jj + 3];
+                        jj += 4;
+                    }
+                    while jj < jb {
+                        crow[jj] -= aik * brow[jj];
+                        jj += 1;
+                    }
+                }
+            }
+            k0 += kb;
+        }
+        j0 += jb;
+    }
+}
+
+/// Convenience wrapper over [`Mat`]: `c -= a · b`.
+pub fn mat_gemm_sub(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    dgemm_sub(
+        a.rows, b.cols, a.cols, &a.data, a.cols, &b.data, b.cols, &mut c.data, c.cols,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn naive_sub(a: &Mat, b: &Mat, c: &mut Mat) {
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut s = 0.0;
+                for k in 0..a.cols {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                *c.at_mut(i, j) -= s;
+            }
+        }
+    }
+
+    fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
+        let mut rng = SplitMix64::new(seed);
+        Mat::from_fn(r, c, |_, _| rng.centered())
+    }
+
+    #[test]
+    fn gemm_matches_naive_various_shapes() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (65, 33, 70), (128, 5, 129)] {
+            let a = random_mat(m, k, 1);
+            let b = random_mat(k, n, 2);
+            let mut c1 = random_mat(m, n, 3);
+            let mut c2 = c1.clone();
+            mat_gemm_sub(&a, &b, &mut c1);
+            naive_sub(&a, &b, &mut c2);
+            for (x, y) in c1.data.iter().zip(&c2.data) {
+                assert!((x - y).abs() < 1e-10, "mismatch {m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_with_leading_dimensions() {
+        // operate on a sub-block of a larger buffer
+        let big_a = random_mat(8, 8, 4);
+        let big_b = random_mat(8, 8, 5);
+        let mut big_c = random_mat(8, 8, 6);
+        let mut want = big_c.clone();
+        // C[2..6][1..5] -= A[0..4][0..3] * B[3..6][2..6]
+        dgemm_sub(
+            4,
+            4,
+            3,
+            &big_a.data,
+            8,
+            &big_b.data[3 * 8 + 2..],
+            8,
+            &mut big_c.data[2 * 8 + 1..],
+            8,
+        );
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += big_a.at(i, k) * big_b.at(3 + k, 2 + j);
+                }
+                *want.at_mut(2 + i, 1 + j) -= s;
+            }
+        }
+        for (x, y) in big_c.data.iter().zip(&want.data) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_and_norms() {
+        let a = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.matvec(&[1.0, 0.0, 0.0]), vec![0.0, 3.0]);
+        assert_eq!(a.max_abs(), 5.0);
+        assert!((a.norm() - (0.0 + 1.0 + 4.0 + 9.0 + 16.0 + 25.0f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! LU factorization with row partial pivoting: recursive panel
+//! factorization (`getrf`), row interchanges (`laswp`), triangular solves
+//! (`trsm`), and a factored-system solver used for verification.
+
+use super::dgemm::{dgemm_sub, Mat};
+
+/// Recursive right-looking LU with partial pivoting on a tall panel
+/// (`rows × cols`, `rows ≥ cols`), LAPACK `getrf` recursive variant — the
+/// paper's "recursive panel factorization".
+///
+/// On return the panel holds L (unit diagonal implicit) below and U on and
+/// above the diagonal; `piv[j] = r` records that row `j` was swapped with
+/// row `r ≥ j` *of the panel* at step `j`.
+///
+/// # Panics
+/// Panics on a (numerically) singular panel.
+pub fn getrf_recursive(panel: &mut Mat, piv: &mut [usize]) {
+    assert!(panel.rows >= panel.cols, "panel must be tall");
+    assert_eq!(piv.len(), panel.cols);
+    let cols = panel.cols;
+    getrf_rec(panel, 0, cols, piv);
+}
+
+#[allow(clippy::needless_range_loop)] // triangular index ranges, not full iterations
+fn getrf_rec(panel: &mut Mat, j0: usize, jn: usize, piv: &mut [usize]) {
+    let w = jn - j0;
+    if w == 0 {
+        return;
+    }
+    if w == 1 {
+        // Base case: pivot, scale.
+        let j = j0;
+        let mut best = j;
+        let mut bestv = panel.at(j, j).abs();
+        for r in j + 1..panel.rows {
+            let v = panel.at(r, j).abs();
+            if v > bestv {
+                bestv = v;
+                best = r;
+            }
+        }
+        assert!(bestv > 0.0, "singular panel at column {j}");
+        piv[j] = best;
+        if best != j {
+            swap_rows(panel, j, best, 0, panel.cols);
+        }
+        let pivot = panel.at(j, j);
+        for r in j + 1..panel.rows {
+            *panel.at_mut(r, j) /= pivot;
+        }
+        return;
+    }
+    let jm = j0 + w / 2;
+    // Factor the left half. Base-case pivoting swaps *entire* panel rows,
+    // so the right half is already consistently permuted when we get here.
+    getrf_rec(panel, j0, jm, piv);
+    // Triangular solve: A[j0..jm][jm..jn] = L11^-1 * A12.
+    for i in j0..jm {
+        for k in j0..i {
+            let lik = panel.at(i, k);
+            if lik != 0.0 {
+                for j in jm..jn {
+                    let v = panel.at(k, j);
+                    *panel.at_mut(i, j) -= lik * v;
+                }
+            }
+        }
+    }
+    // Trailing update A22 -= L21 * U12. L21 and U12 are copied into
+    // compact temporaries so the in-place update borrows the buffer only
+    // once (the panel is narrow, so the copies are cheap).
+    let (rows, cols) = (panel.rows, panel.cols);
+    if rows > jm {
+        let m = rows - jm;
+        let n = jn - jm;
+        let k = jm - j0;
+        let mut l21 = vec![0.0; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                l21[i * k + p] = panel.at(jm + i, j0 + p);
+            }
+        }
+        let mut u12 = vec![0.0; k * n];
+        for i in 0..k {
+            for j in 0..n {
+                u12[i * n + j] = panel.at(j0 + i, jm + j);
+            }
+        }
+        let start = jm * cols + jm;
+        let end = start + (m - 1) * cols + n;
+        dgemm_sub(m, n, k, &l21, k, &u12, n, &mut panel.data[start..end], cols);
+    }
+    // Factor the right half (its base-case swaps again cover all columns,
+    // keeping the already-computed L of the left half consistent).
+    getrf_rec(panel, jm, jn, piv);
+}
+
+fn swap_rows(m: &mut Mat, a: usize, b: usize, j0: usize, jn: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols;
+    let (lo, hi) = (a.min(b), a.max(b));
+    let (top, bot) = m.data.split_at_mut(hi * cols);
+    top[lo * cols + j0..lo * cols + jn].swap_with_slice(&mut bot[j0..jn]);
+}
+
+/// Apply recorded row interchanges `piv` (as produced by
+/// [`getrf_recursive`]) to the columns `j0..jn` of `m`, in order.
+pub fn laswp(m: &mut Mat, piv: &[usize], j0: usize, jn: usize) {
+    for (j, &r) in piv.iter().enumerate() {
+        if r != j {
+            swap_rows(m, j, r, j0, jn);
+        }
+    }
+}
+
+/// `B ← L⁻¹ B` where `l` holds a unit-lower-triangular factor in its
+/// leading `k×k` block (HPL's U-block-row update).
+pub fn trsm_left_lower_unit(l: &Mat, b: &mut Mat) {
+    let k = b.rows;
+    assert!(l.rows >= k && l.cols >= k);
+    for i in 0..k {
+        for p in 0..i {
+            let lip = l.at(i, p);
+            if lip != 0.0 {
+                let (rp, ri) = row_pair(b, p, i);
+                for (x, y) in ri.iter_mut().zip(rp) {
+                    *x -= lip * *y;
+                }
+            }
+        }
+    }
+}
+
+/// `B ← U⁻¹ B` with `u` upper-triangular (non-unit diagonal) in its
+/// leading `k×k` block — used by the verification solver.
+pub fn trsm_left_upper(u: &Mat, b: &mut Mat) {
+    let k = b.rows;
+    assert!(u.rows >= k && u.cols >= k);
+    for i in (0..k).rev() {
+        let d = u.at(i, i);
+        assert!(d != 0.0, "singular U");
+        for x in b.row_mut(i) {
+            *x /= d;
+        }
+        for p in 0..i {
+            let upi = u.at(p, i);
+            if upi != 0.0 {
+                let (ri, rp) = row_pair(b, i, p);
+                for (x, y) in rp.iter_mut().zip(ri) {
+                    *x -= upi * *y;
+                }
+            }
+        }
+    }
+}
+
+/// Disjoint mutable/shared row pair `(row a, row b mut)`.
+fn row_pair(m: &mut Mat, a: usize, b: usize) -> (&[f64], &mut [f64]) {
+    assert_ne!(a, b);
+    let cols = m.cols;
+    if a < b {
+        let (top, bot) = m.data.split_at_mut(b * cols);
+        (&top[a * cols..a * cols + cols], &mut bot[..cols])
+    } else {
+        let (top, bot) = m.data.split_at_mut(a * cols);
+        let rb = &mut top[b * cols..b * cols + cols];
+        // need immutable a from bot
+        (&bot[..cols], rb)
+    }
+}
+
+/// Solve `A x = b` given the factored matrix (L and U packed as from
+/// [`getrf_recursive`] applied to the full square matrix) and its pivots.
+#[allow(clippy::needless_range_loop)] // triangular ranges
+pub fn solve_factored(lu: &Mat, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows;
+    assert_eq!(lu.cols, n);
+    assert_eq!(b.len(), n);
+    let mut x: Vec<f64> = b.to_vec();
+    // apply pivots
+    for (j, &r) in piv.iter().enumerate() {
+        if r != j {
+            x.swap(j, r);
+        }
+    }
+    // forward solve Ly = Pb (unit diagonal)
+    for i in 0..n {
+        let mut s = x[i];
+        for k in 0..i {
+            s -= lu.at(i, k) * x[k];
+        }
+        x[i] = s;
+    }
+    // back solve Ux = y
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in i + 1..n {
+            s -= lu.at(i, k) * x[k];
+        }
+        x[i] = s / lu.at(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
+        let mut rng = SplitMix64::new(seed);
+        Mat::from_fn(r, c, |_, _| rng.centered())
+    }
+
+    #[test]
+    fn full_lu_solves_systems() {
+        for n in [1usize, 2, 5, 16, 33, 64] {
+            let a = random_mat(n, n, 42 + n as u64);
+            let mut lu = a.clone();
+            let mut piv = vec![0usize; n];
+            getrf_recursive(&mut lu, &mut piv);
+            let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+            let x = solve_factored(&lu, &piv, &b);
+            let ax = a.matvec(&x);
+            let resid: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max);
+            assert!(resid < 1e-8 * n as f64, "n={n} resid={resid}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn tall_panel_factorization_matches_column_algorithm() {
+        // Compare recursive panel LU against the simple per-column version.
+        let rows = 40;
+        let cols = 8;
+        let orig = random_mat(rows, cols, 7);
+        let mut rec = orig.clone();
+        let mut piv_r = vec![0usize; cols];
+        getrf_recursive(&mut rec, &mut piv_r);
+
+        let mut simple = orig.clone();
+        let mut piv_s = vec![0usize; cols];
+        for j in 0..cols {
+            let mut best = j;
+            for r in j + 1..rows {
+                if simple.at(r, j).abs() > simple.at(best, j).abs() {
+                    best = r;
+                }
+            }
+            piv_s[j] = best;
+            if best != j {
+                for c in 0..cols {
+                    let t = simple.at(j, c);
+                    *simple.at_mut(j, c) = simple.at(best, c);
+                    *simple.at_mut(best, c) = t;
+                }
+            }
+            let p = simple.at(j, j);
+            for r in j + 1..rows {
+                *simple.at_mut(r, j) /= p;
+            }
+            for r in j + 1..rows {
+                let l = simple.at(r, j);
+                for c in j + 1..cols {
+                    let u = simple.at(j, c);
+                    *simple.at_mut(r, c) -= l * u;
+                }
+            }
+        }
+        assert_eq!(piv_r, piv_s, "pivot sequences must agree");
+        for (x, y) in rec.data.iter().zip(&simple.data) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn laswp_applies_in_order() {
+        let mut m = Mat::from_fn(4, 2, |i, j| (10 * i + j) as f64);
+        laswp(&mut m, &[2, 1, 3, 3], 0, 2);
+        // step0: swap rows 0,2 ; step2: swap rows 2,3
+        assert_eq!(m.row(0), &[20.0, 21.0]);
+        assert_eq!(m.row(2), &[30.0, 31.0]);
+        assert_eq!(m.row(3), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn trsm_lower_unit_inverts() {
+        let n = 6;
+        let mut l = random_mat(n, n, 9);
+        for i in 0..n {
+            for j in i..n {
+                *l.at_mut(i, j) = if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let b = random_mat(n, 3, 10);
+        let mut x = b.clone();
+        trsm_left_lower_unit(&l, &mut x);
+        // check L x == b
+        let mut lx = Mat::zeros(n, 3);
+        for i in 0..n {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += l.at(i, k) * x.at(k, j);
+                }
+                *lx.at_mut(i, j) = s;
+            }
+        }
+        for (p, q) in lx.data.iter().zip(&b.data) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trsm_upper_inverts() {
+        let n = 5;
+        let mut u = random_mat(n, n, 11);
+        for i in 0..n {
+            for j in 0..i {
+                *u.at_mut(i, j) = 0.0;
+            }
+            *u.at_mut(i, i) += 2.0; // well conditioned
+        }
+        let b = random_mat(n, 2, 12);
+        let mut x = b.clone();
+        trsm_left_upper(&u, &mut x);
+        for j in 0..2 {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += u.at(i, k) * x.at(k, j);
+                }
+                assert!((s - b.at(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_panel_rejected() {
+        let mut m = Mat::zeros(3, 2);
+        let mut piv = vec![0; 2];
+        getrf_recursive(&mut m, &mut piv);
+    }
+}

@@ -1,0 +1,13 @@
+//! Local dense linear algebra — the ESSL stand-in HPL needs.
+//!
+//! The paper links IBM ESSL for `dgemm`/`dtrsm`; we implement the needed
+//! BLAS-3 subset from scratch: a register-blocked matrix multiply, the two
+//! triangular solves HPL's update phase uses, and LAPACK-style `getrf`
+//! with **recursive panel factorization** (the paper's HPL "features ... a
+//! recursive panel factorization").
+
+pub mod dgemm;
+pub mod lu;
+
+pub use dgemm::{dgemm_sub, Mat};
+pub use lu::{getrf_recursive, laswp, solve_factored, trsm_left_lower_unit, trsm_left_upper};

@@ -1,0 +1,246 @@
+//! Global RandomAccess (GUPS) — §5.1.
+//!
+//! "Global RandomAccess measures the system's ability to update random
+//! memory locations in a table distributed across the system, by performing
+//! XOR operations at the chosen locations with random values … Performance
+//! is measured in Gup/s."
+//!
+//! The X10 implementation "takes advantage of congruent memory allocation
+//! to obtain a distributed array … where the per-place array fragment is at
+//! the same address in each place. It then uses the Torrent's 'GUPS' RDMA
+//! for the remote updates." — here: a congruent [`apgas::GlobalRail`]
+//! per place plus [`apgas::GlobalRail::remote_xor`].
+
+use apgas::{Ctx, GlobalRail, PlaceGroup, PlaceId, PlaceLocalHandle, Team};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The HPCC LCG polynomial.
+pub const POLY: u64 = 0x0000_0000_0000_0007;
+/// HPCC period of the sequence.
+const PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// Advance one step of the HPCC random stream.
+#[inline]
+pub fn next_ran(a: u64) -> u64 {
+    (a << 1) ^ (if (a as i64) < 0 { POLY } else { 0 })
+}
+
+/// HPCC `starts(n)`: the `n`-th element of the random stream in
+/// O(log n) time (GF(2) matrix exponentiation), so each place can jump
+/// straight to its slice of the update stream.
+pub fn starts(n: i64) -> u64 {
+    let mut n = n % PERIOD;
+    if n < 0 {
+        n += PERIOD;
+    }
+    if n == 0 {
+        return 1;
+    }
+    let mut m2 = [0u64; 64];
+    let mut temp: u64 = 1;
+    for m in m2.iter_mut() {
+        *m = temp;
+        temp = next_ran(next_ran(temp));
+    }
+    let mut i: i32 = 62;
+    while i >= 0 && ((n >> i) & 1) == 0 {
+        i -= 1;
+    }
+    let mut ran: u64 = 2;
+    while i > 0 {
+        temp = 0;
+        for (j, &m) in m2.iter().enumerate() {
+            if (ran >> j) & 1 != 0 {
+                temp ^= m;
+            }
+        }
+        ran = temp;
+        i -= 1;
+        if (n >> i) & 1 != 0 {
+            ran = next_ran(ran);
+        }
+    }
+    ran
+}
+
+/// Sequential oracle: run the full benchmark on one table, then run the
+/// identical update stream again and count locations that did not return
+/// to their initial value (HPCC verification; must be 0 errors here since
+/// updates are applied exactly).
+pub fn ra_sequential(log2_table: u32, updates_per_word: usize) -> (u64, f64) {
+    let n = 1usize << log2_table;
+    let mut table: Vec<u64> = (0..n as u64).collect();
+    let total_updates = n * updates_per_word;
+    let run = |table: &mut [u64]| {
+        let mut ran = starts(0);
+        for _ in 0..total_updates {
+            ran = next_ran(ran);
+            let idx = (ran as usize) & (n - 1);
+            table[idx] ^= ran;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    run(&mut table);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    run(&mut table); // undo
+    let errors = table
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| v != i as u64)
+        .count() as u64;
+    (errors, total_updates as f64 / secs)
+}
+
+/// Result of the distributed run.
+#[derive(Copy, Clone, Debug)]
+pub struct RaResult {
+    /// Updates performed (across all places).
+    pub updates: u64,
+    /// Wall-clock seconds of the update phase.
+    pub seconds: f64,
+    /// Verification errors (must be 0: our GUPS XOR is atomic).
+    pub errors: u64,
+}
+
+impl RaResult {
+    /// Giga-updates per second.
+    pub fn gups(&self) -> f64 {
+        self.updates as f64 / self.seconds / 1e9
+    }
+}
+
+/// Distributed RandomAccess over `places * 2^log2_local` words.
+///
+/// Each place owns `2^log2_local` words of the global table (high bits of
+/// the index select the place — the HPCC layout) and drives its slice of
+/// the update stream, pushing updates through remote atomic XOR in batches
+/// of `batch` (the code structure of the batched GUPS path; each update is
+/// still one RDMA op, as on the Torrent).
+pub fn ra_distributed(ctx: &Ctx, log2_local: u32, updates_per_word: usize, batch: usize) -> RaResult {
+    let places = ctx.num_places();
+    let local_n = 1usize << log2_local;
+    let global_n = local_n * places;
+    assert!(
+        places.is_power_of_two(),
+        "RandomAccess requires a power-of-two number of places (the paper's \
+         runs are power-of-two for the same reason)"
+    );
+    let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), move |c| {
+        let mut rail = GlobalRail::<u64>::new(c, local_n);
+        let base = (c.here().index() * local_n) as u64;
+        for (i, w) in rail.as_mut_slice().iter_mut().enumerate() {
+            *w = base + i as u64;
+        }
+        Mutex::new(rail)
+    });
+    let team = Team::world(ctx);
+    let seconds: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let errors: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let (sec2, err2) = (seconds.clone(), errors.clone());
+    let updates_per_place = local_n * updates_per_word;
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let me = c.here().index();
+        let run_updates = |c: &Ctx| {
+            let rail = handle.get(c);
+            let mut buckets: Vec<Vec<(usize, u64)>> = vec![Vec::with_capacity(batch); c.num_places()];
+            let mut ran = starts((me * updates_per_place) as i64);
+            let flush = |c: &Ctx, dest: usize, bucket: &mut Vec<(usize, u64)>| {
+                let r = rail.lock();
+                for &(word, val) in bucket.iter() {
+                    r.remote_xor(c, PlaceId(dest as u32), word, val);
+                }
+                bucket.clear();
+            };
+            for _ in 0..updates_per_place {
+                ran = next_ran(ran);
+                let idx = (ran as usize) & (global_n - 1);
+                let dest = idx >> log2_local;
+                let word = idx & (local_n - 1);
+                buckets[dest].push((word, ran));
+                if buckets[dest].len() >= batch {
+                    flush(c, dest, &mut buckets[dest]);
+                }
+            }
+            for (dest, bucket) in buckets.iter_mut().enumerate() {
+                if !bucket.is_empty() {
+                    flush(c, dest, bucket);
+                }
+            }
+        };
+        // Timed update phase between barriers (HPCC timing window).
+        team.barrier(c);
+        let t0 = std::time::Instant::now();
+        run_updates(c);
+        team.barrier(c);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        // Verification: run the same stream again, then check locally.
+        run_updates(c);
+        team.barrier(c);
+        let rail = handle.get(c);
+        let base = (me * local_n) as u64;
+        let errs = {
+            let r = rail.lock();
+            r.as_slice()
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| v != base + i as u64)
+                .count() as u64
+        };
+        let total_err = team.allreduce(c, errs, |a, b| a + b);
+        if me == 0 {
+            *sec2.lock() = secs;
+            *err2.lock() = total_err;
+        }
+    });
+    let r = RaResult {
+        updates: (updates_per_place * places) as u64,
+        seconds: *seconds.lock(),
+        errors: *errors.lock(),
+    };
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zero_is_one_and_matches_stepping() {
+        assert_eq!(starts(0), 1);
+        // starts(n) must equal stepping the stream n times from starts(0).
+        let mut a = starts(0);
+        for n in 1..200i64 {
+            a = next_ran(a);
+            assert_eq!(starts(n), a, "n={n}");
+        }
+    }
+
+    #[test]
+    fn starts_jumps_far() {
+        // consistency at a big offset: starts(k+1) == next(starts(k))
+        for k in [1_000_000i64, 123_456_789] {
+            assert_eq!(starts(k + 1), next_ran(starts(k)));
+        }
+    }
+
+    #[test]
+    fn sequential_roundtrip_has_no_errors() {
+        let (errors, rate) = ra_sequential(10, 2);
+        assert_eq!(errors, 0);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn stream_has_full_range_spread() {
+        let mut a = starts(0);
+        let mut high = 0;
+        for _ in 0..10_000 {
+            a = next_ran(a);
+            if a >> 60 != 0 {
+                high += 1;
+            }
+        }
+        assert!(high > 4_000, "stream should reach high bits often, got {high}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Smith-Waterman local alignment (§7).
+//!
+//! "We parallelize the computation by splitting the long sequence into
+//! overlapping fragments and computing in parallel the best match of the
+//! short sequence against each fragment. The best overall match is the best
+//! of the best matches." Fragments overlap by `query.len() − 1` characters
+//! so no alignment window is lost at a boundary.
+//!
+//! The paper runs a 4,000-element query against 40,000·p elements; scaled
+//! down here.
+
+use crate::util::SplitMix64;
+use apgas::{Ctx, PlaceGroup, Team};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Scoring scheme (classic SW with linear gap penalty).
+#[derive(Copy, Clone, Debug)]
+pub struct Scoring {
+    /// Score for a character match.
+    pub matched: i32,
+    /// Penalty (negative) for a mismatch.
+    pub mismatch: i32,
+    /// Penalty (negative) per gap position.
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring {
+            matched: 2,
+            mismatch: -1,
+            gap: -1,
+        }
+    }
+}
+
+/// Best local-alignment score of `query` against `target`, O(|q|·|t|) time
+/// and O(|q|) space (two rolling rows).
+pub fn sw_score(query: &[u8], target: &[u8], s: Scoring) -> i32 {
+    let q = query.len();
+    let mut prev = vec![0i32; q + 1];
+    let mut cur = vec![0i32; q + 1];
+    let mut best = 0;
+    for &tc in target {
+        for j in 1..=q {
+            let diag = prev[j - 1]
+                + if query[j - 1] == tc {
+                    s.matched
+                } else {
+                    s.mismatch
+                };
+            let up = prev[j] + s.gap;
+            let left = cur[j - 1] + s.gap;
+            let v = diag.max(up).max(left).max(0);
+            cur[j] = v;
+            if v > best {
+                best = v;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    best
+}
+
+/// Deterministic DNA string of length `n`; a mutated copy of `query` is
+/// planted at `plant_at` (if it fits) so there is a strong alignment to
+/// find.
+pub fn generate_dna(n: usize, seed: u64, query: &[u8], plant_at: usize) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    let mut rng = SplitMix64::new(seed);
+    let mut s: Vec<u8> = (0..n).map(|_| BASES[rng.below(4)]).collect();
+    if plant_at + query.len() <= n {
+        for (i, &qc) in query.iter().enumerate() {
+            // ~10% mutation rate
+            s[plant_at + i] = if rng.below(10) == 0 {
+                BASES[rng.below(4)]
+            } else {
+                qc
+            };
+        }
+    }
+    s
+}
+
+/// Deterministic query of length `n`.
+pub fn generate_query(n: usize, seed: u64) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    let mut rng = SplitMix64::new(seed ^ 0x51);
+    (0..n).map(|_| BASES[rng.below(4)]).collect()
+}
+
+/// The fragment of the long sequence place `p` of `n` scans, including the
+/// `overlap`-wide left extension (fragment boundaries follow the paper's
+/// overlapping-fragment decomposition).
+pub fn fragment_range(total: usize, places: usize, p: usize, overlap: usize) -> (usize, usize) {
+    let per = total.div_ceil(places);
+    let start = (p * per).saturating_sub(overlap);
+    let end = ((p + 1) * per).min(total);
+    (start, end.max(start))
+}
+
+/// Sequential oracle: score the query against the whole sequence.
+pub fn sw_sequential(query: &[u8], target: &[u8], s: Scoring) -> i32 {
+    sw_score(query, target, s)
+}
+
+/// Distributed Smith-Waterman: each place regenerates its fragment
+/// deterministically, scores it locally, and the best-of-best is obtained
+/// with an all-reduce max. Returns `(best_score, place_of_best)`.
+pub fn sw_distributed(
+    ctx: &Ctx,
+    query_len: usize,
+    total_len: usize,
+    seed: u64,
+    scoring: Scoring,
+) -> (i32, u32) {
+    let team = Team::world(ctx);
+    let out: Arc<Mutex<(i32, u32)>> = Arc::new(Mutex::new((0, 0)));
+    let out2 = out.clone();
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+        let places = c.num_places();
+        let me = c.here().index();
+        let query = generate_query(query_len, seed);
+        // The full string is a pure function of the seed; each place only
+        // materializes its own fragment.
+        let plant = total_len / 2;
+        let full = generate_dna(total_len, seed, &query, plant);
+        let (lo, hi) = fragment_range(total_len, places, me, query_len.saturating_sub(1));
+        let local = sw_score(&query, &full[lo..hi], scoring);
+        let (best, loc) = team.allreduce_maxloc(c, local as f64, me as u64);
+        if me == 0 {
+            *out2.lock() = (best as i32, loc as u32);
+        }
+    });
+    let r = *out.lock();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_full_match() {
+        let s = Scoring::default();
+        assert_eq!(sw_score(b"ACGT", b"ACGT", s), 8);
+    }
+
+    #[test]
+    fn local_alignment_ignores_flanks() {
+        let s = Scoring::default();
+        assert_eq!(sw_score(b"CC", b"AAAACCAAAA", s), 4);
+    }
+
+    #[test]
+    fn mismatch_and_gap_penalties() {
+        let s = Scoring::default();
+        // one mismatch inside a 3-match window: 2+2+(-1)+2 best path
+        let exact = sw_score(b"ACGT", b"ACCT", s);
+        assert!(exact < 8 && exact > 0);
+        // gap: query ACGT vs ACGGT — best is 4 matches + 1 gap = 8 - 1
+        assert_eq!(sw_score(b"ACGT", b"ACGGT", s), 7);
+    }
+
+    #[test]
+    fn empty_target_scores_zero() {
+        assert_eq!(sw_score(b"ACGT", b"", Scoring::default()), 0);
+    }
+
+    #[test]
+    fn planted_match_dominates() {
+        let q = generate_query(40, 7);
+        let t = generate_dna(2000, 7, &q, 1000);
+        let planted = sw_score(&q, &t[1000..1040.min(t.len())], Scoring::default());
+        assert!(planted > 40, "planted region should score high: {planted}");
+    }
+
+    #[test]
+    fn fragments_cover_string_with_overlap() {
+        let total = 1003;
+        let places = 7;
+        let overlap = 39;
+        let mut covered = vec![false; total];
+        for p in 0..places {
+            let (lo, hi) = fragment_range(total, places, p, overlap);
+            for c in covered.iter_mut().take(hi).skip(lo) {
+                *c = true;
+            }
+            if p > 0 {
+                let (plo, _) = fragment_range(total, places, p, overlap);
+                let (_, prev_hi) = fragment_range(total, places, p - 1, overlap);
+                assert!(plo + overlap <= prev_hi + overlap, "windows must overlap");
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "fragments must cover the string");
+    }
+
+    #[test]
+    fn fragmented_max_equals_global_max() {
+        // The decomposition invariant: best-of-best over overlapping
+        // fragments == best over the whole string.
+        let s = Scoring::default();
+        let q = generate_query(25, 3);
+        let t = generate_dna(1500, 3, &q, 700);
+        let global = sw_score(&q, &t, s);
+        for places in [1usize, 2, 3, 5, 8] {
+            let best = (0..places)
+                .map(|p| {
+                    let (lo, hi) = fragment_range(t.len(), places, p, q.len() - 1);
+                    sw_score(&q, &t[lo..hi], s)
+                })
+                .max()
+                .unwrap();
+            assert_eq!(best, global, "places={places}");
+        }
+    }
+}

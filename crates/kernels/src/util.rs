@@ -1,0 +1,100 @@
+//! Shared utilities: deterministic generators and timing helpers.
+
+/// SplitMix64 — deterministic, stateless-seedable generator used by all
+/// kernels so every place can regenerate exactly its share of the data
+/// without communication (the SPMD codes statically partition their data).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform double in `[-0.5, 0.5)` (the HPL matrix element law).
+    #[inline]
+    pub fn centered(&mut self) -> f64 {
+        self.next_f64() - 0.5
+    }
+
+    /// Uniform value in `0..bound`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A deterministic element value for global index pair `(i, j)` under
+/// `seed` — lets any place materialize any matrix entry independently.
+#[inline]
+pub fn element(seed: u64, i: usize, j: usize) -> f64 {
+    let mut r = SplitMix64::new(
+        seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (j as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+    );
+    r.centered()
+}
+
+/// Seconds elapsed evaluating `f`, along with its result.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn element_is_pure() {
+        assert_eq!(element(7, 3, 4), element(7, 3, 4));
+        assert_ne!(element(7, 3, 4), element(7, 4, 3));
+        assert!(element(7, 0, 0).abs() <= 0.5);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, t) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+}

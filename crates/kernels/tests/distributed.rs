@@ -1,0 +1,160 @@
+//! Distributed kernels vs their sequential oracles, on real multi-place
+//! runtimes.
+
+use apgas::{Config, Runtime};
+use kernels::bc::rmat::RmatParams;
+use kernels::hpl::HplParams;
+use kernels::kmeans::KMeansParams;
+use kernels::sw::Scoring;
+
+fn rt(places: usize) -> Runtime {
+    Runtime::new(Config::new(places).places_per_host(4))
+}
+
+#[test]
+fn stream_runs_everywhere_and_verifies() {
+    let res = rt(4).run(|ctx| kernels::stream::stream_distributed(ctx, 20_000, 2));
+    assert_eq!(res.len(), 4);
+    for r in res {
+        assert!(r.ok);
+        assert!(r.bytes_per_sec > 0.0);
+    }
+}
+
+#[test]
+fn kmeans_distributed_matches_sequential() {
+    let p = KMeansParams {
+        points_per_place: 150,
+        k: 5,
+        dim: 4,
+        iters: 4,
+        seed: 19,
+    };
+    let places = 4;
+    let (seq_cent, seq_costs) = kernels::kmeans::kmeans_sequential(&p, places);
+    let p2 = p.clone();
+    let (dist_cent, dist_costs) = rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
+    assert_eq!(seq_costs.len(), dist_costs.len());
+    for (a, b) in seq_costs.iter().zip(&dist_costs) {
+        assert!(
+            (a - b).abs() < 1e-6 * a.abs().max(1.0),
+            "costs diverge: {seq_costs:?} vs {dist_costs:?}"
+        );
+    }
+    for (a, b) in seq_cent.iter().zip(&dist_cent) {
+        assert!((a - b).abs() < 1e-8, "centroids diverge");
+    }
+}
+
+#[test]
+fn sw_distributed_finds_global_best() {
+    let (qlen, tlen, seed) = (30, 4000, 11);
+    let places = 5;
+    let q = kernels::sw::generate_query(qlen, seed);
+    let t = kernels::sw::generate_dna(tlen, seed, &q, tlen / 2);
+    let want = kernels::sw::sw_sequential(&q, &t, Scoring::default());
+    let (got, at_place) = rt(places)
+        .run(move |ctx| kernels::sw::sw_distributed(ctx, qlen, tlen, seed, Scoring::default()));
+    assert_eq!(got, want);
+    assert!((at_place as usize) < places);
+}
+
+#[test]
+fn ra_distributed_zero_errors_and_gups() {
+    let res = Runtime::new(Config::new(4).places_per_host(2))
+        .run(|ctx| kernels::ra::ra_distributed(ctx, 8, 2, 64));
+    assert_eq!(res.errors, 0, "atomic GUPS must verify exactly");
+    assert_eq!(res.updates, 4 * 256 * 2);
+    assert!(res.gups() > 0.0);
+}
+
+#[test]
+fn fft_distributed_matches_oracle() {
+    // n = 4096 → n1 = 64, n2 = 64; P = 4 divides both.
+    let res = rt(4).run(|ctx| kernels::fft::fft_distributed(ctx, 4096, true));
+    assert!(
+        res.max_err < 1e-8,
+        "distributed FFT error {}",
+        res.max_err
+    );
+    assert!(res.gflops() > 0.0);
+}
+
+#[test]
+fn fft_distributed_two_places_odd_log2() {
+    let res = rt(2).run(|ctx| kernels::fft::fft_distributed(ctx, 512, true));
+    assert!(res.max_err < 1e-9, "error {}", res.max_err);
+}
+
+#[test]
+fn bc_distributed_matches_sequential() {
+    let params = RmatParams::small_test(7);
+    let g = kernels::bc::rmat::generate(&params);
+    let seq = kernels::bc::bc_sequential(&g);
+    let dist = rt(4).run(move |ctx| kernels::bc::bc_distributed(ctx, params));
+    assert_eq!(dist.edges_traversed, seq.edges_traversed);
+    for (a, b) in dist.centrality.iter().zip(&seq.centrality) {
+        assert!((a - b).abs() < 1e-7, "centrality mismatch");
+    }
+}
+
+#[test]
+fn bc_glb_matches_sequential() {
+    let params = RmatParams::small_test(6);
+    let g = kernels::bc::rmat::generate(&params);
+    let seq = kernels::bc::bc_sequential(&g);
+    let glb_cfg = glb::GlbConfig {
+        chunk: 4,
+        ..glb::GlbConfig::default()
+    };
+    let dist = rt(3).run(move |ctx| kernels::bc::bc_glb(ctx, params, glb_cfg));
+    assert_eq!(dist.edges_traversed, seq.edges_traversed);
+    for (a, b) in dist.centrality.iter().zip(&seq.centrality) {
+        assert!((a - b).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn hpl_distributed_passes_residual_square_grid() {
+    let params = HplParams {
+        n: 64,
+        nb: 8,
+        seed: 42,
+    };
+    let res = rt(4).run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    assert!(
+        res.residual >= 0.0 && res.residual < 16.0,
+        "HPL residual {}",
+        res.residual
+    );
+}
+
+#[test]
+fn hpl_distributed_rectangular_grid_and_single() {
+    for places in [1usize, 2, 6] {
+        let params = HplParams {
+            n: 48,
+            nb: 8,
+            seed: 7,
+        };
+        let res = rt(places).run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+        assert!(
+            res.residual >= 0.0 && res.residual < 16.0,
+            "places={places}, residual {}",
+            res.residual
+        );
+    }
+}
+
+#[test]
+fn hpl_matches_sequential_baseline_quality() {
+    let params = HplParams {
+        n: 64,
+        nb: 16,
+        seed: 3,
+    };
+    let seq = kernels::hpl::hpl_sequential(params);
+    let dist = rt(2).run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    assert!(seq.residual < 16.0);
+    assert!(dist.residual < 16.0);
+}

@@ -1,0 +1,131 @@
+//! Additional distributed-kernel coverage: more place counts, parameter
+//! sweeps, and protocol-interaction cases.
+
+use apgas::{Config, Runtime};
+use kernels::hpl::HplParams;
+use kernels::kmeans::KMeansParams;
+
+fn rt(places: usize) -> Runtime {
+    Runtime::new(Config::new(places).places_per_host(4))
+}
+
+#[test]
+fn fft_eight_places() {
+    let res = rt(8).run(|ctx| kernels::fft::fft_distributed(ctx, 4096, true));
+    assert!(res.max_err < 1e-8, "err {}", res.max_err);
+}
+
+#[test]
+fn fft_single_place_degenerate() {
+    let res = rt(1).run(|ctx| kernels::fft::fft_distributed(ctx, 64, true));
+    assert!(res.max_err < 1e-10);
+}
+
+#[test]
+fn ra_various_batch_sizes_agree() {
+    for batch in [1usize, 7, 64, 4096] {
+        let res = Runtime::new(Config::new(2))
+            .run(move |ctx| kernels::ra::ra_distributed(ctx, 7, 2, batch));
+        assert_eq!(res.errors, 0, "batch={batch}");
+        assert_eq!(res.updates, 2 * 128 * 2);
+    }
+}
+
+#[test]
+fn kmeans_more_places_and_iters() {
+    let p = KMeansParams {
+        points_per_place: 60,
+        k: 3,
+        dim: 2,
+        iters: 6,
+        seed: 5,
+    };
+    let places = 6;
+    let (seq_cent, seq_costs) = kernels::kmeans::kmeans_sequential(&p, places);
+    let p2 = p.clone();
+    let (cent, costs) =
+        rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
+    for (a, b) in seq_costs.iter().zip(&costs) {
+        assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+    }
+    for (a, b) in seq_cent.iter().zip(&cent) {
+        assert!((a - b).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn hpl_larger_block_sizes() {
+    for nb in [4usize, 16] {
+        let params = HplParams {
+            n: 48,
+            nb,
+            seed: 11,
+        };
+        let res = rt(4).run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+        assert!(res.residual < 16.0, "nb={nb} residual {}", res.residual);
+    }
+}
+
+#[test]
+fn hpl_one_block_per_place_edge() {
+    // nblocks == grid dims: every place owns exactly one block row/col set.
+    let params = HplParams {
+        n: 16,
+        nb: 8,
+        seed: 2,
+    };
+    let res = rt(4).run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    assert!(res.residual < 16.0, "residual {}", res.residual);
+}
+
+#[test]
+fn bc_glb_multi_place_larger_graph() {
+    let params = kernels::bc::rmat::RmatParams::small_test(8);
+    let g = kernels::bc::rmat::generate(&params);
+    let seq = kernels::bc::bc_sequential(&g);
+    let cfg = glb::GlbConfig {
+        chunk: 8,
+        ..glb::GlbConfig::default()
+    };
+    let dist = rt(5).run(move |ctx| kernels::bc::bc_glb(ctx, params, cfg));
+    assert_eq!(dist.edges_traversed, seq.edges_traversed);
+}
+
+#[test]
+fn sw_many_places_boundary_safety() {
+    // More places than would naively fit the overlap: fragments must stay
+    // in bounds and still find the global optimum.
+    let (qlen, tlen, seed) = (25, 600, 3);
+    let q = kernels::sw::generate_query(qlen, seed);
+    let t = kernels::sw::generate_dna(tlen, seed, &q, 10); // plant near the left edge
+    let want = kernels::sw::sw_sequential(&q, &t, kernels::sw::Scoring::default());
+    let (got, _) = rt(8).run(move |ctx| {
+        kernels::sw::sw_distributed(ctx, qlen, tlen, seed, kernels::sw::Scoring::default())
+    });
+    assert_eq!(got, want);
+}
+
+#[test]
+fn stream_distributed_all_places_report() {
+    let res = rt(6).run(|ctx| kernels::stream::stream_distributed(ctx, 5_000, 2));
+    assert_eq!(res.len(), 6);
+    assert!(res.iter().all(|r| r.ok && r.bytes_per_sec > 0.0));
+}
+
+#[test]
+fn back_to_back_kernels_share_runtime() {
+    // Run three different kernels on the same runtime: residual protocol
+    // state (teams, handles, finishes) must not leak between them.
+    let rt = rt(4);
+    let params = HplParams {
+        n: 32,
+        nb: 8,
+        seed: 9,
+    };
+    let a = rt.run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    assert!(a.residual < 16.0);
+    let b = rt.run(|ctx| kernels::fft::fft_distributed(ctx, 1024, true));
+    assert!(b.max_err < 1e-8);
+    let c = rt.run(|ctx| kernels::ra::ra_distributed(ctx, 6, 2, 16));
+    assert_eq!(c.errors, 0);
+}

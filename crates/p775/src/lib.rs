@@ -1,0 +1,37 @@
+//! `p775` — a model of the IBM Power 775 ("PERCS") machine the paper ran
+//! on (§4), used to put this reproduction's measurements on the paper's
+//! scale axis.
+//!
+//! The paper's Hurcules system: 56 supernodes × 4 drawers × 8 octants; each
+//! octant (host) is a 32-core Power7 QCM with a Torrent hub, 982 Gflop/s
+//! peak, 512 GB/s memory bandwidth, 192 GB/s bidirectional interconnect
+//! bandwidth. The two-level direct-connect topology links every octant
+//! pair within a supernode ("L" links: LL 24 GB/s within a drawer, LR
+//! 5 GB/s across drawers) and every supernode pair (8 parallel "D" links of
+//! 10 GB/s each). Any two octants are at most three hops apart (L-D-L).
+//!
+//! Four things are modeled:
+//! * [`topology`] — the machine structure and link inventory;
+//! * [`bandwidth`] — the three cross-section-bandwidth regimes of §4
+//!   (octant-NIC-limited within one supernode, aggregate-D-limited for a
+//!   few supernodes, per-octant-limited again at many supernodes) and the
+//!   resulting all-to-all bandwidth curve with its sharp drop at two
+//!   supernodes;
+//! * [`netsim`] — a discrete-event, message-level simulator of the link
+//!   fabric, used to compare finish-protocol traffic shapes (e.g. the
+//!   FINISH_DENSE root-in-degree advantage) at place counts far beyond
+//!   what fits in one process;
+//! * [`model`] — per-kernel projection curves that combine *measured*
+//!   single-place rates from this reproduction with the bandwidth model to
+//!   regenerate the shapes of Figure 1 / Tables 1–2 (constants calibrated
+//!   against the paper's reported endpoints; every formula documents its
+//!   calibration).
+
+pub mod bandwidth;
+pub mod model;
+pub mod netsim;
+pub mod topology;
+
+pub use bandwidth::{alltoall_bw_per_octant, cross_section_bw};
+pub use netsim::{MsgSpec, NetSim, SimStats};
+pub use topology::{LinkCounts, Machine};

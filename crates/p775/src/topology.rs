@@ -1,0 +1,195 @@
+//! The Power 775 machine structure and link inventory (§4 of the paper).
+
+/// Link bandwidths, GB/s per direction.
+pub mod links {
+    /// "L" Local link between octants of the same drawer.
+    pub const LL_GBS: f64 = 24.0;
+    /// "L" Remote link between octants of different drawers of a supernode.
+    pub const LR_GBS: f64 = 5.0;
+    /// One "D" link between two supernodes.
+    pub const D_GBS: f64 = 10.0;
+    /// Parallel D links per supernode pair in the paper's configuration
+    /// ("eight of them … for a combined peak bandwidth of 80 GB/s").
+    pub const D_PER_PAIR: usize = 8;
+    /// Peak bidirectional interconnect bandwidth per octant (192 GB/s
+    /// bidirectional → 96 GB/s per direction).
+    pub const OCTANT_NIC_GBS: f64 = 96.0;
+}
+
+/// A (partition of the) Power 775 machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    /// Cores (places) per octant.
+    pub cores_per_octant: usize,
+    /// Octants per drawer.
+    pub octants_per_drawer: usize,
+    /// Drawers per supernode.
+    pub drawers_per_supernode: usize,
+    /// Supernodes in the partition.
+    pub supernodes: usize,
+}
+
+impl Machine {
+    /// The full Hurcules system: 56 supernodes, 1,792 octants (1,740
+    /// available for computation in the paper), 55,680+ cores.
+    pub fn hurcules() -> Machine {
+        Machine {
+            cores_per_octant: 32,
+            octants_per_drawer: 8,
+            drawers_per_supernode: 4,
+            supernodes: 56,
+        }
+    }
+
+    /// A partition with the given number of octants (rounded up to whole
+    /// supernodes for the link inventory).
+    pub fn partition_octants(octants: usize) -> Machine {
+        let per_sn = 32;
+        Machine {
+            cores_per_octant: 32,
+            octants_per_drawer: 8,
+            drawers_per_supernode: 4,
+            supernodes: octants.div_ceil(per_sn).max(1),
+        }
+    }
+
+    /// Octants per supernode.
+    pub fn octants_per_supernode(&self) -> usize {
+        self.octants_per_drawer * self.drawers_per_supernode
+    }
+
+    /// Total octants.
+    pub fn octants(&self) -> usize {
+        self.octants_per_supernode() * self.supernodes
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.octants() * self.cores_per_octant
+    }
+
+    /// Peak flop rate, Gflop/s (982 Gflop/s per octant).
+    pub fn peak_gflops(&self) -> f64 {
+        self.octants() as f64 * 982.0
+    }
+
+    /// Peak memory bandwidth per octant, GB/s.
+    pub fn memory_gbs_per_octant(&self) -> f64 {
+        512.0
+    }
+
+    /// Count the links inside a partition of `octants` octants (filled
+    /// supernode by supernode).
+    pub fn link_inventory(&self, octants: usize) -> LinkCounts {
+        let per_sn = self.octants_per_supernode();
+        let per_drawer = self.octants_per_drawer;
+        let full_sn = octants / per_sn;
+        let rem = octants % per_sn;
+        let mut ll = 0usize;
+        let mut lr = 0usize;
+        // A full supernode: every octant pair within a drawer is LL, every
+        // pair across drawers is LR.
+        let ll_per_sn = self.drawers_per_supernode * per_drawer * (per_drawer - 1) / 2;
+        let lr_per_sn = per_sn * (per_sn - 1) / 2 - ll_per_sn;
+        ll += full_sn * ll_per_sn;
+        lr += full_sn * lr_per_sn;
+        if rem > 0 {
+            // Partial supernode filled drawer by drawer.
+            let full_drawers = rem / per_drawer;
+            let rem_oct = rem % per_drawer;
+            ll += full_drawers * per_drawer * (per_drawer - 1) / 2
+                + rem_oct * (rem_oct.saturating_sub(1)) / 2;
+            let pairs_total = rem * (rem - 1) / 2;
+            let ll_partial = full_drawers * per_drawer * (per_drawer - 1) / 2
+                + rem_oct * rem_oct.saturating_sub(1) / 2;
+            lr += pairs_total - ll_partial;
+        }
+        let sn_used = full_sn + usize::from(rem > 0);
+        let d_pairs = sn_used * sn_used.saturating_sub(1) / 2;
+        LinkCounts {
+            ll,
+            lr,
+            d: d_pairs * links::D_PER_PAIR,
+        }
+    }
+}
+
+/// Link counts for a partition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LinkCounts {
+    /// LL links (24 GB/s each direction).
+    pub ll: usize,
+    /// LR links (5 GB/s each direction).
+    pub lr: usize,
+    /// Individual D links (10 GB/s each direction).
+    pub d: usize,
+}
+
+impl LinkCounts {
+    /// Aggregate one-direction bandwidth of all links, GB/s.
+    pub fn total_gbs(&self) -> f64 {
+        self.ll as f64 * links::LL_GBS + self.lr as f64 * links::LR_GBS + self.d as f64 * links::D_GBS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hurcules_scale_matches_paper() {
+        let m = Machine::hurcules();
+        assert_eq!(m.octants_per_supernode(), 32);
+        assert_eq!(m.octants(), 56 * 32);
+        assert_eq!(m.cores(), 57_344); // 1,740 of 1,792 octants usable in the paper
+        // theoretical peak ≈ 1.7 Pflop/s
+        assert!((m.peak_gflops() / 1e6 - 1.76).abs() < 0.1);
+    }
+
+    #[test]
+    fn one_drawer_links() {
+        let m = Machine::hurcules();
+        // 8 octants in one drawer: 28 LL pairs, no LR, no D.
+        let lc = m.link_inventory(8);
+        assert_eq!(lc, LinkCounts { ll: 28, lr: 0, d: 0 });
+    }
+
+    #[test]
+    fn one_supernode_links() {
+        let m = Machine::hurcules();
+        let lc = m.link_inventory(32);
+        // LL: 4 drawers × C(8,2)=28 → 112; LR: C(32,2) − 112 = 384.
+        assert_eq!(lc.ll, 112);
+        assert_eq!(lc.lr, 384);
+        assert_eq!(lc.d, 0);
+    }
+
+    #[test]
+    fn two_supernodes_have_eight_d_links() {
+        let m = Machine::hurcules();
+        let lc = m.link_inventory(64);
+        assert_eq!(lc.d, 8);
+        assert_eq!(lc.ll, 224);
+    }
+
+    #[test]
+    fn partial_drawer_links() {
+        let m = Machine::hurcules();
+        // 3 octants: C(3,2)=3 LL pairs.
+        let lc = m.link_inventory(3);
+        assert_eq!(lc, LinkCounts { ll: 3, lr: 0, d: 0 });
+        // 12 octants: one full drawer (28) + 4-octant drawer (6) = 34 LL,
+        // LR = C(12,2) − 34 = 32.
+        let lc = m.link_inventory(12);
+        assert_eq!(lc.ll, 34);
+        assert_eq!(lc.lr, 32);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_grows() {
+        let m = Machine::hurcules();
+        let small = m.link_inventory(8).total_gbs();
+        let big = m.link_inventory(128).total_gbs();
+        assert!(big > small);
+    }
+}

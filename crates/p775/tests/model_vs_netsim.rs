@@ -1,0 +1,75 @@
+//! Cross-validation: the *analytic* bandwidth model (three regimes of §4)
+//! against the *discrete-event* simulator — two independent encodings of
+//! the Power 775 fabric must agree on the qualitative shapes.
+
+use p775::{alltoall_bw_per_octant, Machine, MsgSpec, NetSim};
+
+/// Simulate a uniform all-to-all among the first octant of each supernode
+/// (one representative flow per supernode pair) and return the effective
+/// per-octant bandwidth.
+fn simulate_a2a(supernodes: usize, bytes: usize) -> f64 {
+    let m = Machine::hurcules();
+    let mut sim = NetSim::new(m);
+    let mut msgs = Vec::new();
+    // one core per octant, all octants of the partition exchange
+    let octants = supernodes * 32;
+    let sample: Vec<usize> = (0..octants).step_by((octants / 16).max(1)).collect();
+    for &a in &sample {
+        for &b in &sample {
+            if a != b {
+                msgs.push(MsgSpec {
+                    from: a * 32,
+                    to: b * 32,
+                    bytes,
+                    inject: 0.0,
+                });
+            }
+        }
+    }
+    let n_msgs = msgs.len();
+    let stats = sim.run(msgs);
+    // total bytes / time / participating octants
+    (n_msgs * bytes) as f64 / stats.makespan / sample.len() as f64
+}
+
+#[test]
+fn both_models_show_the_two_supernode_drop() {
+    let b1 = simulate_a2a(1, 1_000_000);
+    let b2 = simulate_a2a(2, 1_000_000);
+    // The store-and-forward simulator is coarser than the analytic model
+    // (it serializes whole messages), so the drop is attenuated but must
+    // still be clearly visible.
+    assert!(
+        b2 < b1 * 0.8,
+        "netsim must also show the 2-supernode drop: {b1:.2e} vs {b2:.2e}"
+    );
+    let m = Machine::hurcules();
+    let a1 = alltoall_bw_per_octant(&m, 32);
+    let a2 = alltoall_bw_per_octant(&m, 64);
+    assert!(a2 < a1 * 0.5, "analytic model drop");
+}
+
+#[test]
+fn both_models_show_recovery_with_more_supernodes() {
+    let b2 = simulate_a2a(2, 500_000);
+    let b8 = simulate_a2a(8, 500_000);
+    assert!(
+        b8 > b2 * 1.2,
+        "netsim recovery: 2 SN {b2:.2e} vs 8 SN {b8:.2e}"
+    );
+    let m = Machine::hurcules();
+    assert!(alltoall_bw_per_octant(&m, 8 * 32) > 2.0 * alltoall_bw_per_octant(&m, 64));
+}
+
+#[test]
+fn latency_orders_of_magnitude_sane() {
+    // a small message across supernodes should cost ~ a few microseconds
+    let mut sim = NetSim::new(Machine::hurcules());
+    let s = sim.run(vec![MsgSpec {
+        from: 0,
+        to: 40 * 32, // different supernode
+        bytes: 64,
+        inject: 0.0,
+    }]);
+    assert!(s.max_latency > 1.0e-6 && s.max_latency < 1.0e-4, "{}", s.max_latency);
+}

@@ -1,0 +1,259 @@
+//! The UTS work bag: compact interval representation plus the paper's
+//! steal policy.
+//!
+//! §6.1 refinements reproduced here:
+//!
+//! * "We adopt a more compact representation of the nodes remaining to be
+//!   processed in a place, by directly representing intervals of siblings
+//!   in the tree as intervals (lower, upper bounds) instead of using
+//!   expanded lists of nodes." — [`Interval`];
+//! * "to counteract the bias introduced by the depth cut-off, a thief
+//!   steals fragments of **every** interval in the work list. There are few
+//!   of them since we traverse the tree depth first." — [`UtsBag::split`].
+
+use crate::rng::{self, State};
+use crate::sequential::TreeStats;
+use crate::tree::GeoTree;
+use glb::TaskBag;
+
+/// A maximal run of unexplored siblings: children `lo..hi` of `parent`,
+/// living at depth `depth`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// The parent node's SHA-1 state.
+    pub parent: State,
+    /// Depth of the children in the interval.
+    pub depth: u32,
+    /// First unexplored child index.
+    pub lo: u32,
+    /// One past the last child index.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// Number of unexplored siblings.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
+/// The distributed-traversal work bag (implements [`glb::TaskBag`]).
+pub struct UtsBag {
+    tree: GeoTree,
+    work: Vec<Interval>,
+    stats: TreeStats,
+}
+
+impl UtsBag {
+    /// The root bag: counts the root node and seeds its child interval.
+    pub fn root(tree: GeoTree) -> Self {
+        let mut bag = UtsBag {
+            tree,
+            work: Vec::new(),
+            stats: TreeStats::default(),
+        };
+        let root = tree.root();
+        bag.stats.hashes += 1; // root init
+        bag.visit(root, 0);
+        bag
+    }
+
+    /// An empty bag for a place awaiting stolen work.
+    pub fn empty(tree: GeoTree) -> Self {
+        UtsBag {
+            tree,
+            work: Vec::new(),
+            stats: TreeStats::default(),
+        }
+    }
+
+    /// Pending sibling intervals (diagnostics).
+    pub fn intervals(&self) -> &[Interval] {
+        &self.work
+    }
+
+    /// Count `state` as visited and queue its children.
+    fn visit(&mut self, state: State, depth: u32) {
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        let kids = self.tree.num_children(&state, depth);
+        if kids == 0 {
+            self.stats.leaves += 1;
+        } else {
+            self.work.push(Interval {
+                parent: state,
+                depth: depth + 1,
+                lo: 0,
+                hi: kids,
+            });
+        }
+    }
+
+    /// Expand one node (depth-first: take from the last interval).
+    fn step(&mut self) -> bool {
+        let Some(iv) = self.work.last_mut() else {
+            return false;
+        };
+        let child = rng::spawn(&iv.parent, iv.lo);
+        self.stats.hashes += 1;
+        let depth = iv.depth;
+        iv.lo += 1;
+        if iv.is_empty() {
+            self.work.pop();
+        }
+        self.visit(child, depth);
+        true
+    }
+}
+
+// The paper requires that the depth cut-off "should not be used to predict
+// subtree sizes ... all nodes are to be treated equally for load balancing
+// purposes" — split() therefore halves node *counts*, never consulting
+// depth.
+impl TaskBag for UtsBag {
+    type Result = TreeStats;
+
+    fn process(&mut self, n: usize) -> usize {
+        for done in 0..n {
+            if !self.step() {
+                return done;
+            }
+        }
+        n
+    }
+
+    fn is_empty(&self) -> bool {
+        self.work.is_empty()
+    }
+
+    /// Steal a fragment of *every* interval: the upper half of each range
+    /// (rounded down, so the victim always keeps at least one node of any
+    /// length-≥2 interval). Length-1 intervals are not stolen.
+    fn split(&mut self) -> Option<Self> {
+        let mut loot = Vec::new();
+        for iv in &mut self.work {
+            let take = iv.len() / 2;
+            if take == 0 {
+                continue;
+            }
+            let mid = iv.hi - take;
+            loot.push(Interval {
+                parent: iv.parent,
+                depth: iv.depth,
+                lo: mid,
+                hi: iv.hi,
+            });
+            iv.hi = mid;
+        }
+        if loot.is_empty() {
+            return None;
+        }
+        Some(UtsBag {
+            tree: self.tree,
+            work: loot,
+            stats: TreeStats::default(),
+        })
+    }
+
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.tree, other.tree, "merging bags of different trees");
+        self.work.extend(other.work);
+        self.stats.nodes += other.stats.nodes;
+        self.stats.leaves += other.stats.leaves;
+        self.stats.hashes += other.stats.hashes;
+        self.stats.max_depth = self.stats.max_depth.max(other.stats.max_depth);
+    }
+
+    fn take_result(&mut self) -> TreeStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::traverse;
+
+    #[test]
+    fn bag_traversal_matches_sequential() {
+        for d in [0u32, 1, 3, 5, 7] {
+            let tree = GeoTree::paper(d);
+            let mut bag = UtsBag::root(tree);
+            while bag.process(1024) > 0 {}
+            let got = bag.take_result();
+            let want = traverse(&tree);
+            assert_eq!(got, want, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn split_takes_fragment_of_every_interval() {
+        let tree = GeoTree::paper(8);
+        let mut bag = UtsBag::root(tree);
+        bag.process(50);
+        let before: Vec<Interval> = bag.intervals().to_vec();
+        let splittable = before.iter().filter(|iv| iv.len() >= 2).count();
+        if splittable == 0 {
+            return; // tiny tree state; nothing to assert
+        }
+        let loot = bag.split().expect("should split");
+        assert_eq!(loot.work.len(), splittable);
+        // conservation: victim + loot == before, per interval
+        for (orig, kept) in before.iter().zip(bag.intervals()) {
+            assert_eq!(orig.lo, kept.lo);
+            assert!(!kept.is_empty());
+        }
+        let total_before: u64 = before.iter().map(|i| i.len() as u64).sum();
+        let total_after: u64 = bag.intervals().iter().map(|i| i.len() as u64).sum::<u64>()
+            + loot.work.iter().map(|i| i.len() as u64).sum::<u64>();
+        assert_eq!(total_before, total_after);
+    }
+
+    #[test]
+    fn split_then_merge_preserves_count() {
+        let tree = GeoTree::paper(6);
+        let mut bag = UtsBag::root(tree);
+        bag.process(20);
+        if let Some(loot) = bag.split() {
+            let mut other = UtsBag::empty(tree);
+            other.merge(loot);
+            // process both to completion, combine
+            while bag.process(4096) > 0 {}
+            while other.process(4096) > 0 {}
+            let mut a = bag.take_result();
+            let b = other.take_result();
+            a.nodes += b.nodes;
+            a.leaves += b.leaves;
+            a.hashes += b.hashes;
+            a.max_depth = a.max_depth.max(b.max_depth);
+            assert_eq!(a, traverse(&tree));
+        }
+    }
+
+    #[test]
+    fn empty_bag_refuses_split() {
+        let tree = GeoTree::paper(3);
+        let mut bag = UtsBag::empty(tree);
+        assert!(bag.split().is_none());
+        assert!(bag.is_empty());
+        assert_eq!(bag.process(10), 0);
+    }
+
+    #[test]
+    fn singleton_intervals_not_stolen() {
+        let tree = GeoTree::paper(3);
+        let mut bag = UtsBag::empty(tree);
+        bag.work.push(Interval {
+            parent: tree.root(),
+            depth: 1,
+            lo: 0,
+            hi: 1,
+        });
+        assert!(bag.split().is_none(), "length-1 interval must stay");
+    }
+}

@@ -1,0 +1,40 @@
+//! The distributed UTS traversal: [`bag::UtsBag`] under the lifeline
+//! balancer, with a FINISH_DENSE root finish — the paper's full §6 stack.
+
+use crate::bag::UtsBag;
+use crate::sequential::TreeStats;
+use crate::tree::GeoTree;
+use apgas::Ctx;
+use glb::{GlbConfig, GlbStatsSummary};
+
+/// Outcome of a distributed traversal.
+#[derive(Clone, Debug)]
+pub struct DistributedRun {
+    /// Combined tree statistics (nodes is the UTS figure of merit).
+    pub stats: TreeStats,
+    /// Per-place node counts (load distribution).
+    pub per_place_nodes: Vec<u64>,
+    /// Balancer totals (steals, gifts, resuscitations).
+    pub balancer: GlbStatsSummary,
+}
+
+/// Traverse `tree` across all places of the runtime, dynamically balanced.
+/// Call from the main activity.
+pub fn run_distributed(ctx: &Ctx, tree: GeoTree, cfg: GlbConfig) -> DistributedRun {
+    let root = UtsBag::root(tree);
+    let out = glb::run(ctx, cfg, root, move || UtsBag::empty(tree));
+    let mut stats = TreeStats::default();
+    let mut per_place_nodes = Vec::with_capacity(out.results.len());
+    for r in &out.results {
+        stats.nodes += r.nodes;
+        stats.leaves += r.leaves;
+        stats.hashes += r.hashes;
+        stats.max_depth = stats.max_depth.max(r.max_depth);
+        per_place_nodes.push(r.nodes);
+    }
+    DistributedRun {
+        stats,
+        per_place_nodes,
+        balancer: out.total_stats(),
+    }
+}

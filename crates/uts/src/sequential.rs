@@ -1,0 +1,89 @@
+//! Sequential UTS traversal — the verification oracle and the paper's
+//! single-place baseline ("the single-place performance is identical to the
+//! performance of the sequential implementation").
+
+use crate::rng::{self, State};
+use crate::tree::GeoTree;
+
+/// Traversal summary.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total nodes visited (the UTS figure of merit).
+    pub nodes: u64,
+    /// Leaves (nodes with no children).
+    pub leaves: u64,
+    /// Deepest node visited.
+    pub max_depth: u32,
+    /// SHA-1 evaluations performed (one per spawned child, as the paper
+    /// counts them: "we compute 17,328,102,175,815 SHA1 hashes").
+    pub hashes: u64,
+}
+
+/// Depth-first traversal with an explicit stack of (state, depth) nodes.
+pub fn traverse(tree: &GeoTree) -> TreeStats {
+    let mut stats = TreeStats::default();
+    let mut stack: Vec<(State, u32)> = vec![(tree.root(), 0)];
+    stats.hashes += 1; // root init hash
+    while let Some((state, depth)) = stack.pop() {
+        stats.nodes += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        let kids = tree.num_children(&state, depth);
+        if kids == 0 {
+            stats.leaves += 1;
+            continue;
+        }
+        for i in 0..kids {
+            stack.push((rng::spawn(&state, i), depth + 1));
+            stats.hashes += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_zero_is_single_node() {
+        let s = traverse(&GeoTree::paper(0));
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_depth, 0);
+    }
+
+    #[test]
+    fn node_count_grows_roughly_geometrically() {
+        let mut prev = traverse(&GeoTree::paper(1)).nodes;
+        for d in 2..=6 {
+            let n = traverse(&GeoTree::paper(d)).nodes;
+            assert!(n > prev, "tree must grow with depth");
+            prev = n;
+        }
+        // Expected size at d=6 is ~ (4^7)/3 ≈ 5461; allow a wide band
+        // (single sample of a heavy-tailed distribution).
+        assert!(prev > 500 && prev < 60_000, "d=6 size {prev}");
+    }
+
+    #[test]
+    fn nodes_equal_hashes(){
+        // Every node except the root is created by exactly one spawn hash;
+        // the root costs one init hash. So hashes == nodes when every
+        // spawned child is visited.
+        let s = traverse(&GeoTree::paper(5));
+        assert_eq!(s.hashes, s.nodes);
+    }
+
+    #[test]
+    fn max_depth_respects_cutoff() {
+        let s = traverse(&GeoTree::paper(4));
+        assert!(s.max_depth <= 4);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = traverse(&GeoTree::paper(7));
+        let b = traverse(&GeoTree::paper(7));
+        assert_eq!(a, b);
+    }
+}

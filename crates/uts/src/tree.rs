@@ -1,0 +1,236 @@
+//! The geometric tree law.
+//!
+//! "The nodes in a geometric tree have a branching factor that follows a
+//! geometric distribution with an expected value that is specified by the
+//! parameter b0 > 1. The parameter d specifies its maximum depth cut-off,
+//! beyond which the tree is not allowed to grow ... The expected size of
+//! these trees is (b0)^d, but since the geometric distribution has a long
+//! tail, some nodes will have significantly more than b0 children, yielding
+//! unbalanced trees." (§6, quoting Olivier et al.)
+//!
+//! The paper fixes `b0 = 4`, seed `r = 19` and varies `d` from 14 to 22.
+
+use crate::rng::{self, State};
+
+/// The branching law of a UTS tree.
+///
+/// The paper evaluates GEO (fixed-shape geometric) trees; BIN (binomial)
+/// trees are part of the UTS specification and produce the *deep, narrow*
+/// trees the paper contrasts against ("[the interval refinements] are
+/// tailored for UTS for shallow trees … not likely to help as much for
+/// deep and narrow trees").
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Shape {
+    /// Geometric branching with fixed expectation `b0` (the paper's law).
+    Geometric,
+    /// Binomial: each non-root node has `m` children with probability `q`
+    /// and none otherwise (expected branching `m·q`; subcritical for
+    /// `m·q < 1`, giving long spindly trees).
+    Binomial {
+        /// Children per fertile node.
+        m: u32,
+        /// Probability a node is fertile.
+        q: f64,
+    },
+}
+
+/// Parameters of a UTS tree.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GeoTree {
+    /// Expected branching factor (`b0`) — also the root's fixed arity.
+    pub b0: f64,
+    /// Root seed (`r`).
+    pub seed: u32,
+    /// Depth cut-off (`d`): nodes at depth ≥ d have no children.
+    /// (BIN trees in the UTS spec are uncut; pass a large `d`.)
+    pub depth: u32,
+    /// Branching law.
+    pub shape: Shape,
+}
+
+impl GeoTree {
+    /// The paper's configuration: GEO, `b0 = 4`, `r = 19`, depth `d`.
+    pub fn paper(depth: u32) -> Self {
+        GeoTree {
+            b0: 4.0,
+            seed: 19,
+            depth,
+            shape: Shape::Geometric,
+        }
+    }
+
+    /// A binomial (deep-and-narrow) tree: `b0` root children, then `m`
+    /// children with probability `q` per node. Keep `m·q < 1` or supply a
+    /// real depth cut-off, otherwise the tree is infinite in expectation.
+    pub fn binomial(root_children: u32, m: u32, q: f64, seed: u32) -> Self {
+        GeoTree {
+            b0: root_children as f64,
+            seed,
+            depth: u32::MAX,
+            shape: Shape::Binomial { m, q },
+        }
+    }
+
+    /// Root node state.
+    pub fn root(&self) -> State {
+        rng::init(self.seed)
+    }
+
+    /// Number of children of a node with `state` at `depth`.
+    ///
+    /// GEO: geometric draw `⌊log(1−u) / log(1−p)⌋` with `p = 1/(1+b0)`,
+    /// expectation `b0`, zero beyond the cut-off. BIN: `m` with probability
+    /// `q`. The root's branching is fixed at `⌈b0⌉` under both laws (as in
+    /// the reference UTS generator), so a tree never degenerates to a
+    /// single node on an unlucky seed.
+    pub fn num_children(&self, state: &State, depth: u32) -> u32 {
+        if depth >= self.depth {
+            return 0;
+        }
+        if depth == 0 {
+            return self.b0.ceil() as u32;
+        }
+        let u = rng::to_prob(state);
+        match self.shape {
+            Shape::Geometric => {
+                let p = 1.0 / (1.0 + self.b0);
+                let v = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+                debug_assert!(v >= 0.0);
+                v as u32
+            }
+            Shape::Binomial { m, q } => {
+                if u < q {
+                    m
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Expected number of nodes: `(b0^(d+1) − 1)/(b0 − 1)` for GEO;
+    /// `1 + b0/(1 − m·q)` for subcritical BIN.
+    pub fn expected_size(&self) -> f64 {
+        match self.shape {
+            Shape::Geometric => {
+                (self.b0.powi(self.depth as i32 + 1) - 1.0) / (self.b0 - 1.0)
+            }
+            Shape::Binomial { m, q } => {
+                let rate = m as f64 * q;
+                if rate < 1.0 {
+                    1.0 + self.b0 / (1.0 - rate)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_stops_growth() {
+        let t = GeoTree::paper(3);
+        let s = t.root();
+        assert_eq!(t.num_children(&s, 3), 0);
+        assert_eq!(t.num_children(&s, 99), 0);
+    }
+
+    #[test]
+    fn branching_mean_near_b0() {
+        let t = GeoTree::paper(100);
+        let root = t.root();
+        let mut total = 0u64;
+        let n = 20_000u32;
+        for i in 0..n {
+            let s = rng::spawn(&root, i);
+            total += t.num_children(&s, 1) as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.15,
+            "geometric mean branching should be ≈ b0=4, got {mean}"
+        );
+    }
+
+    #[test]
+    fn long_tail_exists() {
+        // Some nodes must have significantly more than b0 children.
+        let t = GeoTree::paper(100);
+        let root = t.root();
+        let max = (0..20_000)
+            .map(|i| t.num_children(&rng::spawn(&root, i), 1))
+            .max()
+            .unwrap();
+        assert!(max >= 20, "expected a long tail, max was {max}");
+    }
+
+    #[test]
+    fn root_branching_fixed() {
+        let t = GeoTree::paper(5);
+        assert_eq!(t.num_children(&t.root(), 0), 4);
+    }
+
+    #[test]
+    fn deterministic_children() {
+        let t = GeoTree::paper(10);
+        let s = rng::spawn(&t.root(), 3);
+        assert_eq!(t.num_children(&s, 2), t.num_children(&s, 2));
+    }
+
+    #[test]
+    fn expected_size_formula() {
+        let t = GeoTree::paper(2);
+        // (4^3 - 1) / 3 = 21
+        assert!((t.expected_size() - 21.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod bin_tests {
+    use super::*;
+    use crate::sequential::traverse;
+
+    #[test]
+    fn binomial_trees_are_deep_and_narrow() {
+        // m=1, q=0.9: each root child heads a chain of expected length 10
+        // — the spindly regime. Depth should be a large fraction of size.
+        let mut deep = 0;
+        let mut total_nodes = 0u64;
+        for seed in 0..40 {
+            let t = GeoTree::binomial(4, 1, 0.9, seed);
+            let s = traverse(&t);
+            total_nodes += s.nodes;
+            if s.max_depth as u64 * 4 > s.nodes {
+                deep += 1; // depth comparable to size ⇒ spindly
+            }
+        }
+        let mean = total_nodes as f64 / 40.0;
+        // expected size 1 + 4/(1-0.9) = 41
+        assert!(mean > 10.0 && mean < 150.0, "mean size {mean}");
+        assert!(deep > 20, "most trees must be deep and narrow, got {deep}");
+    }
+
+    #[test]
+    fn binomial_matches_expected_size_formula() {
+        let t = GeoTree::binomial(4, 4, 0.2, 19);
+        assert!((t.expected_size() - 21.0).abs() < 1e-9);
+        assert!(GeoTree::binomial(4, 2, 0.5, 19).expected_size().is_infinite());
+    }
+
+    #[test]
+    fn binomial_distributed_traversal_counts_match() {
+        // The balancer must handle spindly trees too (single-interval
+        // worklists where fragment stealing has little to take).
+        let t = GeoTree::binomial(64, 8, 0.121, 7); // supercritical-ish burst, subcritical tail
+        let want = traverse(&t);
+        assert!(want.nodes > 50, "need a non-trivial tree, got {}", want.nodes);
+        let rt = apgas::Runtime::new(apgas::Config::new(3));
+        let got = rt.run(move |ctx| crate::run_distributed(ctx, t, glb::GlbConfig { chunk: 4, ..glb::GlbConfig::default() }));
+        assert_eq!(got.stats.nodes, want.nodes);
+        assert_eq!(got.stats.max_depth, want.max_depth);
+    }
+}

@@ -1,0 +1,98 @@
+//! Distributed UTS: the balanced traversal must count exactly the same
+//! tree the sequential oracle counts, at any place count.
+
+use apgas::{Config, Runtime};
+use glb::GlbConfig;
+use uts::{run_distributed, traverse, GeoTree};
+
+fn cfg() -> GlbConfig {
+    GlbConfig {
+        chunk: 64,
+        ..GlbConfig::default()
+    }
+}
+
+#[test]
+fn distributed_counts_match_sequential_one_place() {
+    let tree = GeoTree::paper(7);
+    let want = traverse(&tree);
+    let rt = Runtime::new(Config::new(1));
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    assert_eq!(got.stats, want);
+}
+
+#[test]
+fn distributed_counts_match_sequential_multi_place() {
+    let tree = GeoTree::paper(8);
+    let want = traverse(&tree);
+    for places in [2usize, 4, 7] {
+        let rt = Runtime::new(Config::new(places).places_per_host(4));
+        let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+        assert_eq!(got.stats.nodes, want.nodes, "places={places}");
+        assert_eq!(got.stats.leaves, want.leaves, "places={places}");
+        assert_eq!(got.stats.hashes, want.hashes, "places={places}");
+        assert_eq!(got.stats.max_depth, want.max_depth, "places={places}");
+    }
+}
+
+#[test]
+fn load_actually_spreads_across_places() {
+    let tree = GeoTree::paper(9);
+    let rt = Runtime::new(Config::new(6).places_per_host(4));
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    let busy = got.per_place_nodes.iter().filter(|&&n| n > 0).count();
+    assert!(
+        busy >= 4,
+        "unbalanced tree should still busy most places: {:?}",
+        got.per_place_nodes
+    );
+    // No single place should have done almost everything.
+    let max = *got.per_place_nodes.iter().max().unwrap();
+    assert!(
+        (max as f64) < 0.9 * got.stats.nodes as f64,
+        "distribution too skewed: {:?}",
+        got.per_place_nodes
+    );
+}
+
+#[test]
+fn balancer_statistics_are_consistent() {
+    let tree = GeoTree::paper(8);
+    let rt = Runtime::new(Config::new(4));
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    let b = got.balancer;
+    // The root node is counted when the root bag is built, before the
+    // balancer runs; every other node is one process() step.
+    assert_eq!(b.processed, got.stats.nodes - 1, "every node processed once");
+    assert!(b.random_hits <= b.random_attempts);
+    // resuscitations can't exceed gifts delivered
+    assert!(b.resuscitations <= b.lifeline_gifts);
+}
+
+#[test]
+fn deterministic_total_regardless_of_schedule() {
+    // Two runs with different chunk sizes (different interleavings) agree.
+    let tree = GeoTree::paper(8);
+    let rt = Runtime::new(Config::new(5));
+    let a = rt.run(move |ctx| {
+        run_distributed(
+            ctx,
+            tree,
+            GlbConfig {
+                chunk: 16,
+                ..GlbConfig::default()
+            },
+        )
+    });
+    let b = rt.run(move |ctx| {
+        run_distributed(
+            ctx,
+            tree,
+            GlbConfig {
+                chunk: 1024,
+                ..GlbConfig::default()
+            },
+        )
+    });
+    assert_eq!(a.stats, b.stats);
+}

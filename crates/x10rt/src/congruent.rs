@@ -1,0 +1,242 @@
+//! The congruent memory allocator (§3.3).
+//!
+//! RDMA and collectives require registered memory whose *effective address*
+//! both ends of a transfer can compute. The paper's congruent allocator
+//! "when using the same allocation sequence in every place … can be
+//! configured for symmetric allocation in order to return the same sequence
+//! of addresses everywhere". We reproduce the property that matters: every
+//! place's allocator hands out segment ids deterministically (0, 1, 2, …),
+//! so a program that performs the same allocations at every place can name
+//! the peer's buffer as `(peer, same SegId, offset)` with no handshake.
+//! RandomAccess uses this to aim GUPS updates, HPL/FFT use it for
+//! `asyncCopy` targets.
+//!
+//! Large-page backing is modeled by [`crate::segment::SEGMENT_ALIGN`]
+//! alignment; allocation is outside any GC's control by construction (raw
+//! segments), mirroring the paper's design where congruent arrays behave
+//! like ordinary arrays *except* for supporting extra communication
+//! primitives.
+
+use crate::rdma::RemoteAddr;
+use crate::segment::{SegId, Segment, SegmentTable};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Types that may live in a congruent (RDMA-able) array: plain-old-data with
+/// no padding-sensitive invariants and no drop glue.
+///
+/// # Safety
+/// Implementors must be valid for every bit pattern (the segment is zero
+/// initialized and may be overwritten by raw byte copies).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Per-place deterministic segment-id allocator over a shared
+/// [`SegmentTable`].
+pub struct CongruentAllocator {
+    table: Arc<SegmentTable>,
+    next: Vec<AtomicU64>,
+}
+
+impl CongruentAllocator {
+    /// An allocator for `places` places registering into `table`.
+    pub fn new(places: usize, table: Arc<SegmentTable>) -> Self {
+        CongruentAllocator {
+            table,
+            next: (0..places).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The shared segment table (RDMA resolves through it).
+    pub fn table(&self) -> &Arc<SegmentTable> {
+        &self.table
+    }
+
+    /// Allocate a zeroed congruent array of `len` elements at `place`.
+    ///
+    /// The returned array's [`SegId`] depends only on how many congruent
+    /// allocations `place` has performed before — the symmetric-allocation
+    /// property.
+    pub fn alloc<T: Pod>(&self, place: u32, len: usize) -> CongruentArray<T> {
+        assert!(len > 0, "congruent arrays cannot be empty");
+        let id = SegId(self.next[place as usize].fetch_add(1, Ordering::Relaxed));
+        let seg = Arc::new(Segment::alloc(len * std::mem::size_of::<T>()));
+        self.table.register(place, id, seg.clone());
+        CongruentArray {
+            place,
+            id,
+            len,
+            seg,
+            table: self.table.clone(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// How many segments `place` has allocated so far.
+    pub fn allocated_at(&self, place: u32) -> u64 {
+        self.next[place as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// A typed, registered, RDMA-able array owned by one place.
+///
+/// Dropping the array unregisters the segment (in-flight RDMA holding the
+/// `Arc<Segment>` keeps the memory alive until it finishes).
+pub struct CongruentArray<T: Pod> {
+    place: u32,
+    id: SegId,
+    len: usize,
+    seg: Arc<Segment>,
+    table: Arc<SegmentTable>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Pod> CongruentArray<T> {
+    /// Owning place.
+    #[inline]
+    pub fn place(&self) -> u32 {
+        self.place
+    }
+
+    /// Segment id — identical across places for identical allocation
+    /// sequences.
+    #[inline]
+    pub fn id(&self) -> SegId {
+        self.id
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The backing segment.
+    #[inline]
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.seg
+    }
+
+    /// Global address of element `i` *at this place*.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> RemoteAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        RemoteAddr::new(self.place, self.id, i * std::mem::size_of::<T>())
+    }
+
+    /// Global address of element `i` of the *congruent peer array* at
+    /// another place (same allocation sequence assumed — that is the
+    /// congruence contract).
+    #[inline]
+    pub fn peer_addr_of(&self, peer: u32, i: usize) -> RemoteAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        RemoteAddr::new(peer, self.id, i * std::mem::size_of::<T>())
+    }
+
+    /// Read-only view of the elements.
+    ///
+    /// RDMA discipline: the caller's protocol must ensure no concurrent
+    /// remote *write* overlaps this view (phases separated by `finish` or a
+    /// barrier), exactly as on real RDMA hardware.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: segment length is >= len * size_of::<T>(), alignment is
+        // 64 KiB >= align_of::<T>() for Pod types; Pod admits any bits.
+        unsafe { std::slice::from_raw_parts(self.seg.as_ptr() as *const T, self.len) }
+    }
+
+    /// Mutable view of the elements (same RDMA discipline as
+    /// [`Self::as_slice`]).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as above; &mut self prevents aliasing through *this*
+        // handle, remote access is governed by the RDMA discipline.
+        unsafe { std::slice::from_raw_parts_mut(self.seg.as_ptr() as *mut T, self.len) }
+    }
+}
+
+impl<T: Pod> Drop for CongruentArray<T> {
+    fn drop(&mut self) {
+        self.table.unregister(self.place, self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdma;
+
+    fn alloc2() -> (CongruentAllocator, Arc<SegmentTable>) {
+        let table = Arc::new(SegmentTable::new());
+        (CongruentAllocator::new(2, table.clone()), table)
+    }
+
+    #[test]
+    fn symmetric_ids_across_places() {
+        let (a, _) = alloc2();
+        let x0 = a.alloc::<u64>(0, 16);
+        let y0 = a.alloc::<f64>(0, 8);
+        let x1 = a.alloc::<u64>(1, 16);
+        let y1 = a.alloc::<f64>(1, 8);
+        assert_eq!(x0.id(), x1.id());
+        assert_eq!(y0.id(), y1.id());
+        assert_ne!(x0.id(), y0.id());
+        assert_eq!(a.allocated_at(0), 2);
+    }
+
+    #[test]
+    fn typed_views_roundtrip() {
+        let (a, _) = alloc2();
+        let mut arr = a.alloc::<f64>(0, 4);
+        arr.as_mut_slice()[2] = 2.5;
+        assert_eq!(arr.as_slice(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn rdma_into_peer_congruent_array() {
+        let (a, table) = alloc2();
+        let src = a.alloc::<u64>(0, 4);
+        let mut dst = a.alloc::<u64>(1, 4);
+        // Place 0 names place 1's buffer via its own handle (congruence).
+        let addr = src.peer_addr_of(1, 1);
+        rdma::put(&table, addr, &42u64.to_ne_bytes());
+        assert_eq!(dst.as_mut_slice()[1], 42);
+    }
+
+    #[test]
+    fn drop_unregisters() {
+        let (a, table) = alloc2();
+        let arr = a.alloc::<u32>(0, 4);
+        let id = arr.id();
+        assert!(table.lookup(0, id).is_some());
+        drop(arr);
+        assert!(table.lookup(0, id).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn addr_of_bounds_checked() {
+        let (a, _) = alloc2();
+        let arr = a.alloc::<u64>(0, 4);
+        arr.addr_of(4);
+    }
+}

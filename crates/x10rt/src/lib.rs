@@ -1,0 +1,44 @@
+//! `x10rt` — the X10 Runtime Transport layer, reimplemented in Rust.
+//!
+//! The paper ("X10 and APGAS at Petascale", PPoPP'14, §3.3) describes X10's
+//! layered runtime: the upper APGAS layer (places, activities, `finish`)
+//! talks to a common transport API — X10RT — with back-ends for PAMI, MPI and
+//! TCP/IP sockets. An implementation is only *required* to provide basic
+//! point-to-point FIFO primitives; richer capabilities (collectives, RDMA)
+//! are either mapped to hardware or emulated.
+//!
+//! This crate provides:
+//!
+//! * [`transport::Transport`] — the point-to-point API, with the in-process
+//!   [`transport::LocalTransport`] back-end (one FIFO queue per place,
+//!   per-sender ordering, exactly the guarantee PAMI gives and the guarantee
+//!   the finish protocols rely on);
+//! * [`stats::NetStats`] — per-message-class counters (messages, modeled wire
+//!   bytes, per-place in-degree) so benchmarks can compare protocol costs;
+//! * [`segment`] / [`rdma`] — registered memory segments and RDMA emulation:
+//!   `put`/`get` copy directly into the destination segment from the sender's
+//!   thread (no destination-CPU involvement — the defining property of RDMA),
+//!   and `fetch_xor_u64` models the Torrent "GUPS" remote atomic update;
+//! * [`congruent`] — the congruent memory allocator: the same allocation
+//!   sequence executed at every place yields the same segment identifiers, so
+//!   any place can name remote memory without a handshake (§3.3, "Congruent
+//!   Memory Allocator");
+//! * [`place`] — place identifiers and the host topology (the paper runs 32
+//!   places per Power 775 octant; `FINISH_DENSE` routes control messages via
+//!   per-host master places).
+
+pub mod congruent;
+pub mod message;
+pub mod place;
+pub mod rdma;
+pub mod segment;
+pub mod stats;
+pub mod transport;
+
+pub use congruent::{CongruentAllocator, CongruentArray, Pod};
+pub use message::{Envelope, MsgClass, Payload};
+pub use place::{PlaceId, Topology};
+pub use rdma::RemoteAddr;
+pub use segment::{SegId, Segment, SegmentTable};
+pub use stats::NetStats;
+pub use transport::{LocalTransport, Transport};

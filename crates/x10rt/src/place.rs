@@ -1,0 +1,154 @@
+//! Place identifiers and the host topology.
+//!
+//! A *place* is the APGAS unit of locality: a collection of data plus the
+//! worker(s) operating on it. The paper runs one place per Power7 core and 32
+//! places per octant (host). Several subsystems need the place→host mapping:
+//! `FINISH_DENSE` routes termination-control messages through one *master*
+//! place per host, and the Power 775 bandwidth model charges intra-host and
+//! inter-host traffic to different links.
+
+use std::fmt;
+
+/// Identifier of a place (0-based, dense).
+///
+/// The X10 execution model numbers places `0..n`; execution starts with the
+/// main activity at `Place(0)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub u32);
+
+impl PlaceId {
+    /// The place index as a `usize`, for indexing per-place tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The first place, where the main activity starts.
+    pub const FIRST: PlaceId = PlaceId(0);
+}
+
+impl fmt::Debug for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Place({})", self.0)
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Mapping from places to hosts (octants on the Power 775).
+///
+/// Places are laid out densely: host `h` owns places
+/// `h*places_per_host .. (h+1)*places_per_host` (the final host may own
+/// fewer when `places` is not a multiple). This matches the paper's launch
+/// configuration ("places are mapped to hosts in groups of 32").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    places: usize,
+    places_per_host: usize,
+}
+
+impl Topology {
+    /// Create a topology of `places` places packed `places_per_host` per host.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(places: usize, places_per_host: usize) -> Self {
+        assert!(places > 0, "topology needs at least one place");
+        assert!(places_per_host > 0, "places_per_host must be positive");
+        Topology {
+            places,
+            places_per_host,
+        }
+    }
+
+    /// Total number of places.
+    #[inline]
+    pub fn places(&self) -> usize {
+        self.places
+    }
+
+    /// Places packed per host (32 on the Power 775).
+    #[inline]
+    pub fn places_per_host(&self) -> usize {
+        self.places_per_host
+    }
+
+    /// Number of hosts (octants) in use.
+    #[inline]
+    pub fn hosts(&self) -> usize {
+        self.places.div_ceil(self.places_per_host)
+    }
+
+    /// Host (octant) index of a place.
+    #[inline]
+    pub fn host_of(&self, p: PlaceId) -> usize {
+        p.index() / self.places_per_host
+    }
+
+    /// The *master* place of `p`'s host: the paper's `FINISH_DENSE` routes a
+    /// control message from place `p` to `q` via `p - p%b` then `q - q%b`
+    /// where `b` is the number of places per node.
+    #[inline]
+    pub fn master_of(&self, p: PlaceId) -> PlaceId {
+        PlaceId((p.index() - p.index() % self.places_per_host) as u32)
+    }
+
+    /// Do two places share a host (so their traffic never leaves the node)?
+    #[inline]
+    pub fn same_host(&self, a: PlaceId, b: PlaceId) -> bool {
+        self.host_of(a) == self.host_of(b)
+    }
+
+    /// Iterate over all places.
+    pub fn iter(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.places as u32).map(PlaceId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_mapping_groups_of_b() {
+        let t = Topology::new(70, 32);
+        assert_eq!(t.hosts(), 3);
+        assert_eq!(t.host_of(PlaceId(0)), 0);
+        assert_eq!(t.host_of(PlaceId(31)), 0);
+        assert_eq!(t.host_of(PlaceId(32)), 1);
+        assert_eq!(t.host_of(PlaceId(69)), 2);
+    }
+
+    #[test]
+    fn master_is_first_place_of_host() {
+        let t = Topology::new(128, 32);
+        assert_eq!(t.master_of(PlaceId(0)), PlaceId(0));
+        assert_eq!(t.master_of(PlaceId(31)), PlaceId(0));
+        assert_eq!(t.master_of(PlaceId(33)), PlaceId(32));
+        assert_eq!(t.master_of(PlaceId(127)), PlaceId(96));
+    }
+
+    #[test]
+    fn same_host_symmetric() {
+        let t = Topology::new(64, 32);
+        assert!(t.same_host(PlaceId(1), PlaceId(31)));
+        assert!(!t.same_host(PlaceId(31), PlaceId(32)));
+    }
+
+    #[test]
+    fn single_place_topology() {
+        let t = Topology::new(1, 32);
+        assert_eq!(t.hosts(), 1);
+        assert_eq!(t.master_of(PlaceId(0)), PlaceId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_places_rejected() {
+        Topology::new(0, 32);
+    }
+}

@@ -1,0 +1,170 @@
+//! RDMA emulation: one-sided puts/gets and the Torrent "GUPS" remote atomic
+//! update.
+//!
+//! RDMA hardware "enables the transfer of segments of memory from one machine
+//! to another without local copies and without the involvement of the CPU or
+//! operating system" of the target (§3.3). We model that by performing the
+//! copy *from the initiator's thread* directly into the registered remote
+//! segment: the destination worker never schedules a task for the transfer.
+//! Completion is reported to the caller (the APGAS layer wires it into the
+//! enclosing `finish`, mirroring `Array.asyncCopy` being "treated exactly as
+//! if it were an async").
+//!
+//! The Torrent's GUPS feature — "atomic remote memory updates (e.g., XOR a
+//! memory location with an argument data word)" — is modeled by
+//! [`fetch_xor_u64`]/[`fetch_add_u64`] on the remote segment's atomic view.
+
+use crate::segment::{SegId, SegmentTable};
+
+/// A global address: a word/byte offset within a registered segment of a
+/// place. This is what the congruent allocator lets every place compute
+/// without communication.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RemoteAddr {
+    /// Owning place.
+    pub place: u32,
+    /// Registered segment at that place.
+    pub seg: SegId,
+    /// Byte offset within the segment.
+    pub offset: usize,
+}
+
+impl RemoteAddr {
+    /// Address of byte `offset` in segment `seg` of `place`.
+    pub fn new(place: u32, seg: SegId, offset: usize) -> Self {
+        RemoteAddr { place, seg, offset }
+    }
+}
+
+/// One-sided put: copy `src` into the remote segment at `dst`.
+///
+/// Returns the number of bytes transferred.
+///
+/// # Panics
+/// Panics if the destination segment is not registered or the range is out
+/// of bounds — both are programming errors a real NIC would surface as a
+/// fatal transport error.
+pub fn put(table: &SegmentTable, dst: RemoteAddr, src: &[u8]) -> usize {
+    let seg = table
+        .lookup(dst.place, dst.seg)
+        .unwrap_or_else(|| panic!("put: unregistered segment {:?} at place {}", dst.seg, dst.place));
+    seg.write(dst.offset, src);
+    src.len()
+}
+
+/// One-sided get: copy from the remote segment at `src` into `dst`.
+///
+/// Returns the number of bytes transferred.
+///
+/// # Panics
+/// Panics if the source segment is not registered or the range is out of
+/// bounds.
+pub fn get(table: &SegmentTable, src: RemoteAddr, dst: &mut [u8]) -> usize {
+    let seg = table
+        .lookup(src.place, src.seg)
+        .unwrap_or_else(|| panic!("get: unregistered segment {:?} at place {}", src.seg, src.place));
+    seg.read(src.offset, dst);
+    dst.len()
+}
+
+/// GUPS: atomically XOR the 64-bit word at word-index `word` of the remote
+/// segment with `value`. Returns the previous value.
+///
+/// # Panics
+/// Panics on unregistered segment or out-of-bounds word.
+pub fn fetch_xor_u64(table: &SegmentTable, place: u32, seg: SegId, word: usize, value: u64) -> u64 {
+    let s = table
+        .lookup(place, seg)
+        .unwrap_or_else(|| panic!("xor: unregistered segment {seg:?} at place {place}"));
+    s.atomic_u64(word)
+        .fetch_xor(value, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Remote atomic add on a 64-bit word (useful for counters/histograms).
+///
+/// # Panics
+/// Panics on unregistered segment or out-of-bounds word.
+pub fn fetch_add_u64(table: &SegmentTable, place: u32, seg: SegId, word: usize, value: u64) -> u64 {
+    let s = table
+        .lookup(place, seg)
+        .unwrap_or_else(|| panic!("add: unregistered segment {seg:?} at place {place}"));
+    s.atomic_u64(word)
+        .fetch_add(value, std::sync::atomic::Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+    use std::sync::Arc;
+
+    fn table_with(place: u32, id: u64, bytes: usize) -> SegmentTable {
+        let t = SegmentTable::new();
+        t.register(place, SegId(id), Arc::new(Segment::alloc(bytes)));
+        t
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let t = table_with(1, 0, 64);
+        let addr = RemoteAddr::new(1, SegId(0), 16);
+        assert_eq!(put(&t, addr, &[9, 8, 7]), 3);
+        let mut out = [0u8; 3];
+        assert_eq!(get(&t, addr, &mut out), 3);
+        assert_eq!(out, [9, 8, 7]);
+    }
+
+    #[test]
+    fn xor_is_atomic_and_returns_previous() {
+        let t = table_with(0, 3, 32);
+        assert_eq!(fetch_xor_u64(&t, 0, SegId(3), 1, 0xff), 0);
+        assert_eq!(fetch_xor_u64(&t, 0, SegId(3), 1, 0x0f), 0xff);
+        let mut b = [0u8; 8];
+        get(&t, RemoteAddr::new(0, SegId(3), 8), &mut b);
+        assert_eq!(u64::from_ne_bytes(b), 0xf0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let t = table_with(0, 0, 8);
+        fetch_add_u64(&t, 0, SegId(0), 0, 5);
+        assert_eq!(fetch_add_u64(&t, 0, SegId(0), 0, 2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered segment")]
+    fn put_to_unregistered_panics() {
+        let t = SegmentTable::new();
+        put(&t, RemoteAddr::new(0, SegId(0), 0), &[1]);
+    }
+
+    #[test]
+    fn concurrent_xor_from_many_threads() {
+        let t = Arc::new(table_with(0, 0, 8));
+        let mut hs = vec![];
+        for _ in 0..4 {
+            let t = t.clone();
+            hs.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    fetch_xor_u64(&t, 0, SegId(0), 0, 1 << (i % 64));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        // 4000 xors of repeating masks: each bit toggled a multiple-of-4
+        // number of times in total... 1000 iterations toggle bits 0..63 with
+        // counts 16 (bits 0..39 get 16, bits 40..63 get 15)? Rather than
+        // recompute, assert determinism by replaying sequentially.
+        let mut expect = 0u64;
+        for _ in 0..4 {
+            for i in 0..1000u64 {
+                expect ^= 1 << (i % 64);
+            }
+        }
+        let mut b = [0u8; 8];
+        get(&t, RemoteAddr::new(0, SegId(0), 0), &mut b);
+        assert_eq!(u64::from_ne_bytes(b), expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Network statistics.
+//!
+//! The paper argues about protocol cost in terms of control-message counts,
+//! who receives them (the root of a `finish` can be flooded), and communication
+//! out-degree (the Power 775 stack "favors communication graphs with low
+//! out-degree"; UTS bounds its victim list at 1,024 for this reason). These
+//! counters make all three observable so tests and benches can assert e.g.
+//! that `FINISH_SPMD` sends exactly `n` termination messages or that
+//! `FINISH_DENSE` reduces the in-degree at the finish root.
+
+use crate::message::MsgClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NCLASS: usize = MsgClass::ALL.len();
+
+/// A snapshot of one class's counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Modeled wire bytes sent (headers included).
+    pub bytes: u64,
+}
+
+/// Shared counters, updated lock-free on every send.
+pub struct NetStats {
+    sent: [AtomicU64; NCLASS],
+    bytes: [AtomicU64; NCLASS],
+    /// Messages *received into* each place's queue (in-degree pressure).
+    recv_per_place: Vec<AtomicU64>,
+    /// Destination bitmap per sender (out-degree), lock-free: row `p` has
+    /// `⌈places/64⌉` words.
+    peer_bits: Vec<AtomicU64>,
+    words_per_place: usize,
+}
+
+impl NetStats {
+    /// Counters for a transport with `places` places.
+    pub fn new(places: usize) -> Self {
+        let words_per_place = places.div_ceil(64);
+        NetStats {
+            sent: Default::default(),
+            bytes: Default::default(),
+            recv_per_place: (0..places).map(|_| AtomicU64::new(0)).collect(),
+            peer_bits: (0..places * words_per_place)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            words_per_place,
+        }
+    }
+
+    /// Record one sent message. Called by the transport. Lock-free.
+    #[inline]
+    pub fn record_send(&self, from: u32, to: u32, class: MsgClass, nbytes: usize) {
+        let i = class.index();
+        self.sent[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes[i].fetch_add(nbytes as u64, Ordering::Relaxed);
+        self.recv_per_place[to as usize].fetch_add(1, Ordering::Relaxed);
+        let word = from as usize * self.words_per_place + (to as usize >> 6);
+        let bit = 1u64 << (to & 63);
+        // Skip the RMW when the bit is already set (the common case).
+        if self.peer_bits[word].load(Ordering::Relaxed) & bit == 0 {
+            self.peer_bits[word].fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of one class.
+    pub fn class(&self, class: MsgClass) -> ClassStats {
+        let i = class.index();
+        ClassStats {
+            messages: self.sent[i].load(Ordering::Relaxed),
+            bytes: self.bytes[i].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total messages across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.sent.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total modeled wire bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Messages received (queued) at `place` so far — in-degree pressure.
+    pub fn received_at(&self, place: usize) -> u64 {
+        self.recv_per_place[place].load(Ordering::Relaxed)
+    }
+
+    /// The place with the highest in-degree pressure and its message count.
+    pub fn hottest_receiver(&self) -> (usize, u64) {
+        self.recv_per_place
+            .iter()
+            .enumerate()
+            .map(|(p, c)| (p, c.load(Ordering::Relaxed)))
+            .max_by_key(|&(_, c)| c)
+            .unwrap_or((0, 0))
+    }
+
+    /// Number of distinct destinations `place` has sent to (out-degree).
+    pub fn out_degree(&self, place: usize) -> usize {
+        let base = place * self.words_per_place;
+        self.peer_bits[base..base + self.words_per_place]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Maximum out-degree over all places.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.recv_per_place.len())
+            .map(|p| self.out_degree(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reset all counters (used between benchmark phases).
+    pub fn reset(&self) {
+        for c in &self.sent {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.bytes {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.recv_per_place {
+            c.store(0, Ordering::Relaxed);
+        }
+        for w in &self.peer_bits {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = NetStats::new(4);
+        s.record_send(0, 1, MsgClass::Task, 100);
+        s.record_send(0, 2, MsgClass::Task, 50);
+        s.record_send(3, 1, MsgClass::FinishCtl, 40);
+        assert_eq!(s.class(MsgClass::Task).messages, 2);
+        assert_eq!(s.class(MsgClass::Task).bytes, 150);
+        assert_eq!(s.class(MsgClass::FinishCtl).messages, 1);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 190);
+        assert_eq!(s.received_at(1), 2);
+        assert_eq!(s.out_degree(0), 2);
+        assert_eq!(s.max_out_degree(), 2);
+        assert_eq!(s.hottest_receiver(), (1, 2));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = NetStats::new(2);
+        s.record_send(0, 1, MsgClass::Team, 8);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.received_at(1), 0);
+        assert_eq!(s.out_degree(0), 0);
+    }
+}

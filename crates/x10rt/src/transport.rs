@@ -1,0 +1,194 @@
+//! The point-to-point transport API and the in-process back-end.
+//!
+//! X10RT back-ends (PAMI, MPI, sockets) all provide the same primitive: send
+//! an active message to a place, with FIFO ordering *per sender/destination
+//! pair*. The APGAS layer builds everything else (finish protocols, teams,
+//! clocks, load balancing) on top of that primitive — which is why this crate
+//! is deliberately tiny.
+//!
+//! [`LocalTransport`] realizes the API with one unbounded MPMC queue per
+//! destination place. `crossbeam_channel` preserves per-sender ordering into a
+//! channel, which gives exactly the per-pair FIFO guarantee the finish
+//! protocols rely on (see `apgas::finish::default_proto`).
+
+use crate::message::Envelope;
+use crate::place::PlaceId;
+use crate::stats::NetStats;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A callback invoked when a message arrives for a place, used to unpark its
+/// worker thread(s).
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// Point-to-point transport between places.
+///
+/// Implementations must deliver messages between any fixed (sender,
+/// destination) pair in order; no ordering is guaranteed across pairs (a real
+/// network reorders freely across routes — the paper's default finish
+/// protocol is designed for exactly this).
+pub trait Transport: Send + Sync {
+    /// Enqueue a message for delivery. Never blocks.
+    fn send(&self, env: Envelope);
+
+    /// Poll for the next message addressed to `place`. Non-blocking.
+    fn try_recv(&self, place: PlaceId) -> Option<Envelope>;
+
+    /// Register a waker invoked whenever a message is enqueued for `place`.
+    fn register_waker(&self, place: PlaceId, waker: Waker);
+
+    /// Shared statistics counters.
+    fn stats(&self) -> &NetStats;
+
+    /// Number of places this transport connects.
+    fn num_places(&self) -> usize;
+}
+
+struct Mailbox {
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+}
+
+/// In-process transport: one unbounded FIFO queue per place.
+pub struct LocalTransport {
+    mailboxes: Vec<Mailbox>,
+    wakers: RwLock<Vec<Option<Waker>>>,
+    stats: NetStats,
+}
+
+impl LocalTransport {
+    /// A transport connecting `places` places.
+    pub fn new(places: usize) -> Self {
+        assert!(places > 0);
+        let mailboxes = (0..places)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                Mailbox { tx, rx }
+            })
+            .collect();
+        LocalTransport {
+            mailboxes,
+            wakers: RwLock::new(vec![None; places]),
+            stats: NetStats::new(places),
+        }
+    }
+
+    /// Number of messages currently queued for `place` (diagnostics only).
+    pub fn queue_len(&self, place: PlaceId) -> usize {
+        self.mailboxes[place.index()].rx.len()
+    }
+}
+
+impl Transport for LocalTransport {
+    fn send(&self, env: Envelope) {
+        debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
+        self.stats
+            .record_send(env.from.0, env.to.0, env.class, env.bytes);
+        let to = env.to.index();
+        // The channel is unbounded: send can only fail if the receiver side
+        // was dropped, which only happens at teardown after all workers exit.
+        let _ = self.mailboxes[to].tx.send(env);
+        if let Some(w) = &self.wakers.read()[to] {
+            w();
+        }
+    }
+
+    fn try_recv(&self, place: PlaceId) -> Option<Envelope> {
+        self.mailboxes[place.index()].rx.try_recv().ok()
+    }
+
+    fn register_waker(&self, place: PlaceId, waker: Waker) {
+        self.wakers.write()[place.index()] = Some(waker);
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn num_places(&self) -> usize {
+        self.mailboxes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgClass;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn env(from: u32, to: u32, tag: u64) -> Envelope {
+        Envelope::new(
+            PlaceId(from),
+            PlaceId(to),
+            MsgClass::Task,
+            8,
+            Box::new(tag),
+        )
+    }
+
+    #[test]
+    fn delivers_point_to_point() {
+        let t = LocalTransport::new(3);
+        t.send(env(0, 2, 7));
+        assert!(t.try_recv(PlaceId(1)).is_none());
+        let got = t.try_recv(PlaceId(2)).expect("message for place 2");
+        assert_eq!(*got.payload.downcast::<u64>().unwrap(), 7);
+        assert!(t.try_recv(PlaceId(2)).is_none());
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let t = LocalTransport::new(2);
+        for i in 0..100u64 {
+            t.send(env(0, 1, i));
+        }
+        for i in 0..100u64 {
+            let got = t.try_recv(PlaceId(1)).unwrap();
+            assert_eq!(*got.payload.downcast::<u64>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn waker_fires_on_send() {
+        let t = LocalTransport::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        t.register_waker(PlaceId(1), Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        t.send(env(0, 1, 0));
+        t.send(env(0, 1, 1));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let t = LocalTransport::new(2);
+        t.send(env(0, 1, 0));
+        assert_eq!(t.stats().class(MsgClass::Task).messages, 1);
+        assert_eq!(t.queue_len(PlaceId(1)), 1);
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let t = Arc::new(LocalTransport::new(2));
+        let mut handles = vec![];
+        for s in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    t.send(env(0, 1, (s as u64) << 32 | i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while t.try_recv(PlaceId(1)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2000);
+    }
+}

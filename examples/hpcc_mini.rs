@@ -1,0 +1,65 @@
+//! A miniature HPC Challenge Class-2 run (§5): all four benchmarks — HPL,
+//! FFT, RandomAccess, Stream — executed on one runtime with verification,
+//! like the paper's competition entry in the small.
+//!
+//! Run: `cargo run --release --example hpcc_mini [places]`
+
+use x10_apgas::{Config, Runtime};
+
+fn main() {
+    let places: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    assert!(places.is_power_of_two(), "use a power-of-two place count");
+    let rt = Runtime::new(Config::new(places));
+    println!("HPCC Class-2 mini run on {places} places\n");
+
+    // Global HPL.
+    let n = 32 * places; // weak-ish scaling
+    let params = kernels::hpl::HplParams { n, nb: 8, seed: 42 };
+    let r = rt.run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
+    println!(
+        "Global HPL          n={n:>6}: {:.4} Gflop/s, residual {:.3e} {}",
+        r.gflops(n),
+        r.residual,
+        pass(r.residual < 16.0)
+    );
+
+    // Global FFT.
+    let nfft = (4096 * places).next_power_of_two();
+    let r = rt.run(move |ctx| kernels::fft::fft_distributed(ctx, nfft, true));
+    println!(
+        "Global FFT          n={nfft:>6}: {:.4} Gflop/s, max err {:.2e} {}",
+        r.gflops(),
+        r.max_err,
+        pass(r.max_err < 1e-8)
+    );
+
+    // Global RandomAccess.
+    let r = rt.run(|ctx| kernels::ra::ra_distributed(ctx, 12, 2, 256));
+    println!(
+        "Global RandomAccess        : {:.4} Gup/s, {} errors {}",
+        r.gups(),
+        r.errors,
+        pass(r.errors == 0)
+    );
+
+    // EP Stream.
+    let res = rt.run(|ctx| kernels::stream::stream_distributed(ctx, 500_000, 3));
+    let total: f64 = res.iter().map(|x| x.bytes_per_sec).sum();
+    let ok = res.iter().all(|x| x.ok);
+    println!(
+        "EP Stream (Triad)          : {:.2} GB/s aggregate {}",
+        total / 1e9,
+        pass(ok)
+    );
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "[PASS]"
+    } else {
+        "[FAIL]"
+    }
+}

@@ -1,0 +1,111 @@
+//! Quickstart: a tour of the APGAS constructs from §2 of the paper —
+//! places, `async`/`at`/`finish`, atomic accumulation through a GlobalRef,
+//! clocks, teams, and the finish pragmas.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use x10_apgas::{Clock, Config, FinishKind, GlobalRef, PlaceGroup, Runtime, Team};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // Eight places, each its own scheduler thread, connected by the
+    // in-process X10RT transport.
+    let rt = Runtime::new(Config::new(8));
+
+    // ---- remote evaluation: val v = at(p) e ----
+    let ids = rt.run(|ctx| {
+        let mut v = vec![];
+        for p in ctx.places() {
+            v.push(ctx.at(p, |c| c.here().0));
+        }
+        v
+    });
+    println!("places answered: {ids:?}");
+
+    // ---- fan-out / fan-in under one finish ----
+    let total = rt.run(|ctx| {
+        let acc = Arc::new(AtomicU64::new(0));
+        let acc2 = acc.clone();
+        ctx.finish(|c| {
+            for p in c.places() {
+                let acc = acc2.clone();
+                c.at_async(p, move |cc| {
+                    // every place spawns two local children
+                    for k in 0..2u64 {
+                        let acc = acc.clone();
+                        let base = cc.here().0 as u64;
+                        cc.spawn(move |_| {
+                            acc.fetch_add(base * 10 + k, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    println!("fan-out/fan-in accumulated {total}");
+
+    // ---- the paper's average-load idiom: GlobalRef + atomic ----
+    let avg = rt.run(|ctx| {
+        let acc = GlobalRef::new(ctx, Mutex::new(0.0f64));
+        let n = ctx.num_places() as f64;
+        ctx.finish(|c| {
+            for p in c.places() {
+                c.at_async(p, move |cc| {
+                    let load = 1.0 + cc.here().0 as f64; // systemLoad() stand-in
+                    cc.at_async(acc.home(), move |hc| {
+                        *acc.get(hc).lock() += load;
+                    });
+                });
+            }
+        });
+        *acc.get(ctx).lock() / n
+    });
+    println!("average load = {avg}");
+
+    // ---- finish pragmas: the specialized termination protocols ----
+    rt.run(|ctx| {
+        ctx.net_stats().reset();
+        ctx.finish_pragma(FinishKind::Spmd, |c| {
+            for p in c.places().skip(1) {
+                c.at_async(p, |_| {});
+            }
+        });
+        println!(
+            "FINISH_SPMD fan-out over 7 remote places cost {} control messages",
+            ctx.net_stats().class(x10_apgas::x10rt::MsgClass::FinishCtl).messages
+        );
+    });
+
+    // ---- clocks: lock-step iteration across places ----
+    rt.run(|ctx| {
+        let clock = Clock::new(ctx);
+        ctx.finish(|c| {
+            for p in c.places().take(4) {
+                clock.at_async_clocked(c, p, move |cc| {
+                    for _round in 0..3 {
+                        clock.advance(cc); // global barrier
+                    }
+                });
+            }
+            clock.drop_registration(c);
+        });
+        println!("clocked loop: 4 places × 3 synchronized rounds done");
+    });
+
+    // ---- teams: collectives ----
+    rt.run(|ctx| {
+        let team = Team::world(ctx);
+        let printed = Arc::new(AtomicU64::new(0));
+        let pr = printed.clone();
+        PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+            let sum = team.allreduce(c, c.here().0 as u64, |a, b| a + b);
+            if c.here().0 == 0 {
+                pr.store(sum, Ordering::Relaxed);
+            }
+        });
+        println!("team all-reduce of place ids = {}", printed.load(Ordering::Relaxed));
+    });
+}

@@ -1,0 +1,58 @@
+//! Unbalanced Tree Search end to end: sequential oracle, then the
+//! lifeline-balanced distributed traversal, with the balancer's telemetry —
+//! the paper's §6 in miniature.
+//!
+//! Run: `cargo run --release --example uts_demo [depth] [places]`
+
+use x10_apgas::{Config, Runtime};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let places: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let tree = uts::GeoTree::paper(depth);
+    println!(
+        "UTS geometric tree: b0 = {}, seed r = {}, depth d = {} (expected ≈ {:.0} nodes)",
+        tree.b0,
+        tree.seed,
+        tree.depth,
+        tree.expected_size()
+    );
+
+    // Sequential baseline (the paper's single-place reference).
+    let t0 = std::time::Instant::now();
+    let seq = uts::traverse(&tree);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "sequential: {} nodes ({} leaves, max depth {}), {:.2} M nodes/s",
+        seq.nodes,
+        seq.leaves,
+        seq.max_depth,
+        seq.nodes as f64 / seq_secs / 1e6
+    );
+
+    // Distributed traversal under the lifeline balancer.
+    let rt = Runtime::new(Config::new(places));
+    let t0 = std::time::Instant::now();
+    let run = rt.run(move |ctx| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "\ndistributed over {places} places: {} nodes in {:.2}s ({:.2} M nodes/s)",
+        run.stats.nodes,
+        secs,
+        run.stats.nodes as f64 / secs / 1e6
+    );
+    assert_eq!(run.stats.nodes, seq.nodes, "traversals must agree exactly");
+    println!("per-place node counts: {:?}", run.per_place_nodes);
+    let b = run.balancer;
+    println!(
+        "balancer: {} random steal attempts ({} hits), {} lifeline gifts, \
+         {} resuscitations, {} deaths",
+        b.random_attempts, b.random_hits, b.lifeline_gifts, b.resuscitations, b.deaths
+    );
+    println!(
+        "SHA-1 hashes computed: {} (the paper counts these too)",
+        run.stats.hashes
+    );
+}

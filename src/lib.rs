@@ -1,0 +1,33 @@
+//! `x10-apgas` — umbrella crate of the Rust reproduction of *"X10 and
+//! APGAS at Petascale"* (Tardieu et al., PPoPP 2014).
+//!
+//! This crate re-exports the whole stack so applications can depend on one
+//! name:
+//!
+//! * [`apgas`] — the APGAS runtime: places, activities, the scalable
+//!   `finish` protocols, teams, clocks, place groups, global refs, RDMA
+//!   rails (paper §2–§3);
+//! * [`x10rt`] — the transport layer, registered segments, congruent
+//!   memory allocator (§3.3);
+//! * [`glb`] — lifeline-based global load balancing (§3.4, §6);
+//! * [`uts`] — the Unbalanced Tree Search benchmark (§6);
+//! * [`kernels`] — HPL, FFT, RandomAccess, Stream, K-Means,
+//!   Smith-Waterman, Betweenness Centrality (§5, §7);
+//! * [`p775`] — the Power 775 machine/interconnect model (§4).
+//!
+//! Start with the `quickstart` example (`cargo run --release --example
+//! quickstart`), then see DESIGN.md for the system inventory and
+//! EXPERIMENTS.md for how every table and figure of the paper is
+//! regenerated.
+
+pub use apgas;
+pub use glb;
+pub use kernels;
+pub use p775;
+pub use uts;
+pub use x10rt;
+
+pub use apgas::{
+    launch, Clock, Config, Ctx, FinishKind, GlobalRail, GlobalRef, PlaceGroup, PlaceId,
+    PlaceLocalHandle, Runtime, Team, TeamOp,
+};

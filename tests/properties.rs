@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) on the core invariants:
+//! * the finish protocols detect termination exactly, for *random* spawn
+//!   DAGs, under every applicable pragma;
+//! * UTS bags conserve work under arbitrary split/merge/process schedules;
+//! * team collectives equal their local folds for random inputs;
+//! * delta merging (FINISH_DENSE hop aggregation) is order-insensitive.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use x10_apgas::{Config, FinishKind, PlaceId, Runtime};
+
+/// A random spawn tree: each node runs at a place and spawns children.
+#[derive(Clone, Debug)]
+struct SpawnNode {
+    place: u8,
+    children: Vec<SpawnNode>,
+}
+
+fn spawn_tree(depth: u32) -> impl Strategy<Value = SpawnNode> {
+    let leaf = (0u8..6).prop_map(|place| SpawnNode {
+        place,
+        children: vec![],
+    });
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        ((0u8..6), prop::collection::vec(inner, 0..3)).prop_map(|(place, children)| SpawnNode {
+            place,
+            children,
+        })
+    })
+}
+
+fn count_nodes(n: &SpawnNode) -> u64 {
+    1 + n.children.iter().map(count_nodes).sum::<u64>()
+}
+
+fn run_node(ctx: &apgas::Ctx, node: SpawnNode, hits: Arc<AtomicU64>) {
+    hits.fetch_add(1, Ordering::Relaxed);
+    for child in node.children {
+        let h = hits.clone();
+        let target = PlaceId(child.place as u32 % ctx.num_places() as u32);
+        ctx.at_async(target, move |c| run_node(c, child, h));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn default_finish_counts_random_dags(tree in spawn_tree(3)) {
+        let want = count_nodes(&tree);
+        let rt = Runtime::new(Config::new(6).places_per_host(2));
+        let got = rt.run(move |ctx| {
+            let hits = Arc::new(AtomicU64::new(0));
+            let h = hits.clone();
+            ctx.finish(|c| {
+                let target = PlaceId(tree.place as u32 % c.num_places() as u32);
+                let t = tree.clone();
+                c.at_async(target, move |cc| run_node(cc, t, h));
+            });
+            hits.load(Ordering::Relaxed)
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_finish_counts_random_dags(tree in spawn_tree(3)) {
+        let want = count_nodes(&tree);
+        let rt = Runtime::new(Config::new(6).places_per_host(2));
+        let got = rt.run(move |ctx| {
+            let hits = Arc::new(AtomicU64::new(0));
+            let h = hits.clone();
+            ctx.finish_pragma(FinishKind::Dense, |c| {
+                let target = PlaceId(tree.place as u32 % c.num_places() as u32);
+                let t = tree.clone();
+                c.at_async(target, move |cc| run_node(cc, t, h));
+            });
+            hits.load(Ordering::Relaxed)
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn uts_bag_conserves_work_under_random_schedules(
+        ops in prop::collection::vec(0u8..3, 1..60),
+        depth in 4u32..7,
+    ) {
+        use glb::TaskBag;
+        let tree = uts::GeoTree::paper(depth);
+        let want = uts::traverse(&tree).nodes;
+        let mut bags = vec![uts::UtsBag::root(tree)];
+        for op in ops {
+            match op {
+                0 => {
+                    // process a chunk on a random-ish bag (first non-empty)
+                    if let Some(b) = bags.iter_mut().find(|b| !b.is_empty()) {
+                        b.process(7);
+                    }
+                }
+                1 => {
+                    // split the fullest bag
+                    if let Some(b) = bags.iter_mut().max_by_key(|b| b.intervals().len()) {
+                        if let Some(loot) = b.split() {
+                            bags.push(loot);
+                        }
+                    }
+                }
+                _ => {
+                    // merge the last bag into the first
+                    if bags.len() > 1 {
+                        let loot = bags.pop().unwrap();
+                        bags[0].merge(loot);
+                    }
+                }
+            }
+        }
+        // drain everything
+        let mut total = 0;
+        for mut b in bags {
+            while b.process(4096) > 0 {}
+            total += b.take_result().nodes;
+        }
+        prop_assert_eq!(total, want);
+    }
+
+    #[test]
+    fn team_allreduce_equals_local_fold(values in prop::collection::vec(-1e6f64..1e6, 5)) {
+        let want: f64 = values.iter().sum();
+        let rt = Runtime::new(Config::new(5));
+        let vals = values.clone();
+        let got = rt.run(move |ctx| {
+            let team = apgas::Team::world(ctx);
+            let out = Arc::new(parking_lot::Mutex::new(0.0));
+            let o = out.clone();
+            apgas::PlaceGroup::world(ctx).broadcast(ctx, move |c| {
+                let mine = vals[c.here().index()];
+                let sum = team.allreduce(c, mine, |a, b| a + b);
+                if c.here().index() == 0 {
+                    *o.lock() = sum;
+                }
+            });
+            let r = *out.lock();
+            r
+        });
+        prop_assert!((got - want).abs() < 1e-6 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn dense_delta_merge_is_order_insensitive(
+        edges in prop::collection::vec((0u32..8, 0u32..8, 1u64..5), 1..12),
+        perm_seed in 0u64..1000,
+    ) {
+        use apgas::finish::Deltas;
+        // Merge the same delta pieces in two different orders; the merged
+        // edge multiset must be identical.
+        let pieces: Vec<Deltas> = edges
+            .iter()
+            .map(|&(s, d, k)| Deltas {
+                spawned: vec![(s, d, k)],
+                recv: vec![(d, s, k)],
+                live: vec![(s, k as i64)],
+                panics: vec![],
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..pieces.len()).collect();
+        // simple seeded shuffle
+        let mut x = perm_seed.wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            order.swap(i, (x as usize) % (i + 1));
+        }
+        let mut a = Deltas::default();
+        for p in &pieces {
+            a.merge(Deltas {
+                spawned: p.spawned.clone(),
+                recv: p.recv.clone(),
+                live: p.live.clone(),
+                panics: vec![],
+            });
+        }
+        let mut b = Deltas::default();
+        for &i in &order {
+            let p = &pieces[i];
+            b.merge(Deltas {
+                spawned: p.spawned.clone(),
+                recv: p.recv.clone(),
+                live: p.live.clone(),
+                panics: vec![],
+            });
+        }
+        let norm = |mut v: Vec<(u32, u32, u64)>| { v.sort_unstable(); v };
+        prop_assert_eq!(norm(a.spawned), norm(b.spawned));
+        prop_assert_eq!(norm(a.recv), norm(b.recv));
+        let norml = |mut v: Vec<(u32, i64)>| { v.sort_unstable(); v };
+        prop_assert_eq!(norml(a.live), norml(b.live));
+    }
+
+    #[test]
+    fn sw_fragmentation_invariant(
+        qlen in 5usize..20,
+        tlen in 100usize..400,
+        places in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let q = kernels::sw::generate_query(qlen, seed);
+        let t = kernels::sw::generate_dna(tlen, seed, &q, tlen / 3);
+        let s = kernels::sw::Scoring::default();
+        let global = kernels::sw::sw_score(&q, &t, s);
+        let best = (0..places)
+            .map(|p| {
+                let (lo, hi) = kernels::sw::fragment_range(tlen, places, p, qlen - 1);
+                kernels::sw::sw_score(&q, &t[lo..hi], s)
+            })
+            .max()
+            .unwrap();
+        prop_assert_eq!(best, global);
+    }
+}
