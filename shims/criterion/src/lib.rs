@@ -1,0 +1,257 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of the criterion surface its benches use: `Criterion`,
+//! benchmark groups with `sample_size` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is timed
+//! with a simple calibrated loop (a warm-up to size the iteration count,
+//! then `sample_size` timed samples) and the median per-iteration time is
+//! printed, with throughput scaling when declared. Good enough to compare
+//! protocol variants; not a replacement for real criterion statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    iters: u64,
+    sample: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it enough times for a stable per-call estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.sample = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: std::env::args().nth(1).filter(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Accepted for API compatibility (command-line config is ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        // Warm-up: find an iteration count taking roughly one sample's
+        // worth of time (budget split across the samples).
+        let budget = self.measurement_time.max(Duration::from_millis(100));
+        let per_sample = budget / self.sample_size as u32;
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                sample: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.sample >= per_sample.min(Duration::from_millis(250)) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    sample: Duration::ZERO,
+                };
+                f(&mut b);
+                b.sample / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        print!("{full:<44} {:>12} [{} .. {}]", fmt_dur(median), fmt_dur(lo), fmt_dur(hi));
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => print!("  {:>14.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => print!("  {:>14.3e} B/s", per_sec(n)),
+            }
+        }
+        println!();
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given group(s).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        g.throughput(Throughput::Elements(64));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,206 @@
+//! Vendored, API-compatible subset of the `crossbeam-channel` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of the `crossbeam-channel` surface it actually uses: MPMC
+//! channels with `send` / `recv` / `try_recv` / `len`, FIFO per sender.
+//! Implemented as a mutex-protected deque with a condition variable;
+//! `bounded` channels do not exert backpressure (the runtime only uses tiny
+//! capacities for one-shot result hand-off, where that is indistinguishable).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    cv: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half of a channel.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+/// An unbounded MPMC FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(chan.clone()), Receiver(chan))
+}
+
+/// A "bounded" channel. This shim does not enforce the capacity (senders
+/// never block); the capacity is accepted for API compatibility.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded()
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message. Fails only if every receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.0.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(value);
+        drop(q);
+        self.0.cv.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match q.pop_front() {
+            Some(v) => Ok(v),
+            None if self.0.senders.load(Ordering::Acquire) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking receive; fails once the channel is empty with no senders.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self
+                .0
+                .cv
+                .wait_timeout(q, std::time::Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::AcqRel);
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.0.cv.notify_all(); // unblock receivers waiting in recv()
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = bounded(1);
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        tx.send(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

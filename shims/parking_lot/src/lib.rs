@@ -1,0 +1,364 @@
+//! Vendored, API-compatible subset of the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of the `parking_lot` surface it actually uses, implemented on
+//! `std::sync` primitives. Semantics match parking_lot where the codebase
+//! depends on them:
+//!
+//! * no lock poisoning — a panic while holding a lock does not wedge it;
+//! * guards are plain RAII smart pointers (`Deref`/`DerefMut`);
+//! * [`Condvar::wait_for`] takes the guard by `&mut` and returns a
+//!   [`WaitTimeoutResult`];
+//! * [`ReentrantMutex`] may be re-locked by its owning thread.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock (no poisoning).
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard of a [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard invariant")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard invariant")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock (no poisoning).
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-read guard of an [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-write guard of an [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condition-variable wait.
+#[derive(Copy, Clone, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified. The guard is released while waiting and
+    /// re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard invariant");
+        guard.0 = Some(self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard invariant");
+        let (g, res) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReentrantMutex
+// ---------------------------------------------------------------------------
+
+fn current_thread_id() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: Cell<u64> = const { Cell::new(0) };
+    }
+    ID.with(|id| {
+        if id.get() == 0 {
+            id.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+/// A mutex the owning thread may lock recursively.
+pub struct ReentrantMutex<T: ?Sized> {
+    mutex: std::sync::Mutex<()>,
+    owner: AtomicU64,
+    recursion: UnsafeCell<usize>,
+    data: T,
+}
+
+// Safety: `recursion` is only touched by the thread that holds `mutex` (or
+// that already owns the lock), so the UnsafeCell is never aliased mutably.
+unsafe impl<T: ?Sized + Send> Send for ReentrantMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ReentrantMutex<T> {}
+
+/// RAII guard of a [`ReentrantMutex`]. Shared access only, as in parking_lot.
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    lock: &'a ReentrantMutex<T>,
+    /// The real lock, held only by the outermost guard (RAII-only field).
+    _inner: Option<std::sync::MutexGuard<'a, ()>>,
+}
+
+impl<T> ReentrantMutex<T> {
+    /// A new unlocked reentrant mutex.
+    pub const fn new(value: T) -> Self {
+        ReentrantMutex {
+            mutex: std::sync::Mutex::new(()),
+            owner: AtomicU64::new(0),
+            recursion: UnsafeCell::new(0),
+            data: value,
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    /// Acquire the lock; reentrant from the owning thread.
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = current_thread_id();
+        if self.owner.load(Ordering::Relaxed) == me {
+            // Already owned by this thread: bump the recursion count.
+            unsafe { *self.recursion.get() += 1 };
+            return ReentrantMutexGuard {
+                lock: self,
+                _inner: None,
+            };
+        }
+        let g = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        self.owner.store(me, Ordering::Relaxed);
+        unsafe { *self.recursion.get() = 1 };
+        ReentrantMutexGuard {
+            lock: self,
+            _inner: Some(g),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.lock.data
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe {
+            let r = self.lock.recursion.get();
+            *r -= 1;
+            if *r == 0 {
+                self.lock.owner.store(0, Ordering::Relaxed);
+            }
+        }
+        // `inner` (the real lock, present only on the outermost guard) drops
+        // after the owner marker is cleared.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            *m2.lock() = true;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while !*g {
+            cv.wait_for(&mut g, Duration::from_millis(50));
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn reentrant_relock_same_thread() {
+        let m = ReentrantMutex::new(());
+        let _a = m.lock();
+        let _b = m.lock(); // must not deadlock
+    }
+
+    #[test]
+    fn reentrant_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(()));
+        let g = m.lock();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(g);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-36dc12812f8ab218.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-36dc12812f8ab218: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alltoall_sweep-08d79c149962d3d6.d: crates/bench/src/bin/alltoall_sweep.rs
+
+/root/repo/target/debug/deps/alltoall_sweep-08d79c149962d3d6: crates/bench/src/bin/alltoall_sweep.rs
+
+crates/bench/src/bin/alltoall_sweep.rs:

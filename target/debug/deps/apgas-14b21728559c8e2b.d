@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/apgas-14b21728559c8e2b.d: crates/apgas/src/lib.rs crates/apgas/src/clock.rs crates/apgas/src/config.rs crates/apgas/src/ctx.rs crates/apgas/src/finish/mod.rs crates/apgas/src/finish/dense.rs crates/apgas/src/finish/proxy.rs crates/apgas/src/finish/root.rs crates/apgas/src/global_ref.rs crates/apgas/src/place_group.rs crates/apgas/src/rail.rs crates/apgas/src/runtime.rs crates/apgas/src/team.rs crates/apgas/src/place_state.rs crates/apgas/src/worker.rs
+
+/root/repo/target/debug/deps/apgas-14b21728559c8e2b: crates/apgas/src/lib.rs crates/apgas/src/clock.rs crates/apgas/src/config.rs crates/apgas/src/ctx.rs crates/apgas/src/finish/mod.rs crates/apgas/src/finish/dense.rs crates/apgas/src/finish/proxy.rs crates/apgas/src/finish/root.rs crates/apgas/src/global_ref.rs crates/apgas/src/place_group.rs crates/apgas/src/rail.rs crates/apgas/src/runtime.rs crates/apgas/src/team.rs crates/apgas/src/place_state.rs crates/apgas/src/worker.rs
+
+crates/apgas/src/lib.rs:
+crates/apgas/src/clock.rs:
+crates/apgas/src/config.rs:
+crates/apgas/src/ctx.rs:
+crates/apgas/src/finish/mod.rs:
+crates/apgas/src/finish/dense.rs:
+crates/apgas/src/finish/proxy.rs:
+crates/apgas/src/finish/root.rs:
+crates/apgas/src/global_ref.rs:
+crates/apgas/src/place_group.rs:
+crates/apgas/src/rail.rs:
+crates/apgas/src/runtime.rs:
+crates/apgas/src/team.rs:
+crates/apgas/src/place_state.rs:
+crates/apgas/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balancing-9d942089e6fdbf65.d: crates/glb/tests/balancing.rs
+
+/root/repo/target/debug/deps/balancing-9d942089e6fdbf65: crates/glb/tests/balancing.rs
+
+crates/glb/tests/balancing.rs:

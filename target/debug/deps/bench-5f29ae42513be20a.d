@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-5f29ae42513be20a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-5f29ae42513be20a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

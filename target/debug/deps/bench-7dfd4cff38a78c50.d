@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-7dfd4cff38a78c50.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-7dfd4cff38a78c50.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-7dfd4cff38a78c50.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

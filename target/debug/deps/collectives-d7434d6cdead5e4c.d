@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-d7434d6cdead5e4c.d: crates/apgas/tests/collectives.rs
+
+/root/repo/target/debug/deps/collectives-d7434d6cdead5e4c: crates/apgas/tests/collectives.rs
+
+crates/apgas/tests/collectives.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e400bede719acddc.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e400bede719acddc.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e400bede719acddc.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

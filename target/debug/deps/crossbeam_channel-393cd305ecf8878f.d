@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_channel-393cd305ecf8878f.d: shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-393cd305ecf8878f.rlib: shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-393cd305ecf8878f.rmeta: shims/crossbeam-channel/src/lib.rs
+
+shims/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-e0b9b6f0e497b292.d: shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_channel-e0b9b6f0e497b292: shims/crossbeam-channel/src/lib.rs
+
+shims/crossbeam-channel/src/lib.rs:

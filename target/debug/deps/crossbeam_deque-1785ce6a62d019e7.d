@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_deque-1785ce6a62d019e7.d: shims/crossbeam-deque/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_deque-1785ce6a62d019e7.rlib: shims/crossbeam-deque/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_deque-1785ce6a62d019e7.rmeta: shims/crossbeam-deque/src/lib.rs
+
+shims/crossbeam-deque/src/lib.rs:

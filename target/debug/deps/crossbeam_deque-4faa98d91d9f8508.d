@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_deque-4faa98d91d9f8508.d: shims/crossbeam-deque/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_deque-4faa98d91d9f8508: shims/crossbeam-deque/src/lib.rs
+
+shims/crossbeam-deque/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-1911b683e77e422a.d: crates/uts/tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-1911b683e77e422a: crates/uts/tests/distributed.rs
+
+crates/uts/tests/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-e1ef653a5db6faed.d: crates/kernels/tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-e1ef653a5db6faed: crates/kernels/tests/distributed.rs
+
+crates/kernels/tests/distributed.rs:

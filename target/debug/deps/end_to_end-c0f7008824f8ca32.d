@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c0f7008824f8ca32.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c0f7008824f8ca32: tests/end_to_end.rs
+
+tests/end_to_end.rs:

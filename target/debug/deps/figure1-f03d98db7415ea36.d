@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-f03d98db7415ea36.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-f03d98db7415ea36: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/finish_scale-319806971acdea2c.d: crates/bench/src/bin/finish_scale.rs
+
+/root/repo/target/debug/deps/finish_scale-319806971acdea2c: crates/bench/src/bin/finish_scale.rs
+
+crates/bench/src/bin/finish_scale.rs:

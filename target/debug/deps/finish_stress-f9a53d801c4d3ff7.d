@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/finish_stress-f9a53d801c4d3ff7.d: crates/apgas/tests/finish_stress.rs
+
+/root/repo/target/debug/deps/finish_stress-f9a53d801c4d3ff7: crates/apgas/tests/finish_stress.rs
+
+crates/apgas/tests/finish_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/glb-3ce1c811d1e791f3.d: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+/root/repo/target/debug/deps/glb-3ce1c811d1e791f3: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+crates/glb/src/lib.rs:
+crates/glb/src/lifeline.rs:
+crates/glb/src/stats.rs:
+crates/glb/src/taskbag.rs:
+crates/glb/src/worker.rs:

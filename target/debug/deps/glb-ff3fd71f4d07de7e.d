@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/glb-ff3fd71f4d07de7e.d: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+/root/repo/target/debug/deps/libglb-ff3fd71f4d07de7e.rlib: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+/root/repo/target/debug/deps/libglb-ff3fd71f4d07de7e.rmeta: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+crates/glb/src/lib.rs:
+crates/glb/src/lifeline.rs:
+crates/glb/src/stats.rs:
+crates/glb/src/taskbag.rs:
+crates/glb/src/worker.rs:

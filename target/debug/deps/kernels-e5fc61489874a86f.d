@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/kernels-e5fc61489874a86f.d: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+/root/repo/target/debug/deps/libkernels-e5fc61489874a86f.rlib: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+/root/repo/target/debug/deps/libkernels-e5fc61489874a86f.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/bc/mod.rs:
+crates/kernels/src/bc/brandes.rs:
+crates/kernels/src/bc/rmat.rs:
+crates/kernels/src/fft/mod.rs:
+crates/kernels/src/fft/local.rs:
+crates/kernels/src/hpl/mod.rs:
+crates/kernels/src/kmeans/mod.rs:
+crates/kernels/src/linalg/mod.rs:
+crates/kernels/src/linalg/dgemm.rs:
+crates/kernels/src/linalg/lu.rs:
+crates/kernels/src/ra/mod.rs:
+crates/kernels/src/stream/mod.rs:
+crates/kernels/src/sw/mod.rs:
+crates/kernels/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_netsim-a7fb1e378258c4a6.d: crates/p775/tests/model_vs_netsim.rs
+
+/root/repo/target/debug/deps/model_vs_netsim-a7fb1e378258c4a6: crates/p775/tests/model_vs_netsim.rs
+
+crates/p775/tests/model_vs_netsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/more_distributed-128609959cdee589.d: crates/kernels/tests/more_distributed.rs
+
+/root/repo/target/debug/deps/more_distributed-128609959cdee589: crates/kernels/tests/more_distributed.rs
+
+crates/kernels/tests/more_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/p775-2c1849646640efad.d: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+/root/repo/target/debug/deps/p775-2c1849646640efad: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+crates/p775/src/lib.rs:
+crates/p775/src/bandwidth.rs:
+crates/p775/src/model.rs:
+crates/p775/src/netsim.rs:
+crates/p775/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/p775-758bf2c8d0d5a4b5.d: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+/root/repo/target/debug/deps/libp775-758bf2c8d0d5a4b5.rlib: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+/root/repo/target/debug/deps/libp775-758bf2c8d0d5a4b5.rmeta: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+crates/p775/src/lib.rs:
+crates/p775/src/bandwidth.rs:
+crates/p775/src/model.rs:
+crates/p775/src/netsim.rs:
+crates/p775/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-330454ccad30f018.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-330454ccad30f018.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-330454ccad30f018.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ac78e77324f0308.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ac78e77324f0308: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-723b6835fcbb9fa8.d: crates/apgas/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-723b6835fcbb9fa8: crates/apgas/tests/runtime.rs
+
+crates/apgas/tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4f9f45c18445fe7a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4f9f45c18445fe7a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

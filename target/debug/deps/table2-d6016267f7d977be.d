@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d6016267f7d977be.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d6016267f7d977be: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

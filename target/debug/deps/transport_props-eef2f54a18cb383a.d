@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_props-eef2f54a18cb383a.d: crates/x10rt/tests/transport_props.rs
+
+/root/repo/target/debug/deps/transport_props-eef2f54a18cb383a: crates/x10rt/tests/transport_props.rs
+
+crates/x10rt/tests/transport_props.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uts-047f88a4a4a27fb1.d: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+/root/repo/target/debug/deps/uts-047f88a4a4a27fb1: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+crates/uts/src/lib.rs:
+crates/uts/src/bag.rs:
+crates/uts/src/distributed.rs:
+crates/uts/src/rng.rs:
+crates/uts/src/sequential.rs:
+crates/uts/src/sha1.rs:
+crates/uts/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uts-3effc34944de88df.d: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+/root/repo/target/debug/deps/libuts-3effc34944de88df.rlib: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+/root/repo/target/debug/deps/libuts-3effc34944de88df.rmeta: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+crates/uts/src/lib.rs:
+crates/uts/src/bag.rs:
+crates/uts/src/distributed.rs:
+crates/uts/src/rng.rs:
+crates/uts/src/sequential.rs:
+crates/uts/src/sha1.rs:
+crates/uts/src/tree.rs:

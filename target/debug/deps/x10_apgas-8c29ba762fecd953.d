@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/x10_apgas-8c29ba762fecd953.d: src/lib.rs
+
+/root/repo/target/debug/deps/x10_apgas-8c29ba762fecd953: src/lib.rs
+
+src/lib.rs:

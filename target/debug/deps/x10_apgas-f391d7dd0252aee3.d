@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/x10_apgas-f391d7dd0252aee3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libx10_apgas-f391d7dd0252aee3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libx10_apgas-f391d7dd0252aee3.rmeta: src/lib.rs
+
+src/lib.rs:

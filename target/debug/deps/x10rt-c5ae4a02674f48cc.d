@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/x10rt-c5ae4a02674f48cc.d: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+/root/repo/target/debug/deps/libx10rt-c5ae4a02674f48cc.rlib: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+/root/repo/target/debug/deps/libx10rt-c5ae4a02674f48cc.rmeta: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+crates/x10rt/src/lib.rs:
+crates/x10rt/src/congruent.rs:
+crates/x10rt/src/message.rs:
+crates/x10rt/src/place.rs:
+crates/x10rt/src/rdma.rs:
+crates/x10rt/src/segment.rs:
+crates/x10rt/src/stats.rs:
+crates/x10rt/src/transport.rs:

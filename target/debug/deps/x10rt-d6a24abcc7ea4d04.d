@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/x10rt-d6a24abcc7ea4d04.d: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+/root/repo/target/debug/deps/x10rt-d6a24abcc7ea4d04: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+crates/x10rt/src/lib.rs:
+crates/x10rt/src/congruent.rs:
+crates/x10rt/src/message.rs:
+crates/x10rt/src/place.rs:
+crates/x10rt/src/rdma.rs:
+crates/x10rt/src/segment.rs:
+crates/x10rt/src/stats.rs:
+crates/x10rt/src/transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gups-bbe5aaa486bcbd48.d: examples/gups.rs
+
+/root/repo/target/debug/examples/gups-bbe5aaa486bcbd48: examples/gups.rs
+
+examples/gups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpcc_mini-1abb7eb3bab2da3f.d: examples/hpcc_mini.rs
+
+/root/repo/target/debug/examples/hpcc_mini-1abb7eb3bab2da3f: examples/hpcc_mini.rs
+
+examples/hpcc_mini.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kmeans_cluster-56d1261e3b686f7d.d: examples/kmeans_cluster.rs
+
+/root/repo/target/debug/examples/kmeans_cluster-56d1261e3b686f7d: examples/kmeans_cluster.rs
+
+examples/kmeans_cluster.rs:

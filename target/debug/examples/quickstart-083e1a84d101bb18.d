@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-083e1a84d101bb18.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-083e1a84d101bb18: examples/quickstart.rs
+
+examples/quickstart.rs:

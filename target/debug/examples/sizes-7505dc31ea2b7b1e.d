@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sizes-7505dc31ea2b7b1e.d: crates/uts/examples/sizes.rs
+
+/root/repo/target/debug/examples/sizes-7505dc31ea2b7b1e: crates/uts/examples/sizes.rs
+
+crates/uts/examples/sizes.rs:

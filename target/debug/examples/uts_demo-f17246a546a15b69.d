@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/uts_demo-f17246a546a15b69.d: examples/uts_demo.rs
+
+/root/repo/target/debug/examples/uts_demo-f17246a546a15b69: examples/uts_demo.rs
+
+examples/uts_demo.rs:

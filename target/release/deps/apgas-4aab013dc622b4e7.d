@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/apgas-4aab013dc622b4e7.d: crates/apgas/src/lib.rs crates/apgas/src/clock.rs crates/apgas/src/config.rs crates/apgas/src/ctx.rs crates/apgas/src/finish/mod.rs crates/apgas/src/finish/dense.rs crates/apgas/src/finish/proxy.rs crates/apgas/src/finish/root.rs crates/apgas/src/global_ref.rs crates/apgas/src/place_group.rs crates/apgas/src/rail.rs crates/apgas/src/runtime.rs crates/apgas/src/team.rs crates/apgas/src/place_state.rs crates/apgas/src/worker.rs
+
+/root/repo/target/release/deps/libapgas-4aab013dc622b4e7.rlib: crates/apgas/src/lib.rs crates/apgas/src/clock.rs crates/apgas/src/config.rs crates/apgas/src/ctx.rs crates/apgas/src/finish/mod.rs crates/apgas/src/finish/dense.rs crates/apgas/src/finish/proxy.rs crates/apgas/src/finish/root.rs crates/apgas/src/global_ref.rs crates/apgas/src/place_group.rs crates/apgas/src/rail.rs crates/apgas/src/runtime.rs crates/apgas/src/team.rs crates/apgas/src/place_state.rs crates/apgas/src/worker.rs
+
+/root/repo/target/release/deps/libapgas-4aab013dc622b4e7.rmeta: crates/apgas/src/lib.rs crates/apgas/src/clock.rs crates/apgas/src/config.rs crates/apgas/src/ctx.rs crates/apgas/src/finish/mod.rs crates/apgas/src/finish/dense.rs crates/apgas/src/finish/proxy.rs crates/apgas/src/finish/root.rs crates/apgas/src/global_ref.rs crates/apgas/src/place_group.rs crates/apgas/src/rail.rs crates/apgas/src/runtime.rs crates/apgas/src/team.rs crates/apgas/src/place_state.rs crates/apgas/src/worker.rs
+
+crates/apgas/src/lib.rs:
+crates/apgas/src/clock.rs:
+crates/apgas/src/config.rs:
+crates/apgas/src/ctx.rs:
+crates/apgas/src/finish/mod.rs:
+crates/apgas/src/finish/dense.rs:
+crates/apgas/src/finish/proxy.rs:
+crates/apgas/src/finish/root.rs:
+crates/apgas/src/global_ref.rs:
+crates/apgas/src/place_group.rs:
+crates/apgas/src/rail.rs:
+crates/apgas/src/runtime.rs:
+crates/apgas/src/team.rs:
+crates/apgas/src/place_state.rs:
+crates/apgas/src/worker.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-cd3caad7cc0f03fd.d: shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-cd3caad7cc0f03fd.rlib: shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-cd3caad7cc0f03fd.rmeta: shims/crossbeam-channel/src/lib.rs
+
+shims/crossbeam-channel/src/lib.rs:

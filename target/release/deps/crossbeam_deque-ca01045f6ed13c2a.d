@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_deque-ca01045f6ed13c2a.d: shims/crossbeam-deque/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_deque-ca01045f6ed13c2a.rlib: shims/crossbeam-deque/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_deque-ca01045f6ed13c2a.rmeta: shims/crossbeam-deque/src/lib.rs
+
+shims/crossbeam-deque/src/lib.rs:

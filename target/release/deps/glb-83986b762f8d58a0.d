@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/glb-83986b762f8d58a0.d: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+/root/repo/target/release/deps/libglb-83986b762f8d58a0.rlib: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+/root/repo/target/release/deps/libglb-83986b762f8d58a0.rmeta: crates/glb/src/lib.rs crates/glb/src/lifeline.rs crates/glb/src/stats.rs crates/glb/src/taskbag.rs crates/glb/src/worker.rs
+
+crates/glb/src/lib.rs:
+crates/glb/src/lifeline.rs:
+crates/glb/src/stats.rs:
+crates/glb/src/taskbag.rs:
+crates/glb/src/worker.rs:

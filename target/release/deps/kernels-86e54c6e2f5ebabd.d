@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/kernels-86e54c6e2f5ebabd.d: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+/root/repo/target/release/deps/libkernels-86e54c6e2f5ebabd.rlib: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+/root/repo/target/release/deps/libkernels-86e54c6e2f5ebabd.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bc/mod.rs crates/kernels/src/bc/brandes.rs crates/kernels/src/bc/rmat.rs crates/kernels/src/fft/mod.rs crates/kernels/src/fft/local.rs crates/kernels/src/hpl/mod.rs crates/kernels/src/kmeans/mod.rs crates/kernels/src/linalg/mod.rs crates/kernels/src/linalg/dgemm.rs crates/kernels/src/linalg/lu.rs crates/kernels/src/ra/mod.rs crates/kernels/src/stream/mod.rs crates/kernels/src/sw/mod.rs crates/kernels/src/util.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/bc/mod.rs:
+crates/kernels/src/bc/brandes.rs:
+crates/kernels/src/bc/rmat.rs:
+crates/kernels/src/fft/mod.rs:
+crates/kernels/src/fft/local.rs:
+crates/kernels/src/hpl/mod.rs:
+crates/kernels/src/kmeans/mod.rs:
+crates/kernels/src/linalg/mod.rs:
+crates/kernels/src/linalg/dgemm.rs:
+crates/kernels/src/linalg/lu.rs:
+crates/kernels/src/ra/mod.rs:
+crates/kernels/src/stream/mod.rs:
+crates/kernels/src/sw/mod.rs:
+crates/kernels/src/util.rs:

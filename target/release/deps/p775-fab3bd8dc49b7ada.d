@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/p775-fab3bd8dc49b7ada.d: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+/root/repo/target/release/deps/libp775-fab3bd8dc49b7ada.rlib: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+/root/repo/target/release/deps/libp775-fab3bd8dc49b7ada.rmeta: crates/p775/src/lib.rs crates/p775/src/bandwidth.rs crates/p775/src/model.rs crates/p775/src/netsim.rs crates/p775/src/topology.rs
+
+crates/p775/src/lib.rs:
+crates/p775/src/bandwidth.rs:
+crates/p775/src/model.rs:
+crates/p775/src/netsim.rs:
+crates/p775/src/topology.rs:

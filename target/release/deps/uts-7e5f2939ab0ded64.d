@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uts-7e5f2939ab0ded64.d: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+/root/repo/target/release/deps/libuts-7e5f2939ab0ded64.rlib: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+/root/repo/target/release/deps/libuts-7e5f2939ab0ded64.rmeta: crates/uts/src/lib.rs crates/uts/src/bag.rs crates/uts/src/distributed.rs crates/uts/src/rng.rs crates/uts/src/sequential.rs crates/uts/src/sha1.rs crates/uts/src/tree.rs
+
+crates/uts/src/lib.rs:
+crates/uts/src/bag.rs:
+crates/uts/src/distributed.rs:
+crates/uts/src/rng.rs:
+crates/uts/src/sequential.rs:
+crates/uts/src/sha1.rs:
+crates/uts/src/tree.rs:

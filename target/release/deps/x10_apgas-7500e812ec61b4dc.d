@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/x10_apgas-7500e812ec61b4dc.d: src/lib.rs
+
+/root/repo/target/release/deps/libx10_apgas-7500e812ec61b4dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libx10_apgas-7500e812ec61b4dc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/x10rt-0ec0cc6ec85cc210.d: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+/root/repo/target/release/deps/libx10rt-0ec0cc6ec85cc210.rlib: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+/root/repo/target/release/deps/libx10rt-0ec0cc6ec85cc210.rmeta: crates/x10rt/src/lib.rs crates/x10rt/src/congruent.rs crates/x10rt/src/message.rs crates/x10rt/src/place.rs crates/x10rt/src/rdma.rs crates/x10rt/src/segment.rs crates/x10rt/src/stats.rs crates/x10rt/src/transport.rs
+
+crates/x10rt/src/lib.rs:
+crates/x10rt/src/congruent.rs:
+crates/x10rt/src/message.rs:
+crates/x10rt/src/place.rs:
+crates/x10rt/src/rdma.rs:
+crates/x10rt/src/segment.rs:
+crates/x10rt/src/stats.rs:
+crates/x10rt/src/transport.rs:
