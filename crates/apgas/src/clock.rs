@@ -14,7 +14,7 @@
 use crate::ctx::Ctx;
 use crate::worker::Worker;
 use std::collections::HashMap;
-use x10rt::{Envelope, MsgClass, PlaceId, Transport};
+use x10rt::{Envelope, MsgClass, PlaceId};
 
 /// A clock handle (cheap to clone and capture in spawned closures).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,10 +126,7 @@ impl Clock {
     /// phase. The calling activity must be registered.
     pub fn advance(&self, ctx: &Ctx) {
         assert!(
-            ctx.clock_regs
-                .borrow()
-                .iter()
-                .any(|r| r.id == self.id),
+            ctx.clock_regs.borrow().iter().any(|r| r.id == self.id),
             "advance() by an activity not registered on this clock"
         );
         let w = ctx.worker();
@@ -166,8 +163,13 @@ fn local_phase(w: &Worker, id: u64, home: PlaceId) -> u64 {
 }
 
 fn send(w: &Worker, to: PlaceId, msg: ClockMsg) {
-    w.g.transport
-        .send(Envelope::new(w.here, to, MsgClass::Clock, 16, Box::new(msg)));
+    w.send_env(Envelope::new(
+        w.here,
+        to,
+        MsgClass::Clock,
+        16,
+        Box::new(msg),
+    ));
 }
 
 fn home_arrive(w: &Worker, id: u64) {

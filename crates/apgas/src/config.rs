@@ -27,6 +27,15 @@ pub struct Config {
     /// its local live count reaches zero *or* the buffer covers more than
     /// this many peer places.
     pub finish_flush_entries: usize,
+    /// Transport aggregation: flush a destination's coalescing buffer once
+    /// it holds this many messages (see `x10rt::coalesce`).
+    pub batch_max_msgs: usize,
+    /// Transport aggregation: flush a destination's coalescing buffer once
+    /// it holds this many modeled wire bytes.
+    pub batch_max_bytes: usize,
+    /// Disable transport aggregation entirely (every message goes out as its
+    /// own envelope) — the ablation baseline.
+    pub batch_disable: bool,
 }
 
 impl Config {
@@ -38,6 +47,9 @@ impl Config {
             places_per_host: 32,
             park_timeout: Duration::from_micros(200),
             finish_flush_entries: 64,
+            batch_max_msgs: x10rt::coalesce::DEFAULT_MAX_MSGS,
+            batch_max_bytes: x10rt::coalesce::DEFAULT_MAX_BYTES,
+            batch_disable: false,
         }
     }
 
@@ -54,6 +66,26 @@ impl Config {
         self.workers_per_place = w;
         self
     }
+
+    /// Set the aggregation message-count flush threshold (builder style).
+    pub fn batch_max_msgs(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.batch_max_msgs = n;
+        self
+    }
+
+    /// Set the aggregation byte flush threshold (builder style).
+    pub fn batch_max_bytes(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.batch_max_bytes = n;
+        self
+    }
+
+    /// Enable or disable transport aggregation (builder style).
+    pub fn batch_disable(mut self, disable: bool) -> Self {
+        self.batch_disable = disable;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -66,6 +98,9 @@ mod tests {
         assert_eq!(c.places, 64);
         assert_eq!(c.workers_per_place, 1);
         assert_eq!(c.places_per_host, 32);
+        assert!(!c.batch_disable);
+        assert_eq!(c.batch_max_msgs, 64);
+        assert_eq!(c.batch_max_bytes, 16 * 1024);
     }
 
     #[test]
@@ -73,5 +108,16 @@ mod tests {
         let c = Config::new(8).places_per_host(4).workers_per_place(2);
         assert_eq!(c.places_per_host, 4);
         assert_eq!(c.workers_per_place, 2);
+    }
+
+    #[test]
+    fn aggregation_builders() {
+        let c = Config::new(4)
+            .batch_max_msgs(8)
+            .batch_max_bytes(512)
+            .batch_disable(true);
+        assert_eq!(c.batch_max_msgs, 8);
+        assert_eq!(c.batch_max_bytes, 512);
+        assert!(c.batch_disable);
     }
 }

@@ -10,11 +10,11 @@ use crate::finish::root::RootState;
 use crate::finish::{Attach, FinishId, FinishKind, FinishRef};
 use crate::place_state::Activity;
 use crate::worker::{TaskFn, Worker};
+use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use parking_lot::Mutex;
 use x10rt::{CongruentArray, MsgClass, NetStats, PlaceId, Pod, SegmentTable, Topology, Transport};
 
 struct Scope {
@@ -118,7 +118,12 @@ impl<'w> Ctx<'w> {
 
     /// Like [`Ctx::at_async`] but tagged with a custom traffic class for the
     /// network statistics (GLB tags its traffic [`MsgClass::Steal`]).
-    pub fn at_async_class(&self, p: PlaceId, class: MsgClass, f: impl FnOnce(&Ctx) + Send + 'static) {
+    pub fn at_async_class(
+        &self,
+        p: PlaceId,
+        class: MsgClass,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) {
         self.spawn_inner(p, Box::new(f), class);
     }
 
@@ -137,7 +142,8 @@ impl<'w> Ctx<'w> {
                 attach: Attach::Uncounted,
             });
         } else {
-            self.worker.send_spawn(p, Attach::Uncounted, Box::new(f), class);
+            self.worker
+                .send_spawn(p, Attach::Uncounted, Box::new(f), class);
         }
     }
 
@@ -145,11 +151,7 @@ impl<'w> Ctx<'w> {
         let here = self.here();
         // Innermost finish opened by this activity wins; otherwise the
         // activity's own governing finish.
-        let scope_info = self
-            .scopes
-            .borrow()
-            .last()
-            .map(|s| (s.fin, s.root.clone()));
+        let scope_info = self.scopes.borrow().last().map(|s| (s.fin, s.root.clone()));
         if let Some((fin, root)) = scope_info {
             return self.spawn_at_root(&root, fin, target, body, class);
         }

@@ -158,11 +158,7 @@ impl Proxy {
         let recv_total: u64 = self.recv_from.values().sum();
         let started = recv_total + self.local_spawned;
         let deltas = Deltas {
-            spawned: self
-                .spawned_to
-                .drain()
-                .map(|(d, k)| (here, d, k))
-                .collect(),
+            spawned: self.spawned_to.drain().map(|(d, k)| (here, d, k)).collect(),
             recv: self.recv_from.drain().map(|(s, k)| (s, here, k)).collect(),
             live: vec![(here, started as i64 - self.died as i64)],
             panics: std::mem::take(&mut self.panics),

@@ -111,9 +111,7 @@ impl RootState {
                 g.home_live == 0 && g.completed_remote == g.spawned_remote
             }
             FinishKind::Here => g.home_live == 0 && g.weight_back == g.weight_out,
-            FinishKind::Default | FinishKind::Dense => {
-                g.nonzero_matrix == 0 && g.nonzero_live == 0
-            }
+            FinishKind::Default | FinishKind::Dense => g.nonzero_matrix == 0 && g.nonzero_live == 0,
         };
         if quiescent {
             self.done.store(true, Ordering::Release);

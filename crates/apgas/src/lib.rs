@@ -50,10 +50,10 @@ pub mod ctx;
 pub mod finish;
 pub mod global_ref;
 pub mod place_group;
+pub(crate) mod place_state;
 pub mod rail;
 pub mod runtime;
 pub mod team;
-pub(crate) mod place_state;
 pub(crate) mod worker;
 
 pub use clock::Clock;
@@ -70,9 +70,6 @@ pub use x10rt::{MsgClass, PlaceId, Topology};
 /// Run `body` as the main activity of a fresh runtime with `cfg` and return
 /// its result. Convenience for examples and tests; reuse a [`Runtime`] when
 /// running many rounds.
-pub fn launch<R: Send + 'static>(
-    cfg: Config,
-    body: impl FnOnce(&Ctx) -> R + Send + 'static,
-) -> R {
+pub fn launch<R: Send + 'static>(cfg: Config, body: impl FnOnce(&Ctx) -> R + Send + 'static) -> R {
     Runtime::new(cfg).run(body)
 }

@@ -37,6 +37,9 @@ pub struct PlaceState {
     pub wake_cv: Condvar,
     /// Number of workers currently parked (wake fast-path check).
     pub sleepers: AtomicUsize,
+    /// Times a worker of this place actually went to sleep (scheduler
+    /// diagnostic; the aggregation ablation reports it).
+    pub parks: AtomicU64,
     /// Finish roots homed at this place, by home-local sequence number.
     pub roots: Mutex<HashMap<u64, Arc<RootState>>>,
     /// Source of home-local finish sequence numbers.
@@ -65,6 +68,7 @@ impl PlaceState {
             wake_mutex: Mutex::new(()),
             wake_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
             roots: Mutex::new(HashMap::new()),
             next_finish_seq: AtomicU64::new(1),
             proxies: Mutex::new(HashMap::new()),

@@ -72,8 +72,7 @@ impl<T: Pod> GlobalRail<T> {
         let bytes = len * std::mem::size_of::<T>();
         let src = &self.as_slice()[src_off..src_off + len];
         // SAFETY: T is Pod; reinterpreting its memory as bytes is sound.
-        let raw =
-            unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
+        let raw = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
         let dst = RemoteAddr::new(
             dst_place.0,
             self.arr.id(),
@@ -101,8 +100,7 @@ impl<T: Pod> GlobalRail<T> {
         );
         let dst = &mut self.as_mut_slice()[dst_off..dst_off + len];
         // SAFETY: T is Pod.
-        let raw =
-            unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
+        let raw = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
         rdma::get(ctx.seg_table(), src, raw);
         ctx.charge_rdma(src_place, bytes);
     }

@@ -10,7 +10,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use x10rt::{CongruentAllocator, LocalTransport, NetStats, PlaceId, SegmentTable, Topology, Transport};
+use x10rt::{
+    CongruentAllocator, LocalTransport, NetStats, PlaceId, SegmentTable, Topology, Transport,
+};
 
 /// Shared state of one runtime instance (places, transport, allocators).
 pub struct Global {
@@ -49,10 +51,7 @@ impl Runtime {
     /// Build a runtime and start its worker threads.
     pub fn new(cfg: Config) -> Self {
         assert!(cfg.places > 0, "need at least one place");
-        assert!(
-            cfg.places <= u32::MAX as usize,
-            "place ids are 32-bit"
-        );
+        assert!(cfg.places <= u32::MAX as usize, "place ids are 32-bit");
         let topo = Topology::new(cfg.places, cfg.places_per_host);
         let transport = Arc::new(LocalTransport::new(cfg.places));
         let places: Vec<Arc<PlaceState>> = (0..cfg.places)
@@ -86,13 +85,7 @@ impl Runtime {
                         // worker stack; give it room.
                         .stack_size(16 * 1024 * 1024)
                         .spawn(move || {
-                            let here = place.id;
-                            Worker {
-                                g: g2,
-                                place,
-                                here,
-                            }
-                            .main_loop();
+                            Worker::new(g2, place).main_loop();
                         })
                         .expect("spawn worker thread"),
                 );
@@ -141,6 +134,15 @@ impl Runtime {
     /// Reset the network statistics (between benchmark phases).
     pub fn reset_net_stats(&self) {
         self.g.transport.stats().reset();
+    }
+
+    /// Total times any worker actually slept (scheduler diagnostic).
+    pub fn total_parks(&self) -> u64 {
+        self.g
+            .places
+            .iter()
+            .map(|p| p.parks.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
     }
 
     /// Drain panics recorded by uncounted activities.

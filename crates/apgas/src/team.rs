@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
-use x10rt::{Envelope, MsgClass, PlaceId, Transport};
+use x10rt::{Envelope, MsgClass, PlaceId};
 
 /// Reduction operators for the numeric convenience wrappers.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -55,7 +55,9 @@ pub struct TeamInbox {
 impl TeamInbox {
     /// Store an arriving fragment.
     pub fn deliver(&mut self, w: TeamWire) {
-        let prev = self.msgs.insert((w.team, w.seq, w.round, w.src_rank), w.data);
+        let prev = self
+            .msgs
+            .insert((w.team, w.seq, w.round, w.src_rank), w.data);
         debug_assert!(prev.is_none(), "duplicate team fragment");
     }
 
@@ -177,7 +179,15 @@ impl Team {
         ctx.worker().place.team.lock().next_seq(self.id)
     }
 
-    fn send(&self, ctx: &Ctx, seq: u64, round: u32, dst_rank: usize, data: Box<dyn Any + Send>, bytes: usize) {
+    fn send(
+        &self,
+        ctx: &Ctx,
+        seq: u64,
+        round: u32,
+        dst_rank: usize,
+        data: Box<dyn Any + Send>,
+        bytes: usize,
+    ) {
         let me = self.rank(ctx) as u32;
         let dst = self.members[dst_rank];
         if dst == ctx.here() {
@@ -190,7 +200,7 @@ impl Team {
             });
             return;
         }
-        ctx.worker().g.transport.send(Envelope::new(
+        ctx.worker().send_env(Envelope::new(
             ctx.here(),
             dst,
             MsgClass::Team,

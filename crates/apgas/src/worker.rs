@@ -13,6 +13,7 @@
 //! that waits is the same thread that processes the messages that satisfy
 //! the wait.
 
+use crate::clock::ClockMsg;
 use crate::ctx::Ctx;
 use crate::finish::dense::next_hop;
 use crate::finish::proxy::{Proxy, ProxyEmit};
@@ -21,12 +22,12 @@ use crate::finish::{Attach, FinishKind, FinishMsg, FinishRef};
 use crate::place_state::{Activity, PlaceState};
 use crate::runtime::Global;
 use crate::team::TeamWire;
-use crate::clock::ClockMsg;
 use crossbeam_deque::Steal;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use x10rt::{Envelope, MsgClass, PlaceId, Transport};
+use x10rt::{Coalescer, Envelope, MsgClass, PlaceId, Transport};
 
 /// The closure type of an activity body.
 pub type TaskFn = Box<dyn FnOnce(&Ctx) + Send + 'static>;
@@ -39,7 +40,6 @@ pub struct SpawnMsg {
     pub body: TaskFn,
 }
 
-
 /// A worker thread of one place.
 pub struct Worker {
     /// Shared runtime state.
@@ -48,7 +48,24 @@ pub struct Worker {
     pub place: Arc<PlaceState>,
     /// Shorthand for `place.id`.
     pub here: PlaceId,
+    /// Outgoing-message aggregation buffers. Thread-local to this worker
+    /// (hence `RefCell`, not a lock); flushed at the end of every scheduling
+    /// quantum, before parking, and at loop exit, so buffered messages never
+    /// outlive a point where their destination could be waiting on them.
+    coalescer: RefCell<Coalescer>,
+    /// Scratch buffer for bulk mailbox drains (reused across calls).
+    recv_scratch: RefCell<Vec<Envelope>>,
+    /// Consecutive idle quanta; drives the yield-before-sleep backoff in
+    /// [`Worker::park_brief`].
+    idle_streak: std::cell::Cell<u32>,
 }
+
+/// Idle quanta a worker spends yielding the CPU before it takes the condvar
+/// sleep. Aggregated traffic arrives in bursts, so a receiver that just
+/// drained its mailbox very often gets its next batch within a few scheduler
+/// quanta of the sender — yielding there avoids a futex sleep/wake round
+/// trip per burst, which dominates on oversubscribed hosts.
+const PARK_SPIN_YIELDS: u32 = 8;
 
 /// Convert a panic payload into a printable message.
 pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
@@ -62,6 +79,27 @@ pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl Worker {
+    /// A worker for `place` within runtime `g`, with its own aggregation
+    /// buffers sized from the runtime configuration.
+    pub fn new(g: Arc<Global>, place: Arc<PlaceState>) -> Self {
+        let here = place.id;
+        let coalescer = Coalescer::new(
+            here,
+            g.cfg.places,
+            g.cfg.batch_max_msgs,
+            g.cfg.batch_max_bytes,
+            !g.cfg.batch_disable,
+        );
+        Worker {
+            g,
+            place,
+            here,
+            coalescer: RefCell::new(coalescer),
+            recv_scratch: RefCell::new(Vec::new()),
+            idle_streak: std::cell::Cell::new(0),
+        }
+    }
+
     /// Scheduler loop: run until global shutdown.
     pub fn main_loop(&self) {
         while !self.g.shutdown.load(Ordering::Acquire) {
@@ -69,17 +107,40 @@ impl Worker {
                 self.park_brief();
             }
         }
+        // Push out anything still buffered so a peer draining its mailbox
+        // during teardown sees every message that was logically sent.
+        self.flush_sends();
     }
 
     /// Pump messages and run at most one activity. Returns whether any
-    /// progress was made.
+    /// progress was made. Ends with a flush: nothing this quantum sent stays
+    /// buffered into the next one.
     pub fn run_one(&self) -> bool {
         let handled = self.drain_messages(256);
-        if let Some(act) = self.pop_activity() {
+        let progress = if let Some(act) = self.pop_activity() {
             self.execute(act);
-            return true;
+            true
+        } else {
+            handled > 0
+        };
+        self.flush_sends();
+        if progress {
+            self.idle_streak.set(0);
         }
-        handled > 0
+        progress
+    }
+
+    /// Drain this worker's aggregation buffers onto the transport.
+    pub fn flush_sends(&self) {
+        self.coalescer.borrow_mut().flush(&*self.g.transport);
+    }
+
+    /// Route an outgoing envelope through the aggregation buffers (or
+    /// straight to the transport when aggregation is disabled). Every send
+    /// from this worker thread must go through here — a bypass would let
+    /// messages overtake buffered ones and break per-pair FIFO.
+    pub(crate) fn send_env(&self, env: Envelope) {
+        self.coalescer.borrow_mut().send(&*self.g.transport, env);
     }
 
     /// Help-first wait: keep the place making progress until `cond` holds.
@@ -106,12 +167,23 @@ impl Worker {
     }
 
     fn park_brief(&self) {
+        // Never sleep on buffered sends: a peer may be waiting on them.
+        self.flush_sends();
+        // Back off gently first: give the CPU away and re-check before
+        // committing to a condvar sleep (see PARK_SPIN_YIELDS).
+        let streak = self.idle_streak.get();
+        if streak < PARK_SPIN_YIELDS {
+            self.idle_streak.set(streak + 1);
+            std::thread::yield_now();
+            return;
+        }
         let mut guard = self.place.wake_mutex.lock();
         self.place.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.place.queue.is_empty()
             && self.g.transport.queue_len(self.here) == 0
             && !self.g.shutdown.load(Ordering::Acquire)
         {
+            self.place.parks.fetch_add(1, Ordering::Relaxed);
             self.place
                 .wake_cv
                 .wait_for(&mut guard, self.g.cfg.park_timeout);
@@ -134,16 +206,32 @@ impl Worker {
     // ------------------------------------------------------------------
 
     fn drain_messages(&self, max: usize) -> usize {
+        // Bulk drain: pull up to `max` envelopes under one mailbox lock
+        // acquisition, then dispatch outside the lock. The scratch vector is
+        // taken out of its cell for the duration so handlers are free to use
+        // `self` (they never drain recursively).
+        let mut scratch = std::mem::take(&mut *self.recv_scratch.borrow_mut());
+        self.g
+            .transport
+            .try_recv_batch(self.here, max, &mut scratch);
         let mut n = 0;
-        while n < max {
-            match self.g.transport.try_recv(self.here) {
-                Some(env) => {
-                    self.handle_envelope(env);
-                    n += 1;
+        for env in scratch.drain(..) {
+            // A batch envelope expands into its logical messages, dispatched
+            // in their original send order.
+            match env.unbatch() {
+                Ok(inner) => {
+                    n += inner.len();
+                    for env in inner {
+                        self.handle_envelope(env);
+                    }
                 }
-                None => break,
+                Err(env) => {
+                    n += 1;
+                    self.handle_envelope(env);
+                }
             }
         }
+        *self.recv_scratch.borrow_mut() = scratch;
         self.forward_dense();
         n
     }
@@ -185,6 +273,9 @@ impl Worker {
                 crate::clock::handle_msg(self, *msg);
             }
             MsgClass::System => { /* shutdown travels via the flag */ }
+            MsgClass::Batch => {
+                debug_assert!(false, "nested batch envelope — coalescer bug");
+            }
         }
     }
 
@@ -302,7 +393,7 @@ impl Worker {
     }
 
     fn send_finish_msg(&self, to: PlaceId, body_bytes: usize, msg: FinishMsg) {
-        self.g.transport.send(Envelope::new(
+        self.send_env(Envelope::new(
             self.here,
             to,
             MsgClass::FinishCtl,
@@ -377,7 +468,7 @@ impl Worker {
     /// Ship an activity to `dst` (accounting already done by the caller).
     pub fn send_spawn(&self, dst: PlaceId, attach: Attach, body: TaskFn, class: MsgClass) {
         let body_bytes = std::mem::size_of_val(&*body) + std::mem::size_of::<Attach>();
-        self.g.transport.send(Envelope::new(
+        self.send_env(Envelope::new(
             self.here,
             dst,
             class,

@@ -1,0 +1,185 @@
+//! Transport-aggregation integration tests: the runtime must behave
+//! identically with coalescing on and off — same results, same logical
+//! protocol message counts for deterministic protocols, full finish
+//! termination — while the aggregated mode strictly reduces the number of
+//! physical envelopes on fan-out traffic.
+
+use apgas::{Config, FinishKind, MsgClass, PlaceId, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PLACES: usize = 8;
+const SPAWNS_PER_PLACE: u64 = 10;
+
+fn cfg(batch_disable: bool) -> Config {
+    Config::new(PLACES)
+        .places_per_host(4)
+        .batch_disable(batch_disable)
+}
+
+/// Fan out a burst of activities to every place under one finish and return
+/// (work done, logical messages, physical envelopes).
+fn fanout_round(rt: &Runtime) -> (u64, u64, u64) {
+    rt.reset_net_stats();
+    let count = Arc::new(AtomicU64::new(0));
+    let c2 = count.clone();
+    rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for p in c.places() {
+                for _ in 0..SPAWNS_PER_PLACE {
+                    let n = c2.clone();
+                    c.at_async(p, move |_| {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+        });
+    });
+    let stats = rt.net_stats();
+    (
+        count.load(Ordering::Relaxed),
+        stats.total_messages(),
+        stats.total_envelopes(),
+    )
+}
+
+#[test]
+fn finish_terminates_and_counts_match_in_both_modes() {
+    let on = Runtime::new(cfg(false));
+    let off = Runtime::new(cfg(true));
+    let (work_on, msgs_on, envs_on) = fanout_round(&on);
+    let (work_off, msgs_off, envs_off) = fanout_round(&off);
+
+    // Same work completed under a fully-detected finish termination.
+    assert_eq!(work_on, (PLACES as u64) * SPAWNS_PER_PLACE);
+    assert_eq!(work_off, work_on);
+
+    // Physical envelopes never exceed logical messages.
+    assert!(envs_on <= msgs_on);
+
+    // Aggregation must not change what the protocols send, only how it is
+    // packed: with it off, every logical message is its own envelope; with
+    // it on, the burst of spawns per destination coalesces, so strictly
+    // fewer envelopes cross the transport.
+    assert_eq!(msgs_off, envs_off, "disabled mode must not batch");
+    assert!(
+        envs_on < envs_off,
+        "aggregation saved nothing: {envs_on} envelopes vs {envs_off}"
+    );
+}
+
+#[test]
+fn spmd_finish_logical_cost_unchanged_by_aggregation() {
+    // FINISH_SPMD has a deterministic control-message cost (one Task out,
+    // one FinishCtl back per remote place). The logical counters must show
+    // exactly that cost in both modes.
+    for disable in [false, true] {
+        let rt = Runtime::new(cfg(disable));
+        rt.reset_net_stats();
+        rt.run(|ctx| {
+            ctx.finish_pragma(FinishKind::Spmd, |c| {
+                for p in c.places().skip(1) {
+                    c.at_async(p, |_| {});
+                }
+            });
+        });
+        let stats = rt.net_stats();
+        let remote = (PLACES - 1) as u64;
+        assert_eq!(
+            stats.class(MsgClass::Task).messages,
+            remote,
+            "spmd task count (batch_disable={disable})"
+        );
+        assert_eq!(
+            stats.class(MsgClass::FinishCtl).messages,
+            remote,
+            "spmd finish-ctl count (batch_disable={disable})"
+        );
+    }
+}
+
+#[test]
+fn round_trips_and_nested_finish_with_aggregation() {
+    // at() round trips plus nested remote finishes exercise the
+    // flush-before-wait discipline: a buffered message the waiter depends on
+    // must go out before the worker parks, or this deadlocks.
+    let rt = Runtime::new(cfg(false));
+    for round in 0..3u64 {
+        let got = rt.run(move |ctx| {
+            let mut acc = 0u64;
+            for p in ctx.places() {
+                acc += ctx.at(p, move |c| {
+                    let n = Arc::new(AtomicU64::new(0));
+                    let n2 = n.clone();
+                    c.finish(|cc| {
+                        for q in cc.places() {
+                            let n = n2.clone();
+                            cc.at_async(q, move |_| {
+                                n.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    n.load(Ordering::Relaxed) + round
+                });
+            }
+            acc
+        });
+        assert_eq!(got, (PLACES as u64) * (PLACES as u64 + round));
+    }
+}
+
+#[test]
+fn tiny_thresholds_still_correct() {
+    // Degenerate knobs (flush after every message / every few bytes) must
+    // not break anything — they just make aggregation useless.
+    let rt = Runtime::new(
+        Config::new(4)
+            .places_per_host(2)
+            .batch_max_msgs(1)
+            .batch_max_bytes(1),
+    );
+    let (work, msgs, envs) = {
+        rt.reset_net_stats();
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = count.clone();
+        rt.run(move |ctx| {
+            ctx.finish(|c| {
+                for p in c.places() {
+                    for _ in 0..SPAWNS_PER_PLACE {
+                        let n = c2.clone();
+                        c.at_async(p, move |_| {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                }
+            });
+        });
+        let s = rt.net_stats();
+        (
+            count.load(Ordering::Relaxed),
+            s.total_messages(),
+            s.total_envelopes(),
+        )
+    };
+    assert_eq!(work, 4 * SPAWNS_PER_PLACE);
+    assert_eq!(msgs, envs, "max_msgs=1 coalesces nothing");
+}
+
+#[test]
+fn self_sends_survive_aggregation() {
+    // Place 0 spawning at itself goes through the same coalescer path.
+    let rt = Runtime::new(cfg(false));
+    let count = Arc::new(AtomicU64::new(0));
+    let c2 = count.clone();
+    rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for _ in 0..100 {
+                let n = c2.clone();
+                c.at_async(PlaceId(0), move |_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 100);
+}

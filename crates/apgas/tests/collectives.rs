@@ -1,6 +1,8 @@
 //! Tests for Teams, Clocks, PlaceGroups, PlaceLocalHandles and GlobalRails.
 
-use apgas::{Clock, Config, GlobalRail, PlaceGroup, PlaceId, PlaceLocalHandle, Runtime, Team, TeamOp};
+use apgas::{
+    Clock, Config, GlobalRail, PlaceGroup, PlaceId, PlaceLocalHandle, Runtime, Team, TeamOp,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -219,8 +221,14 @@ fn clock_synchronizes_loop_iterations() {
         max_seen_at[i as usize] = pos;
         min_seen_at[i as usize] = min_seen_at[i as usize].min(pos);
     }
-    assert!(max_seen_at[0] < min_seen_at[1], "iter 0 must finish before iter 1 starts");
-    assert!(max_seen_at[1] < min_seen_at[2], "iter 1 must finish before iter 2 starts");
+    assert!(
+        max_seen_at[0] < min_seen_at[1],
+        "iter 0 must finish before iter 1 starts"
+    );
+    assert!(
+        max_seen_at[1] < min_seen_at[2],
+        "iter 1 must finish before iter 2 starts"
+    );
 }
 
 #[test]
@@ -277,7 +285,10 @@ fn place_group_flat_broadcast_works_but_hotspots() {
             h2.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(h.load(Ordering::Relaxed), 8);
-        assert!(ctx.net_stats().out_degree(0) >= 7, "flat bcast has out-degree n");
+        assert!(
+            ctx.net_stats().out_degree(0) >= 7,
+            "flat bcast has out-degree n"
+        );
     });
 }
 
@@ -323,7 +334,9 @@ fn global_rail_async_copy_between_places() {
             }
             r.async_copy_to(c, 0, PlaceId(1), 2, 4); // src[0..4] → dst[2..6]
         });
-        let seen = ctx.at(PlaceId(1), move |c| handle.get(c).lock().as_slice().to_vec());
+        let seen = ctx.at(PlaceId(1), move |c| {
+            handle.get(c).lock().as_slice().to_vec()
+        });
         assert_eq!(seen, vec![0, 0, 1, 2, 3, 4, 0, 0]);
     });
 }
@@ -358,7 +371,11 @@ fn rail_copy_from_pulls() {
             Mutex::new(GlobalRail::<f64>::new(c, 4))
         });
         ctx.at(PlaceId(1), move |c| {
-            handle.get(c).lock().as_mut_slice().copy_from_slice(&[1.5, 2.5, 3.5, 4.5]);
+            handle
+                .get(c)
+                .lock()
+                .as_mut_slice()
+                .copy_from_slice(&[1.5, 2.5, 3.5, 4.5]);
         });
         ctx.at(PlaceId(0), move |c| {
             let rail = handle.get(c);

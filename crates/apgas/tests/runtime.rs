@@ -365,10 +365,7 @@ fn when_waits_for_condition() {
                 cc.atomic(|| c3.store(5, Ordering::Relaxed));
             });
             let c4 = c2.clone();
-            let seen = c.when(
-                move || c4.load(Ordering::Relaxed) == 5,
-                || 99u32,
-            );
+            let seen = c.when(move || c4.load(Ordering::Relaxed) == 5, || 99u32);
             assert_eq!(seen, 99);
         });
     });

@@ -77,5 +77,10 @@ fn bench_interval_steal(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, bench_glb_policies, bench_bcast, bench_interval_steal);
+criterion_group!(
+    ablations,
+    bench_glb_policies,
+    bench_bcast,
+    bench_interval_steal
+);
 criterion_main!(ablations);

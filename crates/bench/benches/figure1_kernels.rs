@@ -38,9 +38,7 @@ fn bench_dgemm(c: &mut Criterion) {
             let bm = kernels::linalg::Mat::from_fn(n, n, |i, j| kernels::util::element(3, i, j));
             let mut cm = kernels::linalg::Mat::zeros(n, n);
             b.iter(|| {
-                kernels::linalg::dgemm_sub(
-                    n, n, n, &a.data, n, &bm.data, n, &mut cm.data, n,
-                );
+                kernels::linalg::dgemm_sub(n, n, n, &a.data, n, &bm.data, n, &mut cm.data, n);
                 black_box(cm.data[0])
             });
         });
@@ -131,7 +129,12 @@ fn bench_kmeans(c: &mut Criterion) {
             let mut sums = vec![0.0; p.k * p.dim];
             let mut counts = vec![0.0; p.k];
             black_box(kernels::kmeans::assign_and_accumulate(
-                &pts, &cen, p.dim, p.k, &mut sums, &mut counts,
+                &pts,
+                &cen,
+                p.dim,
+                p.k,
+                &mut sums,
+                &mut counts,
             ))
         });
     });
@@ -145,7 +148,13 @@ fn bench_sw(c: &mut Criterion) {
     let t = kernels::sw::generate_dna(5_000, 19, &q, 2_500);
     g.throughput(Throughput::Elements((q.len() * t.len()) as u64));
     g.bench_function("200x5000", |b| {
-        b.iter(|| black_box(kernels::sw::sw_score(&q, &t, kernels::sw::Scoring::default())));
+        b.iter(|| {
+            black_box(kernels::sw::sw_score(
+                &q,
+                &t,
+                kernels::sw::Scoring::default(),
+            ))
+        });
     });
     g.finish();
 }
@@ -155,8 +164,7 @@ fn bench_bc(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for scale in [8u32, 10] {
         g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
-            let graph =
-                kernels::bc::rmat::generate(&kernels::bc::rmat::RmatParams::paper(s));
+            let graph = kernels::bc::rmat::generate(&kernels::bc::rmat::RmatParams::paper(s));
             b.iter(|| black_box(kernels::bc::bc_sequential(&graph).edges_traversed));
         });
     }

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p bench --bin figure1 [--quick]`
 
-use bench::{PAPER_CORES, Series};
+use bench::{Series, PAPER_CORES};
 use p775::model;
 
 fn main() {
@@ -62,7 +62,8 @@ fn hpl(quick: bool) {
         })
         .collect();
     Series {
-        title: "HPL projected on Power 775 scale (paper: 22.38 → 20.62 → 17.98 Gflop/s/core)".into(),
+        title: "HPL projected on Power 775 scale (paper: 22.38 → 20.62 → 17.98 Gflop/s/core)"
+            .into(),
         agg_unit: "Gflop/s",
         per_unit: "Gflop/s/core",
         rows,
@@ -134,8 +135,7 @@ fn ra(quick: bool) {
         })
         .collect();
     Series {
-        title: "RandomAccess projected (paper: 0.82 Gup/s/host at both ends, dip between)"
-            .into(),
+        title: "RandomAccess projected (paper: 0.82 Gup/s/host at both ends, dip between)".into(),
         agg_unit: "Gup/s",
         per_unit: "Gup/s/host",
         rows,
@@ -231,8 +231,7 @@ fn kmeans(quick: bool) {
         rows.push((places, secs, secs));
     }
     Series {
-        title: "K-Means measured (weak scaling: constant points/place; flat time = perfect)"
-            .into(),
+        title: "K-Means measured (weak scaling: constant points/place; flat time = perfect)".into(),
         agg_unit: "seconds",
         per_unit: "seconds",
         rows,
@@ -325,8 +324,7 @@ fn bc(quick: bool) {
         })
         .collect();
     Series {
-        title: "BC projected (paper: 11.59 → 10.67 | switch | 6.23 → 5.21 M edges/s/core)"
-            .into(),
+        title: "BC projected (paper: 11.59 → 10.67 | switch | 6.23 → 5.21 M edges/s/core)".into(),
         agg_unit: "M edges/s",
         per_unit: "M edges/s/core",
         rows,

@@ -38,7 +38,11 @@ fn main() {
 
     // HPL: distributed (1 place, full runtime + teams) vs raw sequential LU.
     let n = if quick { 64 } else { 128 };
-    let params = kernels::hpl::HplParams { n, nb: 16, seed: 42 };
+    let params = kernels::hpl::HplParams {
+        n,
+        nb: 16,
+        seed: 42,
+    };
     let rt = bench::runtime(1);
     let via = rt.run(move |ctx| kernels::hpl::hpl_distributed(ctx, params));
     let flops = kernels::hpl::flops(n);
@@ -53,11 +57,7 @@ fn main() {
     let via = rt.run(move |ctx| kernels::ra::ra_distributed(ctx, log2, 2, 256));
     assert_eq!(via.errors, 0);
     let (_, bare_rate) = kernels::ra::ra_sequential(log2, 2);
-    row(
-        "Global RandomAccess (Gup/s)",
-        via.gups(),
-        bare_rate / 1e9,
-    );
+    row("Global RandomAccess (Gup/s)", via.gups(), bare_rate / 1e9);
 
     // FFT.
     let nfft = if quick { 4096 } else { 65_536 };
@@ -81,14 +81,9 @@ fn main() {
         bare.bytes_per_sec / 1e9,
     );
 
-    println!(
-        "\npaper fractions for reference: HPL 85%, RandomAccess 81%, FFT 41%, Stream 87%"
-    );
+    println!("\npaper fractions for reference: HPL 85%, RandomAccess 81%, FFT 41%, Stream 87%");
 }
 
 fn row(name: &str, via: f64, bare: f64) {
-    println!(
-        "{name:<24} {via:>16.3} {bare:>16.3} {:>10.2}",
-        via / bare
-    );
+    println!("{name:<24} {via:>16.3} {bare:>16.3} {:>10.2}", via / bare);
 }

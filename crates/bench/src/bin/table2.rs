@@ -18,7 +18,8 @@ fn main() {
     // HPL: per-core at 32,768 vs per-core at one host.
     let base = bench::measure_hpl_rate(if quick { 96 } else { 192 }) / 1e9;
     let contended = base * (20.62 / 22.38);
-    let eff = model::hpl_per_core(base, contended, 32_768) / model::hpl_per_core(base, contended, host);
+    let eff =
+        model::hpl_per_core(base, contended, 32_768) / model::hpl_per_core(base, contended, host);
     rows.push(("Global HPL".into(), 0.87, eff));
 
     // RandomAccess: per-host at scale vs per-host at 1,024 hosts end — the
@@ -34,7 +35,8 @@ fn main() {
     // Stream.
     let sbase = bench::measure_stream_rate(if quick { 100_000 } else { 1_000_000 }) / 1e9;
     let scont = sbase * (7.23 / 12.6);
-    let eff = model::stream_per_core(sbase, scont, 55_680) / model::stream_per_core(sbase, scont, host);
+    let eff =
+        model::stream_per_core(sbase, scont, 55_680) / model::stream_per_core(sbase, scont, host);
     rows.push(("EP Stream (Triad)".into(), 0.98, eff));
 
     // UTS.
@@ -43,12 +45,16 @@ fn main() {
     rows.push(("UTS".into(), 0.98, eff));
 
     // K-Means (time ratio inverted: efficiency = t_host / t_scale).
-    let kbase = bench::measure_kmeans_seconds(if quick { 500 } else { 2000 }, if quick { 16 } else { 64 });
+    let kbase =
+        bench::measure_kmeans_seconds(if quick { 500 } else { 2000 }, if quick { 16 } else { 64 });
     let eff = model::kmeans_seconds(kbase, host) / model::kmeans_seconds(kbase, 47_040);
     rows.push(("K-Means".into(), 0.98, eff));
 
     // Smith-Waterman.
-    let swb = bench::measure_sw_seconds(if quick { 100 } else { 400 }, if quick { 2000 } else { 10_000 });
+    let swb = bench::measure_sw_seconds(
+        if quick { 100 } else { 400 },
+        if quick { 2000 } else { 10_000 },
+    );
     let swc = swb * (12.68 / 8.61);
     let eff = model::sw_seconds(swb, swc, host) / model::sw_seconds(swb, swc, 47_040);
     rows.push(("Smith-Waterman".into(), 0.98, eff));
@@ -68,5 +74,7 @@ fn main() {
     // (2,048→47,040). Paper: (10.67/11.59)·(5.21/6.23) ≈ 0.77.
     let corrected = (model::bc_per_core(bbase, 2048) / model::bc_per_core(bbase, 32))
         * (model::bc_per_core(bbase, 47_040) / model::bc_per_core(bbase, 2049));
-    println!("\nBC corrected efficiency (discounting the graph switch): paper 0.77, ours {corrected:.2}");
+    println!(
+        "\nBC corrected efficiency (discounting the graph switch): paper 0.77, ours {corrected:.2}"
+    );
 }

@@ -110,11 +110,8 @@ pub fn run<B: TaskBag>(
     // Tree wave starts wherever run() was called; rotate the place list so
     // the caller is rank 0 of the wave.
     let start = ctx.here().0 as usize;
-    let order: Arc<Vec<PlaceId>> = Arc::new(
-        (0..n)
-            .map(|i| PlaceId(((start + i) % n) as u32))
-            .collect(),
-    );
+    let order: Arc<Vec<PlaceId>> =
+        Arc::new((0..n).map(|i| PlaceId(((start + i) % n) as u32)).collect());
     ctx.finish_pragma(FinishKind::Dense, |c| {
         let order = order.clone();
         c.spawn(move |cc| wave(cc, handle, root_bag, 0, n, order));
@@ -125,7 +122,10 @@ pub fn run<B: TaskBag>(
     for p in ctx.places() {
         let (r, s) = ctx.at(p, move |c| {
             let st = handle.get(c);
-            debug_assert!(!st.alive.load(Ordering::SeqCst), "worker alive after finish");
+            debug_assert!(
+                !st.alive.load(Ordering::SeqCst),
+                "worker alive after finish"
+            );
             let result = st.bag.lock().take_result();
             let stats = st.stats.snapshot();
             (result, stats)
@@ -154,9 +154,7 @@ fn wave<B: TaskBag>(
     debug_assert_eq!(ctx.here(), order[lo]);
     while hi - lo > 1 {
         let mid = lo + (hi - lo).div_ceil(2); // keep [lo,mid), ship [mid,hi)
-        let loot = bag
-            .split()
-            .unwrap_or_else(|| (handle.get(ctx).factory)());
+        let loot = bag.split().unwrap_or_else(|| (handle.get(ctx).factory)());
         let (h2, o2) = (handle, order.clone());
         let target = order[mid];
         ctx.at_async_class(target, MsgClass::Steal, move |c| {
@@ -228,11 +226,7 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
 
 /// Serve waiting lifeline thieves from a non-empty bag. Unserved thieves
 /// stay registered (lifelines have memory).
-fn distribute<B: TaskBag>(
-    ctx: &Ctx,
-    st: &GlbPlace<B>,
-    handle: PlaceLocalHandle<GlbPlace<B>>,
-) {
+fn distribute<B: TaskBag>(ctx: &Ctx, st: &GlbPlace<B>, handle: PlaceLocalHandle<GlbPlace<B>>) {
     loop {
         let thief = {
             let mut t = st.thieves.lock();

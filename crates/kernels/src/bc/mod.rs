@@ -52,7 +52,9 @@ pub fn bc_sequential(g: &Csr) -> BcResult {
 /// Which place statically owns source vertex `v` — the paper's random
 /// partition (a hash, so ownership is reproducible everywhere).
 pub fn owner_of(v: usize, places: usize, seed: u64) -> usize {
-    let mut x = (v as u64).wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut x = (v as u64)
+        .wrapping_add(seed)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
     x ^= x >> 29;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     (x % places as u64) as usize
@@ -144,8 +146,12 @@ impl TaskBag for BcBag {
             if range.0 >= range.1 {
                 self.pending.pop();
             }
-            self.edges +=
-                brandes_source(&self.graph, s as usize, &mut self.centrality, &mut self.scratch);
+            self.edges += brandes_source(
+                &self.graph,
+                s as usize,
+                &mut self.centrality,
+                &mut self.scratch,
+            );
             done += 1;
         }
         done
@@ -187,7 +193,10 @@ impl TaskBag for BcBag {
     }
 
     fn take_result(&mut self) -> (Vec<f64>, u64) {
-        (std::mem::take(&mut self.centrality), std::mem::take(&mut self.edges))
+        (
+            std::mem::take(&mut self.centrality),
+            std::mem::take(&mut self.edges),
+        )
     }
 }
 
@@ -258,8 +267,7 @@ mod tests {
         let g = Arc::new(rmat::generate(&params));
         let mut bag = BcBag::root(g.clone());
         let loot = bag.split().expect("splittable");
-        let count =
-            |b: &BcBag| -> u32 { b.pending.iter().map(|r| r.1 - r.0).sum() };
+        let count = |b: &BcBag| -> u32 { b.pending.iter().map(|r| r.1 - r.0).sum() };
         assert_eq!(count(&bag) + count(&loot), g.n() as u32);
     }
 }

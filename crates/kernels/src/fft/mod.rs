@@ -62,8 +62,8 @@ pub fn fft_six_step(x: &[Cpx]) -> Vec<Cpx> {
     // Step 3: twiddle B[j2][k1] *= w_N^{j2·k1}.
     for j2 in 0..n2 {
         for k1 in 0..n1 {
-            b[j2 * n1 + k1] =
-                b[j2 * n1 + k1] * Cpx::unit(-2.0 * std::f64::consts::PI * (j2 * k1) as f64 / n as f64);
+            b[j2 * n1 + k1] = b[j2 * n1 + k1]
+                * Cpx::unit(-2.0 * std::f64::consts::PI * (j2 * k1) as f64 / n as f64);
         }
     }
     // Step 4: transpose B (n2×n1) → C (n1×n2).
@@ -124,7 +124,7 @@ pub fn fft_distributed(ctx: &Ctx, n: usize, verify: bool) -> FftResult {
         let p = c.num_places();
         let r1 = n1 / p; // my rows of the n1×n2 view
         let r2 = n2 / p; // my rows of the n2×n1 view
-        // Local slab of A: rows me*r1 .. (me+1)*r1.
+                         // Local slab of A: rows me*r1 .. (me+1)*r1.
         let a: Vec<Cpx> = (0..r1 * n2)
             .map(|i| {
                 let (i1, i2) = (me * r1 + i / n2, i % n2);

@@ -110,7 +110,6 @@ impl Local {
             blocks,
         }
     }
-
 }
 
 /// Shared wire type: a factored panel (`rows`, data, pivots).
@@ -219,8 +218,7 @@ fn factorize(ctx: &Ctx, local: &mut Local, row_team: &Team, col_team: &Team) -> 
             }
         }
         // ---- 5. Broadcast U blocks down process columns ----
-        let u_wire: UWire =
-            col_team.broadcast(ctx, prow, (local.myrow == prow).then_some(my_u));
+        let u_wire: UWire = col_team.broadcast(ctx, prow, (local.myrow == prow).then_some(my_u));
         let u_blocks: HashMap<usize, Mat> = u_wire
             .into_iter()
             .map(|(bj, data)| {
@@ -267,24 +265,13 @@ fn factorize(ctx: &Ctx, local: &mut Local, row_team: &Team, col_team: &Team) -> 
 /// Gather the panel (block column `k`, rows `k..`) to the diagonal owner,
 /// factor it recursively with partial pivoting, and return the factored
 /// panel + pivots (valid at every member after the broadcast).
-fn panel_factor(
-    ctx: &Ctx,
-    local: &Local,
-    col_team: &Team,
-    k: usize,
-    prow: usize,
-) -> PanelWire {
+fn panel_factor(ctx: &Ctx, local: &Local, col_team: &Team, k: usize, prow: usize) -> PanelWire {
     let nb = local.params.nb;
     let nblocks = local.nblocks;
     // Each member contributes its blocks of the panel, tagged by block row.
     let mine: Vec<(u64, Vec<f64>)> = (k..nblocks)
         .filter(|bi| bi % local.pr == local.myrow)
-        .map(|bi| {
-            (
-                bi as u64,
-                local.blocks[&(bi, k)].data.clone(),
-            )
-        })
+        .map(|bi| (bi as u64, local.blocks[&(bi, k)].data.clone()))
         .collect();
     let gathered = col_team.allgather(ctx, mine);
     let factored: Option<PanelWire> = if local.myrow == prow {

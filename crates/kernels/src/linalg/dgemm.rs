@@ -137,7 +137,15 @@ pub fn mat_gemm_sub(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(c.rows, a.rows);
     assert_eq!(c.cols, b.cols);
     dgemm_sub(
-        a.rows, b.cols, a.cols, &a.data, a.cols, &b.data, b.cols, &mut c.data, c.cols,
+        a.rows,
+        b.cols,
+        a.cols,
+        &a.data,
+        a.cols,
+        &b.data,
+        b.cols,
+        &mut c.data,
+        c.cols,
     );
 }
 
@@ -165,7 +173,13 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_various_shapes() {
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (65, 33, 70), (128, 5, 129)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (65, 33, 70),
+            (128, 5, 129),
+        ] {
             let a = random_mat(m, k, 1);
             let b = random_mat(k, n, 2);
             let mut c1 = random_mat(m, n, 3);

@@ -117,7 +117,12 @@ impl RaResult {
 /// the update stream, pushing updates through remote atomic XOR in batches
 /// of `batch` (the code structure of the batched GUPS path; each update is
 /// still one RDMA op, as on the Torrent).
-pub fn ra_distributed(ctx: &Ctx, log2_local: u32, updates_per_word: usize, batch: usize) -> RaResult {
+pub fn ra_distributed(
+    ctx: &Ctx,
+    log2_local: u32,
+    updates_per_word: usize,
+    batch: usize,
+) -> RaResult {
     let places = ctx.num_places();
     let local_n = 1usize << log2_local;
     let global_n = local_n * places;
@@ -143,7 +148,8 @@ pub fn ra_distributed(ctx: &Ctx, log2_local: u32, updates_per_word: usize, batch
         let me = c.here().index();
         let run_updates = |c: &Ctx| {
             let rail = handle.get(c);
-            let mut buckets: Vec<Vec<(usize, u64)>> = vec![Vec::with_capacity(batch); c.num_places()];
+            let mut buckets: Vec<Vec<(usize, u64)>> =
+                vec![Vec::with_capacity(batch); c.num_places()];
             let mut ran = starts((me * updates_per_place) as i64);
             let flush = |c: &Ctx, dest: usize, bucket: &mut Vec<(usize, u64)>| {
                 let r = rail.lock();
@@ -241,6 +247,9 @@ mod tests {
                 high += 1;
             }
         }
-        assert!(high > 4_000, "stream should reach high bits often, got {high}");
+        assert!(
+            high > 4_000,
+            "stream should reach high bits often, got {high}"
+        );
     }
 }

@@ -194,7 +194,10 @@ mod tests {
                 assert!(plo + overlap <= prev_hi + overlap, "windows must overlap");
             }
         }
-        assert!(covered.iter().all(|&c| c), "fragments must cover the string");
+        assert!(
+            covered.iter().all(|&c| c),
+            "fragments must cover the string"
+        );
     }
 
     #[test]

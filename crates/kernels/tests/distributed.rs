@@ -33,7 +33,8 @@ fn kmeans_distributed_matches_sequential() {
     let places = 4;
     let (seq_cent, seq_costs) = kernels::kmeans::kmeans_sequential(&p, places);
     let p2 = p.clone();
-    let (dist_cent, dist_costs) = rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
+    let (dist_cent, dist_costs) =
+        rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
     assert_eq!(seq_costs.len(), dist_costs.len());
     for (a, b) in seq_costs.iter().zip(&dist_costs) {
         assert!(
@@ -72,11 +73,7 @@ fn ra_distributed_zero_errors_and_gups() {
 fn fft_distributed_matches_oracle() {
     // n = 4096 → n1 = 64, n2 = 64; P = 4 divides both.
     let res = rt(4).run(|ctx| kernels::fft::fft_distributed(ctx, 4096, true));
-    assert!(
-        res.max_err < 1e-8,
-        "distributed FFT error {}",
-        res.max_err
-    );
+    assert!(res.max_err < 1e-8, "distributed FFT error {}", res.max_err);
     assert!(res.gflops() > 0.0);
 }
 

@@ -43,8 +43,7 @@ fn kmeans_more_places_and_iters() {
     let places = 6;
     let (seq_cent, seq_costs) = kernels::kmeans::kmeans_sequential(&p, places);
     let p2 = p.clone();
-    let (cent, costs) =
-        rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
+    let (cent, costs) = rt(places).run(move |ctx| kernels::kmeans::kmeans_distributed(ctx, &p2));
     for (a, b) in seq_costs.iter().zip(&costs) {
         assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
     }

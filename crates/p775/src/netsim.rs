@@ -191,7 +191,10 @@ mod tests {
                 inject: 0.0,
             }])
             .makespan;
-        assert!(lr > ll * 3.0, "LR (5 GB/s) must be slower than LL (24): {ll} vs {lr}");
+        assert!(
+            lr > ll * 3.0,
+            "LR (5 GB/s) must be slower than LL (24): {ll} vs {lr}"
+        );
     }
 
     #[test]
@@ -236,8 +239,8 @@ mod tests {
         let mut s = sim();
         let msgs: Vec<MsgSpec> = (0..16)
             .map(|i| MsgSpec {
-                from: i * 32,            // SN 0 octant i
-                to: (32 + i) * 32,       // SN 1 octant i
+                from: i * 32,      // SN 0 octant i
+                to: (32 + i) * 32, // SN 1 octant i
                 bytes: 10_000_000,
                 inject: 0.0,
             })
@@ -253,6 +256,9 @@ mod tests {
                 inject: 0.0,
             }])
             .makespan;
-        assert!(shared > 10.0 * single, "D bundle must serialize: {shared} vs {single}");
+        assert!(
+            shared > 10.0 * single,
+            "D bundle must serialize: {shared} vs {single}"
+        );
     }
 }

@@ -128,7 +128,9 @@ pub struct LinkCounts {
 impl LinkCounts {
     /// Aggregate one-direction bandwidth of all links, GB/s.
     pub fn total_gbs(&self) -> f64 {
-        self.ll as f64 * links::LL_GBS + self.lr as f64 * links::LR_GBS + self.d as f64 * links::D_GBS
+        self.ll as f64 * links::LL_GBS
+            + self.lr as f64 * links::LR_GBS
+            + self.d as f64 * links::D_GBS
     }
 }
 
@@ -142,7 +144,7 @@ mod tests {
         assert_eq!(m.octants_per_supernode(), 32);
         assert_eq!(m.octants(), 56 * 32);
         assert_eq!(m.cores(), 57_344); // 1,740 of 1,792 octants usable in the paper
-        // theoretical peak ≈ 1.7 Pflop/s
+                                       // theoretical peak ≈ 1.7 Pflop/s
         assert!((m.peak_gflops() / 1e6 - 1.76).abs() < 0.1);
     }
 
@@ -151,7 +153,14 @@ mod tests {
         let m = Machine::hurcules();
         // 8 octants in one drawer: 28 LL pairs, no LR, no D.
         let lc = m.link_inventory(8);
-        assert_eq!(lc, LinkCounts { ll: 28, lr: 0, d: 0 });
+        assert_eq!(
+            lc,
+            LinkCounts {
+                ll: 28,
+                lr: 0,
+                d: 0
+            }
+        );
     }
 
     #[test]

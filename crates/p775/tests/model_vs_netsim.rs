@@ -71,5 +71,9 @@ fn latency_orders_of_magnitude_sane() {
         bytes: 64,
         inject: 0.0,
     }]);
-    assert!(s.max_latency > 1.0e-6 && s.max_latency < 1.0e-4, "{}", s.max_latency);
+    assert!(
+        s.max_latency > 1.0e-6 && s.max_latency < 1.0e-4,
+        "{}",
+        s.max_latency
+    );
 }

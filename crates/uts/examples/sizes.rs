@@ -2,6 +2,9 @@ fn main() {
     for d in 0..=10u32 {
         let t = uts::GeoTree::paper(d);
         let s = uts::traverse(&t);
-        println!("d={d} nodes={} leaves={} maxdepth={}", s.nodes, s.leaves, s.max_depth);
+        println!(
+            "d={d} nodes={} leaves={} maxdepth={}",
+            s.nodes, s.leaves, s.max_depth
+        );
     }
 }

@@ -66,7 +66,7 @@ mod tests {
     }
 
     #[test]
-    fn nodes_equal_hashes(){
+    fn nodes_equal_hashes() {
         // Every node except the root is created by exactly one spawn hash;
         // the root costs one init hash. So hashes == nodes when every
         // spawned child is visited.

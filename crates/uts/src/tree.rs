@@ -112,9 +112,7 @@ impl GeoTree {
     /// `1 + b0/(1 − m·q)` for subcritical BIN.
     pub fn expected_size(&self) -> f64 {
         match self.shape {
-            Shape::Geometric => {
-                (self.b0.powi(self.depth as i32 + 1) - 1.0) / (self.b0 - 1.0)
-            }
+            Shape::Geometric => (self.b0.powi(self.depth as i32 + 1) - 1.0) / (self.b0 - 1.0),
             Shape::Binomial { m, q } => {
                 let rate = m as f64 * q;
                 if rate < 1.0 {
@@ -218,7 +216,9 @@ mod bin_tests {
     fn binomial_matches_expected_size_formula() {
         let t = GeoTree::binomial(4, 4, 0.2, 19);
         assert!((t.expected_size() - 21.0).abs() < 1e-9);
-        assert!(GeoTree::binomial(4, 2, 0.5, 19).expected_size().is_infinite());
+        assert!(GeoTree::binomial(4, 2, 0.5, 19)
+            .expected_size()
+            .is_infinite());
     }
 
     #[test]
@@ -227,9 +227,22 @@ mod bin_tests {
         // worklists where fragment stealing has little to take).
         let t = GeoTree::binomial(64, 8, 0.121, 7); // supercritical-ish burst, subcritical tail
         let want = traverse(&t);
-        assert!(want.nodes > 50, "need a non-trivial tree, got {}", want.nodes);
+        assert!(
+            want.nodes > 50,
+            "need a non-trivial tree, got {}",
+            want.nodes
+        );
         let rt = apgas::Runtime::new(apgas::Config::new(3));
-        let got = rt.run(move |ctx| crate::run_distributed(ctx, t, glb::GlbConfig { chunk: 4, ..glb::GlbConfig::default() }));
+        let got = rt.run(move |ctx| {
+            crate::run_distributed(
+                ctx,
+                t,
+                glb::GlbConfig {
+                    chunk: 4,
+                    ..glb::GlbConfig::default()
+                },
+            )
+        });
         assert_eq!(got.stats.nodes, want.nodes);
         assert_eq!(got.stats.max_depth, want.max_depth);
     }

@@ -63,7 +63,11 @@ fn balancer_statistics_are_consistent() {
     let b = got.balancer;
     // The root node is counted when the root bag is built, before the
     // balancer runs; every other node is one process() step.
-    assert_eq!(b.processed, got.stats.nodes - 1, "every node processed once");
+    assert_eq!(
+        b.processed,
+        got.stats.nodes - 1,
+        "every node processed once"
+    );
     assert!(b.random_hits <= b.random_attempts);
     // resuscitations can't exceed gifts delivered
     assert!(b.resuscitations <= b.lifeline_gifts);

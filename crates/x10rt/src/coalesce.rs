@@ -1,0 +1,314 @@
+//! Sender-side message coalescing (transport aggregation).
+//!
+//! The paper's transport (PAMI on the Power 775) aggregates small active
+//! messages headed for the same destination into larger injections,
+//! amortizing per-message software and header overhead. [`Coalescer`] models
+//! that layer: each sending worker owns one coalescer, routes every outgoing
+//! message through [`Coalescer::send`], and the coalescer packs
+//! same-destination runs into a single [`MsgClass::Batch`](crate::MsgClass)
+//! envelope (see [`Envelope::batch`]).
+//!
+//! # Flush discipline
+//!
+//! A buffer drains when it reaches either threshold (`max_msgs` messages or
+//! `max_bytes` modeled bytes), and *everything* drains on [`Coalescer::flush`].
+//! The owner must call `flush` at every point where it stops producing sends
+//! and other parties may wait on the buffered messages — in this codebase the
+//! scheduler flushes at the end of each scheduling quantum, before parking,
+//! and on worker exit, so no message ever stays buffered across a point where
+//! its destination could be blocked on it. Liveness holds by construction:
+//! buffered messages never survive a scheduling quantum.
+//!
+//! # Ordering
+//!
+//! Per-(sender, destination) FIFO is preserved: a sender's messages to one
+//! destination all funnel through the same buffer in program order, and the
+//! resulting envelopes (scalar or batch) travel the transport's FIFO path.
+//! This only holds if *all* of a sender's traffic to a destination goes
+//! through the coalescer — bypassing it for some messages lets them overtake
+//! buffered ones.
+//!
+//! # Statistics
+//!
+//! Logical per-class message counts are recorded exactly once per message,
+//! whichever path it takes: the transport counts scalar envelopes itself and
+//! skips `Batch` envelopes, while the coalescer counts the inner messages of
+//! a batch at pack time. Physical envelope counts always come from the
+//! transport. Toggling aggregation therefore changes envelope counts but
+//! never logical protocol counts.
+
+use crate::message::Envelope;
+use crate::place::PlaceId;
+use crate::transport::Transport;
+
+/// Default flush threshold: messages buffered per destination.
+pub const DEFAULT_MAX_MSGS: usize = 64;
+
+/// Default flush threshold: modeled bytes buffered per destination.
+pub const DEFAULT_MAX_BYTES: usize = 16 * 1024;
+
+#[derive(Default)]
+struct Buf {
+    envs: Vec<Envelope>,
+    bytes: usize,
+}
+
+/// Per-sender aggregation buffers, one per destination place.
+///
+/// Not `Sync` — each sending thread owns its own coalescer, which is what
+/// keeps the buffers lock-free.
+pub struct Coalescer {
+    from: PlaceId,
+    max_msgs: usize,
+    max_bytes: usize,
+    enabled: bool,
+    bufs: Vec<Buf>,
+    /// Destinations with a non-empty buffer (so flush skips the rest).
+    dirty: Vec<usize>,
+}
+
+impl Coalescer {
+    /// A coalescer for messages sent by `from` across `places` places.
+    ///
+    /// `max_msgs` / `max_bytes` are the per-destination flush thresholds
+    /// (values < 1 are clamped to 1). With `enabled == false` every send
+    /// passes straight through to the transport — the ablation baseline.
+    pub fn new(
+        from: PlaceId,
+        places: usize,
+        max_msgs: usize,
+        max_bytes: usize,
+        enabled: bool,
+    ) -> Self {
+        Coalescer {
+            from,
+            max_msgs: max_msgs.max(1),
+            max_bytes: max_bytes.max(1),
+            enabled,
+            bufs: (0..places).map(|_| Buf::default()).collect(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Is aggregation active (false = pass-through)?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Route one outgoing message: buffer it (flushing its destination if a
+    /// threshold trips) or pass it straight through when disabled.
+    pub fn send(&mut self, transport: &dyn Transport, env: Envelope) {
+        debug_assert_eq!(env.from, self.from, "coalescer owned by another place");
+        if !self.enabled {
+            transport.send(env);
+            return;
+        }
+        let dest = env.to.index();
+        let buf = &mut self.bufs[dest];
+        if buf.envs.is_empty() {
+            self.dirty.push(dest);
+        }
+        buf.bytes += env.bytes;
+        buf.envs.push(env);
+        if buf.envs.len() >= self.max_msgs || buf.bytes >= self.max_bytes {
+            self.flush_dest(transport, dest);
+        }
+    }
+
+    /// Drain one destination's buffer onto the transport.
+    pub fn flush_dest(&mut self, transport: &dyn Transport, dest: usize) {
+        let buf = &mut self.bufs[dest];
+        if buf.envs.is_empty() {
+            return;
+        }
+        let envs = std::mem::take(&mut buf.envs);
+        buf.bytes = 0;
+        if let Some(pos) = self.dirty.iter().position(|&d| d == dest) {
+            self.dirty.swap_remove(pos);
+        }
+        emit(transport, self.from, PlaceId(dest as u32), envs);
+    }
+
+    /// Drain every non-empty buffer onto the transport. Must run at every
+    /// point where the owner stops producing sends (end of a scheduling
+    /// quantum, before parking, on exit) — see the module docs.
+    pub fn flush(&mut self, transport: &dyn Transport) {
+        while let Some(dest) = self.dirty.pop() {
+            let buf = &mut self.bufs[dest];
+            let envs = std::mem::take(&mut buf.envs);
+            buf.bytes = 0;
+            if !envs.is_empty() {
+                emit(transport, self.from, PlaceId(dest as u32), envs);
+            }
+        }
+    }
+
+    /// Total messages currently buffered (diagnostics / tests).
+    pub fn pending(&self) -> usize {
+        self.dirty.iter().map(|&d| self.bufs[d].envs.len()).sum()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
+/// Hand a drained buffer to the transport: a single message goes out as
+/// itself (the transport records it); several are packed into one batch
+/// envelope, with the logical counts recorded here at pack time.
+fn emit(transport: &dyn Transport, from: PlaceId, dest: PlaceId, envs: Vec<Envelope>) {
+    debug_assert!(!envs.is_empty());
+    if envs.len() == 1 {
+        transport.send(envs.into_iter().next().expect("len checked"));
+        return;
+    }
+    let stats = transport.stats();
+    for e in &envs {
+        stats.record_send(e.from.0, e.to.0, e.class, e.bytes);
+    }
+    transport.send(Envelope::batch(from, dest, envs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgClass, HEADER_BYTES};
+    use crate::transport::LocalTransport;
+
+    fn env(to: u32, tag: u64) -> Envelope {
+        Envelope::new(PlaceId(0), PlaceId(to), MsgClass::Task, 8, Box::new(tag))
+    }
+
+    /// Drain place `p`, unpacking batches, returning tags in arrival order.
+    fn drain_tags(t: &LocalTransport, p: u32) -> Vec<u64> {
+        let mut tags = Vec::new();
+        while let Some(e) = t.try_recv(PlaceId(p)) {
+            match e.unbatch() {
+                Ok(inner) => {
+                    for e in inner {
+                        tags.push(*e.payload.downcast::<u64>().unwrap());
+                    }
+                }
+                Err(e) => tags.push(*e.payload.downcast::<u64>().unwrap()),
+            }
+        }
+        tags
+    }
+
+    #[test]
+    fn buffers_until_flush() {
+        let t = LocalTransport::new(3);
+        let mut c = Coalescer::new(PlaceId(0), 3, 64, 1 << 20, true);
+        for i in 0..5u64 {
+            c.send(&t, env(1, i));
+        }
+        assert_eq!(c.pending(), 5);
+        assert_eq!(t.queue_len(PlaceId(1)), 0);
+        c.flush(&t);
+        assert!(c.is_empty());
+        assert_eq!(t.queue_len(PlaceId(1)), 1); // one batch envelope
+        assert_eq!(drain_tags(&t, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn msg_threshold_trips_flush() {
+        let t = LocalTransport::new(2);
+        let mut c = Coalescer::new(PlaceId(0), 2, 4, 1 << 20, true);
+        for i in 0..4u64 {
+            c.send(&t, env(1, i));
+        }
+        // Fourth message hit max_msgs: the batch went out without flush().
+        assert!(c.is_empty());
+        assert_eq!(t.queue_len(PlaceId(1)), 1);
+    }
+
+    #[test]
+    fn byte_threshold_trips_flush() {
+        let t = LocalTransport::new(2);
+        let per_msg = 8 + HEADER_BYTES;
+        let mut c = Coalescer::new(PlaceId(0), 2, 1024, 3 * per_msg, true);
+        c.send(&t, env(1, 0));
+        c.send(&t, env(1, 1));
+        assert_eq!(c.pending(), 2);
+        c.send(&t, env(1, 2)); // crosses the byte threshold
+        assert!(c.is_empty());
+        assert_eq!(t.queue_len(PlaceId(1)), 1);
+    }
+
+    #[test]
+    fn disabled_passes_through() {
+        let t = LocalTransport::new(2);
+        let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, false);
+        for i in 0..5u64 {
+            c.send(&t, env(1, i));
+        }
+        assert!(c.is_empty());
+        assert_eq!(t.queue_len(PlaceId(1)), 5);
+        assert_eq!(t.stats().total_envelopes(), 5);
+        assert_eq!(drain_tags(&t, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_message_flushes_as_scalar() {
+        let t = LocalTransport::new(2);
+        let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, true);
+        c.send(&t, env(1, 7));
+        c.flush(&t);
+        let got = t.try_recv(PlaceId(1)).unwrap();
+        assert_eq!(got.class, MsgClass::Task); // not wrapped in a batch
+        assert_eq!(t.stats().total_messages(), 1);
+        assert_eq!(t.stats().total_envelopes(), 1);
+    }
+
+    #[test]
+    fn logical_counts_identical_both_modes() {
+        let run = |enabled: bool| {
+            let t = LocalTransport::new(3);
+            let mut c = Coalescer::new(PlaceId(0), 3, 8, 1 << 20, enabled);
+            for i in 0..20u64 {
+                c.send(&t, env(1 + (i % 2) as u32, i));
+            }
+            c.flush(&t);
+            (
+                t.stats().total_messages(),
+                t.stats().class(MsgClass::Task).messages,
+                t.stats().total_envelopes(),
+            )
+        };
+        let (on_msgs, on_task, on_envs) = run(true);
+        let (off_msgs, off_task, off_envs) = run(false);
+        assert_eq!(on_msgs, off_msgs);
+        assert_eq!(on_task, off_task);
+        assert!(on_envs < off_envs, "{on_envs} !< {off_envs}");
+    }
+
+    #[test]
+    fn aggregation_saves_header_bytes() {
+        let t = LocalTransport::new(2);
+        let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, true);
+        for i in 0..10u64 {
+            c.send(&t, env(1, i));
+        }
+        c.flush(&t);
+        let logical = t.stats().total_bytes();
+        let physical = t.stats().envelope_bytes();
+        // 10 logical headers collapse into 1 physical header.
+        assert_eq!(logical - physical, 9 * HEADER_BYTES as u64);
+    }
+
+    #[test]
+    fn per_dest_fifo_across_interleaved_sends_and_flushes() {
+        let t = LocalTransport::new(3);
+        let mut c = Coalescer::new(PlaceId(0), 3, 3, 1 << 20, true);
+        for i in 0..17u64 {
+            c.send(&t, env(1 + (i % 2) as u32, i));
+            if i % 5 == 0 {
+                c.flush(&t);
+            }
+        }
+        c.flush(&t);
+        assert_eq!(drain_tags(&t, 1), vec![0, 2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(drain_tags(&t, 2), vec![1, 3, 5, 7, 9, 11, 13, 15]);
+    }
+}

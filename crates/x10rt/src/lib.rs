@@ -13,8 +13,12 @@
 //!   [`transport::LocalTransport`] back-end (one FIFO queue per place,
 //!   per-sender ordering, exactly the guarantee PAMI gives and the guarantee
 //!   the finish protocols rely on);
+//! * [`coalesce::Coalescer`] — sender-side aggregation of small messages
+//!   into batch envelopes (the PAMI aggregation layer), with per-destination
+//!   flush thresholds and an explicit flush discipline;
 //! * [`stats::NetStats`] — per-message-class counters (messages, modeled wire
-//!   bytes, per-place in-degree) so benchmarks can compare protocol costs;
+//!   bytes, per-place in-degree) sharded per sender, plus physical envelope
+//!   counters so benchmarks can compare protocol and transport costs;
 //! * [`segment`] / [`rdma`] — registered memory segments and RDMA emulation:
 //!   `put`/`get` copy directly into the destination segment from the sender's
 //!   thread (no destination-CPU involvement — the defining property of RDMA),
@@ -27,6 +31,7 @@
 //!   places per Power 775 octant; `FINISH_DENSE` routes control messages via
 //!   per-host master places).
 
+pub mod coalesce;
 pub mod congruent;
 pub mod message;
 pub mod place;
@@ -35,8 +40,9 @@ pub mod segment;
 pub mod stats;
 pub mod transport;
 
+pub use coalesce::Coalescer;
 pub use congruent::{CongruentAllocator, CongruentArray, Pod};
-pub use message::{Envelope, MsgClass, Payload};
+pub use message::{BatchPayload, Envelope, MsgClass, Payload, HEADER_BYTES};
 pub use place::{PlaceId, Topology};
 pub use rdma::RemoteAddr;
 pub use segment::{SegId, Segment, SegmentTable};

@@ -35,11 +35,16 @@ pub enum MsgClass {
     Steal,
     /// Runtime-internal control (shutdown, registration).
     System,
+    /// A coalesced envelope carrying several messages for one destination
+    /// (PAMI-style transport aggregation). The logical messages inside keep
+    /// their own classes for the statistics; `Batch` only appears in the
+    /// physical envelope counters.
+    Batch,
 }
 
 impl MsgClass {
     /// All classes, in counter order.
-    pub const ALL: [MsgClass; 7] = [
+    pub const ALL: [MsgClass; 8] = [
         MsgClass::Task,
         MsgClass::FinishCtl,
         MsgClass::Team,
@@ -47,6 +52,7 @@ impl MsgClass {
         MsgClass::Rdma,
         MsgClass::Steal,
         MsgClass::System,
+        MsgClass::Batch,
     ];
 
     /// Dense index for counter arrays.
@@ -60,6 +66,7 @@ impl MsgClass {
             MsgClass::Rdma => 4,
             MsgClass::Steal => 5,
             MsgClass::System => 6,
+            MsgClass::Batch => 7,
         }
     }
 
@@ -73,6 +80,7 @@ impl MsgClass {
             MsgClass::Rdma => "rdma",
             MsgClass::Steal => "steal",
             MsgClass::System => "system",
+            MsgClass::Batch => "batch",
         }
     }
 }
@@ -94,6 +102,13 @@ pub struct Envelope {
     pub payload: Payload,
 }
 
+/// Payload of a [`MsgClass::Batch`] envelope: the coalesced messages, in
+/// their original send order, all addressed to the same destination.
+pub struct BatchPayload {
+    /// The logical messages this envelope carries.
+    pub envs: Vec<Envelope>,
+}
+
 impl Envelope {
     /// Build an envelope, charging `body_bytes + HEADER_BYTES` to the wire.
     pub fn new(
@@ -109,6 +124,42 @@ impl Envelope {
             class,
             bytes: body_bytes + HEADER_BYTES,
             payload,
+        }
+    }
+
+    /// Pack several same-destination messages into one batch envelope.
+    ///
+    /// The batch is charged one [`HEADER_BYTES`] header plus the inner
+    /// *body* bytes — aggregation amortizes the per-message header, which is
+    /// exactly the saving PAMI-level aggregation buys on the wire.
+    pub fn batch(from: PlaceId, to: PlaceId, envs: Vec<Envelope>) -> Self {
+        debug_assert!(!envs.is_empty(), "empty batch");
+        debug_assert!(envs.iter().all(|e| e.to == to), "batch mixes destinations");
+        let body: usize = envs
+            .iter()
+            .map(|e| e.bytes.saturating_sub(HEADER_BYTES))
+            .sum();
+        Envelope {
+            from,
+            to,
+            class: MsgClass::Batch,
+            bytes: body + HEADER_BYTES,
+            payload: Box::new(BatchPayload { envs }),
+        }
+    }
+
+    /// Unpack a batch envelope into its logical messages; a non-batch
+    /// envelope comes back unchanged as the `Err` variant.
+    pub fn unbatch(self) -> Result<Vec<Envelope>, Envelope> {
+        if self.class != MsgClass::Batch {
+            return Err(self);
+        }
+        match self.payload.downcast::<BatchPayload>() {
+            Ok(b) => Ok(b.envs),
+            Err(payload) => {
+                debug_assert!(false, "Batch-class envelope without BatchPayload");
+                Err(Envelope { payload, ..self })
+            }
         }
     }
 }

@@ -45,9 +45,12 @@ impl RemoteAddr {
 /// of bounds — both are programming errors a real NIC would surface as a
 /// fatal transport error.
 pub fn put(table: &SegmentTable, dst: RemoteAddr, src: &[u8]) -> usize {
-    let seg = table
-        .lookup(dst.place, dst.seg)
-        .unwrap_or_else(|| panic!("put: unregistered segment {:?} at place {}", dst.seg, dst.place));
+    let seg = table.lookup(dst.place, dst.seg).unwrap_or_else(|| {
+        panic!(
+            "put: unregistered segment {:?} at place {}",
+            dst.seg, dst.place
+        )
+    });
     seg.write(dst.offset, src);
     src.len()
 }
@@ -60,9 +63,12 @@ pub fn put(table: &SegmentTable, dst: RemoteAddr, src: &[u8]) -> usize {
 /// Panics if the source segment is not registered or the range is out of
 /// bounds.
 pub fn get(table: &SegmentTable, src: RemoteAddr, dst: &mut [u8]) -> usize {
-    let seg = table
-        .lookup(src.place, src.seg)
-        .unwrap_or_else(|| panic!("get: unregistered segment {:?} at place {}", src.seg, src.place));
+    let seg = table.lookup(src.place, src.seg).unwrap_or_else(|| {
+        panic!(
+            "get: unregistered segment {:?} at place {}",
+            src.seg, src.place
+        )
+    });
     seg.read(src.offset, dst);
     dst.len()
 }

@@ -167,7 +167,10 @@ impl SegmentTable {
     /// Panics if the key is already registered (segment ids are never reused).
     pub fn register(&self, place: u32, id: SegId, seg: Arc<Segment>) {
         let prev = self.map.write().insert((place, id), seg);
-        assert!(prev.is_none(), "segment ({place}, {id:?}) already registered");
+        assert!(
+            prev.is_none(),
+            "segment ({place}, {id:?}) already registered"
+        );
     }
 
     /// Remove a registration (e.g. when the owning array is dropped).

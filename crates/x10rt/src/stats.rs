@@ -7,11 +7,35 @@
 //! counters make all three observable so tests and benches can assert e.g.
 //! that `FINISH_SPMD` sends exactly `n` termination messages or that
 //! `FINISH_DENSE` reduces the in-degree at the finish root.
+//!
+//! # Logical messages vs physical envelopes
+//!
+//! Transport aggregation (see [`crate::coalesce`]) packs several *logical*
+//! messages into one *physical* envelope. The per-class counters here always
+//! count logical messages — the protocol-cost arguments above are about
+//! protocol messages, and they must not change when aggregation is toggled.
+//! A separate envelope counter ([`NetStats::total_envelopes`] /
+//! [`NetStats::envelope_bytes`]) counts what actually crosses the transport,
+//! which is where aggregation's savings show up.
+//!
+//! # Sharding
+//!
+//! The hot counters are sharded per *sender*: every place's worker thread
+//! updates its own cache-line-aligned shard (`#[repr(align(128))]`, two lines
+//! on common hardware to defeat adjacent-line prefetching), so concurrent
+//! senders never contend on a counter cache line. Readers aggregate across
+//! shards — reads are rare (end of a bench phase or an assertion), writes are
+//! per-message, so the read-side sum is the right trade. `recv_per_place` and
+//! `peer_bits` are already indexed by place and mostly write-once
+//! respectively, so they stay unsharded.
 
 use crate::message::MsgClass;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const NCLASS: usize = MsgClass::ALL.len();
+
+/// Cap on the number of counter shards; senders hash onto shards modulo this.
+const MAX_SHARDS: usize = 32;
 
 /// A snapshot of one class's counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -22,10 +46,25 @@ pub struct ClassStats {
     pub bytes: u64,
 }
 
+/// One sender's slice of the hot counters. Aligned to 128 bytes so two
+/// shards never share a cache line (128 covers adjacent-line prefetch pairs).
+#[repr(align(128))]
+#[derive(Default)]
+struct Shard {
+    /// Logical messages sent, per class.
+    sent: [AtomicU64; NCLASS],
+    /// Logical wire bytes sent, per class.
+    bytes: [AtomicU64; NCLASS],
+    /// Physical envelopes handed to the transport.
+    envelopes: AtomicU64,
+    /// Physical wire bytes handed to the transport.
+    env_bytes: AtomicU64,
+}
+
 /// Shared counters, updated lock-free on every send.
 pub struct NetStats {
-    sent: [AtomicU64; NCLASS],
-    bytes: [AtomicU64; NCLASS],
+    /// Per-sender shards of the hot counters (`sender % shards.len()`).
+    shards: Vec<Shard>,
     /// Messages *received into* each place's queue (in-degree pressure).
     recv_per_place: Vec<AtomicU64>,
     /// Destination bitmap per sender (out-degree), lock-free: row `p` has
@@ -38,9 +77,9 @@ impl NetStats {
     /// Counters for a transport with `places` places.
     pub fn new(places: usize) -> Self {
         let words_per_place = places.div_ceil(64);
+        let nshards = places.clamp(1, MAX_SHARDS);
         NetStats {
-            sent: Default::default(),
-            bytes: Default::default(),
+            shards: (0..nshards).map(|_| Shard::default()).collect(),
             recv_per_place: (0..places).map(|_| AtomicU64::new(0)).collect(),
             peer_bits: (0..places * words_per_place)
                 .map(|_| AtomicU64::new(0))
@@ -49,12 +88,19 @@ impl NetStats {
         }
     }
 
-    /// Record one sent message. Called by the transport. Lock-free.
+    #[inline]
+    fn shard(&self, from: u32) -> &Shard {
+        &self.shards[from as usize % self.shards.len()]
+    }
+
+    /// Record one *logical* sent message. Lock-free; writes land in the
+    /// sender's shard.
     #[inline]
     pub fn record_send(&self, from: u32, to: u32, class: MsgClass, nbytes: usize) {
         let i = class.index();
-        self.sent[i].fetch_add(1, Ordering::Relaxed);
-        self.bytes[i].fetch_add(nbytes as u64, Ordering::Relaxed);
+        let shard = self.shard(from);
+        shard.sent[i].fetch_add(1, Ordering::Relaxed);
+        shard.bytes[i].fetch_add(nbytes as u64, Ordering::Relaxed);
         self.recv_per_place[to as usize].fetch_add(1, Ordering::Relaxed);
         let word = from as usize * self.words_per_place + (to as usize >> 6);
         let bit = 1u64 << (to & 63);
@@ -64,23 +110,60 @@ impl NetStats {
         }
     }
 
-    /// Snapshot of one class.
+    /// Record one *physical* envelope handed to the transport (a batch
+    /// envelope counts once here however many messages it carries).
+    #[inline]
+    pub fn record_envelope(&self, from: u32, nbytes: usize) {
+        let shard = self.shard(from);
+        shard.envelopes.fetch_add(1, Ordering::Relaxed);
+        shard.env_bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one class (aggregated over the sender shards).
     pub fn class(&self, class: MsgClass) -> ClassStats {
         let i = class.index();
-        ClassStats {
-            messages: self.sent[i].load(Ordering::Relaxed),
-            bytes: self.bytes[i].load(Ordering::Relaxed),
+        let mut snap = ClassStats::default();
+        for s in &self.shards {
+            snap.messages += s.sent[i].load(Ordering::Relaxed);
+            snap.bytes += s.bytes[i].load(Ordering::Relaxed);
         }
+        snap
     }
 
-    /// Total messages across all classes.
+    /// Total logical messages across all classes.
     pub fn total_messages(&self) -> u64 {
-        self.sent.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| &s.sent)
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Total modeled wire bytes across all classes.
+    /// Total modeled logical wire bytes across all classes.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| &s.bytes)
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total physical envelopes handed to the transport. With aggregation on
+    /// this is ≤ [`NetStats::total_messages`]; the gap is the saving.
+    pub fn total_envelopes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.envelopes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total physical wire bytes handed to the transport (batch envelopes
+    /// amortize per-message headers, so this is ≤ the logical byte total).
+    pub fn envelope_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.env_bytes.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Messages received (queued) at `place` so far — in-degree pressure.
@@ -117,11 +200,15 @@ impl NetStats {
 
     /// Reset all counters (used between benchmark phases).
     pub fn reset(&self) {
-        for c in &self.sent {
-            c.store(0, Ordering::Relaxed);
-        }
-        for c in &self.bytes {
-            c.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            for c in &s.sent {
+                c.store(0, Ordering::Relaxed);
+            }
+            for c in &s.bytes {
+                c.store(0, Ordering::Relaxed);
+            }
+            s.envelopes.store(0, Ordering::Relaxed);
+            s.env_bytes.store(0, Ordering::Relaxed);
         }
         for c in &self.recv_per_place {
             c.store(0, Ordering::Relaxed);
@@ -157,10 +244,47 @@ mod tests {
     fn reset_clears_everything() {
         let s = NetStats::new(2);
         s.record_send(0, 1, MsgClass::Team, 8);
+        s.record_envelope(0, 8);
         s.reset();
         assert_eq!(s.total_messages(), 0);
         assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_envelopes(), 0);
+        assert_eq!(s.envelope_bytes(), 0);
         assert_eq!(s.received_at(1), 0);
         assert_eq!(s.out_degree(0), 0);
+    }
+
+    #[test]
+    fn shards_aggregate_across_senders() {
+        // More senders than shards: counts must still sum correctly.
+        let s = NetStats::new(100);
+        for from in 0..100u32 {
+            s.record_send(from, (from + 1) % 100, MsgClass::Task, 10);
+            s.record_envelope(from, 10);
+        }
+        assert_eq!(s.class(MsgClass::Task).messages, 100);
+        assert_eq!(s.total_messages(), 100);
+        assert_eq!(s.total_bytes(), 1000);
+        assert_eq!(s.total_envelopes(), 100);
+        assert_eq!(s.envelope_bytes(), 1000);
+    }
+
+    #[test]
+    fn envelope_counters_independent_of_logical() {
+        let s = NetStats::new(2);
+        // Three logical messages carried by one physical envelope.
+        s.record_send(0, 1, MsgClass::Task, 40);
+        s.record_send(0, 1, MsgClass::Task, 40);
+        s.record_send(0, 1, MsgClass::FinishCtl, 40);
+        s.record_envelope(0, 56);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_envelopes(), 1);
+        assert_eq!(s.envelope_bytes(), 56);
+    }
+
+    #[test]
+    fn shard_alignment_defeats_false_sharing() {
+        assert_eq!(std::mem::align_of::<Shard>(), 128);
+        assert!(std::mem::size_of::<Shard>().is_multiple_of(128));
     }
 }

@@ -6,16 +6,37 @@
 //! clocks, load balancing) on top of that primitive — which is why this crate
 //! is deliberately tiny.
 //!
-//! [`LocalTransport`] realizes the API with one unbounded MPMC queue per
-//! destination place. `crossbeam_channel` preserves per-sender ordering into a
-//! channel, which gives exactly the per-pair FIFO guarantee the finish
+//! [`LocalTransport`] realizes the API with one mutex-protected deque per
+//! destination place. Pushes from one sender thread reach the deque in
+//! program order, which gives exactly the per-pair FIFO guarantee the finish
 //! protocols rely on (see `apgas::finish::default_proto`).
+//!
+//! # Batched hot path
+//!
+//! The trait also exposes a bulk interface — [`Transport::send_batch`] and
+//! [`Transport::try_recv_batch`] — with default implementations that loop the
+//! scalar operations, so any back-end stays correct without doing anything.
+//! [`LocalTransport`] overrides both to move whole runs of messages under a
+//! single mailbox lock acquisition, which is where the hot-path saving lives.
+//!
+//! # Waker debouncing
+//!
+//! Each mailbox carries a `notified` flag. A sender fires the destination's
+//! waker only on the false→true transition, so a burst of sends costs one
+//! wake instead of one per message. The *receiver* re-arms the flag whenever
+//! it observes the queue empty — under the queue lock, so a concurrent push
+//! either lands before the observation (and is seen) or blocks until after
+//! the re-arm (and its sender sees `notified == false` and fires). Spurious
+//! wakes are possible; lost wakes are not. The scheduler's park path
+//! additionally re-checks [`LocalTransport::queue_len`] before sleeping,
+//! which makes the protocol robust even against misuse.
 
-use crate::message::Envelope;
+use crate::message::{Envelope, MsgClass};
 use crate::place::PlaceId;
 use crate::stats::NetStats;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A callback invoked when a message arrives for a place, used to unpark its
@@ -32,10 +53,38 @@ pub trait Transport: Send + Sync {
     /// Enqueue a message for delivery. Never blocks.
     fn send(&self, env: Envelope);
 
+    /// Enqueue several messages for delivery, preserving their order per
+    /// (sender, destination) pair. The default loops [`Transport::send`];
+    /// back-ends override it to amortize per-message submission costs.
+    fn send_batch(&self, envs: Vec<Envelope>) {
+        for env in envs {
+            self.send(env);
+        }
+    }
+
     /// Poll for the next message addressed to `place`. Non-blocking.
     fn try_recv(&self, place: PlaceId) -> Option<Envelope>;
 
-    /// Register a waker invoked whenever a message is enqueued for `place`.
+    /// Drain up to `max` messages addressed to `place` into `out`,
+    /// returning how many were appended. Non-blocking. The default loops
+    /// [`Transport::try_recv`]; back-ends override it to drain in bulk.
+    fn try_recv_batch(&self, place: PlaceId, max: usize, out: &mut Vec<Envelope>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_recv(place) {
+                Some(env) => {
+                    out.push(env);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Register a waker invoked when a message is enqueued for `place`.
+    /// Implementations may debounce: a burst of sends while the place has
+    /// not yet drained its queue may fire the waker only once.
     fn register_waker(&self, place: PlaceId, waker: Waker);
 
     /// Shared statistics counters.
@@ -46,11 +95,14 @@ pub trait Transport: Send + Sync {
 }
 
 struct Mailbox {
-    tx: Sender<Envelope>,
-    rx: Receiver<Envelope>,
+    queue: Mutex<VecDeque<Envelope>>,
+    /// Waker debounce: true while the place has been notified of pending
+    /// traffic and has not yet drained to empty.
+    notified: AtomicBool,
 }
 
-/// In-process transport: one unbounded FIFO queue per place.
+/// In-process transport: one locked FIFO deque per place, with debounced
+/// wakers and bulk enqueue/drain.
 pub struct LocalTransport {
     mailboxes: Vec<Mailbox>,
     wakers: RwLock<Vec<Option<Waker>>>,
@@ -62,9 +114,9 @@ impl LocalTransport {
     pub fn new(places: usize) -> Self {
         assert!(places > 0);
         let mailboxes = (0..places)
-            .map(|_| {
-                let (tx, rx) = unbounded();
-                Mailbox { tx, rx }
+            .map(|_| Mailbox {
+                queue: Mutex::new(VecDeque::new()),
+                notified: AtomicBool::new(false),
             })
             .collect();
         LocalTransport {
@@ -74,28 +126,92 @@ impl LocalTransport {
         }
     }
 
-    /// Number of messages currently queued for `place` (diagnostics only).
+    /// Number of messages currently queued for `place` (diagnostics and the
+    /// scheduler's pre-park re-check).
     pub fn queue_len(&self, place: PlaceId) -> usize {
-        self.mailboxes[place.index()].rx.len()
+        self.mailboxes[place.index()].queue.lock().len()
+    }
+
+    /// Count this envelope: one physical envelope always; one logical
+    /// message unless it is a batch (whose inner messages were counted by
+    /// the coalescer at pack time).
+    fn record(&self, env: &Envelope) {
+        self.stats.record_envelope(env.from.0, env.bytes);
+        if env.class != MsgClass::Batch {
+            self.stats
+                .record_send(env.from.0, env.to.0, env.class, env.bytes);
+        }
+    }
+
+    /// Fire `to`'s waker on the false→true edge of its debounce flag.
+    fn wake(&self, to: usize) {
+        if !self.mailboxes[to].notified.swap(true, Ordering::AcqRel) {
+            // Clone the waker out and drop the read guard *before* invoking:
+            // the waker may re-enter the transport (e.g. register_waker needs
+            // the write lock), which deadlocks if invoked under the guard.
+            let waker = self.wakers.read()[to].clone();
+            if let Some(w) = waker {
+                w();
+            }
+        }
     }
 }
 
 impl Transport for LocalTransport {
     fn send(&self, env: Envelope) {
         debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
-        self.stats
-            .record_send(env.from.0, env.to.0, env.class, env.bytes);
+        self.record(&env);
         let to = env.to.index();
-        // The channel is unbounded: send can only fail if the receiver side
-        // was dropped, which only happens at teardown after all workers exit.
-        let _ = self.mailboxes[to].tx.send(env);
-        if let Some(w) = &self.wakers.read()[to] {
-            w();
+        self.mailboxes[to].queue.lock().push_back(env);
+        self.wake(to);
+    }
+
+    fn send_batch(&self, envs: Vec<Envelope>) {
+        // Enqueue each same-destination run under one lock acquisition and
+        // fire at most one (debounced) wake per run. Processing runs in
+        // order preserves per-pair FIFO.
+        let mut iter = envs.into_iter().peekable();
+        while let Some(env) = iter.next() {
+            debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
+            let to = env.to.index();
+            {
+                let mut q = self.mailboxes[to].queue.lock();
+                self.record(&env);
+                q.push_back(env);
+                while let Some(next) = iter.peek() {
+                    if next.to.index() != to {
+                        break;
+                    }
+                    let next = iter.next().expect("peeked");
+                    self.record(&next);
+                    q.push_back(next);
+                }
+            }
+            self.wake(to);
         }
     }
 
     fn try_recv(&self, place: PlaceId) -> Option<Envelope> {
-        self.mailboxes[place.index()].rx.try_recv().ok()
+        let mb = &self.mailboxes[place.index()];
+        let mut q = mb.queue.lock();
+        let env = q.pop_front();
+        if q.is_empty() {
+            // Re-arm the debounce under the lock: any send serialized after
+            // this sees notified == false and fires the waker.
+            mb.notified.store(false, Ordering::Release);
+        }
+        env
+    }
+
+    fn try_recv_batch(&self, place: PlaceId, max: usize, out: &mut Vec<Envelope>) -> usize {
+        let mb = &self.mailboxes[place.index()];
+        let mut q = mb.queue.lock();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        if q.is_empty() {
+            mb.notified.store(false, Ordering::Release);
+        }
+        n
     }
 
     fn register_waker(&self, place: PlaceId, waker: Waker) {
@@ -114,17 +230,10 @@ impl Transport for LocalTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::MsgClass;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn env(from: u32, to: u32, tag: u64) -> Envelope {
-        Envelope::new(
-            PlaceId(from),
-            PlaceId(to),
-            MsgClass::Task,
-            8,
-            Box::new(tag),
-        )
+        Envelope::new(PlaceId(from), PlaceId(to), MsgClass::Task, 8, Box::new(tag))
     }
 
     #[test]
@@ -150,16 +259,52 @@ mod tests {
     }
 
     #[test]
-    fn waker_fires_on_send() {
+    fn waker_debounced_per_burst() {
         let t = LocalTransport::new(2);
         let hits = Arc::new(AtomicUsize::new(0));
         let h = hits.clone();
-        t.register_waker(PlaceId(1), Arc::new(move || {
-            h.fetch_add(1, Ordering::SeqCst);
-        }));
+        t.register_waker(
+            PlaceId(1),
+            Arc::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        // A burst of sends with no drain in between fires the waker once.
         t.send(env(0, 1, 0));
         t.send(env(0, 1, 1));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Draining to empty re-arms the debounce ...
+        assert!(t.try_recv(PlaceId(1)).is_some());
+        assert!(t.try_recv(PlaceId(1)).is_some());
+        assert!(t.try_recv(PlaceId(1)).is_none());
+        // ... so the next burst fires it again.
+        t.send(env(0, 1, 2));
         assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn waker_may_reenter_transport() {
+        // Regression test: the waker used to be invoked while the `wakers`
+        // read guard was held, so a waker touching the transport (here:
+        // re-registering itself, which takes the write lock) deadlocked.
+        let t = Arc::new(LocalTransport::new(2));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (t2, h) = (t.clone(), hits.clone());
+        t.register_waker(
+            PlaceId(1),
+            Arc::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+                let h2 = h.clone();
+                t2.register_waker(
+                    PlaceId(1),
+                    Arc::new(move || {
+                        h2.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }),
+        );
+        t.send(env(0, 1, 0));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -167,7 +312,55 @@ mod tests {
         let t = LocalTransport::new(2);
         t.send(env(0, 1, 0));
         assert_eq!(t.stats().class(MsgClass::Task).messages, 1);
+        assert_eq!(t.stats().total_envelopes(), 1);
         assert_eq!(t.queue_len(PlaceId(1)), 1);
+    }
+
+    #[test]
+    fn send_batch_preserves_order_and_counts() {
+        let t = LocalTransport::new(3);
+        let batch: Vec<Envelope> = (0..10u64).map(|i| env(0, 1 + (i % 2) as u32, i)).collect();
+        t.send_batch(batch);
+        // Per-destination order is send order.
+        for want in [0u64, 2, 4, 6, 8] {
+            let got = t.try_recv(PlaceId(1)).unwrap();
+            assert_eq!(*got.payload.downcast::<u64>().unwrap(), want);
+        }
+        for want in [1u64, 3, 5, 7, 9] {
+            let got = t.try_recv(PlaceId(2)).unwrap();
+            assert_eq!(*got.payload.downcast::<u64>().unwrap(), want);
+        }
+        assert_eq!(t.stats().total_messages(), 10);
+        assert_eq!(t.stats().total_envelopes(), 10);
+    }
+
+    #[test]
+    fn try_recv_batch_drains_in_order() {
+        let t = LocalTransport::new(2);
+        for i in 0..10u64 {
+            t.send(env(0, 1, i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.try_recv_batch(PlaceId(1), 4, &mut out), 4);
+        assert_eq!(t.try_recv_batch(PlaceId(1), 100, &mut out), 6);
+        assert_eq!(t.try_recv_batch(PlaceId(1), 100, &mut out), 0);
+        for (i, e) in out.into_iter().enumerate() {
+            assert_eq!(*e.payload.downcast::<u64>().unwrap(), i as u64);
+        }
+    }
+
+    #[test]
+    fn batch_envelope_counts_once_physically() {
+        let t = LocalTransport::new(2);
+        let inner: Vec<Envelope> = (0..4u64).map(|i| env(0, 1, i)).collect();
+        t.send(Envelope::batch(PlaceId(0), PlaceId(1), inner));
+        // The transport only counts the physical envelope; logical counts
+        // for the inner messages are the coalescer's job.
+        assert_eq!(t.stats().total_envelopes(), 1);
+        assert_eq!(t.stats().total_messages(), 0);
+        let got = t.try_recv(PlaceId(1)).unwrap();
+        let envs = got.unbatch().expect("batch");
+        assert_eq!(envs.len(), 4);
     }
 
     #[test]

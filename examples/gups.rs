@@ -29,7 +29,10 @@ fn main() {
         res.gups(),
         res.errors
     );
-    assert_eq!(res.errors, 0, "our GUPS XOR is atomic; zero errors expected");
+    assert_eq!(
+        res.errors, 0,
+        "our GUPS XOR is atomic; zero errors expected"
+    );
 
     // The paper's context: 0.82 Gup/s per host at both ends of the scale,
     // limited by the interconnect — print the model curve for flavour.

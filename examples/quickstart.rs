@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use x10_apgas::{Clock, Config, FinishKind, GlobalRef, PlaceGroup, Runtime, Team};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use x10_apgas::{Clock, Config, FinishKind, GlobalRef, PlaceGroup, Runtime, Team};
 
 fn main() {
     // Eight places, each its own scheduler thread, connected by the
@@ -75,7 +75,9 @@ fn main() {
         });
         println!(
             "FINISH_SPMD fan-out over 7 remote places cost {} control messages",
-            ctx.net_stats().class(x10_apgas::x10rt::MsgClass::FinishCtl).messages
+            ctx.net_stats()
+                .class(x10_apgas::x10rt::MsgClass::FinishCtl)
+                .messages
         );
     });
 
@@ -106,6 +108,9 @@ fn main() {
                 pr.store(sum, Ordering::Relaxed);
             }
         });
-        println!("team all-reduce of place ids = {}", printed.load(Ordering::Relaxed));
+        println!(
+            "team all-reduce of place ids = {}",
+            printed.load(Ordering::Relaxed)
+        );
     });
 }

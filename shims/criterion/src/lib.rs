@@ -95,9 +95,7 @@ impl Criterion {
     }
 
     fn matches(&self, full_name: &str) -> bool {
-        self.filter
-            .as_deref()
-            .is_none_or(|f| full_name.contains(f))
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
     }
 }
 
@@ -181,7 +179,12 @@ impl BenchmarkGroup<'_> {
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let (lo, hi) = (samples[0], samples[samples.len() - 1]);
-        print!("{full:<44} {:>12} [{} .. {}]", fmt_dur(median), fmt_dur(lo), fmt_dur(hi));
+        print!(
+            "{full:<44} {:>12} [{} .. {}]",
+            fmt_dur(median),
+            fmt_dur(lo),
+            fmt_dur(hi)
+        );
         if let Some(t) = self.throughput {
             let per_sec = |n: u64| n as f64 / median.as_secs_f64();
             match t {

@@ -90,9 +90,7 @@ impl<T> Receiver<T> {
         let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
         match q.pop_front() {
             Some(v) => Ok(v),
-            None if self.0.senders.load(Ordering::Acquire) == 0 => {
-                Err(TryRecvError::Disconnected)
-            }
+            None if self.0.senders.load(Ordering::Acquire) == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
         }
     }

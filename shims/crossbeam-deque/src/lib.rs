@@ -56,7 +56,10 @@ impl<T> Injector<T> {
 
     /// True when the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
     }
 
     /// Number of queued tasks.

@@ -378,8 +378,8 @@ impl From<Range<usize>> for SizeRange {
 pub mod prelude {
     //! One-stop import, mirroring `proptest::prelude`.
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

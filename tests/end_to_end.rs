@@ -64,9 +64,7 @@ fn protocol_stats_visible_from_umbrella() {
                 c.at_async(p, |_| {});
             }
         });
-        let ctl = ctx
-            .net_stats()
-            .class(x10_apgas::x10rt::MsgClass::FinishCtl);
+        let ctl = ctx.net_stats().class(x10_apgas::x10rt::MsgClass::FinishCtl);
         assert_eq!(ctl.messages, 7);
     });
 }
@@ -150,7 +148,11 @@ fn glb_generic_over_user_bags() {
                 hi: 10_000,
                 acc: 0,
             },
-            || Range { lo: 0, hi: 0, acc: 0 },
+            || Range {
+                lo: 0,
+                hi: 0,
+                acc: 0,
+            },
         )
     });
     let total: u64 = out.results.iter().sum();

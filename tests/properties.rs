@@ -23,10 +23,8 @@ fn spawn_tree(depth: u32) -> impl Strategy<Value = SpawnNode> {
         children: vec![],
     });
     leaf.prop_recursive(depth, 24, 3, |inner| {
-        ((0u8..6), prop::collection::vec(inner, 0..3)).prop_map(|(place, children)| SpawnNode {
-            place,
-            children,
-        })
+        ((0u8..6), prop::collection::vec(inner, 0..3))
+            .prop_map(|(place, children)| SpawnNode { place, children })
     })
 }
 
