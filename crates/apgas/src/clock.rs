@@ -130,6 +130,7 @@ impl Clock {
             "advance() by an activity not registered on this clock"
         );
         let w = ctx.worker();
+        let span = ctx.trace().and_then(|t| t.span_start());
         let target = local_phase(w, self.id, self.home) + 1;
         if self.home == w.here {
             home_arrive(w, self.id);
@@ -138,6 +139,9 @@ impl Clock {
         }
         let (id, home) = (self.id, self.home);
         ctx.wait_until(move || local_phase(w, id, home) >= target);
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "clock", "advance", self.id);
+        }
     }
 
     /// Resign this activity's registration early (X10 `clock.drop()`).

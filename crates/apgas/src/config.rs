@@ -36,6 +36,19 @@ pub struct Config {
     /// Disable transport aggregation entirely (every message goes out as its
     /// own envelope) — the ablation baseline.
     pub batch_disable: bool,
+    /// Start with event tracing enabled (spans and instants recorded into
+    /// the per-worker ring buffers; see `obs::trace`). Metrics counters are
+    /// always on unless [`Config::obs_disable`] is set; this knob only
+    /// gates the tracer, which can also be toggled at run time via
+    /// `Runtime::obs`.
+    pub trace_enable: bool,
+    /// Per-worker trace ring-buffer capacity, in events. When a buffer
+    /// wraps, the oldest events are overwritten (and counted as dropped in
+    /// the export).
+    pub trace_buffer_events: usize,
+    /// Build the runtime with no observability state at all: hooks compile
+    /// to a branch on a `None` — the overhead-ablation baseline.
+    pub obs_disable: bool,
 }
 
 impl Config {
@@ -50,6 +63,9 @@ impl Config {
             batch_max_msgs: x10rt::coalesce::DEFAULT_MAX_MSGS,
             batch_max_bytes: x10rt::coalesce::DEFAULT_MAX_BYTES,
             batch_disable: false,
+            trace_enable: false,
+            trace_buffer_events: obs::trace::DEFAULT_BUFFER_EVENTS,
+            obs_disable: false,
         }
     }
 
@@ -86,6 +102,26 @@ impl Config {
         self.batch_disable = disable;
         self
     }
+
+    /// Start with event tracing on or off (builder style).
+    pub fn trace_enable(mut self, on: bool) -> Self {
+        self.trace_enable = on;
+        self
+    }
+
+    /// Set the per-worker trace ring capacity in events (builder style).
+    pub fn trace_buffer_events(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.trace_buffer_events = n;
+        self
+    }
+
+    /// Build with no observability state at all (builder style) — the
+    /// overhead-ablation baseline.
+    pub fn obs_disable(mut self, disable: bool) -> Self {
+        self.obs_disable = disable;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +137,9 @@ mod tests {
         assert!(!c.batch_disable);
         assert_eq!(c.batch_max_msgs, 64);
         assert_eq!(c.batch_max_bytes, 16 * 1024);
+        assert!(!c.trace_enable, "tracing is opt-in");
+        assert!(!c.obs_disable, "metrics are on by default");
+        assert_eq!(c.trace_buffer_events, 65_536);
     }
 
     #[test]
@@ -119,5 +158,16 @@ mod tests {
         assert_eq!(c.batch_max_msgs, 8);
         assert_eq!(c.batch_max_bytes, 512);
         assert!(c.batch_disable);
+    }
+
+    #[test]
+    fn observability_builders() {
+        let c = Config::new(4)
+            .trace_enable(true)
+            .trace_buffer_events(1024)
+            .obs_disable(true);
+        assert!(c.trace_enable);
+        assert_eq!(c.trace_buffer_events, 1024);
+        assert!(c.obs_disable);
     }
 }

@@ -100,6 +100,18 @@ impl<'w> Ctx<'w> {
         self.worker.g.ids.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The runtime's observability state (metrics + tracer), unless the
+    /// runtime was built with `Config::obs_disable`.
+    pub fn obs(&self) -> Option<&Arc<obs::Obs>> {
+        self.worker.obs()
+    }
+
+    /// This worker's trace ring, when observability is on. Library layers
+    /// (teams, clocks, GLB) record their spans and instants through this.
+    pub fn trace(&self) -> Option<&obs::trace::TraceBuf> {
+        self.worker.trace()
+    }
+
     // ------------------------------------------------------------------
     // Spawning
     // ------------------------------------------------------------------
@@ -283,6 +295,9 @@ impl<'w> Ctx<'w> {
     /// and re-raised here (X10's `MultipleExceptions`).
     pub fn finish_pragma<R>(&self, kind: FinishKind, body: impl FnOnce(&Ctx) -> R) -> R {
         let here = self.here();
+        // One span per finish, from root creation through termination; the
+        // kind label distinguishes the protocols on the trace timeline.
+        let span = self.worker.trace().and_then(|t| t.span_start());
         let seq = self
             .worker
             .place
@@ -301,6 +316,9 @@ impl<'w> Ctx<'w> {
         root.set_body_done();
         self.worker.wait_until(&|| root.is_done());
         self.worker.place.roots.lock().remove(&seq);
+        if let Some(t) = self.worker.trace() {
+            t.span_end(span, "finish", kind.label(), seq);
+        }
         let panics = root.take_panics();
         match result {
             Err(e) => resume_unwind(e),

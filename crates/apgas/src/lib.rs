@@ -18,7 +18,7 @@
 //! | `x10.util.Team` | [`Team`] |
 //! | `Clock` | [`Clock`] |
 //! | `PlaceGroup.broadcastFlat` | [`PlaceGroup::broadcast`] (spawning tree) |
-//! | `Array.asyncCopy` | [`rail::async_copy`] on [`GlobalRail`] |
+//! | `Array.asyncCopy` | [`GlobalRail::async_copy_to`] on [`GlobalRail`] |
 //!
 //! Every place runs its own scheduler thread(s); *all* semantics-bearing
 //! inter-place interaction flows through the [`x10rt`] transport as

@@ -5,6 +5,7 @@ use crate::ctx::Ctx;
 use crate::finish::Attach;
 use crate::place_state::{Activity, PlaceState};
 use crate::worker::{TaskFn, Worker};
+use obs::Obs;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64};
@@ -34,6 +35,9 @@ pub struct Global {
     pub ids: AtomicU64,
     /// Panics raised by uncounted activities (no finish to deliver them to).
     pub uncounted_panics: Mutex<Vec<String>>,
+    /// Observability state (metrics + tracer); `None` with
+    /// `Config::obs_disable` — every hook then reduces to this `None` check.
+    pub obs: Option<Arc<Obs>>,
 }
 
 /// An APGAS runtime: `cfg.places` places, each with its own scheduler
@@ -62,6 +66,15 @@ impl Runtime {
             transport.register_waker(p.id, Arc::new(move || ps.wake()));
         }
         let seg_table = Arc::new(SegmentTable::new());
+        let obs = if cfg.obs_disable {
+            None
+        } else {
+            Some(Obs::new(
+                cfg.places,
+                cfg.trace_enable,
+                cfg.trace_buffer_events,
+            ))
+        };
         let g = Arc::new(Global {
             congruent: CongruentAllocator::new(cfg.places, seg_table.clone()),
             topo,
@@ -71,6 +84,7 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             ids: AtomicU64::new(1),
             uncounted_panics: Mutex::new(Vec::new()),
+            obs,
             cfg,
         });
         let mut handles = Vec::new();
@@ -134,6 +148,24 @@ impl Runtime {
     /// Reset the network statistics (between benchmark phases).
     pub fn reset_net_stats(&self) {
         self.g.transport.stats().reset();
+    }
+
+    /// Observability state (metrics registry + tracer), unless the runtime
+    /// was built with `Config::obs_disable`.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.g.obs.as_ref()
+    }
+
+    /// Render the current metric values as JSON (`None` when observability
+    /// is disabled) — the `metrics` section of the bench output files.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.g.obs.as_ref().map(|o| o.metrics_json())
+    }
+
+    /// Export the trace ring buffers as chrome-trace JSON, loadable in
+    /// `about:tracing` / Perfetto (`None` when observability is disabled).
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.g.obs.as_ref().map(|o| o.chrome_trace_json())
     }
 
     /// Total times any worker actually slept (scheduler diagnostic).

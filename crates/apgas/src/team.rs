@@ -240,6 +240,7 @@ impl Team {
         if n == 1 {
             return;
         }
+        let span = ctx.trace().and_then(|t| t.span_start());
         let me = self.rank(ctx);
         let seq = self.begin(ctx);
         let mut k = 0u32;
@@ -251,6 +252,9 @@ impl Team {
             dist *= 2;
             k += 1;
         }
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "team", "barrier", self.id);
+        }
     }
 
     /// Binomial-tree broadcast from `root_rank`. The root passes
@@ -260,6 +264,7 @@ impl Team {
         T: Clone + Send + WireSize + 'static,
     {
         let n = self.size();
+        let span = ctx.trace().and_then(|t| t.span_start());
         let me = self.rank(ctx);
         let seq = self.begin(ctx);
         let rel = (me + n - root_rank) % n;
@@ -289,6 +294,9 @@ impl Team {
             }
             mask >>= 1;
         }
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "team", "broadcast", self.id);
+        }
         v
     }
 
@@ -306,28 +314,35 @@ impl Team {
         T: Send + WireSize + 'static,
     {
         let n = self.size();
+        let span = ctx.trace().and_then(|t| t.span_start());
         let me = self.rank(ctx);
         let seq = self.begin(ctx);
         let rel = (me + n - root_rank) % n;
-        let mut acc = value;
-        let mut bit = 1usize;
-        while bit < n {
-            if rel & bit != 0 {
-                // Send accumulated value to the partner below and stop.
-                let dst_rel = rel & !bit;
-                let dst = (dst_rel + root_rank) % n;
-                let bytes = acc.wire_size();
-                self.send(ctx, seq, 0, dst, Box::new(acc), bytes);
-                return None;
+        let result = (|| {
+            let mut acc = value;
+            let mut bit = 1usize;
+            while bit < n {
+                if rel & bit != 0 {
+                    // Send accumulated value to the partner below and stop.
+                    let dst_rel = rel & !bit;
+                    let dst = (dst_rel + root_rank) % n;
+                    let bytes = acc.wire_size();
+                    self.send(ctx, seq, 0, dst, Box::new(acc), bytes);
+                    return None;
+                }
+                let src_rel = rel | bit;
+                if src_rel < n {
+                    let other = self.recv_typed::<T>(ctx, seq, 0, (src_rel + root_rank) % n);
+                    acc = op(acc, other);
+                }
+                bit <<= 1;
             }
-            let src_rel = rel | bit;
-            if src_rel < n {
-                let other = self.recv_typed::<T>(ctx, seq, 0, (src_rel + root_rank) % n);
-                acc = op(acc, other);
-            }
-            bit <<= 1;
+            Some(acc)
+        })();
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "team", "reduce", self.id);
         }
-        Some(acc)
+        result
     }
 
     /// All-reduce: binomial reduce to rank 0, then broadcast the result.
@@ -370,6 +385,7 @@ impl Team {
     {
         let n = self.size();
         assert_eq!(chunks.len(), n, "alltoall needs one chunk per member");
+        let span = ctx.trace().and_then(|t| t.span_start());
         let me = self.rank(ctx);
         let seq = self.begin(ctx);
         // Send in a rotated order to avoid synchronized hot-spots, keeping
@@ -388,10 +404,14 @@ impl Team {
             let src = (me + n - d) % n;
             result[src] = Some(self.recv_typed::<T>(ctx, seq, 0, src));
         }
-        result
+        let res = result
             .into_iter()
             .map(|c| c.expect("missing alltoall chunk"))
-            .collect()
+            .collect();
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "team", "alltoall", self.id);
+        }
+        res
     }
 
     /// Gather to `root_rank`: the root receives every member's value
@@ -424,9 +444,10 @@ impl Team {
         T: Send + WireSize + 'static,
     {
         let n = self.size();
+        let span = ctx.trace().and_then(|t| t.span_start());
         let me = self.rank(ctx);
         let seq = self.begin(ctx);
-        if me == root_rank {
+        let res = if me == root_rank {
             let mut chunks = chunks.expect("scatter root must supply the chunks");
             assert_eq!(chunks.len(), n, "scatter needs one chunk per member");
             let mut mine: Option<T> = None;
@@ -441,7 +462,11 @@ impl Team {
             mine.expect("own chunk")
         } else {
             self.recv_typed::<T>(ctx, seq, 0, root_rank)
+        };
+        if let Some(t) = ctx.trace() {
+            t.span_end(span, "team", "scatter", self.id);
         }
+        res
     }
 
     /// Split into disjoint sub-teams by color: members whose `color(rank)`

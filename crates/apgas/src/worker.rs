@@ -23,6 +23,8 @@ use crate::place_state::{Activity, PlaceState};
 use crate::runtime::Global;
 use crate::team::TeamWire;
 use crossbeam_deque::Steal;
+use obs::metrics::{Counter, Histogram};
+use obs::trace::TraceBuf;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -58,6 +60,22 @@ pub struct Worker {
     /// Consecutive idle quanta; drives the yield-before-sleep backoff in
     /// [`Worker::park_brief`].
     idle_streak: std::cell::Cell<u32>,
+    /// Observability handles, resolved once at construction (`None` when the
+    /// runtime was built with `Config::obs_disable`) so every hot-path hook
+    /// is a `None` check plus, at most, one relaxed atomic increment.
+    hooks: Option<WorkerHooks>,
+}
+
+/// A worker's resolved observability handles: its trace ring plus the shared
+/// metric counters it increments.
+struct WorkerHooks {
+    trace: Arc<TraceBuf>,
+    finish_ctl_msgs: Counter,
+    spawn_sent: Counter,
+    spawn_recv: Counter,
+    parks: Counter,
+    activities: Counter,
+    drain_depth: Histogram,
 }
 
 /// Idle quanta a worker spends yielding the CPU before it takes the condvar
@@ -83,13 +101,28 @@ impl Worker {
     /// buffers sized from the runtime configuration.
     pub fn new(g: Arc<Global>, place: Arc<PlaceState>) -> Self {
         let here = place.id;
-        let coalescer = Coalescer::new(
+        let mut coalescer = Coalescer::new(
             here,
             g.cfg.places,
             g.cfg.batch_max_msgs,
             g.cfg.batch_max_bytes,
             !g.cfg.batch_disable,
         );
+        if let Some(o) = g.obs.as_ref() {
+            coalescer = coalescer.with_obs(&o.metrics);
+        }
+        let hooks = g.obs.as_ref().map(|o| WorkerHooks {
+            trace: o.tracer.register(here.0),
+            finish_ctl_msgs: o.metrics.counter(obs::names::FINISH_CTL_MSGS),
+            spawn_sent: o.metrics.counter(obs::names::SPAWN_REMOTE_SENT),
+            spawn_recv: o.metrics.counter(obs::names::SPAWN_REMOTE_RECV),
+            parks: o.metrics.counter(obs::names::WORKER_PARKS),
+            activities: o.metrics.counter(obs::names::WORKER_ACTIVITIES),
+            drain_depth: o.metrics.histogram(
+                obs::names::MAILBOX_DRAIN_DEPTH,
+                obs::names::MAILBOX_DRAIN_BOUNDS,
+            ),
+        });
         Worker {
             g,
             place,
@@ -97,7 +130,19 @@ impl Worker {
             coalescer: RefCell::new(coalescer),
             recv_scratch: RefCell::new(Vec::new()),
             idle_streak: std::cell::Cell::new(0),
+            hooks,
         }
+    }
+
+    /// This worker's trace ring, when observability is on. `Ctx` exposes it
+    /// to library layers (finish spans, team phases, GLB steal rounds).
+    pub(crate) fn trace(&self) -> Option<&TraceBuf> {
+        self.hooks.as_ref().map(|h| &*h.trace)
+    }
+
+    /// The runtime's observability state, when enabled.
+    pub(crate) fn obs(&self) -> Option<&Arc<obs::Obs>> {
+        self.g.obs.as_ref()
     }
 
     /// Scheduler loop: run until global shutdown.
@@ -184,6 +229,10 @@ impl Worker {
             && !self.g.shutdown.load(Ordering::Acquire)
         {
             self.place.parks.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &self.hooks {
+                h.parks.inc(self.here.0);
+                h.trace.instant("worker", "park", 0);
+            }
             self.place
                 .wake_cv
                 .wait_for(&mut guard, self.g.cfg.park_timeout);
@@ -193,6 +242,9 @@ impl Worker {
 
     /// Run one activity to completion and report its termination.
     pub fn execute(&self, act: Activity) {
+        if let Some(h) = &self.hooks {
+            h.activities.inc(self.here.0);
+        }
         let ctx = Ctx::new(self, act.attach);
         let result = catch_unwind(AssertUnwindSafe(|| (act.body)(&ctx)));
         let panic = result.err().map(panic_message);
@@ -233,6 +285,11 @@ impl Worker {
         }
         *self.recv_scratch.borrow_mut() = scratch;
         self.forward_dense();
+        if n > 0 {
+            if let Some(h) = &self.hooks {
+                h.drain_depth.record(self.here.0, n as u64);
+            }
+        }
         n
     }
 
@@ -248,6 +305,10 @@ impl Worker {
                 let msg = payload
                     .downcast::<SpawnMsg>()
                     .expect("task-class payload must be a SpawnMsg");
+                if let Some(h) = &self.hooks {
+                    h.spawn_recv.inc(self.here.0);
+                    h.trace.instant("spawn", "recv", from.0 as u64);
+                }
                 self.register_receipt(&msg.attach, from.0);
                 self.place.enqueue(Activity {
                     body: msg.body,
@@ -393,6 +454,9 @@ impl Worker {
     }
 
     fn send_finish_msg(&self, to: PlaceId, body_bytes: usize, msg: FinishMsg) {
+        if let Some(h) = &self.hooks {
+            h.finish_ctl_msgs.inc(self.here.0);
+        }
         self.send_env(Envelope::new(
             self.here,
             to,
@@ -467,6 +531,10 @@ impl Worker {
 
     /// Ship an activity to `dst` (accounting already done by the caller).
     pub fn send_spawn(&self, dst: PlaceId, attach: Attach, body: TaskFn, class: MsgClass) {
+        if let Some(h) = &self.hooks {
+            h.spawn_sent.inc(self.here.0);
+            h.trace.instant("spawn", "send", dst.0 as u64);
+        }
         let body_bytes = std::mem::size_of_val(&*body) + std::mem::size_of::<Attach>();
         self.send_env(Envelope::new(
             self.here,

@@ -126,6 +126,11 @@ fn paired(reps: usize, run_on: bool, run_off: bool, f: impl Fn(bool) -> Row) -> 
 /// Coalescing thresholds shared by every runtime the bench builds.
 static KNOBS: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
 
+/// Metric values of the most recent measured run (each run uses a fresh
+/// runtime, so these are per-run, not cumulative) — embedded as the
+/// `metrics` section of the output JSON.
+static LAST_METRICS: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+
 fn config(places: usize, aggregation: bool) -> Config {
     let &(msgs, bytes) = KNOBS.get().expect("knobs set in main");
     Config::new(places)
@@ -142,6 +147,7 @@ fn bench_uts(places: usize, aggregation: bool, depth: u32) -> Row {
         let (run, secs) = timed(|| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
         collect(ctx, "uts", secs, run.stats.nodes)
     });
+    *LAST_METRICS.lock().unwrap() = rt.metrics_json();
     Row {
         places,
         aggregation,
@@ -168,6 +174,7 @@ fn bench_ra_msgs(places: usize, aggregation: bool, log2_local: u32) -> Row {
             (updates_per_place * ctx.num_places()) as u64,
         )
     });
+    *LAST_METRICS.lock().unwrap() = rt.metrics_json();
     Row {
         places,
         aggregation,
@@ -290,6 +297,13 @@ fn to_json(rows: &[Row], quick: bool, uts_depth: u32, ra_log2_local: u32) -> Str
         ));
     }
     s.push_str("  ],\n");
+    // Runtime metric values of the last measured run (see OBSERVABILITY.md
+    // for the catalogue).
+    if let Some(metrics) = LAST_METRICS.lock().unwrap().as_deref() {
+        s.push_str("  \"metrics\": ");
+        s.push_str(metrics.trim_end());
+        s.push_str(",\n");
+    }
     // Pair up on/off rows for the headline deltas.
     s.push_str("  \"summary\": [\n");
     let pairs: Vec<(&Row, &Row)> = rows

@@ -1,0 +1,174 @@
+//! Observability-overhead ablation: UTS under the lifeline GLB with the
+//! `obs` layer fully off (`Config::obs_disable`, the pre-observability
+//! baseline), with metrics only (the default), and with event tracing on —
+//! verifying that the tracing-off configurations cost ≤ 1% wall time.
+//!
+//! Writes `BENCH_obs_overhead.json` (including the metric values of the
+//! metrics-mode run) and the chrome-trace JSON of the best traced run,
+//! loadable in `about:tracing` / Perfetto.
+//!
+//! Usage: `cargo run --release -p bench --bin obs_overhead [--quick]
+//!   [--places N] [--out PATH] [--trace-out PATH]`
+
+use apgas::{Config, Runtime};
+use kernels::util::timed;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// No observability state at all — the baseline.
+    Off,
+    /// Metrics registry on, tracer off (the default runtime configuration).
+    Metrics,
+    /// Metrics and event tracing both on.
+    Trace,
+}
+
+const MODES: [Mode; 3] = [Mode::Off, Mode::Metrics, Mode::Trace];
+
+impl Mode {
+    fn config(self, places: usize) -> Config {
+        match self {
+            Mode::Off => Config::new(places).obs_disable(true),
+            Mode::Metrics => Config::new(places),
+            Mode::Trace => Config::new(places).trace_enable(true),
+        }
+    }
+}
+
+/// One measured run: wall time, figure of merit, and the artifacts captured
+/// from the runtime before teardown.
+struct Run {
+    wall_seconds: f64,
+    nodes: u64,
+    metrics_json: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let places: usize = flag_value(&args, "--places")
+        .map(|v| v.parse().expect("--places takes a count"))
+        .unwrap_or(8);
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_obs_overhead.json");
+    let trace_out = flag_value(&args, "--trace-out").unwrap_or("TRACE_uts.json");
+    let depth = if quick { 8 } else { 10 };
+    let reps = if quick { 3 } else { 5 };
+
+    // Interleave the modes (off, metrics, trace, off, …) so all three see
+    // the same machine-load drift, and keep the minimum-time run per mode —
+    // the standard estimator under scheduling noise.
+    let mut best: [Option<Run>; 3] = [None, None, None];
+    for _ in 0..reps {
+        for (slot, mode) in MODES.into_iter().enumerate() {
+            let r = bench_uts(places, mode, depth);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| r.wall_seconds < b.wall_seconds)
+            {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    let [off, metrics, trace] = best.map(|r| r.expect("every mode measured"));
+    assert_eq!(off.nodes, metrics.nodes, "UTS node count must not vary");
+    assert_eq!(off.nodes, trace.nodes, "UTS node count must not vary");
+
+    let pct = |r: &Run| (r.wall_seconds / off.wall_seconds - 1.0) * 100.0;
+    let (metrics_pct, trace_pct) = (pct(&metrics), pct(&trace));
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "mode", "ms", "nodes", "overhead"
+    );
+    let rows = [(&off, 0.0), (&metrics, metrics_pct), (&trace, trace_pct)];
+    for ((r, p), name) in rows.iter().zip(["off", "metrics", "trace"]) {
+        println!(
+            "{:>8} {:>10.2} {:>12} {:>9.2}%",
+            name,
+            r.wall_seconds * 1e3,
+            r.nodes,
+            p
+        );
+    }
+
+    let chrome = trace.chrome_trace.as_deref().expect("traced run exports");
+    std::fs::write(trace_out, chrome).unwrap_or_else(|e| panic!("write {trace_out}: {e}"));
+    let json = to_json(
+        quick,
+        places,
+        depth,
+        reps,
+        &rows,
+        metrics.metrics_json.as_deref().expect("metrics-mode run"),
+    );
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out} and {trace_out}");
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn bench_uts(places: usize, mode: Mode, depth: u32) -> Run {
+    let rt = Runtime::new(mode.config(places));
+    let tree = uts::GeoTree::paper(depth);
+    let (nodes, secs) = rt.run(move |ctx| {
+        let (run, secs) = timed(|| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
+        (run.stats.nodes, secs)
+    });
+    Run {
+        wall_seconds: secs,
+        nodes,
+        metrics_json: rt.metrics_json(),
+        chrome_trace: if mode == Mode::Trace {
+            rt.chrome_trace_json()
+        } else {
+            None
+        },
+    }
+}
+
+fn to_json(
+    quick: bool,
+    places: usize,
+    depth: u32,
+    reps: usize,
+    rows: &[(&Run, f64)],
+    metrics: &str,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"observability overhead ablation\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"workload\": {{\"kernel\": \"uts\", \"places\": {places}, \
+         \"depth\": {depth}, \"reps\": {reps}}},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    let names = ["off", "metrics", "trace"];
+    for (i, ((r, pct), name)) in rows.iter().zip(names).enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"nodes\": {}, \
+             \"overhead_pct\": {:.4}}}{}\n",
+            name,
+            r.wall_seconds,
+            r.nodes,
+            pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let (metrics_pct, trace_pct) = (rows[1].1, rows[2].1);
+    s.push_str(&format!(
+        "  \"overhead_trace_off_pct\": {metrics_pct:.4},\n"
+    ));
+    s.push_str(&format!("  \"overhead_trace_on_pct\": {trace_pct:.4},\n"));
+    s.push_str(&format!("  \"within_budget\": {},\n", metrics_pct <= 1.0));
+    // The metrics-mode run's counter values, verbatim (already JSON).
+    s.push_str("  \"metrics\": ");
+    s.push_str(metrics.trim_end());
+    s.push_str("\n}\n");
+    s
+}

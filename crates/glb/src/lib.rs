@@ -2,7 +2,7 @@
 //!
 //! The paper's UTS chapter (§3.4, §6) revises the lifeline work-stealing
 //! scheduler of Saraswat et al. (PPoPP'11) to reach petascale. This crate
-//! is that scheduler, generic over a [`TaskBag`] (the GLB library of [43]):
+//! is that scheduler, generic over a [`TaskBag`] (the GLB library of \[43\]):
 //!
 //! * every place runs **one worker activity** processing its local bag in
 //!   chunks, probing the network between chunks;

@@ -5,6 +5,7 @@ use crate::lifeline::{hypercube_lifelines, victim_list, XorShift64};
 use crate::stats::{GlbPlaceStats, GlbStatsSummary};
 use crate::taskbag::TaskBag;
 use apgas::{Ctx, FinishKind, MsgClass, PlaceGroup, PlaceId, PlaceLocalHandle};
+use obs::metrics::Counter;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -68,15 +69,34 @@ pub struct GlbPlace<B: TaskBag> {
     lifelines: Vec<u32>,
     rng: Mutex<XorShift64>,
     stats: GlbPlaceStats,
+    /// Shared runtime metric counters mirroring the hot `stats` fields
+    /// (`None` when the runtime has observability disabled).
+    hooks: Option<GlbHooks>,
+}
+
+/// Resolved handles to the balancer's runtime-wide metric counters (see the
+/// `glb.*` entries in `obs::names`).
+struct GlbHooks {
+    steal_attempts: Counter,
+    steal_hits: Counter,
+    lifeline_arms: Counter,
+    lifeline_gifts: Counter,
+    resuscitations: Counter,
+    deaths: Counter,
 }
 
 impl<B: TaskBag> GlbPlace<B> {
-    fn new(
-        cfg: GlbConfig,
-        factory: Arc<dyn Fn() -> B + Send + Sync>,
-        me: u32,
-        places: usize,
-    ) -> Self {
+    fn new(cfg: GlbConfig, factory: Arc<dyn Fn() -> B + Send + Sync>, c: &Ctx) -> Self {
+        let me = c.here().0;
+        let places = c.num_places();
+        let hooks = c.obs().map(|o| GlbHooks {
+            steal_attempts: o.metrics.counter(obs::names::GLB_STEAL_ATTEMPTS),
+            steal_hits: o.metrics.counter(obs::names::GLB_STEAL_HITS),
+            lifeline_arms: o.metrics.counter(obs::names::GLB_LIFELINE_ARMS),
+            lifeline_gifts: o.metrics.counter(obs::names::GLB_LIFELINE_GIFTS),
+            resuscitations: o.metrics.counter(obs::names::GLB_RESUSCITATIONS),
+            deaths: o.metrics.counter(obs::names::GLB_DEATHS),
+        });
         GlbPlace {
             victims: victim_list(me, places, cfg.max_victims, cfg.seed),
             lifelines: hypercube_lifelines(me, places, cfg.max_lifelines),
@@ -87,6 +107,7 @@ impl<B: TaskBag> GlbPlace<B> {
             alive: AtomicBool::new(false),
             thieves: Mutex::new(Vec::new()),
             stats: GlbPlaceStats::default(),
+            hooks,
         }
     }
 }
@@ -105,7 +126,7 @@ pub fn run<B: TaskBag>(
     let cfg2 = cfg.clone();
     let factory: Arc<dyn Fn() -> B + Send + Sync> = Arc::new(make_empty);
     let handle = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), move |c| {
-        GlbPlace::<B>::new(cfg2.clone(), factory.clone(), c.here().0, c.num_places())
+        GlbPlace::<B>::new(cfg2.clone(), factory.clone(), c)
     });
     // Tree wave starts wherever run() was called; rotate the place list so
     // the caller is rank 0 of the wave.
@@ -185,6 +206,7 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
             }
         }
         // -------- random steals --------
+        let me = ctx.here().0;
         if !st.victims.is_empty() {
             for _ in 0..st.cfg.random_attempts {
                 let victim = {
@@ -192,8 +214,19 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
                     st.victims[rng.below(st.victims.len())]
                 };
                 st.stats.random_attempts.fetch_add(1, Ordering::Relaxed);
-                if random_steal(ctx, handle, &st, PlaceId(victim)) {
+                if let Some(h) = &st.hooks {
+                    h.steal_attempts.inc(me);
+                }
+                let span = ctx.trace().and_then(|t| t.span_start());
+                let hit = random_steal(ctx, handle, &st, PlaceId(victim));
+                if let Some(t) = ctx.trace() {
+                    t.span_end(span, "glb", "steal", victim as u64);
+                }
+                if hit {
                     st.stats.random_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(h) = &st.hooks {
+                        h.steal_hits.inc(me);
+                    }
                     continue 'outer;
                 }
                 // A gift may have landed while we waited for the refusal.
@@ -203,8 +236,13 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
             }
         }
         // -------- lifelines, then die --------
-        let me = ctx.here().0;
         for &l in &st.lifelines {
+            if let Some(h) = &st.hooks {
+                h.lifeline_arms.inc(me);
+            }
+            if let Some(t) = ctx.trace() {
+                t.instant("glb", "lifeline-arm", l as u64);
+            }
             ctx.uncounted_async(PlaceId(l), MsgClass::Steal, move |vc| {
                 let vst = handle.get(vc);
                 let mut thieves = vst.thieves.lock();
@@ -219,6 +257,12 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
         if bag.is_empty() {
             st.alive.store(false, Ordering::SeqCst);
             st.stats.deaths.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &st.hooks {
+                h.deaths.inc(me);
+            }
+            if let Some(t) = ctx.trace() {
+                t.instant("glb", "death", 0);
+            }
             return;
         }
     }
@@ -239,6 +283,12 @@ fn distribute<B: TaskBag>(ctx: &Ctx, st: &GlbPlace<B>, handle: PlaceLocalHandle<
         match loot {
             Some(loot) => {
                 st.stats.lifeline_gifts.fetch_add(1, Ordering::Relaxed);
+                if let Some(h) = &st.hooks {
+                    h.lifeline_gifts.inc(ctx.here().0);
+                }
+                if let Some(t) = ctx.trace() {
+                    t.instant("glb", "gift", thief as u64);
+                }
                 // Counted under the root finish: redistribution along
                 // lifelines is exactly what the root finish accounts for.
                 ctx.at_async_class(PlaceId(thief), MsgClass::Steal, move |tc| {
@@ -265,6 +315,12 @@ fn deliver<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>, loot: B
     };
     if !was_alive {
         st.stats.resuscitations.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &st.hooks {
+            h.resuscitations.inc(ctx.here().0);
+        }
+        if let Some(t) = ctx.trace() {
+            t.instant("glb", "resuscitate", 0);
+        }
         main_loop(ctx, handle);
     }
 }

@@ -1,4 +1,4 @@
-//! CSR graphs and Brandes' betweenness-centrality algorithm (reference [5]
+//! CSR graphs and Brandes' betweenness-centrality algorithm (reference \[5\]
 //! of the paper).
 
 /// Compressed-sparse-row undirected graph.

@@ -201,7 +201,7 @@ impl TaskBag for BcBag {
 }
 
 /// GLB-balanced BC: the source set is a task bag, dynamically rebalanced by
-/// lifeline work stealing (the paper's follow-up implementation [43]).
+/// lifeline work stealing (the paper's follow-up implementation \[43\]).
 pub fn bc_glb(ctx: &Ctx, params: RmatParams, cfg: GlbConfig) -> BcResult {
     let t0 = std::time::Instant::now();
     // The graph is replicated by regenerating it at each place.

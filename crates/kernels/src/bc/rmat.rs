@@ -1,5 +1,5 @@
 //! R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos —
-//! reference [6] of the paper), producing the undirected graphs BC runs on.
+//! reference \[6\] of the paper), producing the undirected graphs BC runs on.
 
 use super::brandes::Csr;
 use crate::util::SplitMix64;

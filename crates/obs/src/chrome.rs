@@ -1,0 +1,175 @@
+//! Chrome-trace (`trace_event` format) JSON export.
+//!
+//! Emits the JSON-object form of the [Trace Event Format] with complete
+//! (`"ph": "X"`) events for spans and instant (`"ph": "i"`) events, so a
+//! snapshot loads directly in `about:tracing` or [Perfetto]. Places map to
+//! processes (`pid`) and workers to threads (`tid`); metadata events name
+//! each process `place N` so the UI reads like the runtime's topology.
+//!
+//! The writer is a pure function over [`WorkerTrace`] values — no clocks, no
+//! tracer handle — which is what makes the output byte-for-byte reproducible
+//! for the golden-file test.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::trace::WorkerTrace;
+
+/// Render worker traces as chrome-trace JSON.
+///
+/// Events are ordered by (place, worker, start time); timestamps are
+/// microseconds with nanosecond precision (three decimals), as the format
+/// expects. Every trace's drop count is surfaced as an `args` entry on a
+/// per-thread metadata event so truncation is visible in the UI rather than
+/// silent.
+pub fn chrome_trace(traces: &[WorkerTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    // Process metadata: one per distinct place, in order.
+    let mut last_place = None;
+    for t in traces {
+        if last_place != Some(t.place) {
+            last_place = Some(t.place);
+            emit(
+                format!(
+                    "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {}, \"tid\": 0, \
+                     \"args\": {{\"name\": \"place {}\"}}}}",
+                    t.place, t.place
+                ),
+                &mut out,
+            );
+        }
+        emit(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {}, \"tid\": {}, \
+                 \"args\": {{\"name\": \"worker {}\", \"dropped_events\": {}}}}}",
+                t.place, t.worker, t.worker, t.dropped
+            ),
+            &mut out,
+        );
+    }
+    for t in traces {
+        let mut events = t.events.clone();
+        // Push order is span-*end* order; the format wants start-time order.
+        events.sort_by_key(|e| e.ts_ns);
+        for e in &events {
+            let ts = micros(e.ts_ns);
+            let common = format!(
+                "\"name\": \"{}\", \"cat\": \"{}\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \
+                 \"args\": {{\"arg\": {}}}",
+                escape(e.kind),
+                escape(e.cat),
+                t.place,
+                t.worker,
+                ts,
+                e.arg
+            );
+            let line = if e.dur_ns > 0 {
+                format!("{{\"ph\": \"X\", {common}, \"dur\": {}}}", micros(e.dur_ns))
+            } else {
+                format!("{{\"ph\": \"i\", \"s\": \"t\", {common}}}")
+            };
+            emit(line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Nanoseconds → the format's microsecond timestamps, keeping nanosecond
+/// precision as three decimals.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Event;
+
+    fn ev(ts_ns: u64, dur_ns: u64, kind: &'static str, arg: u64) -> Event {
+        Event {
+            ts_ns,
+            dur_ns,
+            cat: "test",
+            kind,
+            arg,
+        }
+    }
+
+    #[test]
+    fn spans_become_complete_events_and_instants_become_i() {
+        let traces = [WorkerTrace {
+            place: 2,
+            worker: 0,
+            events: vec![ev(1_500, 0, "gift", 9), ev(1_000, 2_500, "steal", 4)],
+            dropped: 0,
+        }];
+        let json = chrome_trace(&traces);
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 2.500"));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"pid\": 2"));
+        assert!(json.contains("\"name\": \"place 2\""));
+        // Sorted by start time: the span (ts 1.000) precedes the instant.
+        let steal = json.find("\"steal\"").unwrap();
+        let gift = json.find("\"gift\"").unwrap();
+        assert!(steal < gift);
+    }
+
+    #[test]
+    fn timestamps_keep_nanosecond_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn dropped_counts_surface_in_metadata() {
+        let traces = [WorkerTrace {
+            place: 0,
+            worker: 1,
+            events: vec![],
+            dropped: 17,
+        }];
+        let json = chrome_trace(&traces);
+        assert!(json.contains("\"dropped_events\": 17"));
+        assert!(json.contains("\"tid\": 1"));
+    }
+
+    #[test]
+    fn escapes_reserved_characters() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn empty_trace_is_valid_shape() {
+        let json = chrome_trace(&[]);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,75 @@
+//! `obs` — runtime observability: metrics, event tracing, exporters.
+//!
+//! The paper's petascale numbers were only reachable because the authors
+//! could attribute wall time and message volume to protocol phases (finish
+//! control traffic, GLB steal/lifeline activity, per-link transport load).
+//! This crate is that measurement substrate for the reproduction:
+//!
+//! * [`metrics::MetricsRegistry`] — named counters and histograms, sharded
+//!   per sender with the same cache-line-aligned idiom as
+//!   `x10rt::NetStats`, so hot-path increments never contend;
+//! * [`trace::Tracer`] — per-worker bounded ring buffers of structured
+//!   [`trace::Event`]s (spans and instants) stamped against one shared
+//!   epoch, gated by a single relaxed atomic flag so a disabled tracer
+//!   costs one predictable branch per hook;
+//! * [`chrome`] — a chrome-trace (`trace_event`) JSON writer: snapshots
+//!   open directly in `about:tracing` or [Perfetto](https://ui.perfetto.dev)
+//!   with one process per place and one thread track per worker.
+//!
+//! Each runtime instance owns one [`Obs`] (never a process-global —
+//! parallel tests in one process must not share counters) and hands
+//! `Arc<Obs>` clones to whoever instruments or exports.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod names;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{Event, SpanStart, TraceBuf, Tracer, WorkerTrace};
+
+use std::sync::Arc;
+
+/// One runtime instance's observability state: a metrics registry plus the
+/// event tracer. Shared via `Arc` between the runtime, its workers, and any
+/// exporter.
+pub struct Obs {
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// Structured event tracing (per-worker ring buffers).
+    pub tracer: Tracer,
+}
+
+impl Obs {
+    /// Build observability state for a runtime with `places` places.
+    ///
+    /// `trace_enabled` sets the tracer's initial state (it can be toggled at
+    /// run time); `trace_capacity` is the per-worker ring-buffer size in
+    /// events — when a buffer wraps, the oldest events are overwritten and
+    /// counted as dropped.
+    pub fn new(places: usize, trace_enabled: bool, trace_capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            metrics: MetricsRegistry::new(places),
+            tracer: Tracer::new(trace_capacity, trace_enabled),
+        })
+    }
+
+    /// Render the current metric values as a plain-text dump (one line per
+    /// counter, a block per histogram) — the shape embedded in bench output.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.snapshot().render_text()
+    }
+
+    /// Render the current metric values as a JSON object (the `metrics`
+    /// section of the `BENCH_*.json` files).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.snapshot().render_json()
+    }
+
+    /// Export the current trace ring buffers as chrome-trace JSON.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::chrome_trace(&self.tracer.snapshot())
+    }
+}

@@ -1,0 +1,445 @@
+//! Named counters and histograms with sender-sharded, cache-line-aligned
+//! storage.
+//!
+//! The hot path is an increment from a worker thread; the sharding idiom is
+//! the one `x10rt::NetStats` established: each writer hashes (by place id)
+//! onto a `#[repr(align(128))]` shard — two cache lines, to defeat
+//! adjacent-line prefetching — so concurrent writers never contend on a
+//! counter line, and readers pay the aggregation cost instead (reads happen
+//! once per bench phase, writes once per event).
+//!
+//! Registration is locked and slow-path only: callers resolve a metric to a
+//! cheap cloneable handle ([`Counter`] / [`Histogram`]) once, at setup time,
+//! and the handle's increments are lock-free thereafter.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cap on the number of shards per metric; writers hash onto shards modulo
+/// this (same cap as `x10rt::NetStats`).
+const MAX_SHARDS: usize = 32;
+
+/// One writer's slice of a counter. Aligned to 128 bytes so two shards never
+/// share a cache line (128 covers adjacent-line prefetch pairs).
+#[repr(align(128))]
+#[derive(Default)]
+struct CounterShard {
+    n: AtomicU64,
+}
+
+struct CounterInner {
+    shards: Box<[CounterShard]>,
+}
+
+/// A cheap cloneable handle to one named counter. Increments are lock-free
+/// relaxed atomics on the caller's shard.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    fn new(nshards: usize) -> Self {
+        Counter {
+            inner: Arc::new(CounterInner {
+                shards: (0..nshards).map(|_| CounterShard::default()).collect(),
+            }),
+        }
+    }
+
+    /// Add `n` from writer `shard_hint` (typically the place id).
+    #[inline]
+    pub fn add(&self, shard_hint: u32, n: u64) {
+        let s = &self.inner.shards[shard_hint as usize % self.inner.shards.len()];
+        s.n.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one from writer `shard_hint`.
+    #[inline]
+    pub fn inc(&self, shard_hint: u32) {
+        self.add(shard_hint, 1);
+    }
+
+    /// Current value, aggregated over all shards.
+    pub fn value(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.n.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// One writer's slice of a histogram: a bucket-count array (its own heap
+/// allocation, so shards never interleave in memory) plus the value sum for
+/// mean reporting.
+#[repr(align(128))]
+struct HistShard {
+    /// One count per bound plus a final overflow bucket.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+struct HistInner {
+    /// Inclusive bucket upper bounds, strictly increasing.
+    bounds: Box<[u64]>,
+    shards: Box<[HistShard]>,
+}
+
+/// A cheap cloneable handle to one named histogram with fixed, inclusive
+/// upper-bound buckets (Prometheus `le` semantics) plus an overflow bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64], nshards: usize) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let nbuckets = bounds.len() + 1;
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.into(),
+                shards: (0..nshards)
+                    .map(|_| HistShard {
+                        counts: (0..nbuckets).map(|_| AtomicU64::new(0)).collect(),
+                        sum: AtomicU64::new(0),
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Index of the bucket `value` lands in: the first bound `value <= b`,
+    /// else the overflow bucket.
+    #[inline]
+    fn bucket(&self, value: u64) -> usize {
+        self.inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.inner.bounds.len())
+    }
+
+    /// Record one observation from writer `shard_hint`.
+    #[inline]
+    pub fn record(&self, shard_hint: u32, value: u64) {
+        let b = self.bucket(value);
+        let s = &self.inner.shards[shard_hint as usize % self.inner.shards.len()];
+        s.counts[b].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts aggregated over all shards (last entry is the
+    /// overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.inner.bounds.len() + 1];
+        for s in &self.inner.shards {
+            for (o, c) in out.iter_mut().zip(s.counts.iter()) {
+                *o += c.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all recorded values (for mean reporting).
+    pub fn sum(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// The registry: name → metric, in registration order.
+///
+/// `counter`/`histogram` are get-or-register: the first call creates the
+/// metric, later calls (from any thread) return handles to the same storage.
+pub struct MetricsRegistry {
+    nshards: usize,
+    counters: Mutex<Vec<(String, Counter)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+}
+
+impl MetricsRegistry {
+    /// A registry for a runtime with `places` writer threads (clamped to the
+    /// shard cap; more writers than shards just share).
+    pub fn new(places: usize) -> Self {
+        MetricsRegistry {
+            nshards: places.clamp(1, MAX_SHARDS),
+            counters: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Resolve (registering on first use) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut cs = self.counters.lock();
+        if let Some((_, c)) = cs.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new(self.nshards);
+        cs.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Resolve (registering on first use) the histogram called `name` with
+    /// the given inclusive bucket upper bounds. Later calls return the
+    /// existing histogram; its bounds must match.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut hs = self.histograms.lock();
+        if let Some((_, h)) = hs.iter().find(|(n, _)| n == name) {
+            assert_eq!(
+                h.bounds(),
+                bounds,
+                "histogram {name:?} re-registered with different bounds"
+            );
+            return h.clone();
+        }
+        let h = Histogram::new(bounds, self.nshards);
+        hs.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Snapshot every registered metric (registration order preserved).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(n, h)| HistogramSnapshot {
+                    name: n.clone(),
+                    bounds: h.bounds().to_vec(),
+                    counts: h.counts(),
+                    sum: h.sum(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One histogram's aggregated state at snapshot time.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Plain-text rendering: `name value` lines, then one block per
+    /// histogram with `le=BOUND count` bucket lines.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            s.push_str(&format!("{name} {v}\n"));
+        }
+        for h in &self.histograms {
+            let total = h.total();
+            let mean = if total > 0 {
+                h.sum as f64 / total as f64
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "{} total={} sum={} mean={:.2}\n",
+                h.name, total, h.sum, mean
+            ));
+            for (i, c) in h.counts.iter().enumerate() {
+                match h.bounds.get(i) {
+                    Some(b) => s.push_str(&format!("  le={b} {c}\n")),
+                    None => s.push_str(&format!("  le=+inf {c}\n")),
+                }
+            }
+        }
+        s
+    }
+
+    /// JSON rendering: `{"counters": {...}, "histograms": {...}}` — the
+    /// `metrics` section of the bench output files.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {v}"));
+        }
+        s.push_str("}, \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            s.push_str(&format!(
+                "\"{}\": {{\"bounds\": [{}], \"counts\": [{}], \"total\": {}, \"sum\": {}}}",
+                h.name,
+                bounds.join(", "),
+                counts.join(", "),
+                h.total(),
+                h.sum
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_handles_share_storage() {
+        let r = MetricsRegistry::new(4);
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc(0);
+        b.add(3, 2);
+        assert_eq!(a.value(), 3);
+        assert_eq!(r.snapshot().counters, vec![("x".to_string(), 3)]);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Arc::new(MetricsRegistry::new(8));
+        let c = r.counter("hits");
+        let h = r.histogram("depth", &[1, 4, 16]);
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let (c, h) = (c.clone(), h.clone());
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc(t);
+                        h.record(t, i % 20);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(h.total(), 80_000);
+        // Every thread records 0..20 cyclically: per 20, buckets get
+        // le=1: {0,1}=2, le=4: {2,3,4}=3, le=16: {5..=16}=12, +inf: {17,18,19}=3.
+        assert_eq!(h.counts(), vec![8_000, 12_000, 48_000, 12_000]);
+        assert_eq!(h.sum(), 8 * 10_000 / 20 * (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_inclusive() {
+        let r = MetricsRegistry::new(1);
+        let h = r.histogram("b", &[10, 20]);
+        h.record(0, 0); // -> le=10
+        h.record(0, 10); // boundary lands in its own bucket (inclusive)
+        h.record(0, 11); // -> le=20
+        h.record(0, 20); // boundary
+        h.record(0, 21); // -> overflow
+        h.record(0, u64::MAX); // -> overflow
+        assert_eq!(h.counts(), vec![2, 2, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let r = MetricsRegistry::new(1);
+        let _ = r.histogram("bad", &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn rejects_bound_mismatch_on_reregistration() {
+        let r = MetricsRegistry::new(1);
+        let _ = r.histogram("h", &[1, 2]);
+        let _ = r.histogram("h", &[1, 3]);
+    }
+
+    #[test]
+    fn more_writers_than_shards_still_sum() {
+        let r = MetricsRegistry::new(1000); // clamped to MAX_SHARDS
+        let c = r.counter("c");
+        for w in 0..1000u32 {
+            c.inc(w);
+        }
+        assert_eq!(c.value(), 1000);
+    }
+
+    #[test]
+    fn shard_alignment_defeats_false_sharing() {
+        assert_eq!(std::mem::align_of::<CounterShard>(), 128);
+        assert_eq!(std::mem::align_of::<HistShard>(), 128);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let r = MetricsRegistry::new(2);
+        r.counter("a.b").add(0, 7);
+        let h = r.histogram("h", &[1, 2]);
+        h.record(0, 1);
+        h.record(1, 3);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("a.b 7"));
+        assert!(text.contains("le=+inf 1"));
+        let json = snap.render_json();
+        assert!(json.contains("\"a.b\": 7"));
+        assert!(json.contains("\"bounds\": [1, 2]"));
+        assert!(json.contains("\"counts\": [1, 0, 1]"));
+        assert!(json.contains("\"sum\": 4"));
+    }
+
+    #[test]
+    fn empty_registry_renders() {
+        let snap = MetricsRegistry::new(1).snapshot();
+        assert_eq!(snap.render_json(), "{\"counters\": {}, \"histograms\": {}}");
+        assert_eq!(snap.render_text(), "");
+    }
+}

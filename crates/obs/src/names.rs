@@ -1,0 +1,70 @@
+//! Canonical metric names.
+//!
+//! Every metric the runtime emits is registered under one of these names, so
+//! the catalogue in `OBSERVABILITY.md`, the bench JSON and the code can never
+//! drift apart. Units and increment sites are documented per constant.
+
+/// Counter: `finish` termination-control messages sent (unit: messages).
+/// Incremented in the worker's finish-control send path, once per
+/// `FinishMsg` (flush, dense hop, done, credit return).
+pub const FINISH_CTL_MSGS: &str = "finish.ctl_msgs";
+
+/// Counter: activities shipped to a remote place (unit: messages).
+/// Incremented in the worker's spawn-transmission path.
+pub const SPAWN_REMOTE_SENT: &str = "spawn.remote.sent";
+
+/// Counter: remotely-spawned activities received and enqueued (unit:
+/// messages). Incremented when a task-class envelope is dispatched.
+pub const SPAWN_REMOTE_RECV: &str = "spawn.remote.recv";
+
+/// Counter: times a worker actually slept on its condvar (unit: parks).
+/// Incremented in the worker's park path, after the yield backoff.
+pub const WORKER_PARKS: &str = "worker.parks";
+
+/// Counter: activities executed to completion (unit: activities).
+/// Incremented once per activity body run by a worker.
+pub const WORKER_ACTIVITIES: &str = "worker.activities";
+
+/// Counter: coalescer buffer drains triggered by the message-count
+/// threshold (unit: flushes). Incremented at the flush site in
+/// `x10rt::coalesce`.
+pub const COALESCE_FLUSH_THRESHOLD_MSGS: &str = "coalescer.flush.threshold_msgs";
+
+/// Counter: coalescer buffer drains triggered by the byte threshold
+/// (unit: flushes).
+pub const COALESCE_FLUSH_THRESHOLD_BYTES: &str = "coalescer.flush.threshold_bytes";
+
+/// Counter: coalescer buffer drains from an explicit `flush`/`flush_dest`
+/// call — end of a scheduling quantum, before parking, on worker exit
+/// (unit: flushes).
+pub const COALESCE_FLUSH_EXPLICIT: &str = "coalescer.flush.explicit";
+
+/// Histogram: envelopes expanded per mailbox drain (unit: logical
+/// messages per drain; only non-empty drains are recorded). Observed in the
+/// worker's message pump.
+pub const MAILBOX_DRAIN_DEPTH: &str = "mailbox.drain_depth";
+
+/// Bucket upper bounds for [`MAILBOX_DRAIN_DEPTH`] (inclusive; one
+/// overflow bucket is added past the last bound).
+pub const MAILBOX_DRAIN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Counter: GLB random-steal attempts issued (unit: attempts).
+pub const GLB_STEAL_ATTEMPTS: &str = "glb.steal.attempts";
+
+/// Counter: GLB random-steal attempts that returned loot (unit: steals).
+pub const GLB_STEAL_HITS: &str = "glb.steal.hits";
+
+/// Counter: lifeline registrations sent by an idle GLB worker (unit:
+/// registrations; one per lifeline edge armed before death).
+pub const GLB_LIFELINE_ARMS: &str = "glb.lifeline.arms";
+
+/// Counter: lifeline gifts shipped to a waiting thief (unit: gifts).
+pub const GLB_LIFELINE_GIFTS: &str = "glb.lifeline.gifts";
+
+/// Counter: dead GLB workers resuscitated by an arriving gift (unit:
+/// resuscitations).
+pub const GLB_RESUSCITATIONS: &str = "glb.resuscitations";
+
+/// Counter: GLB worker deaths — idle after exhausting random steals (unit:
+/// deaths).
+pub const GLB_DEATHS: &str = "glb.deaths";

@@ -1,0 +1,368 @@
+//! Structured event tracing: per-worker bounded ring buffers of spans and
+//! instants.
+//!
+//! Every worker registers one [`TraceBuf`] with the runtime's [`Tracer`] and
+//! pushes [`Event`]s into it; place and worker identity live on the buffer,
+//! not on each event, so an event is four words. All timestamps are
+//! nanoseconds since the tracer's shared epoch (taken once, at construction),
+//! which is what lets events from different workers interleave correctly on
+//! one timeline.
+//!
+//! # Zero cost when disabled
+//!
+//! Every hook is gated on one relaxed atomic load ([`TraceBuf::enabled`]):
+//! a disabled tracer costs a predictable branch per hook site and touches no
+//! clock. Span hooks use the two-call pattern — [`TraceBuf::span_start`]
+//! returns `None` when disabled, and [`TraceBuf::span_end`] is a no-op on
+//! `None` — so a span's clock reads are also skipped entirely.
+//!
+//! # Spans under ring overwrite
+//!
+//! A span is recorded as *one* event at its end (start timestamp + duration)
+//! rather than paired begin/end events. Ring-buffer overwrite can therefore
+//! never orphan half a span — the failure mode that makes B/E-phase chrome
+//! traces unloadable — and the exporter emits complete (`"ph": "X"`) events.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-worker ring capacity, in events.
+pub const DEFAULT_BUFFER_EVENTS: usize = 65_536;
+
+/// One traced occurrence: an instant (`dur_ns == 0` by convention of the
+/// instant hooks) or a completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Start time, nanoseconds since the tracer epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// Category (chrome-trace `cat`): the subsystem, e.g. `"finish"`,
+    /// `"team"`, `"glb"`, `"spawn"`.
+    pub cat: &'static str,
+    /// Event kind within the category, e.g. `"FINISH_DENSE"`, `"barrier"`,
+    /// `"steal"`.
+    pub kind: &'static str,
+    /// One kind-specific payload word (peer place, victim id, sequence
+    /// number — see the event taxonomy in OBSERVABILITY.md).
+    pub arg: u64,
+}
+
+/// The timestamp a span hook captured at its start; opaque to callers.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanStart(u64);
+
+struct Shared {
+    enabled: AtomicBool,
+    epoch: Instant,
+    /// Events overwritten across all rings (summed on snapshot with the
+    /// per-ring drop counts; kept here so dropped work survives buffer
+    /// unregistration if that is ever added).
+    dropped: AtomicU64,
+}
+
+struct Ring {
+    slots: Vec<Event>,
+    /// Next overwrite position once `slots` is at capacity.
+    next: usize,
+    /// Total events ever pushed (≥ `slots.len()`).
+    total: u64,
+}
+
+/// One worker's trace ring. The ring itself is behind a mutex, but the lock
+/// is thread-private in practice — only the owning worker pushes, and the
+/// exporter reads after (or between) runs.
+pub struct TraceBuf {
+    place: u32,
+    worker: u32,
+    capacity: usize,
+    shared: Arc<Shared>,
+    ring: Mutex<Ring>,
+}
+
+impl TraceBuf {
+    /// Is tracing currently enabled? One relaxed atomic load — this is the
+    /// branch every hook compiles down to when tracing is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the tracer epoch.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record an instantaneous event (no-op when disabled).
+    #[inline]
+    pub fn instant(&self, cat: &'static str, kind: &'static str, arg: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let ts_ns = self.now_ns();
+        self.push(Event {
+            ts_ns,
+            dur_ns: 0,
+            cat,
+            kind,
+            arg,
+        });
+    }
+
+    /// Capture a span's start time; `None` when disabled (making the whole
+    /// span free, clock reads included).
+    #[inline]
+    pub fn span_start(&self) -> Option<SpanStart> {
+        if !self.enabled() {
+            return None;
+        }
+        Some(SpanStart(self.now_ns()))
+    }
+
+    /// Complete a span opened with [`TraceBuf::span_start`]. Tolerates
+    /// tracing having been toggled mid-span: a `None` start is a no-op.
+    #[inline]
+    pub fn span_end(
+        &self,
+        start: Option<SpanStart>,
+        cat: &'static str,
+        kind: &'static str,
+        arg: u64,
+    ) {
+        let Some(SpanStart(ts_ns)) = start else {
+            return;
+        };
+        let dur_ns = self.now_ns().saturating_sub(ts_ns);
+        self.push(Event {
+            ts_ns,
+            dur_ns,
+            cat,
+            kind,
+            arg,
+        });
+    }
+
+    fn push(&self, e: Event) {
+        let mut ring = self.ring.lock();
+        ring.total += 1;
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(e);
+        } else {
+            // Wrap: overwrite the oldest event.
+            let at = ring.next;
+            ring.slots[at] = e;
+            ring.next = (at + 1) % self.capacity;
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// This buffer's place.
+    pub fn place(&self) -> u32 {
+        self.place
+    }
+
+    /// This buffer's worker index within its place.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Copy out the buffered events, oldest first.
+    fn drain_ordered(&self) -> (Vec<Event>, u64) {
+        let ring = self.ring.lock();
+        let mut events = Vec::with_capacity(ring.slots.len());
+        if ring.slots.len() == self.capacity {
+            events.extend_from_slice(&ring.slots[ring.next..]);
+            events.extend_from_slice(&ring.slots[..ring.next]);
+        } else {
+            events.extend_from_slice(&ring.slots);
+        }
+        let dropped = ring.total - events.len() as u64;
+        (events, dropped)
+    }
+}
+
+/// One worker's events as captured by [`Tracer::snapshot`] — the input shape
+/// of the chrome exporter.
+#[derive(Clone, Debug)]
+pub struct WorkerTrace {
+    /// Place id (chrome-trace `pid`).
+    pub place: u32,
+    /// Worker index within the place (chrome-trace `tid`).
+    pub worker: u32,
+    /// Buffered events, oldest first (push order; span events carry their
+    /// start timestamp, so this is not strictly `ts_ns`-sorted).
+    pub events: Vec<Event>,
+    /// Events lost to ring overwrite on this buffer.
+    pub dropped: u64,
+}
+
+/// The per-runtime trace collector: owns the shared epoch and enable flag,
+/// hands out per-worker [`TraceBuf`]s, and snapshots them for export.
+pub struct Tracer {
+    shared: Arc<Shared>,
+    capacity: usize,
+    bufs: Mutex<Vec<Arc<TraceBuf>>>,
+}
+
+impl Tracer {
+    /// A tracer whose rings hold `capacity` events each (clamped to ≥ 16).
+    pub fn new(capacity: usize, enabled: bool) -> Self {
+        Tracer {
+            shared: Arc::new(Shared {
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                dropped: AtomicU64::new(0),
+            }),
+            capacity: capacity.max(16),
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Is tracing currently enabled?
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn tracing on or off; takes effect at every hook's next branch.
+    pub fn set_enabled(&self, on: bool) {
+        self.shared.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Register a ring buffer for a worker of `place`. The worker index is
+    /// assigned in registration order within the place.
+    pub fn register(&self, place: u32) -> Arc<TraceBuf> {
+        let mut bufs = self.bufs.lock();
+        let worker = bufs.iter().filter(|b| b.place == place).count() as u32;
+        let buf = Arc::new(TraceBuf {
+            place,
+            worker,
+            capacity: self.capacity,
+            shared: self.shared.clone(),
+            ring: Mutex::new(Ring {
+                slots: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+        });
+        bufs.push(buf.clone());
+        buf
+    }
+
+    /// Snapshot every registered buffer (sorted by place, then worker).
+    /// Non-destructive: buffers keep accumulating afterwards.
+    pub fn snapshot(&self) -> Vec<WorkerTrace> {
+        let mut out: Vec<WorkerTrace> = self
+            .bufs
+            .lock()
+            .iter()
+            .map(|b| {
+                let (events, dropped) = b.drain_ordered();
+                WorkerTrace {
+                    place: b.place,
+                    worker: b.worker,
+                    events,
+                    dropped,
+                }
+            })
+            .collect();
+        out.sort_by_key(|t| (t.place, t.worker));
+        out
+    }
+
+    /// Total events lost to ring overwrite across all buffers.
+    pub fn total_dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_reads_no_clock() {
+        let t = Tracer::new(64, false);
+        let b = t.register(0);
+        b.instant("x", "i", 1);
+        assert!(b.span_start().is_none());
+        b.span_end(None, "x", "s", 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].events.is_empty());
+        assert_eq!(snap[0].dropped, 0);
+    }
+
+    #[test]
+    fn records_instants_and_spans() {
+        let t = Tracer::new(64, true);
+        let b = t.register(3);
+        b.instant("glb", "gift", 7);
+        let s = b.span_start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        b.span_end(s, "finish", "FINISH_DENSE", 42);
+        let snap = t.snapshot();
+        let evs = &snap[0].events;
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].cat, evs[0].kind, evs[0].arg), ("glb", "gift", 7));
+        assert_eq!(evs[0].dur_ns, 0);
+        assert_eq!(evs[1].kind, "FINISH_DENSE");
+        assert!(evs[1].dur_ns >= 1_000_000, "span shorter than the sleep");
+        // The span started after the instant was stamped.
+        assert!(evs[1].ts_ns >= evs[0].ts_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(16, true); // minimum capacity
+        let b = t.register(0);
+        for i in 0..40u64 {
+            b.instant("x", "i", i);
+        }
+        let snap = t.snapshot();
+        let args: Vec<u64> = snap[0].events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (24..40).collect::<Vec<_>>()); // newest 16, oldest first
+        assert_eq!(snap[0].dropped, 24);
+        assert_eq!(t.total_dropped(), 24);
+    }
+
+    #[test]
+    fn worker_indices_assigned_per_place() {
+        let t = Tracer::new(64, true);
+        let a0 = t.register(0);
+        let a1 = t.register(0);
+        let b0 = t.register(1);
+        assert_eq!((a0.place(), a0.worker()), (0, 0));
+        assert_eq!((a1.place(), a1.worker()), (0, 1));
+        assert_eq!((b0.place(), b0.worker()), (1, 0));
+        let snap = t.snapshot();
+        let ids: Vec<(u32, u32)> = snap.iter().map(|w| (w.place, w.worker)).collect();
+        assert_eq!(ids, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn toggle_mid_run() {
+        let t = Tracer::new(64, false);
+        let b = t.register(0);
+        b.instant("x", "off", 0);
+        t.set_enabled(true);
+        b.instant("x", "on", 0);
+        t.set_enabled(false);
+        b.instant("x", "off", 0);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].events.len(), 1);
+        assert_eq!(snap[0].events[0].kind, "on");
+    }
+
+    #[test]
+    fn span_tolerates_disable_between_start_and_end() {
+        let t = Tracer::new(64, true);
+        let b = t.register(0);
+        let s = b.span_start();
+        t.set_enabled(false);
+        b.span_end(s, "x", "s", 0); // started enabled: still recorded
+        assert_eq!(t.snapshot()[0].events.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Golden-file test of the chrome-trace exporter.
+//!
+//! The exporter is a pure function over `WorkerTrace` values, so its output
+//! for a fixed input is byte-stable; the golden file pins that down, and the
+//! `serde_json` round-trip proves the output is well-formed JSON with the
+//! structure Perfetto/about:tracing expects. Regenerate the golden file by
+//! running this test with `BLESS=1` in the environment.
+
+use obs::chrome::chrome_trace;
+use obs::trace::{Event, WorkerTrace};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/chrome_trace.json"
+);
+
+fn ev(ts_ns: u64, dur_ns: u64, cat: &'static str, kind: &'static str, arg: u64) -> Event {
+    Event {
+        ts_ns,
+        dur_ns,
+        cat,
+        kind,
+        arg,
+    }
+}
+
+/// A small fixed scene: two places, place 0 with two workers, exercising
+/// spans, instants, out-of-order span completion and a non-zero drop count.
+fn fixture() -> Vec<WorkerTrace> {
+    vec![
+        WorkerTrace {
+            place: 0,
+            worker: 0,
+            events: vec![
+                // Inner span completes first, outer second (push order is
+                // end order) — the exporter must sort by start time.
+                ev(2_000, 1_500, "finish", "FINISH_HERE", 3),
+                ev(1_000, 5_250, "finish", "FINISH_DEFAULT", 1),
+                ev(6_500, 0, "spawn", "send", 1),
+            ],
+            dropped: 0,
+        },
+        WorkerTrace {
+            place: 0,
+            worker: 1,
+            events: vec![ev(1_200, 0, "worker", "park", 0)],
+            dropped: 2,
+        },
+        WorkerTrace {
+            place: 1,
+            worker: 0,
+            events: vec![
+                ev(3_000, 800, "glb", "steal", 0),
+                ev(4_100, 0, "glb", "lifeline-arm", 3),
+                ev(4_500, 2_750, "team", "barrier", 7),
+            ],
+            dropped: 0,
+        },
+    ]
+}
+
+#[test]
+fn exporter_matches_golden_file() {
+    let json = chrome_trace(&fixture());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+        std::fs::write(GOLDEN_PATH, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    assert_eq!(
+        json, golden,
+        "chrome-trace output drifted from the golden file (BLESS=1 to re-bless)"
+    );
+}
+
+#[test]
+fn golden_output_round_trips_through_serde_json() {
+    let json = chrome_trace(&fixture());
+    let v = serde_json::from_str(&json).expect("exporter output must be valid JSON");
+    // Round-trip: serialize and re-parse to the same value tree.
+    let re = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+    assert_eq!(v, re);
+
+    // Structural checks of the trace_event shape.
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(|d| d.as_str()),
+        Some("ms")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    // 3 trace rows -> 2 process + 3 thread metadata events, plus 7 events.
+    assert_eq!(events.len(), 12);
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(matches!(ph, "M" | "X" | "i"), "unexpected phase {ph}");
+        assert!(e.get("pid").and_then(|p| p.as_u64()).is_some());
+        assert!(e.get("tid").and_then(|t| t.as_u64()).is_some());
+        match ph {
+            "X" => {
+                assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() > 0.0);
+                assert!(e.get("ts").and_then(|t| t.as_f64()).is_some());
+            }
+            "i" => {
+                assert_eq!(e.get("s").and_then(|s| s.as_str()), Some("t"));
+                assert!(e.get("dur").is_none());
+            }
+            _ => {}
+        }
+    }
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert_eq!(spans, 4);
+    // The dropped count surfaces on place 0 / worker 1's metadata.
+    let dropped = events
+        .iter()
+        .filter_map(|e| e.get("args").and_then(|a| a.get("dropped_events")))
+        .filter_map(|d| d.as_u64())
+        .collect::<Vec<_>>();
+    assert_eq!(dropped, vec![0, 2, 0]);
+}

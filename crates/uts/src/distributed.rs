@@ -1,4 +1,4 @@
-//! The distributed UTS traversal: [`bag::UtsBag`] under the lifeline
+//! The distributed UTS traversal: [`crate::bag::UtsBag`] under the lifeline
 //! balancer, with a FINISH_DENSE root finish — the paper's full §6 stack.
 
 use crate::bag::UtsBag;

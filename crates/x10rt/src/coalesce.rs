@@ -36,10 +36,19 @@
 //! a batch at pack time. Physical envelope counts always come from the
 //! transport. Toggling aggregation therefore changes envelope counts but
 //! never logical protocol counts.
+//!
+//! Every buffer drain is additionally attributed to a [`FlushReason`] —
+//! threshold-tripped (by message count or by bytes) vs explicit — readable
+//! via [`Coalescer::flush_counts`] and, when the coalescer is built
+//! [`Coalescer::with_obs`], mirrored into the observability registry. The
+//! split matters for tuning: a workload whose flushes are almost all
+//! explicit gains nothing from larger buffers, while one dominated by
+//! `ThresholdMsgs` drains may benefit from raising `max_msgs`.
 
 use crate::message::Envelope;
 use crate::place::PlaceId;
 use crate::transport::Transport;
+use obs::metrics::{Counter, MetricsRegistry};
 
 /// Default flush threshold: messages buffered per destination.
 pub const DEFAULT_MAX_MSGS: usize = 64;
@@ -51,6 +60,45 @@ pub const DEFAULT_MAX_BYTES: usize = 16 * 1024;
 struct Buf {
     envs: Vec<Envelope>,
     bytes: usize,
+}
+
+/// Why a destination buffer was drained.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The buffer reached the `max_msgs` message-count threshold.
+    ThresholdMsgs,
+    /// The buffer reached the `max_bytes` byte threshold.
+    ThresholdBytes,
+    /// An explicit [`Coalescer::flush`] / [`Coalescer::flush_dest`] call —
+    /// end of a scheduling quantum, before parking, on worker exit.
+    Explicit,
+}
+
+/// Per-reason drain counts of one coalescer (one count per non-empty buffer
+/// drained, not per message).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlushCounts {
+    /// Drains tripped by the message-count threshold.
+    pub threshold_msgs: u64,
+    /// Drains tripped by the byte threshold.
+    pub threshold_bytes: u64,
+    /// Drains from explicit flush calls.
+    pub explicit: u64,
+}
+
+impl FlushCounts {
+    /// Total drains, all reasons.
+    pub fn total(&self) -> u64 {
+        self.threshold_msgs + self.threshold_bytes + self.explicit
+    }
+}
+
+/// Resolved observability counters mirroring [`FlushCounts`] (shared across
+/// the runtime; this coalescer's shard is its owning place).
+struct FlushHooks {
+    threshold_msgs: Counter,
+    threshold_bytes: Counter,
+    explicit: Counter,
 }
 
 /// Per-sender aggregation buffers, one per destination place.
@@ -65,6 +113,10 @@ pub struct Coalescer {
     bufs: Vec<Buf>,
     /// Destinations with a non-empty buffer (so flush skips the rest).
     dirty: Vec<usize>,
+    /// Per-reason drain counts (local tally, always maintained).
+    counts: FlushCounts,
+    /// Shared observability counters (mirrored on every drain when wired).
+    hooks: Option<FlushHooks>,
 }
 
 impl Coalescer {
@@ -87,12 +139,53 @@ impl Coalescer {
             enabled,
             bufs: (0..places).map(|_| Buf::default()).collect(),
             dirty: Vec::new(),
+            counts: FlushCounts::default(),
+            hooks: None,
         }
+    }
+
+    /// Mirror every drain into the shared metrics registry (builder style):
+    /// resolves the three `coalescer.flush.*` counters once, so the hot
+    /// path stays a relaxed increment on this place's shard.
+    pub fn with_obs(mut self, metrics: &MetricsRegistry) -> Self {
+        self.hooks = Some(FlushHooks {
+            threshold_msgs: metrics.counter(obs::names::COALESCE_FLUSH_THRESHOLD_MSGS),
+            threshold_bytes: metrics.counter(obs::names::COALESCE_FLUSH_THRESHOLD_BYTES),
+            explicit: metrics.counter(obs::names::COALESCE_FLUSH_EXPLICIT),
+        });
+        self
     }
 
     /// Is aggregation active (false = pass-through)?
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Per-reason drain counts so far (threshold-tripped vs explicit).
+    pub fn flush_counts(&self) -> FlushCounts {
+        self.counts
+    }
+
+    /// Attribute one non-empty buffer drain to `reason`.
+    fn record_drain(&mut self, reason: FlushReason) {
+        let (tally, hook) = match reason {
+            FlushReason::ThresholdMsgs => (
+                &mut self.counts.threshold_msgs,
+                self.hooks.as_ref().map(|h| &h.threshold_msgs),
+            ),
+            FlushReason::ThresholdBytes => (
+                &mut self.counts.threshold_bytes,
+                self.hooks.as_ref().map(|h| &h.threshold_bytes),
+            ),
+            FlushReason::Explicit => (
+                &mut self.counts.explicit,
+                self.hooks.as_ref().map(|h| &h.explicit),
+            ),
+        };
+        *tally += 1;
+        if let Some(c) = hook {
+            c.inc(self.from.0);
+        }
     }
 
     /// Route one outgoing message: buffer it (flushing its destination if a
@@ -110,13 +203,20 @@ impl Coalescer {
         }
         buf.bytes += env.bytes;
         buf.envs.push(env);
-        if buf.envs.len() >= self.max_msgs || buf.bytes >= self.max_bytes {
-            self.flush_dest(transport, dest);
+        if buf.envs.len() >= self.max_msgs {
+            self.flush_dest_reason(transport, dest, FlushReason::ThresholdMsgs);
+        } else if buf.bytes >= self.max_bytes {
+            self.flush_dest_reason(transport, dest, FlushReason::ThresholdBytes);
         }
     }
 
-    /// Drain one destination's buffer onto the transport.
+    /// Drain one destination's buffer onto the transport (an explicit flush
+    /// for the reason accounting).
     pub fn flush_dest(&mut self, transport: &dyn Transport, dest: usize) {
+        self.flush_dest_reason(transport, dest, FlushReason::Explicit);
+    }
+
+    fn flush_dest_reason(&mut self, transport: &dyn Transport, dest: usize, reason: FlushReason) {
         let buf = &mut self.bufs[dest];
         if buf.envs.is_empty() {
             return;
@@ -126,18 +226,21 @@ impl Coalescer {
         if let Some(pos) = self.dirty.iter().position(|&d| d == dest) {
             self.dirty.swap_remove(pos);
         }
+        self.record_drain(reason);
         emit(transport, self.from, PlaceId(dest as u32), envs);
     }
 
     /// Drain every non-empty buffer onto the transport. Must run at every
     /// point where the owner stops producing sends (end of a scheduling
-    /// quantum, before parking, on exit) — see the module docs.
+    /// quantum, before parking, on exit) — see the module docs. Each
+    /// destination drained counts as one [`FlushReason::Explicit`] drain.
     pub fn flush(&mut self, transport: &dyn Transport) {
         while let Some(dest) = self.dirty.pop() {
             let buf = &mut self.bufs[dest];
             let envs = std::mem::take(&mut buf.envs);
             buf.bytes = 0;
             if !envs.is_empty() {
+                self.record_drain(FlushReason::Explicit);
                 emit(transport, self.from, PlaceId(dest as u32), envs);
             }
         }
@@ -295,6 +398,84 @@ mod tests {
         let physical = t.stats().envelope_bytes();
         // 10 logical headers collapse into 1 physical header.
         assert_eq!(logical - physical, 9 * HEADER_BYTES as u64);
+    }
+
+    #[test]
+    fn flush_reasons_attributed() {
+        let t = LocalTransport::new(3);
+        let mut c = Coalescer::new(PlaceId(0), 3, 4, 1 << 20, true);
+        // Four messages to place 1: message-count threshold trips once.
+        for i in 0..4u64 {
+            c.send(&t, env(1, i));
+        }
+        // Two messages to place 2 left buffered: one explicit drain.
+        c.send(&t, env(2, 4));
+        c.send(&t, env(2, 5));
+        c.flush(&t);
+        assert_eq!(
+            c.flush_counts(),
+            FlushCounts {
+                threshold_msgs: 1,
+                threshold_bytes: 0,
+                explicit: 1,
+            }
+        );
+        assert_eq!(c.flush_counts().total(), 2);
+        // Byte threshold next (count threshold out of reach).
+        let per_msg = 8 + HEADER_BYTES;
+        let mut c = Coalescer::new(PlaceId(0), 3, 1024, 2 * per_msg, true);
+        c.send(&t, env(1, 0));
+        c.send(&t, env(1, 1));
+        assert_eq!(c.flush_counts().threshold_bytes, 1);
+        // Empty flushes attribute nothing.
+        c.flush(&t);
+        c.flush_dest(&t, 1);
+        assert_eq!(c.flush_counts().total(), 1);
+    }
+
+    #[test]
+    fn count_threshold_wins_reason_tie() {
+        // A message that crosses both thresholds at once is attributed to
+        // the message-count check (it is evaluated first).
+        let t = LocalTransport::new(2);
+        let per_msg = 8 + HEADER_BYTES;
+        let mut c = Coalescer::new(PlaceId(0), 2, 2, 2 * per_msg, true);
+        c.send(&t, env(1, 0));
+        c.send(&t, env(1, 1));
+        assert_eq!(
+            c.flush_counts(),
+            FlushCounts {
+                threshold_msgs: 1,
+                threshold_bytes: 0,
+                explicit: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn obs_counters_mirror_flush_reasons() {
+        let metrics = obs::MetricsRegistry::new(2);
+        let t = LocalTransport::new(3);
+        let mut c = Coalescer::new(PlaceId(1), 3, 2, 1 << 20, true).with_obs(&metrics);
+        c.send(&t, env_from(1, 2, 0));
+        c.send(&t, env_from(1, 2, 1)); // trips max_msgs
+        c.send(&t, env_from(1, 2, 2));
+        c.flush(&t); // explicit
+        let snap = metrics.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get(obs::names::COALESCE_FLUSH_THRESHOLD_MSGS), 1);
+        assert_eq!(get(obs::names::COALESCE_FLUSH_THRESHOLD_BYTES), 0);
+        assert_eq!(get(obs::names::COALESCE_FLUSH_EXPLICIT), 1);
+    }
+
+    fn env_from(from: u32, to: u32, tag: u64) -> Envelope {
+        Envelope::new(PlaceId(from), PlaceId(to), MsgClass::Task, 8, Box::new(tag))
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //!   places per Power 775 octant; `FINISH_DENSE` routes control messages via
 //!   per-host master places).
 
+#![warn(missing_docs)]
+
 pub mod coalesce;
 pub mod congruent;
 pub mod message;
@@ -40,7 +42,7 @@ pub mod segment;
 pub mod stats;
 pub mod transport;
 
-pub use coalesce::Coalescer;
+pub use coalesce::{Coalescer, FlushCounts, FlushReason};
 pub use congruent::{CongruentAllocator, CongruentArray, Pod};
 pub use message::{BatchPayload, Envelope, MsgClass, Payload, HEADER_BYTES};
 pub use place::{PlaceId, Topology};

@@ -13,7 +13,9 @@
 //! * [`uts`] — the Unbalanced Tree Search benchmark (§6);
 //! * [`kernels`] — HPL, FFT, RandomAccess, Stream, K-Means,
 //!   Smith-Waterman, Betweenness Centrality (§5, §7);
-//! * [`p775`] — the Power 775 machine/interconnect model (§4).
+//! * [`p775`] — the Power 775 machine/interconnect model (§4);
+//! * [`obs`] — the observability layer: metrics registry, event tracing,
+//!   chrome-trace export (see OBSERVABILITY.md).
 //!
 //! Start with the `quickstart` example (`cargo run --release --example
 //! quickstart`), then see DESIGN.md for the system inventory and
@@ -23,6 +25,7 @@
 pub use apgas;
 pub use glb;
 pub use kernels;
+pub use obs;
 pub use p775;
 pub use uts;
 pub use x10rt;

@@ -1,0 +1,111 @@
+//! End-to-end observability: a traced UTS run at 8 places must yield a
+//! parseable chrome trace containing finish spans and GLB steal events,
+//! populated metrics — and a runtime built with `obs_disable` must carry no
+//! observability state at all.
+
+use apgas::{Config, Runtime};
+use serde_json::Value;
+
+/// Run UTS under the lifeline GLB on `rt` and return the traversed nodes.
+fn run_uts(rt: &Runtime) -> u64 {
+    let tree = uts::GeoTree::paper(6);
+    rt.run(move |ctx| {
+        uts::run_distributed(ctx, tree, glb::GlbConfig::default())
+            .stats
+            .nodes
+    })
+}
+
+#[test]
+fn traced_uts_exports_finish_spans_and_glb_events() {
+    let rt = Runtime::new(Config::new(8).trace_enable(true));
+    let nodes = run_uts(&rt);
+    assert!(nodes > 0);
+
+    let chrome = rt.chrome_trace_json().expect("observability is on");
+    let doc = serde_json::from_str(&chrome).expect("exporter emits valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let cat_of = |e: &Value| e.get("cat").and_then(Value::as_str).map(str::to_owned);
+    let ph_of = |e: &Value| e.get("ph").and_then(Value::as_str).map(str::to_owned);
+    // Finish spans: complete ("X") events in the finish category, labeled
+    // with the protocol kind.
+    assert!(
+        events.iter().any(|e| {
+            ph_of(e).as_deref() == Some("X")
+                && cat_of(e).as_deref() == Some("finish")
+                && e.get("name")
+                    .and_then(Value::as_str)
+                    .is_some_and(|n| n.starts_with("FINISH_"))
+        }),
+        "no finish spans in the trace"
+    );
+    // GLB activity: steal rounds, lifeline arms, gifts or deaths.
+    assert!(
+        events.iter().any(|e| cat_of(e).as_deref() == Some("glb")),
+        "no GLB events in the trace"
+    );
+    // Every event carries the pid/tid/ts identity fields Perfetto needs.
+    for e in events {
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("tid").and_then(Value::as_u64).is_some());
+        if ph_of(e).as_deref() != Some("M") {
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+        }
+    }
+}
+
+#[test]
+fn metrics_populated_by_uts_run() {
+    let rt = Runtime::new(Config::new(8));
+    run_uts(&rt);
+    let json = rt.metrics_json().expect("metrics are on by default");
+    let doc = serde_json::from_str(&json).expect("metrics JSON parses");
+    let counters = doc
+        .get("counters")
+        .and_then(Value::as_object)
+        .expect("counters object");
+    let get = |name: &str| {
+        counters
+            .get(name)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert!(get(obs::names::SPAWN_REMOTE_SENT) > 0);
+    assert_eq!(
+        get(obs::names::SPAWN_REMOTE_SENT),
+        get(obs::names::SPAWN_REMOTE_RECV)
+    );
+    assert!(get(obs::names::FINISH_CTL_MSGS) > 0);
+    assert!(get(obs::names::WORKER_ACTIVITIES) > 0);
+    // Every place's balancer dies at least once for the run to terminate.
+    assert!(get(obs::names::GLB_DEATHS) >= 8);
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get(obs::names::MAILBOX_DRAIN_DEPTH))
+        .expect("drain-depth histogram");
+    assert!(hist.get("total").and_then(Value::as_u64).unwrap() > 0);
+}
+
+#[test]
+fn trace_disabled_by_default_records_no_events() {
+    let rt = Runtime::new(Config::new(4));
+    run_uts(&rt);
+    let obs = rt.obs().expect("metrics on by default");
+    assert!(!obs.tracer.enabled());
+    let total: usize = obs.tracer.snapshot().iter().map(|w| w.events.len()).sum();
+    assert_eq!(total, 0, "tracing off must record nothing");
+}
+
+#[test]
+fn obs_disable_strips_all_observability_state() {
+    let rt = Runtime::new(Config::new(4).obs_disable(true));
+    run_uts(&rt);
+    assert!(rt.obs().is_none());
+    assert!(rt.metrics_json().is_none());
+    assert!(rt.chrome_trace_json().is_none());
+}
