@@ -49,6 +49,21 @@ pub struct Config {
     /// Build the runtime with no observability state at all: hooks compile
     /// to a branch on a `None` — the overhead-ablation baseline.
     pub obs_disable: bool,
+    /// Wrap the transport in an [`x10rt::FaultTransport`] governed by this
+    /// plan (chaos testing). `None` — the default — uses the bare transport
+    /// with zero added overhead.
+    pub fault_plan: Option<x10rt::FaultPlan>,
+    /// How long a worker's coalescer retries transiently-rejected flushes
+    /// (exponential backoff) before giving up with a typed timeout. Only
+    /// reachable when the transport can reject sends, i.e. under a fault
+    /// plan.
+    pub send_timeout: Duration,
+    /// Liveness watchdog for `finish`: if termination detection makes no
+    /// protocol progress for this long after the body returns, the finish
+    /// aborts with [`crate::ApgasError::DeadPlace`] instead of hanging.
+    /// `None` — the default — waits forever (the fault-free configuration
+    /// never needs it and pays nothing for it).
+    pub finish_watchdog: Option<Duration>,
 }
 
 impl Config {
@@ -66,6 +81,9 @@ impl Config {
             trace_enable: false,
             trace_buffer_events: obs::trace::DEFAULT_BUFFER_EVENTS,
             obs_disable: false,
+            fault_plan: None,
+            send_timeout: x10rt::coalesce::DEFAULT_SEND_TIMEOUT,
+            finish_watchdog: None,
         }
     }
 
@@ -122,6 +140,26 @@ impl Config {
         self.obs_disable = disable;
         self
     }
+
+    /// Inject faults according to `plan` (builder style) — chaos testing.
+    pub fn fault_plan(mut self, plan: x10rt::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the coalescer retry budget for transiently-rejected sends
+    /// (builder style).
+    pub fn send_timeout(mut self, t: Duration) -> Self {
+        self.send_timeout = t;
+        self
+    }
+
+    /// Enable the finish liveness watchdog with the given stall limit
+    /// (builder style).
+    pub fn finish_watchdog(mut self, limit: Duration) -> Self {
+        self.finish_watchdog = Some(limit);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +178,9 @@ mod tests {
         assert!(!c.trace_enable, "tracing is opt-in");
         assert!(!c.obs_disable, "metrics are on by default");
         assert_eq!(c.trace_buffer_events, 65_536);
+        assert!(c.fault_plan.is_none(), "fault injection is opt-in");
+        assert_eq!(c.send_timeout, Duration::from_millis(5));
+        assert!(c.finish_watchdog.is_none(), "watchdog is opt-in");
     }
 
     #[test]
@@ -158,6 +199,17 @@ mod tests {
         assert_eq!(c.batch_max_msgs, 8);
         assert_eq!(c.batch_max_bytes, 512);
         assert!(c.batch_disable);
+    }
+
+    #[test]
+    fn fault_builders() {
+        let c = Config::new(4)
+            .fault_plan(x10rt::FaultPlan::new(7).kill_place(x10rt::PlaceId(2), 100))
+            .send_timeout(Duration::from_millis(50))
+            .finish_watchdog(Duration::from_secs(2));
+        assert_eq!(c.fault_plan.as_ref().unwrap().seed, 7);
+        assert_eq!(c.send_timeout, Duration::from_millis(50));
+        assert_eq!(c.finish_watchdog, Some(Duration::from_secs(2)));
     }
 
     #[test]

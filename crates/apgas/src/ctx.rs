@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use x10rt::{CongruentArray, MsgClass, NetStats, PlaceId, Pod, SegmentTable, Topology, Transport};
+use x10rt::{CongruentArray, MsgClass, NetStats, PlaceId, Pod, SegmentTable, Topology};
 
 struct Scope {
     fin: FinishRef,
@@ -98,6 +98,18 @@ impl<'w> Ctx<'w> {
     /// A fresh runtime-unique identifier (teams, clocks, global refs).
     pub fn next_global_id(&self) -> u64 {
         self.worker.g.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Does the transport report place `p` dead (fault injection)? Always
+    /// `false` in fault-free operation. GLB consults this to skip dead
+    /// steal victims and re-route lifelines.
+    pub fn place_dead(&self, p: PlaceId) -> bool {
+        self.worker.g.transport.is_dead(p)
+    }
+
+    /// Places the transport currently reports dead.
+    pub fn dead_places(&self) -> Vec<PlaceId> {
+        self.worker.g.transport.dead_places()
     }
 
     /// The runtime's observability state (metrics + tracer), unless the
@@ -314,7 +326,21 @@ impl<'w> Ctx<'w> {
         let result = catch_unwind(AssertUnwindSafe(|| body(self)));
         self.scopes.borrow_mut().pop();
         root.set_body_done();
-        self.worker.wait_until(&|| root.is_done());
+        match self.worker.g.cfg.finish_watchdog {
+            None => self.worker.wait_until(&|| root.is_done()),
+            Some(limit) => {
+                if let Err(err) = self.worker.wait_root_watchdog(&root, limit) {
+                    // Abandon the scope: deregister the root so straggling
+                    // control traffic is counted as stray instead of being
+                    // applied to a dead scope, then surface the typed error.
+                    self.worker.place.roots.lock().remove(&seq);
+                    if let Some(t) = self.worker.trace() {
+                        t.span_end(span, "finish", kind.label(), seq);
+                    }
+                    std::panic::panic_any(err);
+                }
+            }
+        }
         self.worker.place.roots.lock().remove(&seq);
         if let Some(t) = self.worker.trace() {
             t.span_end(span, "finish", kind.label(), seq);
@@ -323,8 +349,11 @@ impl<'w> Ctx<'w> {
         match result {
             Err(e) => resume_unwind(e),
             Ok(r) if panics.is_empty() => r,
+            // No trailing bracket after the joined messages: a dead-place
+            // marker scan recovers everything after the marker as the error
+            // detail, and a wrapper bracket would be glued onto it.
             Ok(_) => panic!(
-                "finish: {} governed activit{} panicked: [{}]",
+                "finish: {} governed activit{} panicked: {}",
                 panics.len(),
                 if panics.len() == 1 { "y" } else { "ies" },
                 panics.join("; ")

@@ -1,0 +1,117 @@
+//! Typed runtime errors for graceful degradation under faults.
+//!
+//! The APGAS layer deliberately keeps its happy path panic-free-by-design:
+//! protocol bugs panic, user panics propagate through `finish` as X10
+//! `MultipleExceptions`. Faults are different — a killed place is an
+//! *environmental* condition the program may want to observe and survive.
+//! [`ApgasError`] is the typed surface for that: the finish liveness
+//! watchdog raises it (via `panic_any`) when termination detection stalls
+//! with no protocol progress, and [`crate::Runtime::run_checked`] catches it
+//! at the outermost boundary and returns it as an `Err` instead of
+//! re-panicking.
+//!
+//! Because governed-activity panics cross places as *strings* (panic
+//! payloads are not serializable in general), a dead-place error that
+//! travels through a remote finish is re-identified by the
+//! [`DEAD_PLACE_MARKER`] prefix embedded in its `Display` output. Both the
+//! payload downcast and the marker scan live in [`ApgasError::from_panic`].
+
+use std::fmt;
+
+/// Marker embedded in every [`ApgasError::DeadPlace`] message so the error
+/// survives stringification across place boundaries (panic strings are the
+/// only panic payloads that cross the wire).
+pub const DEAD_PLACE_MARKER: &str = "[apgas::dead-place]";
+
+/// A typed runtime fault surfaced to the caller instead of a hang or an
+/// opaque panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApgasError {
+    /// A finish protocol stalled because one or more places died (or the
+    /// transport reported a terminal send failure). `detail` describes the
+    /// stalled protocol and the dead places known at detection time.
+    DeadPlace {
+        /// Human-readable context: which finish kind stalled, where, and
+        /// which places the transport reports dead.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ApgasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApgasError::DeadPlace { detail } => {
+                write!(f, "{DEAD_PLACE_MARKER} {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApgasError {}
+
+impl ApgasError {
+    /// Recover a typed error from a panic payload: either the payload *is*
+    /// an `ApgasError` (raised locally via `panic_any`), or it is a string
+    /// that carries the [`DEAD_PLACE_MARKER`] (the error crossed a place
+    /// boundary inside a governed-activity panic message). Returns `None`
+    /// for ordinary panics.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Option<ApgasError> {
+        if let Some(e) = payload.downcast_ref::<ApgasError>() {
+            return Some(e.clone());
+        }
+        let s = if let Some(s) = payload.downcast_ref::<&str>() {
+            *s
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            return None;
+        };
+        if let Some(pos) = s.find(DEAD_PLACE_MARKER) {
+            let detail = s[pos + DEAD_PLACE_MARKER.len()..].trim_start().to_string();
+            return Some(ApgasError::DeadPlace { detail });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_marker() {
+        let e = ApgasError::DeadPlace {
+            detail: "finish[default] stalled".into(),
+        };
+        assert!(e.to_string().starts_with(DEAD_PLACE_MARKER));
+    }
+
+    #[test]
+    fn from_panic_downcasts_typed_payload() {
+        let e = ApgasError::DeadPlace { detail: "x".into() };
+        let payload: Box<dyn std::any::Any + Send> = Box::new(e.clone());
+        assert_eq!(ApgasError::from_panic(&*payload), Some(e));
+    }
+
+    #[test]
+    fn from_panic_recovers_marker_from_strings() {
+        let original = ApgasError::DeadPlace {
+            detail: "finish[spmd] stalled; dead: [3]".into(),
+        };
+        // Simulate a remote governed-activity panic: the error is
+        // stringified, wrapped by the finish panic message, and re-raised.
+        let wrapped: Box<dyn std::any::Any + Send> =
+            Box::new(format!("finish: 1 governed activity panicked: {original}"));
+        let got = ApgasError::from_panic(&*wrapped).expect("marker must be found");
+        let ApgasError::DeadPlace { detail } = got;
+        assert_eq!(detail, "finish[spmd] stalled; dead: [3]");
+    }
+
+    #[test]
+    fn from_panic_ignores_ordinary_panics() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("index out of bounds");
+        assert_eq!(ApgasError::from_panic(&*payload), None);
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(ApgasError::from_panic(&*payload), None);
+    }
+}

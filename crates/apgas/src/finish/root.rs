@@ -28,7 +28,7 @@
 use super::{Deltas, FinishId, FinishKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Root-side termination-detection state for one `finish` block.
 pub struct RootState {
@@ -38,6 +38,11 @@ pub struct RootState {
     pub id: FinishId,
     inner: Mutex<Inner>,
     done: AtomicBool,
+    /// Count of accounting events applied to this root, in any protocol —
+    /// the liveness signal the finish watchdog watches: as long as this
+    /// advances, termination detection is making progress and the watchdog
+    /// deadline keeps being extended.
+    events: AtomicU64,
 }
 
 #[derive(Default)]
@@ -92,6 +97,7 @@ impl RootState {
             id,
             inner: Mutex::new(Inner::default()),
             done: AtomicBool::new(false),
+            events: AtomicU64::new(0),
         }
     }
 
@@ -99,6 +105,18 @@ impl RootState {
     #[inline]
     pub fn is_done(&self) -> bool {
         self.done.load(Ordering::Acquire)
+    }
+
+    /// Number of accounting events applied so far (watchdog liveness
+    /// signal).
+    #[inline]
+    pub fn progress_events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn progressed(&self) {
+        self.events.fetch_add(1, Ordering::Relaxed);
     }
 
     fn check(&self, g: &Inner) {
@@ -130,6 +148,7 @@ impl RootState {
 
     /// The body spawned an activity at the home place.
     pub fn note_local_spawn(&self, home: u32) {
+        self.progressed();
         let mut g = self.inner.lock();
         g.total_spawns += 1;
         self.enforce_async_arity(&g);
@@ -146,6 +165,7 @@ impl RootState {
 
     /// A body-local (home) activity completed.
     pub fn note_local_death(&self, home: u32, panic: Option<String>) {
+        self.progressed();
         let mut g = self.inner.lock();
         if let Some(p) = panic {
             g.panics.push(p);
@@ -168,6 +188,7 @@ impl RootState {
     /// The home place spawned an activity to remote place `dst`.
     /// Returns the credit the activity must carry (FINISH_HERE only).
     pub fn note_remote_spawn(&self, home: u32, dst: u32) -> u64 {
+        self.progressed();
         let mut g = self.inner.lock();
         g.total_spawns += 1;
         self.enforce_async_arity(&g);
@@ -198,6 +219,7 @@ impl RootState {
     /// An activity governed by this finish arrived at the home place from
     /// `src` (default/dense bookkeeping; weighted arrivals report at death).
     pub fn note_home_receive(&self, home: u32, src: u32) {
+        self.progressed();
         let mut g = self.inner.lock();
         match self.kind {
             FinishKind::Default | FinishKind::Dense => {
@@ -218,6 +240,7 @@ impl RootState {
 
     /// A weighted (FINISH_HERE) activity died at the home place.
     pub fn note_home_weighted_death(&self, weight: u64, panic: Option<String>) {
+        self.progressed();
         let mut g = self.inner.lock();
         if let Some(p) = panic {
             g.panics.push(p);
@@ -228,6 +251,7 @@ impl RootState {
 
     /// Apply a coalesced (possibly hop-merged) delta flush (default/dense).
     pub fn apply_deltas(&self, deltas: Deltas) {
+        self.progressed();
         let mut g = self.inner.lock();
         let Inner {
             matrix,
@@ -253,6 +277,7 @@ impl RootState {
     /// Apply an SPMD/Async done-message acknowledging `completions` received
     /// activities.
     pub fn apply_done(&self, completions: u64, panics: Vec<String>) {
+        self.progressed();
         let mut g = self.inner.lock();
         g.completed_remote += completions;
         g.panics.extend(panics);
@@ -266,6 +291,7 @@ impl RootState {
 
     /// Apply a returned credit (FINISH_HERE).
     pub fn apply_credit(&self, weight: u64, panic: Option<String>) {
+        self.progressed();
         let mut g = self.inner.lock();
         if let Some(p) = panic {
             g.panics.push(p);
@@ -277,6 +303,7 @@ impl RootState {
 
     /// The finish body returned; termination may now be declared.
     pub fn set_body_done(&self) {
+        self.progressed();
         let mut g = self.inner.lock();
         g.body_done = true;
         self.check(&g);

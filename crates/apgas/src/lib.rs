@@ -47,6 +47,7 @@
 pub mod clock;
 pub mod config;
 pub mod ctx;
+pub mod error;
 pub mod finish;
 pub mod global_ref;
 pub mod place_group;
@@ -59,13 +60,14 @@ pub(crate) mod worker;
 pub use clock::Clock;
 pub use config::Config;
 pub use ctx::Ctx;
+pub use error::ApgasError;
 pub use finish::FinishKind;
 pub use global_ref::{GlobalRef, PlaceLocalHandle};
 pub use place_group::PlaceGroup;
 pub use rail::GlobalRail;
 pub use runtime::Runtime;
 pub use team::{Team, TeamOp};
-pub use x10rt::{MsgClass, PlaceId, Topology};
+pub use x10rt::{ClassFaults, FaultEvent, FaultPlan, MsgClass, PlaceId, Topology};
 
 /// Run `body` as the main activity of a fresh runtime with `cfg` and return
 /// its result. Convenience for examples and tests; reuse a [`Runtime`] when

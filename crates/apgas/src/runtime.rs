@@ -2,6 +2,7 @@
 
 use crate::config::Config;
 use crate::ctx::Ctx;
+use crate::error::ApgasError;
 use crate::finish::Attach;
 use crate::place_state::{Activity, PlaceState};
 use crate::worker::{TaskFn, Worker};
@@ -12,7 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use x10rt::{
-    CongruentAllocator, LocalTransport, NetStats, PlaceId, SegmentTable, Topology, Transport,
+    CongruentAllocator, FaultCounts, FaultTransport, LocalTransport, NetStats, PlaceId,
+    SegmentTable, Topology, Transport,
 };
 
 /// Shared state of one runtime instance (places, transport, allocators).
@@ -21,8 +23,13 @@ pub struct Global {
     pub cfg: Config,
     /// Place→host topology.
     pub topo: Topology,
-    /// The transport connecting all places.
-    pub transport: Arc<LocalTransport>,
+    /// The transport connecting all places. The bare [`LocalTransport`]
+    /// normally; a [`FaultTransport`] decorating it when the configuration
+    /// carries a fault plan.
+    pub transport: Arc<dyn Transport>,
+    /// The fault-injection decorator, when one is installed (same object as
+    /// [`Global::transport`], kept concretely typed for fault accounting).
+    pub fault: Option<Arc<FaultTransport>>,
     /// Per-place state, indexed by place id.
     pub places: Vec<Arc<PlaceState>>,
     /// Registered-segment table (RDMA).
@@ -57,15 +64,6 @@ impl Runtime {
         assert!(cfg.places > 0, "need at least one place");
         assert!(cfg.places <= u32::MAX as usize, "place ids are 32-bit");
         let topo = Topology::new(cfg.places, cfg.places_per_host);
-        let transport = Arc::new(LocalTransport::new(cfg.places));
-        let places: Vec<Arc<PlaceState>> = (0..cfg.places)
-            .map(|i| Arc::new(PlaceState::new(PlaceId(i as u32))))
-            .collect();
-        for p in &places {
-            let ps = p.clone();
-            transport.register_waker(p.id, Arc::new(move || ps.wake()));
-        }
-        let seg_table = Arc::new(SegmentTable::new());
         let obs = if cfg.obs_disable {
             None
         } else {
@@ -75,10 +73,32 @@ impl Runtime {
                 cfg.trace_buffer_events,
             ))
         };
+        let base = Arc::new(LocalTransport::new(cfg.places));
+        let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultTransport>>) =
+            match &cfg.fault_plan {
+                None => (base, None),
+                Some(plan) => {
+                    let mut ft = FaultTransport::new(base, plan.clone());
+                    if let Some(o) = &obs {
+                        ft = ft.with_obs(&o.metrics);
+                    }
+                    let ft = Arc::new(ft);
+                    (ft.clone(), Some(ft))
+                }
+            };
+        let places: Vec<Arc<PlaceState>> = (0..cfg.places)
+            .map(|i| Arc::new(PlaceState::new(PlaceId(i as u32))))
+            .collect();
+        for p in &places {
+            let ps = p.clone();
+            transport.register_waker(p.id, Arc::new(move || ps.wake()));
+        }
+        let seg_table = Arc::new(SegmentTable::new());
         let g = Arc::new(Global {
             congruent: CongruentAllocator::new(cfg.places, seg_table.clone()),
             topo,
             transport,
+            fault,
             places,
             seg_table,
             shutdown: AtomicBool::new(false),
@@ -128,6 +148,56 @@ impl Runtime {
             Ok(r) => r,
             Err(e) => resume_unwind(e),
         }
+    }
+
+    /// Like [`Runtime::run`], but fault-aware: a typed [`ApgasError`]
+    /// raised by the runtime (e.g. the finish liveness watchdog detecting a
+    /// dead place) is returned as an `Err` instead of propagating as a
+    /// panic. Ordinary (user) panics still propagate.
+    pub fn run_checked<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&Ctx) -> R + Send + 'static,
+    ) -> Result<R, ApgasError> {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let body: TaskFn = Box::new(move |ctx: &Ctx| {
+            let result = catch_unwind(AssertUnwindSafe(|| ctx.finish(|c| f(c))));
+            let _ = tx.send(result);
+        });
+        self.g.places[0].enqueue(Activity {
+            body,
+            attach: Attach::Uncounted,
+        });
+        match rx.recv().expect("runtime workers terminated unexpectedly") {
+            Ok(r) => Ok(r),
+            Err(e) => match ApgasError::from_panic(&*e) {
+                Some(err) => Err(err),
+                None => resume_unwind(e),
+            },
+        }
+    }
+
+    /// Kill `place`: its mailbox black-holes, and sends to or from it fail
+    /// with [`x10rt::TransportError::PlaceDead`]. Irreversible for the life
+    /// of this runtime. The victim's worker threads keep running (they just
+    /// lose all connectivity), mirroring a network-partitioned node.
+    pub fn kill_place(&self, place: PlaceId) {
+        self.g.transport.kill_place(place);
+        // Wake everyone: waiters must notice the changed world and let the
+        // watchdog (if armed) observe the stall.
+        for p in &self.g.places {
+            p.wake();
+        }
+    }
+
+    /// Places the transport currently reports dead.
+    pub fn dead_places(&self) -> Vec<PlaceId> {
+        self.g.transport.dead_places()
+    }
+
+    /// Running totals of injected faults, when the runtime was built with a
+    /// fault plan.
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.g.fault.as_ref().map(|f| f.fault_counts())
     }
 
     /// Number of places.

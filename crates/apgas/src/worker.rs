@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use x10rt::{Coalescer, Envelope, MsgClass, PlaceId, Transport};
+use x10rt::{Coalescer, Envelope, MsgClass, PlaceId};
 
 /// The closure type of an activity body.
 pub type TaskFn = Box<dyn FnOnce(&Ctx) + Send + 'static>;
@@ -76,6 +76,9 @@ struct WorkerHooks {
     parks: Counter,
     activities: Counter,
     drain_depth: Histogram,
+    send_failed: Counter,
+    stray_ctl: Counter,
+    watchdog_fired: Counter,
 }
 
 /// Idle quanta a worker spends yielding the CPU before it takes the condvar
@@ -85,9 +88,13 @@ struct WorkerHooks {
 /// trip per burst, which dominates on oversubscribed hosts.
 const PARK_SPIN_YIELDS: u32 = 8;
 
-/// Convert a panic payload into a printable message.
+/// Convert a panic payload into a printable message. Typed runtime errors
+/// stringify through their `Display`, which embeds the dead-place marker so
+/// [`crate::ApgasError::from_panic`] can recover them after a place hop.
 pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = e.downcast_ref::<&str>() {
+    if let Some(err) = e.downcast_ref::<crate::error::ApgasError>() {
+        err.to_string()
+    } else if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
         s.clone()
@@ -111,6 +118,7 @@ impl Worker {
         if let Some(o) = g.obs.as_ref() {
             coalescer = coalescer.with_obs(&o.metrics);
         }
+        coalescer = coalescer.with_send_timeout(g.cfg.send_timeout);
         let hooks = g.obs.as_ref().map(|o| WorkerHooks {
             trace: o.tracer.register(here.0),
             finish_ctl_msgs: o.metrics.counter(obs::names::FINISH_CTL_MSGS),
@@ -122,6 +130,9 @@ impl Worker {
                 obs::names::MAILBOX_DRAIN_DEPTH,
                 obs::names::MAILBOX_DRAIN_BOUNDS,
             ),
+            send_failed: o.metrics.counter(obs::names::TRANSPORT_SEND_FAILED),
+            stray_ctl: o.metrics.counter(obs::names::FINISH_STRAY_CTL),
+            watchdog_fired: o.metrics.counter(obs::names::FINISH_WATCHDOG_FIRED),
         });
         Worker {
             g,
@@ -177,7 +188,9 @@ impl Worker {
 
     /// Drain this worker's aggregation buffers onto the transport.
     pub fn flush_sends(&self) {
-        self.coalescer.borrow_mut().flush(&*self.g.transport);
+        if let Err(e) = self.coalescer.borrow_mut().flush(&*self.g.transport) {
+            self.note_send_failure(&e);
+        }
     }
 
     /// Route an outgoing envelope through the aggregation buffers (or
@@ -185,16 +198,89 @@ impl Worker {
     /// from this worker thread must go through here — a bypass would let
     /// messages overtake buffered ones and break per-pair FIFO.
     pub(crate) fn send_env(&self, env: Envelope) {
-        self.coalescer.borrow_mut().send(&*self.g.transport, env);
+        if let Err(e) = self.coalescer.borrow_mut().send(&*self.g.transport, env) {
+            self.note_send_failure(&e);
+        }
+    }
+
+    /// Account for messages the transport refused or destroyed (dead
+    /// destination, retry budget exhausted). The messages are gone; the
+    /// protocols above degrade via the finish watchdog and GLB's
+    /// dead-victim handling rather than by blocking here.
+    fn note_send_failure(&self, e: &x10rt::SendError) {
+        if let Some(h) = &self.hooks {
+            h.send_failed.add(self.here.0, e.affected() as u64);
+            h.trace
+                .instant("transport", "send_failed", e.place().0 as u64);
+        }
     }
 
     /// Help-first wait: keep the place making progress until `cond` holds.
+    ///
+    /// If the runtime begins shutting down while the condition is still
+    /// unsatisfiable (possible only when a fault killed the peer that would
+    /// have satisfied it), the wait aborts by panicking so the worker thread
+    /// can unwind out of the blocked activity and join; a hang here would
+    /// deadlock `Runtime::drop`.
     pub fn wait_until(&self, cond: &dyn Fn() -> bool) {
         while !cond() {
+            if self.g.shutdown.load(Ordering::Acquire) {
+                panic!(
+                    "wait at {} aborted: runtime shutting down before the condition held",
+                    self.here
+                );
+            }
             if !self.run_one() {
                 self.park_brief();
             }
         }
+    }
+
+    /// [`Worker::wait_until`]`(root.is_done())` with a liveness watchdog:
+    /// if the root's protocol makes no progress (no accounting event at
+    /// all) for `limit`, give up and surface a typed dead-place error. Any
+    /// progress event extends the deadline, so slow-but-live protocols are
+    /// never aborted; only genuine stalls (lost control traffic, a dead
+    /// participant) trip it.
+    pub(crate) fn wait_root_watchdog(
+        &self,
+        root: &RootState,
+        limit: std::time::Duration,
+    ) -> Result<(), crate::error::ApgasError> {
+        use std::time::Instant;
+        let mut last = root.progress_events();
+        let mut deadline = Instant::now() + limit;
+        while !root.is_done() {
+            if self.g.shutdown.load(Ordering::Acquire) {
+                panic!(
+                    "wait at {} aborted: runtime shutting down before the condition held",
+                    self.here
+                );
+            }
+            if !self.run_one() {
+                self.park_brief();
+            }
+            let seen = root.progress_events();
+            if seen != last {
+                last = seen;
+                deadline = Instant::now() + limit;
+            } else if Instant::now() >= deadline {
+                if let Some(h) = &self.hooks {
+                    h.watchdog_fired.inc(self.here.0);
+                    h.trace.instant("finish", "watchdog_fired", root.id.seq);
+                }
+                let dead: Vec<u32> = self.g.transport.dead_places().iter().map(|p| p.0).collect();
+                return Err(crate::error::ApgasError::DeadPlace {
+                    detail: format!(
+                        "finish[{}] at {} stalled: no termination-protocol progress \
+                         for {limit:?}; transport reports dead places {dead:?}",
+                        root.kind.label(),
+                        self.here,
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     fn pop_activity(&self) -> Option<Activity> {
@@ -342,12 +428,16 @@ impl Worker {
 
     fn handle_finish_msg(&self, msg: FinishMsg) {
         match msg {
-            FinishMsg::Flush { fin, deltas } => {
-                self.root_of(&fin).apply_deltas(deltas);
-            }
+            FinishMsg::Flush { fin, deltas } => match self.try_root_of(&fin) {
+                Some(r) => r.apply_deltas(deltas),
+                None => self.note_stray_ctl(&fin),
+            },
             FinishMsg::DenseHop { fin, deltas } => {
                 if fin.id.home == self.here {
-                    self.root_of(&fin).apply_deltas(deltas);
+                    match self.try_root_of(&fin) {
+                        Some(r) => r.apply_deltas(deltas),
+                        None => self.note_stray_ctl(&fin),
+                    }
                 } else {
                     self.place.dense_agg.lock().absorb(fin, deltas);
                 }
@@ -356,12 +446,14 @@ impl Worker {
                 fin,
                 completions,
                 panics,
-            } => {
-                self.root_of(&fin).apply_done(completions, panics);
-            }
-            FinishMsg::CreditReturn { fin, weight, panic } => {
-                self.root_of(&fin).apply_credit(weight, panic);
-            }
+            } => match self.try_root_of(&fin) {
+                Some(r) => r.apply_done(completions, panics),
+                None => self.note_stray_ctl(&fin),
+            },
+            FinishMsg::CreditReturn { fin, weight, panic } => match self.try_root_of(&fin) {
+                Some(r) => r.apply_credit(weight, panic),
+                None => self.note_stray_ctl(&fin),
+            },
         }
     }
 
@@ -389,20 +481,42 @@ impl Worker {
     // Termination accounting hooks
     // ------------------------------------------------------------------
 
+    /// Look up a finish root homed at this place; `None` once the root has
+    /// been deregistered (normal completion, or abandonment by the liveness
+    /// watchdog).
+    pub fn try_root_of(&self, fin: &FinishRef) -> Option<Arc<RootState>> {
+        debug_assert_eq!(fin.id.home, self.here);
+        self.place.roots.lock().get(&fin.id.seq).cloned()
+    }
+
     /// Look up a finish root homed at this place.
     pub fn root_of(&self, fin: &FinishRef) -> Arc<RootState> {
-        debug_assert_eq!(fin.id.home, self.here);
-        self.place
-            .roots
-            .lock()
-            .get(&fin.id.seq)
-            .cloned()
-            .unwrap_or_else(|| {
-                panic!(
-                    "finish {:?} not (or no longer) registered at its home — protocol bug",
-                    fin.id
-                )
-            })
+        self.try_root_of(fin).unwrap_or_else(|| {
+            panic!(
+                "finish {:?} not (or no longer) registered at its home — \
+                 protocol bug, or the scope was abandoned by the liveness watchdog",
+                fin.id
+            )
+        })
+    }
+
+    /// Control traffic arrived for a finish that no longer has a root here.
+    /// Impossible in fault-free operation (the root outlives all governed
+    /// activities by construction), so treat it as a protocol bug then; with
+    /// faults or a watchdog configured it is expected residue — duplicated
+    /// flushes, or stragglers of a scope the watchdog abandoned — and is
+    /// counted and dropped.
+    fn note_stray_ctl(&self, fin: &FinishRef) {
+        if self.g.cfg.fault_plan.is_none() && self.g.cfg.finish_watchdog.is_none() {
+            panic!(
+                "finish {:?} not (or no longer) registered at its home — protocol bug",
+                fin.id
+            );
+        }
+        if let Some(h) = &self.hooks {
+            h.stray_ctl.inc(self.here.0);
+            h.trace.instant("finish", "stray_ctl", fin.id.seq);
+        }
     }
 
     /// Run `f` against the proxy for `fin` at this (non-home) place, then
@@ -473,9 +587,10 @@ impl Worker {
         };
         if fin.id.home == self.here {
             match fin.kind {
-                FinishKind::Default | FinishKind::Dense => {
-                    self.root_of(fin).note_home_receive(self.here.0, src);
-                }
+                FinishKind::Default | FinishKind::Dense => match self.try_root_of(fin) {
+                    Some(r) => r.note_home_receive(self.here.0, src),
+                    None => self.note_stray_ctl(fin),
+                },
                 FinishKind::Here => {}
                 k => debug_assert!(false, "unexpected home receipt under {k:?}"),
             }
@@ -495,7 +610,11 @@ impl Worker {
         match attach {
             Attach::Uncounted => {
                 if let Some(p) = panic {
-                    eprintln!("[apgas] uncounted activity panicked at {}: {p}", self.here);
+                    // Teardown aborts of blocked waits are expected when a
+                    // fault killed a peer; don't spam stderr for those.
+                    if !self.g.shutdown.load(Ordering::Acquire) {
+                        eprintln!("[apgas] uncounted activity panicked at {}: {p}", self.here);
+                    }
                     self.g.uncounted_panics.lock().push(p);
                 }
             }
@@ -505,7 +624,10 @@ impl Worker {
                 remote,
             } => {
                 if fin.id.home == self.here {
-                    let root = self.root_of(&fin);
+                    let Some(root) = self.try_root_of(&fin) else {
+                        self.note_stray_ctl(&fin);
+                        return;
+                    };
                     if fin.kind == FinishKind::Here && weight > 0 {
                         root.note_home_weighted_death(weight, panic);
                     } else {

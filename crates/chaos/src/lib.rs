@@ -1,0 +1,361 @@
+//! Chaos harness: run real kernels under seeded fault plans and check the
+//! graceful-degradation contract.
+//!
+//! Each **cell** is one (workload, fault kind, seed, places) combination.
+//! The harness runs the cell's workload twice — once fault-free (the
+//! baseline) and once under the cell's [`x10rt::FaultPlan`] — inside a hard
+//! wall-clock timeout, and classifies the outcome:
+//!
+//! - **Recoverable faults** (`delay`, `dup`) never lose a message, so the
+//!   faulted run must produce a result *identical* to the baseline.
+//! - **Lossy faults** (`drop`, `trunc`, `kill`) may destroy counted traffic;
+//!   the run must then surface a typed [`apgas::ApgasError`] via the finish
+//!   liveness watchdog. If, by luck of the seed, nothing load-bearing was
+//!   lost, an identical result is also accepted.
+//! - Anything else — a silently wrong result, an untyped panic, or a hang
+//!   past the hard timeout — fails the cell, and the harness prints a
+//!   one-line command that reproduces it.
+//!
+//! # Why lossy faults only target counted traffic classes
+//!
+//! The finish protocols account for every counted message, so losing one
+//! *always* shows up as a protocol stall, which the watchdog converts into a
+//! typed error — loss is detectable by construction. GLB's random-steal
+//! handshake, however, is deliberately **uncounted** (an X10 `@Uncounted
+//! async` pair, invisible to the root finish): a response carrying loot that
+//! vanishes mid-flight would silently shrink the result with no stall to
+//! detect. Lossy cells therefore drop/truncate only `Task` and `FinishCtl`
+//! envelopes and run with aggregation disabled (so every message travels
+//! under its own class and class targeting is exact), while lossless cells
+//! keep aggregation on and fault *all* classes, batches included.
+
+use apgas::{ApgasError, ClassFaults, Config, FaultPlan, MsgClass, PlaceId, Runtime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+mod workloads;
+pub use workloads::{ra_msgs_checksum, uts_nodes, RA_LOG2_LOCAL, UTS_DEPTH};
+
+/// Silence the default panic hook for panics the harness *expects* under
+/// fault injection — typed dead-place errors crossing an unwind boundary
+/// and the shutdown-abort that frees workers stranded by a killed place —
+/// so chaos logs show one verdict line per cell instead of backtraces.
+/// Unexpected panics still print normally.
+pub fn install_quiet_panic_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        let s = p
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| p.downcast_ref::<String>().map(|s| s.as_str()));
+        let expected = p.downcast_ref::<ApgasError>().is_some()
+            || s.is_some_and(|s| {
+                s.contains(apgas::error::DEAD_PLACE_MARKER) || s.contains("runtime shutting down")
+            });
+        if !expected {
+            default(info);
+        }
+    }));
+}
+
+/// Fault kinds of the chaos matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drop counted envelopes on the wire (lossy).
+    Drop,
+    /// Delay/reorder envelopes across pairs, preserving per-pair FIFO
+    /// (lossless).
+    Delay,
+    /// Duplicate envelopes; dups are charged on the wire but filtered at
+    /// the receive edge (lossless).
+    Dup,
+    /// Truncate counted envelopes — they arrive but carry nothing (lossy).
+    Trunc,
+    /// Kill one place mid-run at a scripted logical step (lossy).
+    Kill,
+}
+
+impl FaultKind {
+    /// Every kind, in matrix order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Dup,
+        FaultKind::Trunc,
+        FaultKind::Kill,
+    ];
+
+    /// Command-line / display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Dup => "dup",
+            FaultKind::Trunc => "trunc",
+            FaultKind::Kill => "place-kill",
+        }
+    }
+
+    /// Parse a command-line name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "drop" => Some(FaultKind::Drop),
+            "delay" => Some(FaultKind::Delay),
+            "dup" => Some(FaultKind::Dup),
+            "trunc" => Some(FaultKind::Trunc),
+            "place-kill" | "kill" => Some(FaultKind::Kill),
+            _ => None,
+        }
+    }
+
+    /// Can this kind destroy messages? Lossy kinds may end in a typed
+    /// error; lossless kinds must reproduce the baseline exactly.
+    pub fn lossy(self) -> bool {
+        matches!(self, FaultKind::Drop | FaultKind::Trunc | FaultKind::Kill)
+    }
+}
+
+/// Workloads the harness can drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Distributed UTS under the lifeline balancer (GLB + FINISH_DENSE).
+    Uts,
+    /// Message-path RandomAccess: every remote update is a tiny counted
+    /// spawn under one Default finish (the aggregation benchmark's kernel).
+    RaMsgs,
+}
+
+impl Workload {
+    /// Every workload.
+    pub const ALL: [Workload; 2] = [Workload::Uts, Workload::RaMsgs];
+
+    /// Command-line / display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Uts => "uts",
+            Workload::RaMsgs => "ra-msgs",
+        }
+    }
+
+    /// Parse a command-line name.
+    pub fn parse(s: &str) -> Option<Workload> {
+        match s {
+            "uts" => Some(Workload::Uts),
+            "ra-msgs" | "ra" => Some(Workload::RaMsgs),
+            _ => None,
+        }
+    }
+}
+
+/// One cell of the chaos matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct CellSpec {
+    /// Which kernel to run.
+    pub workload: Workload,
+    /// Which fault kind to inject.
+    pub fault: FaultKind,
+    /// Seed for the deterministic fault decisions (and the scripted kill).
+    pub seed: u64,
+    /// Place count (RandomAccess needs a power of two).
+    pub places: usize,
+}
+
+impl CellSpec {
+    /// The one-line command reproducing this cell.
+    pub fn repro_line(&self) -> String {
+        format!(
+            "cargo run --release -p chaos -- --workload {} --fault {} --seed {} --places {}",
+            self.workload.label(),
+            self.fault.label(),
+            self.seed,
+            self.places
+        )
+    }
+}
+
+/// How a cell ended, when it ended acceptably.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The faulted run produced the baseline result exactly.
+    Identical,
+    /// The faulted run surfaced a typed error (lossy kinds only).
+    TypedError(String),
+}
+
+/// How a cell failed the degradation contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellFailure {
+    /// The run completed with a wrong result and no error — silent loss.
+    Mismatch {
+        /// Baseline (fault-free) result.
+        want: u64,
+        /// Faulted result.
+        got: u64,
+    },
+    /// A lossless fault kind surfaced an error it should never produce.
+    UnexpectedError(String),
+    /// The run panicked with something other than a typed error.
+    UntypedPanic(String),
+    /// The run exceeded the hard wall-clock timeout.
+    Hang,
+}
+
+/// A cell's verdict plus its wall-clock duration.
+pub struct CellReport {
+    /// The cell that ran.
+    pub spec: CellSpec,
+    /// Pass/fail classification.
+    pub result: Result<CellOutcome, CellFailure>,
+    /// Wall-clock time of the faulted run.
+    pub elapsed: Duration,
+}
+
+/// The fault plan of one cell. Probabilities are tuned so every seed
+/// injects a meaningful number of faults at the harness's workload sizes.
+pub fn plan_for(spec: &CellSpec) -> FaultPlan {
+    let seed = spec.seed;
+    match spec.fault {
+        // Lossy kinds target counted classes only (see module docs).
+        FaultKind::Drop => FaultPlan::new(seed)
+            .class(MsgClass::Task, ClassFaults::dropping(0.01))
+            .class(MsgClass::FinishCtl, ClassFaults::dropping(0.01)),
+        FaultKind::Trunc => FaultPlan::new(seed)
+            .class(MsgClass::Task, ClassFaults::truncating(0.01))
+            .class(MsgClass::FinishCtl, ClassFaults::truncating(0.01)),
+        // Lossless kinds hammer everything, batches included.
+        FaultKind::Delay => FaultPlan::new(seed)
+            .all_classes(ClassFaults::delaying(0.25))
+            .delay_steps(1, 48),
+        FaultKind::Dup => FaultPlan::new(seed).all_classes(ClassFaults::duplicating(0.25)),
+        FaultKind::Kill => {
+            // Never place 0 (the main activity lives there); vary victim
+            // and step with the seed so the matrix covers different phases
+            // of the run.
+            let victim = 1 + (seed % (spec.places as u64 - 1)) as u32;
+            let step = 1_000 + (seed.wrapping_mul(37) % 2_000);
+            FaultPlan::new(seed).kill_place(PlaceId(victim), step)
+        }
+    }
+}
+
+/// Runtime configuration of one faulted run.
+fn faulted_config(spec: &CellSpec) -> Config {
+    Config::new(spec.places)
+        .places_per_host(4)
+        .fault_plan(plan_for(spec))
+        .finish_watchdog(Duration::from_secs(2))
+        // Exact class targeting for lossy kinds (see module docs).
+        .batch_disable(matches!(spec.fault, FaultKind::Drop | FaultKind::Trunc))
+}
+
+/// GLB knobs for chaos runs: small chunks (frequent probes ⇒ frequent
+/// logical-clock ticks), and a steal-handshake timeout only when the
+/// transport may lose the handshake.
+fn glb_config(fault: Option<FaultKind>) -> glb::GlbConfig {
+    glb::GlbConfig {
+        chunk: 64,
+        steal_timeout: match fault {
+            Some(f) if f.lossy() => Some(Duration::from_millis(300)),
+            _ => None,
+        },
+        ..glb::GlbConfig::default()
+    }
+}
+
+fn run_workload(rt: &Runtime, w: Workload, fault: Option<FaultKind>) -> Result<u64, ApgasError> {
+    let glb_cfg = glb_config(fault);
+    match w {
+        Workload::Uts => rt.run_checked(move |ctx| uts_nodes(ctx, glb_cfg)),
+        Workload::RaMsgs => rt.run_checked(ra_msgs_checksum),
+    }
+}
+
+/// Fault-free reference result for `workload` at `places` places.
+pub fn baseline(workload: Workload, places: usize) -> u64 {
+    let rt = Runtime::new(Config::new(places).places_per_host(4));
+    run_workload(&rt, workload, None).expect("fault-free baseline cannot fail")
+}
+
+/// Run one cell against a precomputed baseline, with a hard wall-clock
+/// timeout enforced from outside the runtime (a watchdog for the watchdog:
+/// even a runtime bug that defeats the finish watchdog cannot hang the
+/// harness — the cell is reported as [`CellFailure::Hang`] and the stuck
+/// thread is abandoned).
+pub fn run_cell_with_baseline(spec: CellSpec, want: u64, hard_timeout: Duration) -> CellReport {
+    let start = Instant::now();
+    let (tx, rx) = crossbeam_channel::bounded(1);
+    std::thread::Builder::new()
+        .name(format!("chaos-{}-{}", spec.fault.label(), spec.seed))
+        .spawn(move || {
+            let rt = Runtime::new(faulted_config(&spec));
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                run_workload(&rt, spec.workload, Some(spec.fault))
+            }));
+            // Deliver the verdict before dropping the runtime: teardown is
+            // designed not to hang, but the report must not depend on that.
+            let _ = tx.send(match out {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(e)) => Err(Some(e.to_string())),
+                Err(p) => Err(ApgasError::from_panic(&*p).map(|e| e.to_string())),
+            });
+            drop(rt);
+        })
+        .expect("spawn chaos cell thread");
+    let result = match rx.recv_timeout(hard_timeout) {
+        Err(_) => Err(CellFailure::Hang),
+        Ok(Ok(got)) if got == want => Ok(CellOutcome::Identical),
+        Ok(Ok(got)) => Err(CellFailure::Mismatch { want, got }),
+        Ok(Err(Some(typed))) if spec.fault.lossy() => Ok(CellOutcome::TypedError(typed)),
+        Ok(Err(Some(typed))) => Err(CellFailure::UnexpectedError(typed)),
+        Ok(Err(None)) => Err(CellFailure::UntypedPanic(
+            "non-typed panic in faulted run".into(),
+        )),
+    };
+    CellReport {
+        spec,
+        result,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// [`run_cell_with_baseline`] with the baseline computed on the spot.
+pub fn run_cell(spec: CellSpec, hard_timeout: Duration) -> CellReport {
+    let want = baseline(spec.workload, spec.places);
+    run_cell_with_baseline(spec, want, hard_timeout)
+}
+
+/// Shared baseline cache for matrix runs (one fault-free run per
+/// (workload, places), not per cell).
+pub struct BaselineCache {
+    entries: Vec<((Workload, usize), u64)>,
+}
+
+impl BaselineCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        BaselineCache {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The baseline for `(workload, places)`, computing it on first use.
+    pub fn get(&mut self, workload: Workload, places: usize) -> u64 {
+        if let Some((_, v)) = self
+            .entries
+            .iter()
+            .find(|((w, p), _)| *w == workload && *p == places)
+        {
+            return *v;
+        }
+        let v = baseline(workload, places);
+        self.entries.push(((workload, places), v));
+        v
+    }
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,78 @@
+//! The two kernels the chaos matrix drives, each reduced to a single
+//! deterministic `u64` figure so faulted runs can be compared bit-for-bit
+//! against a fault-free baseline.
+
+use apgas::{Ctx, PlaceGroup, PlaceId, PlaceLocalHandle};
+use glb::GlbConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use uts::GeoTree;
+
+/// UTS tree depth for chaos runs: big enough that steals, lifelines and
+/// finish traffic all happen at 8 places, small enough for CI.
+pub const UTS_DEPTH: u32 = 9;
+
+/// RandomAccess table size per place (log2 words): tiny — the point is
+/// message traffic, not memory pressure.
+pub const RA_LOG2_LOCAL: u32 = 8;
+
+/// Distributed UTS node count (GLB + FINISH_DENSE + steal/lifeline
+/// traffic). Deterministic: the tree is a pure function of its parameters.
+pub fn uts_nodes(ctx: &Ctx, cfg: GlbConfig) -> u64 {
+    uts::run_distributed(ctx, GeoTree::paper(UTS_DEPTH), cfg)
+        .stats
+        .nodes
+}
+
+/// Message-path RandomAccess checksum: every place scatters XOR updates to
+/// the global table as tiny counted spawns under one Default finish, then
+/// the table is folded to a single XOR digest. Updates commute, so the
+/// digest is deterministic; any lost update changes it.
+pub fn ra_msgs_checksum(ctx: &Ctx) -> u64 {
+    let places = ctx.num_places();
+    assert!(places.is_power_of_two(), "RA needs power-of-two places");
+    let local_n = 1usize << RA_LOG2_LOCAL;
+    let updates_per_place = 2 * local_n;
+    let global_mask = local_n * places - 1;
+
+    let table = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), move |_| {
+        (0..local_n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>()
+    });
+
+    ctx.finish(|c| {
+        for p in c.places() {
+            c.at_async(p, move |cc| {
+                let me = cc.here().index();
+                let mine = table.get(cc);
+                // xorshift64 stream, seeded per place.
+                let mut x = 0x9e3779b97f4a7c15u64 ^ ((me as u64 + 1) << 17);
+                for _ in 0..updates_per_place {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let idx = (x as usize) & global_mask;
+                    let dest = idx >> RA_LOG2_LOCAL;
+                    let word = idx & (local_n - 1);
+                    if dest == me {
+                        mine[word].fetch_xor(x, Ordering::Relaxed);
+                    } else {
+                        cc.at_async(PlaceId(dest as u32), move |rc| {
+                            table.get(rc)[word].fetch_xor(x, Ordering::Relaxed);
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    let mut digest = 0u64;
+    for p in 0..places {
+        digest ^= ctx.at(PlaceId(p as u32), move |c| {
+            table
+                .get(c)
+                .iter()
+                .fold(0u64, |a, w| a ^ w.load(Ordering::Relaxed))
+        });
+    }
+    PlaceGroup::world(ctx).broadcast(ctx, move |c| table.free_local(c));
+    digest
+}

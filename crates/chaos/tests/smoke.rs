@@ -1,0 +1,88 @@
+//! Small chaos cells as plain tests: 4 places, one seed per fault kind, so
+//! `cargo test` exercises the harness end to end without the full matrix.
+
+use chaos::{
+    baseline, install_quiet_panic_hook, plan_for, run_cell_with_baseline, CellOutcome, CellSpec,
+    FaultKind, Workload,
+};
+use std::time::Duration;
+
+const PLACES: usize = 4;
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn cell(workload: Workload, fault: FaultKind, seed: u64) -> CellSpec {
+    CellSpec {
+        workload,
+        fault,
+        seed,
+        places: PLACES,
+    }
+}
+
+/// Run one cell and assert the degradation contract for its fault kind.
+fn check(workload: Workload, fault: FaultKind, seed: u64) {
+    install_quiet_panic_hook();
+    let spec = cell(workload, fault, seed);
+    let want = baseline(workload, PLACES);
+    let report = run_cell_with_baseline(spec, want, TIMEOUT);
+    match report.result {
+        Ok(CellOutcome::Identical) => {}
+        Ok(CellOutcome::TypedError(e)) => {
+            assert!(
+                fault.lossy(),
+                "lossless fault {} must not error: {e}",
+                fault.label()
+            );
+        }
+        Err(f) => panic!("cell failed ({f:?}); repro: {}", spec.repro_line()),
+    }
+}
+
+#[test]
+fn uts_delay_is_identical() {
+    check(Workload::Uts, FaultKind::Delay, 1);
+}
+
+#[test]
+fn uts_dup_is_identical() {
+    check(Workload::Uts, FaultKind::Dup, 1);
+}
+
+#[test]
+fn uts_drop_identical_or_typed() {
+    check(Workload::Uts, FaultKind::Drop, 1);
+}
+
+#[test]
+fn uts_kill_identical_or_typed() {
+    check(Workload::Uts, FaultKind::Kill, 1);
+}
+
+#[test]
+fn ra_msgs_delay_is_identical() {
+    check(Workload::RaMsgs, FaultKind::Delay, 2);
+}
+
+#[test]
+fn ra_msgs_trunc_identical_or_typed() {
+    check(Workload::RaMsgs, FaultKind::Trunc, 2);
+}
+
+#[test]
+fn ra_msgs_kill_identical_or_typed() {
+    check(Workload::RaMsgs, FaultKind::Kill, 2);
+}
+
+/// The scripted kill never targets place 0, whatever the seed.
+#[test]
+fn kill_plan_spares_place_zero() {
+    for seed in 0..64 {
+        let spec = cell(Workload::Uts, FaultKind::Kill, seed);
+        let plan = plan_for(&spec);
+        for ev in plan.events() {
+            let x10rt::FaultEvent::KillPlace { place, .. } = ev;
+            assert!(place.0 != 0, "seed {seed} kills place 0");
+            assert!((place.0 as usize) < PLACES, "seed {seed} kills {place:?}");
+        }
+    }
+}

@@ -19,6 +19,13 @@ pub struct GlbPlaceStats {
     pub resuscitations: AtomicU64,
     /// Times the worker died (went idle after failed steals).
     pub deaths: AtomicU64,
+    /// Steal victims or lifeline thieves skipped because the transport
+    /// reported their place dead (fault injection).
+    pub dead_skips: AtomicU64,
+    /// Random-steal handshakes abandoned on `steal_timeout`.
+    pub steal_timeouts: AtomicU64,
+    /// Lifelines re-routed away from a dead place to an alive peer.
+    pub lifeline_reroutes: AtomicU64,
 }
 
 impl GlbPlaceStats {
@@ -32,6 +39,9 @@ impl GlbPlaceStats {
             lifeline_gifts: self.lifeline_gifts.load(Ordering::Relaxed),
             resuscitations: self.resuscitations.load(Ordering::Relaxed),
             deaths: self.deaths.load(Ordering::Relaxed),
+            dead_skips: self.dead_skips.load(Ordering::Relaxed),
+            steal_timeouts: self.steal_timeouts.load(Ordering::Relaxed),
+            lifeline_reroutes: self.lifeline_reroutes.load(Ordering::Relaxed),
         }
     }
 }
@@ -53,6 +63,12 @@ pub struct GlbStatsSummary {
     pub resuscitations: u64,
     /// Worker deaths.
     pub deaths: u64,
+    /// Dead steal victims / lifeline thieves skipped.
+    pub dead_skips: u64,
+    /// Random-steal handshakes abandoned on timeout.
+    pub steal_timeouts: u64,
+    /// Lifelines re-routed away from dead places.
+    pub lifeline_reroutes: u64,
 }
 
 impl GlbStatsSummary {
@@ -65,6 +81,9 @@ impl GlbStatsSummary {
         self.lifeline_gifts += o.lifeline_gifts;
         self.resuscitations += o.resuscitations;
         self.deaths += o.deaths;
+        self.dead_skips += o.dead_skips;
+        self.steal_timeouts += o.steal_timeouts;
+        self.lifeline_reroutes += o.lifeline_reroutes;
     }
 }
 

@@ -23,6 +23,12 @@ pub struct GlbConfig {
     pub max_lifelines: usize,
     /// PRNG seed for victim shuffling.
     pub seed: u64,
+    /// Abandon a random-steal handshake after this long without a response
+    /// and treat it as a failed steal. Fault tolerance only: the handshake
+    /// is an uncounted round trip, so a dropped request or response would
+    /// otherwise stall the thief forever. `None` (the default) waits
+    /// forever — correct whenever the transport is lossless.
+    pub steal_timeout: Option<std::time::Duration>,
 }
 
 impl Default for GlbConfig {
@@ -33,6 +39,7 @@ impl Default for GlbConfig {
             max_victims: 1024,
             max_lifelines: 64,
             seed: 19,
+            steal_timeout: None,
         }
     }
 }
@@ -83,6 +90,9 @@ struct GlbHooks {
     lifeline_gifts: Counter,
     resuscitations: Counter,
     deaths: Counter,
+    steal_dead_victim: Counter,
+    steal_timeouts: Counter,
+    lifeline_reroutes: Counter,
 }
 
 impl<B: TaskBag> GlbPlace<B> {
@@ -96,6 +106,9 @@ impl<B: TaskBag> GlbPlace<B> {
             lifeline_gifts: o.metrics.counter(obs::names::GLB_LIFELINE_GIFTS),
             resuscitations: o.metrics.counter(obs::names::GLB_RESUSCITATIONS),
             deaths: o.metrics.counter(obs::names::GLB_DEATHS),
+            steal_dead_victim: o.metrics.counter(obs::names::GLB_STEAL_DEAD_VICTIM),
+            steal_timeouts: o.metrics.counter(obs::names::GLB_STEAL_TIMEOUTS),
+            lifeline_reroutes: o.metrics.counter(obs::names::GLB_LIFELINE_REROUTES),
         });
         GlbPlace {
             victims: victim_list(me, places, cfg.max_victims, cfg.seed),
@@ -237,13 +250,38 @@ fn main_loop<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>) {
         }
         // -------- lifelines, then die --------
         for &l in &st.lifelines {
+            // A lifeline to a dead place would never deliver a gift;
+            // re-route it to the first alive peer so this worker stays
+            // resuscitable as long as anyone is.
+            let target = if ctx.place_dead(PlaceId(l)) {
+                let alive = st
+                    .lifelines
+                    .iter()
+                    .chain(st.victims.iter())
+                    .find(|&&v| v != me && !ctx.place_dead(PlaceId(v)));
+                match alive {
+                    Some(&v) => {
+                        st.stats.lifeline_reroutes.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = &st.hooks {
+                            h.lifeline_reroutes.inc(me);
+                        }
+                        if let Some(t) = ctx.trace() {
+                            t.instant("glb", "lifeline-reroute", v as u64);
+                        }
+                        v
+                    }
+                    None => continue, // no alive peer left to hang a lifeline on
+                }
+            } else {
+                l
+            };
             if let Some(h) = &st.hooks {
                 h.lifeline_arms.inc(me);
             }
             if let Some(t) = ctx.trace() {
-                t.instant("glb", "lifeline-arm", l as u64);
+                t.instant("glb", "lifeline-arm", target as u64);
             }
-            ctx.uncounted_async(PlaceId(l), MsgClass::Steal, move |vc| {
+            ctx.uncounted_async(PlaceId(target), MsgClass::Steal, move |vc| {
                 let vst = handle.get(vc);
                 let mut thieves = vst.thieves.lock();
                 if !thieves.contains(&me) {
@@ -279,6 +317,18 @@ fn distribute<B: TaskBag>(ctx: &Ctx, st: &GlbPlace<B>, handle: PlaceLocalHandle<
                 None => return,
             }
         };
+        // Check the thief is still reachable BEFORE splitting the bag: a
+        // gift to a dead place would be destroyed in flight, losing work.
+        if ctx.place_dead(PlaceId(thief)) {
+            st.stats.dead_skips.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &st.hooks {
+                h.steal_dead_victim.inc(ctx.here().0);
+            }
+            if let Some(t) = ctx.trace() {
+                t.instant("glb", "dead-thief", thief as u64);
+            }
+            continue;
+        }
         let loot = st.bag.lock().split();
         match loot {
             Some(loot) => {
@@ -327,6 +377,13 @@ fn deliver<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>, loot: B
 
 /// One synchronous random steal attempt: an uncounted request/response pair
 /// (invisible to the root finish), the thief help-waits for the answer.
+///
+/// Degrades instead of hanging under faults: a victim the transport reports
+/// dead is skipped outright (and the wait aborts if the victim dies
+/// mid-handshake), and an optional [`GlbConfig::steal_timeout`] abandons the
+/// handshake when the transport may lose the request or response. Both
+/// outcomes count as a failed steal, pushing the worker toward its
+/// lifelines.
 fn random_steal<B: TaskBag>(
     ctx: &Ctx,
     handle: PlaceLocalHandle<GlbPlace<B>>,
@@ -334,6 +391,16 @@ fn random_steal<B: TaskBag>(
     victim: PlaceId,
 ) -> bool {
     let me = ctx.here();
+    if ctx.place_dead(victim) {
+        st.stats.dead_skips.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &st.hooks {
+            h.steal_dead_victim.inc(me.0);
+        }
+        if let Some(t) = ctx.trace() {
+            t.instant("glb", "dead-victim", victim.0 as u64);
+        }
+        return false;
+    }
     let slot: Arc<Mutex<Option<B>>> = Arc::new(Mutex::new(None));
     let flag = Arc::new(AtomicBool::new(false));
     let (slot2, flag2) = (slot.clone(), flag.clone());
@@ -348,7 +415,31 @@ fn random_steal<B: TaskBag>(
             flag2.store(true, Ordering::Release);
         });
     });
-    ctx.wait_until(|| flag.load(Ordering::Acquire));
+    let deadline = st.cfg.steal_timeout.map(|t| std::time::Instant::now() + t);
+    ctx.wait_until(|| {
+        flag.load(Ordering::Acquire)
+            || ctx.place_dead(victim)
+            || deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    });
+    if !flag.load(Ordering::Acquire) {
+        // Escaped without an answer: the victim died mid-handshake, or the
+        // timeout expired. Either way, a failed steal.
+        if ctx.place_dead(victim) {
+            st.stats.dead_skips.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &st.hooks {
+                h.steal_dead_victim.inc(me.0);
+            }
+        } else {
+            st.stats.steal_timeouts.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &st.hooks {
+                h.steal_timeouts.inc(me.0);
+            }
+        }
+        if let Some(t) = ctx.trace() {
+            t.instant("glb", "steal-abandoned", victim.0 as u64);
+        }
+        return false;
+    }
     let loot = slot.lock().take();
     match loot {
         Some(loot) => {

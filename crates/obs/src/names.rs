@@ -68,3 +68,54 @@ pub const GLB_RESUSCITATIONS: &str = "glb.resuscitations";
 /// Counter: GLB worker deaths — idle after exhausting random steals (unit:
 /// deaths).
 pub const GLB_DEATHS: &str = "glb.deaths";
+
+/// Counter: GLB steal attempts abandoned because the victim is dead (unit:
+/// attempts). Incremented in the random-steal path when the victim's place
+/// is known dead, before or while waiting for the response.
+pub const GLB_STEAL_DEAD_VICTIM: &str = "glb.steal.dead_victim";
+
+/// Counter: GLB steal waits abandoned by the steal timeout (unit:
+/// attempts). Only emitted when `GlbConfig::steal_timeout` is set.
+pub const GLB_STEAL_TIMEOUTS: &str = "glb.steal.timeouts";
+
+/// Counter: lifeline edges re-routed around a dead place (unit: edges).
+/// Incremented when an idle worker arms its lifelines and substitutes a
+/// live peer for a dead one.
+pub const GLB_LIFELINE_REROUTES: &str = "glb.lifeline.reroutes";
+
+/// Counter: sends abandoned after a terminal transport error or exhausted
+/// retry (unit: envelopes). Incremented in the worker's send/flush paths.
+pub const TRANSPORT_SEND_FAILED: &str = "transport.send_failed";
+
+/// Counter: finish-control messages that arrived for a finish no longer
+/// registered at this place (unit: messages). Nonzero only after a liveness
+/// watchdog abandoned the finish — stragglers are counted and ignored.
+pub const FINISH_STRAY_CTL: &str = "finish.stray_ctl";
+
+/// Counter: liveness watchdogs fired — a blocked `finish` made no progress
+/// for the configured window and surfaced a `DeadPlace` error instead of
+/// hanging (unit: firings).
+pub const FINISH_WATCHDOG_FIRED: &str = "finish.watchdog_fired";
+
+/// Counter: envelopes dropped by fault injection (unit: envelopes).
+/// Incremented by `x10rt::FaultTransport`, sharded by sender.
+pub const FAULT_DROPPED: &str = "fault.dropped";
+
+/// Counter: envelopes held for delayed release by fault injection (unit:
+/// envelopes).
+pub const FAULT_DELAYED: &str = "fault.delayed";
+
+/// Counter: phantom duplicates injected by fault injection (unit:
+/// envelopes).
+pub const FAULT_DUPLICATED: &str = "fault.duplicated";
+
+/// Counter: payloads destroyed in flight by fault injection (unit:
+/// envelopes).
+pub const FAULT_TRUNCATED: &str = "fault.truncated";
+
+/// Counter: sends transiently refused by fault injection (unit: attempts).
+pub const FAULT_REJECTED: &str = "fault.rejected";
+
+/// Counter: places killed by fault injection (unit: places; sharded by the
+/// victim).
+pub const FAULT_KILLED: &str = "fault.killed";

@@ -45,16 +45,38 @@
 //! explicit gains nothing from larger buffers, while one dominated by
 //! `ThresholdMsgs` drains may benefit from raising `max_msgs`.
 
-use crate::message::Envelope;
+//!
+//! # Failure handling
+//!
+//! Sends can fail (see [`TransportError`]). Transient rejections — modeled
+//! injection-FIFO backpressure — are retried here with exponential backoff,
+//! bounded by the coalescer's `send_timeout`; the paper's transport does the
+//! same inside PAMI. Terminal failures (dead destination) and exhausted
+//! retry surface to the caller as a [`SendError`], with the affected
+//! envelope counts, so the scheduler can account for the loss and the
+//! protocol layers above can degrade instead of blocking.
+
+use crate::message::{Envelope, MsgClass};
 use crate::place::PlaceId;
-use crate::transport::Transport;
+use crate::transport::{SendError, Transport, TransportError};
 use obs::metrics::{Counter, MetricsRegistry};
+use std::time::{Duration, Instant};
 
 /// Default flush threshold: messages buffered per destination.
 pub const DEFAULT_MAX_MSGS: usize = 64;
 
 /// Default flush threshold: modeled bytes buffered per destination.
 pub const DEFAULT_MAX_BYTES: usize = 16 * 1024;
+
+/// Default bound on retrying a transiently rejected send before giving up
+/// with [`TransportError::Timeout`].
+pub const DEFAULT_SEND_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// First backoff sleep after a transient rejection; doubles per retry.
+const RETRY_BACKOFF_BASE: Duration = Duration::from_micros(5);
+
+/// Backoff ceiling.
+const RETRY_BACKOFF_CAP: Duration = Duration::from_micros(200);
 
 #[derive(Default)]
 struct Buf {
@@ -117,6 +139,8 @@ pub struct Coalescer {
     counts: FlushCounts,
     /// Shared observability counters (mirrored on every drain when wired).
     hooks: Option<FlushHooks>,
+    /// Bound on retrying transiently rejected sends.
+    send_timeout: Duration,
 }
 
 impl Coalescer {
@@ -141,7 +165,17 @@ impl Coalescer {
             dirty: Vec::new(),
             counts: FlushCounts::default(),
             hooks: None,
+            send_timeout: DEFAULT_SEND_TIMEOUT,
         }
+    }
+
+    /// Override the bound on retrying transiently rejected sends (builder
+    /// style). Retry sleeps exponentially from microseconds up; once
+    /// `timeout` has elapsed the send fails with
+    /// [`TransportError::Timeout`].
+    pub fn with_send_timeout(mut self, timeout: Duration) -> Self {
+        self.send_timeout = timeout;
+        self
     }
 
     /// Mirror every drain into the shared metrics registry (builder style):
@@ -189,12 +223,13 @@ impl Coalescer {
     }
 
     /// Route one outgoing message: buffer it (flushing its destination if a
-    /// threshold trips) or pass it straight through when disabled.
-    pub fn send(&mut self, transport: &dyn Transport, env: Envelope) {
+    /// threshold trips) or pass it straight through when disabled. An error
+    /// means the message (or, on a threshold flush, its destination's whole
+    /// buffer) could not be delivered — see [`SendError`] for what was lost.
+    pub fn send(&mut self, transport: &dyn Transport, env: Envelope) -> Result<(), SendError> {
         debug_assert_eq!(env.from, self.from, "coalescer owned by another place");
         if !self.enabled {
-            transport.send(env);
-            return;
+            return send_with_retry(transport, env, self.send_timeout);
         }
         let dest = env.to.index();
         let buf = &mut self.bufs[dest];
@@ -204,22 +239,29 @@ impl Coalescer {
         buf.bytes += env.bytes;
         buf.envs.push(env);
         if buf.envs.len() >= self.max_msgs {
-            self.flush_dest_reason(transport, dest, FlushReason::ThresholdMsgs);
+            self.flush_dest_reason(transport, dest, FlushReason::ThresholdMsgs)
         } else if buf.bytes >= self.max_bytes {
-            self.flush_dest_reason(transport, dest, FlushReason::ThresholdBytes);
+            self.flush_dest_reason(transport, dest, FlushReason::ThresholdBytes)
+        } else {
+            Ok(())
         }
     }
 
     /// Drain one destination's buffer onto the transport (an explicit flush
     /// for the reason accounting).
-    pub fn flush_dest(&mut self, transport: &dyn Transport, dest: usize) {
-        self.flush_dest_reason(transport, dest, FlushReason::Explicit);
+    pub fn flush_dest(&mut self, transport: &dyn Transport, dest: usize) -> Result<(), SendError> {
+        self.flush_dest_reason(transport, dest, FlushReason::Explicit)
     }
 
-    fn flush_dest_reason(&mut self, transport: &dyn Transport, dest: usize, reason: FlushReason) {
+    fn flush_dest_reason(
+        &mut self,
+        transport: &dyn Transport,
+        dest: usize,
+        reason: FlushReason,
+    ) -> Result<(), SendError> {
         let buf = &mut self.bufs[dest];
         if buf.envs.is_empty() {
-            return;
+            return Ok(());
         }
         let envs = std::mem::take(&mut buf.envs);
         buf.bytes = 0;
@@ -227,22 +269,51 @@ impl Coalescer {
             self.dirty.swap_remove(pos);
         }
         self.record_drain(reason);
-        emit(transport, self.from, PlaceId(dest as u32), envs);
+        emit(
+            transport,
+            self.from,
+            PlaceId(dest as u32),
+            envs,
+            self.send_timeout,
+        )
     }
 
     /// Drain every non-empty buffer onto the transport. Must run at every
     /// point where the owner stops producing sends (end of a scheduling
     /// quantum, before parking, on exit) — see the module docs. Each
     /// destination drained counts as one [`FlushReason::Explicit`] drain.
-    pub fn flush(&mut self, transport: &dyn Transport) {
+    ///
+    /// A failing destination does not block the others: every buffer is
+    /// drained regardless, and the first error (with the combined loss
+    /// accounting) is returned afterwards.
+    pub fn flush(&mut self, transport: &dyn Transport) -> Result<(), SendError> {
+        let mut first: Option<SendError> = None;
         while let Some(dest) = self.dirty.pop() {
             let buf = &mut self.bufs[dest];
             let envs = std::mem::take(&mut buf.envs);
             buf.bytes = 0;
             if !envs.is_empty() {
                 self.record_drain(FlushReason::Explicit);
-                emit(transport, self.from, PlaceId(dest as u32), envs);
+                if let Err(e) = emit(
+                    transport,
+                    self.from,
+                    PlaceId(dest as u32),
+                    envs,
+                    self.send_timeout,
+                ) {
+                    match &mut first {
+                        Some(f) => {
+                            f.dropped += e.dropped;
+                            f.retry.extend(e.retry);
+                        }
+                        None => first = Some(e),
+                    }
+                }
             }
+        }
+        match first {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -259,18 +330,67 @@ impl Coalescer {
 
 /// Hand a drained buffer to the transport: a single message goes out as
 /// itself (the transport records it); several are packed into one batch
-/// envelope, with the logical counts recorded here at pack time.
-fn emit(transport: &dyn Transport, from: PlaceId, dest: PlaceId, envs: Vec<Envelope>) {
+/// envelope, with the logical counts recorded here once the envelope is
+/// accepted (so messages lost to a dead destination never enter the
+/// ledgers).
+fn emit(
+    transport: &dyn Transport,
+    from: PlaceId,
+    dest: PlaceId,
+    envs: Vec<Envelope>,
+    send_timeout: Duration,
+) -> Result<(), SendError> {
     debug_assert!(!envs.is_empty());
     if envs.len() == 1 {
-        transport.send(envs.into_iter().next().expect("len checked"));
-        return;
+        let env = envs.into_iter().next().expect("len checked");
+        return send_with_retry(transport, env, send_timeout);
     }
+    let records: Vec<(u32, u32, MsgClass, usize)> = envs
+        .iter()
+        .map(|e| (e.from.0, e.to.0, e.class, e.bytes))
+        .collect();
+    send_with_retry(transport, Envelope::batch(from, dest, envs), send_timeout)?;
     let stats = transport.stats();
-    for e in &envs {
-        stats.record_send(e.from.0, e.to.0, e.class, e.bytes);
+    for (f, t, class, bytes) in records {
+        stats.record_send(f, t, class, bytes);
     }
-    transport.send(Envelope::batch(from, dest, envs));
+    Ok(())
+}
+
+/// Submit one envelope, retrying transient rejections with exponential
+/// backoff until `send_timeout` elapses. Terminal errors pass through;
+/// exhausted retry fails with [`TransportError::Timeout`] and destroys the
+/// envelope.
+fn send_with_retry(
+    transport: &dyn Transport,
+    env: Envelope,
+    send_timeout: Duration,
+) -> Result<(), SendError> {
+    let mut env = env;
+    let mut backoff = RETRY_BACKOFF_BASE;
+    let mut deadline: Option<Instant> = None;
+    loop {
+        match transport.send(env) {
+            Ok(()) => return Ok(()),
+            Err(mut e) => {
+                if e.retry.is_empty() {
+                    return Err(e); // terminal: nothing to resubmit
+                }
+                let now = Instant::now();
+                if now >= *deadline.get_or_insert(now + send_timeout) {
+                    return Err(SendError {
+                        error: TransportError::Timeout { place: e.place() },
+                        dropped: e.dropped + e.retry.len(),
+                        retry: Vec::new(),
+                    });
+                }
+                debug_assert_eq!(e.retry.len(), 1, "scalar send returns one envelope");
+                env = e.retry.pop().expect("retryable send returns the envelope");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RETRY_BACKOFF_CAP);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -304,11 +424,11 @@ mod tests {
         let t = LocalTransport::new(3);
         let mut c = Coalescer::new(PlaceId(0), 3, 64, 1 << 20, true);
         for i in 0..5u64 {
-            c.send(&t, env(1, i));
+            c.send(&t, env(1, i)).unwrap();
         }
         assert_eq!(c.pending(), 5);
         assert_eq!(t.queue_len(PlaceId(1)), 0);
-        c.flush(&t);
+        c.flush(&t).unwrap();
         assert!(c.is_empty());
         assert_eq!(t.queue_len(PlaceId(1)), 1); // one batch envelope
         assert_eq!(drain_tags(&t, 1), vec![0, 1, 2, 3, 4]);
@@ -319,7 +439,7 @@ mod tests {
         let t = LocalTransport::new(2);
         let mut c = Coalescer::new(PlaceId(0), 2, 4, 1 << 20, true);
         for i in 0..4u64 {
-            c.send(&t, env(1, i));
+            c.send(&t, env(1, i)).unwrap();
         }
         // Fourth message hit max_msgs: the batch went out without flush().
         assert!(c.is_empty());
@@ -331,10 +451,10 @@ mod tests {
         let t = LocalTransport::new(2);
         let per_msg = 8 + HEADER_BYTES;
         let mut c = Coalescer::new(PlaceId(0), 2, 1024, 3 * per_msg, true);
-        c.send(&t, env(1, 0));
-        c.send(&t, env(1, 1));
+        c.send(&t, env(1, 0)).unwrap();
+        c.send(&t, env(1, 1)).unwrap();
         assert_eq!(c.pending(), 2);
-        c.send(&t, env(1, 2)); // crosses the byte threshold
+        c.send(&t, env(1, 2)).unwrap(); // crosses the byte threshold
         assert!(c.is_empty());
         assert_eq!(t.queue_len(PlaceId(1)), 1);
     }
@@ -344,7 +464,7 @@ mod tests {
         let t = LocalTransport::new(2);
         let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, false);
         for i in 0..5u64 {
-            c.send(&t, env(1, i));
+            c.send(&t, env(1, i)).unwrap();
         }
         assert!(c.is_empty());
         assert_eq!(t.queue_len(PlaceId(1)), 5);
@@ -356,8 +476,8 @@ mod tests {
     fn single_message_flushes_as_scalar() {
         let t = LocalTransport::new(2);
         let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, true);
-        c.send(&t, env(1, 7));
-        c.flush(&t);
+        c.send(&t, env(1, 7)).unwrap();
+        c.flush(&t).unwrap();
         let got = t.try_recv(PlaceId(1)).unwrap();
         assert_eq!(got.class, MsgClass::Task); // not wrapped in a batch
         assert_eq!(t.stats().total_messages(), 1);
@@ -370,9 +490,9 @@ mod tests {
             let t = LocalTransport::new(3);
             let mut c = Coalescer::new(PlaceId(0), 3, 8, 1 << 20, enabled);
             for i in 0..20u64 {
-                c.send(&t, env(1 + (i % 2) as u32, i));
+                c.send(&t, env(1 + (i % 2) as u32, i)).unwrap();
             }
-            c.flush(&t);
+            c.flush(&t).unwrap();
             (
                 t.stats().total_messages(),
                 t.stats().class(MsgClass::Task).messages,
@@ -391,9 +511,9 @@ mod tests {
         let t = LocalTransport::new(2);
         let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, true);
         for i in 0..10u64 {
-            c.send(&t, env(1, i));
+            c.send(&t, env(1, i)).unwrap();
         }
-        c.flush(&t);
+        c.flush(&t).unwrap();
         let logical = t.stats().total_bytes();
         let physical = t.stats().envelope_bytes();
         // 10 logical headers collapse into 1 physical header.
@@ -406,12 +526,12 @@ mod tests {
         let mut c = Coalescer::new(PlaceId(0), 3, 4, 1 << 20, true);
         // Four messages to place 1: message-count threshold trips once.
         for i in 0..4u64 {
-            c.send(&t, env(1, i));
+            c.send(&t, env(1, i)).unwrap();
         }
         // Two messages to place 2 left buffered: one explicit drain.
-        c.send(&t, env(2, 4));
-        c.send(&t, env(2, 5));
-        c.flush(&t);
+        c.send(&t, env(2, 4)).unwrap();
+        c.send(&t, env(2, 5)).unwrap();
+        c.flush(&t).unwrap();
         assert_eq!(
             c.flush_counts(),
             FlushCounts {
@@ -424,12 +544,12 @@ mod tests {
         // Byte threshold next (count threshold out of reach).
         let per_msg = 8 + HEADER_BYTES;
         let mut c = Coalescer::new(PlaceId(0), 3, 1024, 2 * per_msg, true);
-        c.send(&t, env(1, 0));
-        c.send(&t, env(1, 1));
+        c.send(&t, env(1, 0)).unwrap();
+        c.send(&t, env(1, 1)).unwrap();
         assert_eq!(c.flush_counts().threshold_bytes, 1);
         // Empty flushes attribute nothing.
-        c.flush(&t);
-        c.flush_dest(&t, 1);
+        c.flush(&t).unwrap();
+        c.flush_dest(&t, 1).unwrap();
         assert_eq!(c.flush_counts().total(), 1);
     }
 
@@ -440,8 +560,8 @@ mod tests {
         let t = LocalTransport::new(2);
         let per_msg = 8 + HEADER_BYTES;
         let mut c = Coalescer::new(PlaceId(0), 2, 2, 2 * per_msg, true);
-        c.send(&t, env(1, 0));
-        c.send(&t, env(1, 1));
+        c.send(&t, env(1, 0)).unwrap();
+        c.send(&t, env(1, 1)).unwrap();
         assert_eq!(
             c.flush_counts(),
             FlushCounts {
@@ -457,10 +577,10 @@ mod tests {
         let metrics = obs::MetricsRegistry::new(2);
         let t = LocalTransport::new(3);
         let mut c = Coalescer::new(PlaceId(1), 3, 2, 1 << 20, true).with_obs(&metrics);
-        c.send(&t, env_from(1, 2, 0));
-        c.send(&t, env_from(1, 2, 1)); // trips max_msgs
-        c.send(&t, env_from(1, 2, 2));
-        c.flush(&t); // explicit
+        c.send(&t, env_from(1, 2, 0)).unwrap();
+        c.send(&t, env_from(1, 2, 1)).unwrap(); // trips max_msgs
+        c.send(&t, env_from(1, 2, 2)).unwrap();
+        c.flush(&t).unwrap(); // explicit
         let snap = metrics.snapshot();
         let get = |name: &str| {
             snap.counters
@@ -479,16 +599,86 @@ mod tests {
     }
 
     #[test]
+    fn flush_to_dead_place_reports_loss_and_continues() {
+        let t = LocalTransport::new(3);
+        let mut c = Coalescer::new(PlaceId(0), 3, 64, 1 << 20, true);
+        for i in 0..4u64 {
+            c.send(&t, env(1, i)).unwrap();
+            c.send(&t, env(2, 10 + i)).unwrap();
+        }
+        t.kill_place(PlaceId(1));
+        let err = c.flush(&t).unwrap_err();
+        assert!(c.is_empty());
+        assert_eq!(err.place(), PlaceId(1));
+        assert_eq!(err.dropped, 1); // one batch envelope destroyed
+        assert!(err.retry.is_empty());
+        // The live destination's buffer still went out, and the dead batch's
+        // inner messages never entered the logical ledgers.
+        assert_eq!(drain_tags(&t, 2), vec![10, 11, 12, 13]);
+        assert_eq!(t.stats().total_messages(), 4);
+    }
+
+    #[test]
+    fn transient_rejection_retried_until_accepted() {
+        use crate::fault::{ClassFaults, FaultPlan, FaultTransport};
+        use std::sync::Arc;
+        let t = FaultTransport::new(
+            Arc::new(LocalTransport::new(2)),
+            FaultPlan::new(21).all_classes(ClassFaults::rejecting(0.7)),
+        );
+        let mut c = Coalescer::new(PlaceId(0), 2, 4, 1 << 20, true)
+            .with_send_timeout(std::time::Duration::from_secs(2));
+        for i in 0..40u64 {
+            c.send(&t, env(1, i)).unwrap();
+        }
+        c.flush(&t).unwrap();
+        assert!(
+            t.fault_counts().rejected > 0,
+            "p=0.7 over the flushes should reject at least once"
+        );
+        let mut tags = Vec::new();
+        while let Some(e) = t.try_recv(PlaceId(1)) {
+            match e.unbatch() {
+                Ok(inner) => {
+                    for e in inner {
+                        tags.push(*e.payload.downcast::<u64>().unwrap());
+                    }
+                }
+                Err(e) => tags.push(*e.payload.downcast::<u64>().unwrap()),
+            }
+        }
+        assert_eq!(tags, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exhausted_retry_times_out() {
+        use crate::fault::{ClassFaults, FaultPlan, FaultTransport};
+        use std::sync::Arc;
+        let t = FaultTransport::new(
+            Arc::new(LocalTransport::new(2)),
+            FaultPlan::new(3).all_classes(ClassFaults::rejecting(1.0)),
+        );
+        let mut c = Coalescer::new(PlaceId(0), 2, 64, 1 << 20, false)
+            .with_send_timeout(std::time::Duration::from_millis(1));
+        let err = c.send(&t, env(1, 0)).unwrap_err();
+        assert_eq!(
+            err.error,
+            crate::transport::TransportError::Timeout { place: PlaceId(1) }
+        );
+        assert_eq!(err.dropped, 1);
+    }
+
+    #[test]
     fn per_dest_fifo_across_interleaved_sends_and_flushes() {
         let t = LocalTransport::new(3);
         let mut c = Coalescer::new(PlaceId(0), 3, 3, 1 << 20, true);
         for i in 0..17u64 {
-            c.send(&t, env(1 + (i % 2) as u32, i));
+            c.send(&t, env(1 + (i % 2) as u32, i)).unwrap();
             if i % 5 == 0 {
-                c.flush(&t);
+                c.flush(&t).unwrap();
             }
         }
-        c.flush(&t);
+        c.flush(&t).unwrap();
         assert_eq!(drain_tags(&t, 1), vec![0, 2, 4, 6, 8, 10, 12, 14, 16]);
         assert_eq!(drain_tags(&t, 2), vec![1, 3, 5, 7, 9, 11, 13, 15]);
     }

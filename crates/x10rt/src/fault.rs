@@ -1,0 +1,833 @@
+//! Deterministic fault injection over any [`Transport`].
+//!
+//! At petascale the network *will* misbehave: messages are lost, delayed,
+//! duplicated by retransmission, truncated by failing links, and whole nodes
+//! die mid-job. The paper's protocols (distributed finish, lifeline GLB) are
+//! only trustworthy if they degrade cleanly under exactly that churn —
+//! which is impossible to establish from happy-path tests. [`FaultTransport`]
+//! decorates a real back-end and injects those faults *deterministically*:
+//! every decision is a pure function of the [`FaultPlan`] seed and the
+//! message's (sender, destination, class, per-pair attempt index), so a
+//! failing run is replayed exactly from its seed alone.
+//!
+//! # Fault model
+//!
+//! Per message class, a plan assigns independent probabilities for:
+//!
+//! * **drop** — the envelope vanishes after submission (the NIC accepted it;
+//!   the wire lost it). The send reports success, like a real unreliable
+//!   datagram.
+//! * **delay** — the envelope is *held* for a seeded number of logical steps
+//!   and released later. Held envelopes queue per (sender, destination) pair
+//!   and release strictly in pair order — later traffic on a delayed pair
+//!   queues *behind* the held messages — so per-pair FIFO survives while
+//!   traffic reorders freely across pairs, the exact guarantee/weakness mix
+//!   of the real network.
+//! * **duplicate** — a phantom copy travels the wire alongside the original.
+//!   Payloads are in-process closures and cannot be cloned, so the copy is a
+//!   marker envelope: it is charged to the wire ledgers like real duplicate
+//!   traffic and then filtered at the receive edge, modeling receiver-side
+//!   dedup (protocols above never see it, but pay for its transit).
+//! * **truncate** — the envelope's payload is destroyed in flight; the
+//!   mangled envelope still transits (and is charged) but is discarded at
+//!   the receive edge, like a frame that fails its checksum.
+//! * **reject** — the transport refuses the send with a retryable
+//!   [`TransportError::Rejected`], modeling injection-FIFO backpressure.
+//!   The caller gets the envelope back and is expected to retry; the
+//!   decision index advances per attempt, so retries eventually pass.
+//!
+//! On top of the probabilistic faults, a plan scripts discrete events on the
+//! decorator's *logical clock* (one tick per send or receive operation):
+//! [`FaultPlan::kill_place`] kills a place when the clock reaches a step,
+//! black-holing its mailbox via [`Transport::kill_place`].
+//!
+//! # Liveness of held messages
+//!
+//! Releases are driven by the same logical clock, pumped on every send *and*
+//! receive. Workers poll their mailboxes even while otherwise idle (the
+//! scheduler's park path wakes on a bounded timeout), so held messages are
+//! always eventually released — delay can starve no one forever.
+
+use crate::message::{Envelope, MsgClass};
+use crate::place::PlaceId;
+use crate::stats::NetStats;
+use crate::transport::{SendError, Transport, TransportError, Waker};
+use obs::metrics::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Per-class fault probabilities, each in `[0.0, 1.0]`. All zero by default.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ClassFaults {
+    /// Probability the envelope is silently lost after submission.
+    pub drop: f64,
+    /// Probability the envelope is held for a seeded number of steps.
+    pub delay: f64,
+    /// Probability a phantom duplicate transits alongside the original.
+    pub duplicate: f64,
+    /// Probability the payload is destroyed in flight.
+    pub truncate: f64,
+    /// Probability the send is transiently refused (retryable).
+    pub reject: f64,
+}
+
+impl ClassFaults {
+    /// Faults that only drop with probability `p`.
+    pub fn dropping(p: f64) -> Self {
+        ClassFaults {
+            drop: p,
+            ..Default::default()
+        }
+    }
+
+    /// Faults that only delay with probability `p`.
+    pub fn delaying(p: f64) -> Self {
+        ClassFaults {
+            delay: p,
+            ..Default::default()
+        }
+    }
+
+    /// Faults that only duplicate with probability `p`.
+    pub fn duplicating(p: f64) -> Self {
+        ClassFaults {
+            duplicate: p,
+            ..Default::default()
+        }
+    }
+
+    /// Faults that only truncate with probability `p`.
+    pub fn truncating(p: f64) -> Self {
+        ClassFaults {
+            truncate: p,
+            ..Default::default()
+        }
+    }
+
+    /// Faults that only reject with probability `p`.
+    pub fn rejecting(p: f64) -> Self {
+        ClassFaults {
+            reject: p,
+            ..Default::default()
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.drop == 0.0
+            && self.delay == 0.0
+            && self.duplicate == 0.0
+            && self.truncate == 0.0
+            && self.reject == 0.0
+    }
+}
+
+/// A discrete scripted event on the decorator's logical clock.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Kill `place` once the logical clock reaches `step`.
+    KillPlace {
+        /// Logical step (send/recv operations observed) at which to fire.
+        step: u64,
+        /// The victim.
+        place: PlaceId,
+    },
+}
+
+impl FaultEvent {
+    fn step(&self) -> u64 {
+        match self {
+            FaultEvent::KillPlace { step, .. } => *step,
+        }
+    }
+}
+
+/// A complete, replayable description of the faults to inject: seed,
+/// per-class probabilities, delay magnitude, and scripted events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    faults: [ClassFaults; MsgClass::ALL.len()],
+    /// Inclusive range of logical steps a delayed envelope is held.
+    delay_steps: (u64, u64),
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: [ClassFaults::default(); MsgClass::ALL.len()],
+            delay_steps: (1, 64),
+            events: Vec::new(),
+        }
+    }
+
+    /// Set the fault probabilities for one message class.
+    pub fn class(mut self, class: MsgClass, f: ClassFaults) -> Self {
+        self.faults[class.index()] = f;
+        self
+    }
+
+    /// Set the same fault probabilities for every message class (including
+    /// `Batch` envelopes — faults strike at envelope granularity).
+    pub fn all_classes(mut self, f: ClassFaults) -> Self {
+        self.faults = [f; MsgClass::ALL.len()];
+        self
+    }
+
+    /// Hold delayed envelopes between `min` and `max` logical steps
+    /// (inclusive; `max` is clamped up to `min`).
+    pub fn delay_steps(mut self, min: u64, max: u64) -> Self {
+        self.delay_steps = (min.max(1), max.max(min.max(1)));
+        self
+    }
+
+    /// Script a place kill at logical step `step`.
+    pub fn kill_place(mut self, place: PlaceId, step: u64) -> Self {
+        self.events.push(FaultEvent::KillPlace { step, place });
+        self.events.sort_by_key(|e| e.step());
+        self
+    }
+
+    /// True when the plan injects nothing: all probabilities zero and no
+    /// scripted events. A [`FaultTransport`] under such a plan must be
+    /// observably identical to its inner transport.
+    pub fn is_zero(&self) -> bool {
+        self.events.is_empty() && self.faults.iter().all(ClassFaults::is_zero)
+    }
+
+    /// The fault probabilities in effect for `class`.
+    pub fn faults_for(&self, class: MsgClass) -> ClassFaults {
+        self.faults[class.index()]
+    }
+
+    /// The scripted events, ascending by step.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Running totals of the faults a [`FaultTransport`] has injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Envelopes silently lost.
+    pub dropped: u64,
+    /// Envelopes held and later released.
+    pub delayed: u64,
+    /// Phantom duplicates injected.
+    pub duplicated: u64,
+    /// Payloads destroyed in flight.
+    pub truncated: u64,
+    /// Sends transiently refused.
+    pub rejected: u64,
+    /// Places killed by scripted events or [`Transport::kill_place`].
+    pub killed: u64,
+    /// Marker envelopes (duplicates, truncations) filtered at the receive
+    /// edge.
+    pub filtered: u64,
+}
+
+#[derive(Default)]
+struct FaultTallies {
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+    truncated: AtomicU64,
+    rejected: AtomicU64,
+    killed: AtomicU64,
+    filtered: AtomicU64,
+}
+
+/// Resolved observability counters mirroring [`FaultCounts`].
+struct FaultHooks {
+    dropped: Counter,
+    delayed: Counter,
+    duplicated: Counter,
+    truncated: Counter,
+    rejected: Counter,
+    killed: Counter,
+}
+
+/// Payload of an injected marker envelope. Marker envelopes transit the
+/// inner transport (so the wire ledgers charge them) and are filtered out at
+/// [`FaultTransport::try_recv`] before any protocol sees them.
+enum FaultMarker {
+    /// A phantom duplicate (receiver-side dedup removes it).
+    Duplicate,
+    /// A payload destroyed in flight (checksum failure discards the frame).
+    Truncated,
+}
+
+/// An envelope held for delayed release: release step + the envelope.
+type Held = (u64, Envelope);
+
+/// Deterministic, seed-driven fault-injection decorator over any transport.
+///
+/// See the [module docs](self) for the fault model. Construction wires the
+/// decorator *between* the upper layers and the inner back-end; everything —
+/// wakers, statistics, place count — delegates to the inner transport, so a
+/// runtime built over a `FaultTransport` behaves identically to one built
+/// over the bare back-end whenever the plan [is zero](FaultPlan::is_zero).
+pub struct FaultTransport {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    /// Logical clock: one tick per send or receive operation.
+    clock: AtomicU64,
+    /// Scripted events not yet fired (drained front-to-back; sorted by step).
+    pending_events: Mutex<VecDeque<FaultEvent>>,
+    /// Lock-free fast path: how many scripted events remain.
+    events_left: AtomicUsize,
+    /// Per-place death flags (scripted kills and explicit `kill_place`).
+    dead: Vec<AtomicBool>,
+    /// Per (sender, destination) pair decision counters; index = from*n+to.
+    pair_seq: Vec<AtomicU64>,
+    /// Held (delayed) envelopes per pair. BTreeMap so the release sweep
+    /// visits pairs in a deterministic order.
+    held: Mutex<BTreeMap<(u32, u32), VecDeque<Held>>>,
+    /// Lock-free fast path: how many envelopes are currently held.
+    held_count: AtomicUsize,
+    tallies: FaultTallies,
+    hooks: Option<FaultHooks>,
+}
+
+impl FaultTransport {
+    /// Decorate `inner` with the faults described by `plan`.
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> Self {
+        let places = inner.num_places();
+        let events: VecDeque<FaultEvent> = plan.events.iter().copied().collect();
+        FaultTransport {
+            inner,
+            clock: AtomicU64::new(0),
+            events_left: AtomicUsize::new(events.len()),
+            pending_events: Mutex::new(events),
+            dead: (0..places).map(|_| AtomicBool::new(false)).collect(),
+            pair_seq: (0..places * places).map(|_| AtomicU64::new(0)).collect(),
+            held: Mutex::new(BTreeMap::new()),
+            held_count: AtomicUsize::new(0),
+            tallies: FaultTallies::default(),
+            hooks: None,
+            plan,
+        }
+    }
+
+    /// Mirror every injected fault into the shared metrics registry
+    /// (builder style), sharded by sending place.
+    pub fn with_obs(mut self, metrics: &MetricsRegistry) -> Self {
+        self.hooks = Some(FaultHooks {
+            dropped: metrics.counter(obs::names::FAULT_DROPPED),
+            delayed: metrics.counter(obs::names::FAULT_DELAYED),
+            duplicated: metrics.counter(obs::names::FAULT_DUPLICATED),
+            truncated: metrics.counter(obs::names::FAULT_TRUNCATED),
+            rejected: metrics.counter(obs::names::FAULT_REJECTED),
+            killed: metrics.counter(obs::names::FAULT_KILLED),
+        });
+        self
+    }
+
+    /// The plan governing this decorator.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Running totals of the faults injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        FaultCounts {
+            dropped: self.tallies.dropped.load(Ordering::Relaxed),
+            delayed: self.tallies.delayed.load(Ordering::Relaxed),
+            duplicated: self.tallies.duplicated.load(Ordering::Relaxed),
+            truncated: self.tallies.truncated.load(Ordering::Relaxed),
+            rejected: self.tallies.rejected.load(Ordering::Relaxed),
+            killed: self.tallies.killed.load(Ordering::Relaxed),
+            filtered: self.tallies.filtered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The decorator's logical clock (diagnostics).
+    pub fn logical_step(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes currently held for delayed release (diagnostics).
+    pub fn held_len(&self) -> usize {
+        self.held_count.load(Ordering::Relaxed)
+    }
+
+    /// Advance the logical clock by one operation and return the new time.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Fire scripted events whose step has been reached.
+    fn apply_events(&self, now: u64) {
+        if self.events_left.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        loop {
+            let event = {
+                let mut pending = self.pending_events.lock();
+                match pending.front() {
+                    Some(e) if e.step() <= now => {
+                        let e = *e;
+                        pending.pop_front();
+                        self.events_left.store(pending.len(), Ordering::Release);
+                        e
+                    }
+                    _ => return,
+                }
+            };
+            match event {
+                FaultEvent::KillPlace { place, .. } => self.kill(place),
+            }
+        }
+    }
+
+    fn kill(&self, place: PlaceId) {
+        if self.dead[place.index()].swap(true, Ordering::AcqRel) {
+            return; // already dead
+        }
+        self.inner.kill_place(place);
+        // Held traffic addressed to the victim is destroyed with it.
+        {
+            let mut held = self.held.lock();
+            held.retain(|&(_, to), _| to != place.0);
+            let remaining = held.values().map(VecDeque::len).sum();
+            self.held_count.store(remaining, Ordering::Relaxed);
+        }
+        self.tallies.killed.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.hooks {
+            h.killed.inc(place.0);
+        }
+    }
+
+    /// Release every held envelope whose release step has passed, in
+    /// deterministic pair order (which is what reorders traffic *across*
+    /// pairs while each pair's own queue drains FIFO).
+    fn pump(&self, now: u64) {
+        if self.held_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut ready: Vec<Envelope> = Vec::new();
+        {
+            let mut held = self.held.lock();
+            held.retain(|_, q| {
+                while q.front().is_some_and(|(release, _)| *release <= now) {
+                    ready.push(q.pop_front().expect("front checked").1);
+                }
+                !q.is_empty()
+            });
+            let remaining = held.values().map(VecDeque::len).sum();
+            self.held_count.store(remaining, Ordering::Relaxed);
+        }
+        for env in ready {
+            // The destination may have died while the envelope was held;
+            // the black hole swallows it silently, like in-flight traffic
+            // to a crashed node.
+            let _ = self.inner.send(env);
+        }
+    }
+
+    /// One decision draw: uniform in `[0, 1)`, a pure function of the plan
+    /// seed, the pair, the class, the per-pair attempt index, and the fault
+    /// kind (`salt`).
+    fn draw(&self, from: u32, to: u32, class: MsgClass, seq: u64, salt: u64) -> f64 {
+        let bits = decision_bits(self.plan.seed, from, to, class, seq, salt);
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn count(&self, tally: &AtomicU64, hook: impl Fn(&FaultHooks) -> &Counter, shard: u32) {
+        tally.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.hooks {
+            hook(h).inc(shard);
+        }
+    }
+}
+
+/// Salts separating the independent per-fault-kind draws.
+const SALT_DROP: u64 = 0xD0;
+const SALT_DELAY: u64 = 0xDE;
+const SALT_DELAY_LEN: u64 = 0xDF;
+const SALT_DUP: u64 = 0xD2;
+const SALT_TRUNC: u64 = 0x7C;
+const SALT_REJECT: u64 = 0xE7;
+
+/// SplitMix64 over the packed decision inputs.
+fn decision_bits(seed: u64, from: u32, to: u32, class: MsgClass, seq: u64, salt: u64) -> u64 {
+    let pair = ((from as u64) << 24) ^ (to as u64) ^ ((class.index() as u64) << 48);
+    let mut z = seed
+        ^ pair.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ seq.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ salt.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Transport for FaultTransport {
+    fn send(&self, env: Envelope) -> Result<(), SendError> {
+        let now = self.tick();
+        self.apply_events(now);
+        self.pump(now);
+
+        let (from, to) = (env.from.0, env.to.0);
+        if self.dead[env.to.index()].load(Ordering::Acquire) {
+            return Err(SendError::dead(env.to, 1));
+        }
+        // A killed place is fully isolated: nothing it tries to send after
+        // the kill reaches the network either.
+        if self.dead[env.from.index()].load(Ordering::Acquire) {
+            return Err(SendError::dead(env.from, 1));
+        }
+        let class = env.class;
+        let faults = self.plan.faults[class.index()];
+        let seq = self.pair_seq[env.from.index() * self.dead.len() + env.to.index()]
+            .fetch_add(1, Ordering::Relaxed);
+
+        if faults.reject > 0.0 && self.draw(from, to, class, seq, SALT_REJECT) < faults.reject {
+            self.count(&self.tallies.rejected, |h| &h.rejected, from);
+            return Err(SendError {
+                error: TransportError::Rejected { place: env.to },
+                retry: vec![env],
+                dropped: 0,
+            });
+        }
+        if faults.drop > 0.0 && self.draw(from, to, class, seq, SALT_DROP) < faults.drop {
+            // The NIC accepted it; the wire lost it. Success, silently.
+            self.count(&self.tallies.dropped, |h| &h.dropped, from);
+            return Ok(());
+        }
+
+        let env = if faults.truncate > 0.0
+            && self.draw(from, to, class, seq, SALT_TRUNC) < faults.truncate
+        {
+            self.count(&self.tallies.truncated, |h| &h.truncated, from);
+            Envelope {
+                payload: Box::new(FaultMarker::Truncated),
+                ..env
+            }
+        } else {
+            env
+        };
+        let duplicate =
+            faults.duplicate > 0.0 && self.draw(from, to, class, seq, SALT_DUP) < faults.duplicate;
+
+        // Delay, or forced queueing behind already-held same-pair traffic
+        // (anything else would let this envelope overtake them and break
+        // per-pair FIFO).
+        let delayed =
+            faults.delay > 0.0 && self.draw(from, to, class, seq, SALT_DELAY) < faults.delay;
+        let env = {
+            let mut held = self.held.lock();
+            if delayed {
+                let (lo, hi) = self.plan.delay_steps;
+                let span = hi - lo + 1;
+                let extra =
+                    lo + decision_bits(self.plan.seed, from, to, class, seq, SALT_DELAY_LEN) % span;
+                let q = held.entry((from, to)).or_default();
+                // Never release before a held predecessor on the same pair.
+                let release = q
+                    .back()
+                    .map_or(now + extra, |(prev, _)| (now + extra).max(*prev));
+                q.push_back((release, env));
+                self.held_count.fetch_add(1, Ordering::Relaxed);
+                self.count(&self.tallies.delayed, |h| &h.delayed, from);
+                None
+            } else {
+                match held.get_mut(&(from, to)).filter(|q| !q.is_empty()) {
+                    Some(q) => {
+                        let prev = q.back().expect("non-empty").0;
+                        q.push_back((prev, env));
+                        self.held_count.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                    None => Some(env),
+                }
+            }
+        };
+        let Some(env) = env else {
+            return Ok(());
+        };
+
+        self.inner.send(env)?;
+        if duplicate {
+            self.count(&self.tallies.duplicated, |h| &h.duplicated, from);
+            let phantom = Envelope {
+                from: PlaceId(from),
+                to: PlaceId(to),
+                class,
+                bytes: crate::message::HEADER_BYTES,
+                payload: Box::new(FaultMarker::Duplicate),
+            };
+            let _ = self.inner.send(phantom);
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self, place: PlaceId) -> Option<Envelope> {
+        let now = self.tick();
+        self.apply_events(now);
+        self.pump(now);
+        if self.dead[place.index()].load(Ordering::Acquire) {
+            return None;
+        }
+        loop {
+            let env = self.inner.try_recv(place)?;
+            if env.payload.downcast_ref::<FaultMarker>().is_some() {
+                self.tallies.filtered.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            return Some(env);
+        }
+    }
+
+    fn try_recv_batch(&self, place: PlaceId, max: usize, out: &mut Vec<Envelope>) -> usize {
+        let now = self.tick();
+        self.apply_events(now);
+        self.pump(now);
+        if self.dead[place.index()].load(Ordering::Acquire) {
+            return 0;
+        }
+        let before = out.len();
+        self.inner.try_recv_batch(place, max, out);
+        let mut filtered = 0u64;
+        out.retain(|env| {
+            let marker = env.payload.downcast_ref::<FaultMarker>().is_some();
+            filtered += marker as u64;
+            !marker
+        });
+        if filtered > 0 {
+            self.tallies.filtered.fetch_add(filtered, Ordering::Relaxed);
+        }
+        out.len() - before
+    }
+
+    fn register_waker(&self, place: PlaceId, waker: Waker) {
+        self.inner.register_waker(place, waker)
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.inner.stats()
+    }
+
+    fn num_places(&self) -> usize {
+        self.dead.len()
+    }
+
+    fn queue_len(&self, place: PlaceId) -> usize {
+        if self.dead[place.index()].load(Ordering::Acquire) {
+            return 0;
+        }
+        self.inner.queue_len(place)
+    }
+
+    fn kill_place(&self, place: PlaceId) {
+        self.kill(place)
+    }
+
+    fn is_dead(&self, place: PlaceId) -> bool {
+        self.dead[place.index()].load(Ordering::Acquire)
+    }
+
+    fn dead_places(&self) -> Vec<PlaceId> {
+        (0..self.dead.len())
+            .filter(|&i| self.dead[i].load(Ordering::Acquire))
+            .map(|i| PlaceId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalTransport;
+
+    fn env(from: u32, to: u32, tag: u64) -> Envelope {
+        Envelope::new(PlaceId(from), PlaceId(to), MsgClass::Task, 8, Box::new(tag))
+    }
+
+    fn wrap(places: usize, plan: FaultPlan) -> FaultTransport {
+        FaultTransport::new(Arc::new(LocalTransport::new(places)), plan)
+    }
+
+    /// Drain place `p`, ticking the clock until `want` messages arrived or
+    /// `budget` polls elapsed.
+    fn drain(t: &FaultTransport, p: u32, want: usize, budget: usize) -> Vec<u64> {
+        let mut tags = Vec::new();
+        for _ in 0..budget {
+            if let Some(e) = t.try_recv(PlaceId(p)) {
+                tags.push(*e.payload.downcast::<u64>().unwrap());
+                if tags.len() == want {
+                    break;
+                }
+            }
+        }
+        tags
+    }
+
+    #[test]
+    fn zero_plan_passes_everything_through() {
+        let t = wrap(2, FaultPlan::new(42));
+        assert!(t.plan().is_zero());
+        for i in 0..50u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        assert_eq!(drain(&t, 1, 50, 60), (0..50).collect::<Vec<_>>());
+        assert_eq!(t.fault_counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn drop_loses_messages_deterministically() {
+        let run = || {
+            let t = wrap(2, FaultPlan::new(7).all_classes(ClassFaults::dropping(0.3)));
+            for i in 0..200u64 {
+                t.send(env(0, 1, i)).unwrap();
+            }
+            (drain(&t, 1, 200, 400), t.fault_counts().dropped)
+        };
+        let (got_a, dropped_a) = run();
+        let (got_b, dropped_b) = run();
+        assert!(dropped_a > 0, "p=0.3 over 200 sends should drop some");
+        assert_eq!(got_a.len() as u64 + dropped_a, 200);
+        // Same seed, same traffic: identical losses.
+        assert_eq!(got_a, got_b);
+        assert_eq!(dropped_a, dropped_b);
+        // Survivors keep their relative order.
+        assert!(got_a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let survivors = |seed| {
+            let t = wrap(
+                2,
+                FaultPlan::new(seed).all_classes(ClassFaults::dropping(0.3)),
+            );
+            for i in 0..200u64 {
+                t.send(env(0, 1, i)).unwrap();
+            }
+            drain(&t, 1, 200, 400)
+        };
+        assert_ne!(survivors(1), survivors(2));
+    }
+
+    #[test]
+    fn delay_preserves_per_pair_fifo() {
+        let t = wrap(
+            3,
+            FaultPlan::new(11).all_classes(ClassFaults::delaying(0.5)),
+        );
+        for i in 0..100u64 {
+            t.send(env(0, 2, i)).unwrap();
+            t.send(env(1, 2, 1000 + i)).unwrap();
+        }
+        let got = drain(&t, 2, 200, 2000);
+        assert_eq!(got.len(), 200, "delay must not lose messages");
+        assert!(t.held_len() == 0);
+        assert!(t.fault_counts().delayed > 0);
+        let from0: Vec<u64> = got.iter().copied().filter(|&x| x < 1000).collect();
+        let from1: Vec<u64> = got.iter().copied().filter(|&x| x >= 1000).collect();
+        assert_eq!(from0, (0..100).collect::<Vec<_>>());
+        assert_eq!(from1, (1000..1100).collect::<Vec<_>>());
+        // With half the traffic delayed, the interleaving across pairs must
+        // differ from the strict alternation it was sent in.
+        let alternation: Vec<u64> = (0..100u64).flat_map(|i| [i, 1000 + i]).collect();
+        assert_ne!(got, alternation, "cross-pair reordering expected");
+    }
+
+    #[test]
+    fn duplicates_charged_but_filtered() {
+        let t = wrap(
+            2,
+            FaultPlan::new(5).all_classes(ClassFaults::duplicating(0.5)),
+        );
+        for i in 0..100u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        let dup = t.fault_counts().duplicated;
+        assert!(dup > 0);
+        // Phantom envelopes transit the wire ...
+        assert_eq!(t.stats().total_envelopes(), 100 + dup);
+        // ... but the protocol layer sees each message exactly once.
+        assert_eq!(drain(&t, 1, 200, 400), (0..100).collect::<Vec<_>>());
+        assert_eq!(t.fault_counts().filtered, dup);
+    }
+
+    #[test]
+    fn truncation_discards_at_receive_edge() {
+        let t = wrap(
+            2,
+            FaultPlan::new(3).all_classes(ClassFaults::truncating(0.4)),
+        );
+        for i in 0..100u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        let counts = t.fault_counts();
+        assert!(counts.truncated > 0);
+        let got = drain(&t, 1, 100, 300);
+        assert_eq!(got.len() as u64 + counts.truncated, 100);
+        // Mangled frames transited (and were charged) before discard.
+        assert_eq!(t.stats().total_envelopes(), 100);
+        assert_eq!(t.fault_counts().filtered, counts.truncated);
+    }
+
+    #[test]
+    fn reject_returns_envelope_and_retry_succeeds() {
+        let t = wrap(
+            2,
+            FaultPlan::new(1).all_classes(ClassFaults::rejecting(0.9)),
+        );
+        let mut pending = vec![env(0, 1, 7)];
+        let mut attempts = 0;
+        while let Some(e) = pending.pop() {
+            attempts += 1;
+            assert!(attempts < 1000, "rejection must be transient");
+            match t.send(e) {
+                Ok(()) => break,
+                Err(err) => {
+                    assert_eq!(err.error, TransportError::Rejected { place: PlaceId(1) });
+                    pending.extend(err.retry);
+                }
+            }
+        }
+        assert!(attempts > 1, "p=0.9 should reject the first attempt");
+        assert_eq!(drain(&t, 1, 1, 10), vec![7]);
+    }
+
+    #[test]
+    fn scripted_kill_fires_on_logical_clock() {
+        let plan = FaultPlan::new(9).kill_place(PlaceId(1), 10);
+        let t = wrap(3, plan);
+        for i in 0..9u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        assert!(!t.is_dead(PlaceId(1)));
+        // The tenth operation crosses the scripted step and fires the kill
+        // before the envelope is submitted: it dies with the place.
+        let err = t.send(env(0, 1, 9)).unwrap_err();
+        assert_eq!(err.error, TransportError::PlaceDead { place: PlaceId(1) });
+        assert!(t.is_dead(PlaceId(1)));
+        assert_eq!(t.fault_counts().killed, 1);
+        // The mailbox black-holed its backlog.
+        assert!(t.try_recv(PlaceId(1)).is_none());
+        assert_eq!(t.queue_len(PlaceId(1)), 0);
+        // Other places keep working.
+        t.send(env(0, 2, 99)).unwrap();
+        assert_eq!(drain(&t, 2, 1, 10), vec![99]);
+    }
+
+    #[test]
+    fn held_traffic_to_killed_place_is_destroyed() {
+        let plan = FaultPlan::new(13)
+            .all_classes(ClassFaults::delaying(1.0))
+            .delay_steps(1000, 1000);
+        let t = wrap(2, plan);
+        t.send(env(0, 1, 0)).unwrap();
+        assert_eq!(t.held_len(), 1);
+        t.kill_place(PlaceId(1));
+        assert_eq!(t.held_len(), 0);
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod coalesce;
 pub mod congruent;
+pub mod fault;
 pub mod message;
 pub mod place;
 pub mod rdma;
@@ -44,9 +45,10 @@ pub mod transport;
 
 pub use coalesce::{Coalescer, FlushCounts, FlushReason};
 pub use congruent::{CongruentAllocator, CongruentArray, Pod};
+pub use fault::{ClassFaults, FaultCounts, FaultEvent, FaultPlan, FaultTransport};
 pub use message::{BatchPayload, Envelope, MsgClass, Payload, HEADER_BYTES};
 pub use place::{PlaceId, Topology};
 pub use rdma::RemoteAddr;
 pub use segment::{SegId, Segment, SegmentTable};
 pub use stats::NetStats;
-pub use transport::{LocalTransport, Transport};
+pub use transport::{LocalTransport, SendError, Transport, TransportError};

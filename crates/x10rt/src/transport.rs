@@ -43,6 +43,99 @@ use std::sync::Arc;
 /// worker thread(s).
 pub type Waker = Arc<dyn Fn() + Send + Sync>;
 
+/// Why a send could not be completed.
+///
+/// Real back-ends fail in exactly two shapes: *terminally* (the peer is gone
+/// — PAMI surfaces this as a destination error) and *transiently* (the
+/// injection FIFO is full and the NIC pushes back). The upper layers treat
+/// them very differently: transient rejections are retried with backoff (see
+/// [`crate::coalesce::Coalescer`]), terminal failures are surfaced so the
+/// protocol layer can degrade (a `finish` reports a dead place instead of
+/// hanging, GLB routes around the victim).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination place is dead (its mailbox was closed). Terminal:
+    /// retrying can never succeed.
+    PlaceDead {
+        /// The dead destination.
+        place: PlaceId,
+    },
+    /// The transport transiently refused the message (modeled injection-FIFO
+    /// backpressure). Retryable.
+    Rejected {
+        /// The refusing destination.
+        place: PlaceId,
+    },
+    /// Bounded retry gave up without the message being accepted.
+    Timeout {
+        /// The destination that kept refusing.
+        place: PlaceId,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PlaceDead { place } => write!(f, "destination {place} is dead"),
+            TransportError::Rejected { place } => {
+                write!(f, "send to {place} transiently rejected")
+            }
+            TransportError::Timeout { place } => {
+                write!(f, "send to {place} timed out after bounded retry")
+            }
+        }
+    }
+}
+
+impl TransportError {
+    /// The destination place the failure concerns.
+    pub fn place(&self) -> PlaceId {
+        match *self {
+            TransportError::PlaceDead { place }
+            | TransportError::Rejected { place }
+            | TransportError::Timeout { place } => place,
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A failed send: the error plus what happened to the envelope(s).
+///
+/// Envelopes in `retry` were *not* consumed and may be resubmitted (only
+/// transient [`TransportError::Rejected`] failures return them); `dropped`
+/// counts envelopes destroyed outright (sends to a dead place black-hole).
+#[derive(Debug)]
+pub struct SendError {
+    /// The first error encountered.
+    pub error: TransportError,
+    /// Envelopes eligible for retry (empty for terminal failures).
+    pub retry: Vec<Envelope>,
+    /// Envelopes destroyed (e.g. addressed to a dead place).
+    pub dropped: usize,
+}
+
+impl SendError {
+    /// A terminal dead-place failure that destroyed `dropped` envelopes.
+    pub fn dead(place: PlaceId, dropped: usize) -> Self {
+        SendError {
+            error: TransportError::PlaceDead { place },
+            retry: Vec::new(),
+            dropped,
+        }
+    }
+
+    /// Total envelopes this failure affected (destroyed or returned).
+    pub fn affected(&self) -> usize {
+        self.dropped + self.retry.len()
+    }
+
+    /// The destination place the failure concerns.
+    pub fn place(&self) -> PlaceId {
+        self.error.place()
+    }
+}
+
 /// Point-to-point transport between places.
 ///
 /// Implementations must deliver messages between any fixed (sender,
@@ -50,15 +143,58 @@ pub type Waker = Arc<dyn Fn() + Send + Sync>;
 /// network reorders freely across routes — the paper's default finish
 /// protocol is designed for exactly this).
 pub trait Transport: Send + Sync {
-    /// Enqueue a message for delivery. Never blocks.
-    fn send(&self, env: Envelope);
+    /// Enqueue a message for delivery. Never blocks. A send to a dead place
+    /// fails with [`TransportError::PlaceDead`]; a transiently refused
+    /// message comes back in [`SendError::retry`] for resubmission.
+    fn send(&self, env: Envelope) -> Result<(), SendError>;
 
     /// Enqueue several messages for delivery, preserving their order per
     /// (sender, destination) pair. The default loops [`Transport::send`];
     /// back-ends override it to amortize per-message submission costs.
-    fn send_batch(&self, envs: Vec<Envelope>) {
+    ///
+    /// On failure the whole batch is still attempted (skipping a failed
+    /// envelope cannot break per-pair FIFO for the ones that follow it only
+    /// when the failure is terminal for that destination; transient
+    /// rejections therefore return the refused envelope *and* every later
+    /// same-destination envelope in `retry`, in order). The default
+    /// implementation keeps this property by funneling each envelope through
+    /// [`Transport::send`] and routing later same-destination envelopes
+    /// straight to `retry` once one was refused.
+    fn send_batch(&self, envs: Vec<Envelope>) -> Result<(), SendError> {
+        let mut first: Option<TransportError> = None;
+        let mut retry: Vec<Envelope> = Vec::new();
+        let mut dropped = 0usize;
+        // Destinations with a transiently refused envelope: later envelopes
+        // to the same destination must queue behind it, not overtake it.
+        let mut refused: Vec<PlaceId> = Vec::new();
         for env in envs {
-            self.send(env);
+            if refused.contains(&env.to) {
+                retry.push(env);
+                continue;
+            }
+            match self.send(env) {
+                Ok(()) => {}
+                Err(e) => {
+                    if first.is_none() {
+                        first = Some(e.error);
+                    }
+                    if let TransportError::Rejected { place } = e.error {
+                        if !refused.contains(&place) {
+                            refused.push(place);
+                        }
+                    }
+                    retry.extend(e.retry);
+                    dropped += e.dropped;
+                }
+            }
+        }
+        match first {
+            None => Ok(()),
+            Some(error) => Err(SendError {
+                error,
+                retry,
+                dropped,
+            }),
         }
     }
 
@@ -92,6 +228,26 @@ pub trait Transport: Send + Sync {
 
     /// Number of places this transport connects.
     fn num_places(&self) -> usize;
+
+    /// Number of messages currently queued for `place` (diagnostics and the
+    /// scheduler's pre-park re-check).
+    fn queue_len(&self, place: PlaceId) -> usize;
+
+    /// Kill `place`: its mailbox black-holes (pending and future traffic is
+    /// destroyed) and subsequent sends to it fail with
+    /// [`TransportError::PlaceDead`]. Irreversible. The default is a no-op
+    /// for back-ends without failure support.
+    fn kill_place(&self, _place: PlaceId) {}
+
+    /// Has `place` been killed?
+    fn is_dead(&self, _place: PlaceId) -> bool {
+        false
+    }
+
+    /// All places killed so far, ascending.
+    fn dead_places(&self) -> Vec<PlaceId> {
+        Vec::new()
+    }
 }
 
 struct Mailbox {
@@ -99,6 +255,9 @@ struct Mailbox {
     /// Waker debounce: true while the place has been notified of pending
     /// traffic and has not yet drained to empty.
     notified: AtomicBool,
+    /// Set when the place is killed: the queue is emptied and stays empty,
+    /// and sends fail with [`TransportError::PlaceDead`].
+    closed: AtomicBool,
 }
 
 /// In-process transport: one locked FIFO deque per place, with debounced
@@ -117,6 +276,7 @@ impl LocalTransport {
             .map(|_| Mailbox {
                 queue: Mutex::new(VecDeque::new()),
                 notified: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
             })
             .collect();
         LocalTransport {
@@ -124,12 +284,6 @@ impl LocalTransport {
             wakers: RwLock::new(vec![None; places]),
             stats: NetStats::new(places),
         }
-    }
-
-    /// Number of messages currently queued for `place` (diagnostics and the
-    /// scheduler's pre-park re-check).
-    pub fn queue_len(&self, place: PlaceId) -> usize {
-        self.mailboxes[place.index()].queue.lock().len()
     }
 
     /// Count this envelope: one physical envelope always; one logical
@@ -158,22 +312,40 @@ impl LocalTransport {
 }
 
 impl Transport for LocalTransport {
-    fn send(&self, env: Envelope) {
+    fn send(&self, env: Envelope) -> Result<(), SendError> {
         debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
-        self.record(&env);
         let to = env.to.index();
+        if self.mailboxes[to].closed.load(Ordering::Acquire) {
+            return Err(SendError::dead(env.to, 1));
+        }
+        self.record(&env);
         self.mailboxes[to].queue.lock().push_back(env);
         self.wake(to);
+        Ok(())
     }
 
-    fn send_batch(&self, envs: Vec<Envelope>) {
+    fn send_batch(&self, envs: Vec<Envelope>) -> Result<(), SendError> {
         // Enqueue each same-destination run under one lock acquisition and
         // fire at most one (debounced) wake per run. Processing runs in
-        // order preserves per-pair FIFO.
+        // order preserves per-pair FIFO. Runs addressed to a dead place are
+        // destroyed (black hole) and reported via the returned error.
+        let mut err: Option<SendError> = None;
         let mut iter = envs.into_iter().peekable();
         while let Some(env) = iter.next() {
             debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
             let to = env.to.index();
+            if self.mailboxes[to].closed.load(Ordering::Acquire) {
+                let mut destroyed = 1;
+                while iter.peek().is_some_and(|next| next.to.index() == to) {
+                    iter.next();
+                    destroyed += 1;
+                }
+                match &mut err {
+                    Some(e) => e.dropped += destroyed,
+                    None => err = Some(SendError::dead(env.to, destroyed)),
+                }
+                continue;
+            }
             {
                 let mut q = self.mailboxes[to].queue.lock();
                 self.record(&env);
@@ -188,6 +360,10 @@ impl Transport for LocalTransport {
                 }
             }
             self.wake(to);
+        }
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -225,6 +401,30 @@ impl Transport for LocalTransport {
     fn num_places(&self) -> usize {
         self.mailboxes.len()
     }
+
+    fn queue_len(&self, place: PlaceId) -> usize {
+        self.mailboxes[place.index()].queue.lock().len()
+    }
+
+    fn kill_place(&self, place: PlaceId) {
+        let mb = &self.mailboxes[place.index()];
+        // Order matters: close first, then purge under the queue lock, so a
+        // concurrent send either observed `closed` (and failed) or enqueued
+        // before the purge (and is destroyed with the rest).
+        mb.closed.store(true, Ordering::Release);
+        mb.queue.lock().clear();
+    }
+
+    fn is_dead(&self, place: PlaceId) -> bool {
+        self.mailboxes[place.index()].closed.load(Ordering::Acquire)
+    }
+
+    fn dead_places(&self) -> Vec<PlaceId> {
+        (0..self.mailboxes.len())
+            .filter(|&i| self.mailboxes[i].closed.load(Ordering::Acquire))
+            .map(|i| PlaceId(i as u32))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +439,7 @@ mod tests {
     #[test]
     fn delivers_point_to_point() {
         let t = LocalTransport::new(3);
-        t.send(env(0, 2, 7));
+        t.send(env(0, 2, 7)).unwrap();
         assert!(t.try_recv(PlaceId(1)).is_none());
         let got = t.try_recv(PlaceId(2)).expect("message for place 2");
         assert_eq!(*got.payload.downcast::<u64>().unwrap(), 7);
@@ -250,7 +450,7 @@ mod tests {
     fn per_pair_fifo_order() {
         let t = LocalTransport::new(2);
         for i in 0..100u64 {
-            t.send(env(0, 1, i));
+            t.send(env(0, 1, i)).unwrap();
         }
         for i in 0..100u64 {
             let got = t.try_recv(PlaceId(1)).unwrap();
@@ -270,15 +470,15 @@ mod tests {
             }),
         );
         // A burst of sends with no drain in between fires the waker once.
-        t.send(env(0, 1, 0));
-        t.send(env(0, 1, 1));
+        t.send(env(0, 1, 0)).unwrap();
+        t.send(env(0, 1, 1)).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         // Draining to empty re-arms the debounce ...
         assert!(t.try_recv(PlaceId(1)).is_some());
         assert!(t.try_recv(PlaceId(1)).is_some());
         assert!(t.try_recv(PlaceId(1)).is_none());
         // ... so the next burst fires it again.
-        t.send(env(0, 1, 2));
+        t.send(env(0, 1, 2)).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
@@ -303,14 +503,14 @@ mod tests {
                 );
             }),
         );
-        t.send(env(0, 1, 0));
+        t.send(env(0, 1, 0)).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     fn stats_accumulate() {
         let t = LocalTransport::new(2);
-        t.send(env(0, 1, 0));
+        t.send(env(0, 1, 0)).unwrap();
         assert_eq!(t.stats().class(MsgClass::Task).messages, 1);
         assert_eq!(t.stats().total_envelopes(), 1);
         assert_eq!(t.queue_len(PlaceId(1)), 1);
@@ -320,7 +520,7 @@ mod tests {
     fn send_batch_preserves_order_and_counts() {
         let t = LocalTransport::new(3);
         let batch: Vec<Envelope> = (0..10u64).map(|i| env(0, 1 + (i % 2) as u32, i)).collect();
-        t.send_batch(batch);
+        t.send_batch(batch).unwrap();
         // Per-destination order is send order.
         for want in [0u64, 2, 4, 6, 8] {
             let got = t.try_recv(PlaceId(1)).unwrap();
@@ -338,7 +538,7 @@ mod tests {
     fn try_recv_batch_drains_in_order() {
         let t = LocalTransport::new(2);
         for i in 0..10u64 {
-            t.send(env(0, 1, i));
+            t.send(env(0, 1, i)).unwrap();
         }
         let mut out = Vec::new();
         assert_eq!(t.try_recv_batch(PlaceId(1), 4, &mut out), 4);
@@ -353,7 +553,8 @@ mod tests {
     fn batch_envelope_counts_once_physically() {
         let t = LocalTransport::new(2);
         let inner: Vec<Envelope> = (0..4u64).map(|i| env(0, 1, i)).collect();
-        t.send(Envelope::batch(PlaceId(0), PlaceId(1), inner));
+        t.send(Envelope::batch(PlaceId(0), PlaceId(1), inner))
+            .unwrap();
         // The transport only counts the physical envelope; logical counts
         // for the inner messages are the coalescer's job.
         assert_eq!(t.stats().total_envelopes(), 1);
@@ -364,6 +565,45 @@ mod tests {
     }
 
     #[test]
+    fn send_to_dead_place_returns_typed_error() {
+        let t = LocalTransport::new(3);
+        t.send(env(0, 1, 0)).unwrap();
+        t.kill_place(PlaceId(1));
+        // Pending traffic is destroyed; the mailbox black-holes.
+        assert_eq!(t.queue_len(PlaceId(1)), 0);
+        assert!(t.try_recv(PlaceId(1)).is_none());
+        let err = t.send(env(0, 1, 1)).unwrap_err();
+        assert_eq!(err.error, TransportError::PlaceDead { place: PlaceId(1) });
+        assert!(err.retry.is_empty());
+        assert_eq!(err.dropped, 1);
+        assert!(t.is_dead(PlaceId(1)));
+        assert!(!t.is_dead(PlaceId(2)));
+        assert_eq!(t.dead_places(), vec![PlaceId(1)]);
+        // Other places are unaffected.
+        t.send(env(0, 2, 9)).unwrap();
+        assert!(t.try_recv(PlaceId(2)).is_some());
+    }
+
+    #[test]
+    fn send_batch_skips_dead_runs_and_reports() {
+        let t = LocalTransport::new(3);
+        t.kill_place(PlaceId(1));
+        let batch: Vec<Envelope> = (0..6u64).map(|i| env(0, 1 + (i % 2) as u32, i)).collect();
+        let err = t.send_batch(batch).unwrap_err();
+        assert_eq!(err.error, TransportError::PlaceDead { place: PlaceId(1) });
+        assert_eq!(err.dropped, 3);
+        assert!(err.retry.is_empty());
+        // The live destination still got its run, in order.
+        for want in [1u64, 3, 5] {
+            let got = t.try_recv(PlaceId(2)).unwrap();
+            assert_eq!(*got.payload.downcast::<u64>().unwrap(), want);
+        }
+        // Destroyed envelopes are not recorded in the ledgers.
+        assert_eq!(t.stats().total_messages(), 3);
+        assert_eq!(t.stats().total_envelopes(), 3);
+    }
+
+    #[test]
     fn concurrent_senders_all_delivered() {
         let t = Arc::new(LocalTransport::new(2));
         let mut handles = vec![];
@@ -371,7 +611,7 @@ mod tests {
             let t = t.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
-                    t.send(env(0, 1, (s as u64) << 32 | i));
+                    t.send(env(0, 1, (s as u64) << 32 | i)).unwrap();
                 }
             }));
         }

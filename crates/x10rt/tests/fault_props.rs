@@ -1,0 +1,196 @@
+//! Property tests of the fault-injection decorator.
+//!
+//! The load-bearing property: a [`FaultTransport`] whose plan injects
+//! *nothing* (all probabilities 0.0, no scripted events) is observably
+//! identical to the undecorated transport — same messages, same delivery
+//! order, same [`x10rt::NetStats`] ledgers — under arbitrary send schedules
+//! across both the scalar/batch paths and the coalescer. Anything less means
+//! the decorator perturbs the traffic it is supposed to merely observe, and
+//! chaos results could not be compared against fault-free baselines.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use x10rt::{
+    ClassFaults, Coalescer, Envelope, FaultPlan, FaultTransport, LocalTransport, MsgClass, PlaceId,
+    Transport,
+};
+
+const PLACES: usize = 4;
+
+fn env(from: u32, to: u32, class: MsgClass, tag: u64) -> Envelope {
+    Envelope::new(
+        PlaceId(from),
+        PlaceId(to),
+        class,
+        8 + (tag as usize % 32),
+        Box::new(tag),
+    )
+}
+
+const CLASSES: [MsgClass; 4] = [
+    MsgClass::Task,
+    MsgClass::FinishCtl,
+    MsgClass::Steal,
+    MsgClass::Team,
+];
+
+/// One traffic step: (sender, destination, class index, flush?).
+type Step = (u32, u32, usize, bool);
+
+/// Replay `steps` over `t` (scalar sends + per-sender coalescers with
+/// interleaved flushes) and return the delivered tags per place plus the
+/// full per-class ledger snapshot.
+#[allow(clippy::type_complexity)]
+fn replay(t: &dyn Transport, steps: &[Step]) -> (Vec<Vec<u64>>, Vec<(u64, u64)>, (u64, u64)) {
+    let mut coal: Vec<Coalescer> = (0..PLACES)
+        .map(|s| Coalescer::new(PlaceId(s as u32), PLACES, 3, 1 << 20, true))
+        .collect();
+    for (i, &(from, to, class, flush)) in steps.iter().enumerate() {
+        let tag = ((from as u64) << 40) | ((to as u64) << 32) | i as u64;
+        let class = CLASSES[class % CLASSES.len()];
+        if flush {
+            // Scalar path: flush the pair first so the bypass cannot overtake
+            // buffered traffic.
+            coal[from as usize].flush_dest(t, to as usize).unwrap();
+            t.send(env(from, to, class, tag)).unwrap();
+        } else {
+            coal[from as usize]
+                .send(t, env(from, to, class, tag))
+                .unwrap();
+        }
+    }
+    for c in &mut coal {
+        c.flush(t).unwrap();
+    }
+    let mut delivered: Vec<Vec<u64>> = vec![Vec::new(); PLACES];
+    for (p, dst) in delivered.iter_mut().enumerate() {
+        let mut out = Vec::new();
+        while t.try_recv_batch(PlaceId(p as u32), 7, &mut out) > 0 {
+            for e in out.drain(..) {
+                match e.unbatch() {
+                    Ok(inner) => {
+                        for e in inner {
+                            dst.push(*e.payload.downcast::<u64>().unwrap());
+                        }
+                    }
+                    Err(e) => dst.push(*e.payload.downcast::<u64>().unwrap()),
+                }
+            }
+        }
+    }
+    let per_class: Vec<(u64, u64)> = MsgClass::ALL
+        .iter()
+        .map(|&c| {
+            let s = t.stats().class(c);
+            (s.messages, s.bytes)
+        })
+        .collect();
+    (
+        delivered,
+        per_class,
+        (t.stats().total_envelopes(), t.stats().envelope_bytes()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// All-zero probabilities: the decorated transport is byte-identical to
+    /// the bare one — messages, order, logical ledgers, envelope ledgers.
+    #[test]
+    fn zero_probability_plan_is_transparent(
+        steps in prop::collection::vec(
+            (0u32..PLACES as u32, 0u32..PLACES as u32, 0usize..CLASSES.len(), any::<bool>()),
+            1..150
+        ),
+        seed in any::<u64>()
+    ) {
+        let plan = FaultPlan::new(seed).all_classes(ClassFaults::default());
+        prop_assert!(plan.is_zero());
+        let bare = LocalTransport::new(PLACES);
+        let wrapped = FaultTransport::new(Arc::new(LocalTransport::new(PLACES)), plan);
+        let (d_bare, classes_bare, env_bare) = replay(&bare, &steps);
+        let (d_wrapped, classes_wrapped, env_wrapped) = replay(&wrapped, &steps);
+        prop_assert_eq!(d_bare, d_wrapped, "delivery differs under a zero plan");
+        prop_assert_eq!(classes_bare, classes_wrapped, "logical ledgers differ");
+        prop_assert_eq!(env_bare, env_wrapped, "envelope ledgers differ");
+        prop_assert_eq!(wrapped.fault_counts(), x10rt::FaultCounts::default());
+        prop_assert_eq!(wrapped.held_len(), 0);
+    }
+
+    /// Delay-only plans lose nothing and preserve per-pair FIFO: every
+    /// message arrives exactly once, and for each (sender, destination)
+    /// pair the arrival order is the send order.
+    #[test]
+    fn delay_only_plan_is_lossless_and_pair_fifo(
+        steps in prop::collection::vec(
+            (0u32..PLACES as u32, 0u32..PLACES as u32, 0usize..CLASSES.len(), any::<bool>()),
+            1..150
+        ),
+        seed in any::<u64>(),
+        p in 0.1f64..1.0
+    ) {
+        let plan = FaultPlan::new(seed)
+            .all_classes(ClassFaults::delaying(p))
+            .delay_steps(1, 40);
+        let t = FaultTransport::new(Arc::new(LocalTransport::new(PLACES)), plan);
+        let (delivered, ..) = replay(&t, &steps);
+        // replay() drains until a poll returns nothing; held envelopes may
+        // remain. Keep polling (each poll ticks the logical clock) until
+        // everything released.
+        let mut delivered = delivered;
+        let mut budget = 10_000;
+        while t.held_len() > 0 && budget > 0 {
+            budget -= 1;
+            for (p, d) in delivered.iter_mut().enumerate() {
+                let mut out = Vec::new();
+                t.try_recv_batch(PlaceId(p as u32), 7, &mut out);
+                for e in out {
+                    match e.unbatch() {
+                        Ok(inner) => {
+                            for e in inner {
+                                d.push(*e.payload.downcast::<u64>().unwrap());
+                            }
+                        }
+                        Err(e) => d.push(*e.payload.downcast::<u64>().unwrap()),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(t.held_len(), 0, "held messages must eventually release");
+        // Final sweep: envelopes released by the last pump still sit in the
+        // inner mailboxes.
+        for (p, d) in delivered.iter_mut().enumerate() {
+            let mut out = Vec::new();
+            while t.try_recv_batch(PlaceId(p as u32), 7, &mut out) > 0 {
+                for e in out.drain(..) {
+                    match e.unbatch() {
+                        Ok(inner) => {
+                            for e in inner {
+                                d.push(*e.payload.downcast::<u64>().unwrap());
+                            }
+                        }
+                        Err(e) => d.push(*e.payload.downcast::<u64>().unwrap()),
+                    }
+                }
+            }
+        }
+        let total: usize = delivered.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, steps.len(), "delay lost or duplicated messages");
+        // Per-pair FIFO: tags embed (from, to, global step); per pair the
+        // step component must arrive increasing.
+        for (p, d) in delivered.iter().enumerate() {
+            let mut last: std::collections::HashMap<u64, u64> = Default::default();
+            for &tag in d {
+                let from = tag >> 40;
+                let to = (tag >> 32) & 0xff;
+                prop_assert_eq!(to as usize, p);
+                let step = tag & 0xffff_ffff;
+                if let Some(&prev) = last.get(&from) {
+                    prop_assert!(prev < step, "pair ({}, {}) reordered", from, p);
+                }
+                last.insert(from, step);
+            }
+        }
+    }
+}

@@ -84,7 +84,7 @@ proptest! {
         for &(from, to) in &sends {
             let s = seq[from as usize][to as usize];
             seq[from as usize][to as usize] += 1;
-            t.send(env(from, to, ((from as u64) << 40) | ((to as u64) << 32) | s));
+            t.send(env(from, to, ((from as u64) << 40) | ((to as u64) << 32) | s)).unwrap();
         }
         let mut seen = [[0u64; 4]; 4];
         let mut total = 0;
@@ -128,14 +128,14 @@ proptest! {
             if cut {
                 let run = std::mem::take(&mut pending[from as usize]);
                 if run.len() == 1 {
-                    t.send(run.into_iter().next().unwrap());
+                    t.send(run.into_iter().next().unwrap()).unwrap();
                 } else {
-                    t.send_batch(run);
+                    t.send_batch(run).unwrap();
                 }
             }
         }
         for run in pending {
-            t.send_batch(run);
+            t.send_batch(run).unwrap();
         }
         check_fifo_and_conservation(&t, 4, chunk, &seq, sends.len())?;
         // send_batch submits scalar envelopes: physical == logical here.
@@ -161,13 +161,13 @@ proptest! {
         for &(from, to, flush) in &sends {
             let s = seq[from as usize][to as usize];
             seq[from as usize][to as usize] += 1;
-            coal[from as usize].send(&t, env(from, to, tag_of(from, to, s)));
+            coal[from as usize].send(&t, env(from, to, tag_of(from, to, s))).unwrap();
             if flush {
-                coal[from as usize].flush(&t);
+                coal[from as usize].flush(&t).unwrap();
             }
         }
         for c in &mut coal {
-            c.flush(&t);
+            c.flush(&t).unwrap();
             prop_assert!(c.is_empty());
         }
         check_fifo_and_conservation(&t, 4, chunk, &seq, sends.len())?;
@@ -184,7 +184,8 @@ proptest! {
         let t = LocalTransport::new(3);
         let mut bytes = 0u64;
         for &(from, to, sz) in &sends {
-            t.send(Envelope::new(PlaceId(from), PlaceId(to), MsgClass::Team, sz, Box::new(())));
+            t.send(Envelope::new(PlaceId(from), PlaceId(to), MsgClass::Team, sz, Box::new(())))
+                .unwrap();
             bytes += (sz + x10rt::message::HEADER_BYTES) as u64;
         }
         prop_assert_eq!(t.stats().total_messages(), sends.len() as u64);
@@ -263,7 +264,7 @@ fn debounced_waker_never_loses_a_wakeup() {
             let t = t.clone();
             std::thread::spawn(move || {
                 for i in 0..PER_SENDER {
-                    t.send(env(0, 1, (s << 32) | i));
+                    t.send(env(0, 1, (s << 32) | i)).unwrap();
                 }
             })
         })

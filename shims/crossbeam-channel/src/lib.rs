@@ -30,6 +30,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
 struct Chan<T> {
     queue: Mutex<VecDeque<T>>,
     cv: Condvar,
@@ -114,6 +123,35 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocking receive with a deadline; fails with `Timeout` once
+    /// `timeout` elapses with no message, or `Disconnected` when the
+    /// channel is empty with no senders.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            // Short waits so a sender-drop missed by the condvar still
+            // gets noticed promptly (mirrors recv()).
+            let wait = (deadline - now).min(std::time::Duration::from_millis(50));
+            q = self
+                .0
+                .cv
+                .wait_timeout(q, wait)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
         self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -189,6 +227,22 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         tx.send(42u32).unwrap();
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
