@@ -49,6 +49,20 @@ pub struct Config {
     /// Build the runtime with no observability state at all: hooks compile
     /// to a branch on a `None` — the overhead-ablation baseline.
     pub obs_disable: bool,
+    /// Start with causal cross-place tracing enabled: every stamped message
+    /// carries an `obs::causal::CausalId` (charged
+    /// `CAUSAL_HEADER_BYTES` in the byte ledgers) and workers record
+    /// send/receive/execute stamps into per-worker causal rings, from which
+    /// `Runtime::critical_path_json` and friends reconstruct cross-place
+    /// dependency chains. Off by default — unstamped messages keep their
+    /// exact pre-causal wire sizes and every hook reduces to one relaxed
+    /// atomic load.
+    pub causal_enable: bool,
+    /// Snapshot the metrics registry every this-many milliseconds into a
+    /// bounded time-series ring (see `obs::sample::Sampler`), exported via
+    /// `Runtime::metrics_series_json` — rate-over-time views instead of
+    /// end-of-run totals. `None` — the default — starts no sampler thread.
+    pub sample_interval_ms: Option<u64>,
     /// Wrap the transport in an [`x10rt::FaultTransport`] governed by this
     /// plan (chaos testing). `None` — the default — uses the bare transport
     /// with zero added overhead.
@@ -81,6 +95,8 @@ impl Config {
             trace_enable: false,
             trace_buffer_events: obs::trace::DEFAULT_BUFFER_EVENTS,
             obs_disable: false,
+            causal_enable: false,
+            sample_interval_ms: None,
             fault_plan: None,
             send_timeout: x10rt::coalesce::DEFAULT_SEND_TIMEOUT,
             finish_watchdog: None,
@@ -141,6 +157,20 @@ impl Config {
         self
     }
 
+    /// Start with causal cross-place tracing on or off (builder style).
+    pub fn causal_enable(mut self, on: bool) -> Self {
+        self.causal_enable = on;
+        self
+    }
+
+    /// Snapshot the metrics registry every `ms` milliseconds into a bounded
+    /// time series (builder style).
+    pub fn sample_interval_ms(mut self, ms: u64) -> Self {
+        assert!(ms > 0);
+        self.sample_interval_ms = Some(ms);
+        self
+    }
+
     /// Inject faults according to `plan` (builder style) — chaos testing.
     pub fn fault_plan(mut self, plan: x10rt::FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -178,6 +208,8 @@ mod tests {
         assert!(!c.trace_enable, "tracing is opt-in");
         assert!(!c.obs_disable, "metrics are on by default");
         assert_eq!(c.trace_buffer_events, 65_536);
+        assert!(!c.causal_enable, "causal tracing is opt-in");
+        assert!(c.sample_interval_ms.is_none(), "metrics sampling is opt-in");
         assert!(c.fault_plan.is_none(), "fault injection is opt-in");
         assert_eq!(c.send_timeout, Duration::from_millis(5));
         assert!(c.finish_watchdog.is_none(), "watchdog is opt-in");
@@ -217,9 +249,13 @@ mod tests {
         let c = Config::new(4)
             .trace_enable(true)
             .trace_buffer_events(1024)
-            .obs_disable(true);
+            .obs_disable(true)
+            .causal_enable(true)
+            .sample_interval_ms(50);
         assert!(c.trace_enable);
         assert_eq!(c.trace_buffer_events, 1024);
         assert!(c.obs_disable);
+        assert!(c.causal_enable);
+        assert_eq!(c.sample_interval_ms, Some(50));
     }
 }

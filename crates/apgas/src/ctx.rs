@@ -124,6 +124,13 @@ impl<'w> Ctx<'w> {
         self.worker.trace()
     }
 
+    /// The causal identity of the message chain the current activity belongs
+    /// to (`None` when causal tracing is off or the chain is unrecorded).
+    /// Sends issued while this is set chain to it automatically.
+    pub fn causal_current(&self) -> Option<obs::causal::CausalId> {
+        self.worker.current_cause()
+    }
+
     // ------------------------------------------------------------------
     // Spawning
     // ------------------------------------------------------------------
@@ -164,6 +171,8 @@ impl<'w> Ctx<'w> {
             self.worker.place.enqueue(Activity {
                 body: Box::new(f),
                 attach: Attach::Uncounted,
+                cause: self.worker.current_cause(),
+                cause_remote: false,
             });
         } else {
             self.worker
@@ -215,6 +224,8 @@ impl<'w> Ctx<'w> {
                     weight: 0,
                     remote: false,
                 },
+                cause: self.worker.current_cause(),
+                cause_remote: false,
             });
         } else {
             let weight = root.note_remote_spawn(here.0, target.0);
@@ -252,7 +263,12 @@ impl<'w> Ctx<'w> {
             remote: target != self.here(),
         };
         if target == self.here() {
-            self.worker.place.enqueue(Activity { body, attach });
+            self.worker.place.enqueue(Activity {
+                body,
+                attach,
+                cause: self.worker.current_cause(),
+                cause_remote: false,
+            });
         } else {
             self.worker.send_spawn(target, attach, body, class);
         }
@@ -273,6 +289,8 @@ impl<'w> Ctx<'w> {
                     weight: 0,
                     remote: false,
                 },
+                cause: self.worker.current_cause(),
+                cause_remote: false,
             });
         } else {
             self.worker.with_proxy(fin, |p| {

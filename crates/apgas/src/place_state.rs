@@ -23,6 +23,16 @@ pub struct Activity {
     pub body: TaskFn,
     /// How `finish` tracks it.
     pub attach: Attach,
+    /// The causal identity of the message chain this activity belongs to
+    /// (`None` when causal tracing is off or the chain has no recorded
+    /// cause). Wire-arrived activities carry their spawn message's id;
+    /// locally-spawned activities inherit their parent's id unchanged, so
+    /// dependency chains stay unbroken through place-local hops.
+    pub cause: Option<obs::causal::CausalId>,
+    /// Did this activity arrive over the wire? Only wire arrivals record an
+    /// execution span against `cause` — a local spawn sharing its parent's
+    /// id must not add a second execution to the same DAG node.
+    pub cause_remote: bool,
 }
 
 /// All state belonging to one place.

@@ -56,6 +56,9 @@ pub struct Global {
 pub struct Runtime {
     g: Arc<Global>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Background metrics sampler, when `Config::sample_interval_ms` asked
+    /// for one (stopped and joined on drop).
+    sampler: Mutex<Option<obs::Sampler>>,
 }
 
 impl Runtime {
@@ -67,11 +70,20 @@ impl Runtime {
         let obs = if cfg.obs_disable {
             None
         } else {
-            Some(Obs::new(
+            Some(Obs::with_causal(
                 cfg.places,
                 cfg.trace_enable,
                 cfg.trace_buffer_events,
+                cfg.causal_enable,
             ))
+        };
+        let sampler = match (&obs, cfg.sample_interval_ms) {
+            (Some(o), Some(ms)) => Some(obs::Sampler::start(
+                o.clone(),
+                ms,
+                obs::sample::DEFAULT_SAMPLE_CAPACITY,
+            )),
+            _ => None,
         };
         let base = Arc::new(LocalTransport::new(cfg.places));
         let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultTransport>>) =
@@ -128,6 +140,7 @@ impl Runtime {
         Runtime {
             g,
             handles: Mutex::new(handles),
+            sampler: Mutex::new(sampler),
         }
     }
 
@@ -143,6 +156,8 @@ impl Runtime {
         self.g.places[0].enqueue(Activity {
             body,
             attach: Attach::Uncounted,
+            cause: None,
+            cause_remote: false,
         });
         match rx.recv().expect("runtime workers terminated unexpectedly") {
             Ok(r) => r,
@@ -166,6 +181,8 @@ impl Runtime {
         self.g.places[0].enqueue(Activity {
             body,
             attach: Attach::Uncounted,
+            cause: None,
+            cause_remote: false,
         });
         match rx.recv().expect("runtime workers terminated unexpectedly") {
             Ok(r) => Ok(r),
@@ -234,8 +251,35 @@ impl Runtime {
 
     /// Export the trace ring buffers as chrome-trace JSON, loadable in
     /// `about:tracing` / Perfetto (`None` when observability is disabled).
+    /// With causal tracing on, the export includes cross-place flow events
+    /// (rendered as arrows between place tracks).
     pub fn chrome_trace_json(&self) -> Option<String> {
         self.g.obs.as_ref().map(|o| o.chrome_trace_json())
+    }
+
+    /// The metrics time series collected by the background sampler, as JSON
+    /// (`None` unless the runtime was built with
+    /// `Config::sample_interval_ms`).
+    pub fn metrics_series_json(&self) -> Option<String> {
+        self.sampler.lock().as_ref().map(|s| s.series_json())
+    }
+
+    /// Per-finish critical paths reconstructed from the causal DAG, as JSON
+    /// (`None` when observability is disabled; empty paths when causal
+    /// tracing never ran).
+    pub fn critical_path_json(&self) -> Option<String> {
+        self.g.obs.as_ref().map(|o| o.critical_path_json())
+    }
+
+    /// Human-readable critical-path report (same data as
+    /// [`Runtime::critical_path_json`]).
+    pub fn critical_path_text(&self) -> Option<String> {
+        self.g.obs.as_ref().map(|o| o.critical_path_text())
+    }
+
+    /// Place-to-place traffic flow matrix from the causal DAG, as JSON.
+    pub fn flow_matrix_json(&self) -> Option<String> {
+        self.g.obs.as_ref().map(|o| o.flow_matrix_json())
     }
 
     /// Total times any worker actually slept (scheduler diagnostic).

@@ -23,9 +23,10 @@ use crate::place_state::{Activity, PlaceState};
 use crate::runtime::Global;
 use crate::team::TeamWire;
 use crossbeam_deque::Steal;
+use obs::causal::{CausalBuf, CausalId};
 use obs::metrics::{Counter, Histogram};
 use obs::trace::TraceBuf;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -59,7 +60,13 @@ pub struct Worker {
     recv_scratch: RefCell<Vec<Envelope>>,
     /// Consecutive idle quanta; drives the yield-before-sleep backoff in
     /// [`Worker::park_brief`].
-    idle_streak: std::cell::Cell<u32>,
+    idle_streak: Cell<u32>,
+    /// The causal identity of whatever this worker is currently executing or
+    /// handling — the parent every outgoing stamped message links to.
+    /// Saved/restored around nested execution (help-first waiting runs
+    /// activities inside activities) so the chain always names the true
+    /// cause.
+    current_cause: Cell<Option<CausalId>>,
     /// Observability handles, resolved once at construction (`None` when the
     /// runtime was built with `Config::obs_disable`) so every hot-path hook
     /// is a `None` check plus, at most, one relaxed atomic increment.
@@ -70,6 +77,7 @@ pub struct Worker {
 /// metric counters it increments.
 struct WorkerHooks {
     trace: Arc<TraceBuf>,
+    causal: Arc<CausalBuf>,
     finish_ctl_msgs: Counter,
     spawn_sent: Counter,
     spawn_recv: Counter,
@@ -121,6 +129,7 @@ impl Worker {
         coalescer = coalescer.with_send_timeout(g.cfg.send_timeout);
         let hooks = g.obs.as_ref().map(|o| WorkerHooks {
             trace: o.tracer.register(here.0),
+            causal: o.causal.register(here.0),
             finish_ctl_msgs: o.metrics.counter(obs::names::FINISH_CTL_MSGS),
             spawn_sent: o.metrics.counter(obs::names::SPAWN_REMOTE_SENT),
             spawn_recv: o.metrics.counter(obs::names::SPAWN_REMOTE_RECV),
@@ -140,7 +149,8 @@ impl Worker {
             here,
             coalescer: RefCell::new(coalescer),
             recv_scratch: RefCell::new(Vec::new()),
-            idle_streak: std::cell::Cell::new(0),
+            idle_streak: Cell::new(0),
+            current_cause: Cell::new(None),
             hooks,
         }
     }
@@ -154,6 +164,40 @@ impl Worker {
     /// The runtime's observability state, when enabled.
     pub(crate) fn obs(&self) -> Option<&Arc<obs::Obs>> {
         self.g.obs.as_ref()
+    }
+
+    /// This worker's causal ring when causal tracing is currently enabled
+    /// (`None` otherwise — the off-path cost is one relaxed atomic load).
+    #[inline]
+    fn causal_buf(&self) -> Option<&CausalBuf> {
+        match &self.hooks {
+            Some(h) if h.causal.enabled() => Some(&h.causal),
+            _ => None,
+        }
+    }
+
+    /// The causal identity of the chain this worker is currently executing
+    /// under, when causal tracing recorded one.
+    pub(crate) fn current_cause(&self) -> Option<CausalId> {
+        self.current_cause.get()
+    }
+
+    /// Run `f` with `id` installed as the current cause, recording the
+    /// handling as that message's execution span. Used for control traffic
+    /// handled inline by the message pump (finish-ctl, team, clock) — their
+    /// queue-wait is genuinely ~zero, and any message they send (a dense
+    /// hop forward, a clock resume) chains to the message that caused it.
+    fn with_inline_cause(&self, id: Option<CausalId>, f: impl FnOnce()) {
+        let Some(id) = id else {
+            return f();
+        };
+        let prev = self.current_cause.replace(Some(id));
+        let start = self.causal_buf().and_then(CausalBuf::start);
+        f();
+        if let (Some(cb), Some(s)) = (self.causal_buf(), start) {
+            cb.exec_end(id, 0, s);
+        }
+        self.current_cause.set(prev);
     }
 
     /// Scheduler loop: run until global shutdown.
@@ -196,8 +240,37 @@ impl Worker {
     /// Route an outgoing envelope through the aggregation buffers (or
     /// straight to the transport when aggregation is disabled). Every send
     /// from this worker thread must go through here — a bypass would let
-    /// messages overtake buffered ones and break per-pair FIFO.
+    /// messages overtake buffered ones and break per-pair FIFO. The finish
+    /// root governing the message is inherited from the current cause; use
+    /// [`Worker::send_env_rooted`] when the caller knows it exactly.
     pub(crate) fn send_env(&self, env: Envelope) {
+        self.send_env_rooted(env, None);
+    }
+
+    /// [`Worker::send_env`] with an explicit finish root for the causal
+    /// stamp (packed via `CausalId::pack_root`; `None` inherits the current
+    /// cause's root). When causal tracing is on, the envelope is stamped
+    /// with a fresh [`CausalId`] — charging the causal header bytes — and a
+    /// send event linking it to the current cause is recorded; when off,
+    /// the envelope passes through untouched.
+    pub(crate) fn send_env_rooted(&self, env: Envelope, root: Option<u64>) {
+        let env = match self.causal_buf() {
+            Some(cb) if env.causal.is_none() => {
+                let cur = self.current_cause.get();
+                let root = root.or_else(|| cur.map(|c| c.root)).unwrap_or(0);
+                let id = cb.mint(root);
+                let env = env.with_causal(id);
+                cb.send(
+                    id,
+                    cur.map_or(0, |c| c.seq),
+                    env.to.0,
+                    env.class.index() as u8,
+                    env.bytes,
+                );
+                env
+            }
+            _ => env,
+        };
         if let Err(e) = self.coalescer.borrow_mut().send(&*self.g.transport, env) {
             self.note_send_failure(&e);
         }
@@ -331,12 +404,29 @@ impl Worker {
         if let Some(h) = &self.hooks {
             h.activities.inc(self.here.0);
         }
+        // Help-first waiting means execute() nests: save/restore the current
+        // cause so a pumped activity doesn't leak its chain into the blocked
+        // parent's subsequent sends.
+        let prev_cause = self.current_cause.replace(act.cause);
+        let exec_start = if act.cause_remote && act.cause.is_some() {
+            self.causal_buf().and_then(CausalBuf::start)
+        } else {
+            None
+        };
         let ctx = Ctx::new(self, act.attach);
         let result = catch_unwind(AssertUnwindSafe(|| (act.body)(&ctx)));
         let panic = result.err().map(panic_message);
         ctx.finalize_activity();
         let attach = ctx.take_attach();
         self.on_death(attach, panic);
+        // Close the span after on_death so the Done/CreditReturn sends it
+        // triggers still chain to this activity in the DAG.
+        if let (Some(id), Some(start)) = (act.cause, exec_start) {
+            if let Some(cb) = self.causal_buf() {
+                cb.exec_end(id, 0, start);
+            }
+        }
+        self.current_cause.set(prev_cause);
     }
 
     // ------------------------------------------------------------------
@@ -380,9 +470,16 @@ impl Worker {
     }
 
     fn handle_envelope(&self, env: Envelope) {
+        // Receive stamp: dispatch time at this worker. Recorded before the
+        // class dispatch so the transport component of the causal edge ends
+        // here and the handling below is attributed as execution.
+        if let (Some(id), Some(cb)) = (env.causal, self.causal_buf()) {
+            cb.recv(id, env.from.0, env.class.index() as u8, env.bytes);
+        }
         let Envelope {
             from,
             class,
+            causal,
             payload,
             ..
         } = env;
@@ -396,28 +493,33 @@ impl Worker {
                     h.trace.instant("spawn", "recv", from.0 as u64);
                 }
                 self.register_receipt(&msg.attach, from.0);
+                // The activity carries the message's causal id; its
+                // execution span is recorded when a worker actually runs it,
+                // which is what splits queue-wait from execution.
                 self.place.enqueue(Activity {
                     body: msg.body,
                     attach: msg.attach,
+                    cause: causal,
+                    cause_remote: true,
                 });
             }
             MsgClass::FinishCtl => {
                 let msg = payload
                     .downcast::<FinishMsg>()
                     .expect("finish-ctl payload must be a FinishMsg");
-                self.handle_finish_msg(*msg);
+                self.with_inline_cause(causal, || self.handle_finish_msg(*msg));
             }
             MsgClass::Team => {
                 let msg = payload
                     .downcast::<TeamWire>()
                     .expect("team payload must be a TeamWire");
-                self.place.team.lock().deliver(*msg);
+                self.with_inline_cause(causal, || self.place.team.lock().deliver(*msg));
             }
             MsgClass::Clock => {
                 let msg = payload
                     .downcast::<ClockMsg>()
                     .expect("clock payload must be a ClockMsg");
-                crate::clock::handle_msg(self, *msg);
+                self.with_inline_cause(causal, || crate::clock::handle_msg(self, *msg));
             }
             MsgClass::System => { /* shutdown travels via the flag */ }
             MsgClass::Batch => {
@@ -571,13 +673,24 @@ impl Worker {
         if let Some(h) = &self.hooks {
             h.finish_ctl_msgs.inc(self.here.0);
         }
-        self.send_env(Envelope::new(
-            self.here,
-            to,
-            MsgClass::FinishCtl,
-            body_bytes,
-            Box::new(msg),
-        ));
+        // Every finish-ctl message names its finish, which is exactly the
+        // causal root: critical paths group by it.
+        let root = match &msg {
+            FinishMsg::Flush { fin, .. }
+            | FinishMsg::DenseHop { fin, .. }
+            | FinishMsg::Done { fin, .. }
+            | FinishMsg::CreditReturn { fin, .. } => CausalId::pack_root(fin.id.home.0, fin.id.seq),
+        };
+        self.send_env_rooted(
+            Envelope::new(
+                self.here,
+                to,
+                MsgClass::FinishCtl,
+                body_bytes,
+                Box::new(msg),
+            ),
+            Some(root),
+        );
     }
 
     /// Account for an activity arriving at this place from `src`.
@@ -657,13 +770,22 @@ impl Worker {
             h.spawn_sent.inc(self.here.0);
             h.trace.instant("spawn", "send", dst.0 as u64);
         }
+        // Counted spawns root their causal chain at the governing finish;
+        // uncounted ones fall back to the sender's current cause (or 0).
+        let root = match &attach {
+            Attach::Counted { fin, .. } => Some(CausalId::pack_root(fin.id.home.0, fin.id.seq)),
+            Attach::Uncounted => None,
+        };
         let body_bytes = std::mem::size_of_val(&*body) + std::mem::size_of::<Attach>();
-        self.send_env(Envelope::new(
-            self.here,
-            dst,
-            class,
-            body_bytes,
-            Box::new(SpawnMsg { attach, body }),
-        ));
+        self.send_env_rooted(
+            Envelope::new(
+                self.here,
+                dst,
+                class,
+                body_bytes,
+                Box::new(SpawnMsg { attach, body }),
+            ),
+            root,
+        );
     }
 }

@@ -1,0 +1,133 @@
+//! Shared command-line surface for the overhead-ablation binaries
+//! (`obs_overhead`, `causal_overhead`): one flag vocabulary, one parser, so
+//! the ablations stay comparable and scripts can drive both uniformly.
+
+/// Parsed ablation flags.
+#[derive(Clone, Debug)]
+pub struct AblationCli {
+    /// `--quick`: smaller tree, fewer reps — CI mode.
+    pub quick: bool,
+    /// `--places N`: place count of every measured runtime.
+    pub places: usize,
+    /// `--depth D`: UTS tree depth (defaults depend on `--quick`).
+    pub depth: u32,
+    /// `--reps R`: interleaved repetitions per mode, keeping the minimum.
+    pub reps: usize,
+    /// `--trace-capacity N`: per-worker ring capacity (trace and causal),
+    /// in events.
+    pub trace_capacity: usize,
+    /// `--out PATH`: the JSON results file.
+    pub out: String,
+    /// `--trace-out PATH`: the chrome-trace artifact of the best traced run.
+    pub trace_out: String,
+}
+
+impl AblationCli {
+    /// Parse `std::env::args`, with binary-specific default output paths.
+    ///
+    /// Panics with a usage message on a malformed value — these are
+    /// operator-facing benchmark binaries, not long-running services.
+    pub fn parse(default_out: &str, default_trace_out: &str) -> AblationCli {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse_from(&args, default_out, default_trace_out)
+    }
+
+    /// Testable core of [`AblationCli::parse`].
+    pub fn parse_from(args: &[String], default_out: &str, default_trace_out: &str) -> AblationCli {
+        let quick = args.iter().any(|a| a == "--quick");
+        let parse_num = |flag: &str| {
+            flag_value(args, flag).map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("{flag} takes a number, got {v:?}"))
+            })
+        };
+        let places = parse_num("--places").unwrap_or(8);
+        let depth = parse_num("--depth").unwrap_or(if quick { 8 } else { 10 }) as u32;
+        let reps = parse_num("--reps").unwrap_or(if quick { 3 } else { 5 });
+        let trace_capacity = parse_num("--trace-capacity")
+            .unwrap_or_else(|| apgas::Config::new(1).trace_buffer_events);
+        assert!(places > 0, "--places must be positive");
+        assert!(reps > 0, "--reps must be positive");
+        assert!(trace_capacity > 0, "--trace-capacity must be positive");
+        AblationCli {
+            quick,
+            places,
+            depth,
+            reps,
+            trace_capacity,
+            out: flag_value(args, "--out").unwrap_or(default_out).to_string(),
+            trace_out: flag_value(args, "--trace-out")
+                .unwrap_or(default_trace_out)
+                .to_string(),
+        }
+    }
+}
+
+/// The value following `flag`, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        std::iter::once("bin")
+            .chain(s.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn defaults_full_run() {
+        let c = AblationCli::parse_from(&argv(&[]), "o.json", "t.json");
+        assert!(!c.quick);
+        assert_eq!((c.places, c.depth, c.reps), (8, 10, 5));
+        assert_eq!(c.trace_capacity, apgas::Config::new(1).trace_buffer_events);
+        assert_eq!(c.out, "o.json");
+        assert_eq!(c.trace_out, "t.json");
+    }
+
+    #[test]
+    fn quick_shrinks_depth_and_reps() {
+        let c = AblationCli::parse_from(&argv(&["--quick"]), "o", "t");
+        assert!(c.quick);
+        assert_eq!((c.depth, c.reps), (8, 3));
+    }
+
+    #[test]
+    fn explicit_flags_override_quick_defaults() {
+        let c = AblationCli::parse_from(
+            &argv(&[
+                "--quick",
+                "--places",
+                "4",
+                "--depth",
+                "9",
+                "--reps",
+                "2",
+                "--trace-capacity",
+                "512",
+                "--out",
+                "x.json",
+                "--trace-out",
+                "y.json",
+            ]),
+            "o",
+            "t",
+        );
+        assert_eq!((c.places, c.depth, c.reps), (4, 9, 2));
+        assert_eq!(c.trace_capacity, 512);
+        assert_eq!((c.out.as_str(), c.trace_out.as_str()), ("x.json", "y.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--places takes a number")]
+    fn malformed_number_panics() {
+        AblationCli::parse_from(&argv(&["--places", "many"]), "o", "t");
+    }
+}

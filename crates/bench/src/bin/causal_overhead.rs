@@ -1,0 +1,172 @@
+//! Causal-tracing overhead ablation: UTS under the lifeline GLB with the
+//! observability layer fully off (the pre-observability baseline), with the
+//! default configuration (metrics on, causal tracing compiled in but OFF),
+//! and with causal cross-place tracing ON — verifying that the dormant
+//! causal machinery costs ≤ 2% wall time and that no mode perturbs the
+//! traversal (identical node counts everywhere).
+//!
+//! Writes `BENCH_causal_overhead.json` (including the critical-path summary
+//! of the causal run) and the causal run's chrome trace — flow arrows
+//! included — loadable in Perfetto.
+//!
+//! Usage: `cargo run --release -p bench --bin causal_overhead [--quick]
+//!   [--places N] [--depth D] [--reps R] [--trace-capacity N]
+//!   [--out PATH] [--trace-out PATH]`
+
+use apgas::{Config, Runtime};
+use bench::ablation_cli::AblationCli;
+use kernels::util::timed;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// No observability state at all — the baseline.
+    Off,
+    /// The default runtime: metrics on, causal tracing off. This is the
+    /// mode the ≤ 2% budget applies to — the price every user pays.
+    CausalOff,
+    /// Causal cross-place tracing on (trace rings sized by
+    /// `--trace-capacity`).
+    Causal,
+}
+
+const MODES: [Mode; 3] = [Mode::Off, Mode::CausalOff, Mode::Causal];
+const NAMES: [&str; 3] = ["off", "causal-off", "causal"];
+
+impl Mode {
+    fn config(self, cli: &AblationCli) -> Config {
+        match self {
+            Mode::Off => Config::new(cli.places).obs_disable(true),
+            Mode::CausalOff => Config::new(cli.places),
+            Mode::Causal => Config::new(cli.places)
+                .causal_enable(true)
+                .trace_buffer_events(cli.trace_capacity),
+        }
+    }
+}
+
+struct Run {
+    wall_seconds: f64,
+    nodes: u64,
+    critical_path_json: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+fn main() {
+    let cli = AblationCli::parse("BENCH_causal_overhead.json", "TRACE_causal_uts.json");
+
+    // Same estimator as obs_overhead: interleave the modes so they see the
+    // same load drift, keep the minimum per mode.
+    let mut best: [Option<Run>; 3] = [None, None, None];
+    for _ in 0..cli.reps {
+        for (slot, mode) in MODES.into_iter().enumerate() {
+            let r = bench_uts(&cli, mode);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| r.wall_seconds < b.wall_seconds)
+            {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    let [off, causal_off, causal] = best.map(|r| r.expect("every mode measured"));
+    assert_eq!(
+        off.nodes, causal_off.nodes,
+        "UTS node count must not vary across modes"
+    );
+    assert_eq!(
+        off.nodes, causal.nodes,
+        "UTS node count must not vary across modes"
+    );
+
+    let pct = |r: &Run| (r.wall_seconds / off.wall_seconds - 1.0) * 100.0;
+    let (off_pct, on_pct) = (pct(&causal_off), pct(&causal));
+    println!(
+        "{:>12} {:>10} {:>12} {:>10}",
+        "mode", "ms", "nodes", "overhead"
+    );
+    let rows = [(&off, 0.0), (&causal_off, off_pct), (&causal, on_pct)];
+    for ((r, p), name) in rows.iter().zip(NAMES) {
+        println!(
+            "{:>12} {:>10.2} {:>12} {:>9.2}%",
+            name,
+            r.wall_seconds * 1e3,
+            r.nodes,
+            p
+        );
+    }
+
+    let cp = causal
+        .critical_path_json
+        .as_deref()
+        .expect("causal run exports critical paths");
+    let roots = serde_json::from_str(cp)
+        .expect("critical-path JSON parses")
+        .get("roots")
+        .and_then(|r| r.as_array().map(Vec::len))
+        .unwrap_or(0);
+    println!("causal run reconstructed {roots} finish critical path(s)");
+
+    let chrome = causal.chrome_trace.as_deref().expect("causal run exports");
+    std::fs::write(&cli.trace_out, chrome)
+        .unwrap_or_else(|e| panic!("write {}: {e}", cli.trace_out));
+    let json = to_json(&cli, &rows, roots, cp);
+    std::fs::write(&cli.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", cli.out));
+    println!("\nwrote {} and {}", cli.out, cli.trace_out);
+}
+
+fn bench_uts(cli: &AblationCli, mode: Mode) -> Run {
+    let rt = Runtime::new(mode.config(cli));
+    let tree = uts::GeoTree::paper(cli.depth);
+    let (nodes, secs) = rt.run(move |ctx| {
+        let (run, secs) = timed(|| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
+        (run.stats.nodes, secs)
+    });
+    Run {
+        wall_seconds: secs,
+        nodes,
+        critical_path_json: if mode == Mode::Causal {
+            rt.critical_path_json()
+        } else {
+            None
+        },
+        chrome_trace: if mode == Mode::Causal {
+            rt.chrome_trace_json()
+        } else {
+            None
+        },
+    }
+}
+
+fn to_json(cli: &AblationCli, rows: &[(&Run, f64)], roots: usize, critical_paths: &str) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"causal tracing overhead ablation\",\n");
+    s.push_str(&format!("  \"quick\": {},\n", cli.quick));
+    s.push_str(&format!(
+        "  \"workload\": {{\"kernel\": \"uts\", \"places\": {}, \
+         \"depth\": {}, \"reps\": {}}},\n",
+        cli.places, cli.depth, cli.reps
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, ((r, pct), name)) in rows.iter().zip(NAMES).enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"nodes\": {}, \
+             \"overhead_pct\": {:.4}}}{}\n",
+            name,
+            r.wall_seconds,
+            r.nodes,
+            pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let (off_pct, on_pct) = (rows[1].1, rows[2].1);
+    s.push_str(&format!("  \"overhead_causal_off_pct\": {off_pct:.4},\n"));
+    s.push_str(&format!("  \"overhead_causal_on_pct\": {on_pct:.4},\n"));
+    s.push_str(&format!("  \"within_budget\": {},\n", off_pct <= 2.0));
+    s.push_str(&format!("  \"critical_path_roots\": {roots},\n"));
+    // The causal run's critical-path report, verbatim (already JSON).
+    s.push_str("  \"critical_paths\": ");
+    s.push_str(critical_paths.trim_end());
+    s.push_str("\n}\n");
+    s
+}

@@ -8,9 +8,11 @@
 //! loadable in `about:tracing` / Perfetto.
 //!
 //! Usage: `cargo run --release -p bench --bin obs_overhead [--quick]
-//!   [--places N] [--out PATH] [--trace-out PATH]`
+//!   [--places N] [--depth D] [--reps R] [--trace-capacity N]
+//!   [--out PATH] [--trace-out PATH]`
 
 use apgas::{Config, Runtime};
+use bench::ablation_cli::AblationCli;
 use kernels::util::timed;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -26,11 +28,13 @@ enum Mode {
 const MODES: [Mode; 3] = [Mode::Off, Mode::Metrics, Mode::Trace];
 
 impl Mode {
-    fn config(self, places: usize) -> Config {
+    fn config(self, cli: &AblationCli) -> Config {
         match self {
-            Mode::Off => Config::new(places).obs_disable(true),
-            Mode::Metrics => Config::new(places),
-            Mode::Trace => Config::new(places).trace_enable(true),
+            Mode::Off => Config::new(cli.places).obs_disable(true),
+            Mode::Metrics => Config::new(cli.places),
+            Mode::Trace => Config::new(cli.places)
+                .trace_enable(true)
+                .trace_buffer_events(cli.trace_capacity),
         }
     }
 }
@@ -45,23 +49,15 @@ struct Run {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let places: usize = flag_value(&args, "--places")
-        .map(|v| v.parse().expect("--places takes a count"))
-        .unwrap_or(8);
-    let out = flag_value(&args, "--out").unwrap_or("BENCH_obs_overhead.json");
-    let trace_out = flag_value(&args, "--trace-out").unwrap_or("TRACE_uts.json");
-    let depth = if quick { 8 } else { 10 };
-    let reps = if quick { 3 } else { 5 };
+    let cli = AblationCli::parse("BENCH_obs_overhead.json", "TRACE_uts.json");
 
     // Interleave the modes (off, metrics, trace, off, …) so all three see
     // the same machine-load drift, and keep the minimum-time run per mode —
     // the standard estimator under scheduling noise.
     let mut best: [Option<Run>; 3] = [None, None, None];
-    for _ in 0..reps {
+    for _ in 0..cli.reps {
         for (slot, mode) in MODES.into_iter().enumerate() {
-            let r = bench_uts(places, mode, depth);
+            let r = bench_uts(&cli, mode);
             if best[slot]
                 .as_ref()
                 .is_none_or(|b| r.wall_seconds < b.wall_seconds)
@@ -92,29 +88,20 @@ fn main() {
     }
 
     let chrome = trace.chrome_trace.as_deref().expect("traced run exports");
-    std::fs::write(trace_out, chrome).unwrap_or_else(|e| panic!("write {trace_out}: {e}"));
+    std::fs::write(&cli.trace_out, chrome)
+        .unwrap_or_else(|e| panic!("write {}: {e}", cli.trace_out));
     let json = to_json(
-        quick,
-        places,
-        depth,
-        reps,
+        &cli,
         &rows,
         metrics.metrics_json.as_deref().expect("metrics-mode run"),
     );
-    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
-    println!("\nwrote {out} and {trace_out}");
+    std::fs::write(&cli.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", cli.out));
+    println!("\nwrote {} and {}", cli.out, cli.trace_out);
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
-
-fn bench_uts(places: usize, mode: Mode, depth: u32) -> Run {
-    let rt = Runtime::new(mode.config(places));
-    let tree = uts::GeoTree::paper(depth);
+fn bench_uts(cli: &AblationCli, mode: Mode) -> Run {
+    let rt = Runtime::new(mode.config(cli));
+    let tree = uts::GeoTree::paper(cli.depth);
     let (nodes, secs) = rt.run(move |ctx| {
         let (run, secs) = timed(|| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
         (run.stats.nodes, secs)
@@ -131,20 +118,14 @@ fn bench_uts(places: usize, mode: Mode, depth: u32) -> Run {
     }
 }
 
-fn to_json(
-    quick: bool,
-    places: usize,
-    depth: u32,
-    reps: usize,
-    rows: &[(&Run, f64)],
-    metrics: &str,
-) -> String {
+fn to_json(cli: &AblationCli, rows: &[(&Run, f64)], metrics: &str) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"observability overhead ablation\",\n");
-    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"quick\": {},\n", cli.quick));
     s.push_str(&format!(
-        "  \"workload\": {{\"kernel\": \"uts\", \"places\": {places}, \
-         \"depth\": {depth}, \"reps\": {reps}}},\n"
+        "  \"workload\": {{\"kernel\": \"uts\", \"places\": {}, \
+         \"depth\": {}, \"reps\": {}}},\n",
+        cli.places, cli.depth, cli.reps
     ));
     s.push_str("  \"results\": [\n");
     let names = ["off", "metrics", "trace"];

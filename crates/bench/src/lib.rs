@@ -12,6 +12,8 @@
 use apgas::{Config, Runtime};
 use kernels::util::timed;
 
+pub mod ablation_cli;
+
 /// A measured or projected series: (cores, aggregate, per-core) rows.
 pub struct Series {
     /// Kernel/figure name.

@@ -16,11 +16,14 @@
 //! ```
 //!
 //! `--workload` takes `uts`, `ra-msgs` or `all`; `--fault` takes `drop`,
-//! `delay`, `dup`, `trunc`, `place-kill` or `all`.
+//! `delay`, `dup`, `trunc`, `place-kill` or `all`. With `--trace-dir PATH`,
+//! cells run with event + causal tracing on and every failing cell writes
+//! its chrome trace and critical-path report there (CI uploads them).
 
 use chaos::{
-    run_cell_with_baseline, BaselineCache, CellFailure, CellOutcome, CellSpec, FaultKind, Workload,
+    run_cell_traced, BaselineCache, CellFailure, CellOutcome, CellSpec, FaultKind, Workload,
 };
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
@@ -30,6 +33,7 @@ struct Args {
     places: usize,
     timeout: Duration,
     repro_out: Option<String>,
+    trace_dir: Option<PathBuf>,
 }
 
 fn usage(err: &str) -> ! {
@@ -38,7 +42,7 @@ fn usage(err: &str) -> ! {
         "usage: chaos [--matrix] [--workload uts|ra-msgs|all] \
          [--fault drop|delay|dup|trunc|place-kill|all] \
          [--seed N | --seeds A,B,C] [--places N] [--timeout-secs N] \
-         [--repro-out PATH]"
+         [--repro-out PATH] [--trace-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -51,6 +55,7 @@ fn parse_args() -> Args {
     let mut places = 8usize;
     let mut timeout = Duration::from_secs(120);
     let mut repro_out = None;
+    let mut trace_dir = None;
     let mut matrix = false;
 
     let mut i = 0;
@@ -112,6 +117,7 @@ fn parse_args() -> Args {
                 );
             }
             "--repro-out" => repro_out = Some(value(&mut i, "--repro-out")),
+            "--trace-dir" => trace_dir = Some(PathBuf::from(value(&mut i, "--trace-dir"))),
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -130,6 +136,7 @@ fn parse_args() -> Args {
         places,
         timeout,
         repro_out,
+        trace_dir,
     }
 }
 
@@ -156,7 +163,7 @@ fn main() {
                     seed,
                     places: args.places,
                 };
-                let report = run_cell_with_baseline(spec, want, args.timeout);
+                let report = run_cell_traced(spec, want, args.timeout, args.trace_dir.as_deref());
                 ran += 1;
                 let ms = report.elapsed.as_millis();
                 match &report.result {

@@ -239,12 +239,16 @@ pub fn plan_for(spec: &CellSpec) -> FaultPlan {
     }
 }
 
-/// Runtime configuration of one faulted run.
-fn faulted_config(spec: &CellSpec) -> Config {
+/// Runtime configuration of one faulted run. `traced` additionally turns on
+/// event tracing and causal cross-place tracing, so a failing cell can be
+/// diagnosed from its trace artifacts instead of re-run under a debugger.
+fn faulted_config(spec: &CellSpec, traced: bool) -> Config {
     Config::new(spec.places)
         .places_per_host(4)
         .fault_plan(plan_for(spec))
         .finish_watchdog(Duration::from_secs(2))
+        .trace_enable(traced)
+        .causal_enable(traced)
         // Exact class targeting for lossy kinds (see module docs).
         .batch_disable(matches!(spec.fault, FaultKind::Drop | FaultKind::Trunc))
 }
@@ -283,12 +287,33 @@ pub fn baseline(workload: Workload, places: usize) -> u64 {
 /// harness — the cell is reported as [`CellFailure::Hang`] and the stuck
 /// thread is abandoned).
 pub fn run_cell_with_baseline(spec: CellSpec, want: u64, hard_timeout: Duration) -> CellReport {
+    run_cell_traced(spec, want, hard_timeout, None)
+}
+
+/// [`run_cell_with_baseline`] with post-mortem artifacts: when `trace_dir`
+/// is set, the faulted run carries event tracing and causal tracing, and a
+/// *failing* cell writes its chrome trace (flow arrows included) and its
+/// critical-path report into that directory. The observability handle is
+/// smuggled out of the cell thread right after runtime construction, so the
+/// artifacts can be cut even when the cell **hangs** — the stuck runtime's
+/// rings are snapshotted from outside.
+pub fn run_cell_traced(
+    spec: CellSpec,
+    want: u64,
+    hard_timeout: Duration,
+    trace_dir: Option<&std::path::Path>,
+) -> CellReport {
     let start = Instant::now();
+    let traced = trace_dir.is_some();
     let (tx, rx) = crossbeam_channel::bounded(1);
+    let (obs_tx, obs_rx) = crossbeam_channel::bounded::<std::sync::Arc<obs::Obs>>(1);
     std::thread::Builder::new()
         .name(format!("chaos-{}-{}", spec.fault.label(), spec.seed))
         .spawn(move || {
-            let rt = Runtime::new(faulted_config(&spec));
+            let rt = Runtime::new(faulted_config(&spec, traced));
+            if let Some(o) = rt.obs() {
+                let _ = obs_tx.send(o.clone());
+            }
             let out = catch_unwind(AssertUnwindSafe(|| {
                 run_workload(&rt, spec.workload, Some(spec.fault))
             }));
@@ -312,10 +337,45 @@ pub fn run_cell_with_baseline(spec: CellSpec, want: u64, hard_timeout: Duration)
             "non-typed panic in faulted run".into(),
         )),
     };
+    if result.is_err() {
+        // Wait briefly for the runtime-construction handshake: a cell can
+        // fail (e.g. a zero timeout) before the thread has sent its handle.
+        if let (Some(dir), Ok(o)) = (trace_dir, obs_rx.recv_timeout(Duration::from_secs(2))) {
+            write_failure_artifacts(dir, &spec, &o);
+        }
+    }
     CellReport {
         spec,
         result,
         elapsed: start.elapsed(),
+    }
+}
+
+/// Write a failing cell's chrome trace and critical-path report. Best
+/// effort: artifact IO problems are reported to stderr, never escalated —
+/// the cell's verdict is already a failure.
+fn write_failure_artifacts(dir: &std::path::Path, spec: &CellSpec, o: &obs::Obs) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("chaos: cannot create trace dir {}: {e}", dir.display());
+        return;
+    }
+    let stem = format!(
+        "chaos-{}-{}-seed{}",
+        spec.workload.label(),
+        spec.fault.label(),
+        spec.seed
+    );
+    let artifacts = [
+        (format!("{stem}.trace.json"), o.chrome_trace_json()),
+        (format!("{stem}.critical_path.json"), o.critical_path_json()),
+        (format!("{stem}.critical_path.txt"), o.critical_path_text()),
+    ];
+    for (name, body) in artifacts {
+        let path = dir.join(&name);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("chaos: wrote {}", path.display()),
+            Err(e) => eprintln!("chaos: cannot write {}: {e}", path.display()),
+        }
     }
 }
 

@@ -2,8 +2,8 @@
 //! `cargo test` exercises the harness end to end without the full matrix.
 
 use chaos::{
-    baseline, install_quiet_panic_hook, plan_for, run_cell_with_baseline, CellOutcome, CellSpec,
-    FaultKind, Workload,
+    baseline, install_quiet_panic_hook, plan_for, run_cell_traced, run_cell_with_baseline,
+    CellFailure, CellOutcome, CellSpec, FaultKind, Workload,
 };
 use std::time::Duration;
 
@@ -71,6 +71,25 @@ fn ra_msgs_trunc_identical_or_typed() {
 #[test]
 fn ra_msgs_kill_identical_or_typed() {
     check(Workload::RaMsgs, FaultKind::Kill, 2);
+}
+
+/// A failing traced cell writes its post-mortem artifacts: chrome trace
+/// (with causal flow events) plus critical-path report. A zero hard timeout
+/// forces the Hang verdict deterministically without needing a real bug.
+#[test]
+fn failing_traced_cell_writes_artifacts() {
+    install_quiet_panic_hook();
+    let dir = std::env::temp_dir().join(format!("chaos-traces-test-{}", std::process::id()));
+    let spec = cell(Workload::Uts, FaultKind::Delay, 1);
+    let report = run_cell_traced(spec, 0, Duration::ZERO, Some(&dir));
+    assert_eq!(report.result, Err(CellFailure::Hang));
+    for suffix in ["trace.json", "critical_path.json", "critical_path.txt"] {
+        let path = dir.join(format!("chaos-uts-delay-seed1.{suffix}"));
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("artifact {} missing: {e}", path.display()));
+        assert!(!body.is_empty(), "{} is empty", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The scripted kill never targets place 0, whatever the seed.

@@ -363,6 +363,12 @@ fn deliver<B: TaskBag>(ctx: &Ctx, handle: PlaceLocalHandle<GlbPlace<B>>, loot: B
         bag.merge(loot);
         st.alive.swap(true, Ordering::SeqCst)
     };
+    // Correlate the trace view with the causal DAG: the current cause here
+    // IS the gift message's node (this activity arrived over the wire), so
+    // the instant's arg lets a trace reader jump to the matching flow arrow.
+    if let (Some(t), Some(c)) = (ctx.trace(), ctx.causal_current()) {
+        t.instant("glb", "gift-chain", c.seq);
+    }
     if !was_alive {
         st.stats.resuscitations.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &st.hooks {
@@ -406,6 +412,12 @@ fn random_steal<B: TaskBag>(
     let (slot2, flag2) = (slot.clone(), flag.clone());
     ctx.uncounted_async(victim, MsgClass::Steal, move |vc| {
         let vst = handle.get(vc);
+        // Causal↔trace correlation: this closure's cause is the steal
+        // request's DAG node, and the response send below chains to it, so
+        // the whole handshake reads as one path in the causal export.
+        if let (Some(t), Some(c)) = (vc.trace(), vc.causal_current()) {
+            t.instant("glb", "steal-chain", c.seq);
+        }
         let loot = vst.bag.lock().split();
         if loot.is_some() {
             vst.stats.steals_served.fetch_add(1, Ordering::Relaxed);

@@ -23,6 +23,19 @@ use crate::trace::WorkerTrace;
 /// per-thread metadata event so truncation is visible in the UI rather than
 /// silent.
 pub fn chrome_trace(traces: &[WorkerTrace]) -> String {
+    chrome_trace_with(traces, &[])
+}
+
+/// [`chrome_trace`] plus caller-supplied pre-rendered event objects —
+/// the hook the causal exporter uses to splice flow events
+/// ([`crate::causal::chrome_flow_events`]) into the same file, so Perfetto
+/// draws its arrows over the ordinary span tracks.
+///
+/// When any ring wrapped (a nonzero drop count on any trace), a global
+/// `trace_incomplete` instant is emitted at ts 0 so the truncation warning
+/// is impossible to miss in the UI, on top of the per-thread metadata
+/// counts.
+pub fn chrome_trace_with(traces: &[WorkerTrace], extra_events: &[String]) -> String {
     let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
     let mut first = true;
     let mut emit = |line: String, out: &mut String| {
@@ -54,6 +67,20 @@ pub fn chrome_trace(traces: &[WorkerTrace]) -> String {
             &mut out,
         );
     }
+    // Truncated snapshot: warn loudly once, beyond the per-thread counts.
+    let total_dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    if total_dropped > 0 {
+        emit(
+            format!(
+                "{{\"ph\": \"i\", \"s\": \"g\", \"name\": \"trace_incomplete\", \
+                 \"cat\": \"obs\", \"pid\": {}, \"tid\": {}, \"ts\": 0.000, \
+                 \"args\": {{\"dropped_events\": {total_dropped}}}}}",
+                traces.first().map_or(0, |t| t.place),
+                traces.first().map_or(0, |t| t.worker),
+            ),
+            &mut out,
+        );
+    }
     for t in traces {
         let mut events = t.events.clone();
         // Push order is span-*end* order; the format wants start-time order.
@@ -77,6 +104,9 @@ pub fn chrome_trace(traces: &[WorkerTrace]) -> String {
             };
             emit(line, &mut out);
         }
+    }
+    for e in extra_events {
+        emit(e.clone(), &mut out);
     }
     out.push_str("\n]}\n");
     out
@@ -171,5 +201,40 @@ mod tests {
         let json = chrome_trace(&[]);
         assert!(json.starts_with("{\"displayTimeUnit\""));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn incomplete_snapshot_warns_globally() {
+        let traces = [WorkerTrace {
+            place: 3,
+            worker: 2,
+            events: vec![],
+            dropped: 9,
+        }];
+        let json = chrome_trace(&traces);
+        assert!(json.contains("\"name\": \"trace_incomplete\""));
+        assert!(json.contains("\"s\": \"g\""));
+        assert!(json.contains("\"dropped_events\": 9"));
+        // No warning when nothing was dropped.
+        let clean = chrome_trace(&[WorkerTrace {
+            place: 0,
+            worker: 0,
+            events: vec![],
+            dropped: 0,
+        }]);
+        assert!(!clean.contains("trace_incomplete"));
+    }
+
+    #[test]
+    fn extra_events_are_spliced_verbatim() {
+        let extra = vec![
+            "{\"ph\": \"s\", \"id\": 7, \"name\": \"msg\", \"cat\": \"causal\", \
+             \"pid\": 0, \"tid\": 0, \"ts\": 1.000}"
+                .to_string(),
+        ];
+        let json = chrome_trace_with(&[], &extra);
+        assert!(json.contains("\"ph\": \"s\""));
+        assert!(json.contains("\"id\": 7"));
+        serde_json::from_str(&json).expect("valid JSON");
     }
 }

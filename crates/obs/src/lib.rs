@@ -12,9 +12,18 @@
 //!   [`trace::Event`]s (spans and instants) stamped against one shared
 //!   epoch, gated by a single relaxed atomic flag so a disabled tracer
 //!   costs one predictable branch per hook;
+//! * [`causal::CausalTracer`] — cross-place causal tracing: every stamped
+//!   message carries a [`causal::CausalId`], per-worker rings record
+//!   send/receive/execute stamps, and [`causal::CausalGraph`] stitches them
+//!   into a DAG with per-finish-root critical paths and a place×place flow
+//!   matrix;
+//! * [`sample::Sampler`] — a background thread snapshotting the registry on
+//!   an interval into a bounded time-series ring, for rate-over-time views
+//!   instead of end-of-run totals;
 //! * [`chrome`] — a chrome-trace (`trace_event`) JSON writer: snapshots
 //!   open directly in `about:tracing` or [Perfetto](https://ui.perfetto.dev)
-//!   with one process per place and one thread track per worker.
+//!   with one process per place and one thread track per worker, and (when
+//!   causal tracing ran) flow-event arrows between place tracks.
 //!
 //! Each runtime instance owns one [`Obs`] (never a process-global —
 //! parallel tests in one process must not share counters) and hands
@@ -22,54 +31,175 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
 pub mod metrics;
 pub mod names;
+pub mod sample;
 pub mod trace;
 
+pub use causal::{CausalBuf, CausalGraph, CausalId, CausalTracer, CAUSAL_HEADER_BYTES};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sample::Sampler;
 pub use trace::{Event, SpanStart, TraceBuf, Tracer, WorkerTrace};
 
 use std::sync::Arc;
 
-/// One runtime instance's observability state: a metrics registry plus the
-/// event tracer. Shared via `Arc` between the runtime, its workers, and any
-/// exporter.
+/// One runtime instance's observability state: a metrics registry, the
+/// event tracer, and the causal tracer. Shared via `Arc` between the
+/// runtime, its workers, and any exporter.
 pub struct Obs {
     /// Named counters and histograms.
     pub metrics: MetricsRegistry,
     /// Structured event tracing (per-worker ring buffers).
     pub tracer: Tracer,
+    /// Cross-place causal tracing (per-worker rings of message
+    /// send/receive/execute stamps). Always present; enabled separately
+    /// from the tracer via `causal_enabled`.
+    pub causal: CausalTracer,
 }
 
 impl Obs {
+    /// Build observability state for a runtime with `places` places, with
+    /// causal tracing off. See [`Obs::with_causal`].
+    pub fn new(places: usize, trace_enabled: bool, trace_capacity: usize) -> Arc<Obs> {
+        Obs::with_causal(places, trace_enabled, trace_capacity, false)
+    }
+
     /// Build observability state for a runtime with `places` places.
     ///
     /// `trace_enabled` sets the tracer's initial state (it can be toggled at
     /// run time); `trace_capacity` is the per-worker ring-buffer size in
     /// events — when a buffer wraps, the oldest events are overwritten and
-    /// counted as dropped.
-    pub fn new(places: usize, trace_enabled: bool, trace_capacity: usize) -> Arc<Obs> {
+    /// counted as dropped. `causal_enabled` sets the causal tracer's initial
+    /// state; its rings share `trace_capacity` and the tracer's epoch, so
+    /// causal stamps land on the same timeline as span events.
+    pub fn with_causal(
+        places: usize,
+        trace_enabled: bool,
+        trace_capacity: usize,
+        causal_enabled: bool,
+    ) -> Arc<Obs> {
+        let tracer = Tracer::new(trace_capacity, trace_enabled);
+        let causal = CausalTracer::new(trace_capacity, causal_enabled, tracer.epoch());
         Arc::new(Obs {
             metrics: MetricsRegistry::new(places),
-            tracer: Tracer::new(trace_capacity, trace_enabled),
+            tracer,
+            causal,
         })
+    }
+
+    /// The registry snapshot plus the synthetic drop counters
+    /// ([`names::TRACE_DROPPED_EVENTS`], [`names::CAUSAL_DROPPED_EVENTS`]),
+    /// so ring truncation is visible wherever metrics are read.
+    fn snapshot_with_drops(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.counters.push((
+            names::TRACE_DROPPED_EVENTS.to_string(),
+            self.tracer.total_dropped(),
+        ));
+        snap.counters.push((
+            names::CAUSAL_DROPPED_EVENTS.to_string(),
+            self.causal.total_dropped(),
+        ));
+        snap
     }
 
     /// Render the current metric values as a plain-text dump (one line per
     /// counter, a block per histogram) — the shape embedded in bench output.
+    /// Includes the synthetic `trace.dropped_events` / `causal.dropped_events`
+    /// counters.
     pub fn metrics_text(&self) -> String {
-        self.metrics.snapshot().render_text()
+        self.snapshot_with_drops().render_text()
     }
 
     /// Render the current metric values as a JSON object (the `metrics`
-    /// section of the `BENCH_*.json` files).
+    /// section of the `BENCH_*.json` files). Includes the synthetic
+    /// `trace.dropped_events` / `causal.dropped_events` counters.
     pub fn metrics_json(&self) -> String {
-        self.metrics.snapshot().render_json()
+        self.snapshot_with_drops().render_json()
     }
 
-    /// Export the current trace ring buffers as chrome-trace JSON.
+    /// Export the current trace ring buffers as chrome-trace JSON. When the
+    /// causal tracer has events, its flow arrows are spliced into the same
+    /// file.
     pub fn chrome_trace_json(&self) -> String {
-        chrome::chrome_trace(&self.tracer.snapshot())
+        let causal_snap = self.causal.snapshot();
+        let flows = causal::chrome_flow_events(&causal_snap);
+        chrome::chrome_trace_with(&self.tracer.snapshot(), &flows)
+    }
+
+    /// Build the causal DAG from the current causal rings.
+    pub fn causal_graph(&self) -> CausalGraph {
+        CausalGraph::build(&self.causal.snapshot())
+    }
+
+    /// The per-finish-root critical-path report as JSON.
+    pub fn critical_path_json(&self) -> String {
+        causal::critical_path_json(&self.causal_graph())
+    }
+
+    /// The per-finish-root critical-path report as human-readable text.
+    pub fn critical_path_text(&self) -> String {
+        causal::critical_path_text(&self.causal_graph())
+    }
+
+    /// The place×place×class latency/byte flow matrix as JSON.
+    pub fn flow_matrix_json(&self) -> String {
+        causal::flow_matrix_json(&self.causal_graph())
+    }
+
+    /// The place×place×class latency/byte flow matrix as text.
+    pub fn flow_matrix_text(&self) -> String {
+        causal::flow_matrix_text(&self.causal_graph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_renders_surface_drop_counters() {
+        let obs = Obs::new(1, true, 16); // tiny ring so it wraps
+        let buf = obs.tracer.register(0);
+        for i in 0..40 {
+            buf.instant("t", "tick", i);
+        }
+        let text = obs.metrics_text();
+        assert!(text.contains("trace.dropped_events 24"), "got:\n{text}");
+        assert!(text.contains("causal.dropped_events 0"));
+        let json = obs.metrics_json();
+        assert!(json.contains("\"trace.dropped_events\": 24"));
+        assert!(json.contains("\"causal.dropped_events\": 0"));
+    }
+
+    #[test]
+    fn chrome_export_includes_causal_flows() {
+        let obs = Obs::with_causal(2, true, 64, true);
+        let b0 = obs.causal.register(0);
+        let b1 = obs.causal.register(1);
+        let id = b0.mint(CausalId::pack_root(0, 1));
+        b0.send(id, 0, 1, 0, 40);
+        b1.recv(id, 0, 0, 40);
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("\"ph\": \"s\""));
+        assert!(json.contains("\"ph\": \"f\""));
+        assert!(json.contains("\"cat\": \"causal\""));
+    }
+
+    #[test]
+    fn causal_reports_via_obs_accessors() {
+        let obs = Obs::with_causal(2, false, 64, true);
+        let b0 = obs.causal.register(0);
+        let b1 = obs.causal.register(1);
+        let id = b0.mint(CausalId::pack_root(0, 3));
+        b0.send(id, 0, 1, 0, 48);
+        b1.recv(id, 0, 0, 48);
+        assert_eq!(obs.causal_graph().len(), 1);
+        assert!(obs.critical_path_json().contains("\"finish_seq\": 3"));
+        assert!(obs.critical_path_text().contains("critical path 1 hop"));
+        assert!(obs.flow_matrix_json().contains("\"from\": 0, \"to\": 1"));
+        assert!(obs.flow_matrix_text().contains("task"));
     }
 }

@@ -61,13 +61,14 @@ impl Counter {
         self.add(shard_hint, 1);
     }
 
-    /// Current value, aggregated over all shards.
+    /// Current value, aggregated over all shards. Wrapping, to match the
+    /// wrapping `fetch_add` writers use — near-u64::MAX values must not
+    /// abort a debug-mode snapshot.
     pub fn value(&self) -> u64 {
         self.inner
             .shards
             .iter()
-            .map(|s| s.n.load(Ordering::Relaxed))
-            .sum()
+            .fold(0u64, |a, s| a.wrapping_add(s.n.load(Ordering::Relaxed)))
     }
 }
 
@@ -157,13 +158,14 @@ impl Histogram {
         self.counts().iter().sum()
     }
 
-    /// Sum of all recorded values (for mean reporting).
+    /// Sum of all recorded values (for mean reporting). Wrapping, like the
+    /// per-shard `fetch_add` it aggregates — recording u64::MAX is legal and
+    /// must not abort a debug-mode snapshot.
     pub fn sum(&self) -> u64 {
         self.inner
             .shards
             .iter()
-            .map(|s| s.sum.load(Ordering::Relaxed))
-            .sum()
+            .fold(0u64, |a, s| a.wrapping_add(s.sum.load(Ordering::Relaxed)))
     }
 }
 
@@ -271,6 +273,44 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters with the same name add, unknown
+    /// counters append (registration order preserved, `other`'s new names
+    /// after `self`'s); histograms with the same name and bounds add
+    /// bucket-wise, unknown histograms append.
+    ///
+    /// This is how multi-runtime aggregations (e.g. a chaos matrix cell per
+    /// fault kind, or per-rep bench snapshots) combine into one report.
+    ///
+    /// # Panics
+    ///
+    /// If a histogram name appears in both snapshots with different bounds —
+    /// the same invariant `MetricsRegistry::histogram` enforces at
+    /// registration.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = mine.wrapping_add(*v),
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(mine) => {
+                    assert_eq!(
+                        mine.bounds, h.bounds,
+                        "histogram {:?} merged with different bounds",
+                        h.name
+                    );
+                    for (m, o) in mine.counts.iter_mut().zip(h.counts.iter()) {
+                        *m += o;
+                    }
+                    mine.sum = mine.sum.wrapping_add(h.sum);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+    }
+
     /// Plain-text rendering: `name value` lines, then one block per
     /// histogram with `le=BOUND count` bucket lines.
     pub fn render_text(&self) -> String {
@@ -441,5 +481,128 @@ mod tests {
         let snap = MetricsRegistry::new(1).snapshot();
         assert_eq!(snap.render_json(), "{\"counters\": {}, \"histograms\": {}}");
         assert_eq!(snap.render_text(), "");
+    }
+
+    #[test]
+    fn merge_adds_matching_counters_and_appends_new() {
+        let a = MetricsRegistry::new(1);
+        a.counter("shared").add(0, 10);
+        a.counter("only_a").add(0, 1);
+        let b = MetricsRegistry::new(1);
+        b.counter("shared").add(0, 32);
+        b.counter("only_b").add(0, 5);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(
+            snap.counters,
+            vec![
+                ("shared".to_string(), 42),
+                ("only_a".to_string(), 1),
+                ("only_b".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_histograms_bucketwise_and_appends_unknown() {
+        let a = MetricsRegistry::new(1);
+        let ha = a.histogram("h", &[10, 20]);
+        ha.record(0, 10); // boundary -> le=10
+        ha.record(0, 15);
+        let b = MetricsRegistry::new(1);
+        let hb = b.histogram("h", &[10, 20]);
+        hb.record(0, 20); // boundary -> le=20
+        hb.record(0, 999); // overflow
+        b.histogram("only_b", &[1]).record(0, 1);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        let h = &snap.histograms[0];
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.sum, 10 + 15 + 20 + 999);
+        assert_eq!(h.total(), 4);
+        assert_eq!(snap.histograms[1].name, "only_b");
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_histogram_bound_mismatch() {
+        let a = MetricsRegistry::new(1);
+        let _ = a.histogram("h", &[1, 2]);
+        let b = MetricsRegistry::new(1);
+        let _ = b.histogram("h", &[1, 3]);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let r = MetricsRegistry::new(1);
+        r.counter("c").add(0, 3);
+        r.histogram("h", &[1]).record(0, 0);
+        let full = r.snapshot();
+        let empty = MetricsRegistry::new(1).snapshot();
+
+        let mut lhs = full.clone();
+        lhs.merge(&empty);
+        assert_eq!(lhs.render_json(), full.render_json());
+
+        let mut rhs = empty.clone();
+        rhs.merge(&full);
+        assert_eq!(rhs.render_json(), full.render_json());
+        // And a merge of two empties still renders the empty shape.
+        let mut ee = MetricsRegistry::new(1).snapshot();
+        ee.merge(&MetricsRegistry::new(1).snapshot());
+        assert_eq!(ee.render_json(), "{\"counters\": {}, \"histograms\": {}}");
+    }
+
+    #[test]
+    fn histogram_u64_max_records_land_in_overflow_and_sum_wraps() {
+        let r = MetricsRegistry::new(2);
+        let h = r.histogram("big", &[1_000]);
+        h.record(0, u64::MAX);
+        h.record(1, u64::MAX);
+        h.record(0, 1_000); // exact bound, its own bucket
+        assert_eq!(h.counts(), vec![1, 2]);
+        assert_eq!(h.total(), 3);
+        // Sum arithmetic is wrapping by construction (relaxed fetch_add);
+        // 2 * u64::MAX + 1000 wraps to 998 without panicking.
+        assert_eq!(h.sum(), 998);
+        // Merging two such snapshots keeps wrapping rather than aborting.
+        let mut snap = r.snapshot();
+        snap.merge(&r.snapshot());
+        assert_eq!(snap.histograms[0].sum, 1996);
+        assert_eq!(snap.histograms[0].total(), 6);
+    }
+
+    #[test]
+    fn concurrent_records_on_exact_bounds_keep_cross_shard_sums_consistent() {
+        let r = Arc::new(MetricsRegistry::new(8));
+        let h = r.histogram("bounds", &[8, 64, 512]);
+        // Every thread records only exact bucket bounds, from its own shard.
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let h = h.clone();
+                thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        h.record(t, 8);
+                        h.record(t, 64);
+                        h.record(t, 512);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        // Cross-shard aggregation must agree with itself: bucket counts sum
+        // to the total, and the sum matches the arithmetic exactly.
+        assert_eq!(h.counts(), vec![40_000, 40_000, 40_000, 0]);
+        assert_eq!(h.total(), 120_000);
+        assert_eq!(h.sum(), 40_000 * (8 + 64 + 512));
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.histograms[0].total(),
+            snap.histograms[0].counts.iter().sum::<u64>()
+        );
     }
 }

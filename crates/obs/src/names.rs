@@ -119,3 +119,14 @@ pub const FAULT_REJECTED: &str = "fault.rejected";
 /// Counter: places killed by fault injection (unit: places; sharded by the
 /// victim).
 pub const FAULT_KILLED: &str = "fault.killed";
+
+/// Synthetic counter: trace events lost to ring-buffer overwrite (unit:
+/// events). Not a registry metric — injected into `metrics_text()` /
+/// `metrics_json()` output from the tracer's drop count at render time, so
+/// a truncated trace is visible wherever metrics are read.
+pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
+
+/// Synthetic counter: causal events lost to ring-buffer overwrite (unit:
+/// events). Injected at render time like [`TRACE_DROPPED_EVENTS`]; nonzero
+/// means causal DAGs and critical paths are lower bounds.
+pub const CAUSAL_DROPPED_EVENTS: &str = "causal.dropped_events";

@@ -231,6 +231,13 @@ impl Tracer {
         self.shared.enabled.store(on, Ordering::Relaxed);
     }
 
+    /// The instant all events are stamped against. Other event streams (the
+    /// causal tracer, the metrics sampler) share it so every exported
+    /// timestamp lives on one timeline.
+    pub fn epoch(&self) -> std::time::Instant {
+        self.shared.epoch
+    }
+
     /// Register a ring buffer for a worker of `place`. The worker index is
     /// assigned in registration order within the place.
     pub fn register(&self, place: u32) -> Arc<TraceBuf> {

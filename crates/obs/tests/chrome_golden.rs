@@ -91,8 +91,9 @@ fn golden_output_round_trips_through_serde_json() {
         .get("traceEvents")
         .and_then(|e| e.as_array())
         .expect("traceEvents array");
-    // 3 trace rows -> 2 process + 3 thread metadata events, plus 7 events.
-    assert_eq!(events.len(), 12);
+    // 3 trace rows -> 2 process + 3 thread metadata events, plus the
+    // global truncation warning (the fixture drops 2 events), plus 7 events.
+    assert_eq!(events.len(), 13);
     for e in events {
         let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
         assert!(matches!(ph, "M" | "X" | "i"), "unexpected phase {ph}");
@@ -104,7 +105,14 @@ fn golden_output_round_trips_through_serde_json() {
                 assert!(e.get("ts").and_then(|t| t.as_f64()).is_some());
             }
             "i" => {
-                assert_eq!(e.get("s").and_then(|s| s.as_str()), Some("t"));
+                // Thread-scoped instants, except the global truncation
+                // warning.
+                let scope = e.get("s").and_then(|s| s.as_str());
+                if e.get("name").and_then(|n| n.as_str()) == Some("trace_incomplete") {
+                    assert_eq!(scope, Some("g"));
+                } else {
+                    assert_eq!(scope, Some("t"));
+                }
                 assert!(e.get("dur").is_none());
             }
             _ => {}
@@ -115,11 +123,12 @@ fn golden_output_round_trips_through_serde_json() {
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
         .count();
     assert_eq!(spans, 4);
-    // The dropped count surfaces on place 0 / worker 1's metadata.
+    // The dropped count surfaces on place 0 / worker 1's metadata, and the
+    // global warning repeats the total.
     let dropped = events
         .iter()
         .filter_map(|e| e.get("args").and_then(|a| a.get("dropped_events")))
         .filter_map(|d| d.as_u64())
         .collect::<Vec<_>>();
-    assert_eq!(dropped, vec![0, 2, 0]);
+    assert_eq!(dropped, vec![0, 2, 0, 2]);
 }

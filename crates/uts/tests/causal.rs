@@ -1,0 +1,135 @@
+//! Causal cross-place tracing, end to end: the runtime's causal DAG must
+//! reconstruct the finish protocol's actual message chains on real
+//! workloads, the chrome export must carry Perfetto flow arrows, and the
+//! whole machinery must be invisible when off.
+
+use apgas::{Config, PlaceId, Runtime};
+use glb::GlbConfig;
+use uts::{run_distributed, traverse, GeoTree};
+
+fn glb_cfg() -> GlbConfig {
+    GlbConfig {
+        chunk: 64,
+        ..GlbConfig::default()
+    }
+}
+
+/// `at_put` is `finish_pragma(Async, at_async)`: exactly one Task spawn out
+/// and one FinishCtl completion back. Its critical path must have exactly
+/// those two hops, in that order — the hop count is pinned by the protocol
+/// kind, not by scheduling luck.
+#[test]
+fn at_put_critical_path_matches_async_protocol() {
+    let rt = Runtime::new(Config::new(2).causal_enable(true));
+    rt.run(|ctx| {
+        ctx.at_put(PlaceId(1), |_| {});
+    });
+    let obs = rt.obs().expect("observability on by default");
+    let g = obs.causal_graph();
+    let paths = g.critical_paths();
+    assert_eq!(
+        paths.len(),
+        1,
+        "one rooted finish expected (the at_put's Async finish): {paths:?}"
+    );
+    let p = &paths[0];
+    assert_eq!(p.home, 0, "at_put's finish is homed at the caller");
+    assert_eq!(
+        p.hops.len(),
+        2,
+        "Async finish round trip is spawn out + completion back: {:?}",
+        p.hops
+    );
+    assert_eq!((p.hops[0].from, p.hops[0].to), (0, 1));
+    assert_eq!((p.hops[1].from, p.hops[1].to), (1, 0));
+    assert_eq!(obs::causal::class_label(p.hops[0].class), "task");
+    assert_eq!(obs::causal::class_label(p.hops[1].class), "finish-ctl");
+    // Every hop carries its attribution stamps.
+    for h in &p.hops {
+        assert!(h.bytes > 0);
+        assert!(h.send_ts <= h.send_ts + h.transport_ns + h.queue_ns + h.exec_ns);
+    }
+    assert!(p.total_ns > 0);
+}
+
+/// A traced 8-place UTS run exports at least one finish critical path and a
+/// chrome trace with cross-place flow events (`"ph": "s"` / `"ph": "f"`
+/// pairs Perfetto renders as arrows) — and causal tracing must not disturb
+/// the traversal itself.
+#[test]
+fn traced_uts_exports_critical_paths_and_flow_arrows() {
+    let tree = GeoTree::paper(7);
+    let want = traverse(&tree);
+    let rt = Runtime::new(
+        Config::new(8)
+            .places_per_host(4)
+            .trace_enable(true)
+            .causal_enable(true),
+    );
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, glb_cfg()));
+    assert_eq!(got.stats, want, "tracing must not change the traversal");
+
+    let obs = rt.obs().unwrap();
+    let g = obs.causal_graph();
+    assert!(!g.is_empty(), "8-place UTS must record causal traffic");
+    let paths = g.critical_paths();
+    assert!(
+        !paths.is_empty(),
+        "at least one finish critical path expected"
+    );
+    assert!(paths.iter().all(|p| !p.hops.is_empty()));
+
+    let json = rt.critical_path_json().unwrap();
+    assert!(json.contains("\"roots\": [{"), "non-empty roots: {json}");
+
+    let chrome = rt.chrome_trace_json().unwrap();
+    assert!(
+        chrome.contains("\"ph\": \"s\""),
+        "flow-start events expected in chrome export"
+    );
+    assert!(
+        chrome.contains("\"ph\": \"f\""),
+        "flow-finish events expected in chrome export"
+    );
+
+    let flows = rt.flow_matrix_json().unwrap();
+    assert!(flows.contains("\"class\": \"steal\""), "{flows}");
+}
+
+/// With causal tracing off (the default), nothing is recorded and the
+/// exports say so — and the traversal still matches the oracle, pinning
+/// that the off path really is dormant.
+#[test]
+fn causal_off_records_nothing() {
+    let tree = GeoTree::paper(7);
+    let want = traverse(&tree);
+    let rt = Runtime::new(Config::new(4));
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, glb_cfg()));
+    assert_eq!(got.stats, want);
+    let obs = rt.obs().unwrap();
+    assert!(obs.causal_graph().is_empty());
+    let json = rt.critical_path_json().unwrap();
+    assert!(json.contains("\"roots\": []"), "{json}");
+    assert!(rt
+        .critical_path_text()
+        .unwrap()
+        .contains("no rooted causal traffic"));
+}
+
+/// The background sampler snapshots the metrics registry while a workload
+/// runs, and the series export carries the configured interval.
+#[test]
+fn sampler_collects_a_metrics_time_series() {
+    let tree = GeoTree::paper(8);
+    let rt = Runtime::new(Config::new(4).sample_interval_ms(2));
+    let _ = rt.run(move |ctx| run_distributed(ctx, tree, glb_cfg()));
+    // Give the sampler at least one full interval after the run.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let series = rt.metrics_series_json().expect("sampler configured");
+    assert!(series.contains("\"interval_ms\": 2"), "{series}");
+    assert!(
+        series.contains("\"elapsed_ms\""),
+        "at least one sample expected: {series}"
+    );
+    assert!(series.contains("worker.activities"), "{series}");
+}

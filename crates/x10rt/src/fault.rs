@@ -560,6 +560,9 @@ impl Transport for FaultTransport {
                 to: PlaceId(to),
                 class,
                 bytes: crate::message::HEADER_BYTES,
+                // A phantom is transport noise, not a caused message; it
+                // carries no causal identity and never enters the DAG.
+                causal: None,
                 payload: Box::new(FaultMarker::Duplicate),
             };
             let _ = self.inner.send(phantom);

@@ -10,6 +10,8 @@
 use crate::place::PlaceId;
 use std::any::Any;
 
+pub use obs::causal::{CausalId, CAUSAL_HEADER_BYTES};
+
 /// Wire-format header charged to every message, in bytes (source, destination,
 /// class, length — roughly what PAMI's active-message header costs).
 pub const HEADER_BYTES: usize = 32;
@@ -96,8 +98,15 @@ pub struct Envelope {
     pub to: PlaceId,
     /// Traffic class (statistics / routing).
     pub class: MsgClass,
-    /// Modeled wire size in bytes (including [`HEADER_BYTES`]).
+    /// Modeled wire size in bytes (including [`HEADER_BYTES`], and
+    /// [`CAUSAL_HEADER_BYTES`] when stamped).
     pub bytes: usize,
+    /// Causal identity for cross-place tracing (`None` when causal tracing
+    /// is off). Stamped per logical message, so it survives batching — a
+    /// [`MsgClass::Batch`] envelope carries its inner envelopes verbatim —
+    /// and rides through transport decorators like `FaultTransport`
+    /// untouched.
+    pub causal: Option<CausalId>,
     /// The opaque payload.
     pub payload: Payload,
 }
@@ -123,8 +132,20 @@ impl Envelope {
             to,
             class,
             bytes: body_bytes + HEADER_BYTES,
+            causal: None,
             payload,
         }
+    }
+
+    /// Stamp a causal identity onto this envelope, charging
+    /// [`CAUSAL_HEADER_BYTES`] to the modeled wire size — causal tracing's
+    /// cost shows up honestly in the byte ledgers. Unstamped envelopes
+    /// (causal tracing off) keep their exact pre-causal sizes.
+    pub fn with_causal(mut self, id: CausalId) -> Self {
+        debug_assert!(self.causal.is_none(), "envelope stamped twice");
+        self.causal = Some(id);
+        self.bytes += CAUSAL_HEADER_BYTES;
+        self
     }
 
     /// Pack several same-destination messages into one batch envelope.
@@ -144,6 +165,10 @@ impl Envelope {
             to,
             class: MsgClass::Batch,
             bytes: body + HEADER_BYTES,
+            // The physical envelope carries no causal identity of its own;
+            // the inner envelopes keep their per-message stamps (and their
+            // causal header bytes stay in `body` above).
+            causal: None,
             payload: Box::new(BatchPayload { envs }),
         }
     }
@@ -193,5 +218,54 @@ mod tests {
     fn envelope_charges_header() {
         let e = Envelope::new(PlaceId(0), PlaceId(1), MsgClass::Task, 100, Box::new(()));
         assert_eq!(e.bytes, 100 + HEADER_BYTES);
+        assert!(e.causal.is_none());
+    }
+
+    #[test]
+    fn causal_stamp_charges_extra_header_bytes() {
+        let id = CausalId { root: 5, seq: 9 };
+        let e = Envelope::new(PlaceId(0), PlaceId(1), MsgClass::Task, 100, Box::new(()))
+            .with_causal(id);
+        assert_eq!(e.bytes, 100 + HEADER_BYTES + CAUSAL_HEADER_BYTES);
+        assert_eq!(e.causal, Some(id));
+    }
+
+    #[test]
+    fn causal_stamps_survive_batching_per_message() {
+        let id0 = CausalId { root: 1, seq: 10 };
+        let id1 = CausalId { root: 1, seq: 11 };
+        let envs = vec![
+            Envelope::new(PlaceId(0), PlaceId(2), MsgClass::Task, 50, Box::new(()))
+                .with_causal(id0),
+            Envelope::new(PlaceId(0), PlaceId(2), MsgClass::FinishCtl, 8, Box::new(())),
+            Envelope::new(PlaceId(0), PlaceId(2), MsgClass::Steal, 16, Box::new(()))
+                .with_causal(id1),
+        ];
+        let inner_bytes: usize = envs.iter().map(|e| e.bytes).sum();
+        let batch = Envelope::batch(PlaceId(0), PlaceId(2), envs);
+        // The physical envelope is unstamped; aggregation saves the two
+        // extra message headers but keeps the per-message causal bytes.
+        assert!(batch.causal.is_none());
+        assert_eq!(batch.bytes, inner_bytes - 2 * HEADER_BYTES);
+        let inner = batch.unbatch().expect("batch unpacks");
+        assert_eq!(
+            inner.iter().map(|e| e.causal).collect::<Vec<_>>(),
+            vec![Some(id0), None, Some(id1)]
+        );
+    }
+
+    #[test]
+    fn causal_class_labels_match_msgclass() {
+        // obs::causal duplicates the label table (it sits below x10rt in the
+        // crate graph); this pins the two copies together.
+        for c in MsgClass::ALL {
+            assert_eq!(
+                obs::causal::class_label(c.index() as u8),
+                c.label(),
+                "label drift at index {}",
+                c.index()
+            );
+        }
+        assert_eq!(obs::causal::CLASS_LABELS.len(), MsgClass::ALL.len());
     }
 }
