@@ -78,6 +78,12 @@ pub struct Config {
     /// `None` — the default — waits forever (the fault-free configuration
     /// never needs it and pays nothing for it).
     pub finish_watchdog: Option<Duration>,
+    /// Deterministic-schedule mode (simulation testing): workers yield to a
+    /// [`crate::step::StepGate`] at the top of every scheduling quantum and
+    /// only run when an external schedule controller grants them one — see
+    /// the `sim` crate. Requires `workers_per_place == 1`. Off by default;
+    /// the threaded path then pays exactly one `Option` check per quantum.
+    pub deterministic: bool,
 }
 
 impl Config {
@@ -100,6 +106,7 @@ impl Config {
             fault_plan: None,
             send_timeout: x10rt::coalesce::DEFAULT_SEND_TIMEOUT,
             finish_watchdog: None,
+            deterministic: false,
         }
     }
 
@@ -190,6 +197,13 @@ impl Config {
         self.finish_watchdog = Some(limit);
         self
     }
+
+    /// Enable deterministic-schedule mode (builder style) — workers step
+    /// only under an external schedule controller's grants.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +227,13 @@ mod tests {
         assert!(c.fault_plan.is_none(), "fault injection is opt-in");
         assert_eq!(c.send_timeout, Duration::from_millis(5));
         assert!(c.finish_watchdog.is_none(), "watchdog is opt-in");
+        assert!(!c.deterministic, "deterministic stepping is opt-in");
+    }
+
+    #[test]
+    fn deterministic_builder() {
+        let c = Config::new(4).deterministic(true);
+        assert!(c.deterministic);
     }
 
     #[test]

@@ -447,7 +447,21 @@ impl<'w> Ctx<'w> {
     /// activity, then return. Long-running activities (the GLB worker loop)
     /// call this between work chunks so steal requests get serviced.
     pub fn probe(&self) {
-        while self.worker.run_one() {}
+        // The probe bracket tells the deterministic-schedule controller
+        // this place can do application work even with empty queues (no-op
+        // in threaded mode). A panic inside a pumped activity must not
+        // leak the mark.
+        self.worker.begin_probe();
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || {
+                    while self.worker.run_one() {}
+                },
+            ));
+        self.worker.end_probe();
+        if let Err(e) = r {
+            std::panic::resume_unwind(e);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -54,6 +54,7 @@ pub mod place_group;
 pub(crate) mod place_state;
 pub mod rail;
 pub mod runtime;
+pub mod step;
 pub mod team;
 pub(crate) mod worker;
 
@@ -65,8 +66,10 @@ pub use finish::FinishKind;
 pub use global_ref::{GlobalRef, PlaceLocalHandle};
 pub use place_group::PlaceGroup;
 pub use rail::GlobalRail;
-pub use runtime::Runtime;
+pub use runtime::{FinishResidue, Runtime};
+pub use step::StepGate;
 pub use team::{Team, TeamOp};
+pub use worker::panic_message;
 pub use x10rt::{ClassFaults, FaultEvent, FaultPlan, MsgClass, PlaceId, Topology};
 
 /// Run `body` as the main activity of a fresh runtime with `cfg` and return

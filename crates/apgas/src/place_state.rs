@@ -67,6 +67,12 @@ pub struct PlaceState {
     /// The place-wide lock implementing `atomic`/`when` (reentrant so nested
     /// atomic sections don't self-deadlock).
     pub atomic_lock: ReentrantMutex<()>,
+    /// Activities of this place currently paused inside a `Ctx::probe`
+    /// pump. Maintained only in deterministic mode: a probing activity has
+    /// application work to continue even when every queue is empty, and the
+    /// schedule controller must keep granting the place quanta to advance
+    /// it (unlike a `wait_until` pause, which only a delivery can unblock).
+    pub probing: AtomicUsize,
 }
 
 impl PlaceState {
@@ -87,6 +93,7 @@ impl PlaceState {
             team: Mutex::new(TeamInbox::default()),
             clocks: Mutex::new(ClockTables::default()),
             atomic_lock: ReentrantMutex::new(()),
+            probing: AtomicUsize::new(0),
         }
     }
 

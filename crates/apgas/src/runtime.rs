@@ -5,6 +5,7 @@ use crate::ctx::Ctx;
 use crate::error::ApgasError;
 use crate::finish::Attach;
 use crate::place_state::{Activity, PlaceState};
+use crate::step::StepGate;
 use crate::worker::{TaskFn, Worker};
 use obs::Obs;
 use parking_lot::Mutex;
@@ -45,6 +46,32 @@ pub struct Global {
     /// Observability state (metrics + tracer); `None` with
     /// `Config::obs_disable` — every hook then reduces to this `None` check.
     pub obs: Option<Arc<Obs>>,
+    /// Deterministic stepping gate; `Some` only with
+    /// [`Config::deterministic`]. Workers then yield to it at the top of
+    /// every scheduling quantum (see [`crate::step`]); the threaded path
+    /// pays one `Option` check.
+    pub step_gate: Option<Arc<StepGate>>,
+}
+
+/// Residual finish-protocol state left at the places, summed runtime-wide —
+/// a quiescence oracle: after every `finish` has released and the runtime
+/// is idle, all three counts must be zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FinishResidue {
+    /// Finish roots still registered at their home places.
+    pub roots: usize,
+    /// Finish proxies still holding state for remotely-homed finishes.
+    pub proxies: usize,
+    /// Places whose dense-route delta aggregator still buffers undelivered
+    /// deltas.
+    pub dense_pending: usize,
+}
+
+impl FinishResidue {
+    /// True when no residual protocol state exists anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.roots == 0 && self.proxies == 0 && self.dense_pending == 0
+    }
 }
 
 /// An APGAS runtime: `cfg.places` places, each with its own scheduler
@@ -64,8 +91,33 @@ pub struct Runtime {
 impl Runtime {
     /// Build a runtime and start its worker threads.
     pub fn new(cfg: Config) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Build a runtime over a caller-supplied transport instead of the
+    /// default in-process [`LocalTransport`] — the seam the deterministic
+    /// simulation harness (`crates/sim`) plugs its `SimTransport` into. A
+    /// configured fault plan still wraps the supplied transport in a
+    /// [`FaultTransport`], so fault injection composes with simulation.
+    pub fn with_transport(cfg: Config, transport: Arc<dyn Transport>) -> Self {
+        assert_eq!(
+            transport.num_places(),
+            cfg.places,
+            "transport sized for a different number of places"
+        );
+        Self::build(cfg, Some(transport))
+    }
+
+    fn build(cfg: Config, external: Option<Arc<dyn Transport>>) -> Self {
         assert!(cfg.places > 0, "need at least one place");
         assert!(cfg.places <= u32::MAX as usize, "place ids are 32-bit");
+        if cfg.deterministic {
+            assert_eq!(
+                cfg.workers_per_place, 1,
+                "deterministic mode grants quanta per place, so it requires \
+                 exactly one worker per place"
+            );
+        }
         let topo = Topology::new(cfg.places, cfg.places_per_host);
         let obs = if cfg.obs_disable {
             None
@@ -85,7 +137,10 @@ impl Runtime {
             )),
             _ => None,
         };
-        let base = Arc::new(LocalTransport::new(cfg.places));
+        let base: Arc<dyn Transport> = match external {
+            Some(t) => t,
+            None => Arc::new(LocalTransport::new(cfg.places)),
+        };
         let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultTransport>>) =
             match &cfg.fault_plan {
                 None => (base, None),
@@ -106,6 +161,11 @@ impl Runtime {
             transport.register_waker(p.id, Arc::new(move || ps.wake()));
         }
         let seg_table = Arc::new(SegmentTable::new());
+        let step_gate = if cfg.deterministic {
+            Some(Arc::new(StepGate::new()))
+        } else {
+            None
+        };
         let g = Arc::new(Global {
             congruent: CongruentAllocator::new(cfg.places, seg_table.clone()),
             topo,
@@ -117,6 +177,7 @@ impl Runtime {
             ids: AtomicU64::new(1),
             uncounted_panics: Mutex::new(Vec::new()),
             obs,
+            step_gate,
             cfg,
         });
         let mut handles = Vec::new();
@@ -217,6 +278,32 @@ impl Runtime {
         self.g.fault.as_ref().map(|f| f.fault_counts())
     }
 
+    /// Fault-layer work invisible to the transport beneath it: held
+    /// (delayed) envelopes plus unfired scripted events. Zero without a
+    /// fault plan. The DST controller drains this via
+    /// [`Runtime::fault_poke`] before concluding a quiet network is a
+    /// deadlocked one.
+    pub fn fault_backlog(&self) -> usize {
+        self.g
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.held_len() + f.pending_events())
+    }
+
+    /// The fault layer's logical clock (0 without a fault plan). Scripted
+    /// events and delay releases are timed against this clock.
+    pub fn fault_clock(&self) -> u64 {
+        self.g.fault.as_ref().map_or(0, |f| f.logical_step())
+    }
+
+    /// Advance the fault layer's logical clock one trafficless step (no-op
+    /// without a fault plan). See `FaultTransport::poke`.
+    pub fn fault_poke(&self) {
+        if let Some(f) = &self.g.fault {
+            f.poke();
+        }
+    }
+
     /// Number of places.
     pub fn places(&self) -> usize {
         self.g.cfg.places
@@ -295,6 +382,66 @@ impl Runtime {
     pub fn take_uncounted_panics(&self) -> Vec<String> {
         std::mem::take(&mut self.g.uncounted_panics.lock())
     }
+
+    /// The deterministic stepping gate, when the runtime was built with
+    /// [`Config::deterministic`]. The schedule controller (the `sim` crate)
+    /// drives workers through it.
+    pub fn step_gate(&self) -> Option<&Arc<StepGate>> {
+        self.g.step_gate.as_ref()
+    }
+
+    /// Does `place` have local work — a queued activity, an undrained
+    /// mailbox, or an activity paused inside a `Ctx::probe` pump (which
+    /// will do application work as soon as it gets a quantum)? A schedule
+    /// controller uses this to enumerate enabled steps.
+    pub fn place_has_work(&self, place: PlaceId) -> bool {
+        let ps = &self.g.places[place.0 as usize];
+        !ps.queue.is_empty()
+            || ps.probing.load(std::sync::atomic::Ordering::Acquire) > 0
+            || self.g.transport.queue_len(place) > 0
+    }
+
+    /// Total activities queued across all places (not counting the one a
+    /// worker may be executing — in deterministic mode nobody executes
+    /// between quanta, so this is exact).
+    pub fn total_queued(&self) -> usize {
+        self.g.places.iter().map(|p| p.queue.len()).sum()
+    }
+
+    /// Residual finish-protocol state across all places — the quiescence
+    /// oracle (see [`FinishResidue`]).
+    pub fn finish_residue(&self) -> FinishResidue {
+        let mut r = FinishResidue {
+            roots: 0,
+            proxies: 0,
+            dense_pending: 0,
+        };
+        for p in &self.g.places {
+            r.roots += p.roots.lock().len();
+            r.proxies += p.proxies.lock().len();
+            if p.dense_agg.lock().has_pending() {
+                r.dense_pending += 1;
+            }
+        }
+        r
+    }
+
+    /// Initiate shutdown without dropping the runtime: sets the shutdown
+    /// flag, permanently releases the stepping gate (if any), and wakes all
+    /// workers. Blocked `wait_until`s abort with the runtime-shutdown panic;
+    /// the schedule controller uses this to convert a detected deadlock into
+    /// a clean teardown instead of a hang.
+    pub fn request_shutdown(&self) {
+        self.g
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
+        if let Some(gate) = &self.g.step_gate {
+            gate.release_all();
+        }
+        for p in &self.g.places {
+            p.wake();
+        }
+    }
 }
 
 impl Drop for Runtime {
@@ -302,6 +449,10 @@ impl Drop for Runtime {
         self.g
             .shutdown
             .store(true, std::sync::atomic::Ordering::Release);
+        if let Some(gate) = &self.g.step_gate {
+            // Free-run the workers so teardown never waits on a controller.
+            gate.release_all();
+        }
         for p in &self.g.places {
             p.wake();
         }

@@ -202,6 +202,54 @@ impl Worker {
 
     /// Scheduler loop: run until global shutdown.
     pub fn main_loop(&self) {
+        if self.g.step_gate.is_some() {
+            // Deterministic mode: a worker panic escaping an activity (a
+            // protocol-bug assertion such as the stray-FinishCtl check)
+            // would otherwise kill this thread silently and strand the
+            // schedule controller waiting for a quantum that never
+            // completes. Record it and convert it into a clean shutdown.
+            if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.loop_body();
+            })) {
+                self.g.uncounted_panics.lock().push(format!(
+                    "worker at {} died: {}",
+                    self.here,
+                    panic_message(e)
+                ));
+                self.g.shutdown.store(true, Ordering::Release);
+                if let Some(gate) = &self.g.step_gate {
+                    gate.release_all();
+                }
+                for p in &self.g.places {
+                    p.wake();
+                }
+            }
+            return;
+        }
+        self.loop_body();
+    }
+
+    /// Bracket one `Ctx::probe` pump. Deterministic mode only: while the
+    /// probing activity is paused at the step gate, its place still has
+    /// runnable application work even with every queue empty, and
+    /// `Runtime::place_has_work` must keep reporting it so the schedule
+    /// controller grants the quanta that advance it. (A `wait_until` pause
+    /// deliberately does NOT set this — only a delivery can unblock it, and
+    /// marking it runnable would make true deadlocks undetectable.)
+    pub fn begin_probe(&self) {
+        if self.g.step_gate.is_some() {
+            self.place.probing.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// See [`Worker::begin_probe`].
+    pub fn end_probe(&self) {
+        if self.g.step_gate.is_some() {
+            self.place.probing.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn loop_body(&self) {
         while !self.g.shutdown.load(Ordering::Acquire) {
             if !self.run_one() {
                 self.park_brief();
@@ -216,6 +264,12 @@ impl Worker {
     /// progress was made. Ends with a flush: nothing this quantum sent stays
     /// buffered into the next one.
     pub fn run_one(&self) -> bool {
+        if let Some(gate) = &self.g.step_gate {
+            // Deterministic mode: the quantum boundary sits here, at the
+            // top of run_one, so every `wait_until` condition re-check and
+            // every activity body runs while this worker holds the baton.
+            gate.step_wait(self.here.0);
+        }
         let handled = self.drain_messages(256);
         let progress = if let Some(act) = self.pop_activity() {
             self.execute(act);
@@ -373,6 +427,12 @@ impl Worker {
     fn park_brief(&self) {
         // Never sleep on buffered sends: a peer may be waiting on them.
         self.flush_sends();
+        // Deterministic mode: never condvar-sleep — the next run_one blocks
+        // on the stepping gate anyway, and sleeping here would deadlock
+        // against a controller that only wakes workers through grants.
+        if self.g.step_gate.is_some() {
+            return;
+        }
         // Back off gently first: give the CPU away and re-check before
         // committing to a condvar sleep (see PARK_SPIN_YIELDS).
         let streak = self.idle_streak.get();

@@ -6,6 +6,26 @@ use apgas::{Config, FinishKind, PlaceId, Runtime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// After `run` returns, every finish protocol must be fully quiescent:
+/// no live roots or proxies anywhere (a root only retires once its delta
+/// accounting balances to zero, so `roots == 0` *is* the balanced-books
+/// check), no buffered dense hops, no queued activities, and no
+/// undelivered messages at any place.
+fn assert_quiescent(rt: &Runtime) {
+    let residue = rt.finish_residue();
+    assert!(
+        residue.is_clean(),
+        "residual finish state after quiescence: {residue:?}"
+    );
+    assert_eq!(rt.total_queued(), 0, "activities left queued");
+    for p in 0..rt.places() as u32 {
+        assert!(
+            !rt.place_has_work(PlaceId(p)),
+            "place {p} still has queued work or undelivered messages"
+        );
+    }
+}
+
 #[test]
 fn wide_fanout_default_finish() {
     let places = 16;
@@ -25,6 +45,7 @@ fn wide_fanout_default_finish() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), 16 * 20);
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -47,6 +68,7 @@ fn ping_pong_chain_under_one_finish() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), 201);
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -75,6 +97,7 @@ fn nested_finish_kinds_mixed() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), places as u64);
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -97,6 +120,7 @@ fn sequential_finishes_reuse_protocol_state() {
             assert_eq!(hits.load(Ordering::Relaxed), 4, "round {round}");
         }
     });
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -126,6 +150,7 @@ fn concurrent_finishes_from_different_places() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), (places * places) as u64);
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -143,6 +168,7 @@ fn dense_panic_delivery_via_masters() {
         Ok(()) => panic!("expected panic"),
     };
     assert!(msg.contains("dense boom"), "got: {msg}");
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -158,6 +184,7 @@ fn here_panic_returns_with_credit() {
         Ok(()) => panic!("expected panic"),
     };
     assert!(msg.contains("eval boom"), "got: {msg}");
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -177,6 +204,7 @@ fn spmd_panic_collected() {
         });
     }));
     assert!(result.is_err());
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -215,6 +243,7 @@ fn default_matrix_footprint_grows_with_edges() {
              ({bytes_dense_graph} vs {bytes_star_graph})"
         );
     });
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -239,6 +268,7 @@ fn uncounted_traffic_does_not_block_finish() {
         );
         ctx.wait_until(move || slow.load(Ordering::Acquire) == 1);
     });
+    assert_quiescent(&rt);
 }
 
 #[test]
@@ -259,4 +289,5 @@ fn many_places_dense_fanout() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), 96);
+    assert_quiescent(&rt);
 }

@@ -28,6 +28,17 @@
 //! envelopes and run with aggregation disabled (so every message travels
 //! under its own class and class targeting is exact), while lossless cells
 //! keep aggregation on and fault *all* classes, batches included.
+//!
+//! # Relation to the deterministic simulation tier
+//!
+//! Chaos runs the *threaded* runtime: the OS scheduler picks the
+//! interleavings, so each cell samples fault-space under realistic timing.
+//! The `sim` crate is the complementary tier — the same runtime
+//! single-stepped under a seeded schedule controller, with the same
+//! [`x10rt::FaultTransport`] composable underneath — so
+//! interleaving-dependent bugs are found by *search* and replayed
+//! bit-for-bit from a one-line repro. TESTING.md (repo root) maps which
+//! tier catches what and the seed-corpus conventions shared by both.
 
 use apgas::{ApgasError, ClassFaults, Config, FaultPlan, MsgClass, PlaceId, Runtime};
 use std::panic::{catch_unwind, AssertUnwindSafe};

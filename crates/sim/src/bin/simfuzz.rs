@@ -1,0 +1,185 @@
+//! `simfuzz` — the DST sweep driver CI runs.
+//!
+//! Default mode runs the fixed corpus: every finish protocol × a range of
+//! workload seeds × a range of schedule seeds. On the first failure it
+//! shrinks the schedule, prints a one-line `SIM-REPRO`, writes artifacts
+//! (repro + chrome trace) if `--artifact-dir` is given, and exits 1.
+//!
+//! ```text
+//! simfuzz [--kinds FINISH_DENSE,FINISH_HERE] [--places N] [--pph N]
+//!         [--wseeds LO..HI] [--sseeds LO..HI] [--max-nodes N]
+//!         [--mutate CLASS:NTH] [--artifact-dir DIR] [--replay 'SIM-REPRO ...']
+//! ```
+//!
+//! `--mutate` installs a transport-level bug (drop the NTH send of CLASS)
+//! and *inverts* the exit code: the sweep must find a failing schedule
+//! (mutation-smoke mode). `--replay` re-runs one repro line and reports.
+
+use apgas::FinishKind;
+use sim::fuzz::{
+    parse_kind, parse_repro, run_case_replay, run_case_with, shrink, CaseSpec, ALL_KINDS,
+};
+use sim::schedule::Chooser;
+use sim::transport::Mutation;
+use sim::SimOpts;
+use std::ops::Range;
+use x10rt::MsgClass;
+
+struct Args {
+    kinds: Vec<FinishKind>,
+    places: usize,
+    pph: usize,
+    wseeds: Range<u64>,
+    sseeds: Range<u64>,
+    max_nodes: usize,
+    mutate: Option<Mutation>,
+    artifact_dir: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_range(s: &str) -> Option<Range<u64>> {
+    let (lo, hi) = s.split_once("..")?;
+    Some(lo.parse().ok()?..hi.parse().ok()?)
+}
+
+fn parse_class(s: &str) -> Option<MsgClass> {
+    MsgClass::ALL.into_iter().find(|c| c.label() == s)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        kinds: ALL_KINDS.to_vec(),
+        places: 4,
+        pph: 2,
+        wseeds: 0..8,
+        sseeds: 0..4,
+        max_nodes: 16,
+        mutate: None,
+        artifact_dir: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--kinds" => {
+                a.kinds = val("--kinds")?
+                    .split(',')
+                    .map(|k| parse_kind(k.trim()).ok_or(format!("unknown kind {k}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--places" => a.places = val("--places")?.parse().map_err(|e| format!("{e}"))?,
+            "--pph" => a.pph = val("--pph")?.parse().map_err(|e| format!("{e}"))?,
+            "--wseeds" => {
+                a.wseeds = parse_range(&val("--wseeds")?).ok_or("--wseeds wants LO..HI")?
+            }
+            "--sseeds" => {
+                a.sseeds = parse_range(&val("--sseeds")?).ok_or("--sseeds wants LO..HI")?
+            }
+            "--max-nodes" => {
+                a.max_nodes = val("--max-nodes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--mutate" => {
+                let v = val("--mutate")?;
+                let (class, nth) = v.split_once(':').ok_or("--mutate wants CLASS:NTH")?;
+                a.mutate = Some(Mutation::DropNth {
+                    class: parse_class(class).ok_or(format!("unknown class {class}"))?,
+                    nth: nth.parse().map_err(|e| format!("{e}"))?,
+                });
+            }
+            "--artifact-dir" => a.artifact_dir = Some(val("--artifact-dir")?),
+            "--replay" => a.replay = Some(val("--replay")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn write_artifacts(dir: &str, spec: &CaseSpec, choices: &[u32], failure: &str, opts: &SimOpts) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("simfuzz: cannot create {dir}: {e}");
+        return;
+    }
+    let repro = format!("{}\n# {}\n", spec.repro_line(choices), failure);
+    let _ = std::fs::write(format!("{dir}/repro.txt"), repro);
+    // Re-run the shrunk schedule with tracing on for the chrome trace.
+    let traced = run_case_replay(spec, choices, opts, true);
+    if let Some(json) = traced.trace_json {
+        let _ = std::fs::write(format!("{dir}/trace.json"), json);
+        eprintln!("simfuzz: artifacts in {dir}/ (repro.txt, trace.json)");
+    } else {
+        eprintln!("simfuzz: artifacts in {dir}/ (repro.txt)");
+    }
+}
+
+fn main() {
+    chaos::install_quiet_panic_hook();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simfuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = SimOpts::default();
+
+    if let Some(line) = &args.replay {
+        let (spec, choices) = match parse_repro(line) {
+            Some(x) => x,
+            None => {
+                eprintln!("simfuzz: cannot parse repro line");
+                std::process::exit(2);
+            }
+        };
+        let res = run_case_with(&spec, Chooser::replay(choices), args.mutate, &opts, false);
+        match res.failure {
+            Some(f) => {
+                eprintln!("replay FAILED (as recorded): {f}");
+                std::process::exit(1);
+            }
+            None => {
+                println!("replay passed: trace hash {:#018x}", res.report.trace_hash);
+                return;
+            }
+        }
+    }
+
+    let mut cases = 0u64;
+    for &kind in &args.kinds {
+        for wseed in args.wseeds.clone() {
+            for sseed in args.sseeds.clone() {
+                let mut spec = CaseSpec::new(kind, args.places, wseed, sseed);
+                spec.places_per_host = args.pph;
+                spec.max_nodes = args.max_nodes;
+                cases += 1;
+                let res = run_case_with(&spec, Chooser::seeded(sseed), args.mutate, &opts, false);
+                if let Some(failure) = res.failure {
+                    eprintln!(
+                        "simfuzz: FAIL {} wseed={wseed:#x} sseed={sseed:#x}: {failure}",
+                        kind.label()
+                    );
+                    let small = shrink(&spec, &res.report.choices, args.mutate, &opts, 100);
+                    eprintln!(
+                        "simfuzz: shrunk {} -> {} choices",
+                        res.report.choices.len(),
+                        small.len()
+                    );
+                    eprintln!("{}", spec.repro_line(&small));
+                    if let Some(dir) = &args.artifact_dir {
+                        write_artifacts(dir, &spec, &small, &failure, &opts);
+                    }
+                    if args.mutate.is_some() {
+                        println!("mutation caught after {cases} case(s)");
+                        return; // success: the fuzzer has teeth
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if args.mutate.is_some() {
+        eprintln!("simfuzz: mutation NOT caught in {cases} case(s) — fuzzer is blind");
+        std::process::exit(1);
+    }
+    println!("simfuzz: {cases} case(s) passed");
+}

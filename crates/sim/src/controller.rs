@@ -1,0 +1,304 @@
+//! The schedule controller: single-steps a deterministic runtime.
+//!
+//! The controller and the runtime's workers pass a baton
+//! ([`apgas::StepGate`]): workers only run inside granted quanta, so between
+//! controller actions *nothing* in the runtime moves. Each iteration the
+//! controller enumerates the **enabled actions** —
+//!
+//! * `Deliver(channel)` for every nonempty in-flight channel of the
+//!   [`SimTransport`], and
+//! * `Step(place)` for every place with a nonempty mailbox or activity
+//!   queue —
+//!
+//! asks the [`Chooser`] to pick one, and performs it. When no action is
+//! enabled the run has either quiesced (the workload thread reported done)
+//! or deadlocked; deadlock converts into a clean shutdown, not a hang.
+//!
+//! Determinism argument: the enabled set is computed from state only the
+//! controller mutates (in-flight channels) or that workers mutate strictly
+//! inside granted quanta (queues, mailboxes via drains); its enumeration
+//! order is sorted; and the `done` flag is only consulted when no actions
+//! remain, so the workload thread's asynchronous completion cannot steer a
+//! single choice. Hence the whole run is a pure function of
+//! `(workload, chooser)` — which is the record/replay property.
+
+use crate::schedule::Chooser;
+use crate::transport::{ChannelKey, SimTransport};
+use apgas::runtime::FinishResidue;
+use apgas::{ApgasError, Config, Ctx, Runtime};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use x10rt::{MsgClass, PlaceId};
+
+/// Tunables for one simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOpts {
+    /// Schedule budget: total actions (grants + deliveries) before the run
+    /// is abandoned with [`RunVerdict::Budget`].
+    pub max_steps: u64,
+    /// How long to wait for the workload *thread* to report completion when
+    /// the body has already finished (it is runnable, just not yet
+    /// scheduled by the OS), or for the main activity to be enqueued at
+    /// startup. Generous because hitting it is an OS-scheduling stall, not
+    /// a protocol property.
+    pub stall_ms: u64,
+    /// How long to keep polling before declaring deadlock when no action is
+    /// enabled and the workload body has *not* finished. The body can only
+    /// be unblocked by a delivery, so this is provably a deadlock; the
+    /// small grace only covers a panic unwinding through the workload
+    /// thread. Kept short so failure-hunting (mutation testing, fault
+    /// exploration) stays fast.
+    pub deadlock_grace_ms: u64,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        SimOpts {
+            max_steps: 100_000,
+            stall_ms: 5_000,
+            deadlock_grace_ms: 100,
+        }
+    }
+}
+
+/// How a simulated run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// The workload completed and every remaining message drained.
+    Completed,
+    /// No enabled actions, workload still waiting: termination detection
+    /// (or the workload itself) is stuck.
+    Deadlock,
+    /// The schedule budget ran out first.
+    Budget,
+    /// The stepping gate was released under the controller — a worker died
+    /// (protocol-bug panic) or shutdown was requested externally.
+    Aborted,
+}
+
+/// What one driven schedule did.
+#[derive(Clone, Debug)]
+pub struct ScheduleReport {
+    /// How the run ended.
+    pub verdict: RunVerdict,
+    /// Total schedule actions performed.
+    pub steps: u64,
+    /// How many of those were deliveries.
+    pub deliveries: u64,
+    /// Every choice the controller resolved, in order — replaying this log
+    /// reproduces the run exactly.
+    pub choices: Vec<u32>,
+    /// The causal trace hash at the end of the run.
+    pub trace_hash: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Deliver(ChannelKey),
+    Step(u32),
+}
+fn enabled(rt: &Runtime, sim: &SimTransport) -> Vec<Action> {
+    let mut acts: Vec<Action> = sim.deliverable().into_iter().map(Action::Deliver).collect();
+    for p in 0..rt.places() as u32 {
+        if rt.place_has_work(PlaceId(p)) {
+            acts.push(Action::Step(p));
+        }
+    }
+    acts
+}
+
+/// Drive `rt` (built deterministic over `sim`) until the workload reports
+/// `done`, deadlock, budget exhaustion, or abort. See the module docs for
+/// the determinism argument.
+pub fn drive(
+    rt: &Runtime,
+    sim: &SimTransport,
+    chooser: &mut Chooser,
+    opts: &SimOpts,
+    done: &AtomicBool,
+    main_done: &AtomicBool,
+) -> ScheduleReport {
+    let gate = rt
+        .step_gate()
+        .expect("drive() needs a Config::deterministic runtime")
+        .clone();
+    let mut steps = 0u64;
+    let mut deliveries = 0u64;
+    let verdict = loop {
+        if gate.is_released() {
+            break RunVerdict::Aborted;
+        }
+        let acts = enabled(rt, sim);
+        if acts.is_empty() {
+            // A fault layer may be holding delayed envelopes (or unfired
+            // scripted events) that nothing visible accounts for; its clock
+            // only advances on traffic, so with the network quiet we must
+            // advance it by hand until something becomes enabled again.
+            // The poke policy depends only on controller-visible state, so
+            // replay determinism survives.
+            if rt.fault_backlog() > 0 {
+                let mut pokes = 0u32;
+                while rt.fault_backlog() > 0 && enabled(rt, sim).is_empty() && pokes < 1_000_000 {
+                    rt.fault_poke();
+                    pokes += 1;
+                }
+                if !enabled(rt, sim).is_empty() {
+                    continue;
+                }
+            }
+            if done.load(Ordering::Acquire) {
+                break RunVerdict::Completed;
+            }
+            // Nothing enabled and the workload hasn't reported completion.
+            // Three cases: (1) the body finished inside its last quantum
+            // (`main_done`) and its thread just hasn't stored `done` yet —
+            // wait generously, the thread is runnable; (2) startup
+            // (steps == 0), the main activity isn't enqueued yet — same;
+            // (3) the body is blocked and only a delivery could unblock it,
+            // but none is in flight — deadlock, after a short grace for a
+            // panic that may be unwinding. Polling here never consumes a
+            // choice, so timing cannot perturb the schedule.
+            let patient = main_done.load(Ordering::Acquire) || steps == 0;
+            let grace = if patient {
+                opts.stall_ms
+            } else {
+                opts.deadlock_grace_ms
+            };
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(grace);
+            let mut resolved = false;
+            while std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+                if done.load(Ordering::Acquire)
+                    || gate.is_released()
+                    || !enabled(rt, sim).is_empty()
+                    || (!patient && main_done.load(Ordering::Acquire))
+                {
+                    resolved = true;
+                    break;
+                }
+            }
+            if resolved {
+                continue;
+            }
+            break RunVerdict::Deadlock;
+        }
+        if steps >= opts.max_steps {
+            break RunVerdict::Budget;
+        }
+        match acts[chooser.choose(acts.len())] {
+            Action::Deliver(key) => {
+                sim.deliver(key);
+                deliveries += 1;
+            }
+            Action::Step(p) => {
+                sim.record_step(p);
+                if !gate.grant(p) {
+                    break RunVerdict::Aborted;
+                }
+            }
+        }
+        steps += 1;
+    };
+    if verdict != RunVerdict::Completed {
+        // Convert the stuck run into a clean teardown: blocked waits abort
+        // with the shutdown panic instead of hanging the harness.
+        rt.request_shutdown();
+    }
+    ScheduleReport {
+        verdict,
+        steps,
+        deliveries,
+        choices: chooser.log().to_vec(),
+        trace_hash: sim.trace_hash(),
+    }
+}
+
+/// Everything one simulated run produced: the workload's result, every
+/// panic, the schedule report, and the post-run oracle inputs.
+pub struct SimRun<R> {
+    /// The workload result: `None` when its thread panicked (message in
+    /// [`SimRun::panics`]), otherwise `run_checked`'s verdict.
+    pub result: Option<Result<R, ApgasError>>,
+    /// Workload-thread and worker-thread panic messages, in capture order.
+    pub panics: Vec<String>,
+    /// What the schedule did.
+    pub report: ScheduleReport,
+    /// Residual finish-protocol state after the run.
+    pub residue: FinishResidue,
+    /// FinishCtl envelopes still in channels or mailboxes after the run.
+    pub residual_ctl: usize,
+    /// The envelope ledger at the end of the run.
+    pub ledger: crate::transport::Ledger,
+    /// The full delivery log (route-legality oracles).
+    pub log: Vec<crate::transport::DeliveryRecord>,
+    /// Chrome-trace JSON, when the config had tracing enabled (failure
+    /// artifacts).
+    pub trace_json: Option<String>,
+}
+
+/// Run `body` as the main activity of a deterministic runtime over `sim`,
+/// driving the schedule with `chooser`. The configuration is forced
+/// deterministic; a fault plan in `cfg` wraps `sim` in a `FaultTransport`,
+/// composing fault injection with schedule control.
+pub fn run_sim<R: Send + 'static>(
+    cfg: Config,
+    opts: &SimOpts,
+    chooser: &mut Chooser,
+    sim: Arc<SimTransport>,
+    body: impl FnOnce(&Ctx) -> R + Send + 'static,
+) -> SimRun<R> {
+    let want_trace = cfg.trace_enable;
+    let rt = Runtime::with_transport(cfg.deterministic(true), sim.clone());
+    let done = AtomicBool::new(false);
+    let main_done = Arc::new(AtomicBool::new(false));
+    let result: Mutex<Option<Result<R, ApgasError>>> = Mutex::new(None);
+    let workload_panic: Mutex<Option<String>> = Mutex::new(None);
+    let report = std::thread::scope(|s| {
+        let md = main_done.clone();
+        let wrapped = move |ctx: &Ctx| {
+            let r = body(ctx);
+            // Runs inside the body's final quantum, so the controller can
+            // tell "completed, thread still reporting" from "stuck".
+            md.store(true, Ordering::Release);
+            r
+        };
+        s.spawn(|| {
+            match catch_unwind(AssertUnwindSafe(|| rt.run_checked(wrapped))) {
+                Ok(r) => *result.lock() = Some(r),
+                Err(e) => {
+                    *workload_panic.lock() = Some(apgas::panic_message(e));
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        // Startup barrier: wait (consuming no schedule choices) until the
+        // workload thread has enqueued the main activity. The enqueue is
+        // the only asynchronous state injection of the whole run; letting
+        // drive() start before it lands would race it against controller
+        // policies that mutate state while the network is quiet — the
+        // fault-backlog poke drain would advance the fault clock by an
+        // OS-timing-dependent amount before the first quantum.
+        while !done.load(Ordering::Acquire) && !rt.place_has_work(PlaceId(0)) {
+            std::thread::yield_now();
+        }
+        drive(&rt, &sim, chooser, opts, &done, &main_done)
+    });
+    let mut panics: Vec<String> = workload_panic.into_inner().into_iter().collect();
+    panics.extend(rt.take_uncounted_panics());
+    SimRun {
+        result: result.into_inner(),
+        panics,
+        residue: rt.finish_residue(),
+        residual_ctl: sim.residual(MsgClass::FinishCtl),
+        ledger: sim.ledger(),
+        log: sim.delivery_log(),
+        trace_json: if want_trace {
+            rt.chrome_trace_json()
+        } else {
+            None
+        },
+        report,
+    }
+}

@@ -1,0 +1,390 @@
+//! The schedule fuzzer: randomized spawn trees × all six finish protocols
+//! × seeded adversarial schedules, checked against the sequential model.
+//!
+//! One **case** is `(kind, places, workload seed, schedule seed)`. Running
+//! it produces either a pass or a first-violated-oracle failure string. The
+//! oracles:
+//!
+//! 1. the run completes (no deadlock, no budget blowout, no worker panic);
+//! 2. the accumulated sum equals the model's;
+//! 3. no residual finish state anywhere (roots, proxies, dense buffers);
+//! 4. no residual FinishCtl envelope in any channel or mailbox;
+//! 5. the envelope ledger balances and nothing is left in flight;
+//! 6. Task messages = cross-place spawn edges, and the per-protocol
+//!    FinishCtl count falls inside its protocol-specific expectation;
+//! 7. under FINISH_DENSE, every FinishCtl delivery follows the
+//!    host-master route (`next_hop`) toward the finish home.
+//!
+//! A failing case shrinks by delta-debugging its recorded choice log
+//! ([`shrink`]) and renders as a one-line repro ([`CaseSpec::repro_line`])
+//! that [`parse_repro`] turns back into a replay.
+
+use crate::controller::{run_sim, RunVerdict, ScheduleReport, SimOpts};
+use crate::schedule::{fmt_choices, parse_choices, Chooser};
+use crate::transport::{Mutation, SimTransport};
+use crate::workload::{run_tree, TreeSpec};
+use apgas::finish::dense::next_hop;
+use apgas::{Config, FinishKind, PlaceId};
+use std::sync::Arc;
+use x10rt::{MsgClass, Topology, Transport};
+
+/// All six finish protocols, in a fixed sweep order.
+pub const ALL_KINDS: [FinishKind; 6] = [
+    FinishKind::Default,
+    FinishKind::Local,
+    FinishKind::Async,
+    FinishKind::Here,
+    FinishKind::Spmd,
+    FinishKind::Dense,
+];
+
+/// Parse a kind from its `FINISH_*` label (repro lines).
+pub fn parse_kind(s: &str) -> Option<FinishKind> {
+    ALL_KINDS.into_iter().find(|k| k.label() == s)
+}
+
+/// One fuzz case: everything needed to regenerate workload and schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct CaseSpec {
+    /// The finish protocol under test.
+    pub kind: FinishKind,
+    /// Places in the simulated runtime.
+    pub places: usize,
+    /// Places per host (shapes FINISH_DENSE routing; 2 gives real
+    /// multi-hop routes on small runtimes).
+    pub places_per_host: usize,
+    /// Workload seed: names the spawn tree.
+    pub wseed: u64,
+    /// Schedule seed: names the delivery/step interleaving.
+    pub sseed: u64,
+    /// Upper bound on tree size.
+    pub max_nodes: usize,
+}
+
+impl CaseSpec {
+    /// A case with the fuzzer's default shape knobs.
+    pub fn new(kind: FinishKind, places: usize, wseed: u64, sseed: u64) -> Self {
+        CaseSpec {
+            kind,
+            places,
+            places_per_host: 2,
+            wseed,
+            sseed,
+            max_nodes: 16,
+        }
+    }
+
+    /// The one-line repro: paste it to `simfuzz --replay` (or feed it to
+    /// [`parse_repro`]) to re-run this exact schedule.
+    pub fn repro_line(&self, choices: &[u32]) -> String {
+        format!(
+            "SIM-REPRO kind={} places={} pph={} nodes={} wseed={:#x} sseed={:#x} choices={}",
+            self.kind.label(),
+            self.places,
+            self.places_per_host,
+            self.max_nodes,
+            self.wseed,
+            self.sseed,
+            fmt_choices(choices),
+        )
+    }
+}
+
+/// Parse a [`CaseSpec::repro_line`] back into a case and its choice log.
+pub fn parse_repro(line: &str) -> Option<(CaseSpec, Vec<u32>)> {
+    let rest = line.trim().strip_prefix("SIM-REPRO ")?;
+    let mut spec = CaseSpec::new(FinishKind::Default, 0, 0, 0);
+    let mut choices = Vec::new();
+    for field in rest.split_whitespace() {
+        let (key, val) = field.split_once('=')?;
+        let hex = |v: &str| -> Option<u64> {
+            match v.strip_prefix("0x") {
+                Some(h) => u64::from_str_radix(h, 16).ok(),
+                None => v.parse().ok(),
+            }
+        };
+        match key {
+            "kind" => spec.kind = parse_kind(val)?,
+            "places" => spec.places = val.parse().ok()?,
+            "pph" => spec.places_per_host = val.parse().ok()?,
+            "nodes" => spec.max_nodes = val.parse().ok()?,
+            "wseed" => spec.wseed = hex(val)?,
+            "sseed" => spec.sseed = hex(val)?,
+            "choices" => choices = parse_choices(val)?,
+            _ => return None,
+        }
+    }
+    if spec.places == 0 {
+        return None;
+    }
+    Some((spec, choices))
+}
+
+/// What one fuzz case produced.
+pub struct CaseResult {
+    /// `None` on pass; the first violated oracle otherwise.
+    pub failure: Option<String>,
+    /// The schedule that ran (its `choices` feed shrinking/replay).
+    pub report: ScheduleReport,
+    /// Per-class logical message counts `[Task, FinishCtl, ...]` observed
+    /// on the wire (the equivalence test compares these across protocols).
+    pub class_messages: [u64; MsgClass::ALL.len()],
+    /// Chrome-trace JSON when the run was traced (failure artifacts).
+    pub trace_json: Option<String>,
+}
+
+/// Per-protocol FinishCtl expectation for a legalized tree: `(min, max)`
+/// inclusive. Exact for the protocols whose control traffic is
+/// schedule-independent; bounds for the coalescing ones.
+pub fn ctl_expectation(kind: FinishKind, m: &crate::workload::ModelExpect) -> (u64, u64) {
+    let remote = m.remote_resident as u64;
+    let nodes = m.nodes as u64;
+    match kind {
+        // Pure local counter: message-free.
+        FinishKind::Local => (0, 0),
+        // One completion notification iff the single activity is remote.
+        FinishKind::Async => {
+            let c = m.cross_edges.min(1) as u64;
+            (c, c)
+        }
+        // Weighted credits: exactly one CreditReturn per remotely-resident
+        // activity death, nothing else.
+        FinishKind::Here => (remote, remote),
+        // Done counting: a place reports each time its live count drains;
+        // at least one message if anything ran remotely, at most one per
+        // remote activity.
+        FinishKind::Spmd => (remote.min(1), remote),
+        // Delta coalescing: schedule-dependent flush count; at least one
+        // delta must reach home if anything ran remotely, at most ~one
+        // flush per remote completion plus per-place stragglers.
+        FinishKind::Default => (remote.min(1), 2 * nodes + remote),
+        // As Default, but every delta takes up to 3 routed hops.
+        FinishKind::Dense => (remote.min(1), 3 * (2 * nodes + remote)),
+    }
+}
+
+/// Run one case with an explicit chooser and optional transport mutation.
+/// The workhorse behind [`run_case`], replay, and shrinking.
+pub fn run_case_with(
+    spec: &CaseSpec,
+    mut chooser: Chooser,
+    mutation: Option<Mutation>,
+    opts: &SimOpts,
+    want_trace: bool,
+) -> CaseResult {
+    let tree = TreeSpec::generate(spec.wseed, spec.places, spec.max_nodes).legalize(spec.kind);
+    let model = tree.model();
+    let mut cfg = Config::new(spec.places)
+        .places_per_host(spec.places_per_host)
+        // Individual envelopes give the schedule the finest legal
+        // interleavings; batching would fuse deliveries.
+        .batch_disable(true);
+    if want_trace {
+        cfg = cfg.trace_enable(true).causal_enable(true);
+    }
+    let mut sim = SimTransport::new(spec.places);
+    if let Some(m) = mutation {
+        sim = sim.with_mutation(m);
+    }
+    let sim = Arc::new(sim);
+    let kind = spec.kind;
+    let body_tree = tree.clone();
+    let run = run_sim(cfg, opts, &mut chooser, sim.clone(), move |ctx| {
+        run_tree(ctx, kind, &body_tree)
+    });
+
+    let mut class_messages = [0u64; MsgClass::ALL.len()];
+    for c in MsgClass::ALL {
+        class_messages[c.index()] = sim.stats().class(c).messages;
+    }
+
+    let failure = (|| -> Option<String> {
+        if run.report.verdict != RunVerdict::Completed {
+            return Some(format!(
+                "verdict {:?} after {} steps (panics: {:?})",
+                run.report.verdict, run.report.steps, run.panics
+            ));
+        }
+        if !run.panics.is_empty() {
+            return Some(format!("panics during run: {:?}", run.panics));
+        }
+        match &run.result {
+            Some(Ok(sum)) => {
+                if *sum != model.sum {
+                    return Some(format!(
+                        "result mismatch: got {:#x}, model says {:#x}",
+                        sum, model.sum
+                    ));
+                }
+            }
+            Some(Err(e)) => return Some(format!("runtime error: {e}")),
+            None => return Some("workload produced no result".into()),
+        }
+        if !run.residue.is_clean() {
+            return Some(format!("residual finish state: {:?}", run.residue));
+        }
+        if run.residual_ctl != 0 {
+            return Some(format!(
+                "{} FinishCtl envelope(s) still queued after quiescence",
+                run.residual_ctl
+            ));
+        }
+        if !run.ledger.balanced() || run.ledger.in_flight != 0 || run.ledger.mailboxed != 0 {
+            return Some(format!("ledger inconsistent: {:?}", run.ledger));
+        }
+        let tasks = class_messages[MsgClass::Task.index()];
+        if tasks != model.cross_edges as u64 {
+            return Some(format!(
+                "Task messages {} != cross-place spawn edges {}",
+                tasks, model.cross_edges
+            ));
+        }
+        let ctl = class_messages[MsgClass::FinishCtl.index()];
+        let (lo, hi) = ctl_expectation(spec.kind, &model);
+        if ctl < lo || ctl > hi {
+            return Some(format!(
+                "FinishCtl count {ctl} outside [{lo}, {hi}] for {}",
+                spec.kind.label()
+            ));
+        }
+        if spec.kind == FinishKind::Dense {
+            let topo = Topology::new(spec.places, spec.places_per_host);
+            let home = PlaceId(0);
+            for d in &run.log {
+                if d.class == MsgClass::FinishCtl {
+                    let want = next_hop(&topo, PlaceId(d.from), home);
+                    if want != Some(PlaceId(d.to)) {
+                        return Some(format!(
+                            "dense FinishCtl {} -> {} is off-route (next hop from {} toward home is {:?})",
+                            d.from, d.to, d.from, want
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    })();
+
+    CaseResult {
+        failure,
+        report: run.report,
+        class_messages,
+        trace_json: run.trace_json,
+    }
+}
+
+/// Run one case from its seeds.
+pub fn run_case(spec: &CaseSpec, opts: &SimOpts) -> CaseResult {
+    run_case_with(spec, Chooser::seeded(spec.sseed), None, opts, false)
+}
+
+/// Replay one case from a recorded (possibly shrunk) choice log.
+pub fn run_case_replay(
+    spec: &CaseSpec,
+    choices: &[u32],
+    opts: &SimOpts,
+    want_trace: bool,
+) -> CaseResult {
+    run_case_with(
+        spec,
+        Chooser::replay(choices.to_vec()),
+        None,
+        opts,
+        want_trace,
+    )
+}
+
+/// Shrink a failing choice log by delta-debugging: strip trailing zeros,
+/// binary-search the shortest failing prefix, then zero out chunks, each
+/// step re-replaying to confirm the failure survives. `replay_budget`
+/// bounds the number of re-runs.
+pub fn shrink(
+    spec: &CaseSpec,
+    choices: &[u32],
+    mutation: Option<Mutation>,
+    opts: &SimOpts,
+    replay_budget: usize,
+) -> Vec<u32> {
+    let spent = std::cell::Cell::new(0usize);
+    let fails = |c: &[u32]| -> bool {
+        spent.set(spent.get() + 1);
+        run_case_with(spec, Chooser::replay(c.to_vec()), mutation, opts, false)
+            .failure
+            .is_some()
+    };
+    let spent = || spent.get();
+    let mut cur: Vec<u32> = choices.to_vec();
+    let strip = |v: &mut Vec<u32>| {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+    };
+    strip(&mut cur);
+    // Shortest failing prefix, by bisection (replay treats positions past
+    // the log's end as zeros, so any prefix is a complete schedule).
+    let mut lo = 0usize;
+    let mut hi = cur.len();
+    while lo < hi && spent() < replay_budget {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&cur[..mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if hi < cur.len() && spent() <= replay_budget {
+        cur.truncate(hi);
+    }
+    // Zero out chunks, halving the chunk size (ddmin-style).
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && spent() < replay_budget {
+        let mut i = 0;
+        while i < cur.len() && spent() < replay_budget {
+            let end = (i + chunk).min(cur.len());
+            if cur[i..end].iter().any(|&v| v != 0) {
+                let mut cand = cur.clone();
+                for v in &mut cand[i..end] {
+                    *v = 0;
+                }
+                if fails(&cand) {
+                    cur = cand;
+                }
+            }
+            i += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    strip(&mut cur);
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_line_round_trips() {
+        let spec = CaseSpec::new(FinishKind::Dense, 6, 0x1234, 0x9);
+        let choices = vec![3u32, 0, 7, 1];
+        let line = spec.repro_line(&choices);
+        let (back, ch) = parse_repro(&line).expect("parses");
+        assert_eq!(back.kind, spec.kind);
+        assert_eq!(back.places, spec.places);
+        assert_eq!(back.places_per_host, spec.places_per_host);
+        assert_eq!(back.max_nodes, spec.max_nodes);
+        assert_eq!(back.wseed, spec.wseed);
+        assert_eq!(back.sseed, spec.sseed);
+        assert_eq!(ch, choices);
+    }
+
+    #[test]
+    fn all_kind_labels_parse() {
+        for k in ALL_KINDS {
+            assert_eq!(parse_kind(k.label()), Some(k));
+        }
+        assert_eq!(parse_kind("FINISH_BOGUS"), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! SplitMix64 — the seeded stream behind schedule choices and workload
+//! generation.
+//!
+//! SplitMix64 is tiny, splittable-by-reseeding, and has no shared state, so
+//! every `(seed)` names exactly one stream forever — the property the whole
+//! record/replay story leans on. The constants are the reference ones from
+//! Steele/Lea/Flood ("Fast splittable pseudorandom number generators").
+
+/// A SplitMix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// The stream named by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n > 0`). Plain modulo: the tiny bias is
+    /// irrelevant for schedule exploration and keeps the draw a pure
+    /// function of the raw bits.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_stream_is_stable() {
+        // First outputs of seed 0 per the reference implementation; pins the
+        // stream so committed schedule seeds stay valid forever.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let (mut a, mut b) = (SplitMix64::new(42), SplitMix64::new(42));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Schedule choices: the seeded stream, its recording, and replay.
+//!
+//! Every nondeterministic decision the controller makes is one call to
+//! [`Chooser::choose`]. In seeded mode the choice comes from a SplitMix64
+//! stream; either way the *resolved index* is appended to a log, so a run
+//! is fully described by `(workload seed, schedule seed)` and equally by
+//! `(workload seed, choice log)`. Replay feeds the log back; positions past
+//! its end resolve to `0`, which is what makes shrink-by-truncation sound:
+//! a truncated log is still a complete schedule, just one that always takes
+//! the first enabled action once the recording runs out.
+
+use crate::rng::SplitMix64;
+
+enum Source {
+    Seeded(SplitMix64),
+    Replay { choices: Vec<u32>, pos: usize },
+}
+
+/// The controller's decision stream (see module docs).
+pub struct Chooser {
+    src: Source,
+    log: Vec<u32>,
+}
+
+impl Chooser {
+    /// Draw choices from the SplitMix64 stream named by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Chooser {
+            src: Source::Seeded(SplitMix64::new(seed)),
+            log: Vec::new(),
+        }
+    }
+
+    /// Replay a recorded choice log (positions past its end resolve to 0).
+    pub fn replay(choices: Vec<u32>) -> Self {
+        Chooser {
+            src: Source::Replay { choices, pos: 0 },
+            log: Vec::new(),
+        }
+    }
+
+    /// Resolve one decision among `n > 0` enabled actions.
+    pub fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let idx = match &mut self.src {
+            Source::Seeded(rng) => rng.below(n as u64) as usize,
+            Source::Replay { choices, pos } => {
+                let raw = choices.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                raw as usize % n
+            }
+        };
+        self.log.push(idx as u32);
+        idx
+    }
+
+    /// The choices resolved so far, in order.
+    pub fn log(&self) -> &[u32] {
+        &self.log
+    }
+
+    /// Consume the chooser, returning the full choice log.
+    pub fn into_log(self) -> Vec<u32> {
+        self.log
+    }
+}
+
+/// Render a choice log as the comma-separated form used in repro lines.
+pub fn fmt_choices(choices: &[u32]) -> String {
+    let strs: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+    strs.join(",")
+}
+
+/// Parse the comma-separated choice form back (empty string → empty log).
+pub fn parse_choices(s: &str) -> Option<Vec<u32>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_choices_replay_identically() {
+        let mut a = Chooser::seeded(99);
+        let ns = [3usize, 7, 1, 4, 4, 9, 2];
+        let picks: Vec<usize> = ns.iter().map(|&n| a.choose(n)).collect();
+        let mut b = Chooser::replay(a.into_log());
+        let replayed: Vec<usize> = ns.iter().map(|&n| b.choose(n)).collect();
+        assert_eq!(picks, replayed);
+    }
+
+    #[test]
+    fn replay_past_end_takes_first_action() {
+        let mut c = Chooser::replay(vec![2]);
+        assert_eq!(c.choose(3), 2);
+        assert_eq!(c.choose(5), 0);
+        assert_eq!(c.choose(2), 0);
+    }
+
+    #[test]
+    fn choice_format_round_trips() {
+        let v = vec![0u32, 5, 17, 2];
+        assert_eq!(parse_choices(&fmt_choices(&v)), Some(v));
+        assert_eq!(parse_choices(""), Some(vec![]));
+        assert_eq!(parse_choices("1,x"), None);
+    }
+}

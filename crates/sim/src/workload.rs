@@ -1,0 +1,315 @@
+//! Randomized spawn-tree workloads and their sequential reference model.
+//!
+//! A workload is a tree of activities: each node runs at a place, adds its
+//! value into a shared accumulator, and spawns its children. The **model**
+//! is computed without running anything — the wrapping sum of all values
+//! plus structural counts — and the simulated run must agree with it under
+//! *every* schedule, which is the fuzzer's ground truth.
+//!
+//! One generated tree is **legalized** per [`FinishKind`], because the
+//! specialized protocols trade generality for message counts exactly as the
+//! paper describes: `Local` governs only place-local activities, `Async` a
+//! single (possibly remote) one, `Spmd` remote children that spawn only
+//! locally. Legalizing (rather than generating per-kind trees) keeps the
+//! six protocol runs comparable — they share the workload seed and differ
+//! only where the protocol's contract demands it.
+
+use crate::rng::SplitMix64;
+use apgas::{Ctx, FinishKind, PlaceId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One activity in the spawn tree.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// Where the activity runs.
+    pub place: u32,
+    /// What it contributes to the accumulator.
+    pub value: u64,
+    /// Activities it spawns.
+    pub children: Vec<TreeNode>,
+}
+
+/// A whole workload: the root activity (always at place 0, where the
+/// governing finish lives) plus the place count it was generated for.
+#[derive(Clone, Debug)]
+pub struct TreeSpec {
+    /// Number of places in the runtime this tree targets.
+    pub places: usize,
+    /// The root activity. `root.place` is always 0.
+    pub root: TreeNode,
+}
+
+/// What the sequential reference model predicts for a (legalized) tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelExpect {
+    /// Wrapping sum of every node value — the result oracle.
+    pub sum: u64,
+    /// Total nodes (activities + the root, which runs inline in the finish
+    /// body).
+    pub nodes: usize,
+    /// Spawn edges whose child runs at a different place than its parent —
+    /// each costs exactly one Task message.
+    pub cross_edges: usize,
+    /// Non-root nodes resident away from place 0 (the finish home).
+    pub remote_resident: usize,
+    /// Distinct places ≠ 0 hosting at least one node.
+    pub distinct_remote_places: usize,
+}
+
+impl TreeSpec {
+    /// Generate a random tree: `1..=max_nodes` nodes, random places, random
+    /// parents (so depth and fanout vary freely). Pure function of the
+    /// arguments.
+    pub fn generate(seed: u64, places: usize, max_nodes: usize) -> TreeSpec {
+        assert!(places > 0 && max_nodes > 0);
+        let mut rng = SplitMix64::new(seed);
+        let n = 1 + rng.below(max_nodes as u64) as usize;
+        // Flat representation: node i's parent is a random earlier node.
+        let mut parents = vec![usize::MAX; n];
+        let mut nodes: Vec<TreeNode> = (0..n)
+            .map(|i| {
+                if i > 0 {
+                    parents[i] = rng.below(i as u64) as usize;
+                }
+                TreeNode {
+                    place: if i == 0 {
+                        0
+                    } else {
+                        rng.below(places as u64) as u32
+                    },
+                    value: rng.next_u64() >> 8,
+                    children: Vec::new(),
+                }
+            })
+            .collect();
+        // Fold children into parents, back to front (children of i all have
+        // indices > i, so node i is complete when we reach it).
+        for i in (1..n).rev() {
+            let child = nodes[i].clone();
+            nodes[parents[i]].children.push(child);
+        }
+        // Reverse to restore generation order among siblings.
+        fn order(n: &mut TreeNode) {
+            n.children.reverse();
+            for c in &mut n.children {
+                order(c);
+            }
+        }
+        let mut root = nodes.swap_remove(0);
+        order(&mut root);
+        TreeSpec { places, root }
+    }
+
+    /// Restrict the tree to what `kind`'s protocol contract allows, keeping
+    /// the total value sum unchanged wherever possible (`Async` collapses
+    /// structure but preserves the sum exactly).
+    pub fn legalize(&self, kind: FinishKind) -> TreeSpec {
+        match kind {
+            // Arbitrary spawn patterns: as generated.
+            FinishKind::Default | FinishKind::Dense | FinishKind::Here => self.clone(),
+            // Place-local activities only.
+            FinishKind::Local => {
+                let mut t = self.clone();
+                fn localize(n: &mut TreeNode) {
+                    n.place = 0;
+                    for c in &mut n.children {
+                        localize(c);
+                    }
+                }
+                localize(&mut t.root);
+                t
+            }
+            // Exactly one governed activity, possibly remote: collapse the
+            // whole tree into it.
+            FinishKind::Async => {
+                let total = self.model().sum;
+                let target = if self.places > 1 { 1 } else { 0 };
+                TreeSpec {
+                    places: self.places,
+                    root: TreeNode {
+                        place: 0,
+                        value: 0,
+                        children: vec![TreeNode {
+                            place: target,
+                            value: total,
+                            children: Vec::new(),
+                        }],
+                    },
+                }
+            }
+            // Root-spawned remote activities whose descendants stay local.
+            FinishKind::Spmd => {
+                let mut t = self.clone();
+                fn pin(n: &mut TreeNode, place: u32) {
+                    n.place = place;
+                    for c in &mut n.children {
+                        pin(c, place);
+                    }
+                }
+                for c in &mut t.root.children {
+                    let p = c.place;
+                    pin(c, p);
+                }
+                t.root.place = 0;
+                t
+            }
+        }
+    }
+
+    /// The sequential reference model of this (already legalized) tree.
+    pub fn model(&self) -> ModelExpect {
+        let mut m = ModelExpect {
+            sum: 0,
+            nodes: 0,
+            cross_edges: 0,
+            remote_resident: 0,
+            distinct_remote_places: 0,
+        };
+        let mut remote_places = std::collections::BTreeSet::new();
+        fn walk(
+            n: &TreeNode,
+            parent_place: Option<u32>,
+            m: &mut ModelExpect,
+            remote: &mut std::collections::BTreeSet<u32>,
+        ) {
+            m.sum = m.sum.wrapping_add(n.value);
+            m.nodes += 1;
+            if let Some(pp) = parent_place {
+                if pp != n.place {
+                    m.cross_edges += 1;
+                }
+                if n.place != 0 {
+                    m.remote_resident += 1;
+                }
+            }
+            if n.place != 0 {
+                remote.insert(n.place);
+            }
+            for c in &n.children {
+                walk(c, Some(n.place), m, remote);
+            }
+        }
+        walk(&self.root, None, &mut m, &mut remote_places);
+        m.distinct_remote_places = remote_places.len();
+        m
+    }
+}
+
+fn run_node(ctx: &Ctx, node: TreeNode, acc: Arc<AtomicU64>) {
+    acc.fetch_add(node.value, Ordering::Relaxed);
+    let here = ctx.here().0;
+    for child in node.children {
+        let acc = acc.clone();
+        if child.place == here {
+            ctx.spawn(move |c| run_node(c, child, acc));
+        } else {
+            let to = PlaceId(child.place);
+            ctx.at_async(to, move |c| run_node(c, child, acc));
+        }
+    }
+}
+
+/// Execute the (legalized) tree under a `finish_pragma(kind)` and return
+/// the accumulated sum. The root node's value is added by the finish body
+/// itself; every other node is a governed activity.
+pub fn run_tree(ctx: &Ctx, kind: FinishKind, spec: &TreeSpec) -> u64 {
+    let acc = Arc::new(AtomicU64::new(0));
+    let root = spec.root.clone();
+    let acc2 = acc.clone();
+    ctx.finish_pragma(kind, move |c| {
+        run_node(c, root, acc2);
+    });
+    acc.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let a = TreeSpec::generate(7, 4, 16);
+        let b = TreeSpec::generate(7, 4, 16);
+        assert_eq!(a.model(), b.model());
+        assert_ne!(
+            TreeSpec::generate(8, 4, 16).model(),
+            a.model(),
+            "different seeds should produce different trees"
+        );
+    }
+
+    #[test]
+    fn root_is_always_at_place_zero() {
+        for seed in 0..50 {
+            assert_eq!(TreeSpec::generate(seed, 8, 20).root.place, 0);
+        }
+    }
+
+    #[test]
+    fn legalization_respects_protocol_contracts() {
+        for seed in 0..30 {
+            let t = TreeSpec::generate(seed, 6, 20);
+            let sum = t.model().sum;
+
+            let local = t.legalize(FinishKind::Local);
+            fn all_home(n: &TreeNode) -> bool {
+                n.place == 0 && n.children.iter().all(all_home)
+            }
+            assert!(all_home(&local.root));
+            assert_eq!(local.model().sum, sum, "Local keeps the sum");
+
+            let a = t.legalize(FinishKind::Async);
+            assert_eq!(a.root.children.len(), 1, "Async governs one activity");
+            assert!(a.root.children[0].children.is_empty());
+            assert_eq!(a.model().sum, sum, "Async keeps the sum");
+
+            let s = t.legalize(FinishKind::Spmd);
+            fn descendants_local(n: &TreeNode) -> bool {
+                n.children
+                    .iter()
+                    .all(|c| c.place == n.place && descendants_local(c))
+            }
+            assert!(s.root.children.iter().all(descendants_local));
+            assert_eq!(s.model().sum, sum, "Spmd keeps the sum");
+
+            for kind in [FinishKind::Default, FinishKind::Dense, FinishKind::Here] {
+                assert_eq!(t.legalize(kind).model(), t.model());
+            }
+        }
+    }
+
+    #[test]
+    fn model_counts_a_known_tree() {
+        // root(p0) -> a(p1) -> b(p1), root -> c(p0)
+        let spec = TreeSpec {
+            places: 2,
+            root: TreeNode {
+                place: 0,
+                value: 1,
+                children: vec![
+                    TreeNode {
+                        place: 1,
+                        value: 2,
+                        children: vec![TreeNode {
+                            place: 1,
+                            value: 4,
+                            children: vec![],
+                        }],
+                    },
+                    TreeNode {
+                        place: 0,
+                        value: 8,
+                        children: vec![],
+                    },
+                ],
+            },
+        };
+        let m = spec.model();
+        assert_eq!(m.sum, 15);
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.cross_edges, 1);
+        assert_eq!(m.remote_resident, 2);
+        assert_eq!(m.distinct_remote_places, 1);
+    }
+}

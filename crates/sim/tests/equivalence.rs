@@ -1,0 +1,98 @@
+//! Cross-protocol equivalence: one spawn tree, all six finish protocols —
+//! identical results, and per-class message counts that match each
+//! protocol's cost model (§3.1 of the paper: the specializations change
+//! *how much* control traffic termination detection costs, never the
+//! outcome).
+
+use apgas::{FinishKind, MsgClass};
+use sim::controller::SimOpts;
+use sim::fuzz::{ctl_expectation, run_case, CaseSpec, ALL_KINDS};
+use sim::workload::TreeSpec;
+
+#[test]
+fn six_protocols_one_tree_identical_results() {
+    for wseed in 0..4u64 {
+        // Every legalization preserves the tree's total value, so all six
+        // protocols must converge on the *same* sum.
+        let want = TreeSpec::generate(wseed, 4, 14).model().sum;
+        for kind in ALL_KINDS {
+            let spec = CaseSpec {
+                max_nodes: 14,
+                ..CaseSpec::new(kind, 4, wseed, 2)
+            };
+            let res = run_case(&spec, &SimOpts::default());
+            assert_eq!(
+                res.failure,
+                None,
+                "{} wseed={wseed}: {:?}",
+                kind.label(),
+                res.failure
+            );
+            // run_case already checked the sum against the legalized
+            // model; the cross-protocol claim is that legalization kept
+            // that sum equal to the original tree's.
+            let legalized = TreeSpec::generate(wseed, 4, 14).legalize(kind).model();
+            assert_eq!(
+                legalized.sum,
+                want,
+                "{}: legalization changed the workload's total",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn message_counts_follow_the_protocol_cost_models() {
+    for wseed in 0..4u64 {
+        for kind in ALL_KINDS {
+            let spec = CaseSpec::new(kind, 4, wseed, 5);
+            let model = TreeSpec::generate(wseed, 4, spec.max_nodes)
+                .legalize(kind)
+                .model();
+            let res = run_case(&spec, &SimOpts::default());
+            assert_eq!(res.failure, None, "{}: {:?}", kind.label(), res.failure);
+            assert_eq!(
+                res.class_messages[MsgClass::Task.index()],
+                model.cross_edges as u64,
+                "{}: every cross-place spawn is exactly one Task message",
+                kind.label()
+            );
+            let ctl = res.class_messages[MsgClass::FinishCtl.index()];
+            let (lo, hi) = ctl_expectation(kind, &model);
+            assert!(
+                (lo..=hi).contains(&ctl),
+                "{} wseed={wseed}: FinishCtl={ctl} outside [{lo}, {hi}]",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn local_is_message_free_and_here_pays_per_remote_death() {
+    // Spot-check the two extreme cost models with a fixed workload.
+    let wseed = 1u64;
+    let local = run_case(
+        &CaseSpec::new(FinishKind::Local, 4, wseed, 0),
+        &SimOpts::default(),
+    );
+    assert_eq!(local.failure, None);
+    assert_eq!(
+        local.class_messages.iter().sum::<u64>(),
+        0,
+        "FINISH_LOCAL must touch the network zero times"
+    );
+
+    let spec = CaseSpec::new(FinishKind::Here, 4, wseed, 0);
+    let model = TreeSpec::generate(wseed, 4, spec.max_nodes)
+        .legalize(FinishKind::Here)
+        .model();
+    let here = run_case(&spec, &SimOpts::default());
+    assert_eq!(here.failure, None);
+    assert_eq!(
+        here.class_messages[MsgClass::FinishCtl.index()],
+        model.remote_resident as u64,
+        "FINISH_HERE pays exactly one credit return per remote activity"
+    );
+}

@@ -1,0 +1,58 @@
+//! The fixed seed corpus CI runs on every push: every finish protocol ×
+//! a block of workload seeds × a block of schedule seeds. A failure here
+//! prints the one-line repro to paste into `simfuzz --replay`.
+//!
+//! Conventions (see TESTING.md): the per-push corpus is small and *fixed*
+//! — same seeds every run, so a red build is always reproducible; the
+//! nightly `simfuzz` sweep walks fresh seed ranges for discovery.
+
+use sim::controller::SimOpts;
+use sim::fuzz::{run_case, CaseSpec, ALL_KINDS};
+
+#[test]
+fn fixed_corpus_passes_all_protocols() {
+    let opts = SimOpts::default();
+    let mut cases = 0;
+    for kind in ALL_KINDS {
+        for wseed in 0..4u64 {
+            for sseed in 0..3u64 {
+                let spec = CaseSpec::new(kind, 4, wseed, sseed);
+                let res = run_case(&spec, &opts);
+                assert_eq!(
+                    res.failure,
+                    None,
+                    "corpus case failed: {:?}\nrepro: {}",
+                    res.failure,
+                    spec.repro_line(&res.report.choices)
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, ALL_KINDS.len() * 4 * 3);
+}
+
+#[test]
+fn corpus_covers_single_place_runtimes() {
+    // places=1 degenerates every protocol to local accounting; the sim
+    // must handle a network with no cross-place traffic at all.
+    for kind in ALL_KINDS {
+        let spec = CaseSpec::new(kind, 1, 2, 0);
+        let res = run_case(&spec, &SimOpts::default());
+        assert_eq!(res.failure, None, "{}: {:?}", kind.label(), res.failure);
+    }
+}
+
+#[test]
+fn corpus_covers_wide_runtimes() {
+    // 8 places / 2 per host: four hosts, so FINISH_DENSE routes through
+    // real intermediate masters.
+    for kind in ALL_KINDS {
+        let spec = CaseSpec {
+            max_nodes: 20,
+            ..CaseSpec::new(kind, 8, 3, 1)
+        };
+        let res = run_case(&spec, &SimOpts::default());
+        assert_eq!(res.failure, None, "{}: {:?}", kind.label(), res.failure);
+    }
+}

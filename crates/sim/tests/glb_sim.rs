@@ -1,0 +1,107 @@
+//! GLB under deterministic simulation: the lifeline scheduler's stealing
+//! handshakes, gifts, and FINISH_DENSE root finish all run under the
+//! schedule controller, complete with the right answer, and replay to the
+//! same causal trace hash.
+
+use apgas::Config;
+use glb::{run, GlbConfig, TaskBag};
+use sim::controller::{run_sim, RunVerdict, SimOpts};
+use sim::schedule::Chooser;
+use sim::transport::SimTransport;
+use std::sync::Arc;
+
+/// A pile of numbers to sum — the minimal splittable bag.
+#[derive(Default)]
+struct Pile {
+    items: Vec<u64>,
+    sum: u64,
+}
+
+impl TaskBag for Pile {
+    type Result = u64;
+    fn process(&mut self, n: usize) -> usize {
+        let take = n.min(self.items.len());
+        for _ in 0..take {
+            self.sum += self.items.pop().unwrap();
+        }
+        take
+    }
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+    fn split(&mut self) -> Option<Self> {
+        if self.items.len() < 2 {
+            return None;
+        }
+        let half = self.items.split_off(self.items.len() / 2);
+        Some(Pile {
+            items: half,
+            sum: 0,
+        })
+    }
+    fn merge(&mut self, other: Self) {
+        self.items.extend(other.items);
+        self.sum += other.sum;
+    }
+    fn take_result(&mut self) -> u64 {
+        self.sum
+    }
+}
+
+fn glb_under_sim(sseed: u64) -> (RunVerdict, u64, Option<u64>) {
+    let cfg = Config::new(4).places_per_host(2).batch_disable(true);
+    let sim = Arc::new(SimTransport::new(4));
+    let mut chooser = Chooser::seeded(sseed);
+    // Generous budget: GLB's distribution wave + steals + lifeline gifts
+    // cost far more schedule actions than a bare spawn tree.
+    let opts = SimOpts {
+        max_steps: 400_000,
+        ..SimOpts::default()
+    };
+    let run = run_sim(cfg, &opts, &mut chooser, sim, move |ctx| {
+        let root = Pile {
+            items: (1..=80).collect(),
+            sum: 0,
+        };
+        // A small chunk forces idle places to actually steal; the seed and
+        // timeout-free handshakes keep the scheduler wall-clock-free, so
+        // it is simulable.
+        let gcfg = GlbConfig {
+            chunk: 4,
+            ..GlbConfig::default()
+        };
+        let out = run(ctx, gcfg, root, Pile::default);
+        out.results.iter().sum::<u64>()
+    });
+    let result = match run.result {
+        Some(Ok(v)) => Some(v),
+        _ => None,
+    };
+    assert!(
+        run.panics.is_empty(),
+        "GLB under sim panicked: {:?}",
+        run.panics
+    );
+    (run.report.verdict, run.report.trace_hash, result)
+}
+
+#[test]
+fn glb_completes_correctly_under_simulation() {
+    let (verdict, _, result) = glb_under_sim(17);
+    assert_eq!(verdict, RunVerdict::Completed);
+    assert_eq!(
+        result,
+        Some((1..=80u64).sum()),
+        "GLB lost or double-counted work"
+    );
+}
+
+#[test]
+fn glb_runs_replay_deterministically() {
+    let a = glb_under_sim(23);
+    let b = glb_under_sim(23);
+    assert_eq!(a, b, "same schedule seed must reproduce the same GLB run");
+    let c = glb_under_sim(24);
+    assert_eq!(c.0, RunVerdict::Completed);
+    assert_eq!(c.2, a.2, "different schedules must still agree on the sum");
+}

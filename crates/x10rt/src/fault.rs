@@ -356,6 +356,22 @@ impl FaultTransport {
         self.held_count.load(Ordering::Relaxed)
     }
 
+    /// Scripted events not yet fired.
+    pub fn pending_events(&self) -> usize {
+        self.events_left.load(Ordering::Acquire)
+    }
+
+    /// Advance the logical clock one step with no traffic: fire due
+    /// scripted events and release due held envelopes. The clock normally
+    /// advances only on send/recv, so when traffic stops, held state can
+    /// strand; an external scheduler (the DST controller) pokes the layer
+    /// to drain it deterministically.
+    pub fn poke(&self) {
+        let now = self.tick();
+        self.apply_events(now);
+        self.pump(now);
+    }
+
     /// Advance the logical clock by one operation and return the new time.
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
