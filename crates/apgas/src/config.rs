@@ -36,6 +36,16 @@ pub struct Config {
     /// Disable transport aggregation entirely (every message goes out as its
     /// own envelope) — the ablation baseline.
     pub batch_disable: bool,
+    /// Per-(sender, receiver) mailbox ring capacity, in envelopes (rounded
+    /// up to a power of two; see `x10rt::ring`). Bursts past this divert to
+    /// the lane's overflow side-queue — never blocking, never dropping, but
+    /// slower — so size it above the workload's burst length and watch the
+    /// `mailbox.ring_overflow` counter.
+    pub mailbox_ring_capacity: usize,
+    /// Disable batch-buffer recycling in the workers' envelope arenas: every
+    /// coalescer flush allocates a fresh buffer and every received batch is
+    /// freed after dispatch — the allocation-ablation baseline.
+    pub arena_disable: bool,
     /// Start with event tracing enabled (spans and instants recorded into
     /// the per-worker ring buffers; see `obs::trace`). Metrics counters are
     /// always on unless [`Config::obs_disable`] is set; this knob only
@@ -98,6 +108,8 @@ impl Config {
             batch_max_msgs: x10rt::coalesce::DEFAULT_MAX_MSGS,
             batch_max_bytes: x10rt::coalesce::DEFAULT_MAX_BYTES,
             batch_disable: false,
+            mailbox_ring_capacity: x10rt::ring::DEFAULT_RING_CAPACITY,
+            arena_disable: false,
             trace_enable: false,
             trace_buffer_events: obs::trace::DEFAULT_BUFFER_EVENTS,
             obs_disable: false,
@@ -141,6 +153,19 @@ impl Config {
     /// Enable or disable transport aggregation (builder style).
     pub fn batch_disable(mut self, disable: bool) -> Self {
         self.batch_disable = disable;
+        self
+    }
+
+    /// Set the per-(sender, receiver) mailbox ring capacity (builder style).
+    pub fn mailbox_ring_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.mailbox_ring_capacity = n;
+        self
+    }
+
+    /// Enable or disable the envelope-arena ablation (builder style).
+    pub fn arena_disable(mut self, disable: bool) -> Self {
+        self.arena_disable = disable;
         self
     }
 
@@ -219,6 +244,8 @@ mod tests {
         assert!(!c.batch_disable);
         assert_eq!(c.batch_max_msgs, 64);
         assert_eq!(c.batch_max_bytes, 16 * 1024);
+        assert_eq!(c.mailbox_ring_capacity, 256);
+        assert!(!c.arena_disable, "arena recycling is on by default");
         assert!(!c.trace_enable, "tracing is opt-in");
         assert!(!c.obs_disable, "metrics are on by default");
         assert_eq!(c.trace_buffer_events, 65_536);
@@ -252,6 +279,13 @@ mod tests {
         assert_eq!(c.batch_max_msgs, 8);
         assert_eq!(c.batch_max_bytes, 512);
         assert!(c.batch_disable);
+    }
+
+    #[test]
+    fn transport_builders() {
+        let c = Config::new(4).mailbox_ring_capacity(32).arena_disable(true);
+        assert_eq!(c.mailbox_ring_capacity, 32);
+        assert!(c.arena_disable);
     }
 
     #[test]

@@ -139,7 +139,14 @@ impl Runtime {
         };
         let base: Arc<dyn Transport> = match external {
             Some(t) => t,
-            None => Arc::new(LocalTransport::new(cfg.places)),
+            None => {
+                let mut lt =
+                    LocalTransport::with_ring_capacity(cfg.places, cfg.mailbox_ring_capacity);
+                if let Some(o) = &obs {
+                    lt = lt.with_obs(&o.metrics);
+                }
+                Arc::new(lt)
+            }
         };
         let (transport, fault): (Arc<dyn Transport>, Option<Arc<FaultTransport>>) =
             match &cfg.fault_plan {

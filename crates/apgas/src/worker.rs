@@ -127,6 +127,9 @@ impl Worker {
             coalescer = coalescer.with_obs(&o.metrics);
         }
         coalescer = coalescer.with_send_timeout(g.cfg.send_timeout);
+        if g.cfg.arena_disable {
+            coalescer = coalescer.with_arena_disabled();
+        }
         let hooks = g.obs.as_ref().map(|o| WorkerHooks {
             trace: o.tracer.register(here.0),
             causal: o.causal.register(here.0),
@@ -505,13 +508,16 @@ impl Worker {
         let mut n = 0;
         for env in scratch.drain(..) {
             // A batch envelope expands into its logical messages, dispatched
-            // in their original send order.
-            match env.unbatch() {
-                Ok(inner) => {
-                    n += inner.len();
-                    for env in inner {
+            // in their original send order; the emptied batch box then goes
+            // back to the coalescer's arena (after the dispatch loop —
+            // handlers may borrow the coalescer to send).
+            match env.unbatch_boxed() {
+                Ok(mut batch) => {
+                    n += batch.envs.len();
+                    for env in batch.envs.drain(..) {
                         self.handle_envelope(env);
                     }
+                    self.coalescer.borrow_mut().recycle_batch(batch);
                 }
                 Err(env) => {
                     n += 1;

@@ -9,11 +9,15 @@
 //! - figure-of-merit keys (`figure_of_merit`, `nodes`) must match exactly:
 //!   the traversal/update counts are deterministic, any drift is a
 //!   correctness bug, not noise;
+//! - `*per_sec*` throughput keys are **one-sided**: fresh must not fall
+//!   more than `--rel-tol` below baseline, but may beat it by any margin
+//!   (commit the faster file to ratchet the ceiling up);
 //! - `*_pct` overhead keys must stay within an absolute tolerance band
 //!   (`--pct-tol` percentage points, default 5.0);
-//! - `*seconds*` keys get a generous relative band (`--rel-tol` fraction,
-//!   default 0.5) — wall time on shared CI is noisy, only catastrophic
-//!   slowdowns should trip the gate;
+//! - `*seconds*` keys get a generous **one-sided** relative band
+//!   (`--rel-tol` fraction, default 0.5) — wall time on shared CI is noisy,
+//!   only catastrophic slowdowns should trip the gate; a faster fresh run
+//!   never fails;
 //! - every baseline key must exist in the fresh file (a silently dropped
 //!   metric is exactly the regression this gate exists to catch).
 //!
@@ -172,7 +176,18 @@ fn check_leaf(
     let (Some(b), Some(f)) = (base.as_f64(), fresh.as_f64()) else {
         return; // non-numeric, non-special leaf: informational only
     };
-    if key.ends_with("_pct") || key.contains("pct") {
+    if key.contains("per_sec") {
+        // Throughput ceilings are one-sided: the gate exists so message
+        // rates can only go up. Fresh may beat the baseline by any margin
+        // (commit the new file to ratchet the ceiling) but must not fall
+        // more than the relative band below it.
+        if f < b * (1.0 - tol.rel_fraction) {
+            out.push(format!(
+                "{path}: {f:.1}/s fell more than {:.0}% below baseline {b:.1}/s",
+                tol.rel_fraction * 100.0
+            ));
+        }
+    } else if key.ends_with("_pct") || key.contains("pct") {
         if (f - b).abs() > tol.pct_points {
             out.push(format!(
                 "{path}: {f:.4} is more than {} points from baseline {b:.4}",
@@ -180,10 +195,13 @@ fn check_leaf(
             ));
         }
     } else if key.contains("seconds") {
+        // One-sided like the throughput keys: only slowdowns are
+        // regressions — a fresh run beating the baseline is the ratchet
+        // working, not a violation.
         let band = tol.rel_fraction * b.abs().max(1e-9);
-        if (f - b).abs() > band {
+        if f - b > band {
             out.push(format!(
-                "{path}: {f:.6}s outside ±{:.0}% of baseline {b:.6}s",
+                "{path}: {f:.6}s more than {:.0}% over baseline {b:.6}s",
                 tol.rel_fraction * 100.0
             ));
         }

@@ -31,6 +31,7 @@ struct Args {
     faults: Vec<FaultKind>,
     seeds: Vec<u64>,
     places: usize,
+    arena_off: bool,
     timeout: Duration,
     repro_out: Option<String>,
     trace_dir: Option<PathBuf>,
@@ -41,8 +42,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: chaos [--matrix] [--workload uts|ra-msgs|all] \
          [--fault drop|delay|dup|trunc|place-kill|all] \
-         [--seed N | --seeds A,B,C] [--places N] [--timeout-secs N] \
-         [--repro-out PATH] [--trace-dir PATH]"
+         [--seed N | --seeds A,B,C] [--places N] [--arena on|off] \
+         [--timeout-secs N] [--repro-out PATH] [--trace-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -53,6 +54,7 @@ fn parse_args() -> Args {
     let mut faults: Option<Vec<FaultKind>> = None;
     let mut seeds: Option<Vec<u64>> = None;
     let mut places = 8usize;
+    let mut arena_off = false;
     let mut timeout = Duration::from_secs(120);
     let mut repro_out = None;
     let mut trace_dir = None;
@@ -109,6 +111,13 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--places takes an integer"));
             }
+            "--arena" => {
+                arena_off = match value(&mut i, "--arena").as_str() {
+                    "on" => false,
+                    "off" => true,
+                    _ => usage("--arena takes on|off"),
+                };
+            }
             "--timeout-secs" => {
                 timeout = Duration::from_secs(
                     value(&mut i, "--timeout-secs")
@@ -134,6 +143,7 @@ fn parse_args() -> Args {
         faults: faults.unwrap_or_else(|| FaultKind::ALL.to_vec()),
         seeds: seeds.unwrap_or_else(|| vec![1, 2, 3]),
         places,
+        arena_off,
         timeout,
         repro_out,
         trace_dir,
@@ -162,6 +172,7 @@ fn main() {
                     fault,
                     seed,
                     places: args.places,
+                    arena_off: args.arena_off,
                 };
                 let report = run_cell_traced(spec, want, args.timeout, args.trace_dir.as_deref());
                 ran += 1;

@@ -170,18 +170,26 @@ pub struct CellSpec {
     pub seed: u64,
     /// Place count (RandomAccess needs a power of two).
     pub places: usize,
+    /// Disable envelope-arena recycling (`Config::arena_disable`) — the
+    /// matrix runs each transport cell with recycling on and off to prove
+    /// box reuse never changes an outcome under faults.
+    pub arena_off: bool,
 }
 
 impl CellSpec {
     /// The one-line command reproducing this cell.
     pub fn repro_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "cargo run --release -p chaos -- --workload {} --fault {} --seed {} --places {}",
             self.workload.label(),
             self.fault.label(),
             self.seed,
             self.places
-        )
+        );
+        if self.arena_off {
+            line.push_str(" --arena off");
+        }
+        line
     }
 }
 
@@ -262,6 +270,7 @@ fn faulted_config(spec: &CellSpec, traced: bool) -> Config {
         .causal_enable(traced)
         // Exact class targeting for lossy kinds (see module docs).
         .batch_disable(matches!(spec.fault, FaultKind::Drop | FaultKind::Trunc))
+        .arena_disable(spec.arena_off)
 }
 
 /// GLB knobs for chaos runs: small chunks (frequent probes ⇒ frequent

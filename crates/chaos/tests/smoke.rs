@@ -16,6 +16,7 @@ fn cell(workload: Workload, fault: FaultKind, seed: u64) -> CellSpec {
         fault,
         seed,
         places: PLACES,
+        arena_off: false,
     }
 }
 
@@ -71,6 +72,27 @@ fn ra_msgs_trunc_identical_or_typed() {
 #[test]
 fn ra_msgs_kill_identical_or_typed() {
     check(Workload::RaMsgs, FaultKind::Kill, 2);
+}
+
+/// Arena recycling off must not change any outcome — same delay cell as
+/// above, batch boxes freshly allocated each flush, identical result. The
+/// repro line records the ablation flag so a failure replays exactly.
+#[test]
+fn ra_msgs_delay_arena_off_is_identical() {
+    install_quiet_panic_hook();
+    let spec = CellSpec {
+        arena_off: true,
+        ..cell(Workload::RaMsgs, FaultKind::Delay, 2)
+    };
+    assert!(spec.repro_line().ends_with("--arena off"));
+    let want = baseline(Workload::RaMsgs, PLACES);
+    let report = run_cell_with_baseline(spec, want, TIMEOUT);
+    assert_eq!(
+        report.result,
+        Ok(CellOutcome::Identical),
+        "repro: {}",
+        spec.repro_line()
+    );
 }
 
 /// A failing traced cell writes its post-mortem artifacts: chrome trace

@@ -39,14 +39,32 @@ pub const COALESCE_FLUSH_THRESHOLD_BYTES: &str = "coalescer.flush.threshold_byte
 /// (unit: flushes).
 pub const COALESCE_FLUSH_EXPLICIT: &str = "coalescer.flush.explicit";
 
-/// Histogram: envelopes expanded per mailbox drain (unit: logical
-/// messages per drain; only non-empty drains are recorded). Observed in the
-/// worker's message pump.
+/// Histogram: logical messages drained per mailbox *sweep* — one
+/// round-robin pass over the destination's incoming SPSC ring lanes, batch
+/// envelopes expanded (unit: logical messages per sweep; only non-empty
+/// sweeps are recorded). Observed in the worker's message pump.
 pub const MAILBOX_DRAIN_DEPTH: &str = "mailbox.drain_depth";
 
 /// Bucket upper bounds for [`MAILBOX_DRAIN_DEPTH`] (inclusive; one
 /// overflow bucket is added past the last bound).
 pub const MAILBOX_DRAIN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Counter: sends diverted to a mailbox lane's overflow side-queue because
+/// the SPSC ring was full or still draining a previous overflow (unit:
+/// envelopes; sharded by sender). Incremented in `x10rt`'s
+/// `LocalTransport`. A workload living in overflow needs a larger
+/// `mailbox_ring_capacity`.
+pub const MAILBOX_RING_OVERFLOW: &str = "mailbox.ring_overflow";
+
+/// Counter: coalescer flushes served a recycled batch buffer from the
+/// envelope arena freelist — no allocation (unit: takes; sharded by the
+/// owning place). Incremented in `x10rt::arena`.
+pub const ARENA_RECYCLE_HITS: &str = "arena.recycle.hits";
+
+/// Counter: arena takes that had to allocate a fresh batch buffer (unit:
+/// takes). Steady-state traffic should be nearly all hits; a high miss rate
+/// means the freelist is starved (asymmetric traffic or `arena_disable`).
+pub const ARENA_RECYCLE_MISSES: &str = "arena.recycle.misses";
 
 /// Counter: GLB random-steal attempts issued (unit: attempts).
 pub const GLB_STEAL_ATTEMPTS: &str = "glb.steal.attempts";

@@ -3,7 +3,7 @@
 //! The threaded runtime interleaves work however the OS pleases; a
 //! termination-detection bug that needs one specific reordering of control
 //! messages may survive thousands of stress runs. This crate removes the OS
-//! from the picture: a [`SimTransport`](transport::SimTransport) holds every
+//! from the picture: a [`SimTransport`] holds every
 //! sent envelope **in flight** until a central controller delivers it, and
 //! the runtime's workers (built with `Config::deterministic`) only execute
 //! inside controller-granted quanta. Every interleaving decision is one
@@ -16,9 +16,9 @@
 //! * [`rng`] — SplitMix64, the only entropy source;
 //! * [`transport`] — the simulated network: in-flight channels, virtual
 //!   time, the causal trace hash, the envelope ledger, mutations;
-//! * [`schedule`] — the [`Chooser`](schedule::Chooser): seeded / replayed
+//! * [`schedule`] — the [`Chooser`]: seeded / replayed
 //!   decision streams and the recorded choice log;
-//! * [`controller`] — [`run_sim`](controller::run_sim): baton-passing
+//! * [`controller`] — [`run_sim`]: baton-passing
 //!   single-stepping of the places, quiescence / deadlock verdicts;
 //! * [`workload`] — random spawn trees, per-protocol legalization, and the
 //!   sequential reference model;

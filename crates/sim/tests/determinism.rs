@@ -89,6 +89,40 @@ fn composes_with_delay_and_duplicate_faults() {
 }
 
 #[test]
+fn arena_toggle_is_invisible_to_the_simulated_schedule() {
+    // The envelope arena only recycles allocations — it must not change a
+    // single scheduling decision or message. Replaying the same seeds with
+    // recycling on and off has to produce bit-identical causal traces.
+    // Coalescing runs with `max_msgs = 1` — every send takes the buffer-swap
+    // flush path through the arena immediately, which both exercises the
+    // machinery under test and keeps buffers empty between quanta (the sim
+    // controller cannot see coalescer-buffered messages, so lingering
+    // buffers would read as deadlock).
+    let run = |arena_off: bool| {
+        let tree = TreeSpec::generate(13, 4, 10).legalize(FinishKind::Default);
+        let cfg = Config::new(4)
+            .places_per_host(2)
+            .batch_max_msgs(1)
+            .arena_disable(arena_off);
+        let sim = Arc::new(SimTransport::new(4));
+        let mut chooser = Chooser::seeded(9);
+        let run = run_sim(cfg, &SimOpts::default(), &mut chooser, sim, move |ctx| {
+            run_tree(ctx, FinishKind::Default, &tree)
+        });
+        (
+            run.report.verdict,
+            run.report.trace_hash,
+            run.report.deliveries,
+            run.report.choices.clone(),
+        )
+    };
+    let on = run(false);
+    let off = run(true);
+    assert_eq!(on.0, RunVerdict::Completed);
+    assert_eq!(on, off, "arena recycling changed the simulated schedule");
+}
+
+#[test]
 fn scripted_kill_fails_gracefully_and_deterministically() {
     chaos::install_quiet_panic_hook();
     // Killing a place mid-run generally wedges termination detection; the

@@ -56,7 +56,8 @@
 //! envelope counts, so the scheduler can account for the loss and the
 //! protocol layers above can degrade instead of blocking.
 
-use crate::message::{Envelope, MsgClass};
+use crate::arena::{ArenaCounts, EnvelopeArena};
+use crate::message::{BatchPayload, Envelope, MsgClass};
 use crate::place::PlaceId;
 use crate::transport::{SendError, Transport, TransportError};
 use obs::metrics::{Counter, MetricsRegistry};
@@ -78,10 +79,22 @@ const RETRY_BACKOFF_BASE: Duration = Duration::from_micros(5);
 /// Backoff ceiling.
 const RETRY_BACKOFF_CAP: Duration = Duration::from_micros(200);
 
-#[derive(Default)]
+/// One destination's aggregation buffer. The envelopes live directly inside
+/// a boxed [`BatchPayload`], so a flush *swaps* the box out (replacing it
+/// with a recycled one from the arena) and ships it as the batch envelope's
+/// payload — no per-message copy, no per-flush allocation in steady state.
 struct Buf {
-    envs: Vec<Envelope>,
+    payload: Box<BatchPayload>,
     bytes: usize,
+}
+
+impl Buf {
+    fn new() -> Self {
+        Buf {
+            payload: Box::new(BatchPayload { envs: Vec::new() }),
+            bytes: 0,
+        }
+    }
 }
 
 /// Why a destination buffer was drained.
@@ -141,6 +154,9 @@ pub struct Coalescer {
     hooks: Option<FlushHooks>,
     /// Bound on retrying transiently rejected sends.
     send_timeout: Duration,
+    /// Freelist of batch boxes (flushes take from it, the receive path
+    /// recycles into it via [`Coalescer::recycle_batch`]).
+    arena: EnvelopeArena,
 }
 
 impl Coalescer {
@@ -161,12 +177,21 @@ impl Coalescer {
             max_msgs: max_msgs.max(1),
             max_bytes: max_bytes.max(1),
             enabled,
-            bufs: (0..places).map(|_| Buf::default()).collect(),
+            bufs: (0..places).map(|_| Buf::new()).collect(),
             dirty: Vec::new(),
             counts: FlushCounts::default(),
             hooks: None,
             send_timeout: DEFAULT_SEND_TIMEOUT,
+            arena: EnvelopeArena::new(from.0),
         }
+    }
+
+    /// Disable batch-box recycling (builder style) — the `arena_disable`
+    /// ablation knob. Flushes then allocate a fresh box each time, exactly
+    /// the pre-arena behaviour.
+    pub fn with_arena_disabled(mut self) -> Self {
+        self.arena.set_enabled(false);
+        self
     }
 
     /// Override the bound on retrying transiently rejected sends (builder
@@ -187,6 +212,7 @@ impl Coalescer {
             threshold_bytes: metrics.counter(obs::names::COALESCE_FLUSH_THRESHOLD_BYTES),
             explicit: metrics.counter(obs::names::COALESCE_FLUSH_EXPLICIT),
         });
+        self.arena.wire_obs(metrics);
         self
     }
 
@@ -233,12 +259,12 @@ impl Coalescer {
         }
         let dest = env.to.index();
         let buf = &mut self.bufs[dest];
-        if buf.envs.is_empty() {
+        if buf.payload.envs.is_empty() {
             self.dirty.push(dest);
         }
         buf.bytes += env.bytes;
-        buf.envs.push(env);
-        if buf.envs.len() >= self.max_msgs {
+        buf.payload.envs.push(env);
+        if buf.payload.envs.len() >= self.max_msgs {
             self.flush_dest_reason(transport, dest, FlushReason::ThresholdMsgs)
         } else if buf.bytes >= self.max_bytes {
             self.flush_dest_reason(transport, dest, FlushReason::ThresholdBytes)
@@ -259,23 +285,18 @@ impl Coalescer {
         dest: usize,
         reason: FlushReason,
     ) -> Result<(), SendError> {
-        let buf = &mut self.bufs[dest];
-        if buf.envs.is_empty() {
+        if self.bufs[dest].payload.envs.is_empty() {
             return Ok(());
         }
-        let envs = std::mem::take(&mut buf.envs);
-        buf.bytes = 0;
+        // Swap the buffer box out (refilling from the arena) instead of
+        // copying its envelopes — the box itself becomes the batch payload.
+        let payload = std::mem::replace(&mut self.bufs[dest].payload, self.arena.take());
+        self.bufs[dest].bytes = 0;
         if let Some(pos) = self.dirty.iter().position(|&d| d == dest) {
             self.dirty.swap_remove(pos);
         }
         self.record_drain(reason);
-        emit(
-            transport,
-            self.from,
-            PlaceId(dest as u32),
-            envs,
-            self.send_timeout,
-        )
+        self.emit(transport, PlaceId(dest as u32), payload)
     }
 
     /// Drain every non-empty buffer onto the transport. Must run at every
@@ -289,25 +310,19 @@ impl Coalescer {
     pub fn flush(&mut self, transport: &dyn Transport) -> Result<(), SendError> {
         let mut first: Option<SendError> = None;
         while let Some(dest) = self.dirty.pop() {
-            let buf = &mut self.bufs[dest];
-            let envs = std::mem::take(&mut buf.envs);
-            buf.bytes = 0;
-            if !envs.is_empty() {
-                self.record_drain(FlushReason::Explicit);
-                if let Err(e) = emit(
-                    transport,
-                    self.from,
-                    PlaceId(dest as u32),
-                    envs,
-                    self.send_timeout,
-                ) {
-                    match &mut first {
-                        Some(f) => {
-                            f.dropped += e.dropped;
-                            f.retry.extend(e.retry);
-                        }
-                        None => first = Some(e),
+            if self.bufs[dest].payload.envs.is_empty() {
+                continue;
+            }
+            let payload = std::mem::replace(&mut self.bufs[dest].payload, self.arena.take());
+            self.bufs[dest].bytes = 0;
+            self.record_drain(FlushReason::Explicit);
+            if let Err(e) = self.emit(transport, PlaceId(dest as u32), payload) {
+                match &mut first {
+                    Some(f) => {
+                        f.dropped += e.dropped;
+                        f.retry.extend(e.retry);
                     }
+                    None => first = Some(e),
                 }
             }
         }
@@ -317,44 +332,69 @@ impl Coalescer {
         }
     }
 
+    /// Hand a drained buffer to the transport: a single message goes out as
+    /// itself (the transport records it, the emptied box is recycled);
+    /// several ship as one batch envelope built *around* the buffer box,
+    /// with the logical counts recorded here once the envelope is accepted
+    /// (so messages lost to a dead destination never enter the ledgers).
+    fn emit(
+        &mut self,
+        transport: &dyn Transport,
+        dest: PlaceId,
+        mut payload: Box<BatchPayload>,
+    ) -> Result<(), SendError> {
+        debug_assert!(!payload.envs.is_empty());
+        if payload.envs.len() == 1 {
+            let env = payload.envs.pop().expect("len checked");
+            self.arena.recycle(payload);
+            return send_with_retry(transport, env, self.send_timeout);
+        }
+        // Every message in a buffer shares (from, to) by construction, so
+        // the logical-stats ledger collapses to per-class (count, bytes)
+        // sums — a handful of atomic adds per batch instead of four per
+        // message.
+        let mut per_class = [(0u64, 0u64); MsgClass::ALL.len()];
+        for e in &payload.envs {
+            let slot = &mut per_class[e.class.index()];
+            slot.0 += 1;
+            slot.1 += e.bytes as u64;
+        }
+        send_with_retry(
+            transport,
+            Envelope::batch_boxed(self.from, dest, payload),
+            self.send_timeout,
+        )?;
+        let stats = transport.stats();
+        for (i, &(count, bytes)) in per_class.iter().enumerate() {
+            stats.record_send_many(self.from.0, dest.0, MsgClass::ALL[i], count, bytes);
+        }
+        Ok(())
+    }
+
+    /// Return a received batch box to the freelist so the next flush can
+    /// reuse it. Under symmetric traffic this is what keeps the arena fed —
+    /// the scheduler calls it after dispatching a batch's inner messages.
+    pub fn recycle_batch(&mut self, payload: Box<BatchPayload>) {
+        self.arena.recycle(payload);
+    }
+
+    /// Arena traffic tally (hits/misses/recycled/discarded).
+    pub fn arena_counts(&self) -> ArenaCounts {
+        self.arena.counts()
+    }
+
     /// Total messages currently buffered (diagnostics / tests).
     pub fn pending(&self) -> usize {
-        self.dirty.iter().map(|&d| self.bufs[d].envs.len()).sum()
+        self.dirty
+            .iter()
+            .map(|&d| self.bufs[d].payload.envs.len())
+            .sum()
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.dirty.is_empty()
     }
-}
-
-/// Hand a drained buffer to the transport: a single message goes out as
-/// itself (the transport records it); several are packed into one batch
-/// envelope, with the logical counts recorded here once the envelope is
-/// accepted (so messages lost to a dead destination never enter the
-/// ledgers).
-fn emit(
-    transport: &dyn Transport,
-    from: PlaceId,
-    dest: PlaceId,
-    envs: Vec<Envelope>,
-    send_timeout: Duration,
-) -> Result<(), SendError> {
-    debug_assert!(!envs.is_empty());
-    if envs.len() == 1 {
-        let env = envs.into_iter().next().expect("len checked");
-        return send_with_retry(transport, env, send_timeout);
-    }
-    let records: Vec<(u32, u32, MsgClass, usize)> = envs
-        .iter()
-        .map(|e| (e.from.0, e.to.0, e.class, e.bytes))
-        .collect();
-    send_with_retry(transport, Envelope::batch(from, dest, envs), send_timeout)?;
-    let stats = transport.stats();
-    for (f, t, class, bytes) in records {
-        stats.record_send(f, t, class, bytes);
-    }
-    Ok(())
 }
 
 /// Submit one envelope, retrying transient rejections with exponential

@@ -10,9 +10,12 @@
 //! This crate provides:
 //!
 //! * [`transport::Transport`] — the point-to-point API, with the in-process
-//!   [`transport::LocalTransport`] back-end (one FIFO queue per place,
-//!   per-sender ordering, exactly the guarantee PAMI gives and the guarantee
-//!   the finish protocols rely on);
+//!   [`transport::LocalTransport`] back-end: one lock-free SPSC [`ring`]
+//!   lane per (sender, receiver) pair with an overflow side-queue,
+//!   preserving per-sender FIFO — exactly the guarantee PAMI gives and the
+//!   guarantee the finish protocols rely on;
+//! * [`arena::EnvelopeArena`] — freelist recycling of coalescer batch
+//!   buffers, making the steady-state send path allocation-free;
 //! * [`coalesce::Coalescer`] — sender-side aggregation of small messages
 //!   into batch envelopes (the PAMI aggregation layer), with per-destination
 //!   flush thresholds and an explicit flush discipline;
@@ -33,22 +36,26 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod coalesce;
 pub mod congruent;
 pub mod fault;
 pub mod message;
 pub mod place;
 pub mod rdma;
+pub mod ring;
 pub mod segment;
 pub mod stats;
 pub mod transport;
 
+pub use arena::{ArenaCounts, EnvelopeArena, DEFAULT_ARENA_RETAIN};
 pub use coalesce::{Coalescer, FlushCounts, FlushReason};
 pub use congruent::{CongruentAllocator, CongruentArray, Pod};
 pub use fault::{ClassFaults, FaultCounts, FaultEvent, FaultPlan, FaultTransport};
 pub use message::{BatchPayload, Envelope, MsgClass, Payload, HEADER_BYTES};
 pub use place::{PlaceId, Topology};
 pub use rdma::RemoteAddr;
+pub use ring::{SpscRing, DEFAULT_RING_CAPACITY};
 pub use segment::{SegId, Segment, SegmentTable};
 pub use stats::NetStats;
 pub use transport::{LocalTransport, SendError, Transport, TransportError};

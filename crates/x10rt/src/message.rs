@@ -154,9 +154,20 @@ impl Envelope {
     /// *body* bytes — aggregation amortizes the per-message header, which is
     /// exactly the saving PAMI-level aggregation buys on the wire.
     pub fn batch(from: PlaceId, to: PlaceId, envs: Vec<Envelope>) -> Self {
-        debug_assert!(!envs.is_empty(), "empty batch");
-        debug_assert!(envs.iter().all(|e| e.to == to), "batch mixes destinations");
-        let body: usize = envs
+        Self::batch_boxed(from, to, Box::new(BatchPayload { envs }))
+    }
+
+    /// [`Envelope::batch`] over an already-boxed payload, so callers that
+    /// recycle batch boxes (see [`crate::arena::EnvelopeArena`]) can pack
+    /// without allocating.
+    pub fn batch_boxed(from: PlaceId, to: PlaceId, payload: Box<BatchPayload>) -> Self {
+        debug_assert!(!payload.envs.is_empty(), "empty batch");
+        debug_assert!(
+            payload.envs.iter().all(|e| e.to == to),
+            "batch mixes destinations"
+        );
+        let body: usize = payload
+            .envs
             .iter()
             .map(|e| e.bytes.saturating_sub(HEADER_BYTES))
             .sum();
@@ -169,18 +180,25 @@ impl Envelope {
             // the inner envelopes keep their per-message stamps (and their
             // causal header bytes stay in `body` above).
             causal: None,
-            payload: Box::new(BatchPayload { envs }),
+            payload,
         }
     }
 
     /// Unpack a batch envelope into its logical messages; a non-batch
     /// envelope comes back unchanged as the `Err` variant.
     pub fn unbatch(self) -> Result<Vec<Envelope>, Envelope> {
+        self.unbatch_boxed().map(|b| b.envs)
+    }
+
+    /// [`Envelope::unbatch`], but keeping the payload box intact so the
+    /// receiver can hand it back to an [`crate::arena::EnvelopeArena`] for
+    /// reuse after dispatching the inner messages.
+    pub fn unbatch_boxed(self) -> Result<Box<BatchPayload>, Envelope> {
         if self.class != MsgClass::Batch {
             return Err(self);
         }
         match self.payload.downcast::<BatchPayload>() {
-            Ok(b) => Ok(b.envs),
+            Ok(b) => Ok(b),
             Err(payload) => {
                 debug_assert!(false, "Batch-class envelope without BatchPayload");
                 Err(Envelope { payload, ..self })

@@ -6,37 +6,54 @@
 //! clocks, load balancing) on top of that primitive — which is why this crate
 //! is deliberately tiny.
 //!
-//! [`LocalTransport`] realizes the API with one mutex-protected deque per
-//! destination place. Pushes from one sender thread reach the deque in
-//! program order, which gives exactly the per-pair FIFO guarantee the finish
-//! protocols rely on (see `apgas::finish::default_proto`).
+//! # Lane matrix
 //!
-//! # Batched hot path
+//! [`LocalTransport`] realizes the API with one *lane* per (sender,
+//! destination) pair: a bounded lock-free SPSC ring (see [`crate::ring`])
+//! backed by an overflow side-queue. The hot send path is a ring push — no
+//! mutex, no allocation — and the hot receive path is a round-robin sweep of
+//! the destination's incoming lanes, bulk-draining each ring. Per-pair FIFO
+//! holds because one sender's messages to one destination all travel the
+//! same lane in program order (this is exactly the PAMI guarantee the finish
+//! protocols rely on; see `apgas::finish::default_proto`). No ordering holds
+//! *across* lanes — a real network reorders freely across routes.
 //!
-//! The trait also exposes a bulk interface — [`Transport::send_batch`] and
-//! [`Transport::try_recv_batch`] — with default implementations that loop the
-//! scalar operations, so any back-end stays correct without doing anything.
-//! [`LocalTransport`] overrides both to move whole runs of messages under a
-//! single mailbox lock acquisition, which is where the hot-path saving lives.
+//! # Overflow side-queue
+//!
+//! A full ring must not block the sender (the worker that would drain it may
+//! itself be blocked on this send completing) and must not drop. When a push
+//! finds the ring full, the envelope diverts to the lane's mutex-protected
+//! overflow deque and the lane stays in *overflow mode* — subsequent sends
+//! append to the overflow, never the ring, until the receiver has drained
+//! the overflow empty. That rule is what preserves FIFO: ring items are
+//! always older than overflow items, so the receiver drains ring-then-
+//! overflow. Overflow engagements are counted (`NetStats::
+//! total_ring_overflows`, the `mailbox.ring_overflow` metric); a workload
+//! that lives in overflow mode needs a bigger `mailbox_ring_capacity`, not a
+//! faster mutex.
 //!
 //! # Waker debouncing
 //!
-//! Each mailbox carries a `notified` flag. A sender fires the destination's
-//! waker only on the false→true transition, so a burst of sends costs one
-//! wake instead of one per message. The *receiver* re-arms the flag whenever
-//! it observes the queue empty — under the queue lock, so a concurrent push
-//! either lands before the observation (and is seen) or blocks until after
-//! the re-arm (and its sender sees `notified == false` and fires). Spurious
-//! wakes are possible; lost wakes are not. The scheduler's park path
-//! additionally re-checks [`LocalTransport::queue_len`] before sleeping,
-//! which makes the protocol robust even against misuse.
+//! Each destination carries a `notified` flag. A sender fires the
+//! destination's waker only on the false→true transition of an `AcqRel`
+//! `swap`, so a burst of sends costs one wake instead of one per message.
+//! The *receiver* re-arms the flag when a sweep finds every lane empty —
+//! also with a `swap`, then re-checks the lanes. The two swaps on the same
+//! flag are totally ordered, and RMWs extend release sequences, so either
+//! the sender's swap observes the re-arm (and fires) or the receiver's
+//! re-arm swap acquires the sender's push (and the re-check sees the
+//! message). Spurious wakes are possible; lost wakes are not. The
+//! scheduler's park path additionally re-checks [`Transport::queue_len`]
+//! before sleeping, which makes the protocol robust even against misuse.
 
 use crate::message::{Envelope, MsgClass};
 use crate::place::PlaceId;
+use crate::ring::{spin_lock, SpscRing, DEFAULT_RING_CAPACITY};
 use crate::stats::NetStats;
+use obs::metrics::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A callback invoked when a message arrives for a place, used to unpark its
@@ -250,40 +267,117 @@ pub trait Transport: Send + Sync {
     }
 }
 
-struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+/// One (sender place, destination place) channel: a lock-free ring plus the
+/// overflow side-queue that catches what the ring cannot hold.
+struct Lane {
+    ring: SpscRing<Envelope>,
+    /// Overflow side-queue — only touched when the ring fills (or until the
+    /// receiver has drained a previous overflow empty). Deliberately a
+    /// mutex: this is the documented escape hatch, not the fast path.
+    overflow: Mutex<VecDeque<Envelope>>,
+    /// Mirror of the overflow queue length, written under the mutex, so the
+    /// fast path can check "overflow engaged?" with one relaxed-cost load.
+    overflow_len: AtomicUsize,
+}
+
+impl Lane {
+    fn new(ring_capacity: usize) -> Self {
+        Lane {
+            ring: SpscRing::new(ring_capacity),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Messages queued in this lane (approximate under concurrency).
+    fn len(&self) -> usize {
+        self.ring.len() + self.overflow_len.load(Ordering::Acquire)
+    }
+}
+
+/// Per-destination receive state, cache-line isolated from its neighbours.
+#[repr(align(64))]
+struct RecvState {
     /// Waker debounce: true while the place has been notified of pending
     /// traffic and has not yet drained to empty.
     notified: AtomicBool,
-    /// Set when the place is killed: the queue is emptied and stays empty,
-    /// and sends fail with [`TransportError::PlaceDead`].
+    /// Set when the place is killed: the lanes are purged, receive paths
+    /// return nothing, and sends fail with [`TransportError::PlaceDead`].
     closed: AtomicBool,
+    /// Consumer spin guard: serializes sweeps (and the kill-time purge) so
+    /// the lane matrix sees one consumer per destination.
+    sweep_guard: AtomicBool,
+    /// Round-robin sweep position (which sender lane to take next);
+    /// accessed under `sweep_guard`.
+    cursor: AtomicUsize,
 }
 
-/// In-process transport: one locked FIFO deque per place, with debounced
-/// wakers and bulk enqueue/drain.
+/// In-process transport: a lock-free SPSC ring lane per (sender, receiver)
+/// pair, with overflow side-queues, debounced wakers and bulk sweep drain.
 pub struct LocalTransport {
-    mailboxes: Vec<Mailbox>,
+    places: usize,
+    ring_capacity: usize,
+    /// `places × places` lanes, row-major by sender: lane `(s, r)` lives at
+    /// `s * places + r`.
+    lanes: Box<[Lane]>,
+    recv: Box<[RecvState]>,
     wakers: RwLock<Vec<Option<Waker>>>,
     stats: NetStats,
+    /// Observability mirror of the ring-overflow counter (sharded by
+    /// sender), resolved once at construction.
+    overflow_obs: Option<Counter>,
 }
 
 impl LocalTransport {
-    /// A transport connecting `places` places.
+    /// A transport connecting `places` places with the default per-lane ring
+    /// capacity ([`DEFAULT_RING_CAPACITY`]).
     pub fn new(places: usize) -> Self {
+        Self::with_ring_capacity(places, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A transport with an explicit per-lane ring capacity (rounded up to a
+    /// power of two). Ring buffers are allocated lazily per active lane, so
+    /// the `places²` matrix costs headers, not buffers, for idle pairs.
+    pub fn with_ring_capacity(places: usize, ring_capacity: usize) -> Self {
         assert!(places > 0);
-        let mailboxes = (0..places)
-            .map(|_| Mailbox {
-                queue: Mutex::new(VecDeque::new()),
+        let lanes = (0..places * places)
+            .map(|_| Lane::new(ring_capacity))
+            .collect();
+        let recv = (0..places)
+            .map(|_| RecvState {
                 notified: AtomicBool::new(false),
                 closed: AtomicBool::new(false),
+                sweep_guard: AtomicBool::new(false),
+                cursor: AtomicUsize::new(0),
             })
             .collect();
         LocalTransport {
-            mailboxes,
+            places,
+            ring_capacity: ring_capacity.next_power_of_two().max(2),
+            lanes,
+            recv,
             wakers: RwLock::new(vec![None; places]),
             stats: NetStats::new(places),
+            overflow_obs: None,
         }
+    }
+
+    /// Mirror ring-overflow engagements into the shared metrics registry
+    /// (builder style): resolves the `mailbox.ring_overflow` counter once so
+    /// the overflow path stays one relaxed increment.
+    pub fn with_obs(mut self, metrics: &MetricsRegistry) -> Self {
+        self.overflow_obs = Some(metrics.counter(obs::names::MAILBOX_RING_OVERFLOW));
+        self
+    }
+
+    /// The per-lane ring capacity this transport was built with.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
+    }
+
+    #[inline]
+    fn lane(&self, from: usize, to: usize) -> &Lane {
+        &self.lanes[from * self.places + to]
     }
 
     /// Count this envelope: one physical envelope always; one logical
@@ -297,9 +391,40 @@ impl LocalTransport {
         }
     }
 
-    /// Fire `to`'s waker on the false→true edge of its debounce flag.
+    /// Enqueue `env` on its lane: ring fast path, overflow side-queue when
+    /// the ring is full *or* a previous overflow has not drained yet (the
+    /// rule that keeps ring items strictly older than overflow items, hence
+    /// per-pair FIFO). Counts the overflow engagement when it happens.
+    fn push_lane(&self, env: Envelope) {
+        let lane = self.lane(env.from.index(), env.to.index());
+        if lane.overflow_len.load(Ordering::Acquire) == 0 {
+            match lane.ring.push(env) {
+                Ok(()) => {}
+                Err(env) => self.push_overflow(lane, env),
+            }
+        } else {
+            self.push_overflow(lane, env);
+        }
+    }
+
+    fn push_overflow(&self, lane: &Lane, env: Envelope) {
+        let from = env.from.0;
+        {
+            let mut q = lane.overflow.lock();
+            q.push_back(env);
+            lane.overflow_len.store(q.len(), Ordering::Release);
+        }
+        self.stats.record_ring_overflow(from);
+        if let Some(c) = &self.overflow_obs {
+            c.inc(from);
+        }
+    }
+
+    /// Fire `to`'s waker on the false→true edge of its debounce flag. The
+    /// `AcqRel` swap pairs with the receiver's re-arm swap (see the module
+    /// docs for why this cannot lose a wakeup).
     fn wake(&self, to: usize) {
-        if !self.mailboxes[to].notified.swap(true, Ordering::AcqRel) {
+        if !self.recv[to].notified.swap(true, Ordering::AcqRel) {
             // Clone the waker out and drop the read guard *before* invoking:
             // the waker may re-enter the transport (e.g. register_waker needs
             // the write lock), which deadlocks if invoked under the guard.
@@ -309,32 +434,150 @@ impl LocalTransport {
             }
         }
     }
+
+    /// Any message queued for destination `r`?
+    fn has_pending(&self, r: usize) -> bool {
+        (0..self.places).any(|s| {
+            let lane = self.lane(s, r);
+            !lane.ring.is_empty() || lane.overflow_len.load(Ordering::Acquire) != 0
+        })
+    }
+
+    /// Drain one lane FIFO-correctly: ring first (strictly older), then the
+    /// overflow, then the ring again (items pushed after the overflow
+    /// emptied). Returns how many envelopes were appended (≤ `budget`).
+    ///
+    /// Ordering subtlety: the first `pop_many` may run against a *stale*
+    /// view of the ring (the producer's tail store not yet observed) while
+    /// the `overflow_len` load — which synchronizes with the producer's
+    /// *later* overflow push — succeeds. Draining the overflow on that
+    /// stale view would deliver newer items ahead of older ring items, so
+    /// after every non-zero `overflow_len` observation the ring is drained
+    /// *again* first: the Acquire load made every earlier ring push
+    /// visible.
+    fn drain_lane(&self, lane: &Lane, budget: usize, out: &mut Vec<Envelope>) -> usize {
+        let mut n = lane.ring.pop_many(budget, out);
+        loop {
+            if n >= budget || lane.overflow_len.load(Ordering::Acquire) == 0 {
+                return n;
+            }
+            // Ring items are strictly older than overflow items (producers
+            // divert only on full-or-diverting) — and the Acquire above is
+            // what guarantees we can actually see all of them. Ring first.
+            let more = lane.ring.pop_many(budget - n, out);
+            n += more;
+            if n >= budget {
+                return n;
+            }
+            let drained = {
+                let mut q = lane.overflow.lock();
+                let k = (budget - n).min(q.len());
+                out.extend(q.drain(..k));
+                lane.overflow_len.store(q.len(), Ordering::Release);
+                k
+            };
+            n += drained;
+            if drained == 0 && more == 0 {
+                return n;
+            }
+        }
+    }
+
+    /// One round-robin pass over destination `r`'s incoming lanes, starting
+    /// at the sweep cursor. Caller holds the sweep guard.
+    fn sweep(&self, r: usize, budget: usize, out: &mut Vec<Envelope>) -> usize {
+        if budget == 0 {
+            return 0;
+        }
+        let start = self.recv[r].cursor.load(Ordering::Relaxed);
+        let mut total = 0;
+        for i in 0..self.places {
+            let s = (start + i) % self.places;
+            total += self.drain_lane(self.lane(s, r), budget - total, out);
+            if total >= budget {
+                // Resume at this lane next sweep — it may hold more.
+                self.recv[r].cursor.store(s, Ordering::Relaxed);
+                break;
+            }
+        }
+        total
+    }
+
+    /// Pop a single envelope for `r`, resuming at the sweep cursor so an
+    /// in-progress lane drains FIFO before the sweep moves on. Caller holds
+    /// the sweep guard.
+    fn sweep_one(&self, r: usize) -> Option<Envelope> {
+        let start = self.recv[r].cursor.load(Ordering::Relaxed);
+        for i in 0..self.places {
+            let s = (start + i) % self.places;
+            let lane = self.lane(s, r);
+            let env = lane.ring.pop().or_else(|| {
+                if lane.overflow_len.load(Ordering::Acquire) != 0 {
+                    // Same stale-ring hazard as `drain_lane`: the Acquire
+                    // load just made every older ring push visible, so
+                    // re-take the ring before the overflow.
+                    lane.ring.pop().or_else(|| {
+                        let mut q = lane.overflow.lock();
+                        let e = q.pop_front();
+                        lane.overflow_len.store(q.len(), Ordering::Release);
+                        // The ring may have refilled once the overflow
+                        // emptied.
+                        e.or_else(|| lane.ring.pop())
+                    })
+                } else {
+                    None
+                }
+            });
+            if let Some(env) = env {
+                self.recv[r].cursor.store(s, Ordering::Relaxed);
+                return Some(env);
+            }
+        }
+        None
+    }
+
+    /// Re-arm the debounce for `r` and re-check the lanes. Returns true when
+    /// the race was lost to a concurrent sender — a message landed around
+    /// the re-arm — and the caller should sweep again.
+    fn rearm_and_recheck(&self, r: usize) -> bool {
+        let rs = &self.recv[r];
+        // Must be a swap (RMW), not a plain store: reading the senders' swap
+        // chain is what acquires their ring pushes for the re-check below.
+        rs.notified.swap(false, Ordering::AcqRel);
+        if !self.has_pending(r) {
+            return false;
+        }
+        // Reclaim the notification — we are about to consume the message.
+        rs.notified.swap(true, Ordering::AcqRel);
+        true
+    }
 }
 
 impl Transport for LocalTransport {
     fn send(&self, env: Envelope) -> Result<(), SendError> {
-        debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
+        debug_assert!(env.to.index() < self.places, "bad destination");
+        debug_assert!(env.from.index() < self.places, "bad sender");
         let to = env.to.index();
-        if self.mailboxes[to].closed.load(Ordering::Acquire) {
+        if self.recv[to].closed.load(Ordering::Acquire) {
             return Err(SendError::dead(env.to, 1));
         }
         self.record(&env);
-        self.mailboxes[to].queue.lock().push_back(env);
+        self.push_lane(env);
         self.wake(to);
         Ok(())
     }
 
     fn send_batch(&self, envs: Vec<Envelope>) -> Result<(), SendError> {
-        // Enqueue each same-destination run under one lock acquisition and
-        // fire at most one (debounced) wake per run. Processing runs in
-        // order preserves per-pair FIFO. Runs addressed to a dead place are
-        // destroyed (black hole) and reported via the returned error.
+        // Enqueue each same-destination run and fire at most one (debounced)
+        // wake per run. Processing runs in order preserves per-pair FIFO.
+        // Runs addressed to a dead place are destroyed (black hole) and
+        // reported via the returned error.
         let mut err: Option<SendError> = None;
         let mut iter = envs.into_iter().peekable();
         while let Some(env) = iter.next() {
-            debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
+            debug_assert!(env.to.index() < self.places, "bad destination");
             let to = env.to.index();
-            if self.mailboxes[to].closed.load(Ordering::Acquire) {
+            if self.recv[to].closed.load(Ordering::Acquire) {
                 let mut destroyed = 1;
                 while iter.peek().is_some_and(|next| next.to.index() == to) {
                     iter.next();
@@ -346,18 +589,15 @@ impl Transport for LocalTransport {
                 }
                 continue;
             }
-            {
-                let mut q = self.mailboxes[to].queue.lock();
-                self.record(&env);
-                q.push_back(env);
-                while let Some(next) = iter.peek() {
-                    if next.to.index() != to {
-                        break;
-                    }
-                    let next = iter.next().expect("peeked");
-                    self.record(&next);
-                    q.push_back(next);
+            self.record(&env);
+            self.push_lane(env);
+            while let Some(next) = iter.peek() {
+                if next.to.index() != to {
+                    break;
                 }
+                let next = iter.next().expect("peeked");
+                self.record(&next);
+                self.push_lane(next);
             }
             self.wake(to);
         }
@@ -368,26 +608,41 @@ impl Transport for LocalTransport {
     }
 
     fn try_recv(&self, place: PlaceId) -> Option<Envelope> {
-        let mb = &self.mailboxes[place.index()];
-        let mut q = mb.queue.lock();
-        let env = q.pop_front();
-        if q.is_empty() {
-            // Re-arm the debounce under the lock: any send serialized after
-            // this sees notified == false and fires the waker.
-            mb.notified.store(false, Ordering::Release);
+        let r = place.index();
+        let rs = &self.recv[r];
+        if rs.closed.load(Ordering::Acquire) {
+            return None;
         }
-        env
+        let _guard = spin_lock(&rs.sweep_guard);
+        loop {
+            if let Some(env) = self.sweep_one(r) {
+                return Some(env);
+            }
+            if !self.rearm_and_recheck(r) {
+                return None;
+            }
+        }
     }
 
     fn try_recv_batch(&self, place: PlaceId, max: usize, out: &mut Vec<Envelope>) -> usize {
-        let mb = &self.mailboxes[place.index()];
-        let mut q = mb.queue.lock();
-        let n = max.min(q.len());
-        out.extend(q.drain(..n));
-        if q.is_empty() {
-            mb.notified.store(false, Ordering::Release);
+        let r = place.index();
+        let rs = &self.recv[r];
+        if rs.closed.load(Ordering::Acquire) {
+            return 0;
         }
-        n
+        let _guard = spin_lock(&rs.sweep_guard);
+        let mut total = 0;
+        loop {
+            total += self.sweep(r, max - total, out);
+            if total >= max {
+                return total;
+            }
+            // Every lane observed empty: re-arm the debounce; keep draining
+            // if a sender raced the re-arm.
+            if !self.rearm_and_recheck(r) {
+                return total;
+            }
+        }
     }
 
     fn register_waker(&self, place: PlaceId, waker: Waker) {
@@ -399,29 +654,42 @@ impl Transport for LocalTransport {
     }
 
     fn num_places(&self) -> usize {
-        self.mailboxes.len()
+        self.places
     }
 
     fn queue_len(&self, place: PlaceId) -> usize {
-        self.mailboxes[place.index()].queue.lock().len()
+        let r = place.index();
+        if self.recv[r].closed.load(Ordering::Acquire) {
+            return 0;
+        }
+        (0..self.places).map(|s| self.lane(s, r).len()).sum()
     }
 
     fn kill_place(&self, place: PlaceId) {
-        let mb = &self.mailboxes[place.index()];
-        // Order matters: close first, then purge under the queue lock, so a
-        // concurrent send either observed `closed` (and failed) or enqueued
-        // before the purge (and is destroyed with the rest).
-        mb.closed.store(true, Ordering::Release);
-        mb.queue.lock().clear();
+        let r = place.index();
+        // Order matters: close first, then purge under the sweep guard, so
+        // a concurrent send either observed `closed` (and failed) or landed
+        // before the purge (and is destroyed with the rest). A straggler
+        // that slips a message in after the purge is harmless: every
+        // receive path gates on `closed`, so it is never delivered, and it
+        // is freed when the transport drops.
+        self.recv[r].closed.store(true, Ordering::Release);
+        let _guard = spin_lock(&self.recv[r].sweep_guard);
+        let mut sink = Vec::new();
+        for s in 0..self.places {
+            let lane = self.lane(s, r);
+            while self.drain_lane(lane, usize::MAX, &mut sink) > 0 {}
+            sink.clear();
+        }
     }
 
     fn is_dead(&self, place: PlaceId) -> bool {
-        self.mailboxes[place.index()].closed.load(Ordering::Acquire)
+        self.recv[place.index()].closed.load(Ordering::Acquire)
     }
 
     fn dead_places(&self) -> Vec<PlaceId> {
-        (0..self.mailboxes.len())
-            .filter(|&i| self.mailboxes[i].closed.load(Ordering::Acquire))
+        (0..self.places)
+            .filter(|&i| self.recv[i].closed.load(Ordering::Acquire))
             .map(|i| PlaceId(i as u32))
             .collect()
     }
@@ -456,6 +724,33 @@ mod tests {
             let got = t.try_recv(PlaceId(1)).unwrap();
             assert_eq!(*got.payload.downcast::<u64>().unwrap(), i);
         }
+    }
+
+    #[test]
+    fn per_pair_fifo_through_overflow() {
+        // Ring capacity 4: most of the burst lands in the overflow
+        // side-queue, and order must survive the ring → overflow → ring
+        // transitions.
+        let t = LocalTransport::with_ring_capacity(2, 4);
+        for i in 0..100u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        assert!(t.stats().total_ring_overflows() > 0, "overflow must engage");
+        assert_eq!(t.queue_len(PlaceId(1)), 100);
+        for i in 0..100u64 {
+            let got = t.try_recv(PlaceId(1)).unwrap();
+            assert_eq!(*got.payload.downcast::<u64>().unwrap(), i);
+        }
+        assert!(t.try_recv(PlaceId(1)).is_none());
+    }
+
+    #[test]
+    fn no_overflow_within_ring_capacity() {
+        let t = LocalTransport::new(2);
+        for i in 0..DEFAULT_RING_CAPACITY as u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        assert_eq!(t.stats().total_ring_overflows(), 0);
     }
 
     #[test]
@@ -623,5 +918,37 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2000);
+    }
+
+    #[test]
+    fn round_robin_sweep_interleaves_senders() {
+        // Three senders, bulk drain: every sender's run arrives FIFO, and
+        // the receiver sees all of them however the sweep interleaves.
+        let t = LocalTransport::new(4);
+        for i in 0..30u64 {
+            t.send(env((i % 3) as u32, 3, i)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.try_recv_batch(PlaceId(3), usize::MAX, &mut out), 30);
+        let mut per_sender: [Vec<u64>; 3] = Default::default();
+        for e in out {
+            let tag = *e.payload.downcast::<u64>().unwrap();
+            per_sender[(tag % 3) as usize].push(tag);
+        }
+        for (s, tags) in per_sender.iter().enumerate() {
+            let want: Vec<u64> = (0..30).filter(|i| i % 3 == s as u64).collect();
+            assert_eq!(tags, &want, "sender {s} order broken");
+        }
+    }
+
+    #[test]
+    fn queue_len_counts_ring_and_overflow() {
+        let t = LocalTransport::with_ring_capacity(2, 4);
+        for i in 0..10u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        assert_eq!(t.queue_len(PlaceId(1)), 10);
+        assert!(t.try_recv(PlaceId(1)).is_some());
+        assert_eq!(t.queue_len(PlaceId(1)), 9);
     }
 }
