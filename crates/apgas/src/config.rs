@@ -94,6 +94,20 @@ pub struct Config {
     /// the `sim` crate. Requires `workers_per_place == 1`. Off by default;
     /// the threaded path then pays exactly one `Option` check per quantum.
     pub deterministic: bool,
+    /// How protocol messages are packed into envelopes (see `PROTOCOL.md`).
+    /// [`x10rt::CodecMode::Inline`] — the default — ships typed in-process
+    /// boxes (the zero-serialization fast path `LocalTransport` has always
+    /// used); [`x10rt::CodecMode::Bytes`] eagerly serializes every protocol
+    /// message into a [`x10rt::WireMsg`] at the send site — mandatory for
+    /// cross-process transports, available in-process for testing the codec
+    /// path. Both modes charge identical modeled byte counts.
+    pub codec: x10rt::CodecMode,
+    /// The contiguous range of places hosted by *this process* as
+    /// `(start, count)`; `None` — the default — hosts all of them
+    /// (single-process operation). In a multi-process launch over
+    /// [`x10rt::TcpTransport`], each process spawns worker threads only for
+    /// its own range; the others are reached through the transport.
+    pub host_places: Option<(u32, u32)>,
 }
 
 impl Config {
@@ -119,6 +133,8 @@ impl Config {
             send_timeout: x10rt::coalesce::DEFAULT_SEND_TIMEOUT,
             finish_watchdog: None,
             deterministic: false,
+            codec: x10rt::CodecMode::Inline,
+            host_places: None,
         }
     }
 
@@ -229,6 +245,27 @@ impl Config {
         self.deterministic = on;
         self
     }
+
+    /// Select how protocol messages are packed (builder style).
+    pub fn codec(mut self, mode: x10rt::CodecMode) -> Self {
+        self.codec = mode;
+        self
+    }
+
+    /// Host only places `start..start + count` in this process (builder
+    /// style) — multi-process operation over a cross-process transport.
+    /// Implies [`x10rt::CodecMode::Bytes`] would be needed for any traffic
+    /// that leaves the range; this builder does not force it, the transport
+    /// rejects unserializable payloads instead.
+    pub fn host_places(mut self, start: u32, count: u32) -> Self {
+        assert!(count > 0, "a process must host at least one place");
+        assert!(
+            (start as usize + count as usize) <= self.places,
+            "hosted range exceeds the place count"
+        );
+        self.host_places = Some((start, count));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +292,27 @@ mod tests {
         assert_eq!(c.send_timeout, Duration::from_millis(5));
         assert!(c.finish_watchdog.is_none(), "watchdog is opt-in");
         assert!(!c.deterministic, "deterministic stepping is opt-in");
+        assert_eq!(
+            c.codec,
+            x10rt::CodecMode::Inline,
+            "the zero-serialization fast path is the default"
+        );
+        assert!(c.host_places.is_none(), "single-process by default");
+    }
+
+    #[test]
+    fn codec_and_hosting_builders() {
+        let c = Config::new(8)
+            .codec(x10rt::CodecMode::Bytes)
+            .host_places(4, 4);
+        assert_eq!(c.codec, x10rt::CodecMode::Bytes);
+        assert_eq!(c.host_places, Some((4, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hosted range exceeds")]
+    fn host_range_must_fit() {
+        let _ = Config::new(4).host_places(2, 3);
     }
 
     #[test]

@@ -9,12 +9,13 @@ use crate::config::Config;
 use crate::finish::root::RootState;
 use crate::finish::{Attach, FinishId, FinishKind, FinishRef};
 use crate::place_state::Activity;
-use crate::worker::{TaskFn, Worker};
+use crate::worker::{SpawnBody, Worker};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use x10rt::HandlerId;
 use x10rt::{CongruentArray, MsgClass, NetStats, PlaceId, Pod, SegmentTable, Topology};
 
 struct Scope {
@@ -138,13 +139,25 @@ impl<'w> Ctx<'w> {
     /// `async S`: run `f` as a new activity at this place, governed by the
     /// innermost `finish`.
     pub fn spawn(&self, f: impl FnOnce(&Ctx) + Send + 'static) {
-        self.spawn_inner(self.here(), Box::new(f), MsgClass::Task);
+        self.spawn_inner(self.here(), SpawnBody::Closure(Box::new(f)), MsgClass::Task);
     }
 
     /// `at(p) async S`: run `f` as a new activity at place `p`, governed by
     /// the innermost `finish`.
     pub fn at_async(&self, p: PlaceId, f: impl FnOnce(&Ctx) + Send + 'static) {
-        self.spawn_inner(p, Box::new(f), MsgClass::Task);
+        self.spawn_inner(p, SpawnBody::Closure(Box::new(f)), MsgClass::Task);
+    }
+
+    /// Like [`Ctx::at_async`] but the activity body is a *registered
+    /// command* — a handler id (see `Runtime::register_handler`) plus
+    /// serialized argument bytes — instead of a closure. Commands are fully
+    /// serializable, so they are the only spawn form that can cross a
+    /// process boundary over [`x10rt::tcp::TcpTransport`]; they also work
+    /// unchanged in-process under either codec mode. An id with no handler
+    /// registered at the destination panics there, naming the id, and the
+    /// panic surfaces through the governing finish.
+    pub fn at_async_cmd(&self, p: PlaceId, handler: HandlerId, args: Vec<u8>) {
+        self.spawn_inner(p, SpawnBody::Cmd { handler, args }, MsgClass::Task);
     }
 
     /// Like [`Ctx::at_async`] but tagged with a custom traffic class for the
@@ -155,7 +168,7 @@ impl<'w> Ctx<'w> {
         class: MsgClass,
         f: impl FnOnce(&Ctx) + Send + 'static,
     ) {
-        self.spawn_inner(p, Box::new(f), class);
+        self.spawn_inner(p, SpawnBody::Closure(Box::new(f)), class);
     }
 
     /// X10 `@Uncounted async`: an activity invisible to every `finish`.
@@ -176,11 +189,11 @@ impl<'w> Ctx<'w> {
             });
         } else {
             self.worker
-                .send_spawn(p, Attach::Uncounted, Box::new(f), class);
+                .send_spawn(p, Attach::Uncounted, SpawnBody::Closure(Box::new(f)), class);
         }
     }
 
-    fn spawn_inner(&self, target: PlaceId, body: TaskFn, class: MsgClass) {
+    fn spawn_inner(&self, target: PlaceId, body: SpawnBody, class: MsgClass) {
         let here = self.here();
         // Innermost finish opened by this activity wins; otherwise the
         // activity's own governing finish.
@@ -211,14 +224,14 @@ impl<'w> Ctx<'w> {
         root: &Arc<RootState>,
         fin: FinishRef,
         target: PlaceId,
-        body: TaskFn,
+        body: SpawnBody,
         class: MsgClass,
     ) {
         let here = self.here();
         if target == here {
             root.note_local_spawn(here.0);
             self.worker.place.enqueue(Activity {
-                body,
+                body: body.into_task(),
                 attach: Attach::Counted {
                     fin,
                     weight: 0,
@@ -242,7 +255,13 @@ impl<'w> Ctx<'w> {
         }
     }
 
-    fn spawn_split_weight(&self, fin: FinishRef, target: PlaceId, body: TaskFn, class: MsgClass) {
+    fn spawn_split_weight(
+        &self,
+        fin: FinishRef,
+        target: PlaceId,
+        body: SpawnBody,
+        class: MsgClass,
+    ) {
         let child_weight = {
             let mut attach = self.attach.borrow_mut();
             let Attach::Counted { weight, .. } = &mut *attach else {
@@ -264,7 +283,7 @@ impl<'w> Ctx<'w> {
         };
         if target == self.here() {
             self.worker.place.enqueue(Activity {
-                body,
+                body: body.into_task(),
                 attach,
                 cause: self.worker.current_cause(),
                 cause_remote: false,
@@ -274,7 +293,7 @@ impl<'w> Ctx<'w> {
         }
     }
 
-    fn spawn_via_proxy(&self, fin: FinishRef, target: PlaceId, body: TaskFn, class: MsgClass) {
+    fn spawn_via_proxy(&self, fin: FinishRef, target: PlaceId, body: SpawnBody, class: MsgClass) {
         let here = self.here();
         let flush_bound = self.worker.g.cfg.finish_flush_entries;
         if target == here {
@@ -283,7 +302,7 @@ impl<'w> Ctx<'w> {
                 crate::finish::proxy::ProxyEmit::None
             });
             self.worker.place.enqueue(Activity {
-                body,
+                body: body.into_task(),
                 attach: Attach::Counted {
                     fin,
                     weight: 0,

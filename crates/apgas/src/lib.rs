@@ -56,6 +56,7 @@ pub mod rail;
 pub mod runtime;
 pub mod step;
 pub mod team;
+pub mod wire;
 pub(crate) mod worker;
 
 pub use clock::Clock;
@@ -70,7 +71,9 @@ pub use runtime::{FinishResidue, Runtime};
 pub use step::StepGate;
 pub use team::{Team, TeamOp};
 pub use worker::panic_message;
-pub use x10rt::{ClassFaults, FaultEvent, FaultPlan, MsgClass, PlaceId, Topology};
+pub use x10rt::{
+    ClassFaults, CodecMode, FaultEvent, FaultPlan, HandlerId, MsgClass, PlaceId, Topology,
+};
 
 /// Run `body` as the main activity of a fresh runtime with `cfg` and return
 /// its result. Convenience for examples and tests; reuse a [`Runtime`] when

@@ -8,15 +8,22 @@ use crate::place_state::{Activity, PlaceState};
 use crate::step::StepGate;
 use crate::worker::{TaskFn, Worker};
 use obs::Obs;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use x10rt::codec::{self, HandlerId, WireMsg};
 use x10rt::{
-    CongruentAllocator, FaultCounts, FaultTransport, LocalTransport, NetStats, PlaceId,
-    SegmentTable, Topology, Transport,
+    CongruentAllocator, Envelope, FaultCounts, FaultTransport, LocalTransport, MsgClass, NetStats,
+    PlaceId, SegmentTable, Topology, Transport,
 };
+
+/// A registered application command handler: runs with the receiving
+/// activity's [`Ctx`] and the serialized argument bytes the sender passed to
+/// [`Ctx::at_async_cmd`].
+pub type AppHandler = Arc<dyn Fn(&Ctx, &[u8]) + Send + Sync>;
 
 /// Shared state of one runtime instance (places, transport, allocators).
 pub struct Global {
@@ -51,6 +58,10 @@ pub struct Global {
     /// every scheduling quantum (see [`crate::step`]); the threaded path
     /// pays one `Option` check.
     pub step_gate: Option<Arc<StepGate>>,
+    /// Application command handlers, keyed by handler id (ids ≥
+    /// [`HandlerId::FIRST_APP`]; see `PROTOCOL.md` §3). Resolved at command
+    /// *run* time, so registration order relative to spawns is free.
+    pub(crate) handlers: RwLock<HashMap<u32, AppHandler>>,
 }
 
 /// Residual finish-protocol state left at the places, summed runtime-wide —
@@ -185,10 +196,18 @@ impl Runtime {
             uncounted_panics: Mutex::new(Vec::new()),
             obs,
             step_gate,
+            handlers: RwLock::new(HashMap::new()),
             cfg,
         });
+        // Multi-process: spawn worker threads only for the places this
+        // process hosts; remote places are reached through the transport.
+        let (host_start, host_count) = g
+            .cfg
+            .host_places
+            .map(|(s, c)| (s as usize, c as usize))
+            .unwrap_or((0, g.cfg.places));
         let mut handles = Vec::new();
-        for i in 0..g.cfg.places {
+        for i in host_start..host_start + host_count {
             for w in 0..g.cfg.workers_per_place {
                 let g2 = g.clone();
                 let place = g.places[i].clone();
@@ -212,10 +231,79 @@ impl Runtime {
         }
     }
 
+    /// Does this process host `place` (spawn worker threads for it)?
+    /// Always true without [`Config::host_places`].
+    pub fn hosts_place(&self, place: PlaceId) -> bool {
+        match self.g.cfg.host_places {
+            None => (place.0 as usize) < self.g.cfg.places,
+            Some((s, c)) => place.0 >= s && place.0 < s + c,
+        }
+    }
+
+    /// Register an application command handler under `id` (ids must be ≥
+    /// [`HandlerId::FIRST_APP`]; lower ids are reserved for the runtime —
+    /// see `PROTOCOL.md` §3). [`Ctx::at_async_cmd`] spawns run the handler
+    /// at the destination with the sender's argument bytes. Registering an
+    /// id twice replaces the handler. In a multi-process launch every
+    /// process must register its own handlers (ids name behavior, and
+    /// behavior cannot cross the wire).
+    pub fn register_handler(&self, id: HandlerId, f: impl Fn(&Ctx, &[u8]) + Send + Sync + 'static) {
+        assert!(
+            id.is_app(),
+            "handler id #{} is in the runtime-reserved range (app ids start at {})",
+            id.0,
+            HandlerId::FIRST_APP.0
+        );
+        self.g.handlers.write().insert(id.0, Arc::new(f));
+    }
+
+    /// Serve remote work until the launch shuts down: block this thread (the
+    /// workers keep running) until the shutdown flag is set — either by a
+    /// remote process's [`Runtime::broadcast_shutdown`] arriving as an
+    /// `H_SHUTDOWN` message, or locally. The non-zero ranks of a
+    /// multi-process launch call this instead of [`Runtime::run`].
+    pub fn serve(&self) {
+        while !self.g.shutdown.load(Ordering::Acquire) {
+            std::thread::park_timeout(std::time::Duration::from_millis(10));
+        }
+    }
+
+    /// Tell every other place the launch is over: send an `H_SHUTDOWN`
+    /// system message to each non-local place (remote processes release
+    /// their [`Runtime::serve`] callers), then set the local shutdown flag.
+    /// Rank 0 of a multi-process launch calls this after its main activity
+    /// returns; single-process runtimes never need it (drop shuts down).
+    pub fn broadcast_shutdown(&self) {
+        let here = self
+            .g
+            .cfg
+            .host_places
+            .map(|(s, _)| PlaceId(s))
+            .unwrap_or(PlaceId(0));
+        for p in self.g.topo.iter() {
+            if self.hosts_place(p) {
+                continue;
+            }
+            let _ = self.g.transport.send(Envelope::new(
+                here,
+                p,
+                MsgClass::System,
+                1,
+                Box::new(WireMsg::new(codec::H_SHUTDOWN, Vec::new())),
+            ));
+        }
+        self.request_shutdown();
+    }
+
     /// Run `f` as the main activity at place 0 (under an implicit root
     /// `finish`, as in X10) and return its result. Panics from `f` or from
     /// any activity it transitively governs propagate to the caller.
     pub fn run<R: Send + 'static>(&self, f: impl FnOnce(&Ctx) -> R + Send + 'static) -> R {
+        assert!(
+            self.hosts_place(PlaceId(0)),
+            "run() enqueues at place 0, which this process does not host — \
+             non-zero ranks call serve()"
+        );
         let (tx, rx) = crossbeam_channel::bounded(1);
         let body: TaskFn = Box::new(move |ctx: &Ctx| {
             let result = catch_unwind(AssertUnwindSafe(|| ctx.finish(|c| f(c))));

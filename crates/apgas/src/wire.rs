@@ -1,0 +1,763 @@
+//! Serialized encodings of the APGAS protocol messages (`PROTOCOL.md` §4).
+//!
+//! Under [`x10rt::CodecMode::Bytes`] every protocol send packs its message
+//! into a [`x10rt::WireMsg`] — a runtime handler id plus argument bytes —
+//! using the encoders here; the receiving worker decodes through the same
+//! module. Under the default `Inline` mode these functions are simply not
+//! called (typed boxes ship directly), so the fast path pays nothing.
+//!
+//! Every encoding is little-endian and self-contained: no lengths or types
+//! are inferred from context, so truncated or corrupt bytes surface as typed
+//! [`DecodeError`]s, never panics. Round-trip coverage lives in the unit
+//! tests below and in the property tests (`crates/apgas/tests`).
+#![warn(missing_docs)]
+
+use crate::clock::ClockMsg;
+use crate::finish::{Attach, Deltas, FinishId, FinishKind, FinishMsg, FinishRef};
+use crate::team::TeamWire;
+use std::any::Any;
+use x10rt::codec::{put_str, put_u32, put_u64, Cursor, DecodeError, HandlerId};
+use x10rt::PlaceId;
+
+// ---------------------------------------------------------------------------
+// FinishRef / Attach
+// ---------------------------------------------------------------------------
+
+fn kind_tag(k: FinishKind) -> u8 {
+    match k {
+        FinishKind::Default => 0,
+        FinishKind::Local => 1,
+        FinishKind::Async => 2,
+        FinishKind::Here => 3,
+        FinishKind::Spmd => 4,
+        FinishKind::Dense => 5,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<FinishKind, DecodeError> {
+    Ok(match tag {
+        0 => FinishKind::Default,
+        1 => FinishKind::Local,
+        2 => FinishKind::Async,
+        3 => FinishKind::Here,
+        4 => FinishKind::Spmd,
+        5 => FinishKind::Dense,
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "finish kind",
+                tag: t,
+            })
+        }
+    })
+}
+
+/// Append a [`FinishRef`] (13 bytes: home, seq, kind).
+pub fn put_finish_ref(out: &mut Vec<u8>, fin: &FinishRef) {
+    put_u32(out, fin.id.home.0);
+    put_u64(out, fin.id.seq);
+    out.push(kind_tag(fin.kind));
+}
+
+/// Read a [`FinishRef`].
+pub fn read_finish_ref(cur: &mut Cursor<'_>) -> Result<FinishRef, DecodeError> {
+    let home = PlaceId(cur.u32()?);
+    let seq = cur.u64()?;
+    let kind = kind_from(cur.u8()?)?;
+    Ok(FinishRef {
+        id: FinishId { home, seq },
+        kind,
+    })
+}
+
+/// Append an [`Attach`] (tag byte, then the counted fields if any).
+pub fn put_attach(out: &mut Vec<u8>, a: &Attach) {
+    match a {
+        Attach::Uncounted => out.push(0),
+        Attach::Counted {
+            fin,
+            weight,
+            remote,
+        } => {
+            out.push(1);
+            put_finish_ref(out, fin);
+            put_u64(out, *weight);
+            out.push(u8::from(*remote));
+        }
+    }
+}
+
+/// Read an [`Attach`].
+pub fn read_attach(cur: &mut Cursor<'_>) -> Result<Attach, DecodeError> {
+    match cur.u8()? {
+        0 => Ok(Attach::Uncounted),
+        1 => {
+            let fin = read_finish_ref(cur)?;
+            let weight = cur.u64()?;
+            let remote = cur.u8()? != 0;
+            Ok(Attach::Counted {
+                fin,
+                weight,
+                remote,
+            })
+        }
+        t => Err(DecodeError::BadTag {
+            what: "attach",
+            tag: t,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deltas / FinishMsg  (handler H_FINISH)
+// ---------------------------------------------------------------------------
+
+fn put_deltas(out: &mut Vec<u8>, d: &Deltas) {
+    put_u32(out, d.spawned.len() as u32);
+    for &(s, dst, n) in &d.spawned {
+        put_u32(out, s);
+        put_u32(out, dst);
+        put_u64(out, n);
+    }
+    put_u32(out, d.recv.len() as u32);
+    for &(s, dst, n) in &d.recv {
+        put_u32(out, s);
+        put_u32(out, dst);
+        put_u64(out, n);
+    }
+    put_u32(out, d.live.len() as u32);
+    for &(p, v) in &d.live {
+        put_u32(out, p);
+        x10rt::codec::put_i64(out, v);
+    }
+    put_strings(out, &d.panics);
+}
+
+fn read_deltas(cur: &mut Cursor<'_>) -> Result<Deltas, DecodeError> {
+    let mut d = Deltas::default();
+    for _ in 0..cur.u32()? {
+        d.spawned.push((cur.u32()?, cur.u32()?, cur.u64()?));
+    }
+    for _ in 0..cur.u32()? {
+        d.recv.push((cur.u32()?, cur.u32()?, cur.u64()?));
+    }
+    for _ in 0..cur.u32()? {
+        d.live.push((cur.u32()?, cur.i64()?));
+    }
+    d.panics = read_strings(cur)?;
+    Ok(d)
+}
+
+fn put_strings(out: &mut Vec<u8>, v: &[String]) {
+    put_u32(out, v.len() as u32);
+    for s in v {
+        put_str(out, s);
+    }
+}
+
+fn read_strings(cur: &mut Cursor<'_>) -> Result<Vec<String>, DecodeError> {
+    let n = cur.u32()?;
+    let mut v = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        v.push(cur.string()?);
+    }
+    Ok(v)
+}
+
+/// Encode a [`FinishMsg`] into `H_FINISH` argument bytes.
+pub fn encode_finish_msg(msg: &FinishMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        FinishMsg::Flush { fin, deltas } => {
+            out.push(0);
+            put_finish_ref(&mut out, fin);
+            put_deltas(&mut out, deltas);
+        }
+        FinishMsg::DenseHop { fin, deltas } => {
+            out.push(1);
+            put_finish_ref(&mut out, fin);
+            put_deltas(&mut out, deltas);
+        }
+        FinishMsg::Done {
+            fin,
+            completions,
+            panics,
+        } => {
+            out.push(2);
+            put_finish_ref(&mut out, fin);
+            put_u64(&mut out, *completions);
+            put_strings(&mut out, panics);
+        }
+        FinishMsg::CreditReturn { fin, weight, panic } => {
+            out.push(3);
+            put_finish_ref(&mut out, fin);
+            put_u64(&mut out, *weight);
+            match panic {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    put_str(&mut out, p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decode `H_FINISH` argument bytes back into a [`FinishMsg`].
+pub fn decode_finish_msg(args: &[u8]) -> Result<FinishMsg, DecodeError> {
+    let mut cur = Cursor::new(args);
+    let msg = match cur.u8()? {
+        0 => FinishMsg::Flush {
+            fin: read_finish_ref(&mut cur)?,
+            deltas: read_deltas(&mut cur)?,
+        },
+        1 => FinishMsg::DenseHop {
+            fin: read_finish_ref(&mut cur)?,
+            deltas: read_deltas(&mut cur)?,
+        },
+        2 => FinishMsg::Done {
+            fin: read_finish_ref(&mut cur)?,
+            completions: cur.u64()?,
+            panics: read_strings(&mut cur)?,
+        },
+        3 => {
+            let fin = read_finish_ref(&mut cur)?;
+            let weight = cur.u64()?;
+            let panic = match cur.u8()? {
+                0 => None,
+                1 => Some(cur.string()?),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "credit-return panic option",
+                        tag: t,
+                    })
+                }
+            };
+            FinishMsg::CreditReturn { fin, weight, panic }
+        }
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "finish msg",
+                tag: t,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// ClockMsg  (handler H_CLOCK)
+// ---------------------------------------------------------------------------
+
+/// Encode a [`ClockMsg`] into `H_CLOCK` argument bytes.
+pub fn encode_clock_msg(msg: &ClockMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    match msg {
+        ClockMsg::Arrive { id } => {
+            out.push(0);
+            put_u64(&mut out, *id);
+        }
+        ClockMsg::Drop { id, place } => {
+            out.push(1);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *place);
+        }
+        ClockMsg::Resume { id, phase } => {
+            out.push(2);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *phase);
+        }
+    }
+    out
+}
+
+/// Decode `H_CLOCK` argument bytes back into a [`ClockMsg`].
+pub fn decode_clock_msg(args: &[u8]) -> Result<ClockMsg, DecodeError> {
+    let mut cur = Cursor::new(args);
+    let msg = match cur.u8()? {
+        0 => ClockMsg::Arrive { id: cur.u64()? },
+        1 => ClockMsg::Drop {
+            id: cur.u64()?,
+            place: cur.u32()?,
+        },
+        2 => ClockMsg::Resume {
+            id: cur.u64()?,
+            phase: cur.u64()?,
+        },
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "clock msg",
+                tag: t,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// TeamWire  (handler H_TEAM)
+// ---------------------------------------------------------------------------
+
+/// Outcome of encoding a team fragment's data: either fully serialized, or
+/// an opaque `Any` that must ride the envelope as an inline part (the
+/// self-loop stash carries it; cross-process transports reject it).
+pub enum TeamData {
+    /// The data serialized into the argument bytes.
+    Encoded,
+    /// The data could not be serialized; ship it inline.
+    Opaque(Box<dyn Any + Send>),
+}
+
+/// Encode a [`TeamWire`] header plus its data (when the data is one of the
+/// wire-supported types) into `H_TEAM` argument bytes. Returns the bytes and
+/// what happened to the data.
+pub fn encode_team_wire(msg: TeamWire) -> (Vec<u8>, TeamData) {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, msg.team);
+    put_u64(&mut out, msg.seq);
+    put_u32(&mut out, msg.round);
+    put_u32(&mut out, msg.src_rank);
+    let data = msg.data;
+    // Tag table: see PROTOCOL.md §4.3. Checked in declaration order; the
+    // first match wins.
+    if data.downcast_ref::<()>().is_some() {
+        out.push(0);
+        return (out, TeamData::Encoded);
+    }
+    match encode_team_data(&mut out, data) {
+        Ok(()) => (out, TeamData::Encoded),
+        Err(d) => {
+            out.push(255);
+            (out, TeamData::Opaque(d))
+        }
+    }
+}
+
+/// Append the tag byte and encoding of one wire-supported team payload, or
+/// hand the box back unencoded.
+fn encode_team_data(
+    out: &mut Vec<u8>,
+    data: Box<dyn Any + Send>,
+) -> Result<(), Box<dyn Any + Send>> {
+    let d = match data.downcast::<u64>() {
+        Ok(v) => {
+            out.push(1);
+            put_u64(out, *v);
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    let d = match d.downcast::<f64>() {
+        Ok(v) => {
+            out.push(2);
+            x10rt::codec::put_f64(out, *v);
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    let d = match d.downcast::<i64>() {
+        Ok(v) => {
+            out.push(3);
+            x10rt::codec::put_i64(out, *v);
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    let d = match d.downcast::<u32>() {
+        Ok(v) => {
+            out.push(4);
+            put_u32(out, *v);
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    let d = match d.downcast::<Vec<u64>>() {
+        Ok(v) => {
+            out.push(5);
+            put_u32(out, v.len() as u32);
+            for x in v.iter() {
+                put_u64(out, *x);
+            }
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    let d = match d.downcast::<Vec<f64>>() {
+        Ok(v) => {
+            out.push(6);
+            put_u32(out, v.len() as u32);
+            for x in v.iter() {
+                x10rt::codec::put_f64(out, *x);
+            }
+            return Ok(());
+        }
+        Err(d) => d,
+    };
+    match d.downcast::<Vec<u8>>() {
+        Ok(v) => {
+            out.push(7);
+            x10rt::codec::put_bytes(out, &v);
+            Ok(())
+        }
+        Err(d) => Err(d),
+    }
+}
+
+/// Decode `H_TEAM` argument bytes (plus a possible inline part for the
+/// opaque tag) back into a [`TeamWire`].
+pub fn decode_team_wire(
+    args: &[u8],
+    inline: Option<Box<dyn Any + Send>>,
+) -> Result<TeamWire, DecodeError> {
+    let mut cur = Cursor::new(args);
+    let team = cur.u64()?;
+    let seq = cur.u64()?;
+    let round = cur.u32()?;
+    let src_rank = cur.u32()?;
+    let data: Box<dyn Any + Send> = match cur.u8()? {
+        0 => Box::new(()),
+        1 => Box::new(cur.u64()?),
+        2 => Box::new(cur.f64()?),
+        3 => Box::new(cur.i64()?),
+        4 => Box::new(cur.u32()?),
+        5 => {
+            let n = cur.u32()? as usize;
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(cur.u64()?);
+            }
+            Box::new(v)
+        }
+        6 => {
+            let n = cur.u32()? as usize;
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(cur.f64()?);
+            }
+            Box::new(v)
+        }
+        7 => Box::new(cur.bytes()?.to_vec()),
+        255 => inline.ok_or(DecodeError::BadTag {
+            what: "opaque team data without inline part",
+            tag: 255,
+        })?,
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "team data",
+                tag: t,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(TeamWire {
+        team,
+        seq,
+        round,
+        src_rank,
+        data,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Spawn  (handler H_SPAWN)
+// ---------------------------------------------------------------------------
+
+/// Body tag inside `H_SPAWN` args: the activity body is an in-process
+/// closure riding the envelope's inline part.
+pub const SPAWN_BODY_CLOSURE: u8 = 0;
+/// Body tag inside `H_SPAWN` args: the activity body is a registered
+/// command — a handler id plus argument bytes, fully serializable.
+pub const SPAWN_BODY_CMD: u8 = 1;
+
+/// Encode `H_SPAWN` args for a closure-bodied spawn (the closure itself
+/// rides [`x10rt::WireMsg::inline`]).
+pub fn encode_spawn_closure(attach: &Attach) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_attach(&mut out, attach);
+    out.push(SPAWN_BODY_CLOSURE);
+    out
+}
+
+/// Encode `H_SPAWN` args for a command-bodied spawn.
+pub fn encode_spawn_cmd(attach: &Attach, handler: HandlerId, args: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + args.len());
+    put_attach(&mut out, attach);
+    out.push(SPAWN_BODY_CMD);
+    put_u32(&mut out, handler.0);
+    x10rt::codec::put_bytes(&mut out, args);
+    out
+}
+
+/// The decoded body description of an `H_SPAWN` message.
+pub enum SpawnWireBody {
+    /// Closure body: take it from the envelope's inline part.
+    Closure,
+    /// Command body: look up `handler` in the registry and pass `args`.
+    Cmd {
+        /// The registered handler to run.
+        handler: HandlerId,
+        /// Its argument bytes.
+        args: Vec<u8>,
+    },
+}
+
+/// Decode `H_SPAWN` argument bytes.
+pub fn decode_spawn(args: &[u8]) -> Result<(Attach, SpawnWireBody), DecodeError> {
+    let mut cur = Cursor::new(args);
+    let attach = read_attach(&mut cur)?;
+    let body = match cur.u8()? {
+        SPAWN_BODY_CLOSURE => SpawnWireBody::Closure,
+        SPAWN_BODY_CMD => {
+            let handler = HandlerId(cur.u32()?);
+            let args = cur.bytes()?.to_vec();
+            SpawnWireBody::Cmd { handler, args }
+        }
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "spawn body",
+                tag: t,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok((attach, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fin(home: u32, seq: u64, kind: FinishKind) -> FinishRef {
+        FinishRef {
+            id: FinishId {
+                home: PlaceId(home),
+                seq,
+            },
+            kind,
+        }
+    }
+
+    #[test]
+    fn finish_ref_round_trips_all_kinds() {
+        for kind in [
+            FinishKind::Default,
+            FinishKind::Local,
+            FinishKind::Async,
+            FinishKind::Here,
+            FinishKind::Spmd,
+            FinishKind::Dense,
+        ] {
+            let f = fin(7, 42, kind);
+            let mut buf = Vec::new();
+            put_finish_ref(&mut buf, &f);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(read_finish_ref(&mut cur).unwrap(), f);
+            cur.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn attach_round_trips() {
+        for a in [
+            Attach::Uncounted,
+            Attach::Counted {
+                fin: fin(3, 9, FinishKind::Here),
+                weight: 1 << 62,
+                remote: true,
+            },
+        ] {
+            let mut buf = Vec::new();
+            put_attach(&mut buf, &a);
+            let mut cur = Cursor::new(&buf);
+            let got = read_attach(&mut cur).unwrap();
+            match (&a, &got) {
+                (Attach::Uncounted, Attach::Uncounted) => {}
+                (
+                    Attach::Counted {
+                        fin: f1,
+                        weight: w1,
+                        remote: r1,
+                    },
+                    Attach::Counted {
+                        fin: f2,
+                        weight: w2,
+                        remote: r2,
+                    },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert_eq!(w1, w2);
+                    assert_eq!(r1, r2);
+                }
+                _ => panic!("attach variant changed in round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn finish_msgs_round_trip() {
+        let deltas = Deltas {
+            spawned: vec![(0, 1, 5), (2, 3, 1)],
+            recv: vec![(0, 1, 4)],
+            live: vec![(1, -2), (3, 7)],
+            panics: vec!["boom at place 3".into()],
+        };
+        let msgs = [
+            FinishMsg::Flush {
+                fin: fin(0, 1, FinishKind::Default),
+                deltas,
+            },
+            FinishMsg::DenseHop {
+                fin: fin(0, 2, FinishKind::Dense),
+                deltas: Deltas::default(),
+            },
+            FinishMsg::Done {
+                fin: fin(1, 3, FinishKind::Spmd),
+                completions: 17,
+                panics: vec!["a".into(), "b".into()],
+            },
+            FinishMsg::CreditReturn {
+                fin: fin(2, 4, FinishKind::Here),
+                weight: 1 << 61,
+                panic: Some("ouch".into()),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_finish_msg(&msg);
+            let back = decode_finish_msg(&bytes).unwrap();
+            // Compare via re-encoding (Deltas has no PartialEq).
+            assert_eq!(bytes, encode_finish_msg(&back));
+        }
+    }
+
+    #[test]
+    fn finish_msg_truncation_is_typed() {
+        let bytes = encode_finish_msg(&FinishMsg::Done {
+            fin: fin(1, 3, FinishKind::Spmd),
+            completions: 17,
+            panics: vec!["a".into()],
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_finish_msg(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_msgs_round_trip() {
+        let msgs = [
+            ClockMsg::Arrive { id: 8 },
+            ClockMsg::Drop { id: 9, place: 3 },
+            ClockMsg::Resume { id: 10, phase: 55 },
+        ];
+        for msg in msgs {
+            let bytes = encode_clock_msg(&msg);
+            let back = decode_clock_msg(&bytes).unwrap();
+            assert_eq!(bytes, encode_clock_msg(&back));
+        }
+    }
+
+    #[test]
+    fn team_wire_round_trips_supported_types() {
+        fn round_trip(data: Box<dyn Any + Send>) -> TeamWire {
+            let msg = TeamWire {
+                team: 5,
+                seq: 6,
+                round: 2,
+                src_rank: 1,
+                data,
+            };
+            let (args, td) = encode_team_wire(msg);
+            assert!(matches!(td, TeamData::Encoded));
+            decode_team_wire(&args, None).unwrap()
+        }
+        assert!(round_trip(Box::new(())).data.downcast::<()>().is_ok());
+        assert_eq!(
+            *round_trip(Box::new(42u64)).data.downcast::<u64>().unwrap(),
+            42
+        );
+        assert_eq!(
+            *round_trip(Box::new(2.5f64)).data.downcast::<f64>().unwrap(),
+            2.5
+        );
+        assert_eq!(
+            *round_trip(Box::new(vec![1u64, 2, 3]))
+                .data
+                .downcast::<Vec<u64>>()
+                .unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            *round_trip(Box::new(vec![0.5f64, -1.0]))
+                .data
+                .downcast::<Vec<f64>>()
+                .unwrap(),
+            vec![0.5, -1.0]
+        );
+        assert_eq!(
+            *round_trip(Box::new(vec![9u8, 8]))
+                .data
+                .downcast::<Vec<u8>>()
+                .unwrap(),
+            vec![9, 8]
+        );
+    }
+
+    #[test]
+    fn team_wire_unsupported_type_goes_opaque() {
+        let msg = TeamWire {
+            team: 1,
+            seq: 2,
+            round: 0,
+            src_rank: 0,
+            data: Box::new("a str slice is not a wire type"),
+        };
+        let (args, td) = encode_team_wire(msg);
+        let TeamData::Opaque(d) = td else {
+            panic!("expected opaque");
+        };
+        let back = decode_team_wire(&args, Some(d)).unwrap();
+        assert_eq!(back.team, 1);
+        assert!(back.data.downcast::<&str>().is_ok());
+        // Without the inline part, the opaque tag is a typed error.
+        assert!(decode_team_wire(&args, None).is_err());
+    }
+
+    #[test]
+    fn spawn_encodings_round_trip() {
+        let attach = Attach::Counted {
+            fin: fin(0, 7, FinishKind::Default),
+            weight: 0,
+            remote: true,
+        };
+        let closure = encode_spawn_closure(&attach);
+        match decode_spawn(&closure).unwrap() {
+            (Attach::Counted { fin: f, .. }, SpawnWireBody::Closure) => {
+                assert_eq!(f.id.seq, 7)
+            }
+            _ => panic!("closure spawn decoded wrong"),
+        }
+        let cmd = encode_spawn_cmd(&Attach::Uncounted, HandlerId(2048), &[1, 2, 3]);
+        match decode_spawn(&cmd).unwrap() {
+            (Attach::Uncounted, SpawnWireBody::Cmd { handler, args }) => {
+                assert_eq!(handler, HandlerId(2048));
+                assert_eq!(args, vec![1, 2, 3]);
+            }
+            _ => panic!("cmd spawn decoded wrong"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_typed_never_panics() {
+        let garbage: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        for len in 0..garbage.len() {
+            let _ = decode_finish_msg(&garbage[..len]);
+            let _ = decode_clock_msg(&garbage[..len]);
+            let _ = decode_team_wire(&garbage[..len], None);
+            let _ = decode_spawn(&garbage[..len]);
+        }
+    }
+}

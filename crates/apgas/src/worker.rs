@@ -22,6 +22,7 @@ use crate::finish::{Attach, FinishKind, FinishMsg, FinishRef};
 use crate::place_state::{Activity, PlaceState};
 use crate::runtime::Global;
 use crate::team::TeamWire;
+use crate::wire;
 use crossbeam_deque::Steal;
 use obs::causal::{CausalBuf, CausalId};
 use obs::metrics::{Counter, Histogram};
@@ -30,7 +31,8 @@ use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use x10rt::{Coalescer, Envelope, MsgClass, PlaceId};
+use x10rt::codec::{self, HandlerId, WireMsg};
+use x10rt::{Coalescer, CodecMode, Envelope, MsgClass, PlaceId};
 
 /// The closure type of an activity body.
 pub type TaskFn = Box<dyn FnOnce(&Ctx) + Send + 'static>;
@@ -41,6 +43,61 @@ pub struct SpawnMsg {
     pub attach: Attach,
     /// The body.
     pub body: TaskFn,
+}
+
+/// A closure body riding a [`WireMsg`]'s inline part under
+/// [`CodecMode::Bytes`] (the header and attach travel as bytes; the body
+/// cannot serialize and stays an in-process pointer — or, over the TCP
+/// self-loop, a stash key).
+pub(crate) struct ClosureCell(pub TaskFn);
+
+/// What a spawn ships as the activity body: an in-process closure, or a
+/// registered command (handler id + serialized argument bytes — the fully
+/// serializable form every cross-process spawn needs).
+pub enum SpawnBody {
+    /// A closure (shipped by pointer; never crosses a process boundary).
+    Closure(TaskFn),
+    /// A registered command: run the handler with the argument bytes.
+    Cmd {
+        /// Handler registered via `Runtime::register_handler`.
+        handler: HandlerId,
+        /// Serialized arguments, passed to the handler verbatim.
+        args: Vec<u8>,
+    },
+}
+
+impl SpawnBody {
+    /// Turn the body into a runnable [`TaskFn`]. Commands resolve their
+    /// handler at *run* time so registration order does not matter; an
+    /// unregistered id panics inside the activity, surfacing through the
+    /// governing finish as a typed message naming the id.
+    pub(crate) fn into_task(self) -> TaskFn {
+        match self {
+            SpawnBody::Closure(f) => f,
+            SpawnBody::Cmd { handler, args } => Box::new(move |ctx: &Ctx| {
+                let h = ctx.worker().g.handlers.read().get(&handler.0).cloned();
+                match h {
+                    Some(h) => h(ctx, &args),
+                    None => panic!(
+                        "unknown handler id #{}: no command registered under it at {} \
+                         (register it with Runtime::register_handler before spawning)",
+                        handler.0,
+                        ctx.here()
+                    ),
+                }
+            }),
+        }
+    }
+
+    /// Modeled body size: what this spawn charges to the wire (plus the
+    /// envelope header). Matches the pre-codec accounting for closures so
+    /// byte ledgers are identical across codec modes.
+    fn modeled_bytes(&self) -> usize {
+        match self {
+            SpawnBody::Closure(f) => std::mem::size_of_val(&**f) + std::mem::size_of::<Attach>(),
+            SpawnBody::Cmd { args, .. } => 4 + args.len() + std::mem::size_of::<Attach>(),
+        }
+    }
 }
 
 /// A worker thread of one place.
@@ -549,6 +606,17 @@ impl Worker {
             payload,
             ..
         } = env;
+        // Serialized path first: a WireMsg payload dispatches through the
+        // handler table regardless of the configured codec mode (the check
+        // is one TypeId comparison), so mixed-mode traffic — e.g. commands
+        // arriving at an Inline-mode runtime — always works.
+        let payload = match payload.downcast::<WireMsg>() {
+            Ok(w) => {
+                self.handle_wire(from, class, causal, *w);
+                return;
+            }
+            Err(p) => p,
+        };
         match class {
             MsgClass::Task | MsgClass::Steal | MsgClass::Rdma => {
                 let msg = payload
@@ -590,6 +658,78 @@ impl Worker {
             MsgClass::System => { /* shutdown travels via the flag */ }
             MsgClass::Batch => {
                 debug_assert!(false, "nested batch envelope — coalescer bug");
+            }
+        }
+    }
+
+    /// Dispatch a serialized [`WireMsg`] (see `PROTOCOL.md`). Decode
+    /// failures here mean a peer violated the protocol; they panic with the
+    /// typed decode error rather than limping on with garbage.
+    fn handle_wire(&self, from: PlaceId, class: MsgClass, causal: Option<CausalId>, w: WireMsg) {
+        let WireMsg {
+            handler,
+            args,
+            inline,
+        } = w;
+        match handler {
+            codec::H_SPAWN => {
+                let (attach, body) = wire::decode_spawn(&args)
+                    .unwrap_or_else(|e| panic!("malformed H_SPAWN from {from}: {e}"));
+                let body = match body {
+                    wire::SpawnWireBody::Closure => {
+                        let cell = inline
+                            .expect("closure-bodied spawn lost its inline part")
+                            .downcast::<ClosureCell>()
+                            .expect("spawn inline part must be a ClosureCell");
+                        cell.0
+                    }
+                    wire::SpawnWireBody::Cmd { handler, args } => {
+                        SpawnBody::Cmd { handler, args }.into_task()
+                    }
+                };
+                if let Some(h) = &self.hooks {
+                    h.spawn_recv.inc(self.here.0);
+                    h.trace.instant("spawn", "recv", from.0 as u64);
+                }
+                self.register_receipt(&attach, from.0);
+                self.place.enqueue(Activity {
+                    body,
+                    attach,
+                    cause: causal,
+                    cause_remote: true,
+                });
+            }
+            codec::H_FINISH => {
+                let msg = wire::decode_finish_msg(&args)
+                    .unwrap_or_else(|e| panic!("malformed H_FINISH from {from}: {e}"));
+                self.with_inline_cause(causal, || self.handle_finish_msg(msg));
+            }
+            codec::H_TEAM => {
+                let msg = wire::decode_team_wire(&args, inline)
+                    .unwrap_or_else(|e| panic!("malformed H_TEAM from {from}: {e}"));
+                self.with_inline_cause(causal, || self.place.team.lock().deliver(msg));
+            }
+            codec::H_CLOCK => {
+                let msg = wire::decode_clock_msg(&args)
+                    .unwrap_or_else(|e| panic!("malformed H_CLOCK from {from}: {e}"));
+                self.with_inline_cause(causal, || crate::clock::handle_msg(self, msg));
+            }
+            codec::H_SHUTDOWN => {
+                // A remote process is tearing the launch down; release this
+                // process's workers and its `Runtime::serve` caller.
+                self.g.shutdown.store(true, Ordering::Release);
+                for p in &self.g.places {
+                    p.wake();
+                }
+            }
+            h => {
+                debug_assert!(class != MsgClass::Batch, "batch reached handle_wire");
+                panic!(
+                    "unknown handler id #{} in a {}-class message from {from} — \
+                     app commands must ride inside H_SPAWN",
+                    h.0,
+                    class.label()
+                );
             }
         }
     }
@@ -747,14 +887,17 @@ impl Worker {
             | FinishMsg::Done { fin, .. }
             | FinishMsg::CreditReturn { fin, .. } => CausalId::pack_root(fin.id.home.0, fin.id.seq),
         };
+        // Both codec modes charge the same modeled `body_bytes`, so ledgers
+        // and cost oracles are mode-independent; `Bytes` just swaps the
+        // typed box for its serialized form.
+        let payload: x10rt::Payload = match self.g.cfg.codec {
+            CodecMode::Inline => Box::new(msg),
+            CodecMode::Bytes => {
+                Box::new(WireMsg::new(codec::H_FINISH, wire::encode_finish_msg(&msg)))
+            }
+        };
         self.send_env_rooted(
-            Envelope::new(
-                self.here,
-                to,
-                MsgClass::FinishCtl,
-                body_bytes,
-                Box::new(msg),
-            ),
+            Envelope::new(self.here, to, MsgClass::FinishCtl, body_bytes, payload),
             Some(root),
         );
     }
@@ -831,7 +974,7 @@ impl Worker {
     // ------------------------------------------------------------------
 
     /// Ship an activity to `dst` (accounting already done by the caller).
-    pub fn send_spawn(&self, dst: PlaceId, attach: Attach, body: TaskFn, class: MsgClass) {
+    pub fn send_spawn(&self, dst: PlaceId, attach: Attach, body: SpawnBody, class: MsgClass) {
         if let Some(h) = &self.hooks {
             h.spawn_sent.inc(self.here.0);
             h.trace.instant("spawn", "send", dst.0 as u64);
@@ -842,15 +985,24 @@ impl Worker {
             Attach::Counted { fin, .. } => Some(CausalId::pack_root(fin.id.home.0, fin.id.seq)),
             Attach::Uncounted => None,
         };
-        let body_bytes = std::mem::size_of_val(&*body) + std::mem::size_of::<Attach>();
+        let body_bytes = body.modeled_bytes();
+        let payload: x10rt::Payload = match (self.g.cfg.codec, body) {
+            // Commands always serialize — they are serializable by
+            // construction, and an Inline-mode receiver dispatches WireMsg
+            // payloads anyway.
+            (_, SpawnBody::Cmd { handler, args }) => Box::new(WireMsg::new(
+                codec::H_SPAWN,
+                wire::encode_spawn_cmd(&attach, handler, &args),
+            )),
+            (CodecMode::Inline, SpawnBody::Closure(body)) => Box::new(SpawnMsg { attach, body }),
+            (CodecMode::Bytes, SpawnBody::Closure(body)) => Box::new(WireMsg::with_inline(
+                codec::H_SPAWN,
+                wire::encode_spawn_closure(&attach),
+                Box::new(ClosureCell(body)),
+            )),
+        };
         self.send_env_rooted(
-            Envelope::new(
-                self.here,
-                dst,
-                class,
-                body_bytes,
-                Box::new(SpawnMsg { attach, body }),
-            ),
+            Envelope::new(self.here, dst, class, body_bytes, payload),
             root,
         );
     }

@@ -1,0 +1,151 @@
+//! End-to-end coverage of `CodecMode::Bytes`: the same APGAS programs that
+//! run over typed inline payloads must run identically when every protocol
+//! message is serialized at the send site (`PROTOCOL.md`), and over the TCP
+//! self-loop transport, where the serialized bytes cross a real socket.
+
+use apgas::{CodecMode, Config, HandlerId, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use x10rt::TcpTransport;
+
+fn cfg_bytes(places: usize) -> Config {
+    Config::new(places).codec(CodecMode::Bytes)
+}
+
+/// A workload touching every protocol class: nested finishes (FinishCtl),
+/// remote spawns (Task), `at` round trips (FINISH_HERE credits), and a
+/// reduction via remote evaluation.
+fn mixed_workload(rt: &Runtime) -> u64 {
+    rt.run(|ctx| {
+        let total = Arc::new(AtomicU64::new(0));
+        let t2 = total.clone();
+        ctx.finish(|c| {
+            for p in c.places() {
+                let t = t2.clone();
+                c.at_async(p, move |rc| {
+                    let mine = rc.here().0 as u64 + 1;
+                    t.fetch_add(mine, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut remote_sum = 0u64;
+        for p in ctx.places() {
+            remote_sum += ctx.at(p, move |rc| rc.here().0 as u64 * 10);
+        }
+        total.load(Ordering::Relaxed) + remote_sum
+    })
+}
+
+#[test]
+fn bytes_mode_matches_inline_results() {
+    let places = 4;
+    let expected = mixed_workload(&Runtime::new(Config::new(places)));
+    let got = mixed_workload(&Runtime::new(cfg_bytes(places)));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn bytes_mode_over_tcp_self_loop() {
+    let places = 4;
+    let expected = mixed_workload(&Runtime::new(Config::new(places)));
+    let transport = TcpTransport::self_loop(places).expect("self-loop transport");
+    let rt = Runtime::with_transport(cfg_bytes(places), transport);
+    assert_eq!(mixed_workload(&rt), expected);
+}
+
+#[test]
+fn bytes_mode_charges_identical_modeled_bytes() {
+    // The byte ledgers are part of the model (Power 775 traffic accounting);
+    // serializing must not change what a workload charges.
+    fn run_and_total(cfg: Config) -> (u64, u64) {
+        let rt = Runtime::new(cfg);
+        rt.run(|ctx| {
+            ctx.finish(|c| {
+                for p in c.places() {
+                    c.at_async(p, |_| {});
+                }
+            });
+        });
+        let s = rt.net_stats();
+        (s.total_messages(), s.total_bytes())
+    }
+    let (inline_msgs, inline_bytes) = run_and_total(Config::new(4));
+    let (bytes_msgs, bytes_bytes) = run_and_total(cfg_bytes(4));
+    assert_eq!(inline_msgs, bytes_msgs, "message counts must not change");
+    assert_eq!(inline_bytes, bytes_bytes, "modeled bytes must not change");
+}
+
+#[test]
+fn teams_and_clocks_work_serialized() {
+    let rt = Runtime::new(cfg_bytes(4));
+    let sum = rt.run(|ctx| {
+        let group: Vec<_> = ctx.places().collect();
+        let team = apgas::Team::new(ctx, group);
+        let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        ctx.finish(|c| {
+            for p in c.places() {
+                let team = team.clone();
+                let r = r2.clone();
+                c.at_async(p, move |rc| {
+                    let v = team.allreduce(rc, rc.here().0 as u64 + 1, |a, b| a + b);
+                    r.lock().push(v);
+                });
+            }
+        });
+        let results = results.lock();
+        assert!(results.iter().all(|&v| v == results[0]));
+        results[0]
+    });
+    assert_eq!(sum, 1 + 2 + 3 + 4);
+}
+
+#[test]
+fn at_async_cmd_runs_registered_handler_in_both_modes() {
+    for mode in [CodecMode::Inline, CodecMode::Bytes] {
+        let rt = Runtime::new(Config::new(3).codec(mode));
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        rt.register_handler(HandlerId(2000), move |ctx, args| {
+            let mut cur = x10rt::codec::Cursor::new(args);
+            let v = cur.u64().expect("u64 arg");
+            h2.fetch_add(v * (ctx.here().0 as u64 + 1), Ordering::Relaxed);
+        });
+        rt.run(|ctx| {
+            ctx.finish(|c| {
+                for p in c.places() {
+                    let mut args = Vec::new();
+                    x10rt::codec::put_u64(&mut args, 10);
+                    c.at_async_cmd(p, HandlerId(2000), args);
+                }
+            });
+        });
+        // 10*(1) + 10*(2) + 10*(3)
+        assert_eq!(hits.load(Ordering::Relaxed), 60, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn unknown_handler_id_panics_naming_the_id() {
+    let rt = Runtime::new(Config::new(2));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run(|ctx| {
+            ctx.finish(|c| {
+                c.at_async_cmd(apgas::PlaceId(1), HandlerId(4321), vec![]);
+            });
+        });
+    }))
+    .expect_err("unregistered handler must fail the finish");
+    let msg = apgas::panic_message(err);
+    assert!(
+        msg.contains("unknown handler id #4321"),
+        "panic must name the id: {msg}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "runtime-reserved range")]
+fn runtime_range_handler_ids_rejected() {
+    let rt = Runtime::new(Config::new(1));
+    rt.register_handler(HandlerId(5), |_, _| {});
+}

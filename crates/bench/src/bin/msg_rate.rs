@@ -17,9 +17,15 @@
 //!   place 1, measuring per-hop latency on an otherwise idle runtime.
 //!
 //! Usage: `cargo run --release -p bench --bin msg_rate [--quick]
-//!   [--aggregation on|off|both] [--out PATH]`
+//!   [--aggregation on|off|both] [--transport local|tcp] [--out PATH]`
+//!
+//! With `--transport tcp` every run serializes its envelopes per
+//! PROTOCOL.md and carries them over a loopback socket
+//! ([`x10rt::TcpTransport`] in self-loop mode, `CodecMode::Bytes`); the
+//! default `local` keeps the in-process mailbox rings. TCP numbers go to a
+//! separate output file (pass `--out`), never the gated golden.
 
-use apgas::{Config, Ctx, PlaceGroup, PlaceLocalHandle, Runtime};
+use apgas::{CodecMode, Config, Ctx, PlaceGroup, PlaceLocalHandle, Runtime};
 use bench::ablation_cli::flag_value;
 use kernels::util::timed;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +53,12 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mode = flag_value(&args, "--aggregation").unwrap_or("both");
     let out = flag_value(&args, "--out").unwrap_or("BENCH_msg_rate.json");
+    let transport = flag_value(&args, "--transport").unwrap_or("local");
+    let tcp = match transport {
+        "local" => false,
+        "tcp" => true,
+        other => panic!("--transport must be local|tcp, got {other}"),
+    };
     let run_on = mode == "both" || mode == "on";
     let run_off = mode == "both" || mode == "off";
     assert!(
@@ -61,15 +73,15 @@ fn main() {
     let mut rows = Vec::new();
     for &places in &[8usize, 32] {
         rows.extend(paired(reps, run_on, run_off, |agg| {
-            bench_storm(places, agg, storm_per_place)
+            bench_storm(places, agg, storm_per_place, tcp)
         }));
     }
     rows.extend(paired(reps, run_on, run_off, |agg| {
-        bench_pingpong(agg, pingpong_trips)
+        bench_pingpong(agg, pingpong_trips, tcp)
     }));
 
     print_table(&rows);
-    let json = to_json(&rows, quick, storm_per_place, pingpong_trips);
+    let json = to_json(&rows, quick, storm_per_place, pingpong_trips, transport);
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("\nwrote {out}");
 }
@@ -101,14 +113,31 @@ fn paired(reps: usize, run_on: bool, run_off: bool, f: impl Fn(bool) -> Row) -> 
     best.into_iter().flatten().collect()
 }
 
-fn config(places: usize, aggregation: bool) -> Config {
-    Config::new(places).batch_disable(!aggregation)
+fn config(places: usize, aggregation: bool, tcp: bool) -> Config {
+    Config::new(places)
+        .batch_disable(!aggregation)
+        .codec(if tcp {
+            CodecMode::Bytes
+        } else {
+            CodecMode::Inline
+        })
+}
+
+/// Build the benchmark runtime on the selected back-end.
+fn runtime(places: usize, aggregation: bool, tcp: bool) -> Runtime {
+    let cfg = config(places, aggregation, tcp);
+    if tcp {
+        let t = x10rt::TcpTransport::self_loop(places).expect("tcp self-loop transport");
+        Runtime::with_transport(cfg, t)
+    } else {
+        Runtime::new(cfg)
+    }
 }
 
 /// All-to-all storm: place `p` sends `per_place` XOR updates, destination
 /// round-robin over the other `places - 1` places, all under one finish.
-fn bench_storm(places: usize, aggregation: bool, per_place: usize) -> Row {
-    let rt = Runtime::new(config(places, aggregation));
+fn bench_storm(places: usize, aggregation: bool, per_place: usize, tcp: bool) -> Row {
+    let rt = runtime(places, aggregation, tcp);
     let row = rt.run(move |ctx| {
         let sink = PlaceLocalHandle::init(ctx, &PlaceGroup::world(ctx), |_| AtomicU64::new(0));
         ctx.net_stats().reset();
@@ -145,8 +174,8 @@ fn storm(ctx: &Ctx, sink: PlaceLocalHandle<AtomicU64>, per_place: usize) {
 }
 
 /// Two places, `trips` blocking round trips from place 0 to place 1.
-fn bench_pingpong(aggregation: bool, trips: usize) -> Row {
-    let rt = Runtime::new(config(2, aggregation));
+fn bench_pingpong(aggregation: bool, trips: usize, tcp: bool) -> Row {
+    let rt = runtime(2, aggregation, tcp);
     let row = rt.run(move |ctx| {
         // One warm-up trip pays the lazy-init costs outside the timer.
         ctx.at(apgas::PlaceId(1), |_| ());
@@ -203,10 +232,17 @@ fn print_table(rows: &[Row]) {
     }
 }
 
-fn to_json(rows: &[Row], quick: bool, storm_per_place: usize, pingpong_trips: usize) -> String {
+fn to_json(
+    rows: &[Row],
+    quick: bool,
+    storm_per_place: usize,
+    pingpong_trips: usize,
+    transport: &str,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"small-message throughput ceiling\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"transport\": \"{transport}\",\n"));
     s.push_str(&format!(
         "  \"workloads\": {{\"storm_per_place\": {storm_per_place}, \
          \"pingpong_trips\": {pingpong_trips}}},\n"

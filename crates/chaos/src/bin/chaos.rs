@@ -32,6 +32,7 @@ struct Args {
     seeds: Vec<u64>,
     places: usize,
     arena_off: bool,
+    tcp: bool,
     timeout: Duration,
     repro_out: Option<String>,
     trace_dir: Option<PathBuf>,
@@ -43,7 +44,8 @@ fn usage(err: &str) -> ! {
         "usage: chaos [--matrix] [--workload uts|ra-msgs|all] \
          [--fault drop|delay|dup|trunc|place-kill|all] \
          [--seed N | --seeds A,B,C] [--places N] [--arena on|off] \
-         [--timeout-secs N] [--repro-out PATH] [--trace-dir PATH]"
+         [--transport local|tcp] [--timeout-secs N] [--repro-out PATH] \
+         [--trace-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,7 @@ fn parse_args() -> Args {
     let mut seeds: Option<Vec<u64>> = None;
     let mut places = 8usize;
     let mut arena_off = false;
+    let mut tcp = false;
     let mut timeout = Duration::from_secs(120);
     let mut repro_out = None;
     let mut trace_dir = None;
@@ -118,6 +121,13 @@ fn parse_args() -> Args {
                     _ => usage("--arena takes on|off"),
                 };
             }
+            "--transport" => {
+                tcp = match value(&mut i, "--transport").as_str() {
+                    "local" => false,
+                    "tcp" => true,
+                    _ => usage("--transport takes local|tcp"),
+                };
+            }
             "--timeout-secs" => {
                 timeout = Duration::from_secs(
                     value(&mut i, "--timeout-secs")
@@ -144,6 +154,7 @@ fn parse_args() -> Args {
         seeds: seeds.unwrap_or_else(|| vec![1, 2, 3]),
         places,
         arena_off,
+        tcp,
         timeout,
         repro_out,
         trace_dir,
@@ -173,6 +184,7 @@ fn main() {
                     seed,
                     places: args.places,
                     arena_off: args.arena_off,
+                    tcp: args.tcp,
                 };
                 let report = run_cell_traced(spec, want, args.timeout, args.trace_dir.as_deref());
                 ran += 1;

@@ -174,6 +174,13 @@ pub struct CellSpec {
     /// matrix runs each transport cell with recycling on and off to prove
     /// box reuse never changes an outcome under faults.
     pub arena_off: bool,
+    /// Run over [`x10rt::TcpTransport`] in self-loop mode with
+    /// `CodecMode::Bytes`, so every envelope is serialized per PROTOCOL.md
+    /// and crosses a real loopback socket before delivery. Faults still
+    /// inject at the modeled layer (the fault decorator wraps the TCP
+    /// transport), so the same seeds hit the same envelopes on both
+    /// back-ends.
+    pub tcp: bool,
 }
 
 impl CellSpec {
@@ -188,6 +195,9 @@ impl CellSpec {
         );
         if self.arena_off {
             line.push_str(" --arena off");
+        }
+        if self.tcp {
+            line.push_str(" --transport tcp");
         }
         line
     }
@@ -271,6 +281,27 @@ fn faulted_config(spec: &CellSpec, traced: bool) -> Config {
         // Exact class targeting for lossy kinds (see module docs).
         .batch_disable(matches!(spec.fault, FaultKind::Drop | FaultKind::Trunc))
         .arena_disable(spec.arena_off)
+        // TCP cells serialize every protocol message (closures cannot cross
+        // a socket); local cells keep the inline fast path.
+        .codec(if spec.tcp {
+            apgas::CodecMode::Bytes
+        } else {
+            apgas::CodecMode::Inline
+        })
+}
+
+/// Build the runtime for one faulted cell on the back-end the spec selects.
+/// The fault decorator always wraps the *outermost* transport, so drops and
+/// duplicates hit the same modeled envelopes whether or not the bytes then
+/// cross a socket.
+fn cell_runtime(spec: &CellSpec, traced: bool) -> Runtime {
+    let cfg = faulted_config(spec, traced);
+    if spec.tcp {
+        let t = x10rt::TcpTransport::self_loop(spec.places).expect("tcp self-loop transport");
+        Runtime::with_transport(cfg, t)
+    } else {
+        Runtime::new(cfg)
+    }
 }
 
 /// GLB knobs for chaos runs: small chunks (frequent probes ⇒ frequent
@@ -330,7 +361,7 @@ pub fn run_cell_traced(
     std::thread::Builder::new()
         .name(format!("chaos-{}-{}", spec.fault.label(), spec.seed))
         .spawn(move || {
-            let rt = Runtime::new(faulted_config(&spec, traced));
+            let rt = cell_runtime(&spec, traced);
             if let Some(o) = rt.obs() {
                 let _ = obs_tx.send(o.clone());
             }

@@ -17,6 +17,7 @@ fn cell(workload: Workload, fault: FaultKind, seed: u64) -> CellSpec {
         seed,
         places: PLACES,
         arena_off: false,
+        tcp: false,
     }
 }
 
@@ -93,6 +94,45 @@ fn ra_msgs_delay_arena_off_is_identical() {
         "repro: {}",
         spec.repro_line()
     );
+}
+
+/// The degradation contract holds with every envelope serialized and
+/// carried over a real loopback socket (`--transport tcp`): a lossless
+/// fault must still reproduce the baseline bit-for-bit.
+#[test]
+fn uts_delay_over_tcp_is_identical() {
+    install_quiet_panic_hook();
+    let spec = CellSpec {
+        tcp: true,
+        ..cell(Workload::Uts, FaultKind::Delay, 1)
+    };
+    assert!(spec.repro_line().ends_with("--transport tcp"));
+    let want = baseline(Workload::Uts, PLACES);
+    let report = run_cell_with_baseline(spec, want, TIMEOUT);
+    assert_eq!(
+        report.result,
+        Ok(CellOutcome::Identical),
+        "repro: {}",
+        spec.repro_line()
+    );
+}
+
+/// Lossy faults over TCP: drops happen at the modeled layer *before* the
+/// socket, so the cell must end identical or with a typed error, exactly as
+/// on the local back-end.
+#[test]
+fn ra_msgs_drop_over_tcp_identical_or_typed() {
+    install_quiet_panic_hook();
+    let spec = CellSpec {
+        tcp: true,
+        ..cell(Workload::RaMsgs, FaultKind::Drop, 2)
+    };
+    let want = baseline(Workload::RaMsgs, PLACES);
+    let report = run_cell_with_baseline(spec, want, TIMEOUT);
+    match report.result {
+        Ok(CellOutcome::Identical) | Ok(CellOutcome::TypedError(_)) => {}
+        Err(f) => panic!("cell failed ({f:?}); repro: {}", spec.repro_line()),
+    }
 }
 
 /// A failing traced cell writes its post-mortem artifacts: chrome trace

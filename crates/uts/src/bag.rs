@@ -77,6 +77,16 @@ impl UtsBag {
         &self.work
     }
 
+    /// Queue an interval received from elsewhere — the deserialization
+    /// entry point for cross-process work transfer, where intervals arrive
+    /// as command bytes (see the `uts_tcp` harness) rather than as a stolen
+    /// bag.
+    pub fn push_interval(&mut self, iv: Interval) {
+        if !iv.is_empty() {
+            self.work.push(iv);
+        }
+    }
+
     /// Count `state` as visited and queue its children.
     fn visit(&mut self, state: State, depth: u32) {
         self.stats.nodes += 1;

@@ -1,0 +1,249 @@
+//! Two-process UTS over TCP loopback: the cross-process acceptance harness
+//! for the command codec and [`x10rt::TcpTransport`] (PROTOCOL.md).
+//!
+//! Rank 1 hosts place 1: it binds an ephemeral loopback port, prints
+//! `LISTEN <addr>` for the launcher, accepts rank 0's connection and serves
+//! until the shutdown command arrives. Rank 0 hosts place 0: it dials rank
+//! 1, builds the UTS root bag, keeps half the sibling intervals and ships
+//! the other half — as *serialized bytes*, not closures — to place 1 with
+//! [`apgas::Ctx::at_async_cmd`]. Place 1 traverses its intervals and sends
+//! the node count back the same way. Every message in between (the spawn
+//! commands, their finish-protocol credits, the results) crosses a real
+//! socket in `CodecMode::Bytes`, so the total node count checks the whole
+//! wire stack against the sequential oracle.
+//!
+//! Work is split *statically* here: GLB's dynamic steal handshake carries
+//! closures, which the codec deliberately refuses to ship across processes
+//! (`EncodeError::NotSerializable`) — serialized interval commands are the
+//! cross-process work representation.
+//!
+//! Usage:
+//!
+//! ```text
+//! uts_tcp --rank 1 [--depth N]                  # prints LISTEN addr, serves
+//! uts_tcp --rank 0 --peer ADDR [--depth N]      # dials, runs, prints NODES
+//! uts_tcp --rank 0 --peer ADDR --force-version 99   # handshake-reject probe
+//! ```
+//!
+//! Rank 0 prints `NODES <n>` and exits 0 only when `<n>` equals the
+//! sequential traversal of the same tree; any transport or protocol error
+//! exits non-zero. The integration test additionally checks `<n>` against a
+//! `LocalTransport` run.
+
+use apgas::{CodecMode, Config, PlaceId, Runtime};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uts::{GeoTree, Interval, UtsBag};
+use x10rt::codec::{put_u32, put_u64, Cursor};
+use x10rt::{HandlerId, ProcSpec, TcpConfig, TcpTransport};
+
+/// Traverse the intervals in the args at the receiving place, then command
+/// the node count back to place 0.
+const H_TRAVERSE: HandlerId = HandlerId(2001);
+/// Deliver a remote node count to place 0's accumulator.
+const H_RESULT: HandlerId = HandlerId(2002);
+
+/// One serialized [`Interval`]: 20-byte parent SHA-1 state, then depth, lo,
+/// hi as little-endian u32 — 32 bytes.
+fn put_interval(out: &mut Vec<u8>, iv: &Interval) {
+    out.extend_from_slice(&iv.parent);
+    put_u32(out, iv.depth);
+    put_u32(out, iv.lo);
+    put_u32(out, iv.hi);
+}
+
+fn read_interval(cur: &mut Cursor) -> Result<Interval, x10rt::DecodeError> {
+    let parent: [u8; 20] = cur.take(20)?.try_into().expect("take(20) is 20 bytes");
+    Ok(Interval {
+        parent,
+        depth: cur.u32()?,
+        lo: cur.u32()?,
+        hi: cur.u32()?,
+    })
+}
+
+fn encode_intervals(depth: u32, ivs: &[Interval]) -> Vec<u8> {
+    let mut args = Vec::with_capacity(8 + 32 * ivs.len());
+    put_u32(&mut args, depth);
+    put_u32(&mut args, ivs.len() as u32);
+    for iv in ivs {
+        put_interval(&mut args, iv);
+    }
+    args
+}
+
+/// Rebuild a work bag from serialized intervals and run it dry.
+fn traverse_intervals(args: &[u8]) -> u64 {
+    let mut cur = Cursor::new(args);
+    let depth = cur.u32().expect("tree depth");
+    let n = cur.u32().expect("interval count");
+    let tree = GeoTree::paper(depth);
+    let mut bag = UtsBag::empty(tree);
+    for _ in 0..n {
+        let iv = read_interval(&mut cur).expect("interval");
+        bag.push_interval(iv);
+    }
+    cur.finish().expect("trailing bytes after intervals");
+    while glb::TaskBag::process(&mut bag, 4096) > 0 {}
+    glb::TaskBag::take_result(&mut bag).nodes
+}
+
+fn register_handlers(rt: &Runtime, remote_nodes: Arc<AtomicU64>) {
+    rt.register_handler(H_TRAVERSE, |ctx, args| {
+        let nodes = traverse_intervals(args);
+        let mut reply = Vec::with_capacity(8);
+        put_u64(&mut reply, nodes);
+        ctx.at_async_cmd(PlaceId(0), H_RESULT, reply);
+    });
+    rt.register_handler(H_RESULT, move |_ctx, args| {
+        let mut cur = Cursor::new(args);
+        let nodes = cur.u64().expect("node count");
+        remote_nodes.fetch_add(nodes, Ordering::Relaxed);
+    });
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("uts_tcp: {err}");
+    eprintln!("usage: uts_tcp --rank 0|1 [--peer ADDR] [--depth N] [--force-version V]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut rank: Option<usize> = None;
+    let mut peer: Option<String> = None;
+    let mut depth = 10u32;
+    let mut version: Option<u16> = None;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rank" => {
+                rank = Some(
+                    value(&mut i, "--rank")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--rank takes 0 or 1")),
+                )
+            }
+            "--peer" => peer = Some(value(&mut i, "--peer")),
+            "--depth" => {
+                depth = value(&mut i, "--depth")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--depth takes an integer"))
+            }
+            "--force-version" => {
+                version = Some(
+                    value(&mut i, "--force-version")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--force-version takes a u16")),
+                )
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let rank = rank.unwrap_or_else(|| usage("--rank is required"));
+
+    match rank {
+        0 => rank0(
+            peer.unwrap_or_else(|| usage("--rank 0 needs --peer ADDR")),
+            depth,
+            version,
+        ),
+        1 => rank1(depth, version),
+        _ => usage("--rank takes 0 or 1"),
+    }
+}
+
+/// Place-range table shared by both ranks: one place per process.
+fn proc_specs(rank0_addr: String, rank1_addr: String) -> Vec<ProcSpec> {
+    vec![
+        ProcSpec {
+            addr: rank0_addr,
+            place_start: 0,
+            place_count: 1,
+        },
+        ProcSpec {
+            addr: rank1_addr,
+            place_start: 1,
+            place_count: 1,
+        },
+    ]
+}
+
+fn config(rank: u32) -> Config {
+    Config::new(2).codec(CodecMode::Bytes).host_places(rank, 1)
+}
+
+fn rank1(_depth: u32, version: Option<u16>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    // The launcher scrapes this line to learn where to point rank 0.
+    println!("LISTEN {addr}");
+    // Rank 1 never dials rank 0, so rank 0's advertised address is unused.
+    let mut cfg = TcpConfig::new(proc_specs("127.0.0.1:0".into(), addr.to_string()), 1);
+    if let Some(v) = version {
+        cfg = cfg.version(v);
+    }
+    let transport = match TcpTransport::connect_with_listener(cfg, listener) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("uts_tcp rank 1: handshake failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rt = Runtime::with_transport(config(1), transport);
+    register_handlers(&rt, Arc::new(AtomicU64::new(0)));
+    rt.serve(); // returns when rank 0 broadcasts shutdown
+}
+
+fn rank0(peer: String, depth: u32, version: Option<u16>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let mut cfg = TcpConfig::new(proc_specs(addr.to_string(), peer), 0);
+    if let Some(v) = version {
+        cfg = cfg.version(v);
+    }
+    let transport = match TcpTransport::connect_with_listener(cfg, listener) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("uts_tcp rank 0: handshake failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rt = Runtime::with_transport(config(0), transport);
+    let remote_nodes = Arc::new(AtomicU64::new(0));
+    register_handlers(&rt, remote_nodes.clone());
+
+    let tree = GeoTree::paper(depth);
+    let local_nodes = rt.run(move |ctx| {
+        // Expand a little depth-first so the split has several intervals to
+        // take fragments of, then ship the loot to place 1 as bytes.
+        let mut bag = UtsBag::root(tree);
+        glb::TaskBag::process(&mut bag, 64);
+        let loot: Vec<Interval> = match glb::TaskBag::split(&mut bag) {
+            Some(loot) => loot.intervals().to_vec(),
+            None => Vec::new(),
+        };
+        ctx.finish(|c| {
+            c.at_async_cmd(PlaceId(1), H_TRAVERSE, encode_intervals(tree.depth, &loot));
+        });
+        while glb::TaskBag::process(&mut bag, 4096) > 0 {}
+        glb::TaskBag::take_result(&mut bag).nodes
+    });
+    rt.broadcast_shutdown();
+
+    let total = local_nodes + remote_nodes.load(Ordering::Relaxed);
+    let want = uts::traverse(&tree).nodes;
+    println!("NODES {total}");
+    if total != want {
+        eprintln!("uts_tcp: node count {total} != sequential oracle {want}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-process acceptance: UTS across two real OS processes over TCP
+//! loopback must count exactly the nodes a `LocalTransport` run counts, and
+//! a protocol-version mismatch must be rejected at the handshake with a
+//! typed error on both sides (PROTOCOL.md §handshake).
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const DEPTH: u32 = 10;
+
+/// Spawn rank 1 and scrape the `LISTEN <addr>` line it prints once bound.
+fn spawn_rank1(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_uts_tcp"))
+        .args(["--rank", "1", "--depth", &DEPTH.to_string()])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rank 1");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("rank 1 stdout"))
+        .read_line(&mut line)
+        .expect("read LISTEN line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("rank 1 printed {line:?}, expected LISTEN <addr>"))
+        .to_string();
+    (child, addr)
+}
+
+/// Kill a straggler so a failed assertion doesn't leave an orphan serving.
+fn reap(mut child: Child) -> (bool, String) {
+    for _ in 0..200 {
+        if let Ok(Some(status)) = child.try_wait() {
+            let mut err = String::new();
+            if let Some(mut e) = child.stderr.take() {
+                let _ = e.read_to_string(&mut err);
+            }
+            return (status.success(), err);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    (false, "rank 1 did not exit within 10s".into())
+}
+
+#[test]
+fn two_process_uts_matches_local_transport() {
+    let (rank1, addr) = spawn_rank1(&[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_uts_tcp"))
+        .args([
+            "--rank",
+            "0",
+            "--peer",
+            &addr,
+            "--depth",
+            &DEPTH.to_string(),
+        ])
+        .output()
+        .expect("run rank 0");
+    let (rank1_ok, rank1_err) = reap(rank1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "rank 0 failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(rank1_ok, "rank 1 failed: {rank1_err}");
+    let tcp_nodes: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("NODES "))
+        .expect("rank 0 prints NODES <n>")
+        .trim()
+        .parse()
+        .expect("NODES value");
+
+    // The same tree over LocalTransport, dynamically balanced, in-process.
+    let tree = uts::GeoTree::paper(DEPTH);
+    let rt = apgas::Runtime::new(apgas::Config::new(2));
+    let local = rt.run(move |ctx| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
+    assert_eq!(
+        tcp_nodes, local.stats.nodes,
+        "TCP two-process node count must match LocalTransport"
+    );
+}
+
+#[test]
+fn version_mismatch_is_rejected_at_the_handshake() {
+    let (rank1, addr) = spawn_rank1(&[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_uts_tcp"))
+        .args(["--rank", "0", "--peer", &addr])
+        .args(["--force-version", "99"])
+        .output()
+        .expect("run rank 0");
+    let (rank1_ok, rank1_err) = reap(rank1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "rank 0 must exit non-zero on version mismatch"
+    );
+    assert!(
+        stderr.contains("version mismatch"),
+        "rank 0 stderr must name the mismatch: {stderr}"
+    );
+    // The accepting side rejects with the same typed error and exits too —
+    // no orphan process keeps serving a half-open transport.
+    assert!(!rank1_ok, "rank 1 must also fail");
+    assert!(
+        rank1_err.contains("version mismatch"),
+        "rank 1 stderr must name the mismatch: {rank1_err}"
+    );
+}

@@ -24,10 +24,15 @@
 //!   traffic reorders freely across pairs, the exact guarantee/weakness mix
 //!   of the real network.
 //! * **duplicate** — a phantom copy travels the wire alongside the original.
-//!   Payloads are in-process closures and cannot be cloned, so the copy is a
-//!   marker envelope: it is charged to the wire ledgers like real duplicate
-//!   traffic and then filtered at the receive edge, modeling receiver-side
-//!   dedup (protocols above never see it, but pay for its transit).
+//!   With the `CodecMode::Bytes` codec the payload is serialized bytes and a
+//!   true byte-for-byte clone *could* be delivered, but the protocols above
+//!   do not carry per-message sequence numbers, so delivering one would be
+//!   indistinguishable from real traffic and would double finish counts.
+//!   The decorator therefore models **receiver-side dedup** uniformly: the
+//!   copy is a marker envelope, charged to the wire ledgers (and, under the
+//!   TCP back-end, physically framed and shipped — handler `H_MARKER` in
+//!   `PROTOCOL.md`) like real duplicate traffic, then filtered at the
+//!   receive edge before any protocol sees it.
 //! * **truncate** — the envelope's payload is destroyed in flight; the
 //!   mangled envelope still transits (and is charged) but is discarded at
 //!   the receive edge, like a frame that fails its checksum.
@@ -254,8 +259,11 @@ struct FaultHooks {
 
 /// Payload of an injected marker envelope. Marker envelopes transit the
 /// inner transport (so the wire ledgers charge them) and are filtered out at
-/// [`FaultTransport::try_recv`] before any protocol sees them.
-enum FaultMarker {
+/// [`FaultTransport::try_recv`] before any protocol sees them. `pub(crate)`
+/// so the TCP back-end can serialize markers across its socket (handler id
+/// `H_MARKER` in `PROTOCOL.md`) — receive-edge filtering stays observable
+/// when the inner transport is a real wire.
+pub(crate) enum FaultMarker {
     /// A phantom duplicate (receiver-side dedup removes it).
     Duplicate,
     /// A payload destroyed in flight (checksum failure discards the frame).

@@ -32,12 +32,18 @@
 //!   Memory Allocator");
 //! * [`place`] — place identifiers and the host topology (the paper runs 32
 //!   places per Power 775 octant; `FINISH_DENSE` routes control messages via
-//!   per-host master places).
+//!   per-host master places);
+//! * [`codec`] — the serialized wire format (`PROTOCOL.md`): fixed
+//!   little-endian message headers, handler-id registry conventions, batch
+//!   frames and the connection handshake;
+//! * [`tcp`] — [`tcp::TcpTransport`], the sockets back-end: places in
+//!   separate OS processes over per-peer framed TCP streams.
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod coalesce;
+pub mod codec;
 pub mod congruent;
 pub mod fault;
 pub mod message;
@@ -46,10 +52,12 @@ pub mod rdma;
 pub mod ring;
 pub mod segment;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use arena::{ArenaCounts, EnvelopeArena, DEFAULT_ARENA_RETAIN};
 pub use coalesce::{Coalescer, FlushCounts, FlushReason};
+pub use codec::{CodecMode, DecodeError, EncodeError, HandlerId, WireMsg, PROTO_VERSION};
 pub use congruent::{CongruentAllocator, CongruentArray, Pod};
 pub use fault::{ClassFaults, FaultCounts, FaultEvent, FaultPlan, FaultTransport};
 pub use message::{BatchPayload, Envelope, MsgClass, Payload, HEADER_BYTES};
@@ -58,4 +66,5 @@ pub use rdma::RemoteAddr;
 pub use ring::{SpscRing, DEFAULT_RING_CAPACITY};
 pub use segment::{SegId, Segment, SegmentTable};
 pub use stats::NetStats;
+pub use tcp::{ProcSpec, TcpConfig, TcpError, TcpTransport};
 pub use transport::{LocalTransport, SendError, Transport, TransportError};

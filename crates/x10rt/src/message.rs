@@ -2,10 +2,14 @@
 //!
 //! Payloads are opaque to the transport layer (the upper APGAS layer
 //! downcasts them); the envelope carries the routing information and a
-//! *modeled wire size*. Because places live in one address space we ship
-//! closures instead of serialized bytes, but every send still charges a byte
-//! count (captured-state size + a fixed header) so that the network counters
-//! and the Power 775 model see realistic traffic volumes.
+//! *modeled wire size*. A payload is either a typed in-process box (the
+//! historical `CodecMode::Inline` fast path — closures and structs shipped
+//! by pointer) or a serialized [`crate::codec::WireMsg`] (handler id +
+//! argument bytes, the `CodecMode::Bytes` form every cross-process transport
+//! requires; see `PROTOCOL.md`). Either way, every send charges a modeled
+//! byte count (captured-state size + a fixed header) so that the network
+//! counters and the Power 775 model see realistic traffic volumes even when
+//! no bytes are physically produced.
 
 use crate::place::PlaceId;
 use std::any::Any;
@@ -70,6 +74,13 @@ impl MsgClass {
             MsgClass::System => 6,
             MsgClass::Batch => 7,
         }
+    }
+
+    /// Inverse of [`MsgClass::index`]: decode a wire class byte (`None` for
+    /// bytes outside the table — decoders turn that into a typed error).
+    #[inline]
+    pub fn from_index(b: u8) -> Option<MsgClass> {
+        MsgClass::ALL.get(b as usize).copied()
     }
 
     /// Human-readable label (for harness output).

@@ -1,0 +1,129 @@
+//! Pins `PROTOCOL.md` to the codec constants: every number the document
+//! states — header sizes, magics, flags, handler ids, class indices, the
+//! protocol version — is asserted against the code, so the spec cannot
+//! silently drift from the implementation.
+
+use x10rt::codec::{
+    self, HandlerId, FLAG_CAUSAL, FLAG_STASH, FRAME_FLAG_BATCH, FRAME_HEADER_BYTES, FRAME_MAGIC,
+    HANDSHAKE_BYTES, HANDSHAKE_MAGIC, MSG_HEADER_BYTES, PROTO_VERSION,
+};
+use x10rt::MsgClass;
+
+const DOC: &str = include_str!("../../../PROTOCOL.md");
+
+fn doc_has(needle: &str) {
+    assert!(
+        DOC.contains(needle),
+        "PROTOCOL.md must state {needle:?} (the code says so); update the doc or bump it together with the code"
+    );
+}
+
+#[test]
+fn protocol_version_is_stated() {
+    doc_has(&format!("Current protocol version: **{PROTO_VERSION}**"));
+}
+
+#[test]
+fn header_sizes_match_the_doc() {
+    doc_has(&format!("{MSG_HEADER_BYTES} bytes (`MSG_HEADER_BYTES`)"));
+    doc_has(&format!("{FRAME_HEADER_BYTES} total (FRAME_HEADER_BYTES)"));
+    doc_has(&format!("{HANDSHAKE_BYTES} bytes (`HANDSHAKE_BYTES`)"));
+    doc_has(&format!("{FRAME_HEADER_BYTES}-byte header"));
+    // The message header is pinned to the modeled header size elsewhere
+    // (msg_header_matches_modeled_header_size); restate the linkage here.
+    assert_eq!(MSG_HEADER_BYTES, 32);
+    assert_eq!(FRAME_HEADER_BYTES, 20);
+    assert_eq!(HANDSHAKE_BYTES, 24);
+}
+
+#[test]
+fn magics_match_the_doc() {
+    for (magic, name) in [
+        (FRAME_MAGIC, "FRAME_MAGIC"),
+        (HANDSHAKE_MAGIC, "HANDSHAKE_MAGIC"),
+        (codec::ERROR_MAGIC, "ERROR_MAGIC"),
+    ] {
+        let ascii = std::str::from_utf8(&magic).expect("magics are ascii");
+        doc_has(&format!("\"{ascii}\""));
+        doc_has(name);
+    }
+}
+
+#[test]
+fn flags_match_the_doc() {
+    doc_has(&format!("bit 0 (0x{FLAG_CAUSAL:02x}) FLAG_CAUSAL"));
+    doc_has(&format!("bit 1 (0x{FLAG_STASH:02x}) FLAG_STASH"));
+    doc_has(&format!(
+        "bit 0 (0x{FRAME_FLAG_BATCH:04x}) FRAME_FLAG_BATCH"
+    ));
+    assert_eq!(FLAG_CAUSAL, 1 << 0);
+    assert_eq!(FLAG_STASH, 1 << 1);
+    assert_eq!(FRAME_FLAG_BATCH, 1 << 0);
+}
+
+#[test]
+fn class_indices_match_the_doc() {
+    // The doc's § 2 class table: "Task=0, FinishCtl=1, ..." — every class
+    // at its dense index.
+    for (i, c) in MsgClass::ALL.iter().enumerate() {
+        assert_eq!(c.index(), i, "ALL order is the wire order");
+        doc_has(&format!("{c:?}={i}"));
+    }
+}
+
+#[test]
+fn handler_numbering_matches_the_doc() {
+    // Registry split: 0 invalid, 1..=1023 runtime, >= 1024 app.
+    assert_eq!(HandlerId::INVALID, HandlerId(0));
+    doc_has(&format!("`1..={}`", HandlerId::FIRST_APP.0 - 1));
+    doc_has(&format!("`>= {}`", HandlerId::FIRST_APP.0));
+    // Runtime handler table rows, id by id.
+    for (id, name) in [
+        (codec::H_SPAWN, "H_SPAWN"),
+        (codec::H_FINISH, "H_FINISH"),
+        (codec::H_TEAM, "H_TEAM"),
+        (codec::H_CLOCK, "H_CLOCK"),
+        (codec::H_SHUTDOWN, "H_SHUTDOWN"),
+        (codec::H_MARKER, "H_MARKER"),
+    ] {
+        assert!(id.is_runtime(), "{name} must be in the runtime range");
+        doc_has(&format!("| {} | `{name}` |", id.0));
+    }
+}
+
+#[test]
+fn frame_bound_matches_the_doc() {
+    assert_eq!(x10rt::tcp::MAX_FRAME_BYTES, 64 * 1024 * 1024);
+    doc_has("64 MiB");
+}
+
+#[test]
+fn message_header_layout_offsets_are_stated() {
+    // The byte-offset column of the § 2 diagram, one line per field. A
+    // layout change must touch both the code and these lines.
+    for field in [
+        "  0      2    version",
+        "  2      1    class",
+        "  3      1    flags",
+        "  4      4    handler",
+        "  8      8    causal_root",
+        " 16      8    causal_seq",
+        " 24      4    modeled_bytes",
+        " 28      4    args_len",
+    ] {
+        doc_has(field);
+    }
+}
+
+#[test]
+fn handshake_layout_offsets_are_stated() {
+    for field in [
+        "  4      2    version",
+        "  8      4    proc_id",
+        " 12      4    place_start",
+        " 16      4    place_count",
+        " 20      4    total_places",
+    ] {
+        doc_has(field);
+    }
+}
