@@ -2,6 +2,9 @@
 
 use std::time::Duration;
 
+/// Default usable stack per place context in M:N mode (1 MiB, `NORESERVE`).
+pub const DEFAULT_CONTEXT_STACK_SIZE: usize = 1 << 20;
+
 /// Configuration of an APGAS runtime.
 ///
 /// Defaults mirror the paper's launch configuration: one worker thread per
@@ -102,6 +105,20 @@ pub struct Config {
     /// cross-process transports, available in-process for testing the codec
     /// path. Both modes charge identical modeled byte counts.
     pub codec: x10rt::CodecMode,
+    /// M:N scheduling: multiplex the hosted places as lightweight stackful
+    /// contexts over this many executor OS threads instead of spawning one
+    /// thread per place. `None` — the default — keeps the classic
+    /// thread-per-place mode. With `Some(n)`, place counts decouple from
+    /// core counts: a 4,096-place runtime runs in one process on `n`
+    /// threads (see DESIGN.md §"M:N place scheduling"). Requires
+    /// `workers_per_place == 1` and an x86_64 host.
+    pub executor_threads: Option<usize>,
+    /// Usable stack bytes per place context in M:N mode (rounded up to a
+    /// page; a guard page is added below). Stacks are mapped `NORESERVE`,
+    /// so the cost is address space, not resident memory: 4,096 contexts at
+    /// the 1 MiB default reserve 4 GiB but commit only pages actually
+    /// touched. Ignored in thread-per-place mode (threads get 16 MiB).
+    pub context_stack_size: usize,
     /// The contiguous range of places hosted by *this process* as
     /// `(start, count)`; `None` — the default — hosts all of them
     /// (single-process operation). In a multi-process launch over
@@ -134,8 +151,26 @@ impl Config {
             finish_watchdog: None,
             deterministic: false,
             codec: x10rt::CodecMode::Inline,
+            executor_threads: None,
+            context_stack_size: DEFAULT_CONTEXT_STACK_SIZE,
             host_places: None,
         }
+    }
+
+    /// Multiplex places as lightweight contexts over `n` executor threads
+    /// (builder style) — M:N scheduling. See [`Config::executor_threads`].
+    pub fn executor_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "the executor pool needs at least one thread");
+        self.executor_threads = Some(n);
+        self
+    }
+
+    /// Set the usable per-context stack size in bytes (builder style). Only
+    /// meaningful together with [`Config::executor_threads`].
+    pub fn context_stack_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0);
+        self.context_stack_size = bytes;
+        self
     }
 
     /// Set places per host (builder style).
@@ -298,6 +333,20 @@ mod tests {
             "the zero-serialization fast path is the default"
         );
         assert!(c.host_places.is_none(), "single-process by default");
+        assert!(
+            c.executor_threads.is_none(),
+            "thread-per-place (a core per place, as on the p775) by default"
+        );
+        assert_eq!(c.context_stack_size, 1 << 20);
+    }
+
+    #[test]
+    fn mplex_builders() {
+        let c = Config::new(1024)
+            .executor_threads(4)
+            .context_stack_size(256 * 1024);
+        assert_eq!(c.executor_threads, Some(4));
+        assert_eq!(c.context_stack_size, 256 * 1024);
     }
 
     #[test]

@@ -46,8 +46,10 @@
 
 pub mod clock;
 pub mod config;
+pub(crate) mod context;
 pub mod ctx;
 pub mod error;
+pub(crate) mod executor;
 pub mod finish;
 pub mod global_ref;
 pub mod place_group;

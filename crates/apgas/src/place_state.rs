@@ -67,6 +67,11 @@ pub struct PlaceState {
     /// The place-wide lock implementing `atomic`/`when` (reentrant so nested
     /// atomic sections don't self-deadlock).
     pub atomic_lock: ReentrantMutex<()>,
+    /// M:N mode: routes this place's wake-ups to the executor pool (marks
+    /// the place's context runnable and kicks a sleeping executor) instead
+    /// of the thread condvar above. Installed once at runtime construction,
+    /// before any worker runs.
+    pub mplex_waker: std::sync::OnceLock<Arc<dyn Fn() + Send + Sync>>,
     /// Activities of this place currently paused inside a `Ctx::probe`
     /// pump. Maintained only in deterministic mode: a probing activity has
     /// application work to continue even when every queue is empty, and the
@@ -93,12 +98,20 @@ impl PlaceState {
             team: Mutex::new(TeamInbox::default()),
             clocks: Mutex::new(ClockTables::default()),
             atomic_lock: ReentrantMutex::new(()),
+            mplex_waker: std::sync::OnceLock::new(),
             probing: AtomicUsize::new(0),
         }
     }
 
-    /// Wake any parked worker of this place.
+    /// Wake any parked worker of this place. In M:N mode the place's worker
+    /// is a parked *context*, not a parked thread, so the wake is routed to
+    /// the executor pool unconditionally (the pool does its own
+    /// sleeper-count fast path).
     pub fn wake(&self) {
+        if let Some(w) = self.mplex_waker.get() {
+            w();
+            return;
+        }
         if self.sleepers.load(std::sync::atomic::Ordering::Acquire) > 0 {
             let _g = self.wake_mutex.lock();
             self.wake_cv.notify_all();

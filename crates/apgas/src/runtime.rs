@@ -129,6 +129,13 @@ impl Runtime {
                  exactly one worker per place"
             );
         }
+        if cfg.executor_threads.is_some() {
+            assert_eq!(
+                cfg.workers_per_place, 1,
+                "M:N scheduling runs each place as one context, so it \
+                 requires exactly one worker per place"
+            );
+        }
         let topo = Topology::new(cfg.places, cfg.places_per_host);
         let obs = if cfg.obs_disable {
             None
@@ -207,21 +214,74 @@ impl Runtime {
             .map(|(s, c)| (s as usize, c as usize))
             .unwrap_or((0, g.cfg.places));
         let mut handles = Vec::new();
-        for i in host_start..host_start + host_count {
-            for w in 0..g.cfg.workers_per_place {
-                let g2 = g.clone();
-                let place = g.places[i].clone();
+        if let Some(threads) = g.cfg.executor_threads {
+            // M:N mode: each hosted place becomes a stackful context; a
+            // fixed pool of executor threads multiplexes them (see the
+            // `context` and `executor` modules and DESIGN.md §"M:N place
+            // scheduling"). Place counts and core counts are decoupled.
+            let contexts: Vec<Arc<crate::context::PlaceContext>> = (host_start
+                ..host_start + host_count)
+                .map(|i| {
+                    let g2 = g.clone();
+                    let place = g.places[i].clone();
+                    crate::context::PlaceContext::new(
+                        g.cfg.context_stack_size,
+                        Box::new(move || Worker::new(g2, place).main_loop()),
+                    )
+                })
+                .collect();
+            let pool = Arc::new(crate::executor::ExecutorPool::new(
+                contexts,
+                threads,
+                g.cfg.park_timeout,
+            ));
+            // Route every hosted place's wake to the pool *before* any
+            // executor runs: enqueues, deliveries and shutdown all funnel
+            // through `PlaceState::wake`.
+            for (slot, i) in (host_start..host_start + host_count).enumerate() {
+                let p2 = pool.clone();
+                let _ = g.places[i].mplex_waker.set(Arc::new(move || {
+                    p2.wake_slot(slot);
+                }));
+            }
+            // Deterministic M:N: a grant must rouse the granted context —
+            // it polls the gate instead of blocking in step_wait.
+            if let Some(gate) = &g.step_gate {
+                let p2 = pool.clone();
+                gate.set_grant_hook(Box::new(move |place| {
+                    if let Some(slot) = (place as usize).checked_sub(host_start) {
+                        if slot < host_count {
+                            p2.wake_slot(slot);
+                        }
+                    }
+                }));
+            }
+            for t in 0..threads {
+                let p2 = pool.clone();
                 handles.push(
                     std::thread::Builder::new()
-                        .name(format!("place-{i}.{w}"))
-                        // Help-first waiting nests activity frames on the
-                        // worker stack; give it room.
-                        .stack_size(16 * 1024 * 1024)
-                        .spawn(move || {
-                            Worker::new(g2, place).main_loop();
-                        })
-                        .expect("spawn worker thread"),
+                        .name(format!("executor-{t}"))
+                        .spawn(move || p2.run_executor(t))
+                        .expect("spawn executor thread"),
                 );
+            }
+        } else {
+            for i in host_start..host_start + host_count {
+                for w in 0..g.cfg.workers_per_place {
+                    let g2 = g.clone();
+                    let place = g.places[i].clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("place-{i}.{w}"))
+                            // Help-first waiting nests activity frames on the
+                            // worker stack; give it room.
+                            .stack_size(16 * 1024 * 1024)
+                            .spawn(move || {
+                                Worker::new(g2, place).main_loop();
+                            })
+                            .expect("spawn worker thread"),
+                    );
+                }
             }
         }
         Runtime {

@@ -52,6 +52,25 @@ pub struct StepGate {
     ctl_cv: Condvar,
     /// Permanent free-run switch (shutdown/teardown).
     released: AtomicBool,
+    /// M:N mode: called with the granted place id right after a grant is
+    /// published, so the runtime can mark that place's context runnable and
+    /// kick the executor pool (a parked context has no thread blocked in
+    /// [`StepGate::step_wait`] to notify).
+    grant_hook: Mutex<Option<GrantHook>>,
+}
+
+/// The M:N grant hook: see [`StepGate::set_grant_hook`].
+pub type GrantHook = Box<dyn Fn(u32) + Send + Sync>;
+
+/// What [`StepGate::try_step`] told a polling (non-blocking) worker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TryStep {
+    /// The baton is this worker's: run one quantum.
+    Granted,
+    /// No grant for this place is outstanding; yield and poll again later.
+    NotGranted,
+    /// The gate is permanently released; free-run.
+    Released,
 }
 
 impl StepGate {
@@ -66,7 +85,14 @@ impl StepGate {
             worker_cv: Condvar::new(),
             ctl_cv: Condvar::new(),
             released: AtomicBool::new(false),
+            grant_hook: Mutex::new(None),
         }
+    }
+
+    /// Install the M:N grant hook (see the `grant_hook` field). At most one
+    /// hook; installing replaces the previous.
+    pub fn set_grant_hook(&self, hook: GrantHook) {
+        *self.grant_hook.lock() = Some(hook);
     }
 
     /// Has the gate been permanently released?
@@ -89,6 +115,13 @@ impl StepGate {
         s.done = false;
         s.running = false;
         self.worker_cv.notify_all();
+        // M:N mode: the granted place is a parked context, not a blocked
+        // thread — mark it runnable so an executor picks it up. (The hook
+        // only touches the executor pool's idle lock; executors never take
+        // the gate lock while holding it, so the order here is safe.)
+        if let Some(hook) = self.grant_hook.lock().as_ref() {
+            hook(place);
+        }
         while !s.done {
             if self.is_released() {
                 s.granted = None;
@@ -127,6 +160,33 @@ impl StepGate {
             }
             self.worker_cv.wait(&mut s);
         }
+    }
+
+    /// Worker side, non-blocking (M:N mode): the contexted twin of
+    /// [`StepGate::step_wait`]. Reports the previous quantum complete
+    /// exactly like `step_wait` does, then *polls* for a grant instead of
+    /// blocking — a context that gets [`TryStep::NotGranted`] yields to its
+    /// executor and retries when the grant hook marks it runnable.
+    pub fn try_step(&self, place: u32) -> TryStep {
+        if self.is_released() {
+            return TryStep::Released;
+        }
+        let mut s = self.state.lock();
+        // Same completion rule as `step_wait`: only the worker that took
+        // the baton may complete the outstanding quantum.
+        if s.granted == Some(place) && s.running && !s.done {
+            s.done = true;
+            s.running = false;
+            self.ctl_cv.notify_all();
+        }
+        if self.is_released() {
+            return TryStep::Released;
+        }
+        if s.granted == Some(place) && !s.done {
+            s.running = true;
+            return TryStep::Granted;
+        }
+        TryStep::NotGranted
     }
 
     /// Permanently release the gate: every blocked worker and the
@@ -212,6 +272,48 @@ mod tests {
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         gate.release_all();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn try_step_polls_the_same_protocol_as_step_wait() {
+        let gate = Arc::new(StepGate::new());
+        let woken = Arc::new(AtomicU64::new(0));
+        let w2 = woken.clone();
+        gate.set_grant_hook(Box::new(move |p| {
+            w2.fetch_add(1 + u64::from(p), Ordering::SeqCst);
+        }));
+        // No grant outstanding: a poll must not run.
+        assert_eq!(gate.try_step(3), TryStep::NotGranted);
+        let g2 = gate.clone();
+        let ctl = std::thread::spawn(move || g2.grant(3));
+        // Poll until the grant lands (the hook will have fired by then).
+        loop {
+            match gate.try_step(3) {
+                TryStep::Granted => break,
+                TryStep::NotGranted => std::thread::yield_now(),
+                TryStep::Released => panic!("gate released early"),
+            }
+        }
+        // ... quantum work would run here ...
+        // Next poll completes the quantum; the controller unblocks.
+        let _ = gate.try_step(3);
+        assert!(ctl.join().unwrap());
+        assert_eq!(woken.load(Ordering::SeqCst), 4, "hook saw the grant");
+        // A poll by a different place never steals the baton.
+        let g3 = gate.clone();
+        let ctl2 = std::thread::spawn(move || g3.grant(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(gate.try_step(0), TryStep::NotGranted);
+        loop {
+            match gate.try_step(1) {
+                TryStep::Granted => break,
+                _ => std::thread::yield_now(),
+            }
+        }
+        let _ = gate.try_step(1);
+        assert!(ctl2.join().unwrap());
+        gate.release_all();
+        assert_eq!(gate.try_step(0), TryStep::Released);
     }
 
     #[test]

@@ -128,6 +128,10 @@ pub struct Worker {
     /// runtime was built with `Config::obs_disable`) so every hot-path hook
     /// is a `None` check plus, at most, one relaxed atomic increment.
     hooks: Option<WorkerHooks>,
+    /// M:N mode (`Config::executor_threads` set): this worker runs on a
+    /// place context, so idle waits yield the context to its executor
+    /// instead of spinning or condvar-sleeping the thread.
+    mplex: bool,
 }
 
 /// A worker's resolved observability handles: its trace ring plus the shared
@@ -203,6 +207,7 @@ impl Worker {
             stray_ctl: o.metrics.counter(obs::names::FINISH_STRAY_CTL),
             watchdog_fired: o.metrics.counter(obs::names::FINISH_WATCHDOG_FIRED),
         });
+        let mplex = g.cfg.executor_threads.is_some();
         Worker {
             g,
             place,
@@ -212,6 +217,7 @@ impl Worker {
             idle_streak: Cell::new(0),
             current_cause: Cell::new(None),
             hooks,
+            mplex,
         }
     }
 
@@ -328,7 +334,23 @@ impl Worker {
             // Deterministic mode: the quantum boundary sits here, at the
             // top of run_one, so every `wait_until` condition re-check and
             // every activity body runs while this worker holds the baton.
-            gate.step_wait(self.here.0);
+            if self.mplex {
+                // M:N: poll the baton instead of blocking — the executor
+                // thread must stay free to run the granted place's context.
+                // The gate's grant hook marks this context runnable again.
+                loop {
+                    match gate.try_step(self.here.0) {
+                        crate::step::TryStep::Granted | crate::step::TryStep::Released => break,
+                        crate::step::TryStep::NotGranted => {
+                            if !crate::context::yield_now() {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            } else {
+                gate.step_wait(self.here.0);
+            }
         }
         let handled = self.drain_messages(256);
         let progress = if let Some(act) = self.pop_activity() {
@@ -491,6 +513,25 @@ impl Worker {
         // on the stepping gate anyway, and sleeping here would deadlock
         // against a controller that only wakes workers through grants.
         if self.g.step_gate.is_some() {
+            return;
+        }
+        // M:N mode: never block the executor thread and skip the spin
+        // backoff (it would starve sibling contexts when places outnumber
+        // cores) — park the *context* by yielding it non-runnable. Safe
+        // against lost wakes: any enqueue/delivery for this place marks the
+        // context runnable even while it is mid-quantum, and the executor
+        // pool's periodic resweep re-polls parked contexts on the
+        // park-timeout cadence for the time-based machinery (watchdog, GLB
+        // steal timeouts, coalescer retries).
+        if self.mplex {
+            self.place.parks.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &self.hooks {
+                h.parks.inc(self.here.0);
+                h.trace.instant("worker", "park", 0);
+            }
+            if !crate::context::yield_now() {
+                std::thread::yield_now();
+            }
             return;
         }
         // Back off gently first: give the CPU away and re-check before

@@ -1,0 +1,199 @@
+//! M:N place scheduling (`Config::executor_threads`): the real protocols at
+//! place counts far beyond core counts, on a fixed executor pool.
+//!
+//! The three properties pinned here are the ones the mode's correctness
+//! hangs on:
+//!   1. a context parked in `wait_until` never blocks its executor thread
+//!      (nested blocking round trips complete on a ONE-thread pool);
+//!   2. per-pair FIFO survives a context migrating between executors;
+//!   3. the finish watchdog attributes a stall to the right place id even
+//!      when hundreds of places share a thread.
+
+use apgas::{ApgasError, Config, Ctx, FaultPlan, PlaceId, Runtime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fan-out finish over 300 places on a two-thread pool: every place must
+/// run its activity, so no context may be starved or lost. 300 places also
+/// pushes `LocalTransport` into its sparse lane mode, so the lazily-created
+/// lanes carry real protocol traffic under the tier-1 suite.
+#[test]
+fn fan_out_reaches_all_places_on_two_executors() {
+    let places = 300;
+    let rt = Runtime::new(Config::new(places).executor_threads(2));
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let sum = rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for p in c.places() {
+                let s = s2.clone();
+                c.at_async(p, move |cc| {
+                    s.fetch_add(u64::from(cc.here().0) + 1, Ordering::SeqCst);
+                });
+            }
+        });
+        s2.load(Ordering::SeqCst)
+    });
+    let n = places as u64;
+    assert_eq!(sum, n * (n + 1) / 2, "every place must run its activity");
+    assert_eq!(seen.load(Ordering::SeqCst), sum);
+}
+
+/// Nested blocking `at` round trips — place 0 waits on 1, which waits on 2,
+/// which waits on 3 — on a SINGLE executor thread. If a context parked in
+/// `wait_until` blocked its executor, the first hop would wedge the whole
+/// pool and this test would hang instead of completing.
+#[test]
+fn parked_wait_never_blocks_its_executor() {
+    let rt = Runtime::new(Config::new(6).executor_threads(1));
+    let started = Instant::now();
+    let v = rt.run(|ctx| {
+        ctx.at(PlaceId(1), |c1| {
+            c1.at(PlaceId(2), |c2| c2.at(PlaceId(3), |c3| c3.here().0 + 39))
+        })
+    });
+    assert_eq!(v, 42);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "single-executor nested waits took {:?}",
+        started.elapsed()
+    );
+}
+
+/// `when`-style waiting composes too: a place blocks in `wait_until` on a
+/// condition only a *later* message satisfies, single-threaded pool.
+#[test]
+fn wait_until_wakes_on_late_message_single_executor() {
+    let rt = Runtime::new(Config::new(4).executor_threads(1));
+    let out = rt.run(|ctx| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = flag.clone();
+        ctx.finish(move |c| {
+            // Place 1 parks until place 2's activity (scheduled after it)
+            // pokes the flag and sends place 1 a wake via an activity.
+            let f_wait = f2.clone();
+            c.at_async(PlaceId(1), move |cc| {
+                cc.wait_until(|| f_wait.load(Ordering::SeqCst) == 1);
+            });
+            let f_set = f2.clone();
+            c.at_async(PlaceId(2), move |cc| {
+                f_set.store(1, Ordering::SeqCst);
+                // The message hop is what wakes place 1's parked context.
+                cc.at_async(PlaceId(1), |_| {});
+            });
+        });
+        flag.load(Ordering::SeqCst)
+    });
+    assert_eq!(out, 1);
+}
+
+/// 500 ordered sends from place 0 to place 5 while 39 other contexts churn
+/// across a three-thread pool: the receiving context migrates between
+/// executors mid-stream, and the arrival order must still be exactly the
+/// send order (per-pair FIFO is a transport invariant the claim/release
+/// handoff must not break).
+#[test]
+fn per_pair_fifo_survives_context_migration() {
+    let rt = Runtime::new(Config::new(40).executor_threads(3));
+    let order = rt.run(|ctx| {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        ctx.finish(move |c| {
+            // Noise: keep every context runnable so claims churn.
+            for p in c.places().skip(1) {
+                c.at_async(p, |cc| {
+                    std::hint::black_box(cc.here().0);
+                });
+            }
+            for i in 0..500u32 {
+                let l = l2.clone();
+                c.at_async(PlaceId(5), move |_| l.lock().unwrap().push(i));
+            }
+        });
+        let v = log.lock().unwrap().clone();
+        v
+    });
+    assert_eq!(order.len(), 500);
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "messages from one sender were reordered: {:?}",
+        &order[..20.min(order.len())]
+    );
+}
+
+/// Kill one of 64 multiplexed places mid-finish: the watchdog must fire
+/// within its limit and the typed error must attribute the stall to the
+/// finish's home place and name the dead place — not some other context
+/// sharing the executor.
+#[test]
+fn watchdog_attributes_stall_to_the_right_place() {
+    let victim = PlaceId(40);
+    let rt = Runtime::new(
+        Config::new(64)
+            .places_per_host(8)
+            .executor_threads(2)
+            .fault_plan(FaultPlan::new(7)) // passthrough; enables kill isolation
+            .finish_watchdog(Duration::from_millis(250)),
+    );
+    let arrived = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let err = std::thread::scope(|s| {
+        let flag = arrived.clone();
+        s.spawn(|| {
+            while !arrived.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            rt.kill_place(victim);
+        });
+        rt.run_checked(move |ctx: &Ctx| {
+            ctx.finish(move |c| {
+                c.at_async(victim, move |cc| {
+                    flag.store(true, Ordering::Release);
+                    // Completion cannot leave the dead place; the finish is
+                    // guaranteed to stall with one activity outstanding.
+                    while !cc.place_dead(cc.here()) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            });
+        })
+        .expect_err("finish over a killed place must fail, not complete")
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog took {:?} — effectively a hang",
+        started.elapsed()
+    );
+    let ApgasError::DeadPlace { detail } = err;
+    assert!(
+        detail.contains("at 0 stalled"),
+        "stall must be attributed to the finish home place: {detail}"
+    );
+    assert!(
+        detail.contains("dead places [40]"),
+        "error must name the dead place: {detail}"
+    );
+}
+
+/// The M:N runtime is reusable across `run` calls like the threaded one.
+#[test]
+fn runtime_is_reusable_across_runs() {
+    let rt = Runtime::new(Config::new(16).executor_threads(2));
+    for round in 0..3u64 {
+        let n = rt.run(move |ctx| {
+            let acc = Arc::new(AtomicU64::new(0));
+            let a2 = acc.clone();
+            ctx.finish(move |c| {
+                for p in c.places() {
+                    let a = a2.clone();
+                    c.at_async(p, move |_| {
+                        a.fetch_add(round + 1, Ordering::SeqCst);
+                    });
+                }
+            });
+            acc.load(Ordering::SeqCst)
+        });
+        assert_eq!(n, 16 * (round + 1));
+    }
+}

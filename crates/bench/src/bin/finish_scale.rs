@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p bench --bin finish_scale [--quick]`
 
 use apgas::{Config, FinishKind, MsgClass, Runtime};
-use p775::{Machine, MsgSpec, NetSim};
+use p775::{finish_ctl_pattern, CtlPattern, Machine, NetSim};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -52,42 +52,15 @@ fn main() {
     }
 
     println!("\n== netsim: finish-ctl delivery at 32,768 places (1,024 octants) ==");
+    // Both traffic shapes come from the shared generator in `p775::patterns`
+    // — the same shapes the crossval test validates against counted runtime
+    // traffic, so the 32,768-place projection rests on measured behaviour.
     let machine = Machine::hurcules();
     let places = 32_768usize;
-    let hosts = places / 32;
-    // Default finish: every place sends one flush directly to the root.
     let mut sim = NetSim::new(machine);
-    let direct: Vec<MsgSpec> = (32..places)
-        .map(|p| MsgSpec {
-            from: p,
-            to: 0,
-            bytes: 96,
-            inject: 0.0,
-        })
-        .collect();
-    let s1 = sim.run(direct);
-    // Dense finish: places flush to their host master (31 intra-host
-    // messages aggregate), masters forward one merged message to the root's
-    // master (= root octant).
+    let s1 = sim.run(finish_ctl_pattern(CtlPattern::DirectToRoot, places, 32));
     sim.reset();
-    let mut dense: Vec<MsgSpec> = Vec::new();
-    for h in 1..hosts {
-        for c in 1..32 {
-            dense.push(MsgSpec {
-                from: h * 32 + c,
-                to: h * 32,
-                bytes: 96,
-                inject: 0.0,
-            });
-        }
-        dense.push(MsgSpec {
-            from: h * 32,
-            to: 0,
-            bytes: 96 + 31 * 28, // merged deltas
-            inject: 1.0e-5,
-        });
-    }
-    let s2 = sim.run(dense);
+    let s2 = sim.run(finish_ctl_pattern(CtlPattern::DenseViaMasters, places, 32));
     println!(
         "default (all→root):   {:>8} msgs, makespan {:>10.3} ms, max latency {:>10.3} ms",
         s1.messages,

@@ -1,0 +1,174 @@
+//! M:N place-scaling sweep: the real UTS/GLB protocol stack at 64 → 4,096
+//! places in ONE process, on the multiplexed executor pool
+//! (`Config::executor_threads`), writing `BENCH_scale.json`.
+//!
+//! This is the scale gate for lightweight places: every row runs the same
+//! fixed GEO tree through `uts::run_distributed` (GLB lifeline stealing,
+//! default `finish`, coalesced transport), so
+//!
+//! * `nodes` is deterministic and gated **exactly** by `bench_check` — a
+//!   node-count drift at any place count is a protocol correctness bug, not
+//!   noise (the M:N scheduler ran the traversal wrong);
+//! * `wall_sec` is recorded but deliberately NOT named `*seconds*`:
+//!   thousands of places multiplexed over a couple of CI cores is far too
+//!   schedule-noisy to ratchet, it is informational;
+//! * per-class protocol message counts (task / finish-control / steal)
+//!   document how protocol traffic grows with the place count — also
+//!   informational, `bench_check` ignores unknown leaves.
+//!
+//! Usage: `cargo run --release -p bench --bin scale_sweep [--quick]
+//!   [--out PATH]`
+//!
+//! `--quick` stops the sweep at 256 places for a fast local smoke run; the
+//! committed baseline and the CI `scale` job always use the full sweep (the
+//! `quick` flag is shape-gated, so the two never compare).
+
+use apgas::{Config, MsgClass, Runtime};
+use bench::ablation_cli::flag_value;
+use glb::GlbConfig;
+use kernels::util::timed;
+use uts::{run_distributed, GeoTree};
+
+/// Tree depth for the sweep: GEO `b0 = 4`, `r = 19`, ~350k nodes — enough
+/// work that 4,096 places actually steal, small enough that the full sweep
+/// fits a CI timeout.
+const TREE_DEPTH: u32 = 9;
+
+/// GLB probe interval: the small chunk the distributed-UTS tests use, so
+/// work genuinely spreads (and the steal/lifeline paths carry real traffic)
+/// instead of one place racing through the tree between probes.
+const GLB_CHUNK: usize = 64;
+
+fn glb_cfg() -> GlbConfig {
+    GlbConfig {
+        chunk: GLB_CHUNK,
+        ..GlbConfig::default()
+    }
+}
+
+/// One measured row.
+struct Row {
+    places: usize,
+    executor_threads: usize,
+    /// Figure of merit — exact-gated, identical at every place count.
+    nodes: u64,
+    /// Wall time of the traversal (informational, never ratcheted).
+    wall_sec: f64,
+    task_msgs: u64,
+    finish_ctl_msgs: u64,
+    steal_msgs: u64,
+    envelopes: u64,
+    /// GLB lifecycle totals — how the balancer behaved at this scale.
+    steals: u64,
+    lifeline_gifts: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_scale.json");
+
+    let sweep: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let tree = GeoTree::paper(TREE_DEPTH);
+
+    let mut rows = Vec::new();
+    for &places in sweep {
+        rows.push(run_at(places, threads, tree));
+        let r = rows.last().unwrap();
+        println!(
+            "places {:>5}: {:>8} nodes in {:>8.3}s  (task {} / finish-ctl {} / steal {} msgs, {} envelopes, {} steals, {} gifts)",
+            r.places,
+            r.nodes,
+            r.wall_sec,
+            r.task_msgs,
+            r.finish_ctl_msgs,
+            r.steal_msgs,
+            r.envelopes,
+            r.steals,
+            r.lifeline_gifts
+        );
+    }
+
+    let first = rows[0].nodes;
+    assert!(
+        rows.iter().all(|r| r.nodes == first),
+        "node counts must agree at every place count"
+    );
+
+    let json = to_json(&rows, quick);
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}
+
+/// One traversal of `tree` at `places` places multiplexed over `threads`
+/// executor threads, paper topology (32 places per host).
+fn run_at(places: usize, threads: usize, tree: GeoTree) -> Row {
+    let rt = Runtime::new(
+        Config::new(places)
+            .places_per_host(32)
+            .executor_threads(threads),
+    );
+    let (run, wall_sec, stats) = rt.run(move |ctx| {
+        ctx.net_stats().reset();
+        let (run, secs) = timed(|| run_distributed(ctx, tree, glb_cfg()));
+        let s = ctx.net_stats();
+        (
+            run,
+            secs,
+            (
+                s.class(MsgClass::Task).messages,
+                s.class(MsgClass::FinishCtl).messages,
+                s.class(MsgClass::Steal).messages,
+                s.total_envelopes(),
+            ),
+        )
+    });
+    Row {
+        places,
+        executor_threads: threads,
+        nodes: run.stats.nodes,
+        wall_sec,
+        task_msgs: stats.0,
+        finish_ctl_msgs: stats.1,
+        steal_msgs: stats.2,
+        envelopes: stats.3,
+        steals: run.balancer.random_hits,
+        lifeline_gifts: run.balancer.lifeline_gifts,
+    }
+}
+
+fn to_json(rows: &[Row], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"M:N place scaling sweep (UTS via GLB)\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"workloads\": {{\"tree_depth\": {TREE_DEPTH}, \"glb_chunk\": {GLB_CHUNK}}},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"places\": {}, \"executor_threads\": {}, \"nodes\": {}, \
+             \"wall_sec\": {:.6}, \"task_msgs\": {}, \"finish_ctl_msgs\": {}, \
+             \"steal_msgs\": {}, \"envelopes\": {}, \"steals\": {}, \
+             \"lifeline_gifts\": {}}}{}\n",
+            r.places,
+            r.executor_threads,
+            r.nodes,
+            r.wall_sec,
+            r.task_msgs,
+            r.finish_ctl_msgs,
+            r.steal_msgs,
+            r.envelopes,
+            r.steals,
+            r.lifeline_gifts,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

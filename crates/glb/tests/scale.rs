@@ -1,0 +1,91 @@
+//! Scale tier (ignored by default — run with `--ignored` in release):
+//! lifeline-graph load balancing at thousands of places in one process on
+//! the M:N multiplexed scheduler. The workload is synthetic (counter
+//! bumps), so the result is exact at any scale and any interleaving.
+
+use apgas::{Config, Runtime};
+use glb::{run, GlbConfig, TaskBag};
+
+/// Synthetic work: each item is a counter bump (see `balancing.rs`).
+#[derive(Default)]
+struct Pile {
+    items: Vec<u64>,
+    sum: u64,
+}
+
+impl Pile {
+    fn with(items: Vec<u64>) -> Self {
+        Pile { items, sum: 0 }
+    }
+}
+
+impl TaskBag for Pile {
+    type Result = u64;
+
+    fn process(&mut self, n: usize) -> usize {
+        let take = n.min(self.items.len());
+        for _ in 0..take {
+            self.sum += self.items.pop().unwrap();
+        }
+        take
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn split(&mut self) -> Option<Self> {
+        if self.items.len() < 2 {
+            return None;
+        }
+        let half = self.items.split_off(self.items.len() / 2);
+        Some(Pile::with(half))
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.items.extend(other.items);
+        self.sum += other.sum;
+    }
+
+    fn take_result(&mut self) -> u64 {
+        self.sum
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+}
+
+fn run_glb_at(places: usize, items: u64) -> u64 {
+    let rt = Runtime::new(
+        Config::new(places)
+            .places_per_host(32)
+            .executor_threads(threads()),
+    );
+    let out = rt.run(move |ctx| {
+        run(
+            ctx,
+            GlbConfig {
+                chunk: 64,
+                ..GlbConfig::default()
+            },
+            Pile::with((1..=items).collect()),
+            Pile::default,
+        )
+    });
+    out.results.iter().sum()
+}
+
+#[test]
+#[ignore = "scale tier: minutes in debug — run release via `cargo test --release -- --ignored`"]
+fn glb_1024_places_exact_sum() {
+    let items = 200_000u64;
+    assert_eq!(run_glb_at(1024, items), items * (items + 1) / 2);
+}
+
+#[test]
+#[ignore = "scale tier: minutes in debug — run release via `cargo test --release -- --ignored`"]
+fn glb_4096_places_exact_sum() {
+    let items = 200_000u64;
+    assert_eq!(run_glb_at(4096, items), items * (items + 1) / 2);
+}

@@ -56,6 +56,15 @@ pub const MAILBOX_DRAIN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
 /// `mailbox_ring_capacity`.
 pub const MAILBOX_RING_OVERFLOW: &str = "mailbox.ring_overflow";
 
+/// Counter: mailbox lanes materialized — (sender, receiver) SPSC channels
+/// actually backed by storage (unit: lanes; sharded by sender). In dense
+/// mode (small place counts) the full `places²` matrix is counted at
+/// construction; in sparse mode a lane is counted when a sender's first
+/// message to a receiver creates it. At 4,096 places a dense matrix would
+/// be 16.7M lane headers — this counter is how you see that the sparse
+/// path only paid for the pairs that actually talked.
+pub const MAILBOX_LANES_ALLOCATED: &str = "mailbox.lanes_allocated";
+
 /// Counter: coalescer flushes served a recycled batch buffer from the
 /// envelope arena freelist — no allocation (unit: takes; sharded by the
 /// owning place). Incremented in `x10rt::arena`.

@@ -21,6 +21,9 @@
 //!   fabric, used to compare finish-protocol traffic shapes (e.g. the
 //!   FINISH_DENSE root-in-degree advantage) at place counts far beyond
 //!   what fits in one process;
+//! * [`patterns`] — the canonical per-protocol control-traffic shapes fed
+//!   to the simulator, cross-validated against the real runtime's counted
+//!   traffic in `tests/crossval.rs`;
 //! * [`model`] — per-kernel projection curves that combine *measured*
 //!   single-place rates from this reproduction with the bandwidth model to
 //!   regenerate the shapes of Figure 1 / Tables 1–2 (constants calibrated
@@ -30,8 +33,10 @@
 pub mod bandwidth;
 pub mod model;
 pub mod netsim;
+pub mod patterns;
 pub mod topology;
 
 pub use bandwidth::{alltoall_bw_per_octant, cross_section_bw};
 pub use netsim::{MsgSpec, NetSim, SimStats};
+pub use patterns::{finish_ctl_pattern, CtlPattern};
 pub use topology::{LinkCounts, Machine};

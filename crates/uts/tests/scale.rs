@@ -1,0 +1,63 @@
+//! Scale tier (ignored by default — run with `--ignored` in release): the
+//! real UTS/GLB protocol stack at thousands of places in one process, on
+//! the M:N multiplexed scheduler (`Config::executor_threads`).
+//!
+//! These are the acceptance tests for lightweight places: the traversal at
+//! 4,096 places must count exactly the tree the sequential oracle and a
+//! conventional 8-place run count. Debug builds are ~20× slower and the CI
+//! `scale` job runs these release-only; see TESTING.md.
+
+use apgas::{Config, Runtime};
+use glb::GlbConfig;
+use uts::{run_distributed, traverse, GeoTree};
+
+fn cfg() -> GlbConfig {
+    GlbConfig {
+        chunk: 64,
+        ..GlbConfig::default()
+    }
+}
+
+/// Executor pool width: every core the runner has, min 2 so contexts
+/// actually migrate.
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+}
+
+#[test]
+#[ignore = "scale tier: minutes in debug — run release via `cargo test --release -- --ignored`"]
+fn uts_4096_places_matches_sequential_and_8_places() {
+    let tree = GeoTree::paper(9);
+    let want = traverse(&tree);
+
+    let rt8 = Runtime::new(Config::new(8).places_per_host(8));
+    let got8 = rt8.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    assert_eq!(got8.stats.nodes, want.nodes, "8-place baseline diverged");
+
+    let rt = Runtime::new(
+        Config::new(4096)
+            .places_per_host(32)
+            .executor_threads(threads()),
+    );
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    assert_eq!(got.stats.nodes, want.nodes, "4,096-place node count");
+    assert_eq!(got.stats.leaves, want.leaves, "4,096-place leaf count");
+    assert_eq!(got.stats.hashes, want.hashes, "4,096-place hash count");
+    assert_eq!(got.stats.max_depth, want.max_depth);
+    assert_eq!(got.stats.nodes, got8.stats.nodes);
+    assert_eq!(got.per_place_nodes.len(), 4096);
+}
+
+#[test]
+#[ignore = "scale tier: minutes in debug — run release via `cargo test --release -- --ignored`"]
+fn uts_1024_places_matches_sequential() {
+    let tree = GeoTree::paper(9);
+    let want = traverse(&tree);
+    let rt = Runtime::new(
+        Config::new(1024)
+            .places_per_host(32)
+            .executor_threads(threads()),
+    );
+    let got = rt.run(move |ctx| run_distributed(ctx, tree, cfg()));
+    assert_eq!(got.stats, want);
+}

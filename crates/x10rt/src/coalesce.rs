@@ -61,6 +61,7 @@ use crate::message::{BatchPayload, Envelope, MsgClass};
 use crate::place::PlaceId;
 use crate::transport::{SendError, Transport, TransportError};
 use obs::metrics::{Counter, MetricsRegistry};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Default flush threshold: messages buffered per destination.
@@ -136,7 +137,11 @@ struct FlushHooks {
     explicit: Counter,
 }
 
-/// Per-sender aggregation buffers, one per destination place.
+/// Per-sender aggregation buffers, one per destination place *actually
+/// written to* — allocated lazily on first contact, so a sender in a
+/// 4,096-place world pays for the handful of destinations it talks to, not
+/// all 4,096 (one coalescer per place makes eager per-destination buffers
+/// quadratic in the place count).
 ///
 /// Not `Sync` — each sending thread owns its own coalescer, which is what
 /// keeps the buffers lock-free.
@@ -145,7 +150,10 @@ pub struct Coalescer {
     max_msgs: usize,
     max_bytes: usize,
     enabled: bool,
-    bufs: Vec<Buf>,
+    /// Destination index → its buffer. A flushed buffer stays in the map
+    /// (emptied, its box refilled from the arena) so steady-state traffic
+    /// never re-hashes or re-allocates.
+    bufs: HashMap<usize, Buf>,
     /// Destinations with a non-empty buffer (so flush skips the rest).
     dirty: Vec<usize>,
     /// Per-reason drain counts (local tally, always maintained).
@@ -165,6 +173,8 @@ impl Coalescer {
     /// `max_msgs` / `max_bytes` are the per-destination flush thresholds
     /// (values < 1 are clamped to 1). With `enabled == false` every send
     /// passes straight through to the transport — the ablation baseline.
+    /// Destination buffers are created on first contact, so `places` only
+    /// documents the world size; it costs nothing here.
     pub fn new(
         from: PlaceId,
         places: usize,
@@ -172,12 +182,13 @@ impl Coalescer {
         max_bytes: usize,
         enabled: bool,
     ) -> Self {
+        let _ = places;
         Coalescer {
             from,
             max_msgs: max_msgs.max(1),
             max_bytes: max_bytes.max(1),
             enabled,
-            bufs: (0..places).map(|_| Buf::new()).collect(),
+            bufs: HashMap::new(),
             dirty: Vec::new(),
             counts: FlushCounts::default(),
             hooks: None,
@@ -258,7 +269,7 @@ impl Coalescer {
             return send_with_retry(transport, env, self.send_timeout);
         }
         let dest = env.to.index();
-        let buf = &mut self.bufs[dest];
+        let buf = self.bufs.entry(dest).or_insert_with(Buf::new);
         if buf.payload.envs.is_empty() {
             self.dirty.push(dest);
         }
@@ -285,13 +296,17 @@ impl Coalescer {
         dest: usize,
         reason: FlushReason,
     ) -> Result<(), SendError> {
-        if self.bufs[dest].payload.envs.is_empty() {
-            return Ok(());
+        match self.bufs.get(&dest) {
+            None => return Ok(()),
+            Some(b) if b.payload.envs.is_empty() => return Ok(()),
+            Some(_) => {}
         }
         // Swap the buffer box out (refilling from the arena) instead of
         // copying its envelopes — the box itself becomes the batch payload.
-        let payload = std::mem::replace(&mut self.bufs[dest].payload, self.arena.take());
-        self.bufs[dest].bytes = 0;
+        let fresh = self.arena.take();
+        let buf = self.bufs.get_mut(&dest).expect("checked above");
+        let payload = std::mem::replace(&mut buf.payload, fresh);
+        buf.bytes = 0;
         if let Some(pos) = self.dirty.iter().position(|&d| d == dest) {
             self.dirty.swap_remove(pos);
         }
@@ -310,11 +325,15 @@ impl Coalescer {
     pub fn flush(&mut self, transport: &dyn Transport) -> Result<(), SendError> {
         let mut first: Option<SendError> = None;
         while let Some(dest) = self.dirty.pop() {
-            if self.bufs[dest].payload.envs.is_empty() {
-                continue;
+            match self.bufs.get(&dest) {
+                None => continue,
+                Some(b) if b.payload.envs.is_empty() => continue,
+                Some(_) => {}
             }
-            let payload = std::mem::replace(&mut self.bufs[dest].payload, self.arena.take());
-            self.bufs[dest].bytes = 0;
+            let fresh = self.arena.take();
+            let buf = self.bufs.get_mut(&dest).expect("checked above");
+            let payload = std::mem::replace(&mut buf.payload, fresh);
+            buf.bytes = 0;
             self.record_drain(FlushReason::Explicit);
             if let Err(e) = self.emit(transport, PlaceId(dest as u32), payload) {
                 match &mut first {
@@ -387,8 +406,14 @@ impl Coalescer {
     pub fn pending(&self) -> usize {
         self.dirty
             .iter()
-            .map(|&d| self.bufs[d].payload.envs.len())
+            .map(|&d| self.bufs.get(&d).map_or(0, |b| b.payload.envs.len()))
             .sum()
+    }
+
+    /// Destination buffers materialized so far (diagnostics / tests): the
+    /// number of places this sender has ever coalesced traffic for.
+    pub fn bufs_allocated(&self) -> usize {
+        self.bufs.len()
     }
 
     /// True when nothing is buffered.
@@ -706,6 +731,27 @@ mod tests {
             crate::transport::TransportError::Timeout { place: PlaceId(1) }
         );
         assert_eq!(err.dropped, 1);
+    }
+
+    #[test]
+    fn dest_buffers_materialize_lazily() {
+        // A sender in a big world pays only for the destinations it talks
+        // to — not a buffer per place.
+        let t = LocalTransport::new(4096);
+        let mut c = Coalescer::new(PlaceId(0), 4096, 64, 1 << 20, true);
+        assert_eq!(c.bufs_allocated(), 0);
+        for i in 0..10u64 {
+            c.send(&t, env(1 + (i % 2) as u32, i)).unwrap();
+        }
+        assert_eq!(c.bufs_allocated(), 2);
+        c.flush(&t).unwrap();
+        // Flushed buffers stay cached for reuse; nothing new appears.
+        assert_eq!(c.bufs_allocated(), 2);
+        c.send(&t, env(1, 99)).unwrap();
+        assert_eq!(c.bufs_allocated(), 2);
+        c.flush(&t).unwrap();
+        assert_eq!(drain_tags(&t, 1), vec![0, 2, 4, 6, 8, 99]);
+        assert_eq!(drain_tags(&t, 2), vec![1, 3, 5, 7, 9]);
     }
 
     #[test]
