@@ -56,6 +56,7 @@ pub mod place_group;
 pub(crate) mod place_state;
 pub mod rail;
 pub mod runtime;
+pub mod status;
 pub mod step;
 pub mod team;
 pub mod wire;
@@ -70,6 +71,7 @@ pub use global_ref::{GlobalRef, PlaceLocalHandle};
 pub use place_group::PlaceGroup;
 pub use rail::GlobalRail;
 pub use runtime::{FinishResidue, Runtime};
+pub use status::StatusHandle;
 pub use step::StepGate;
 pub use team::{Team, TeamOp};
 pub use worker::panic_message;

@@ -78,6 +78,10 @@ pub struct PlaceState {
     /// schedule controller must keep granting the place quanta to advance
     /// it (unlike a `wait_until` pause, which only a delivery can unblock).
     pub probing: AtomicUsize,
+    /// Modeled bytes currently buffered in this place's worker coalescer
+    /// (published by the worker after every buffered send and every flush;
+    /// read by the status report). A gauge, not a counter.
+    pub coalesced_bytes: AtomicU64,
 }
 
 impl PlaceState {
@@ -100,6 +104,7 @@ impl PlaceState {
             atomic_lock: ReentrantMutex::new(()),
             mplex_waker: std::sync::OnceLock::new(),
             probing: AtomicUsize::new(0),
+            coalesced_bytes: AtomicU64::new(0),
         }
     }
 

@@ -62,6 +62,60 @@ pub struct Global {
     /// [`HandlerId::FIRST_APP`]; see `PROTOCOL.md` §3). Resolved at command
     /// *run* time, so registration order relative to spawns is free.
     pub(crate) handlers: RwLock<HashMap<u32, AppHandler>>,
+    /// Cross-process observability-plane state: `H_OBS` shipments and
+    /// status replies accepted from other ranks, the last watchdog report,
+    /// and the serve-shutdown shipping guard (see [`crate::status`]).
+    pub(crate) obs_plane: crate::status::ObsPlane,
+}
+
+impl Global {
+    /// This process's rank tag in a multi-process launch — its first hosted
+    /// place (0 for single-process runtimes). Shipped snapshots and status
+    /// replies are attributed to it.
+    pub(crate) fn rank(&self) -> u32 {
+        self.cfg.host_places.map(|(s, _)| s).unwrap_or(0)
+    }
+
+    /// Capture this process's observability state as a rank-tagged
+    /// shipment (`None` with `Config::obs_disable`).
+    pub(crate) fn capture_rank_obs(&self) -> Option<obs::RankObs> {
+        self.obs
+            .as_ref()
+            .map(|o| obs::distrib::capture(o, self.rank()))
+    }
+
+    /// Fold a remote rank's shipment into the pending set, stamped with the
+    /// local causal clock (the skew anchor `ClusterObs::accept` needs).
+    pub(crate) fn accept_shipment(&self, snap: obs::RankObs) {
+        let now = self.obs.as_ref().map_or(0, |o| o.causal.now_ns());
+        self.obs_plane.shipments.lock().push((snap, now));
+    }
+
+    /// Record a status-query reply from `rank`.
+    pub(crate) fn accept_status_reply(&self, rank: u32, text: String, json: String) {
+        self.obs_plane
+            .status_replies
+            .lock()
+            .push((rank, text, json));
+    }
+
+    /// Residual finish-protocol state across all places (see
+    /// [`FinishResidue`]).
+    pub(crate) fn residue(&self) -> FinishResidue {
+        let mut r = FinishResidue {
+            roots: 0,
+            proxies: 0,
+            dense_pending: 0,
+        };
+        for p in &self.places {
+            r.roots += p.roots.lock().len();
+            r.proxies += p.proxies.lock().len();
+            if p.dense_agg.lock().has_pending() {
+                r.dense_pending += 1;
+            }
+        }
+        r
+    }
 }
 
 /// Residual finish-protocol state left at the places, summed runtime-wide —
@@ -147,6 +201,12 @@ impl Runtime {
                 cfg.causal_enable,
             ))
         };
+        if let (Some(o), Some((start, _))) = (&obs, cfg.host_places) {
+            // Multi-process: namespace this rank's causal sequence numbers
+            // so ids minted by different ranks never collide when their
+            // ring segments are stitched at rank 0 (2^40 ids per rank).
+            o.causal.set_seq_base((start as u64) << 40);
+        }
         let sampler = match (&obs, cfg.sample_interval_ms) {
             (Some(o), Some(ms)) => Some(obs::Sampler::start(
                 o.clone(),
@@ -204,6 +264,7 @@ impl Runtime {
             obs,
             step_gate,
             handlers: RwLock::new(HashMap::new()),
+            obs_plane: crate::status::ObsPlane::new(),
             cfg,
         });
         // Multi-process: spawn worker threads only for the places this
@@ -524,6 +585,176 @@ impl Runtime {
         self.g.obs.as_ref().map(|o| o.flow_matrix_json())
     }
 
+    // --- cluster observability plane (multi-process; PROTOCOL.md §4) ---
+
+    /// Ask every remote process for its observability snapshot (an `H_OBS`
+    /// `SnapshotRequest` to each non-hosted place; exactly one place per
+    /// remote process replies) and wait — bounded by `timeout` — until the
+    /// set of collected shipments goes quiet. Returns the number of remote
+    /// shipments held afterwards. Rank 0 calls this *before*
+    /// [`Runtime::broadcast_shutdown`]; it is a no-op (returning any
+    /// already-shipped count) for single-process runtimes or with
+    /// observability disabled.
+    pub fn collect_cluster_obs(&self, timeout: std::time::Duration) -> usize {
+        let held = || self.g.obs_plane.shipments.lock().len();
+        if self.g.obs.is_none() || self.g.cfg.host_places.is_none() {
+            return held();
+        }
+        let here = PlaceId(self.g.rank());
+        let mut requested = 0usize;
+        for p in self.g.topo.iter() {
+            if self.hosts_place(p) {
+                continue;
+            }
+            let body = crate::wire::encode_obs_msg(&crate::wire::ObsMsg::SnapshotRequest {
+                reply_to: here.0,
+            });
+            let bytes = body.len();
+            let _ = self.g.transport.send(Envelope::new(
+                here,
+                p,
+                MsgClass::System,
+                bytes,
+                Box::new(WireMsg::new(codec::H_OBS, body)),
+            ));
+            requested += 1;
+        }
+        if requested == 0 {
+            return held();
+        }
+        // The number of remote *processes* is unknown (only places are),
+        // so wait for a quiet period: no new shipment for 250 ms once at
+        // least one arrived, or the deadline.
+        let deadline = std::time::Instant::now() + timeout;
+        let quiet = std::time::Duration::from_millis(250);
+        let mut count = held();
+        let mut last_change = std::time::Instant::now();
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let n = held();
+            if n != count {
+                count = n;
+                last_change = std::time::Instant::now();
+            } else if count > 0 && last_change.elapsed() >= quiet {
+                break;
+            }
+        }
+        count
+    }
+
+    /// The folded cluster view: the local rank's shipment plus every
+    /// accepted remote shipment, timestamps shifted onto the local causal
+    /// timeline (`None` with observability disabled).
+    pub fn cluster_obs(&self) -> Option<obs::ClusterObs> {
+        let o = self.g.obs.as_ref()?;
+        let mut c = obs::ClusterObs::new(obs::distrib::capture(o, self.g.rank()));
+        for (snap, at) in self.g.obs_plane.shipments.lock().iter() {
+            c.accept(snap.clone(), *at);
+        }
+        Some(c)
+    }
+
+    /// Cluster-wide metrics as JSON: every rank's counters and histograms
+    /// folded with `MetricsSnapshot::merge` under `"merged"`, per-rank
+    /// snapshots under `"per_rank"`.
+    pub fn cluster_metrics_json(&self) -> Option<String> {
+        self.cluster_obs().map(|c| c.metrics_json())
+    }
+
+    /// Cluster-wide metrics as text: the merged name-sorted dump plus one
+    /// drop-count breakdown line per rank.
+    pub fn cluster_metrics_text(&self) -> Option<String> {
+        self.cluster_obs().map(|c| c.metrics_text())
+    }
+
+    /// Chrome-trace JSON whose flow arrows come from the *stitched* causal
+    /// DAG — a message that crossed the socket draws as an arrow between
+    /// rank lanes.
+    pub fn cluster_chrome_trace_json(&self) -> Option<String> {
+        let o = self.g.obs.as_ref()?;
+        self.cluster_obs()
+            .map(|c| c.chrome_trace_json(&o.tracer.snapshot()))
+    }
+
+    /// Critical-path report over the stitched cluster DAG, as JSON.
+    pub fn cluster_critical_path_json(&self) -> Option<String> {
+        self.cluster_obs().map(|c| c.critical_path_json())
+    }
+
+    /// Critical-path report over the stitched cluster DAG, as text.
+    pub fn cluster_critical_path_text(&self) -> Option<String> {
+        self.cluster_obs().map(|c| c.critical_path_text())
+    }
+
+    // --- live introspection ---
+
+    /// The process-wide status report as human-readable text: per-place run
+    /// states, queue and mailbox depths, coalescer buffering, in-flight
+    /// finish roots (protocol kind + liveness progress counter), finish
+    /// residue, and the full sorted metrics dump. Also dumped automatically
+    /// when the finish watchdog trips.
+    pub fn status_report(&self) -> String {
+        crate::status::report_text(&self.g)
+    }
+
+    /// The status report as JSON (same data as [`Runtime::status_report`]).
+    pub fn status_report_json(&self) -> String {
+        crate::status::report_json(&self.g)
+    }
+
+    /// The report rendered the last time the finish watchdog tripped in
+    /// this process, if it ever did.
+    pub fn last_watchdog_report(&self) -> Option<String> {
+        self.g.obs_plane.last_watchdog_report.lock().clone()
+    }
+
+    /// A cloneable handle on this runtime's status reports, usable after
+    /// the `Runtime` itself is out of reach (see [`crate::StatusHandle`]).
+    pub fn status_handle(&self) -> crate::status::StatusHandle {
+        crate::status::StatusHandle { g: self.g.clone() }
+    }
+
+    /// Query a remote place's process for its live status report over the
+    /// transport (`H_OBS` `StatusRequest`): returns `(text, json)` from the
+    /// first reply to arrive within `timeout`, `None` on timeout or when
+    /// `place` is hosted locally (use [`Runtime::status_report`] then).
+    pub fn remote_status(
+        &self,
+        place: PlaceId,
+        timeout: std::time::Duration,
+    ) -> Option<(String, String)> {
+        if self.hosts_place(place) {
+            return None;
+        }
+        let here = PlaceId(self.g.rank());
+        let before = self.g.obs_plane.status_replies.lock().len();
+        let body =
+            crate::wire::encode_obs_msg(&crate::wire::ObsMsg::StatusRequest { reply_to: here.0 });
+        let bytes = body.len();
+        self.g
+            .transport
+            .send(Envelope::new(
+                here,
+                place,
+                MsgClass::System,
+                bytes,
+                Box::new(WireMsg::new(codec::H_OBS, body)),
+            ))
+            .ok()?;
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            {
+                let replies = self.g.obs_plane.status_replies.lock();
+                if replies.len() > before {
+                    let (_, text, json) = replies[before].clone();
+                    return Some((text, json));
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        None
+    }
+
     /// Total times any worker actually slept (scheduler diagnostic).
     pub fn total_parks(&self) -> u64 {
         self.g
@@ -566,19 +797,7 @@ impl Runtime {
     /// Residual finish-protocol state across all places — the quiescence
     /// oracle (see [`FinishResidue`]).
     pub fn finish_residue(&self) -> FinishResidue {
-        let mut r = FinishResidue {
-            roots: 0,
-            proxies: 0,
-            dense_pending: 0,
-        };
-        for p in &self.g.places {
-            r.roots += p.roots.lock().len();
-            r.proxies += p.proxies.lock().len();
-            if p.dense_agg.lock().has_pending() {
-                r.dense_pending += 1;
-            }
-        }
-        r
+        self.g.residue()
     }
 
     /// Initiate shutdown without dropping the runtime: sets the shutdown

@@ -525,6 +525,256 @@ pub fn decode_spawn(args: &[u8]) -> Result<(Attach, SpawnWireBody), DecodeError>
     Ok((attach, body))
 }
 
+// ---------------------------------------------------------------------------
+// ObsMsg  (handler H_OBS)
+// ---------------------------------------------------------------------------
+
+/// Observability-plane traffic (`H_OBS`, PROTOCOL.md §4): snapshot shipping
+/// to the aggregating rank and the live status query/reply pair.
+pub enum ObsMsg {
+    /// Ask the receiving process for its observability shipment; the reply
+    /// (an [`ObsMsg::Snapshot`]) goes to place `reply_to`. Only the first
+    /// place a process hosts answers, so one process ships once however
+    /// many of its places were asked.
+    SnapshotRequest {
+        /// Place the snapshot push should be sent to.
+        reply_to: u32,
+    },
+    /// A rank's shipment: metrics snapshot, drop counts and causal-ring
+    /// segments, tagged with the rank and its capture-time clock anchor.
+    Snapshot(Box<obs::RankObs>),
+    /// Ask the receiving process for a live status report; the reply goes
+    /// to place `reply_to`.
+    StatusRequest {
+        /// Place the status reply should be sent to.
+        reply_to: u32,
+    },
+    /// A live status report, rendered at the serving rank.
+    Status {
+        /// The replying process's rank tag (first hosted place).
+        rank: u32,
+        /// The human-readable rendering.
+        text: String,
+        /// The JSON rendering.
+        json: String,
+    },
+}
+
+fn put_metrics_snapshot(out: &mut Vec<u8>, m: &obs::MetricsSnapshot) {
+    put_u32(out, m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        put_str(out, name);
+        put_u64(out, *v);
+    }
+    put_u32(out, m.histograms.len() as u32);
+    for h in &m.histograms {
+        put_str(out, &h.name);
+        put_u32(out, h.bounds.len() as u32);
+        for b in &h.bounds {
+            put_u64(out, *b);
+        }
+        put_u32(out, h.counts.len() as u32);
+        for c in &h.counts {
+            put_u64(out, *c);
+        }
+        put_u64(out, h.sum);
+    }
+}
+
+fn read_metrics_snapshot(cur: &mut Cursor<'_>) -> Result<obs::MetricsSnapshot, DecodeError> {
+    let nc = cur.u32()?;
+    let mut counters = Vec::with_capacity(nc.min(1024) as usize);
+    for _ in 0..nc {
+        let name = cur.string()?;
+        let v = cur.u64()?;
+        counters.push((name, v));
+    }
+    let nh = cur.u32()?;
+    let mut histograms = Vec::with_capacity(nh.min(1024) as usize);
+    for _ in 0..nh {
+        let name = cur.string()?;
+        let nb = cur.u32()?;
+        let mut bounds = Vec::with_capacity(nb.min(1024) as usize);
+        for _ in 0..nb {
+            bounds.push(cur.u64()?);
+        }
+        let nn = cur.u32()?;
+        let mut counts = Vec::with_capacity(nn.min(1024) as usize);
+        for _ in 0..nn {
+            counts.push(cur.u64()?);
+        }
+        let sum = cur.u64()?;
+        histograms.push(obs::metrics::HistogramSnapshot {
+            name,
+            bounds,
+            counts,
+            sum,
+        });
+    }
+    Ok(obs::MetricsSnapshot {
+        counters,
+        histograms,
+    })
+}
+
+fn causal_kind_tag(k: obs::causal::CausalKind) -> u8 {
+    match k {
+        obs::causal::CausalKind::Send => 0,
+        obs::causal::CausalKind::Recv => 1,
+        obs::causal::CausalKind::Exec => 2,
+    }
+}
+
+fn causal_kind_from(tag: u8) -> Result<obs::causal::CausalKind, DecodeError> {
+    Ok(match tag {
+        0 => obs::causal::CausalKind::Send,
+        1 => obs::causal::CausalKind::Recv,
+        2 => obs::causal::CausalKind::Exec,
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "causal kind",
+                tag: t,
+            })
+        }
+    })
+}
+
+fn put_causal_segments(out: &mut Vec<u8>, segs: &[obs::causal::WorkerCausal]) {
+    put_u32(out, segs.len() as u32);
+    for s in segs {
+        put_u32(out, s.place);
+        put_u32(out, s.worker);
+        put_u64(out, s.dropped);
+        put_u32(out, s.events.len() as u32);
+        for e in &s.events {
+            put_u64(out, e.ts_ns);
+            put_u64(out, e.dur_ns);
+            out.push(causal_kind_tag(e.kind));
+            put_u64(out, e.id.root);
+            put_u64(out, e.id.seq);
+            put_u64(out, e.parent_seq);
+            put_u32(out, e.peer);
+            out.push(e.class);
+            put_u32(out, e.bytes);
+        }
+    }
+}
+
+fn read_causal_segments(
+    cur: &mut Cursor<'_>,
+) -> Result<Vec<obs::causal::WorkerCausal>, DecodeError> {
+    let ns = cur.u32()?;
+    let mut segs = Vec::with_capacity(ns.min(1024) as usize);
+    for _ in 0..ns {
+        let place = cur.u32()?;
+        let worker = cur.u32()?;
+        let dropped = cur.u64()?;
+        let ne = cur.u32()?;
+        let mut events = Vec::with_capacity(ne.min(4096) as usize);
+        for _ in 0..ne {
+            let ts_ns = cur.u64()?;
+            let dur_ns = cur.u64()?;
+            let kind = causal_kind_from(cur.u8()?)?;
+            let root = cur.u64()?;
+            let seq = cur.u64()?;
+            let parent_seq = cur.u64()?;
+            let peer = cur.u32()?;
+            let class = cur.u8()?;
+            let bytes = cur.u32()?;
+            events.push(obs::causal::CausalEvent {
+                ts_ns,
+                dur_ns,
+                kind,
+                id: obs::CausalId { root, seq },
+                parent_seq,
+                peer,
+                class,
+                bytes,
+            });
+        }
+        segs.push(obs::causal::WorkerCausal {
+            place,
+            worker,
+            events,
+            dropped,
+        });
+    }
+    Ok(segs)
+}
+
+/// Encode an [`ObsMsg`] into `H_OBS` argument bytes.
+pub fn encode_obs_msg(msg: &ObsMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        ObsMsg::SnapshotRequest { reply_to } => {
+            out.push(0);
+            put_u32(&mut out, *reply_to);
+        }
+        ObsMsg::Snapshot(snap) => {
+            out.push(1);
+            put_u32(&mut out, snap.rank);
+            put_u64(&mut out, snap.now_ns);
+            put_metrics_snapshot(&mut out, &snap.metrics);
+            put_u64(&mut out, snap.trace_dropped);
+            put_u64(&mut out, snap.causal_dropped);
+            put_causal_segments(&mut out, &snap.causal);
+        }
+        ObsMsg::StatusRequest { reply_to } => {
+            out.push(2);
+            put_u32(&mut out, *reply_to);
+        }
+        ObsMsg::Status { rank, text, json } => {
+            out.push(3);
+            put_u32(&mut out, *rank);
+            put_str(&mut out, text);
+            put_str(&mut out, json);
+        }
+    }
+    out
+}
+
+/// Decode `H_OBS` argument bytes back into an [`ObsMsg`].
+pub fn decode_obs_msg(args: &[u8]) -> Result<ObsMsg, DecodeError> {
+    let mut cur = Cursor::new(args);
+    let msg = match cur.u8()? {
+        0 => ObsMsg::SnapshotRequest {
+            reply_to: cur.u32()?,
+        },
+        1 => {
+            let rank = cur.u32()?;
+            let now_ns = cur.u64()?;
+            let metrics = read_metrics_snapshot(&mut cur)?;
+            let trace_dropped = cur.u64()?;
+            let causal_dropped = cur.u64()?;
+            let causal = read_causal_segments(&mut cur)?;
+            ObsMsg::Snapshot(Box::new(obs::RankObs {
+                rank,
+                now_ns,
+                metrics,
+                trace_dropped,
+                causal_dropped,
+                causal,
+            }))
+        }
+        2 => ObsMsg::StatusRequest {
+            reply_to: cur.u32()?,
+        },
+        3 => ObsMsg::Status {
+            rank: cur.u32()?,
+            text: cur.string()?,
+            json: cur.string()?,
+        },
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "obs msg",
+                tag: t,
+            })
+        }
+    };
+    cur.finish()?;
+    Ok(msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,6 +1008,83 @@ mod tests {
             let _ = decode_clock_msg(&garbage[..len]);
             let _ = decode_team_wire(&garbage[..len], None);
             let _ = decode_spawn(&garbage[..len]);
+            let _ = decode_obs_msg(&garbage[..len]);
+        }
+    }
+
+    fn sample_rank_obs() -> obs::RankObs {
+        obs::RankObs {
+            rank: 2,
+            now_ns: 123_456_789,
+            metrics: obs::MetricsSnapshot {
+                counters: vec![("a.b".into(), 7), ("c".into(), u64::MAX)],
+                histograms: vec![obs::metrics::HistogramSnapshot {
+                    name: "h".into(),
+                    bounds: vec![1, 2, 4],
+                    counts: vec![3, 0, 1, 9],
+                    sum: 42,
+                }],
+            },
+            trace_dropped: 5,
+            causal_dropped: 6,
+            causal: vec![obs::causal::WorkerCausal {
+                place: 2,
+                worker: 0,
+                dropped: 1,
+                events: vec![
+                    obs::causal::CausalEvent {
+                        ts_ns: 10,
+                        dur_ns: 0,
+                        kind: obs::causal::CausalKind::Send,
+                        id: obs::CausalId { root: 77, seq: 9 },
+                        parent_seq: 3,
+                        peer: 0,
+                        class: 1,
+                        bytes: 48,
+                    },
+                    obs::causal::CausalEvent {
+                        ts_ns: 20,
+                        dur_ns: 15,
+                        kind: obs::causal::CausalKind::Exec,
+                        id: obs::CausalId { root: 77, seq: 9 },
+                        parent_seq: 0,
+                        peer: 0,
+                        class: 0,
+                        bytes: 0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn obs_msgs_round_trip() {
+        let msgs = [
+            ObsMsg::SnapshotRequest { reply_to: 0 },
+            ObsMsg::Snapshot(Box::new(sample_rank_obs())),
+            ObsMsg::StatusRequest { reply_to: 4 },
+            ObsMsg::Status {
+                rank: 1,
+                text: "place 1: ok\n".into(),
+                json: "{\"rank\": 1}".into(),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_obs_msg(&msg);
+            let back = decode_obs_msg(&bytes).unwrap();
+            // Compare via re-encoding (the payload types have no PartialEq).
+            assert_eq!(bytes, encode_obs_msg(&back));
+        }
+    }
+
+    #[test]
+    fn obs_snapshot_truncation_is_typed() {
+        let bytes = encode_obs_msg(&ObsMsg::Snapshot(Box::new(sample_rank_obs())));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_obs_msg(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
         }
     }
 }

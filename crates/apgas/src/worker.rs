@@ -366,9 +366,17 @@ impl Worker {
         progress
     }
 
-    /// Drain this worker's aggregation buffers onto the transport.
+    /// Drain this worker's aggregation buffers onto the transport. The
+    /// pre-flush buffered-byte total is published to the place's
+    /// `coalesced_bytes` gauge first (the status report reads it), so the
+    /// gauge tracks what each scheduling quantum left buffered without
+    /// adding any per-send cost.
     pub fn flush_sends(&self) {
-        if let Err(e) = self.coalescer.borrow_mut().flush(&*self.g.transport) {
+        let mut co = self.coalescer.borrow_mut();
+        self.place
+            .coalesced_bytes
+            .store(co.pending_bytes() as u64, Ordering::Relaxed);
+        if let Err(e) = co.flush(&*self.g.transport) {
             self.note_send_failure(&e);
         }
     }
@@ -479,6 +487,19 @@ impl Worker {
                     h.trace.instant("finish", "watchdog_fired", root.id.seq);
                 }
                 let dead: Vec<u32> = self.g.transport.dead_places().iter().map(|p| p.0).collect();
+                // Dump the live status report: stash it for artifact
+                // writers (chaos smuggles a `StatusHandle` out of a failing
+                // cell) and print it, so a tripped watchdog always leaves a
+                // diagnosis naming the stalled finish kind and place.
+                let report = format!(
+                    "finish[{}] seq {} at {} stalled: watchdog fired after {limit:?}\n{}",
+                    root.kind.label(),
+                    root.id.seq,
+                    self.here,
+                    crate::status::report_text(&self.g)
+                );
+                *self.g.obs_plane.last_watchdog_report.lock() = Some(report.clone());
+                eprintln!("{report}");
                 return Err(crate::error::ApgasError::DeadPlace {
                     detail: format!(
                         "finish[{}] at {} stalled: no termination-protocol progress \
@@ -756,12 +777,20 @@ impl Worker {
                 self.with_inline_cause(causal, || crate::clock::handle_msg(self, msg));
             }
             codec::H_SHUTDOWN => {
-                // A remote process is tearing the launch down; release this
-                // process's workers and its `Runtime::serve` caller.
+                // A remote process is tearing the launch down; ship this
+                // process's observability snapshot back to the initiator
+                // first (once — rank 0 folds it even if it never asked),
+                // then release the workers and the `Runtime::serve` caller.
+                self.ship_obs_on_shutdown(from);
                 self.g.shutdown.store(true, Ordering::Release);
                 for p in &self.g.places {
                     p.wake();
                 }
+            }
+            codec::H_OBS => {
+                let msg = wire::decode_obs_msg(&args)
+                    .unwrap_or_else(|e| panic!("malformed H_OBS from {from}: {e}"));
+                self.handle_obs_msg(msg);
             }
             h => {
                 debug_assert!(class != MsgClass::Batch, "batch reached handle_wire");
@@ -772,6 +801,87 @@ impl Worker {
                     class.label()
                 );
             }
+        }
+    }
+
+    /// Dispatch observability-plane traffic (`H_OBS`, PROTOCOL.md §4).
+    /// Obs messages bypass the coalescer and carry no causal stamp: they
+    /// are diagnostics *about* the run, and must neither appear in the
+    /// causal DAG they ship nor wait behind the traffic they describe
+    /// (ordering against task traffic is irrelevant to them, so the
+    /// direct-send bypass is safe).
+    fn handle_obs_msg(&self, msg: wire::ObsMsg) {
+        match msg {
+            wire::ObsMsg::SnapshotRequest { reply_to } => {
+                // One reply per *process*: only the first hosted place
+                // answers, so a rank hosting 2,048 places ships one
+                // snapshot, not 2,048 copies.
+                if self.here.0 != self.g.rank() {
+                    return;
+                }
+                if let Some(snap) = self.g.capture_rank_obs() {
+                    self.obs_send(
+                        PlaceId(reply_to),
+                        wire::encode_obs_msg(&wire::ObsMsg::Snapshot(Box::new(snap))),
+                    );
+                }
+            }
+            wire::ObsMsg::Snapshot(snap) => self.g.accept_shipment(*snap),
+            wire::ObsMsg::StatusRequest { reply_to } => {
+                // The report is process-wide, so any hosted place answers
+                // (the querier addressed one specific place).
+                self.obs_send(
+                    PlaceId(reply_to),
+                    wire::encode_obs_msg(&wire::ObsMsg::Status {
+                        rank: self.g.rank(),
+                        text: crate::status::report_text(&self.g),
+                        json: crate::status::report_json(&self.g),
+                    }),
+                );
+            }
+            wire::ObsMsg::Status { rank, text, json } => {
+                self.g.accept_status_reply(rank, text, json);
+            }
+        }
+    }
+
+    /// Best-effort direct send of an encoded obs message (see
+    /// [`Worker::handle_obs_msg`] for why it bypasses the coalescer). A
+    /// refused send is dropped: losing a diagnostic must never wedge the
+    /// runtime being diagnosed.
+    fn obs_send(&self, to: PlaceId, body: Vec<u8>) {
+        let bytes = body.len();
+        let env = Envelope::new(
+            self.here,
+            to,
+            MsgClass::System,
+            bytes,
+            Box::new(WireMsg::new(codec::H_OBS, body)),
+        );
+        if let Err(e) = self.g.transport.send(env) {
+            self.note_send_failure(&e);
+        }
+    }
+
+    /// Serve-shutdown shipping: the first `H_SHUTDOWN` this process sees
+    /// also ships its observability snapshot to the shutdown's initiator,
+    /// so `Runtime::serve` ranks contribute to the cluster fold even when
+    /// rank 0 never ran an explicit collection round.
+    fn ship_obs_on_shutdown(&self, to: PlaceId) {
+        if self.g.cfg.host_places.is_none()
+            || self
+                .g
+                .obs_plane
+                .shutdown_shipped
+                .swap(true, Ordering::AcqRel)
+        {
+            return;
+        }
+        if let Some(snap) = self.g.capture_rank_obs() {
+            self.obs_send(
+                to,
+                wire::encode_obs_msg(&wire::ObsMsg::Snapshot(Box::new(snap))),
+            );
         }
     }
 

@@ -1,0 +1,111 @@
+//! The metrics sampler under M:N place scheduling
+//! (`Config::executor_threads`): the background sampling thread composes
+//! with the executor pool (it is a plain OS thread, never a place context),
+//! the final-sample-on-stop guarantee holds while contexts are still being
+//! multiplexed, and the time series survives a 1,024-place world.
+
+use apgas::{Config, PlaceId, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fan a counted task out to every place and wait for all of them.
+fn touch_all_places(rt: &Runtime, places: usize) {
+    let hits = Arc::new(AtomicU64::new(0));
+    let h2 = hits.clone();
+    rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for p in 0..places as u32 {
+                let h = h2.clone();
+                c.at_async(PlaceId(p), move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), places as u64);
+}
+
+#[test]
+fn sampler_composes_with_executor_pool() {
+    let places = 32;
+    let rt = Runtime::new(
+        Config::new(places)
+            .executor_threads(2)
+            .sample_interval_ms(1),
+    );
+    touch_all_places(&rt, places);
+    // Give the 1 ms sampler time for at least one post-work tick.
+    std::thread::sleep(Duration::from_millis(30));
+    let json = rt.metrics_series_json().expect("sampler configured");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("series parses");
+    let samples = v
+        .get("samples")
+        .and_then(|s| s.as_array())
+        .expect("samples array");
+    assert!(samples.len() >= 2, "got {} samples", samples.len());
+    // The series saw the fan-out: the last sample's remote-spawn counter
+    // covers every non-zero place.
+    let last = samples.last().unwrap();
+    let sent = last
+        .get("counters")
+        .and_then(|c| c.get("spawn.remote.sent"))
+        .and_then(|v| v.as_u64())
+        .expect("spawn.remote.sent sampled");
+    assert!(sent >= places as u64 - 1, "sampled counter {sent}");
+}
+
+#[test]
+fn final_sample_on_stop_holds_under_mplex() {
+    // An interval far longer than the test: only the immediate start sample
+    // and the final stop sample can exist, so the end-of-run counters being
+    // visible proves stop() sampled once more instead of waiting out the
+    // interval — with the work itself executed by a multiplexing pool.
+    let places = 16;
+    let rt = Runtime::new(Config::new(places).executor_threads(2));
+    let obs = rt.obs().expect("obs on").clone();
+    let mut sampler = obs::Sampler::start(obs, 60_000, 16);
+    touch_all_places(&rt, places);
+    sampler.stop();
+    let (samples, evicted) = sampler.series();
+    assert_eq!(evicted, 0);
+    let last = samples.last().expect("final sample");
+    let sent = last
+        .snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == "spawn.remote.sent")
+        .map(|(_, v)| *v)
+        .expect("spawn.remote.sent in final sample");
+    assert!(
+        sent >= places as u64 - 1,
+        "final sample saw the run: {sent}"
+    );
+}
+
+#[test]
+fn series_survives_1024_mplex_places() {
+    let places = 1024;
+    let rt = Runtime::new(
+        Config::new(places)
+            .executor_threads(4)
+            .sample_interval_ms(5),
+    );
+    touch_all_places(&rt, places);
+    // Let the sampler tick at least once past the end of the run.
+    std::thread::sleep(Duration::from_millis(50));
+    let json = rt.metrics_series_json().expect("sampler configured");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("series parses at 1,024 places");
+    let samples = v
+        .get("samples")
+        .and_then(|s| s.as_array())
+        .expect("samples array");
+    assert!(!samples.is_empty());
+    let last = samples.last().unwrap();
+    let sent = last
+        .get("counters")
+        .and_then(|c| c.get("spawn.remote.sent"))
+        .and_then(|v| v.as_u64())
+        .expect("spawn.remote.sent sampled");
+    assert!(sent >= places as u64 - 1, "sampled counter {sent}");
+}

@@ -128,6 +128,57 @@ fn here_round_trip_surfaces_dead_place() {
     });
 }
 
+/// A watchdog trip must leave a status report behind (the automatic dump):
+/// [`Runtime::last_watchdog_report`] names the stalled finish kind and the
+/// waiting place, and carries the full introspection dump — per-place run
+/// states, the in-flight root with its progress counter frozen at the
+/// stall, and the metrics (including `finish.watchdog_fired`).
+#[test]
+fn watchdog_trip_dumps_a_status_report() {
+    let rt = runtime();
+    assert!(rt.last_watchdog_report().is_none(), "no trip yet");
+    let arrived = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let flag = arrived.clone();
+        s.spawn(|| {
+            while !arrived.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            rt.kill_place(VICTIM);
+        });
+        rt.run_checked(move |ctx| {
+            ctx.finish(move |c| {
+                c.at_async(VICTIM, move |cc| stall_until_killed(cc, &flag));
+            });
+        })
+        .expect_err("finish over a killed place must fail");
+    });
+    let report = rt
+        .last_watchdog_report()
+        .expect("watchdog trip must dump a status report");
+    assert!(
+        report.contains("finish[FINISH_DEFAULT]"),
+        "report must name the stalled finish kind:\n{report}"
+    );
+    assert!(
+        report.contains("stalled: watchdog fired"),
+        "report must say what happened:\n{report}"
+    );
+    assert!(
+        report.contains("runtime status: rank 0"),
+        "report must carry the introspection dump:\n{report}"
+    );
+    assert!(
+        report.contains("finish.watchdog_fired"),
+        "report must carry the metrics dump:\n{report}"
+    );
+    // The live surfaces stay readable after the failed run, in both shapes.
+    assert!(rt.status_report().contains("runtime status"));
+    let json = rt.status_report_json();
+    assert!(json.contains("\"rank\": 0"), "{json}");
+    assert!(json.contains("\"dead\": [2]"), "{json}");
+}
+
 /// FINISH_LOCAL governs only place-local activities: killing an unrelated
 /// place must not disturb it — the watchdog fires on stalls, not on deaths.
 #[test]

@@ -343,11 +343,14 @@ pub fn run_cell_with_baseline(spec: CellSpec, want: u64, hard_timeout: Duration)
 
 /// [`run_cell_with_baseline`] with post-mortem artifacts: when `trace_dir`
 /// is set, the faulted run carries event tracing and causal tracing, and a
-/// *failing* cell writes its chrome trace (flow arrows included) and its
-/// critical-path report into that directory. The observability handle is
-/// smuggled out of the cell thread right after runtime construction, so the
-/// artifacts can be cut even when the cell **hangs** — the stuck runtime's
-/// rings are snapshotted from outside.
+/// *failing* cell writes its chrome trace (flow arrows included), its
+/// critical-path report, and its status report into that directory. A cell
+/// ending in a typed error — the expected lossy degradation — writes the
+/// same artifacts: its status report preserves the finish watchdog's
+/// diagnosis (which finish kind stalled, at which place). The observability
+/// and status handles are smuggled out of the cell thread right after
+/// runtime construction, so the artifacts can be cut even when the cell
+/// **hangs** — the stuck runtime's rings are snapshotted from outside.
 pub fn run_cell_traced(
     spec: CellSpec,
     want: u64,
@@ -357,13 +360,14 @@ pub fn run_cell_traced(
     let start = Instant::now();
     let traced = trace_dir.is_some();
     let (tx, rx) = crossbeam_channel::bounded(1);
-    let (obs_tx, obs_rx) = crossbeam_channel::bounded::<std::sync::Arc<obs::Obs>>(1);
+    let (obs_tx, obs_rx) =
+        crossbeam_channel::bounded::<(std::sync::Arc<obs::Obs>, apgas::StatusHandle)>(1);
     std::thread::Builder::new()
         .name(format!("chaos-{}-{}", spec.fault.label(), spec.seed))
         .spawn(move || {
             let rt = cell_runtime(&spec, traced);
             if let Some(o) = rt.obs() {
-                let _ = obs_tx.send(o.clone());
+                let _ = obs_tx.send((o.clone(), rt.status_handle()));
             }
             let out = catch_unwind(AssertUnwindSafe(|| {
                 run_workload(&rt, spec.workload, Some(spec.fault))
@@ -388,11 +392,15 @@ pub fn run_cell_traced(
             "non-typed panic in faulted run".into(),
         )),
     };
-    if result.is_err() {
+    // Failures and typed errors both leave artifacts; only a run identical
+    // to the baseline has nothing to diagnose.
+    if !matches!(result, Ok(CellOutcome::Identical)) {
         // Wait briefly for the runtime-construction handshake: a cell can
         // fail (e.g. a zero timeout) before the thread has sent its handle.
-        if let (Some(dir), Ok(o)) = (trace_dir, obs_rx.recv_timeout(Duration::from_secs(2))) {
-            write_failure_artifacts(dir, &spec, &o);
+        if let (Some(dir), Ok((o, status))) =
+            (trace_dir, obs_rx.recv_timeout(Duration::from_secs(2)))
+        {
+            write_cell_artifacts(dir, &spec, &o, &status);
         }
     }
     CellReport {
@@ -402,10 +410,15 @@ pub fn run_cell_traced(
     }
 }
 
-/// Write a failing cell's chrome trace and critical-path report. Best
-/// effort: artifact IO problems are reported to stderr, never escalated —
-/// the cell's verdict is already a failure.
-fn write_failure_artifacts(dir: &std::path::Path, spec: &CellSpec, o: &obs::Obs) {
+/// Write a diagnosable cell's chrome trace, critical-path report, and
+/// status report. Best effort: artifact IO problems are reported to stderr,
+/// never escalated — the cell's verdict is already decided.
+fn write_cell_artifacts(
+    dir: &std::path::Path,
+    spec: &CellSpec,
+    o: &obs::Obs,
+    status: &apgas::StatusHandle,
+) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("chaos: cannot create trace dir {}: {e}", dir.display());
         return;
@@ -416,10 +429,20 @@ fn write_failure_artifacts(dir: &std::path::Path, spec: &CellSpec, o: &obs::Obs)
         spec.fault.label(),
         spec.seed
     );
+    // Prefer the report rendered at the instant the watchdog tripped (it
+    // names the stalled finish kind and place); fall back to a live one.
+    let status_body = match status.last_watchdog_report() {
+        Some(r) => format!("# status report at watchdog trip\n{r}"),
+        None => format!(
+            "# live status report (no watchdog trip recorded)\n{}",
+            status.text()
+        ),
+    };
     let artifacts = [
         (format!("{stem}.trace.json"), o.chrome_trace_json()),
         (format!("{stem}.critical_path.json"), o.critical_path_json()),
         (format!("{stem}.critical_path.txt"), o.critical_path_text()),
+        (format!("{stem}.status.txt"), status_body),
     ];
     for (name, body) in artifacts {
         let path = dir.join(&name);

@@ -136,8 +136,10 @@ fn ra_msgs_drop_over_tcp_identical_or_typed() {
 }
 
 /// A failing traced cell writes its post-mortem artifacts: chrome trace
-/// (with causal flow events) plus critical-path report. A zero hard timeout
-/// forces the Hang verdict deterministically without needing a real bug.
+/// (with causal flow events), critical-path report, and a runtime status
+/// report. A zero hard timeout forces the Hang verdict deterministically
+/// without needing a real bug; no watchdog tripped, so the status artifact
+/// carries the live introspection dump.
 #[test]
 fn failing_traced_cell_writes_artifacts() {
     install_quiet_panic_hook();
@@ -145,13 +147,63 @@ fn failing_traced_cell_writes_artifacts() {
     let spec = cell(Workload::Uts, FaultKind::Delay, 1);
     let report = run_cell_traced(spec, 0, Duration::ZERO, Some(&dir));
     assert_eq!(report.result, Err(CellFailure::Hang));
-    for suffix in ["trace.json", "critical_path.json", "critical_path.txt"] {
+    for suffix in [
+        "trace.json",
+        "critical_path.json",
+        "critical_path.txt",
+        "status.txt",
+    ] {
         let path = dir.join(format!("chaos-uts-delay-seed1.{suffix}"));
         let body = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("artifact {} missing: {e}", path.display()));
         assert!(!body.is_empty(), "{} is empty", path.display());
     }
+    let status = std::fs::read_to_string(dir.join("chaos-uts-delay-seed1.status.txt")).unwrap();
+    assert!(
+        status.contains("runtime status: rank 0"),
+        "status artifact carries the introspection dump: {status}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A scripted place-kill that trips the finish watchdog must leave a status
+/// artifact naming the stalled finish and the watchdog diagnosis — the file
+/// CI uploads from the chaos tcp slice. Kill timing is seed-dependent
+/// (some seeds land after the traversal finishes and end `Identical`), so
+/// probe a few seeds; at least one must stall.
+#[test]
+fn killed_cell_status_artifact_names_the_stall() {
+    install_quiet_panic_hook();
+    let dir = std::env::temp_dir().join(format!("chaos-status-test-{}", std::process::id()));
+    let want = baseline(Workload::Uts, PLACES);
+    for seed in 1..=6 {
+        let spec = cell(Workload::Uts, FaultKind::Kill, seed);
+        let report = run_cell_traced(spec, want, TIMEOUT, Some(&dir));
+        match report.result {
+            Ok(CellOutcome::Identical) => continue,
+            Ok(CellOutcome::TypedError(_)) => {
+                let path = dir.join(format!("chaos-uts-place-kill-seed{seed}.status.txt"));
+                let body = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("status artifact {} missing: {e}", path.display()));
+                assert!(
+                    body.contains("status report at watchdog trip"),
+                    "artifact must carry the trip-time report: {body}"
+                );
+                assert!(
+                    body.contains("stalled: watchdog fired"),
+                    "artifact must carry the diagnosis: {body}"
+                );
+                assert!(
+                    body.contains("finish["),
+                    "artifact must name the stalled finish kind: {body}"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+            Err(f) => panic!("cell failed ({f:?}); repro: {}", spec.repro_line()),
+        }
+    }
+    panic!("no seed in 1..=6 stalled under a scripted kill");
 }
 
 /// The scripted kill never targets place 0, whatever the seed.

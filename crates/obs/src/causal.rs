@@ -324,6 +324,26 @@ impl CausalTracer {
         self.shared.enabled.load(Ordering::Relaxed)
     }
 
+    /// Namespace this process's causal sequence numbers: all ids minted
+    /// after this call start at `base`. A multi-process job gives each rank
+    /// a disjoint base (derived from its first hosted place) so shipped
+    /// ring segments merge into one DAG without `CausalId` collisions.
+    /// Call before any event is minted; a lower base than already issued is
+    /// ignored (sequences never move backwards).
+    pub fn set_seq_base(&self, base: u64) {
+        self.shared
+            .next_seq
+            .fetch_max(base.max(1), Ordering::Relaxed);
+    }
+
+    /// Nanoseconds elapsed since this tracer's epoch — the timebase every
+    /// [`CausalEvent::ts_ns`] is stamped in. Shipped alongside snapshot
+    /// pushes so the aggregating rank can shift remote timestamps onto its
+    /// own timeline (clock-skew approximation: one offset per shipment).
+    pub fn now_ns(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
+    }
+
     /// Turn causal tracing on or off; takes effect at every stamping site's
     /// next branch.
     pub fn set_enabled(&self, on: bool) {

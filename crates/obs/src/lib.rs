@@ -33,12 +33,14 @@
 
 pub mod causal;
 pub mod chrome;
+pub mod distrib;
 pub mod metrics;
 pub mod names;
 pub mod sample;
 pub mod trace;
 
 pub use causal::{CausalBuf, CausalGraph, CausalId, CausalTracer, CAUSAL_HEADER_BYTES};
+pub use distrib::{ClusterObs, RankObs};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sample::Sampler;
 pub use trace::{Event, SpanStart, TraceBuf, Tracer, WorkerTrace};

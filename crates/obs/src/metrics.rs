@@ -313,12 +313,22 @@ impl MetricsSnapshot {
 
     /// Plain-text rendering: `name value` lines, then one block per
     /// histogram with `le=BOUND count` bucket lines.
+    ///
+    /// Lines are sorted by metric name (counters and histograms
+    /// independently), not emitted in registration order: per-rank and
+    /// aggregated cluster dumps register metrics in different orders, and a
+    /// stable ordering is what lets two dumps be compared with `diff`. The
+    /// stored vectors keep registration order — only the rendering sorts.
     pub fn render_text(&self) -> String {
         let mut s = String::new();
-        for (name, v) in &self.counters {
+        let mut counters: Vec<&(String, u64)> = self.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in counters {
             s.push_str(&format!("{name} {v}\n"));
         }
-        for h in &self.histograms {
+        let mut histograms: Vec<&HistogramSnapshot> = self.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in histograms {
             let total = h.total();
             let mean = if total > 0 {
                 h.sum as f64 / total as f64
@@ -474,6 +484,39 @@ mod tests {
         assert!(json.contains("\"bounds\": [1, 2]"));
         assert!(json.contains("\"counts\": [1, 0, 1]"));
         assert!(json.contains("\"sum\": 4"));
+    }
+
+    #[test]
+    fn render_text_is_sorted_golden() {
+        // Registration order is deliberately unsorted; the rendering must
+        // come out name-sorted so per-rank and aggregated dumps diff
+        // cleanly. This is a golden test: any change to the text format is
+        // a conscious, visible decision.
+        let r = MetricsRegistry::new(1);
+        r.counter("zeta").add(0, 3);
+        r.counter("alpha").add(0, 1);
+        r.counter("mid.dle").add(0, 2);
+        let hb = r.histogram("b.hist", &[1, 2]);
+        hb.record(0, 1);
+        hb.record(0, 3);
+        r.histogram("a.hist", &[4]).record(0, 4);
+        let snap = r.snapshot();
+        // Stored order stays registration order…
+        assert_eq!(snap.counters[0].0, "zeta");
+        // …only the rendering sorts.
+        assert_eq!(
+            snap.render_text(),
+            "alpha 1\n\
+             mid.dle 2\n\
+             zeta 3\n\
+             a.hist total=1 sum=4 mean=4.00\n\
+             \x20 le=4 1\n\
+             \x20 le=+inf 0\n\
+             b.hist total=2 sum=4 mean=2.00\n\
+             \x20 le=1 1\n\
+             \x20 le=2 0\n\
+             \x20 le=+inf 1\n"
+        );
     }
 
     #[test]

@@ -23,12 +23,24 @@
 //! uts_tcp --rank 1 [--depth N]                  # prints LISTEN addr, serves
 //! uts_tcp --rank 0 --peer ADDR [--depth N]      # dials, runs, prints NODES
 //! uts_tcp --rank 0 --peer ADDR --force-version 99   # handshake-reject probe
+//! uts_tcp --rank 0 --peer ADDR --metrics-out M.json --trace-out T.json
 //! ```
 //!
 //! Rank 0 prints `NODES <n>` and exits 0 only when `<n>` equals the
 //! sequential traversal of the same tree; any transport or protocol error
 //! exits non-zero. The integration test additionally checks `<n>` against a
 //! `LocalTransport` run.
+//!
+//! With `--metrics-out`, rank 0 collects every rank's metrics snapshot over
+//! `H_OBS` (PROTOCOL.md §4) before shutting down and writes ONE aggregated
+//! cluster metrics JSON (the `uts.nodes` counter then sums both ranks'
+//! traversals); it also queries rank 1's live status report over the socket
+//! and prints `REMOTE_STATUS ok`. With `--trace-out`, both ranks run with
+//! causal tracing on; rank 0 stitches the shipped ring segments into one
+//! cross-process DAG, writes the chrome trace (per-rank process lanes,
+//! cross-socket flow arrows), and prints `CROSS_RANK_HOPS <n>` — the number
+//! of critical-path transport edges that crossed the socket. Pass the same
+//! flags to rank 1 (it ignores the file paths; they only switch tracing on).
 
 use apgas::{CodecMode, Config, PlaceId, Runtime};
 use std::net::TcpListener;
@@ -89,9 +101,18 @@ fn traverse_intervals(args: &[u8]) -> u64 {
     glb::TaskBag::take_result(&mut bag).nodes
 }
 
+/// Cluster-summable traversal counter: each rank adds the nodes it
+/// traversed, so the merged cluster snapshot's `uts.nodes` value is the
+/// whole tree — the aggregation-parity oracle of the integration test.
+const NODES_METRIC: &str = "uts.nodes";
+
 fn register_handlers(rt: &Runtime, remote_nodes: Arc<AtomicU64>) {
-    rt.register_handler(H_TRAVERSE, |ctx, args| {
+    let obs = rt.obs().cloned();
+    rt.register_handler(H_TRAVERSE, move |ctx, args| {
         let nodes = traverse_intervals(args);
+        if let Some(o) = &obs {
+            o.metrics.counter(NODES_METRIC).add(ctx.here().0, nodes);
+        }
         let mut reply = Vec::with_capacity(8);
         put_u64(&mut reply, nodes);
         ctx.at_async_cmd(PlaceId(0), H_RESULT, reply);
@@ -105,8 +126,19 @@ fn register_handlers(rt: &Runtime, remote_nodes: Arc<AtomicU64>) {
 
 fn usage(err: &str) -> ! {
     eprintln!("uts_tcp: {err}");
-    eprintln!("usage: uts_tcp --rank 0|1 [--peer ADDR] [--depth N] [--force-version V]");
+    eprintln!(
+        "usage: uts_tcp --rank 0|1 [--peer ADDR] [--depth N] [--force-version V] \
+         [--metrics-out FILE] [--trace-out FILE]"
+    );
     std::process::exit(2);
+}
+
+/// Output requests (rank 0 writes the files; rank 1 only uses the presence
+/// of `trace_out` to switch causal tracing on so its segments ship).
+#[derive(Default, Clone)]
+struct ObsOut {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn main() {
@@ -115,6 +147,7 @@ fn main() {
     let mut peer: Option<String> = None;
     let mut depth = 10u32;
     let mut version: Option<u16> = None;
+    let mut out = ObsOut::default();
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -144,6 +177,8 @@ fn main() {
                         .unwrap_or_else(|_| usage("--force-version takes a u16")),
                 )
             }
+            "--metrics-out" => out.metrics_out = Some(value(&mut i, "--metrics-out")),
+            "--trace-out" => out.trace_out = Some(value(&mut i, "--trace-out")),
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -155,8 +190,9 @@ fn main() {
             peer.unwrap_or_else(|| usage("--rank 0 needs --peer ADDR")),
             depth,
             version,
+            out,
         ),
-        1 => rank1(depth, version),
+        1 => rank1(depth, version, out),
         _ => usage("--rank takes 0 or 1"),
     }
 }
@@ -177,11 +213,16 @@ fn proc_specs(rank0_addr: String, rank1_addr: String) -> Vec<ProcSpec> {
     ]
 }
 
-fn config(rank: u32) -> Config {
-    Config::new(2).codec(CodecMode::Bytes).host_places(rank, 1)
+fn config(rank: u32, out: &ObsOut) -> Config {
+    let causal = out.trace_out.is_some();
+    Config::new(2)
+        .codec(CodecMode::Bytes)
+        .host_places(rank, 1)
+        .trace_enable(causal)
+        .causal_enable(causal)
 }
 
-fn rank1(_depth: u32, version: Option<u16>) {
+fn rank1(_depth: u32, version: Option<u16>, out: ObsOut) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     // The launcher scrapes this line to learn where to point rank 0.
@@ -198,12 +239,12 @@ fn rank1(_depth: u32, version: Option<u16>) {
             std::process::exit(1);
         }
     };
-    let rt = Runtime::with_transport(config(1), transport);
+    let rt = Runtime::with_transport(config(1, &out), transport);
     register_handlers(&rt, Arc::new(AtomicU64::new(0)));
     rt.serve(); // returns when rank 0 broadcasts shutdown
 }
 
-fn rank0(peer: String, depth: u32, version: Option<u16>) {
+fn rank0(peer: String, depth: u32, version: Option<u16>, out: ObsOut) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     let mut cfg = TcpConfig::new(proc_specs(addr.to_string(), peer), 0);
@@ -217,7 +258,7 @@ fn rank0(peer: String, depth: u32, version: Option<u16>) {
             std::process::exit(1);
         }
     };
-    let rt = Runtime::with_transport(config(0), transport);
+    let rt = Runtime::with_transport(config(0, &out), transport);
     let remote_nodes = Arc::new(AtomicU64::new(0));
     register_handlers(&rt, remote_nodes.clone());
 
@@ -237,6 +278,35 @@ fn rank0(peer: String, depth: u32, version: Option<u16>) {
         while glb::TaskBag::process(&mut bag, 4096) > 0 {}
         glb::TaskBag::take_result(&mut bag).nodes
     });
+    if let Some(o) = rt.obs() {
+        o.metrics.counter(NODES_METRIC).add(0, local_nodes);
+    }
+    if out.metrics_out.is_some() || out.trace_out.is_some() {
+        // Pull the serving rank's observability state over the socket
+        // *before* the shutdown broadcast tears the launch down, and probe
+        // the live status query while the peer still serves.
+        if let Some((text, _json)) = rt.remote_status(PlaceId(1), std::time::Duration::from_secs(5))
+        {
+            if text.contains("runtime status: rank 1") {
+                println!("REMOTE_STATUS ok");
+            } else {
+                eprintln!("uts_tcp: unexpected remote status report:\n{text}");
+            }
+        }
+        rt.collect_cluster_obs(std::time::Duration::from_secs(5));
+        if let Some(path) = &out.metrics_out {
+            let json = rt.cluster_metrics_json().expect("obs enabled");
+            std::fs::write(path, json).expect("write --metrics-out");
+        }
+        if let Some(path) = &out.trace_out {
+            let trace = rt.cluster_chrome_trace_json().expect("obs enabled");
+            std::fs::write(path, trace).expect("write --trace-out");
+            let cp = rt.cluster_critical_path_json().expect("obs enabled");
+            let crossings = cp.matches("\"from\": 0, \"to\": 1").count()
+                + cp.matches("\"from\": 1, \"to\": 0").count();
+            println!("CROSS_RANK_HOPS {crossings}");
+        }
+    }
     rt.broadcast_shutdown();
 
     let total = local_nodes + remote_nodes.load(Ordering::Relaxed);

@@ -86,6 +86,96 @@ fn two_process_uts_matches_local_transport() {
     );
 }
 
+/// Pull `"name": <u64>` out of a JSON dump (first occurrence — in the
+/// cluster metrics file the `"merged"` section renders before `"per_rank"`,
+/// so the first hit is the cluster-wide value).
+fn json_counter(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\": ");
+    let at = json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} in {json}"));
+    json[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn two_process_obs_aggregation_matches_in_process_run() {
+    let dir = std::env::temp_dir().join(format!("uts-tcp-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("cluster_metrics.json");
+    let trace_path = dir.join("cluster_trace.json");
+    let obs_flags = [
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ];
+
+    let (rank1, addr) = spawn_rank1(&obs_flags);
+    let out = Command::new(env!("CARGO_BIN_EXE_uts_tcp"))
+        .args([
+            "--rank",
+            "0",
+            "--peer",
+            &addr,
+            "--depth",
+            &DEPTH.to_string(),
+        ])
+        .args(obs_flags)
+        .output()
+        .expect("run rank 0");
+    let (rank1_ok, rank1_err) = reap(rank1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "rank 0 failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(rank1_ok, "rank 1 failed: {rank1_err}");
+
+    // ONE aggregated metrics JSON: both ranks' shipments folded, and the
+    // summed uts.nodes counter equals an in-process run of the same tree.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("cluster metrics written");
+    assert!(metrics.contains("\"cluster\": true"), "{metrics}");
+    assert!(
+        metrics.contains("\"ranks\": [0, 1]"),
+        "both ranks folded: {metrics}"
+    );
+    let tree = uts::GeoTree::paper(DEPTH);
+    let rt = apgas::Runtime::new(apgas::Config::new(2));
+    let local = rt.run(move |ctx| uts::run_distributed(ctx, tree, glb::GlbConfig::default()));
+    assert_eq!(
+        json_counter(&metrics, "uts.nodes"),
+        local.stats.nodes,
+        "aggregated node-count metric must match the in-process run"
+    );
+
+    // ONE stitched causal DAG: the chrome trace draws rank 1's lane, and
+    // the critical path contains transport edges that crossed the socket.
+    let trace = std::fs::read_to_string(&trace_path).expect("cluster trace written");
+    assert!(trace.contains("\"pid\": 1"), "remote rank's process lane");
+    let hops: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("CROSS_RANK_HOPS "))
+        .expect("rank 0 prints CROSS_RANK_HOPS <n>")
+        .trim()
+        .parse()
+        .expect("hop count");
+    assert!(hops >= 1, "critical path must cross the socket: {stdout}");
+
+    // The live status query crossed the socket too.
+    assert!(
+        stdout.contains("REMOTE_STATUS ok"),
+        "rank 1's status report must be reachable over TCP: {stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn version_mismatch_is_rejected_at_the_handshake() {
     let (rank1, addr) = spawn_rank1(&[]);

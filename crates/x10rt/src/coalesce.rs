@@ -410,6 +410,15 @@ impl Coalescer {
             .sum()
     }
 
+    /// Total modeled bytes currently buffered across all destinations
+    /// (diagnostics / runtime introspection).
+    pub fn pending_bytes(&self) -> usize {
+        self.dirty
+            .iter()
+            .map(|&d| self.bufs.get(&d).map_or(0, |b| b.bytes))
+            .sum()
+    }
+
     /// Destination buffers materialized so far (diagnostics / tests): the
     /// number of places this sender has ever coalesced traffic for.
     pub fn bufs_allocated(&self) -> usize {

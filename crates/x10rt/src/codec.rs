@@ -110,6 +110,10 @@ pub const H_SHUTDOWN: HandlerId = HandlerId(5);
 /// chaos layer's phantom duplicates and truncation husks must cross a real
 /// wire too, so receive-edge filtering stays observable under TCP).
 pub const H_MARKER: HandlerId = HandlerId(6);
+/// Runtime handler id: observability-plane traffic (`ObsMsg`) — metrics
+/// snapshot and causal-segment shipping to rank 0, and the live status
+/// query/reply pair.
+pub const H_OBS: HandlerId = HandlerId(7);
 
 /// Which payload representation the runtime uses for protocol sends.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -789,7 +793,9 @@ mod tests {
     fn handler_id_numbering() {
         assert!(!HandlerId::INVALID.is_runtime());
         assert!(!HandlerId::INVALID.is_app());
-        for h in [H_SPAWN, H_FINISH, H_TEAM, H_CLOCK, H_SHUTDOWN, H_MARKER] {
+        for h in [
+            H_SPAWN, H_FINISH, H_TEAM, H_CLOCK, H_SHUTDOWN, H_MARKER, H_OBS,
+        ] {
             assert!(h.is_runtime(), "{h} must be runtime-reserved");
         }
         assert!(HandlerId::FIRST_APP.is_app());

@@ -85,6 +85,7 @@ fn handler_numbering_matches_the_doc() {
         (codec::H_CLOCK, "H_CLOCK"),
         (codec::H_SHUTDOWN, "H_SHUTDOWN"),
         (codec::H_MARKER, "H_MARKER"),
+        (codec::H_OBS, "H_OBS"),
     ] {
         assert!(id.is_runtime(), "{name} must be in the runtime range");
         doc_has(&format!("| {} | `{name}` |", id.0));
