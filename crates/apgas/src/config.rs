@@ -5,6 +5,20 @@ use std::time::Duration;
 /// Default usable stack per place context in M:N mode (1 MiB, `NORESERVE`).
 pub const DEFAULT_CONTEXT_STACK_SIZE: usize = 1 << 20;
 
+/// How `dist` collections rebuild chunks lost to a place death.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RedundancyMode {
+    /// Keep a live replica of every chunk at a buddy place (owner+1,
+    /// skipping the owner); recovery copies the replica. Every applied
+    /// update is forwarded to the buddy, so steady state costs one extra
+    /// message per update but recovery is lossless for applied updates.
+    Replica,
+    /// Keep no redundant copy; recovery re-runs the collection's registered
+    /// recompute function (initial data). Updates applied after
+    /// construction are lost — only correct for recomputable data.
+    Recompute,
+}
+
 /// Configuration of an APGAS runtime.
 ///
 /// Defaults mirror the paper's launch configuration: one worker thread per
@@ -119,6 +133,17 @@ pub struct Config {
     /// the 1 MiB default reserve 4 GiB but commit only pages actually
     /// touched. Ignored in thread-per-place mode (threads get 16 MiB).
     pub context_stack_size: usize,
+    /// Enable the resilient-finish recovery machinery for
+    /// [`crate::FinishKind::Resilient`] roots: adoption of dead places'
+    /// accounting, re-execution of registered command descriptors, and
+    /// backup-place snapshot replication. On by default; turning it off
+    /// leaves `Resilient` behaving exactly like the default protocol (a
+    /// place death then stalls the finish until the watchdog fires) — the
+    /// deliberately-broken configuration the DST mutation-smoke test must
+    /// catch.
+    pub resilient_finish: bool,
+    /// How `dist` collections rebuild chunks lost to a place death.
+    pub redundancy_mode: RedundancyMode,
     /// The contiguous range of places hosted by *this process* as
     /// `(start, count)`; `None` — the default — hosts all of them
     /// (single-process operation). In a multi-process launch over
@@ -153,8 +178,23 @@ impl Config {
             codec: x10rt::CodecMode::Inline,
             executor_threads: None,
             context_stack_size: DEFAULT_CONTEXT_STACK_SIZE,
+            resilient_finish: true,
+            redundancy_mode: RedundancyMode::Replica,
             host_places: None,
         }
+    }
+
+    /// Enable or disable the resilient-finish recovery machinery (builder
+    /// style). See [`Config::resilient_finish`].
+    pub fn resilient_finish(mut self, on: bool) -> Self {
+        self.resilient_finish = on;
+        self
+    }
+
+    /// Select how `dist` collections rebuild lost chunks (builder style).
+    pub fn redundancy_mode(mut self, mode: RedundancyMode) -> Self {
+        self.redundancy_mode = mode;
+        self
     }
 
     /// Multiplex places as lightweight contexts over `n` executor threads
@@ -334,6 +374,15 @@ mod tests {
         );
         assert!(c.host_places.is_none(), "single-process by default");
         assert!(
+            c.resilient_finish,
+            "resilient-finish recovery is on by default"
+        );
+        assert_eq!(
+            c.redundancy_mode,
+            RedundancyMode::Replica,
+            "replica redundancy is the default"
+        );
+        assert!(
             c.executor_threads.is_none(),
             "thread-per-place (a core per place, as on the p775) by default"
         );
@@ -404,6 +453,15 @@ mod tests {
         assert_eq!(c.fault_plan.as_ref().unwrap().seed, 7);
         assert_eq!(c.send_timeout, Duration::from_millis(50));
         assert_eq!(c.finish_watchdog, Some(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn resilience_builders() {
+        let c = Config::new(4)
+            .resilient_finish(false)
+            .redundancy_mode(RedundancyMode::Recompute);
+        assert!(!c.resilient_finish);
+        assert_eq!(c.redundancy_mode, RedundancyMode::Recompute);
     }
 
     #[test]

@@ -241,6 +241,21 @@ impl<'w> Ctx<'w> {
                 cause_remote: false,
             });
         } else {
+            // Resilient re-execution needs the task in serializable form:
+            // log command spawns (the only replayable bodies) at the root
+            // before the send, so a kill between send and receipt still
+            // leaves a descriptor to replay. Closure bodies are abandoned
+            // on place death (DESIGN.md §6).
+            if fin.kind == FinishKind::Resilient {
+                if let SpawnBody::Cmd { handler, args } = &body {
+                    root.register_cmd(crate::finish::CmdDescriptor {
+                        id: self.worker.g.ids.fetch_add(1, Ordering::Relaxed),
+                        dest: target.0,
+                        handler: handler.0,
+                        args: args.clone(),
+                    });
+                }
+            }
             let weight = root.note_remote_spawn(here.0, target.0);
             self.worker.send_spawn(
                 target,
@@ -312,6 +327,26 @@ impl<'w> Ctx<'w> {
                 cause_remote: false,
             });
         } else {
+            // Remote spawner under a resilient finish: ship the command
+            // descriptor to the root's home first so the home can replay it
+            // if `target` dies. FIFO per (src,dst,class) ordering is not
+            // needed here — the CmdLog and the spawn take different paths,
+            // and the root tolerates a log arriving after adoption by
+            // replaying immediately (`apply_cmd_log` hands the command
+            // back).
+            if fin.kind == FinishKind::Resilient && target != fin.id.home {
+                if let SpawnBody::Cmd { handler, args } = &body {
+                    self.worker.send_cmd_log(
+                        fin,
+                        crate::finish::CmdDescriptor {
+                            id: self.worker.g.ids.fetch_add(1, Ordering::Relaxed),
+                            dest: target.0,
+                            handler: handler.0,
+                            args: args.clone(),
+                        },
+                    );
+                }
+            }
             self.worker.with_proxy(fin, |p| {
                 p.on_remote_spawn(target.0);
                 p.maybe_flush_threshold(flush_bound)
@@ -356,6 +391,11 @@ impl<'w> Ctx<'w> {
         let fin = FinishRef { id, kind };
         let root = Arc::new(RootState::new(kind, id));
         self.worker.place.roots.lock().insert(seq, root.clone());
+        if kind == FinishKind::Resilient {
+            // Seed the backup place with the (empty) liveness snapshot so it
+            // knows the scope exists before any activity can escape it.
+            self.worker.send_backup_sync(&root);
+        }
         self.scopes.borrow_mut().push(Scope {
             fin,
             root: root.clone(),
@@ -364,6 +404,12 @@ impl<'w> Ctx<'w> {
         self.scopes.borrow_mut().pop();
         root.set_body_done();
         match self.worker.g.cfg.finish_watchdog {
+            None if kind == FinishKind::Resilient => self.worker.wait_until(&|| {
+                // Adoption must run even without a watchdog: a kill with no
+                // deadline configured would otherwise hang the scope forever.
+                self.worker.resilient_recover(&root);
+                root.is_done()
+            }),
             None => self.worker.wait_until(&|| root.is_done()),
             Some(limit) => {
                 if let Err(err) = self.worker.wait_root_watchdog(&root, limit) {
@@ -379,6 +425,9 @@ impl<'w> Ctx<'w> {
             }
         }
         self.worker.place.roots.lock().remove(&seq);
+        if kind == FinishKind::Resilient {
+            self.worker.send_backup_release(&root);
+        }
         if let Some(t) = self.worker.trace() {
             t.span_end(span, "finish", kind.label(), seq);
         }

@@ -56,6 +56,14 @@ pub enum FinishKind {
     /// Default accounting with host-master software routing + hop
     /// aggregation for dense/irregular communication graphs.
     Dense,
+    /// Resilient finish (Resilient X10 semantics): the default matrix
+    /// accounting plus place-death survival. The root replicates a per-root
+    /// liveness snapshot to a backup place, **adopts** the orphaned
+    /// accounting of a dead place (drops every matrix/live component that
+    /// names it), and **re-executes** registered command-bodied spawns that
+    /// were destined to the dead place (closure bodies are unrecoverable
+    /// and are simply abandoned). See DESIGN.md §6.
+    Resilient,
 }
 
 impl FinishKind {
@@ -68,6 +76,7 @@ impl FinishKind {
             FinishKind::Here => "FINISH_HERE",
             FinishKind::Spmd => "FINISH_SPMD",
             FinishKind::Dense => "FINISH_DENSE",
+            FinishKind::Resilient => "FINISH_RESILIENT",
         }
     }
 }
@@ -176,6 +185,36 @@ fn merge_edges(into: &mut Vec<(u32, u32, u64)>, from: Vec<(u32, u32, u64)>) {
     }
 }
 
+/// A re-executable description of a command-bodied spawn, registered with a
+/// resilient finish root before the task is shipped. If the destination
+/// place dies before the finish completes, the root re-runs the command
+/// locally (the PR 9 codec guarantees the body is a pure `(handler, args)`
+/// pair, so "re-send the command" is always possible). Handlers used under
+/// resilient finish must therefore be **idempotent and location-independent**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CmdDescriptor {
+    /// Root-assigned unique id (for app-level reply dedup).
+    pub id: u64,
+    /// Place the command was originally destined to.
+    pub dest: u32,
+    /// Registered handler id (`HandlerId`).
+    pub handler: u32,
+    /// Encoded argument bytes.
+    pub args: Vec<u8>,
+}
+
+/// Compact liveness snapshot a resilient root replicates to its backup
+/// place. Deliberately small: enough for an observer (status plane, future
+/// root-death recovery) to know the finish existed and how much was
+/// outstanding, piggybacked on `FinishCtl` traffic.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BackupSnapshot {
+    /// Nonzero matrix + live components outstanding at snapshot time.
+    pub nonzero: u64,
+    /// Registered command descriptors outstanding at snapshot time.
+    pub pending: u64,
+}
+
 /// Finish-protocol control messages (MsgClass::FinishCtl on the wire).
 pub enum FinishMsg {
     /// Default protocol: a place's coalesced deltas, sent directly to the
@@ -211,6 +250,30 @@ pub enum FinishMsg {
         weight: u64,
         /// Panic raised by the dying activity, if any.
         panic: Option<String>,
+    },
+    /// Resilient: the root replicates its liveness snapshot to the backup
+    /// place (home+1 mod places). Sent at finish open and opportunistically
+    /// when the outstanding state changes shape.
+    BackupSync {
+        /// The finish being backed up.
+        fin: FinishRef,
+        /// The snapshot.
+        snapshot: BackupSnapshot,
+    },
+    /// Resilient: the finish completed; the backup place may discard its
+    /// snapshot.
+    BackupRelease {
+        /// The finish being released.
+        fin: FinishRef,
+    },
+    /// Resilient: a *remote* spawner logs a command-bodied spawn with the
+    /// root before shipping the task, so the root can re-execute it if the
+    /// destination dies. (Home-side spawns register directly, no message.)
+    CmdLog {
+        /// Target finish.
+        fin: FinishRef,
+        /// The re-executable descriptor.
+        cmd: CmdDescriptor,
     },
 }
 

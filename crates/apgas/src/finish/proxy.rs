@@ -61,7 +61,10 @@ impl Proxy {
     }
 
     fn is_matrix_kind(&self) -> bool {
-        matches!(self.fin.kind, FinishKind::Default | FinishKind::Dense)
+        matches!(
+            self.fin.kind,
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient
+        )
     }
 
     /// A governed activity arrived from `src`.
@@ -75,7 +78,7 @@ impl Proxy {
     /// A governed activity was spawned locally at this place.
     pub fn on_local_spawn(&mut self) {
         match self.fin.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
                 self.live += 1;
                 self.local_spawned += 1;
             }
@@ -97,7 +100,7 @@ impl Proxy {
     /// absence is exactly what makes SPMD/Async termination counting cheap.
     pub fn on_remote_spawn(&mut self, dst: u32) {
         match self.fin.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
                 *self.spawned_to.entry(dst).or_insert(0) += 1;
             }
             k => panic!(
@@ -117,7 +120,7 @@ impl Proxy {
             self.panics.push(p);
         }
         match self.fin.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
                 self.died += 1;
                 if self.live == 0 {
                     self.take_flush()

@@ -25,10 +25,10 @@
 //! quiescence, and liveness follows because every place flushes when its
 //! live count reaches zero.
 
-use super::{Deltas, FinishId, FinishKind};
+use super::{BackupSnapshot, CmdDescriptor, Deltas, FinishId, FinishKind};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Root-side termination-detection state for one `finish` block.
 pub struct RootState {
@@ -43,16 +43,23 @@ pub struct RootState {
     /// advances, termination detection is making progress and the watchdog
     /// deadline keeps being extended.
     events: AtomicU64,
+    /// Number of dead places this root has adopted (lock-free mirror of
+    /// `Inner::adopted.len()`, so the resilient wait loop can skip taking
+    /// the lock when nothing new has died).
+    adopted_places: AtomicUsize,
 }
 
 #[derive(Default)]
 struct Inner {
     body_done: bool,
-    // -- Default / Dense --
+    // -- Default / Dense / Resilient --
     matrix: HashMap<(u32, u32), i64>,
     nonzero_matrix: usize,
     live: HashMap<u32, i64>,
     nonzero_live: usize,
+    // -- Resilient: adopted dead places + re-executable command log --
+    adopted: HashSet<u32>,
+    pending_cmds: Vec<CmdDescriptor>,
     // -- Spmd / Async --
     spawned_remote: u64,
     completed_remote: u64,
@@ -98,6 +105,7 @@ impl RootState {
             inner: Mutex::new(Inner::default()),
             done: AtomicBool::new(false),
             events: AtomicU64::new(0),
+            adopted_places: AtomicUsize::new(0),
         }
     }
 
@@ -129,7 +137,9 @@ impl RootState {
                 g.home_live == 0 && g.completed_remote == g.spawned_remote
             }
             FinishKind::Here => g.home_live == 0 && g.weight_back == g.weight_out,
-            FinishKind::Default | FinishKind::Dense => g.nonzero_matrix == 0 && g.nonzero_live == 0,
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
+                g.nonzero_matrix == 0 && g.nonzero_live == 0
+            }
         };
         if quiescent {
             self.done.store(true, Ordering::Release);
@@ -153,7 +163,7 @@ impl RootState {
         g.total_spawns += 1;
         self.enforce_async_arity(&g);
         match self.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
                 let Inner {
                     live, nonzero_live, ..
                 } = &mut *g;
@@ -171,7 +181,7 @@ impl RootState {
             g.panics.push(p);
         }
         match self.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
                 let Inner {
                     live, nonzero_live, ..
                 } = &mut *g;
@@ -193,7 +203,13 @@ impl RootState {
         g.total_spawns += 1;
         self.enforce_async_arity(&g);
         match self.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
+                if self.kind == FinishKind::Resilient && g.adopted.contains(&dst) {
+                    // Destination already adopted: the spawn is stillborn
+                    // (the send will fail at the transport); keep it out of
+                    // the matrix so it cannot block termination.
+                    return 0;
+                }
                 let Inner {
                     matrix,
                     nonzero_matrix,
@@ -222,7 +238,12 @@ impl RootState {
         self.progressed();
         let mut g = self.inner.lock();
         match self.kind {
-            FinishKind::Default | FinishKind::Dense => {
+            FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
+                // If the source was adopted its spawn edge was zeroed (or
+                // never reported): skip the matrix decrement, but the
+                // activity really is here and its death will decrement
+                // live[home], so the live increment must still happen.
+                let adopted_src = self.kind == FinishKind::Resilient && g.adopted.contains(&src);
                 let Inner {
                     matrix,
                     nonzero_matrix,
@@ -230,7 +251,9 @@ impl RootState {
                     nonzero_live,
                     ..
                 } = &mut *g;
-                bump(matrix, nonzero_matrix, (src, home), -1);
+                if !adopted_src {
+                    bump(matrix, nonzero_matrix, (src, home), -1);
+                }
                 bump1(live, nonzero_live, home, 1);
             }
             FinishKind::Here => {}
@@ -249,9 +272,13 @@ impl RootState {
         self.check(&g);
     }
 
-    /// Apply a coalesced (possibly hop-merged) delta flush (default/dense).
+    /// Apply a coalesced (possibly hop-merged) delta flush (default/dense/
+    /// resilient). Under resilient finish, components naming an adopted
+    /// (dead) place are dropped: the reconstruction already zeroed their
+    /// contribution, so late stragglers must not drive entries negative.
     pub fn apply_deltas(&self, deltas: Deltas) {
         self.progressed();
+        let is_res = self.kind == FinishKind::Resilient;
         let mut g = self.inner.lock();
         let Inner {
             matrix,
@@ -259,15 +286,26 @@ impl RootState {
             live,
             nonzero_live,
             panics,
+            adopted,
             ..
         } = &mut *g;
+        let skip = |p: u32| is_res && adopted.contains(&p);
         for (src, dst, k) in &deltas.spawned {
+            if skip(*src) || skip(*dst) {
+                continue;
+            }
             bump(matrix, nonzero_matrix, (*src, *dst), *k as i64);
         }
         for (src, dst, k) in &deltas.recv {
+            if skip(*src) || skip(*dst) {
+                continue;
+            }
             bump(matrix, nonzero_matrix, (*src, *dst), -(*k as i64));
         }
         for (p, d) in &deltas.live {
+            if skip(*p) {
+                continue;
+            }
             bump1(live, nonzero_live, *p, *d);
         }
         panics.extend(deltas.panics);
@@ -299,6 +337,123 @@ impl RootState {
         g.weight_back += weight as u128;
         debug_assert!(g.weight_back <= g.weight_out, "credit overflow");
         self.check(&g);
+    }
+
+    /// Register a re-executable command descriptor with a resilient root
+    /// (home-side spawns call this directly before the task is shipped).
+    pub fn register_cmd(&self, cmd: CmdDescriptor) {
+        debug_assert_eq!(self.kind, FinishKind::Resilient);
+        self.inner.lock().pending_cmds.push(cmd);
+    }
+
+    /// Apply a remote spawner's `CmdLog`. Returns the descriptor back when
+    /// its destination has already been adopted — the caller must re-execute
+    /// it immediately (the reconstruction pass that would have picked it up
+    /// has already run). The re-execution is pre-accounted here, under the
+    /// lock, for the same reason as in [`RootState::reconstruct`]: the
+    /// caller's enqueue must not race the done latch.
+    pub fn apply_cmd_log(&self, cmd: CmdDescriptor) -> Option<CmdDescriptor> {
+        self.progressed();
+        let mut g = self.inner.lock();
+        if g.adopted.contains(&cmd.dest) {
+            g.total_spawns += 1;
+            let home = self.id.home.0;
+            let Inner {
+                live, nonzero_live, ..
+            } = &mut *g;
+            bump1(live, nonzero_live, home, 1);
+            Some(cmd)
+        } else {
+            g.pending_cmds.push(cmd);
+            None
+        }
+    }
+
+    /// Cheap lock-free pre-check for [`RootState::reconstruct`]: true when
+    /// the runtime reports more dead places than this root has adopted.
+    #[inline]
+    pub fn needs_reconstruct(&self, dead_count: usize) -> bool {
+        self.kind == FinishKind::Resilient
+            && self.adopted_places.load(Ordering::Relaxed) < dead_count
+    }
+
+    /// Adopt the orphaned accounting of newly-dead places: zero every
+    /// matrix/live component naming them (their reports will never arrive,
+    /// and any already-applied contribution is void) and hand back the
+    /// registered command descriptors destined to them, for re-execution at
+    /// the home place. Returns `None` when every listed place was already
+    /// adopted. Closure-bodied lost activities have no descriptor and are
+    /// abandoned — only command-bodied work is re-executed.
+    pub fn reconstruct(&self, dead: &[u32]) -> Option<Vec<CmdDescriptor>> {
+        debug_assert_eq!(self.kind, FinishKind::Resilient);
+        let mut g = self.inner.lock();
+        let fresh: Vec<u32> = dead
+            .iter()
+            .copied()
+            .filter(|p| !g.adopted.contains(p))
+            .collect();
+        if fresh.is_empty() {
+            return None;
+        }
+        g.adopted.extend(fresh.iter().copied());
+        self.adopted_places
+            .store(g.adopted.len(), Ordering::Relaxed);
+        let dead_keys: Vec<(u32, u32)> = g
+            .matrix
+            .iter()
+            .filter(|(&(s, d), &v)| v != 0 && (fresh.contains(&s) || fresh.contains(&d)))
+            .map(|(&k, _)| k)
+            .collect();
+        {
+            let Inner {
+                matrix,
+                nonzero_matrix,
+                live,
+                nonzero_live,
+                ..
+            } = &mut *g;
+            for k in dead_keys {
+                let v = matrix[&k];
+                bump(matrix, nonzero_matrix, k, -v);
+            }
+            for &p in &fresh {
+                let v = live.get(&p).copied().unwrap_or(0);
+                if v != 0 {
+                    bump1(live, nonzero_live, p, -v);
+                }
+            }
+        }
+        let (lost, kept): (Vec<_>, Vec<_>) = g
+            .pending_cmds
+            .drain(..)
+            .partition(|c| fresh.contains(&c.dest));
+        g.pending_cmds = kept;
+        // Pre-account the re-executions *inside* this critical section.
+        // Zeroing the dead edges can leave the matrix momentarily all-zero
+        // while the lost commands are about to be re-injected; `done` is a
+        // latch (all-zero is terminal in normal operation), so `check` must
+        // never see that fake quiescent state. The caller re-executes each
+        // returned descriptor without a further spawn note.
+        if !lost.is_empty() {
+            g.total_spawns += lost.len() as u64;
+            let home = self.id.home.0;
+            let Inner {
+                live, nonzero_live, ..
+            } = &mut *g;
+            bump1(live, nonzero_live, home, lost.len() as i64);
+        }
+        self.progressed();
+        self.check(&g);
+        Some(lost)
+    }
+
+    /// Compact liveness snapshot for backup replication.
+    pub fn backup_snapshot(&self) -> BackupSnapshot {
+        let g = self.inner.lock();
+        BackupSnapshot {
+            nonzero: (g.nonzero_matrix + g.nonzero_live) as u64,
+            pending: g.pending_cmds.len() as u64,
+        }
     }
 
     /// The finish body returned; termination may now be declared.
@@ -459,6 +614,86 @@ mod tests {
         assert!(r.is_done());
         let p = r.take_panics();
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn resilient_adoption_clears_dead_accounting_and_returns_cmds() {
+        let r = root(FinishKind::Resilient);
+        // Two spawns to place 3 (one command-bodied, registered), one to 2.
+        r.note_remote_spawn(0, 3);
+        r.note_remote_spawn(0, 3);
+        r.note_remote_spawn(0, 2);
+        r.register_cmd(CmdDescriptor {
+            id: 7,
+            dest: 3,
+            handler: 2000,
+            args: vec![1, 2],
+        });
+        r.set_body_done();
+        assert!(!r.is_done());
+        // Place 3 dies before reporting anything.
+        assert!(r.needs_reconstruct(1));
+        let lost = r.reconstruct(&[3]).expect("fresh dead place");
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].dest, 3);
+        assert!(!r.needs_reconstruct(1));
+        assert!(r.reconstruct(&[3]).is_none());
+        assert!(!r.is_done());
+        // Place 2's normal report is no longer enough: the handed-back
+        // command was pre-accounted as a live home activity by the
+        // reconstruction (so the done latch can't fire before the caller
+        // enqueues it) and must run to completion first.
+        r.apply_deltas(Deltas {
+            recv: vec![(0, 2, 1)],
+            live: vec![(2, 0)],
+            ..Deltas::default()
+        });
+        assert!(!r.is_done());
+        r.note_local_death(0, None);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn resilient_drops_straggler_deltas_naming_adopted_places() {
+        let r = root(FinishKind::Resilient);
+        r.note_remote_spawn(0, 3);
+        r.reconstruct(&[3]).expect("adopted");
+        // Straggler flush from the victim, delivered after adoption: its
+        // components must be dropped, not drive the matrix negative.
+        r.apply_deltas(Deltas {
+            recv: vec![(0, 3, 1)],
+            spawned: vec![(3, 2, 1)],
+            live: vec![(3, 1)],
+            ..Deltas::default()
+        });
+        r.set_body_done();
+        assert!(r.is_done());
+        // Post-adoption spawns toward the dead place are stillborn.
+        r.note_remote_spawn(0, 3);
+        assert_eq!(r.matrix_entries(), 1); // only the original zeroed entry
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn resilient_cmd_log_after_adoption_is_handed_back() {
+        let r = root(FinishKind::Resilient);
+        r.reconstruct(&[2]).expect("adopted");
+        let cmd = CmdDescriptor {
+            id: 1,
+            dest: 2,
+            handler: 2000,
+            args: vec![],
+        };
+        assert_eq!(r.apply_cmd_log(cmd.clone()), Some(cmd));
+        let kept = CmdDescriptor {
+            id: 2,
+            dest: 1,
+            handler: 2000,
+            args: vec![],
+        };
+        assert_eq!(r.apply_cmd_log(kept), None);
+        let snap = r.backup_snapshot();
+        assert_eq!(snap.pending, 1);
     }
 
     #[test]

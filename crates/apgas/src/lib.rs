@@ -63,10 +63,10 @@ pub mod wire;
 pub(crate) mod worker;
 
 pub use clock::Clock;
-pub use config::Config;
+pub use config::{Config, RedundancyMode};
 pub use ctx::Ctx;
 pub use error::ApgasError;
-pub use finish::FinishKind;
+pub use finish::{BackupSnapshot, CmdDescriptor, FinishKind};
 pub use global_ref::{GlobalRef, PlaceLocalHandle};
 pub use place_group::PlaceGroup;
 pub use rail::GlobalRail;

@@ -5,7 +5,7 @@ use crate::clock::ClockTables;
 use crate::finish::dense::DenseAggregator;
 use crate::finish::proxy::Proxy;
 use crate::finish::root::RootState;
-use crate::finish::{Attach, FinishId};
+use crate::finish::{Attach, BackupSnapshot, FinishId};
 use crate::team::TeamInbox;
 use crate::worker::TaskFn;
 use crossbeam_deque::Injector;
@@ -56,6 +56,10 @@ pub struct PlaceState {
     pub next_finish_seq: AtomicU64,
     /// Finish proxies for remotely-homed finishes with state at this place.
     pub proxies: Mutex<HashMap<FinishId, Proxy>>,
+    /// Resilient-finish backup snapshots this place holds for finishes
+    /// homed at its predecessor (home+1 replication; see DESIGN.md §6).
+    /// Released when the home reports completion.
+    pub backup_roots: Mutex<HashMap<FinishId, BackupSnapshot>>,
     /// FINISH_DENSE hop-aggregation buffer (this place acting as a master).
     pub dense_agg: Mutex<DenseAggregator>,
     /// Object registry backing `GlobalRef` / `PlaceLocalHandle`.
@@ -97,6 +101,7 @@ impl PlaceState {
             roots: Mutex::new(HashMap::new()),
             next_finish_seq: AtomicU64::new(1),
             proxies: Mutex::new(HashMap::new()),
+            backup_roots: Mutex::new(HashMap::new()),
             dense_agg: Mutex::new(DenseAggregator::new()),
             registry: Mutex::new(HashMap::new()),
             team: Mutex::new(TeamInbox::default()),

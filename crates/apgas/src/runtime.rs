@@ -116,6 +116,30 @@ impl Global {
         }
         r
     }
+
+    /// [`Global::residue`] restricted to places the transport still reports
+    /// alive. A killed place's tables are frozen mid-protocol — proxies and
+    /// dense buffers stranded there are expected debris, not a quiescence
+    /// violation; the kill-schedule oracles use this variant.
+    pub(crate) fn residue_alive(&self) -> FinishResidue {
+        let dead: Vec<x10rt::PlaceId> = self.transport.dead_places();
+        let mut r = FinishResidue {
+            roots: 0,
+            proxies: 0,
+            dense_pending: 0,
+        };
+        for p in &self.places {
+            if dead.contains(&p.id) {
+                continue;
+            }
+            r.roots += p.roots.lock().len();
+            r.proxies += p.proxies.lock().len();
+            if p.dense_agg.lock().has_pending() {
+                r.dense_pending += 1;
+            }
+        }
+        r
+    }
 }
 
 /// Residual finish-protocol state left at the places, summed runtime-wide —
@@ -787,6 +811,29 @@ impl Runtime {
             || self.g.transport.queue_len(place) > 0
     }
 
+    /// Does `place` host a resilient finish root that has not yet adopted
+    /// every dead place? Adoption runs in the waiting worker's quantum (the
+    /// resilient wait re-polls [`Worker::resilient_recover`] each
+    /// condition check), so a schedule controller must treat pending
+    /// recovery as runnable work — it is invisible to [`Runtime::place_has_work`]
+    /// because no queue or mailbox entry exists for it. Always `false` with
+    /// `Config::resilient_finish` off: recovery will never run, and
+    /// reporting it as work would mask the resulting (deliberate) wedge.
+    pub fn place_needs_recovery(&self, place: PlaceId) -> bool {
+        if !self.g.cfg.resilient_finish {
+            return false;
+        }
+        let dead = self.g.transport.dead_places();
+        if dead.is_empty() {
+            return false;
+        }
+        self.g.places[place.0 as usize]
+            .roots
+            .lock()
+            .values()
+            .any(|r| r.needs_reconstruct(dead.len()))
+    }
+
     /// Total activities queued across all places (not counting the one a
     /// worker may be executing — in deterministic mode nobody executes
     /// between quanta, so this is exact).
@@ -798,6 +845,13 @@ impl Runtime {
     /// oracle (see [`FinishResidue`]).
     pub fn finish_residue(&self) -> FinishResidue {
         self.g.residue()
+    }
+
+    /// [`Runtime::finish_residue`] counting only places still alive — the
+    /// quiescence oracle for runs where places were deliberately killed
+    /// (dead places legitimately strand frozen protocol state).
+    pub fn finish_residue_alive(&self) -> FinishResidue {
+        self.g.residue_alive()
     }
 
     /// Initiate shutdown without dropping the runtime: sets the shutdown

@@ -59,6 +59,9 @@ struct PlaceStatus {
     parks: u64,
     probing: usize,
     coalesced_bytes: u64,
+    /// Resilient-finish backup snapshots this place holds for finishes
+    /// homed elsewhere (nonzero after completion means a missed release).
+    backup_roots: usize,
     /// (kind label, finish seq, progress events, done?)
     roots: Vec<(&'static str, u64, u64, bool)>,
 }
@@ -72,6 +75,7 @@ impl PlaceStatus {
             || self.mailbox > 0
             || self.probing > 0
             || self.coalesced_bytes > 0
+            || self.backup_roots > 0
             || !self.roots.is_empty()
     }
 }
@@ -101,6 +105,7 @@ fn collect(g: &Global) -> Vec<PlaceStatus> {
                 parks: p.parks.load(Ordering::Relaxed),
                 probing: p.probing.load(Ordering::Relaxed),
                 coalesced_bytes: p.coalesced_bytes.load(Ordering::Relaxed),
+                backup_roots: p.backup_roots.lock().len(),
                 roots,
             }
         })
@@ -144,7 +149,7 @@ pub(crate) fn report_text(g: &Global) -> String {
         let _ = writeln!(
             s,
             "place {}: {}  queue {}  mailbox {}  sleepers {}  parks {}  \
-             probing {}  coalesced_bytes {}",
+             probing {}  coalesced_bytes {}  backup_roots {}",
             ps.place,
             if ps.dead { "DEAD" } else { "alive" },
             ps.queue,
@@ -152,7 +157,8 @@ pub(crate) fn report_text(g: &Global) -> String {
             ps.sleepers,
             ps.parks,
             ps.probing,
-            ps.coalesced_bytes
+            ps.coalesced_bytes,
+            ps.backup_roots
         );
         for (kind, seq, progress, done) in &ps.roots {
             let _ = writeln!(
@@ -223,7 +229,7 @@ pub(crate) fn report_json(g: &Global) -> String {
             s,
             "{{\"place\": {}, \"dead\": {}, \"queue\": {}, \"mailbox\": {}, \
              \"sleepers\": {}, \"parks\": {}, \"probing\": {}, \
-             \"coalesced_bytes\": {}, \"roots\": [",
+             \"coalesced_bytes\": {}, \"backup_roots\": {}, \"roots\": [",
             ps.place,
             ps.dead,
             ps.queue,
@@ -231,7 +237,8 @@ pub(crate) fn report_json(g: &Global) -> String {
             ps.sleepers,
             ps.parks,
             ps.probing,
-            ps.coalesced_bytes
+            ps.coalesced_bytes,
+            ps.backup_roots
         );
         for (i, (kind, seq, progress, done)) in ps.roots.iter().enumerate() {
             if i > 0 {

@@ -31,6 +31,7 @@ fn kind_tag(k: FinishKind) -> u8 {
         FinishKind::Here => 3,
         FinishKind::Spmd => 4,
         FinishKind::Dense => 5,
+        FinishKind::Resilient => 6,
     }
 }
 
@@ -42,6 +43,7 @@ fn kind_from(tag: u8) -> Result<FinishKind, DecodeError> {
         3 => FinishKind::Here,
         4 => FinishKind::Spmd,
         5 => FinishKind::Dense,
+        6 => FinishKind::Resilient,
         t => {
             return Err(DecodeError::BadTag {
                 what: "finish kind",
@@ -199,6 +201,24 @@ pub fn encode_finish_msg(msg: &FinishMsg) -> Vec<u8> {
                 }
             }
         }
+        FinishMsg::BackupSync { fin, snapshot } => {
+            out.push(4);
+            put_finish_ref(&mut out, fin);
+            put_u64(&mut out, snapshot.nonzero);
+            put_u64(&mut out, snapshot.pending);
+        }
+        FinishMsg::BackupRelease { fin } => {
+            out.push(5);
+            put_finish_ref(&mut out, fin);
+        }
+        FinishMsg::CmdLog { fin, cmd } => {
+            out.push(6);
+            put_finish_ref(&mut out, fin);
+            put_u64(&mut out, cmd.id);
+            put_u32(&mut out, cmd.dest);
+            put_u32(&mut out, cmd.handler);
+            x10rt::codec::put_bytes(&mut out, &cmd.args);
+        }
     }
     out
 }
@@ -235,6 +255,25 @@ pub fn decode_finish_msg(args: &[u8]) -> Result<FinishMsg, DecodeError> {
             };
             FinishMsg::CreditReturn { fin, weight, panic }
         }
+        4 => FinishMsg::BackupSync {
+            fin: read_finish_ref(&mut cur)?,
+            snapshot: crate::finish::BackupSnapshot {
+                nonzero: cur.u64()?,
+                pending: cur.u64()?,
+            },
+        },
+        5 => FinishMsg::BackupRelease {
+            fin: read_finish_ref(&mut cur)?,
+        },
+        6 => FinishMsg::CmdLog {
+            fin: read_finish_ref(&mut cur)?,
+            cmd: crate::finish::CmdDescriptor {
+                id: cur.u64()?,
+                dest: cur.u32()?,
+                handler: cur.u32()?,
+                args: cur.bytes()?.to_vec(),
+            },
+        },
         t => {
             return Err(DecodeError::BadTag {
                 what: "finish msg",
@@ -798,6 +837,7 @@ mod tests {
             FinishKind::Here,
             FinishKind::Spmd,
             FinishKind::Dense,
+            FinishKind::Resilient,
         ] {
             let f = fin(7, 42, kind);
             let mut buf = Vec::new();
@@ -871,6 +911,25 @@ mod tests {
                 fin: fin(2, 4, FinishKind::Here),
                 weight: 1 << 61,
                 panic: Some("ouch".into()),
+            },
+            FinishMsg::BackupSync {
+                fin: fin(3, 5, FinishKind::Resilient),
+                snapshot: crate::finish::BackupSnapshot {
+                    nonzero: 9,
+                    pending: 2,
+                },
+            },
+            FinishMsg::BackupRelease {
+                fin: fin(3, 5, FinishKind::Resilient),
+            },
+            FinishMsg::CmdLog {
+                fin: fin(3, 6, FinishKind::Resilient),
+                cmd: crate::finish::CmdDescriptor {
+                    id: 11,
+                    dest: 2,
+                    handler: 2048,
+                    args: vec![5, 6, 7],
+                },
             },
         ];
         for msg in msgs {

@@ -477,6 +477,12 @@ impl Worker {
             if !self.run_one() {
                 self.park_brief();
             }
+            if root.kind == FinishKind::Resilient {
+                // Dead-place detection is the adoption trigger; the
+                // reconstruction bumps the root's progress events, so a
+                // recovery in flight keeps extending the deadline below.
+                self.resilient_recover(root);
+            }
             let seen = root.progress_events();
             if seen != last {
                 last = seen;
@@ -913,6 +919,27 @@ impl Worker {
                 Some(r) => r.apply_credit(weight, panic),
                 None => self.note_stray_ctl(&fin),
             },
+            // Resilient backup replication: this place is the *backup*, not
+            // the home — store/discard the snapshot keyed by finish id. A
+            // release for an unknown id is fine (the sync may have been
+            // lost; the table is advisory state for recovery diagnosis).
+            FinishMsg::BackupSync { fin, snapshot } => {
+                self.place.backup_roots.lock().insert(fin.id, snapshot);
+            }
+            FinishMsg::BackupRelease { fin } => {
+                self.place.backup_roots.lock().remove(&fin.id);
+            }
+            FinishMsg::CmdLog { fin, cmd } => match self.try_root_of(&fin) {
+                Some(r) => {
+                    if let Some(cmd) = r.apply_cmd_log(cmd) {
+                        // The destination was adopted before this log
+                        // arrived: the reconstruction pass missed it, so
+                        // re-execute it here and now.
+                        self.reexec_cmd(&r, cmd);
+                    }
+                }
+                None => self.note_stray_ctl(&fin),
+            },
         }
     }
 
@@ -966,7 +993,10 @@ impl Worker {
     /// flushes, or stragglers of a scope the watchdog abandoned — and is
     /// counted and dropped.
     fn note_stray_ctl(&self, fin: &FinishRef) {
-        if self.g.cfg.fault_plan.is_none() && self.g.cfg.finish_watchdog.is_none() {
+        if self.g.cfg.fault_plan.is_none()
+            && self.g.cfg.finish_watchdog.is_none()
+            && self.g.transport.dead_places().is_empty()
+        {
             panic!(
                 "finish {:?} not (or no longer) registered at its home — protocol bug",
                 fin.id
@@ -1036,7 +1066,10 @@ impl Worker {
             FinishMsg::Flush { fin, .. }
             | FinishMsg::DenseHop { fin, .. }
             | FinishMsg::Done { fin, .. }
-            | FinishMsg::CreditReturn { fin, .. } => CausalId::pack_root(fin.id.home.0, fin.id.seq),
+            | FinishMsg::CreditReturn { fin, .. }
+            | FinishMsg::BackupSync { fin, .. }
+            | FinishMsg::BackupRelease { fin }
+            | FinishMsg::CmdLog { fin, .. } => CausalId::pack_root(fin.id.home.0, fin.id.seq),
         };
         // Both codec modes charge the same modeled `body_bytes`, so ledgers
         // and cost oracles are mode-independent; `Bytes` just swaps the
@@ -1053,6 +1086,103 @@ impl Worker {
         );
     }
 
+    // ------------------------------------------------------------------
+    // Resilient finish: adoption, re-execution, backup replication
+    // ------------------------------------------------------------------
+
+    /// Poll the transport's dead-place set and adopt any newly-dead places
+    /// into a resilient root: zero their accounting and re-execute the
+    /// registered command descriptors that were destined to them. Cheap
+    /// no-op (one atomic compare) when nothing new has died. Disabled by
+    /// `Config::resilient_finish = false` — the deliberately-broken
+    /// configuration the DST mutation-smoke test catches.
+    pub(crate) fn resilient_recover(&self, root: &RootState) {
+        if !self.g.cfg.resilient_finish {
+            return;
+        }
+        let dead = self.g.transport.dead_places();
+        if dead.is_empty() || !root.needs_reconstruct(dead.len()) {
+            return;
+        }
+        let dead: Vec<u32> = dead.iter().map(|p| p.0).collect();
+        if let Some(lost) = root.reconstruct(&dead) {
+            if let Some(h) = &self.hooks {
+                h.trace.instant("finish", "resilient_adopt", root.id.seq);
+            }
+            for cmd in lost {
+                self.reexec_cmd(root, cmd);
+            }
+            // Adoption reshaped the outstanding state: refresh the backup.
+            self.send_backup_sync(root);
+        }
+    }
+
+    /// Re-execute a lost command descriptor *at the home place* as a fresh
+    /// counted local activity — the resilient re-execution rule. The
+    /// handler must be idempotent and location-independent (see DESIGN.md
+    /// §6); replies keyed by the descriptor id let applications dedup.
+    ///
+    /// No spawn note here: both producers of re-executable descriptors
+    /// ([`RootState::reconstruct`], [`RootState::apply_cmd_log`])
+    /// pre-account the spawn inside their own critical section, so the done
+    /// latch can never observe the window between adoption zeroing the dead
+    /// edges and this enqueue.
+    pub(crate) fn reexec_cmd(&self, root: &RootState, cmd: crate::finish::CmdDescriptor) {
+        let fin = FinishRef {
+            id: root.id,
+            kind: root.kind,
+        };
+        let body = SpawnBody::Cmd {
+            handler: HandlerId(cmd.handler),
+            args: cmd.args,
+        };
+        self.place.enqueue(Activity {
+            body: body.into_task(),
+            attach: Attach::Counted {
+                fin,
+                weight: 0,
+                remote: false,
+            },
+            cause: self.current_cause(),
+            cause_remote: false,
+        });
+    }
+
+    /// Replicate a resilient root's liveness snapshot to its backup place
+    /// (home+1 mod places). Best effort: a dead backup just drops the send.
+    pub(crate) fn send_backup_sync(&self, root: &RootState) {
+        if !self.g.cfg.resilient_finish || self.g.cfg.places < 2 {
+            return;
+        }
+        let backup = PlaceId((self.here.0 + 1) % self.g.cfg.places as u32);
+        let fin = FinishRef {
+            id: root.id,
+            kind: root.kind,
+        };
+        let snapshot = root.backup_snapshot();
+        self.send_finish_msg(backup, 29, FinishMsg::BackupSync { fin, snapshot });
+    }
+
+    /// Ship a command descriptor from a remote spawner to the root's home so
+    /// the home can replay it if the destination dies before running it.
+    pub(crate) fn send_cmd_log(&self, fin: FinishRef, cmd: crate::finish::CmdDescriptor) {
+        let sz = 33 + cmd.args.len();
+        self.send_finish_msg(fin.id.home, sz, FinishMsg::CmdLog { fin, cmd });
+    }
+
+    /// Tell the backup place the finish completed and its snapshot can go.
+    pub(crate) fn send_backup_release(&self, root: &RootState) {
+        if !self.g.cfg.resilient_finish || self.g.cfg.places < 2 {
+            return;
+        }
+        let backup = PlaceId((self.here.0 + 1) % self.g.cfg.places as u32);
+        let fin = FinishRef {
+            id: root.id,
+            kind: root.kind,
+        };
+        self.send_finish_msg(backup, 13, FinishMsg::BackupRelease { fin });
+    }
+
     /// Account for an activity arriving at this place from `src`.
     fn register_receipt(&self, attach: &Attach, src: u32) {
         let Attach::Counted { fin, .. } = attach else {
@@ -1060,10 +1190,12 @@ impl Worker {
         };
         if fin.id.home == self.here {
             match fin.kind {
-                FinishKind::Default | FinishKind::Dense => match self.try_root_of(fin) {
-                    Some(r) => r.note_home_receive(self.here.0, src),
-                    None => self.note_stray_ctl(fin),
-                },
+                FinishKind::Default | FinishKind::Dense | FinishKind::Resilient => {
+                    match self.try_root_of(fin) {
+                        Some(r) => r.note_home_receive(self.here.0, src),
+                        None => self.note_stray_ctl(fin),
+                    }
+                }
                 FinishKind::Here => {}
                 k => debug_assert!(false, "unexpected home receipt under {k:?}"),
             }

@@ -15,7 +15,7 @@
 //! chaos --matrix --repro-out failing.txt       # write repro lines on failure
 //! ```
 //!
-//! `--workload` takes `uts`, `ra-msgs` or `all`; `--fault` takes `drop`,
+//! `--workload` takes `uts`, `ra-msgs`, `uts-res` or `all`; `--fault` takes `drop`,
 //! `delay`, `dup`, `trunc`, `place-kill` or `all`. With `--trace-dir PATH`,
 //! cells run with event + causal tracing on and every failing cell writes
 //! its chrome trace and critical-path report there (CI uploads them).
@@ -41,7 +41,7 @@ struct Args {
 fn usage(err: &str) -> ! {
     eprintln!("chaos: {err}");
     eprintln!(
-        "usage: chaos [--matrix] [--workload uts|ra-msgs|all] \
+        "usage: chaos [--matrix] [--workload uts|ra-msgs|uts-res|all] \
          [--fault drop|delay|dup|trunc|place-kill|all] \
          [--seed N | --seeds A,B,C] [--places N] [--arena on|off] \
          [--transport local|tcp] [--timeout-secs N] [--repro-out PATH] \
@@ -207,6 +207,19 @@ fn main() {
                             seed,
                             ms,
                             first_line(e)
+                        );
+                    }
+                    Ok(CellOutcome::AccountedLoss { got, lost_steal }) => {
+                        println!(
+                            "PASS {:>8} {:>10} seed={:<3} {:>6}ms accounted loss: got {} \
+                             (want {}), {} steal msgs destroyed",
+                            workload.label(),
+                            fault.label(),
+                            seed,
+                            ms,
+                            got,
+                            want,
+                            lost_steal
                         );
                     }
                     Err(f) => {

@@ -11,23 +11,37 @@
 //! - **Lossy faults** (`drop`, `trunc`, `kill`) may destroy counted traffic;
 //!   the run must then surface a typed [`apgas::ApgasError`] via the finish
 //!   liveness watchdog. If, by luck of the seed, nothing load-bearing was
-//!   lost, an identical result is also accepted.
+//!   lost, an identical result is also accepted — and a *short* result is
+//!   accepted only when the transport's loss tally proves uncounted
+//!   steal-handshake traffic was destroyed (see below).
+//! - **Recovery cells** ([`Workload::UtsResilient`] under `kill`) run under
+//!   `FinishKind::Resilient`: a typed error is *not* good enough — the
+//!   resilient finish must adopt the dead place's orphans, re-execute the
+//!   lost commands, and still produce the exact baseline node count.
 //! - Anything else — a silently wrong result, an untyped panic, or a hang
 //!   past the hard timeout — fails the cell, and the harness prints a
 //!   one-line command that reproduces it.
 //!
-//! # Why lossy faults only target counted traffic classes
+//! # Loss accounting and the uncounted steal handshake
 //!
 //! The finish protocols account for every counted message, so losing one
 //! *always* shows up as a protocol stall, which the watchdog converts into a
-//! typed error — loss is detectable by construction. GLB's random-steal
-//! handshake, however, is deliberately **uncounted** (an X10 `@Uncounted
-//! async` pair, invisible to the root finish): a response carrying loot that
-//! vanishes mid-flight would silently shrink the result with no stall to
-//! detect. Lossy cells therefore drop/truncate only `Task` and `FinishCtl`
-//! envelopes and run with aggregation disabled (so every message travels
-//! under its own class and class targeting is exact), while lossless cells
-//! keep aggregation on and fault *all* classes, batches included.
+//! typed error — counted loss is detectable by construction. GLB's
+//! random-steal handshake, however, is deliberately **uncounted** (an X10
+//! `@Uncounted async` pair, invisible to the root finish): a response
+//! carrying loot that vanishes mid-flight shrinks the result with no stall
+//! to detect. Early revisions of this harness therefore refused to fault the
+//! `Steal` class at all and ran lossy cells with aggregation disabled (so
+//! class targeting stayed exact) — leaving the steal handshake untested
+//! under loss. Both restrictions are gone:
+//! [`x10rt::FaultCounts::lost_by_class`] tallies every destroyed message
+//! under its *inner* class even when it rides inside a `Batch` envelope, so
+//! lossy cells now fault `Task`, `FinishCtl`, `Steal` **and** `Batch`
+//! envelopes with aggregation on, and the oracle accepts a short result only
+//! when the tally proves uncounted steal traffic was destroyed
+//! ([`CellOutcome::AccountedLoss`]). A wrong result with a zero steal-loss
+//! tally is still a failing [`CellFailure::Mismatch`] — the loss channel is
+//! no longer silent, it is counted.
 //!
 //! # Relation to the deterministic simulation tier
 //!
@@ -43,9 +57,13 @@
 use apgas::{ApgasError, ClassFaults, Config, FaultPlan, MsgClass, PlaceId, Runtime};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+use x10rt::FaultCounts;
 
 mod workloads;
-pub use workloads::{ra_msgs_checksum, uts_nodes, RA_LOG2_LOCAL, UTS_DEPTH};
+pub use workloads::{
+    ra_msgs_checksum, register_uts_resilient, uts_nodes, uts_resilient_nodes, UtsReplies,
+    H_UTS_REPLY, H_UTS_SUBTREE, RA_LOG2_LOCAL, UTS_DEPTH,
+};
 
 /// Silence the default panic hook for panics the harness *expects* under
 /// fault injection — typed dead-place errors crossing an unwind boundary
@@ -135,17 +153,22 @@ pub enum Workload {
     /// Message-path RandomAccess: every remote update is a tiny counted
     /// spawn under one Default finish (the aggregation benchmark's kernel).
     RaMsgs,
+    /// UTS as re-executable subtree commands under `FinishKind::Resilient`
+    /// — the recovery cell family: a killed place must not cost the exact
+    /// node count (see [`uts_resilient_nodes`]).
+    UtsResilient,
 }
 
 impl Workload {
     /// Every workload.
-    pub const ALL: [Workload; 2] = [Workload::Uts, Workload::RaMsgs];
+    pub const ALL: [Workload; 3] = [Workload::Uts, Workload::RaMsgs, Workload::UtsResilient];
 
     /// Command-line / display name.
     pub fn label(self) -> &'static str {
         match self {
             Workload::Uts => "uts",
             Workload::RaMsgs => "ra-msgs",
+            Workload::UtsResilient => "uts-res",
         }
     }
 
@@ -154,6 +177,7 @@ impl Workload {
         match s {
             "uts" => Some(Workload::Uts),
             "ra-msgs" | "ra" => Some(Workload::RaMsgs),
+            "uts-res" | "uts-resilient" => Some(Workload::UtsResilient),
             _ => None,
         }
     }
@@ -184,6 +208,14 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
+    /// Cells that must *recover*, not merely degrade: the resilient-UTS
+    /// workload under a place kill has to adopt the orphans, re-execute the
+    /// lost commands, and match the baseline exactly — a typed error here
+    /// means the recovery path failed, not that the run degraded cleanly.
+    pub fn must_recover(&self) -> bool {
+        self.workload == Workload::UtsResilient && self.fault == FaultKind::Kill
+    }
+
     /// The one-line command reproducing this cell.
     pub fn repro_line(&self) -> String {
         let mut line = format!(
@@ -208,8 +240,19 @@ impl CellSpec {
 pub enum CellOutcome {
     /// The faulted run produced the baseline result exactly.
     Identical,
-    /// The faulted run surfaced a typed error (lossy kinds only).
+    /// The faulted run surfaced a typed error (lossy kinds only, and never
+    /// for a [`CellSpec::must_recover`] cell).
     TypedError(String),
+    /// The faulted run completed *short* of the baseline, and the
+    /// transport's per-class loss tally proves destroyed uncounted
+    /// steal-handshake traffic explains it (lossy kinds only). Not silent
+    /// loss: the channel is counted — see the module docs.
+    AccountedLoss {
+        /// Faulted result (strictly below the baseline).
+        got: u64,
+        /// Destroyed `Steal`-class messages, batched or not.
+        lost_steal: u64,
+    },
 }
 
 /// How a cell failed the degradation contract.
@@ -238,6 +281,10 @@ pub struct CellReport {
     pub result: Result<CellOutcome, CellFailure>,
     /// Wall-clock time of the faulted run.
     pub elapsed: Duration,
+    /// The fault decorator's tallies, smuggled out of the cell thread when
+    /// the run finished (in any way) before the hard timeout. `None` on a
+    /// hang. Lossless kinds must show `lost_total() == 0` here.
+    pub fault_counts: Option<FaultCounts>,
 }
 
 /// The fault plan of one cell. Probabilities are tuned so every seed
@@ -245,13 +292,19 @@ pub struct CellReport {
 pub fn plan_for(spec: &CellSpec) -> FaultPlan {
     let seed = spec.seed;
     match spec.fault {
-        // Lossy kinds target counted classes only (see module docs).
+        // Lossy kinds target the counted classes, the uncounted steal
+        // handshake, and the batch envelopes all of them may ride in —
+        // losses are tallied per inner class, see the module docs.
         FaultKind::Drop => FaultPlan::new(seed)
             .class(MsgClass::Task, ClassFaults::dropping(0.01))
-            .class(MsgClass::FinishCtl, ClassFaults::dropping(0.01)),
+            .class(MsgClass::FinishCtl, ClassFaults::dropping(0.01))
+            .class(MsgClass::Steal, ClassFaults::dropping(0.01))
+            .class(MsgClass::Batch, ClassFaults::dropping(0.01)),
         FaultKind::Trunc => FaultPlan::new(seed)
             .class(MsgClass::Task, ClassFaults::truncating(0.01))
-            .class(MsgClass::FinishCtl, ClassFaults::truncating(0.01)),
+            .class(MsgClass::FinishCtl, ClassFaults::truncating(0.01))
+            .class(MsgClass::Steal, ClassFaults::truncating(0.01))
+            .class(MsgClass::Batch, ClassFaults::truncating(0.01)),
         // Lossless kinds hammer everything, batches included.
         FaultKind::Delay => FaultPlan::new(seed)
             .all_classes(ClassFaults::delaying(0.25))
@@ -260,9 +313,14 @@ pub fn plan_for(spec: &CellSpec) -> FaultPlan {
         FaultKind::Kill => {
             // Never place 0 (the main activity lives there); vary victim
             // and step with the seed so the matrix covers different phases
-            // of the run.
+            // of the run. The resilient-UTS workload finishes in a few
+            // dozen logical steps where the GLB workloads tick thousands,
+            // so its kill must land much earlier to strike mid-protocol.
             let victim = 1 + (seed % (spec.places as u64 - 1)) as u32;
-            let step = 1_000 + (seed.wrapping_mul(37) % 2_000);
+            let step = match spec.workload {
+                Workload::UtsResilient => 3 + (seed.wrapping_mul(7) % 40),
+                _ => 1_000 + (seed.wrapping_mul(37) % 2_000),
+            };
             FaultPlan::new(seed).kill_place(PlaceId(victim), step)
         }
     }
@@ -278,8 +336,8 @@ fn faulted_config(spec: &CellSpec, traced: bool) -> Config {
         .finish_watchdog(Duration::from_secs(2))
         .trace_enable(traced)
         .causal_enable(traced)
-        // Exact class targeting for lossy kinds (see module docs).
-        .batch_disable(matches!(spec.fault, FaultKind::Drop | FaultKind::Trunc))
+        // Aggregation stays ON for every kind, lossy ones included: batch
+        // losses are tallied per inner class (see module docs).
         .arena_disable(spec.arena_off)
         // TCP cells serialize every protocol message (closures cannot cross
         // a socket); local cells keep the inline fast path.
@@ -323,6 +381,10 @@ fn run_workload(rt: &Runtime, w: Workload, fault: Option<FaultKind>) -> Result<u
     match w {
         Workload::Uts => rt.run_checked(move |ctx| uts_nodes(ctx, glb_cfg)),
         Workload::RaMsgs => rt.run_checked(ra_msgs_checksum),
+        Workload::UtsResilient => {
+            let replies = register_uts_resilient(rt);
+            rt.run_checked(move |ctx| uts_resilient_nodes(ctx, &replies))
+        }
     }
 }
 
@@ -372,26 +434,23 @@ pub fn run_cell_traced(
             let out = catch_unwind(AssertUnwindSafe(|| {
                 run_workload(&rt, spec.workload, Some(spec.fault))
             }));
-            // Deliver the verdict before dropping the runtime: teardown is
-            // designed not to hang, but the report must not depend on that.
-            let _ = tx.send(match out {
+            // Deliver the verdict (and the loss tallies the oracle needs)
+            // before dropping the runtime: teardown is designed not to
+            // hang, but the report must not depend on that.
+            let verdict = match out {
                 Ok(Ok(v)) => Ok(v),
                 Ok(Err(e)) => Err(Some(e.to_string())),
                 Err(p) => Err(ApgasError::from_panic(&*p).map(|e| e.to_string())),
-            });
+            };
+            let _ = tx.send((verdict, rt.fault_counts()));
             drop(rt);
         })
         .expect("spawn chaos cell thread");
-    let result = match rx.recv_timeout(hard_timeout) {
-        Err(_) => Err(CellFailure::Hang),
-        Ok(Ok(got)) if got == want => Ok(CellOutcome::Identical),
-        Ok(Ok(got)) => Err(CellFailure::Mismatch { want, got }),
-        Ok(Err(Some(typed))) if spec.fault.lossy() => Ok(CellOutcome::TypedError(typed)),
-        Ok(Err(Some(typed))) => Err(CellFailure::UnexpectedError(typed)),
-        Ok(Err(None)) => Err(CellFailure::UntypedPanic(
-            "non-typed panic in faulted run".into(),
-        )),
+    let (verdict, fault_counts) = match rx.recv_timeout(hard_timeout) {
+        Err(_) => (Err(CellFailure::Hang), None),
+        Ok((v, counts)) => (classify(&spec, v, want, counts.as_ref()), counts),
     };
+    let result = verdict;
     // Failures and typed errors both leave artifacts; only a run identical
     // to the baseline has nothing to diagnose.
     if !matches!(result, Ok(CellOutcome::Identical)) {
@@ -407,6 +466,53 @@ pub fn run_cell_traced(
         spec,
         result,
         elapsed: start.elapsed(),
+        fault_counts,
+    }
+}
+
+/// The degradation oracle: classify one finished (non-hung) run. `counts`
+/// is the fault decorator's tally, used to tell an *accounted* loss of
+/// uncounted steal traffic from a silent mismatch.
+fn classify(
+    spec: &CellSpec,
+    verdict: Result<u64, Option<String>>,
+    want: u64,
+    counts: Option<&FaultCounts>,
+) -> Result<CellOutcome, CellFailure> {
+    // A lossless kind must never destroy a message: a non-zero tally is a
+    // fault-layer bug even when the result happens to come out right.
+    if !spec.fault.lossy() {
+        if let Some(c) = counts {
+            if c.lost_total() > 0 {
+                return Err(CellFailure::UnexpectedError(format!(
+                    "lossless fault kind destroyed {} messages",
+                    c.lost_total()
+                )));
+            }
+        }
+    }
+    match verdict {
+        Ok(got) if got == want => Ok(CellOutcome::Identical),
+        // A completed-but-short run under a lossy kind is acceptable only
+        // when destroyed uncounted steal traffic explains it: counted loss
+        // always stalls the protocols instead of completing (watchdog ⇒
+        // typed error), so the tally is the only honest escape hatch.
+        Ok(got) => match counts {
+            Some(c) if spec.fault.lossy() && got < want && c.lost(MsgClass::Steal) > 0 => {
+                Ok(CellOutcome::AccountedLoss {
+                    got,
+                    lost_steal: c.lost(MsgClass::Steal),
+                })
+            }
+            _ => Err(CellFailure::Mismatch { want, got }),
+        },
+        Err(Some(typed)) if spec.fault.lossy() && !spec.must_recover() => {
+            Ok(CellOutcome::TypedError(typed))
+        }
+        Err(Some(typed)) => Err(CellFailure::UnexpectedError(typed)),
+        Err(None) => Err(CellFailure::UntypedPanic(
+            "non-typed panic in faulted run".into(),
+        )),
     }
 }
 

@@ -2,9 +2,11 @@
 //! deterministic `u64` figure so faulted runs can be compared bit-for-bit
 //! against a fault-free baseline.
 
-use apgas::{Ctx, PlaceGroup, PlaceId, PlaceLocalHandle};
+use apgas::{Ctx, FinishKind, HandlerId, PlaceGroup, PlaceId, PlaceLocalHandle, Runtime};
 use glb::GlbConfig;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use uts::GeoTree;
 
 /// UTS tree depth for chaos runs: big enough that steals, lifelines and
@@ -21,6 +23,76 @@ pub fn uts_nodes(ctx: &Ctx, cfg: GlbConfig) -> u64 {
     uts::run_distributed(ctx, GeoTree::paper(UTS_DEPTH), cfg)
         .stats
         .nodes
+}
+
+/// Handler id of the resilient-UTS subtree command (app range, see
+/// PROTOCOL.md §3): count one depth-2 subtree and reply to place 0.
+pub const H_UTS_SUBTREE: HandlerId = HandlerId(1100);
+
+/// Handler id of the resilient-UTS reply command: record one subtree count
+/// at place 0.
+pub const H_UTS_REPLY: HandlerId = HandlerId(1101);
+
+/// Reply ledger of [`uts_resilient_nodes`]: task id → subtree node count,
+/// shared between the reply handler and the dispatching activity.
+pub type UtsReplies = Arc<Mutex<HashMap<u64, u64>>>;
+
+/// Register the resilient-UTS command handlers on `rt` and hand back the
+/// reply ledger. Both handlers honour the `FinishKind::Resilient`
+/// re-execution contract: they are **idempotent** (the subtree count is a
+/// pure function of the task id, and the reply ledger inserts-if-absent, so
+/// a re-executed task's duplicate reply cannot double-count) and
+/// **location-independent** (re-execution runs them at the finish home, not
+/// at the dead place they were originally sent to).
+pub fn register_uts_resilient(rt: &Runtime) -> UtsReplies {
+    let replies: UtsReplies = Arc::new(Mutex::new(HashMap::new()));
+    rt.register_handler(H_UTS_SUBTREE, |ctx, args| {
+        let id = u64::from_le_bytes(args[0..8].try_into().unwrap());
+        let i = u32::from_le_bytes(args[8..12].try_into().unwrap());
+        let j = u32::from_le_bytes(args[12..16].try_into().unwrap());
+        let n = uts::subtree_nodes(&GeoTree::paper(UTS_DEPTH), &[i, j]);
+        let mut reply = Vec::with_capacity(16);
+        reply.extend_from_slice(&id.to_le_bytes());
+        reply.extend_from_slice(&n.to_le_bytes());
+        ctx.at_async_cmd(PlaceId(0), H_UTS_REPLY, reply);
+    });
+    let sink = replies.clone();
+    rt.register_handler(H_UTS_REPLY, move |_ctx, args| {
+        let id = u64::from_le_bytes(args[0..8].try_into().unwrap());
+        let n = u64::from_le_bytes(args[8..16].try_into().unwrap());
+        sink.lock().unwrap().entry(id).or_insert(n);
+    });
+    replies
+}
+
+/// Distributed UTS as re-executable commands under `FINISH_RESILIENT`:
+/// place 0 counts tree levels 0–1 locally, fans one serializable command
+/// per depth-2 subtree out across all places, and sums the replies. A
+/// killed place loses its queued subtree commands *and* its in-flight
+/// replies — the resilient finish adopts the orphans, re-executes the
+/// registered commands at home, and the run still produces the exact
+/// sequential node count. Handlers come from [`register_uts_resilient`].
+pub fn uts_resilient_nodes(ctx: &Ctx, replies: &UtsReplies) -> u64 {
+    let tree = GeoTree::paper(UTS_DEPTH);
+    let places = ctx.num_places() as u64;
+    let b0 = uts::num_children_at(&tree, &[]);
+    let local = 1 + b0 as u64; // root + its children, counted here
+    let mut tasks: Vec<(u64, u32, u32)> = Vec::new();
+    for i in 0..b0 {
+        for j in 0..uts::num_children_at(&tree, &[i]) {
+            tasks.push((tasks.len() as u64, i, j));
+        }
+    }
+    ctx.finish_pragma(FinishKind::Resilient, |c| {
+        for &(id, i, j) in &tasks {
+            let mut args = Vec::with_capacity(16);
+            args.extend_from_slice(&id.to_le_bytes());
+            args.extend_from_slice(&i.to_le_bytes());
+            args.extend_from_slice(&j.to_le_bytes());
+            c.at_async_cmd(PlaceId((id % places) as u32), H_UTS_SUBTREE, args);
+        }
+    });
+    local + replies.lock().unwrap().values().sum::<u64>()
 }
 
 /// Message-path RandomAccess checksum: every place scatters XOR updates to

@@ -21,12 +21,16 @@ fn cell(workload: Workload, fault: FaultKind, seed: u64) -> CellSpec {
     }
 }
 
-/// Run one cell and assert the degradation contract for its fault kind.
+/// Run one cell and assert the degradation contract for its fault kind,
+/// including the loss-tally oracle: a typed error must be backed by a
+/// non-empty tally, an accounted loss by destroyed steal traffic, and a
+/// lossless kind by an all-zero tally.
 fn check(workload: Workload, fault: FaultKind, seed: u64) {
     install_quiet_panic_hook();
     let spec = cell(workload, fault, seed);
     let want = baseline(workload, PLACES);
     let report = run_cell_with_baseline(spec, want, TIMEOUT);
+    let lost_total = report.fault_counts.as_ref().map(|c| c.lost_total());
     match report.result {
         Ok(CellOutcome::Identical) => {}
         Ok(CellOutcome::TypedError(e)) => {
@@ -35,8 +39,38 @@ fn check(workload: Workload, fault: FaultKind, seed: u64) {
                 "lossless fault {} must not error: {e}",
                 fault.label()
             );
+            // The error must be backed by the tallies: destroyed messages
+            // for drop/trunc, a recorded victim for a kill (whose losses
+            // are the black-holed mailbox, not in-flight envelopes).
+            let c = report
+                .fault_counts
+                .as_ref()
+                .expect("finished run carries fault counts");
+            match fault {
+                FaultKind::Kill => assert!(c.killed > 0, "typed error but no kill recorded: {e}"),
+                _ => assert!(
+                    c.lost_total() > 0,
+                    "typed error but the loss tally is empty: {e}"
+                ),
+            }
+        }
+        Ok(CellOutcome::AccountedLoss { got, lost_steal }) => {
+            assert!(
+                fault.lossy() && got < want && lost_steal > 0,
+                "accounted loss must be a lossy undercount backed by the steal tally \
+                 (fault {}, got {got}, want {want}, lost_steal {lost_steal})",
+                fault.label()
+            );
         }
         Err(f) => panic!("cell failed ({f:?}); repro: {}", spec.repro_line()),
+    }
+    if !fault.lossy() {
+        assert_eq!(
+            lost_total,
+            Some(0),
+            "lossless fault {} destroyed messages",
+            fault.label()
+        );
     }
 }
 
@@ -130,7 +164,7 @@ fn ra_msgs_drop_over_tcp_identical_or_typed() {
     let want = baseline(Workload::RaMsgs, PLACES);
     let report = run_cell_with_baseline(spec, want, TIMEOUT);
     match report.result {
-        Ok(CellOutcome::Identical) | Ok(CellOutcome::TypedError(_)) => {}
+        Ok(_) => {}
         Err(f) => panic!("cell failed ({f:?}); repro: {}", spec.repro_line()),
     }
 }
@@ -180,7 +214,9 @@ fn killed_cell_status_artifact_names_the_stall() {
         let spec = cell(Workload::Uts, FaultKind::Kill, seed);
         let report = run_cell_traced(spec, want, TIMEOUT, Some(&dir));
         match report.result {
-            Ok(CellOutcome::Identical) => continue,
+            // A kill can also land harmlessly (identical) or only cost
+            // in-flight steal loot (accounted); keep probing for a stall.
+            Ok(CellOutcome::Identical) | Ok(CellOutcome::AccountedLoss { .. }) => continue,
             Ok(CellOutcome::TypedError(_)) => {
                 let path = dir.join(format!("chaos-uts-place-kill-seed{seed}.status.txt"));
                 let body = std::fs::read_to_string(&path)
@@ -206,16 +242,63 @@ fn killed_cell_status_artifact_names_the_stall() {
     panic!("no seed in 1..=6 stalled under a scripted kill");
 }
 
-/// The scripted kill never targets place 0, whatever the seed.
+/// The scripted kill never targets place 0, whatever the seed or workload.
 #[test]
 fn kill_plan_spares_place_zero() {
-    for seed in 0..64 {
-        let spec = cell(Workload::Uts, FaultKind::Kill, seed);
-        let plan = plan_for(&spec);
-        for ev in plan.events() {
-            let x10rt::FaultEvent::KillPlace { place, .. } = ev;
-            assert!(place.0 != 0, "seed {seed} kills place 0");
-            assert!((place.0 as usize) < PLACES, "seed {seed} kills {place:?}");
+    for workload in [Workload::Uts, Workload::UtsResilient] {
+        for seed in 0..64 {
+            let spec = cell(workload, FaultKind::Kill, seed);
+            let plan = plan_for(&spec);
+            for ev in plan.events() {
+                let x10rt::FaultEvent::KillPlace { place, .. } = ev;
+                assert!(place.0 != 0, "seed {seed} kills place 0");
+                assert!((place.0 as usize) < PLACES, "seed {seed} kills {place:?}");
+            }
         }
     }
+}
+
+/// The recovery cell family (acceptance criterion): a place killed mid-run
+/// under `FinishKind::Resilient` must not cost the exact node count — the
+/// adopted orphans are re-executed and the result equals the sequential
+/// baseline, not merely a typed error. Three seeds = three different
+/// victims and kill steps.
+#[test]
+fn uts_res_kill_recovers_exact_count() {
+    install_quiet_panic_hook();
+    let want = baseline(Workload::UtsResilient, PLACES);
+    for seed in 1..=3 {
+        let spec = cell(Workload::UtsResilient, FaultKind::Kill, seed);
+        let report = run_cell_with_baseline(spec, want, TIMEOUT);
+        assert_eq!(
+            report.result,
+            Ok(CellOutcome::Identical),
+            "recovery cell must match the baseline exactly; repro: {}",
+            spec.repro_line()
+        );
+    }
+}
+
+/// The resilient workload's baseline agrees with the sequential oracle —
+/// the distributed decomposition (levels 0–1 local + one command per
+/// depth-2 subtree) loses and double-counts nothing even fault-free.
+#[test]
+fn uts_res_baseline_matches_sequential_traversal() {
+    let want = uts::traverse(&uts::GeoTree::paper(chaos::UTS_DEPTH)).nodes;
+    assert_eq!(baseline(Workload::UtsResilient, PLACES), want);
+}
+
+/// Recovery cells under lossless faults behave like any other cell:
+/// delayed/reordered command traffic must not change the count.
+#[test]
+fn uts_res_delay_is_identical() {
+    check(Workload::UtsResilient, FaultKind::Delay, 3);
+}
+
+/// Dropped command traffic under the resilient workload: every command is
+/// counted, so loss either stalls (typed error) or spares the run
+/// (identical) — there is no uncounted channel to shrink the result.
+#[test]
+fn uts_res_drop_identical_or_typed() {
+    check(Workload::UtsResilient, FaultKind::Drop, 2);
 }

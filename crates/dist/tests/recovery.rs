@@ -1,0 +1,131 @@
+//! On-death recovery of distributed chunks, both redundancy modes.
+//!
+//! The contract under test (see `RedundancyMode` in apgas):
+//!
+//! * `Replica` — every applied update was forwarded to the owner's buddy,
+//!   so after a kill `recover()` promotes the mirror and **no applied
+//!   update is lost**, even for a chunk that had been relocated (the
+//!   install re-seeds the new buddy before taking ownership).
+//! * `Recompute` — the chunk is rebuilt from its generator: applied
+//!   updates are lost *by design*, and the reborn chunk re-baselines its
+//!   per-sender watermarks so post-recovery updates still apply instead
+//!   of wedging behind sequence numbers that died with the old owner.
+
+use apgas::{Config, FaultPlan, PlaceId, RedundancyMode, Runtime};
+use dist::DistArray;
+
+const PLACES: usize = 4;
+const CHUNKS: u32 = 4;
+const CHUNK_LEN: u32 = 2;
+
+fn runtime(mode: RedundancyMode) -> Runtime {
+    Runtime::new(
+        Config::new(PLACES)
+            .fault_plan(FaultPlan::new(1)) // passthrough; enables kill_place
+            .redundancy_mode(mode),
+    )
+}
+
+/// Every place adds its (id + 1) into slot 0 of every chunk, quiesced.
+fn spray(rt: &Runtime, arr: DistArray) {
+    rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for p in c.places() {
+                c.at_async(p, move |cc| {
+                    for chunk in 0..CHUNKS {
+                        arr.add(cc, chunk, 0, cc.here().0 as u64 + 1);
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn replica_recovery_keeps_every_applied_update() {
+    let rt = runtime(RedundancyMode::Replica);
+    let arr = rt.run(|ctx| DistArray::new(ctx, CHUNKS, CHUNK_LEN, false));
+    spray(&rt, arr);
+    let total: u64 = (1..=PLACES as u64).sum::<u64>() * CHUNKS as u64;
+    assert_eq!(rt.run(move |ctx| arr.sum(ctx)), total);
+
+    rt.kill_place(PlaceId(1));
+    let (rebuilt, owner, sum) = rt.run(move |ctx| {
+        let rebuilt = arr.recover(ctx);
+        (rebuilt, arr.owner_of(ctx, 1), arr.sum(ctx))
+    });
+    assert_eq!(rebuilt, 1, "only chunk 1 lived at the victim");
+    assert_eq!(owner, PlaceId(2), "the buddy promotes its mirror in place");
+    assert_eq!(sum, total, "replica recovery loses no applied update");
+
+    // The rebuilt chunk accepts fresh updates from the survivors.
+    let sum = rt.run(move |ctx| {
+        ctx.finish(|c| {
+            c.at_async(PlaceId(3), move |cc| arr.add(cc, 1, 1, 100));
+        });
+        arr.sum(ctx)
+    });
+    assert_eq!(sum, total + 100);
+}
+
+#[test]
+fn replica_recovery_follows_a_relocated_chunk() {
+    let rt = runtime(RedundancyMode::Replica);
+    let arr = rt.run(|ctx| DistArray::new(ctx, CHUNKS, CHUNK_LEN, false));
+    spray(&rt, arr);
+    let total: u64 = (1..=PLACES as u64).sum::<u64>() * CHUNKS as u64;
+
+    // Move chunk 0 from place 0 to place 3; the install seeds place 3's
+    // buddy (place 0) with a fresh mirror. Then kill place 3.
+    rt.run(move |ctx| arr.relocate(ctx, 0, PlaceId(3)));
+    rt.kill_place(PlaceId(3));
+    let (rebuilt, owner, sum) = rt.run(move |ctx| {
+        let rebuilt = arr.recover(ctx);
+        (rebuilt, arr.owner_of(ctx, 0), arr.sum(ctx))
+    });
+    // Chunk 0 (relocated) and chunk 3 (born there) both died with place 3.
+    assert_eq!(rebuilt, 2);
+    assert_eq!(
+        owner,
+        PlaceId(0),
+        "the post-relocation buddy holds the mirror"
+    );
+    assert_eq!(sum, total, "the re-seeded mirror covered the moved chunk");
+}
+
+#[test]
+fn recompute_recovery_rebuilds_from_the_generator() {
+    let rt = runtime(RedundancyMode::Recompute);
+    let arr = rt.run(|ctx| {
+        DistArray::with_generator(ctx, CHUNKS, CHUNK_LEN, |c, i| (100 * c + i) as u64, false)
+    });
+    spray(&rt, arr);
+
+    rt.kill_place(PlaceId(2));
+    let (rebuilt, owner, chunk) = rt.run(move |ctx| {
+        let rebuilt = arr.recover(ctx);
+        (rebuilt, arr.owner_of(ctx, 2), arr.chunk(ctx, 2))
+    });
+    assert_eq!(rebuilt, 1);
+    assert_eq!(owner, PlaceId(3), "next live successor takes the chunk");
+    assert_eq!(
+        chunk,
+        vec![200, 201],
+        "recompute rebirth = generator values; applied updates are lost by design"
+    );
+
+    // Rebaseline: survivors' sequence counters are way past zero, yet their
+    // post-recovery updates must apply (first-seen re-baselines the
+    // watermark) rather than wedge in the gap buffer forever.
+    let chunk = rt.run(move |ctx| {
+        ctx.finish(|c| {
+            for p in c.places() {
+                if !c.place_dead(p) {
+                    c.at_async(p, move |cc| arr.add(cc, 2, 1, 1));
+                }
+            }
+        });
+        arr.chunk(ctx, 2)
+    });
+    assert_eq!(chunk, vec![200, 204], "three survivors each added 1");
+}

@@ -1,0 +1,175 @@
+//! Property tests: concurrent updates racing arbitrary chunk relocations
+//! neither reorder nor lose anything.
+//!
+//! Each case spins up a real 4-place runtime, lets every place fire its
+//! generated update stream while a coordinator bounces chunks between
+//! places, then checks two oracles once the governing finish quiesces:
+//!
+//! 1. **Per-(sender, chunk) FIFO, no loss, no duplication** — the chunk's
+//!    application log, filtered to one sender, is *exactly* the sequence
+//!    `0, 1, …, n-1` of what that sender sent. A lost update shows as a
+//!    hole, a duplicate as a repeat, a reorder as a swap: all fail.
+//! 2. **Sequential reference** — the final contents equal a model built
+//!    by applying the script to a plain local structure. For `DistArray`
+//!    the adds commute, so any interleaving must converge to the same
+//!    slots; for `DistMap` writes do NOT commute, so senders get disjoint
+//!    key spaces and last-writer-wins per sender is the reference.
+
+use apgas::{Config, PlaceId, Runtime};
+use dist::{DistArray, DistMap};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PLACES: u32 = 4;
+const CHUNKS: u32 = 3;
+const CHUNK_LEN: u32 = 4;
+
+/// One generated relocation: `(chunk, to)`.
+type Reloc = (u32, u32);
+
+/// Partition a script into each sender's in-order stream.
+fn per_sender<T: Clone>(script: &[((u32, u32), T)]) -> Vec<Vec<((u32, u32), T)>> {
+    let mut streams = vec![Vec::new(); PLACES as usize];
+    for step in script {
+        streams[(step.0 .0 % PLACES) as usize].push(step.clone());
+    }
+    streams
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// DistArray: every interleaving of updates and relocations preserves
+    /// per-chunk FIFO and loses no update.
+    #[test]
+    fn array_relocation_preserves_fifo_and_loses_nothing(
+        script in prop::collection::vec(
+            ((0..PLACES, 0..CHUNKS), (0..CHUNK_LEN, 1..64u64)),
+            0..160,
+        ),
+        relocs in prop::collection::vec((0..CHUNKS, 0..PLACES), 0..10),
+    ) {
+        let streams = per_sender(&script);
+        // Reference: adds commute, so order does not matter for contents.
+        let mut model = vec![vec![0u64; CHUNK_LEN as usize]; CHUNKS as usize];
+        for &((_, chunk), (idx, delta)) in &script {
+            let c = (chunk % CHUNKS) as usize;
+            model[c][idx as usize] += delta;
+        }
+        // Expected per-(chunk, sender) send counts for the FIFO oracle.
+        let mut sent = vec![[0u64; PLACES as usize]; CHUNKS as usize];
+        for (s, stream) in streams.iter().enumerate() {
+            for ((_, chunk), _) in stream {
+                sent[(*chunk % CHUNKS) as usize][s] += 1;
+            }
+        }
+
+        let rt = Runtime::new(Config::new(PLACES as usize));
+        let streams2 = streams.clone();
+        let relocs2: Vec<Reloc> = relocs.clone();
+        let (got, logs) = rt.run(move |ctx| {
+            let arr = DistArray::new(ctx, CHUNKS, CHUNK_LEN, true);
+            ctx.finish(|c| {
+                for (s, stream) in streams2.into_iter().enumerate() {
+                    c.at_async(PlaceId(s as u32), move |cc| {
+                        for ((_, chunk), (idx, delta)) in stream {
+                            arr.add(cc, chunk % CHUNKS, idx, delta);
+                        }
+                    });
+                }
+                // Bounce chunks while the updaters are still streaming.
+                for (chunk, to) in relocs2 {
+                    arr.relocate(c, chunk % CHUNKS, PlaceId(to % PLACES));
+                }
+            });
+            let got: Vec<Vec<u64>> = (0..CHUNKS).map(|ch| arr.chunk(ctx, ch)).collect();
+            let logs: Vec<Vec<(u32, u64)>> =
+                (0..CHUNKS).map(|ch| arr.fifo_log(ctx, ch)).collect();
+            arr.free(ctx);
+            (got, logs)
+        });
+
+        prop_assert_eq!(&got, &model, "final contents diverge from the reference");
+        for chunk in 0..CHUNKS as usize {
+            for s in 0..PLACES {
+                let seqs: Vec<u64> = logs[chunk]
+                    .iter()
+                    .filter(|&&(x, _)| x == s)
+                    .map(|&(_, q)| q)
+                    .collect();
+                let want: Vec<u64> = (0..sent[chunk][s as usize]).collect();
+                prop_assert_eq!(
+                    &seqs, &want,
+                    "chunk {} sender {}: applied log is not the sent sequence",
+                    chunk, s
+                );
+            }
+        }
+    }
+
+    /// DistMap: non-commutative writes with disjoint per-sender key spaces
+    /// still match the sequential reference — each sender's writes land in
+    /// program order whatever the relocation schedule.
+    #[test]
+    fn map_relocation_matches_sequential_reference(
+        script in prop::collection::vec(
+            ((0..PLACES, 0..24u32), (0..1000u64, any::<bool>())),
+            0..120,
+        ),
+        relocs in prop::collection::vec((0..CHUNKS, 0..PLACES), 0..8),
+    ) {
+        // Key space: key = base * PLACES + sender, disjoint across senders.
+        let streams = per_sender(&script);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for stream in &streams {
+            for &((sender, base), (val, remove)) in stream {
+                let key = base as u64 * PLACES as u64 + (sender % PLACES) as u64;
+                if remove {
+                    model.remove(&key);
+                } else {
+                    model.insert(key, val);
+                }
+            }
+        }
+        let keys: Vec<u64> = script
+            .iter()
+            .map(|&((s, b), _)| b as u64 * PLACES as u64 + (s % PLACES) as u64)
+            .collect();
+
+        let rt = Runtime::new(Config::new(PLACES as usize));
+        let streams2 = streams.clone();
+        let relocs2: Vec<Reloc> = relocs.clone();
+        let keys2 = keys.clone();
+        let (len, found) = rt.run(move |ctx| {
+            let map = DistMap::new(ctx, CHUNKS, true);
+            ctx.finish(|c| {
+                for (s, stream) in streams2.into_iter().enumerate() {
+                    c.at_async(PlaceId(s as u32), move |cc| {
+                        for ((sender, base), (val, remove)) in stream {
+                            let key =
+                                base as u64 * PLACES as u64 + (sender % PLACES) as u64;
+                            if remove {
+                                map.remove(cc, key);
+                            } else {
+                                map.insert(cc, key, val);
+                            }
+                        }
+                    });
+                }
+                for (chunk, to) in relocs2 {
+                    map.relocate(c, chunk % CHUNKS, PlaceId(to % PLACES));
+                }
+            });
+            let found: Vec<(u64, Option<u64>)> =
+                keys2.iter().map(|&k| (k, map.get(ctx, k))).collect();
+            let len = map.len(ctx);
+            map.free(ctx);
+            (len, found)
+        });
+
+        prop_assert_eq!(len, model.len(), "entry count diverges from the reference");
+        for (k, v) in found {
+            prop_assert_eq!(v, model.get(&k).copied(), "key {} diverges", k);
+        }
+    }
+}

@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use x10rt::{MsgClass, PlaceId};
+use x10rt::{MsgClass, PlaceId, Transport};
 
 /// Tunables for one simulated run.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +51,13 @@ pub struct SimOpts {
     /// thread. Kept short so failure-hunting (mutation testing, fault
     /// exploration) stays fast.
     pub deadlock_grace_ms: u64,
+    /// Adversarial-kill budget: how many `Kill(place)` actions the
+    /// controller may offer the chooser. While budget remains, a kill of
+    /// every still-alive non-zero place is enabled at *every* decision
+    /// point — so the chooser can strike between any two protocol messages
+    /// (e.g. between a DenseHop and its CreditReturn). Place 0 (workload
+    /// home) is never a victim. Zero (the default) disables kills.
+    pub kill_budget: u32,
 }
 
 impl Default for SimOpts {
@@ -59,6 +66,7 @@ impl Default for SimOpts {
             max_steps: 100_000,
             stall_ms: 5_000,
             deadlock_grace_ms: 100,
+            kill_budget: 0,
         }
     }
 }
@@ -87,6 +95,9 @@ pub struct ScheduleReport {
     pub steps: u64,
     /// How many of those were deliveries.
     pub deliveries: u64,
+    /// How many were place kills (kill-schedule runs; see
+    /// [`SimOpts::kill_budget`]).
+    pub kills: u32,
     /// Every choice the controller resolved, in order — replaying this log
     /// reproduces the run exactly.
     pub choices: Vec<u32>,
@@ -98,12 +109,32 @@ pub struct ScheduleReport {
 enum Action {
     Deliver(ChannelKey),
     Step(u32),
+    /// Kill this place right here, between two schedule actions — the
+    /// adversarial fault: the chooser decides not just *whether* a place
+    /// dies but *at which protocol point*.
+    Kill(u32),
 }
-fn enabled(rt: &Runtime, sim: &SimTransport) -> Vec<Action> {
+fn enabled(rt: &Runtime, sim: &SimTransport, kills_left: u32) -> Vec<Action> {
     let mut acts: Vec<Action> = sim.deliverable().into_iter().map(Action::Deliver).collect();
     for p in 0..rt.places() as u32 {
-        if rt.place_has_work(PlaceId(p)) {
+        // A dead place is frozen: its queued work never runs again, so a
+        // quantum there would be a wasted (and misleading) choice. Pending
+        // resilient recovery counts as work: adoption runs inside the
+        // waiting worker's quantum, invisible to queue/mailbox checks.
+        if (rt.place_has_work(PlaceId(p)) || rt.place_needs_recovery(PlaceId(p)))
+            && !sim.is_dead(PlaceId(p))
+        {
             acts.push(Action::Step(p));
+        }
+    }
+    // Kills ride alongside real work, never alone: offering Kill as the
+    // only enabled action would keep the run from ever quiescing (the
+    // empty-action set is the completion/deadlock signal).
+    if kills_left > 0 && !acts.is_empty() {
+        for p in 1..rt.places() as u32 {
+            if !sim.is_dead(PlaceId(p)) {
+                acts.push(Action::Kill(p));
+            }
         }
     }
     acts
@@ -126,11 +157,13 @@ pub fn drive(
         .clone();
     let mut steps = 0u64;
     let mut deliveries = 0u64;
+    let mut kills = 0u32;
+    let mut kills_left = opts.kill_budget;
     let verdict = loop {
         if gate.is_released() {
             break RunVerdict::Aborted;
         }
-        let acts = enabled(rt, sim);
+        let acts = enabled(rt, sim, kills_left);
         if acts.is_empty() {
             // A fault layer may be holding delayed envelopes (or unfired
             // scripted events) that nothing visible accounts for; its clock
@@ -140,11 +173,14 @@ pub fn drive(
             // replay determinism survives.
             if rt.fault_backlog() > 0 {
                 let mut pokes = 0u32;
-                while rt.fault_backlog() > 0 && enabled(rt, sim).is_empty() && pokes < 1_000_000 {
+                while rt.fault_backlog() > 0
+                    && enabled(rt, sim, kills_left).is_empty()
+                    && pokes < 1_000_000
+                {
                     rt.fault_poke();
                     pokes += 1;
                 }
-                if !enabled(rt, sim).is_empty() {
+                if !enabled(rt, sim, kills_left).is_empty() {
                     continue;
                 }
             }
@@ -172,7 +208,7 @@ pub fn drive(
                 std::thread::yield_now();
                 if done.load(Ordering::Acquire)
                     || gate.is_released()
-                    || !enabled(rt, sim).is_empty()
+                    || !enabled(rt, sim, kills_left).is_empty()
                     || (!patient && main_done.load(Ordering::Acquire))
                 {
                     resolved = true;
@@ -198,6 +234,12 @@ pub fn drive(
                     break RunVerdict::Aborted;
                 }
             }
+            Action::Kill(p) => {
+                sim.record_kill(p);
+                rt.kill_place(PlaceId(p));
+                kills_left -= 1;
+                kills += 1;
+            }
         }
         steps += 1;
     };
@@ -210,6 +252,7 @@ pub fn drive(
         verdict,
         steps,
         deliveries,
+        kills,
         choices: chooser.log().to_vec(),
         trace_hash: sim.trace_hash(),
     }
@@ -227,6 +270,10 @@ pub struct SimRun<R> {
     pub report: ScheduleReport,
     /// Residual finish-protocol state after the run.
     pub residue: FinishResidue,
+    /// [`SimRun::residue`] restricted to places still alive — the
+    /// quiescence oracle for kill schedules (a dead place legitimately
+    /// strands frozen proxies and dense buffers).
+    pub residue_alive: FinishResidue,
     /// FinishCtl envelopes still in channels or mailboxes after the run.
     pub residual_ctl: usize,
     /// The envelope ledger at the end of the run.
@@ -291,6 +338,7 @@ pub fn run_sim<R: Send + 'static>(
         result: result.into_inner(),
         panics,
         residue: rt.finish_residue(),
+        residue_alive: rt.finish_residue_alive(),
         residual_ctl: sim.residual(MsgClass::FinishCtl),
         ledger: sim.ledger(),
         log: sim.delivery_log(),

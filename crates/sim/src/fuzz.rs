@@ -1,5 +1,7 @@
-//! The schedule fuzzer: randomized spawn trees × all six finish protocols
-//! × seeded adversarial schedules, checked against the sequential model.
+//! The schedule fuzzer: randomized spawn trees × all seven finish
+//! protocols × seeded adversarial schedules, checked against the
+//! sequential model — optionally with a place-kill budget, which swaps in
+//! the resilient survival oracle.
 //!
 //! One **case** is `(kind, places, workload seed, schedule seed)`. Running
 //! it produces either a pass or a first-violated-oracle failure string. The
@@ -28,14 +30,15 @@ use apgas::{Config, FinishKind, PlaceId};
 use std::sync::Arc;
 use x10rt::{MsgClass, Topology, Transport};
 
-/// All six finish protocols, in a fixed sweep order.
-pub const ALL_KINDS: [FinishKind; 6] = [
+/// All seven finish protocols, in a fixed sweep order.
+pub const ALL_KINDS: [FinishKind; 7] = [
     FinishKind::Default,
     FinishKind::Local,
     FinishKind::Async,
     FinishKind::Here,
     FinishKind::Spmd,
     FinishKind::Dense,
+    FinishKind::Resilient,
 ];
 
 /// Parse a kind from its `FINISH_*` label (repro lines).
@@ -59,6 +62,15 @@ pub struct CaseSpec {
     pub sseed: u64,
     /// Upper bound on tree size.
     pub max_nodes: usize,
+    /// Place-kill budget handed to the controller: while it lasts, killing
+    /// any still-alive non-zero place is an enabled action at every
+    /// decision point. Kill runs switch to the survival oracle (see
+    /// [`run_case_with`]).
+    pub kills: u32,
+    /// Mutation-smoke knob: run with `resilient_finish(false)`, the
+    /// deliberately broken adoption path. A killed place then fails the
+    /// finish instead of being adopted, which the kill corpus must catch.
+    pub break_adoption: bool,
 }
 
 impl CaseSpec {
@@ -71,20 +83,32 @@ impl CaseSpec {
             wseed,
             sseed,
             max_nodes: 16,
+            kills: 0,
+            break_adoption: false,
         }
     }
 
     /// The one-line repro: paste it to `simfuzz --replay` (or feed it to
     /// [`parse_repro`]) to re-run this exact schedule.
     pub fn repro_line(&self, choices: &[u32]) -> String {
+        // Kill-schedule fields only appear when set, so pre-kill repro
+        // lines keep their exact historical shape.
+        let mut extra = String::new();
+        if self.kills > 0 {
+            extra.push_str(&format!(" kills={}", self.kills));
+        }
+        if self.break_adoption {
+            extra.push_str(" mutation=broken-adoption");
+        }
         format!(
-            "SIM-REPRO kind={} places={} pph={} nodes={} wseed={:#x} sseed={:#x} choices={}",
+            "SIM-REPRO kind={} places={} pph={} nodes={} wseed={:#x} sseed={:#x}{} choices={}",
             self.kind.label(),
             self.places,
             self.places_per_host,
             self.max_nodes,
             self.wseed,
             self.sseed,
+            extra,
             fmt_choices(choices),
         )
     }
@@ -110,6 +134,11 @@ pub fn parse_repro(line: &str) -> Option<(CaseSpec, Vec<u32>)> {
             "nodes" => spec.max_nodes = val.parse().ok()?,
             "wseed" => spec.wseed = hex(val)?,
             "sseed" => spec.sseed = hex(val)?,
+            "kills" => spec.kills = val.parse().ok()?,
+            "mutation" => match val {
+                "broken-adoption" => spec.break_adoption = true,
+                _ => return None,
+            },
             "choices" => choices = parse_choices(val)?,
             _ => return None,
         }
@@ -135,8 +164,14 @@ pub struct CaseResult {
 
 /// Per-protocol FinishCtl expectation for a legalized tree: `(min, max)`
 /// inclusive. Exact for the protocols whose control traffic is
-/// schedule-independent; bounds for the coalescing ones.
-pub fn ctl_expectation(kind: FinishKind, m: &crate::workload::ModelExpect) -> (u64, u64) {
+/// schedule-independent; bounds for the coalescing ones. `places` matters
+/// only to FINISH_RESILIENT, whose backup replication is skipped on a
+/// single place (there is nowhere independent to replicate to).
+pub fn ctl_expectation(
+    kind: FinishKind,
+    places: usize,
+    m: &crate::workload::ModelExpect,
+) -> (u64, u64) {
     let remote = m.remote_resident as u64;
     let nodes = m.nodes as u64;
     match kind {
@@ -160,6 +195,13 @@ pub fn ctl_expectation(kind: FinishKind, m: &crate::workload::ModelExpect) -> (u
         FinishKind::Default => (remote.min(1), 2 * nodes + remote),
         // As Default, but every delta takes up to 3 routed hops.
         FinishKind::Dense => (remote.min(1), 3 * (2 * nodes + remote)),
+        // Default's matrix accounting plus exactly two backup-replication
+        // messages per root (BackupSync at open, BackupRelease at close)
+        // whenever a backup place exists.
+        FinishKind::Resilient => {
+            let b = if places > 1 { 2 } else { 0 };
+            (remote.min(1) + b, 2 * nodes + remote + b)
+        }
     }
 }
 
@@ -178,10 +220,20 @@ pub fn run_case_with(
         .places_per_host(spec.places_per_host)
         // Individual envelopes give the schedule the finest legal
         // interleavings; batching would fuse deliveries.
-        .batch_disable(true);
+        .batch_disable(true)
+        // Mutation smoke: `break_adoption` runs the deliberately broken
+        // adoption path so the kill corpus can prove it would be caught.
+        .resilient_finish(!spec.break_adoption);
     if want_trace {
         cfg = cfg.trace_enable(true).causal_enable(true);
     }
+    // The kill budget lives on the case spec (so repro lines carry it);
+    // the controller only reads it from the options.
+    let opts = SimOpts {
+        kill_budget: spec.kills,
+        ..*opts
+    };
+    let opts = &opts;
     let mut sim = SimTransport::new(spec.places);
     if let Some(m) = mutation {
         sim = sim.with_mutation(m);
@@ -207,6 +259,36 @@ pub fn run_case_with(
         }
         if !run.panics.is_empty() {
             return Some(format!("panics during run: {:?}", run.panics));
+        }
+        if spec.kills > 0 {
+            // Survival oracle for kill schedules. Work resident on a
+            // killed place is lost (closure bodies cannot be re-executed),
+            // so the sum may fall short of the model — but the run must
+            // still *complete*, return `Ok` (adoption, not a DeadPlace
+            // error), never exceed the model (no duplicated work), and
+            // leave no finish state on any surviving place. Message-count,
+            // routing and ledger oracles assume lossless delivery and are
+            // skipped: envelopes addressed to a dead place are stuck by
+            // design.
+            match &run.result {
+                Some(Ok(sum)) => {
+                    if *sum > model.sum {
+                        return Some(format!(
+                            "kill run over-accumulated: got {:#x}, model caps at {:#x}",
+                            sum, model.sum
+                        ));
+                    }
+                }
+                Some(Err(e)) => return Some(format!("kill not survived: {e}")),
+                None => return Some("workload produced no result".into()),
+            }
+            if !run.residue_alive.is_clean() {
+                return Some(format!(
+                    "residual finish state on surviving places: {:?}",
+                    run.residue_alive
+                ));
+            }
+            return None;
         }
         match &run.result {
             Some(Ok(sum)) => {
@@ -240,7 +322,10 @@ pub fn run_case_with(
             ));
         }
         let ctl = class_messages[MsgClass::FinishCtl.index()];
-        let (lo, hi) = ctl_expectation(spec.kind, &model);
+        // `break_adoption` suppresses backup replication; places=1 tells
+        // the expectation the same thing.
+        let eff_places = if spec.break_adoption { 1 } else { spec.places };
+        let (lo, hi) = ctl_expectation(spec.kind, eff_places, &model);
         if ctl < lo || ctl > hi {
             return Some(format!(
                 "FinishCtl count {ctl} outside [{lo}, {hi}] for {}",
@@ -378,6 +463,25 @@ mod tests {
         assert_eq!(back.wseed, spec.wseed);
         assert_eq!(back.sseed, spec.sseed);
         assert_eq!(ch, choices);
+    }
+
+    #[test]
+    fn repro_line_round_trips_kill_fields() {
+        let mut spec = CaseSpec::new(FinishKind::Resilient, 4, 0xbeef, 0x3);
+        spec.kills = 2;
+        spec.break_adoption = true;
+        let line = spec.repro_line(&[1u32, 4]);
+        assert!(line.contains("kills=2"));
+        assert!(line.contains("mutation=broken-adoption"));
+        let (back, ch) = parse_repro(&line).expect("parses");
+        assert_eq!(back.kind, FinishKind::Resilient);
+        assert_eq!(back.kills, 2);
+        assert!(back.break_adoption);
+        assert_eq!(ch, vec![1, 4]);
+        // Default-shaped specs keep the historical line shape.
+        let plain = CaseSpec::new(FinishKind::Default, 4, 1, 2).repro_line(&[]);
+        assert!(!plain.contains("kills="));
+        assert!(!plain.contains("mutation="));
     }
 
     #[test]

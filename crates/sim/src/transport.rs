@@ -226,6 +226,14 @@ impl SimTransport {
         self.state.lock().mix(&[1, place as u64]);
     }
 
+    /// Record a `Kill(place)` schedule action into the trace hash — a kill
+    /// reshapes causality more than any delivery, so replays must agree on
+    /// exactly when it struck.
+    pub fn record_kill(&self, place: u32) {
+        self.tick();
+        self.state.lock().mix(&[3, place as u64]);
+    }
+
     /// The causal trace hash accumulated so far. Two runs of the same
     /// `(workload seed, schedule seed)` must agree on this bit-for-bit.
     pub fn trace_hash(&self) -> u64 {
@@ -279,6 +287,11 @@ impl Transport for SimTransport {
         debug_assert!(env.to.index() < self.mailboxes.len(), "bad destination");
         if self.closed[env.to.index()].load(Ordering::Acquire) {
             return Err(SendError::dead(env.to, 1));
+        }
+        // A killed place is fully isolated: nothing it tries to send after
+        // the kill reaches the network either (matches `FaultTransport`).
+        if self.closed[env.from.index()].load(Ordering::Acquire) {
+            return Err(SendError::dead(env.from, 1));
         }
         self.record_stats(&env);
         let mut s = self.state.lock();
@@ -476,6 +489,28 @@ mod tests {
         assert_eq!(l.purged, 2);
         assert_eq!(l.in_flight, 0);
         assert!(l.balanced());
+    }
+
+    #[test]
+    fn killed_place_cannot_send_and_kills_hash_the_trace() {
+        let t = SimTransport::new(3);
+        t.kill_place(PlaceId(1));
+        let err = t.send(env(1, 2, MsgClass::Task, 0)).unwrap_err();
+        assert_eq!(err.dropped, 1, "a dead sender is isolated");
+        assert!(t.ledger().balanced());
+        // A kill is a schedule action: it must move the trace hash, and
+        // differently from a step of the same place.
+        let hash = |kill: bool| {
+            let t = SimTransport::new(3);
+            if kill {
+                t.record_kill(2);
+            } else {
+                t.record_step(2);
+            }
+            t.trace_hash()
+        };
+        assert_ne!(hash(true), hash(false));
+        assert_eq!(hash(true), hash(true));
     }
 
     #[test]

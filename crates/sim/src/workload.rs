@@ -11,8 +11,8 @@
 //! paper describes: `Local` governs only place-local activities, `Async` a
 //! single (possibly remote) one, `Spmd` remote children that spawn only
 //! locally. Legalizing (rather than generating per-kind trees) keeps the
-//! six protocol runs comparable — they share the workload seed and differ
-//! only where the protocol's contract demands it.
+//! seven protocol runs comparable — they share the workload seed and
+//! differ only where the protocol's contract demands it.
 
 use crate::rng::SplitMix64;
 use apgas::{Ctx, FinishKind, PlaceId};
@@ -107,7 +107,9 @@ impl TreeSpec {
     pub fn legalize(&self, kind: FinishKind) -> TreeSpec {
         match kind {
             // Arbitrary spawn patterns: as generated.
-            FinishKind::Default | FinishKind::Dense | FinishKind::Here => self.clone(),
+            FinishKind::Default | FinishKind::Dense | FinishKind::Here | FinishKind::Resilient => {
+                self.clone()
+            }
             // Place-local activities only.
             FinishKind::Local => {
                 let mut t = self.clone();
@@ -273,7 +275,12 @@ mod tests {
             assert!(s.root.children.iter().all(descendants_local));
             assert_eq!(s.model().sum, sum, "Spmd keeps the sum");
 
-            for kind in [FinishKind::Default, FinishKind::Dense, FinishKind::Here] {
+            for kind in [
+                FinishKind::Default,
+                FinishKind::Dense,
+                FinishKind::Here,
+                FinishKind::Resilient,
+            ] {
                 assert_eq!(t.legalize(kind).model(), t.model());
             }
         }

@@ -1,5 +1,5 @@
-//! Cross-protocol equivalence: one spawn tree, all six finish protocols —
-//! identical results, and per-class message counts that match each
+//! Cross-protocol equivalence: one spawn tree, all seven finish protocols
+//! — identical results, and per-class message counts that match each
 //! protocol's cost model (§3.1 of the paper: the specializations change
 //! *how much* control traffic termination detection costs, never the
 //! outcome).
@@ -10,10 +10,10 @@ use sim::fuzz::{ctl_expectation, run_case, CaseSpec, ALL_KINDS};
 use sim::workload::TreeSpec;
 
 #[test]
-fn six_protocols_one_tree_identical_results() {
+fn all_protocols_one_tree_identical_results() {
     for wseed in 0..4u64 {
-        // Every legalization preserves the tree's total value, so all six
-        // protocols must converge on the *same* sum.
+        // Every legalization preserves the tree's total value, so all
+        // seven protocols must converge on the *same* sum.
         let want = TreeSpec::generate(wseed, 4, 14).model().sum;
         for kind in ALL_KINDS {
             let spec = CaseSpec {
@@ -59,7 +59,7 @@ fn message_counts_follow_the_protocol_cost_models() {
                 kind.label()
             );
             let ctl = res.class_messages[MsgClass::FinishCtl.index()];
-            let (lo, hi) = ctl_expectation(kind, &model);
+            let (lo, hi) = ctl_expectation(kind, spec.places, &model);
             assert!(
                 (lo..=hi).contains(&ctl),
                 "{} wseed={wseed}: FinishCtl={ctl} outside [{lo}, {hi}]",

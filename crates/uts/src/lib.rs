@@ -26,5 +26,5 @@ pub mod tree;
 
 pub use bag::{Interval, UtsBag};
 pub use distributed::{run_distributed, DistributedRun};
-pub use sequential::{traverse, TreeStats};
+pub use sequential::{num_children_at, subtree_nodes, traverse, TreeStats};
 pub use tree::GeoTree;

@@ -40,6 +40,41 @@ pub fn traverse(tree: &GeoTree) -> TreeStats {
     stats
 }
 
+/// Walk `path` (child spawn indices) down from the root, returning the
+/// addressed node's state and depth. The caller promises every index
+/// addresses a child that exists (`i < num_children` at that level).
+fn node_at(tree: &GeoTree, path: &[u32]) -> (State, u32) {
+    let mut state = tree.root();
+    for &i in path {
+        state = rng::spawn(&state, i);
+    }
+    (state, path.len() as u32)
+}
+
+/// Child count of the node `path` addresses.
+pub fn num_children_at(tree: &GeoTree, path: &[u32]) -> u32 {
+    let (state, depth) = node_at(tree, path);
+    tree.num_children(&state, depth)
+}
+
+/// Nodes in the subtree rooted at the node `path` addresses. A pure
+/// function of `(tree, path)` — which makes a subtree the natural unit of
+/// *re-executable* work: running the same path again after a place death
+/// yields the same count, so resilient workloads can hand subtrees out as
+/// idempotent commands.
+pub fn subtree_nodes(tree: &GeoTree, path: &[u32]) -> u64 {
+    let (state, depth) = node_at(tree, path);
+    let mut nodes = 0u64;
+    let mut stack: Vec<(State, u32)> = vec![(state, depth)];
+    while let Some((s, d)) = stack.pop() {
+        nodes += 1;
+        for i in 0..tree.num_children(&s, d) {
+            stack.push((rng::spawn(&s, i), d + 1));
+        }
+    }
+    nodes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +120,32 @@ mod tests {
         let a = traverse(&GeoTree::paper(7));
         let b = traverse(&GeoTree::paper(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subtree_decomposition_sums_to_the_full_traversal() {
+        // Splitting the tree at depth 1 (root + one subtree per child) and
+        // at depth 2 (root, children, one subtree per grandchild) must both
+        // recover the sequential node count exactly.
+        let tree = GeoTree::paper(6);
+        let total = traverse(&tree).nodes;
+
+        let b0 = num_children_at(&tree, &[]);
+        let by_children: u64 = (0..b0).map(|i| subtree_nodes(&tree, &[i])).sum();
+        assert_eq!(1 + by_children, total);
+
+        let mut by_grandchildren = 1 + b0 as u64;
+        for i in 0..b0 {
+            for j in 0..num_children_at(&tree, &[i]) {
+                by_grandchildren += subtree_nodes(&tree, &[i, j]);
+            }
+        }
+        assert_eq!(by_grandchildren, total);
+    }
+
+    #[test]
+    fn subtree_of_the_empty_path_is_the_whole_tree() {
+        let tree = GeoTree::paper(5);
+        assert_eq!(subtree_nodes(&tree, &[]), traverse(&tree).nodes);
     }
 }

@@ -64,6 +64,15 @@ pub const FLAG_CAUSAL: u8 = 0x01;
 /// (the TCP back-end's self-loop mode).
 pub const FLAG_STASH: u8 = 0x02;
 
+/// Message-header flag (reserved): the message belongs to a resilient
+/// finish scope. Reserved in previously-must-be-zero flag space per the
+/// PROTOCOL.md § 6 compatible-extension rule — no `PROTO_VERSION` bump.
+/// Encoders do not set it yet: resilient-finish control traffic is fully
+/// expressed in the `FinishMsg` tag space (PROTOCOL.md § 4), and the bit is
+/// claimed now so a future fast-path router can classify resilient traffic
+/// without decoding the payload.
+pub const FLAG_RESILIENT: u8 = 0x04;
+
 /// Identifies a registered message handler (an active-message id).
 ///
 /// Numbering (see `PROTOCOL.md` § handler registry): `0` is invalid /

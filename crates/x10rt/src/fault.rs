@@ -234,6 +234,30 @@ pub struct FaultCounts {
     /// Marker envelopes (duplicates, truncations) filtered at the receive
     /// edge.
     pub filtered: u64,
+    /// Protocol-visible messages destroyed by drop/truncate, tallied by the
+    /// *inner* message class (indexed by [`MsgClass::index`]). `dropped` and
+    /// `truncated` count physical envelopes — a lost [`MsgClass::Batch`]
+    /// envelope counts once there but loses every coalesced message inside
+    /// it, which used to be a silent-loss channel: a dropped batch carrying
+    /// GLB steal handshakes was invisible to any per-class reconciliation.
+    /// This array opens every batched class to the lossy-fault oracles.
+    pub lost_by_class: [u64; MsgClass::ALL.len()],
+}
+
+impl FaultCounts {
+    /// Messages of `class` destroyed by drop/truncate, counting through
+    /// batch envelopes.
+    pub fn lost(&self, class: MsgClass) -> u64 {
+        self.lost_by_class[class.index()]
+    }
+
+    /// Total messages destroyed by drop/truncate across every class,
+    /// counting through batch envelopes. Always `>= dropped + truncated`
+    /// (strictly greater whenever a multi-message batch was lost), and zero
+    /// exactly when nothing was lost.
+    pub fn lost_total(&self) -> u64 {
+        self.lost_by_class.iter().sum()
+    }
 }
 
 #[derive(Default)]
@@ -245,6 +269,7 @@ struct FaultTallies {
     rejected: AtomicU64,
     killed: AtomicU64,
     filtered: AtomicU64,
+    lost_by_class: [AtomicU64; MsgClass::ALL.len()],
 }
 
 /// Resolved observability counters mirroring [`FaultCounts`].
@@ -343,6 +368,10 @@ impl FaultTransport {
 
     /// Running totals of the faults injected so far.
     pub fn fault_counts(&self) -> FaultCounts {
+        let mut lost_by_class = [0u64; MsgClass::ALL.len()];
+        for (out, tally) in lost_by_class.iter_mut().zip(&self.tallies.lost_by_class) {
+            *out = tally.load(Ordering::Relaxed);
+        }
         FaultCounts {
             dropped: self.tallies.dropped.load(Ordering::Relaxed),
             delayed: self.tallies.delayed.load(Ordering::Relaxed),
@@ -351,7 +380,25 @@ impl FaultTransport {
             rejected: self.tallies.rejected.load(Ordering::Relaxed),
             killed: self.tallies.killed.load(Ordering::Relaxed),
             filtered: self.tallies.filtered.load(Ordering::Relaxed),
+            lost_by_class,
         }
+    }
+
+    /// Tally the protocol-visible messages destroyed with `env` by a drop
+    /// or truncation: the envelope's own class, or — for a batch — the
+    /// class of every coalesced message inside it. Pure counting, **no
+    /// decision draws**: the seeded fault stream is untouched, so recorded
+    /// corpora and the `fault_golden` pins stay valid.
+    fn tally_lost(&self, env: &Envelope) {
+        if env.class == MsgClass::Batch {
+            if let Some(batch) = env.payload.downcast_ref::<crate::message::BatchPayload>() {
+                for inner in &batch.envs {
+                    self.tallies.lost_by_class[inner.class.index()].fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        self.tallies.lost_by_class[env.class.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// The decorator's logical clock (diagnostics).
@@ -414,10 +461,21 @@ impl FaultTransport {
             return; // already dead
         }
         self.inner.kill_place(place);
-        // Held traffic addressed to the victim is destroyed with it.
+        // Held traffic addressed to the victim is destroyed with it —
+        // tallied per inner class like any other destroyed message, so the
+        // loss stays accounted even when it happens as a side effect of a
+        // kill rather than a drop decision.
         {
             let mut held = self.held.lock();
-            held.retain(|&(_, to), _| to != place.0);
+            held.retain(|&(_, to), q| {
+                if to != place.0 {
+                    return true;
+                }
+                for (_, env) in q.iter() {
+                    self.tally_lost(env);
+                }
+                false
+            });
             let remaining = held.values().map(VecDeque::len).sum();
             self.held_count.store(remaining, Ordering::Relaxed);
         }
@@ -522,6 +580,7 @@ impl Transport for FaultTransport {
         if faults.drop > 0.0 && self.draw(from, to, class, seq, SALT_DROP) < faults.drop {
             // The NIC accepted it; the wire lost it. Success, silently.
             self.count(&self.tallies.dropped, |h| &h.dropped, from);
+            self.tally_lost(&env);
             return Ok(());
         }
 
@@ -529,6 +588,7 @@ impl Transport for FaultTransport {
             && self.draw(from, to, class, seq, SALT_TRUNC) < faults.truncate
         {
             self.count(&self.tallies.truncated, |h| &h.truncated, from);
+            self.tally_lost(&env);
             Envelope {
                 payload: Box::new(FaultMarker::Truncated),
                 ..env
@@ -844,6 +904,54 @@ mod tests {
         // Other places keep working.
         t.send(env(0, 2, 99)).unwrap();
         assert_eq!(drain(&t, 2, 1, 10), vec![99]);
+    }
+
+    #[test]
+    fn lost_by_class_counts_through_batches() {
+        // A dropped Batch envelope loses every coalesced message inside it:
+        // `dropped` says 1, but the per-class ledger must say what was
+        // really destroyed (this was the GLB steal-handshake silent-loss
+        // channel under batching).
+        let t = wrap(2, FaultPlan::new(1).all_classes(ClassFaults::dropping(1.0)));
+        let inner = vec![
+            env(0, 1, 10),
+            Envelope::new(PlaceId(0), PlaceId(1), MsgClass::Steal, 8, Box::new(11u64)),
+            Envelope::new(PlaceId(0), PlaceId(1), MsgClass::Steal, 8, Box::new(12u64)),
+        ];
+        t.send(Envelope::batch(PlaceId(0), PlaceId(1), inner))
+            .unwrap();
+        let counts = t.fault_counts();
+        assert_eq!(counts.dropped, 1, "one physical envelope dropped");
+        assert_eq!(counts.lost(MsgClass::Task), 1);
+        assert_eq!(counts.lost(MsgClass::Steal), 2);
+        assert_eq!(
+            counts.lost(MsgClass::Batch),
+            0,
+            "count the cargo, not the crate"
+        );
+        assert_eq!(counts.lost_total(), 3);
+        assert!(counts.lost_total() >= counts.dropped + counts.truncated);
+    }
+
+    #[test]
+    fn lost_by_class_counts_unbatched_drops_and_truncations() {
+        let t = wrap(
+            2,
+            FaultPlan::new(3).all_classes(ClassFaults::truncating(0.4)),
+        );
+        for i in 0..100u64 {
+            t.send(env(0, 1, i)).unwrap();
+        }
+        let counts = t.fault_counts();
+        assert!(counts.truncated > 0);
+        assert_eq!(counts.lost(MsgClass::Task), counts.truncated);
+        assert_eq!(counts.lost_total(), counts.truncated);
+        // Lossless kinds leave the ledger untouched.
+        let clean = wrap(2, FaultPlan::new(5).all_classes(ClassFaults::delaying(0.5)));
+        for i in 0..50u64 {
+            clean.send(env(0, 1, i)).unwrap();
+        }
+        assert_eq!(clean.fault_counts().lost_total(), 0);
     }
 
     #[test]

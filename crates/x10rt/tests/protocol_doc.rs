@@ -4,8 +4,8 @@
 //! silently drift from the implementation.
 
 use x10rt::codec::{
-    self, HandlerId, FLAG_CAUSAL, FLAG_STASH, FRAME_FLAG_BATCH, FRAME_HEADER_BYTES, FRAME_MAGIC,
-    HANDSHAKE_BYTES, HANDSHAKE_MAGIC, MSG_HEADER_BYTES, PROTO_VERSION,
+    self, HandlerId, FLAG_CAUSAL, FLAG_RESILIENT, FLAG_STASH, FRAME_FLAG_BATCH, FRAME_HEADER_BYTES,
+    FRAME_MAGIC, HANDSHAKE_BYTES, HANDSHAKE_MAGIC, MSG_HEADER_BYTES, PROTO_VERSION,
 };
 use x10rt::MsgClass;
 
@@ -53,11 +53,13 @@ fn magics_match_the_doc() {
 fn flags_match_the_doc() {
     doc_has(&format!("bit 0 (0x{FLAG_CAUSAL:02x}) FLAG_CAUSAL"));
     doc_has(&format!("bit 1 (0x{FLAG_STASH:02x}) FLAG_STASH"));
+    doc_has(&format!("bit 2 (0x{FLAG_RESILIENT:02x}) FLAG_RESILIENT"));
     doc_has(&format!(
         "bit 0 (0x{FRAME_FLAG_BATCH:04x}) FRAME_FLAG_BATCH"
     ));
     assert_eq!(FLAG_CAUSAL, 1 << 0);
     assert_eq!(FLAG_STASH, 1 << 1);
+    assert_eq!(FLAG_RESILIENT, 1 << 2);
     assert_eq!(FRAME_FLAG_BATCH, 1 << 0);
 }
 
